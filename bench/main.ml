@@ -1,0 +1,134 @@
+(* Benchmark harness entry point.
+
+   With no arguments (or "all"), regenerates every table and figure of
+   the paper from live simulated runs.  Individual experiments can be
+   selected by name; "bechamel" runs wall-clock micro-benchmarks of the
+   simulation substrate itself (one Test.make group per experiment
+   driver plus core kernels). *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "PyPy-suite performance (time, IPC, MPKI x 3 VMs)",
+     Mtj_harness.Experiments.table1);
+    ("table2", "CLBG performance across languages + C",
+     Mtj_harness.Experiments.table2);
+    ("table3", "significant AOT functions called from traces",
+     Mtj_harness.Experiments.table3);
+    ("table4", "per-phase microarchitectural statistics",
+     Mtj_harness.Experiments.table4);
+    ("fig2", "phase breakdown per benchmark", Mtj_harness.Experiments.fig2);
+    ("fig3", "phase timeline during warmup", Mtj_harness.Experiments.fig3);
+    ("fig4", "PyPy vs Pycket phase breakdown (CLBG)",
+     Mtj_harness.Experiments.fig4);
+    ("fig5", "warmup curves and break-even points",
+     Mtj_harness.Experiments.fig5);
+    ("fig6", "IR nodes compiled / hotness / dynamic rate",
+     Mtj_harness.Experiments.fig6);
+    ("fig7", "meta-trace composition by IR category",
+     Mtj_harness.Experiments.fig7);
+    ("fig8", "dynamic IR node-type histogram", Mtj_harness.Experiments.fig8);
+    ("fig9", "x86 instructions per IR node type",
+     Mtj_harness.Experiments.fig9);
+    ("activity", "JIT machinery counters (extension)",
+     Mtj_harness.Experiments.jit_activity);
+    ("ablation", "optimizer-pass ablation (extension)",
+     Mtj_harness.Experiments.ablation);
+    ("tiers", "two-tier compilation: warmup vs steady state (extension)",
+     Mtj_harness.Experiments.tiers);
+    ("thresholds", "hot-loop threshold sensitivity (extension)",
+     Mtj_harness.Experiments.thresholds);
+  ]
+
+(* --- bechamel micro-benchmarks of the substrate --- *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let pylite_src =
+    "def f(n):\n    s = 0\n    for i in range(n):\n        s = s + i * i\n    return s\nprint(f(2000))\n"
+  in
+  let run_pylite jit () =
+    let config =
+      Mtj_core.Config.with_budget 30_000_000
+        (if jit then Mtj_core.Config.default else Mtj_core.Config.no_jit)
+    in
+    ignore (Mtj_pylite.Vm.run ~config pylite_src)
+  in
+  let bigint () =
+    let a = Mtj_rt.Rbigint.of_string "123456789012345678901234567890" in
+    let b = Mtj_rt.Rbigint.of_string "98765432109876543210" in
+    ignore (Mtj_rt.Rbigint.divmod (Mtj_rt.Rbigint.mul a b) b)
+  in
+  let predictor () =
+    let p = Mtj_machine.Predictor.create () in
+    for i = 0 to 999 do
+      ignore (Mtj_machine.Predictor.conditional p ~site:(i land 15) ~taken:(i mod 3 <> 0))
+    done
+  in
+  let engine () =
+    let e = Mtj_machine.Engine.create () in
+    let c = Mtj_core.Cost.make ~alu:4 ~load:2 ~store:1 () in
+    for i = 0 to 999 do
+      Mtj_machine.Engine.emit e c;
+      Mtj_machine.Engine.branch e ~site:7 ~taken:(i land 3 <> 0)
+    done
+  in
+  let tests =
+    [
+      Test.make ~name:"pylite-interp-run" (Staged.stage (run_pylite false));
+      Test.make ~name:"pylite-jit-run" (Staged.stage (run_pylite true));
+      Test.make ~name:"rbigint-mul-divmod" (Staged.stage bigint);
+      Test.make ~name:"predictor-1k-branches" (Staged.stage predictor);
+      Test.make ~name:"engine-1k-bundles" (Staged.stage engine);
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      (Instance.monotonic_clock) results
+  in
+  List.iter
+    (fun t ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ t ]) in
+      let res = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "%-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        res)
+    tests
+
+let usage () =
+  print_endline "usage: main.exe [all | bechamel | <experiment> ...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, doc, _) -> Printf.printf "  %-10s %s\n" name doc)
+    experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] | _ :: [ "all" ] ->
+      print_endline
+        "Cross-Layer Workload Characterization of Meta-Tracing JIT VMs";
+      print_endline
+        "(OCaml reproduction; times are simulated megacycles, see DESIGN.md)";
+      Mtj_harness.Experiments.all ()
+  | _ :: [ "bechamel" ] -> bechamel ()
+  | _ :: [ "help" ] | _ :: [ "--help" ] -> usage ()
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match
+            List.find_opt (fun (n, _, _) -> n = name) experiments
+          with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.printf "unknown experiment %S\n" name;
+              usage ())
+        names

@@ -1,0 +1,220 @@
+(* The mtj command-line tool.
+
+   Subcommands:
+     list              enumerate the benchmark registry
+     run               run a benchmark (or source file) under a VM config,
+                       with phase breakdown and JIT statistics
+     trace             dump the compiled JIT traces of a run
+     exec              execute a pylite / rklite source file and print its
+                       program output *)
+
+open Cmdliner
+module R = Mtj_harness.Runner
+module B = Mtj_benchmarks.Registry
+
+let config_conv =
+  let parse s =
+    match s with
+    | "cpython" -> Ok R.Cpython
+    | "pypy-nojit" -> Ok R.Pypy_nojit
+    | "pypy" -> Ok R.Pypy_jit
+    | "pypy-2tier" -> Ok R.Pypy_tiered
+    | "racket" -> Ok R.Racket
+    | "pycket-nojit" -> Ok R.Pycket_nojit
+    | "pycket" -> Ok R.Pycket_jit
+    | "c" -> Ok R.Native_c
+    | other -> Error (`Msg ("unknown VM config: " ^ other))
+  in
+  Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (R.config_name c))
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the benchmark registry" in
+  let run () =
+    Printf.printf "%-20s %-4s %-6s %s\n" "name" "lang" "suite" "regime";
+    Printf.printf "%s\n" (String.make 90 '-');
+    List.iter
+      (fun (b : B.bench) ->
+        Printf.printf "%-20s %-4s %-6s %s\n" b.B.name
+          (match b.B.lang with B.Py -> "py" | B.Rk -> "rk")
+          (match b.B.suite with B.Pypy_suite -> "pypy" | B.Clbg -> "clbg")
+          b.B.regime)
+      B.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- run --- *)
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let config_arg =
+  Arg.(value & opt config_conv R.Pypy_jit & info [ "vm" ] ~docv:"VM"
+         ~doc:"VM configuration: cpython, pypy-nojit, pypy, racket, \
+               pycket-nojit, pycket, c")
+
+let budget_arg =
+  Arg.(value & opt int R.default_budget
+       & info [ "budget" ] ~docv:"INSNS" ~doc:"instruction budget")
+
+let show_output_arg =
+  Arg.(value & flag & info [ "output" ] ~doc:"print the program's output")
+
+let print_result (r : R.result) show_output =
+  Printf.printf "benchmark: %s   vm: %s\n" r.R.bench_name
+    (R.config_name r.R.config);
+  Printf.printf "status:    %s\n"
+    (match r.R.status with
+    | R.Ok_run -> "completed"
+    | R.Hit_budget -> "stopped at instruction budget"
+    | R.Failed e -> "FAILED: " ^ e);
+  Printf.printf "instructions: %d   cycles: %.0f   IPC: %.2f   MPKI: %.1f\n"
+    r.R.insns r.R.cycles (R.ipc r) (R.mpki r);
+  Printf.printf "work (dispatch ticks): %d\n" r.R.ticks;
+  Printf.printf "\nphases:\n";
+  List.iter
+    (fun (p, n) ->
+      if n > 0 then
+        Printf.printf "  %-12s %10d  (%.1f%%)\n" (Mtj_core.Phase.name p) n
+          (100.0 *. R.phase_fraction r p))
+    r.R.phase_insns;
+  (match r.R.jit with
+  | Some j when j.R.traces > 0 ->
+      Printf.printf
+        "\njit: %d traces (%d bridges), %d deopts, %d aborts, %d IR compiled, \
+         hot-95%% = %.1f%%\n"
+        j.R.traces j.R.bridges j.R.deopts j.R.aborts j.R.ir_compiled
+        j.R.hot_fraction_95
+  | _ -> ());
+  let g = r.R.gc in
+  Printf.printf
+    "gc: %d minor, %d major, %d objects allocated, %d freed, %d promoted\n"
+    g.Mtj_rt.Gc_sim.minor_collections g.Mtj_rt.Gc_sim.major_collections
+    g.Mtj_rt.Gc_sim.allocated_objects g.Mtj_rt.Gc_sim.freed_objects
+    g.Mtj_rt.Gc_sim.promoted_objects;
+  if r.R.aot_top <> [] then begin
+    Printf.printf "\ntop AOT functions called from JIT code:\n";
+    List.iteri
+      (fun i (src, name, insns) ->
+        if i < 6 then
+          Printf.printf "  %4.1f%%  %s  %s\n"
+            (100.0 *. float_of_int insns /. float_of_int (max 1 r.R.insns))
+            src name)
+      r.R.aot_top
+  end;
+  if show_output then begin
+    Printf.printf "\nprogram output:\n%s" r.R.output
+  end
+
+let run_cmd =
+  let doc = "Run a benchmark under a VM configuration" in
+  let run name vm budget show_output =
+    match R.run ~budget name vm with
+    | r -> print_result r show_output
+    | exception Invalid_argument msg -> Printf.eprintf "error: %s\n" msg
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ config_arg $ budget_arg $ show_output_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let doc = "Dump the JIT traces compiled for a benchmark" in
+  let run name budget =
+    let config =
+      Mtj_core.Config.with_budget budget Mtj_core.Config.default
+    in
+    let jl, header =
+      match B.find ~lang:B.Py name with
+      | Some b ->
+          let vm = Mtj_pylite.Vm.create ~config () in
+          ignore (Mtj_pylite.Vm.run_source vm b.B.source);
+          (Mtj_pylite.Vm.jitlog vm, "pylite")
+      | None ->
+          let b = B.find_exn ~lang:B.Rk name in
+          let vm = Mtj_rklite.Kvm.create ~config () in
+          ignore (Mtj_rklite.Kvm.run_source vm b.B.source);
+          (Mtj_rklite.Kvm.jitlog vm, "rklite")
+    in
+    Printf.printf "%s: %d traces, %d aborts, %d deopts\n\n" header
+      (Mtj_rjit.Jitlog.num_traces jl)
+      jl.Mtj_rjit.Jitlog.aborts jl.Mtj_rjit.Jitlog.deopts;
+    List.iter
+      (fun (tr : Mtj_rjit.Ir.trace) ->
+        Printf.printf "=== trace %d  %s  ops=%d  entries=%d\n" tr.trace_id
+          (match tr.kind with
+          | Mtj_rjit.Ir.Loop { loop_code; loop_pc } ->
+              Printf.sprintf "loop code=%d pc=%d" loop_code loop_pc
+          | Mtj_rjit.Ir.Bridge { from_guard; _ } ->
+              Printf.sprintf "bridge from guard %d" from_guard)
+          (Array.length tr.ops) tr.exec_count;
+        Array.iteri
+          (fun i (op : Mtj_rjit.Ir.op) ->
+            Printf.printf "%4d [%9d] %s%s\n" i tr.op_exec.(i)
+              (if i = tr.loop_start && tr.loop_start > 0 then "LOOP: " else "")
+              (Format.asprintf "%a" Mtj_rjit.Ir.pp_op op))
+          tr.ops;
+        print_newline ())
+      (Mtj_rjit.Jitlog.traces jl)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ bench_arg $ budget_arg)
+
+(* --- exec --- *)
+
+let exec_cmd =
+  let doc = "Execute a pylite (.py) or rklite (.rkt/.scm) source file" in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let nojit_arg =
+    Arg.(value & flag & info [ "no-jit" ] ~doc:"disable the meta-tracing JIT")
+  in
+  let tiered_arg =
+    Arg.(
+      value & flag
+      & info [ "tiered" ]
+          ~doc:
+            "two-tier compilation: compile traces quickly first,              recompile hot ones through the full optimizer")
+  in
+  let run file nojit tiered budget =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let config =
+      Mtj_core.Config.with_budget budget
+        (if nojit then Mtj_core.Config.no_jit
+         else if tiered then Mtj_core.Config.two_tier
+         else Mtj_core.Config.default)
+    in
+    let is_scheme =
+      Filename.check_suffix file ".rkt" || Filename.check_suffix file ".scm"
+    in
+    let outcome_str, output, insns =
+      if is_scheme then begin
+        let outcome, vm = Mtj_rklite.Kvm.run ~config src in
+        ( (match outcome with
+          | Mtj_rjit.Driver.Completed _ -> "ok"
+          | Mtj_rjit.Driver.Budget_exceeded -> "budget exceeded"
+          | Mtj_rjit.Driver.Runtime_error e -> "error: " ^ e),
+          Mtj_rklite.Kvm.output vm,
+          Mtj_machine.Engine.total_insns (Mtj_rklite.Kvm.engine vm) )
+      end
+      else begin
+        let outcome, vm = Mtj_pylite.Vm.run ~config src in
+        ( (match outcome with
+          | Mtj_rjit.Driver.Completed _ -> "ok"
+          | Mtj_rjit.Driver.Budget_exceeded -> "budget exceeded"
+          | Mtj_rjit.Driver.Runtime_error e -> "error: " ^ e),
+          Mtj_pylite.Vm.output vm,
+          Mtj_machine.Engine.total_insns (Mtj_pylite.Vm.engine vm) )
+      end
+    in
+    print_string output;
+    Printf.eprintf "[%s; %d simulated instructions]\n" outcome_str insns
+  in
+  Cmd.v (Cmd.info "exec" ~doc)
+    Term.(const run $ file_arg $ nojit_arg $ tiered_arg $ budget_arg)
+
+let () =
+  let doc = "meta-tracing JIT workload characterization tools" in
+  let info = Cmd.info "mtj" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; exec_cmd ]))

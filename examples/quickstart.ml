@@ -1,0 +1,72 @@
+(* Quickstart: run a Python-subset program on the meta-tracing JIT VM and
+   see what the JIT did.
+
+     dune exec examples/quickstart.exe *)
+
+let program =
+  {|
+def mandel_row(y, width):
+    count = 0
+    ci = 2.0 * y / 40.0 - 1.0
+    for x in range(width):
+        cr = 2.0 * x / width - 1.5
+        zr = 0.0
+        zi = 0.0
+        bounded = True
+        for i in range(40):
+            zr2 = zr * zr
+            zi2 = zi * zi
+            if zr2 + zi2 > 4.0:
+                bounded = False
+                break
+            zi = 2.0 * zr * zi + ci
+            zr = zr2 - zi2 + cr
+        if bounded:
+            count = count + 1
+    return count
+
+total = 0
+for y in range(40):
+    total = total + mandel_row(y, 40)
+print(total)
+|}
+
+let run jit =
+  let config =
+    Mtj_core.Config.with_budget 400_000_000
+      (if jit then Mtj_core.Config.default else Mtj_core.Config.no_jit)
+  in
+  let vm = Mtj_pylite.Vm.create ~config () in
+  let tracker = Mtj_pintool.Phase_tracker.attach (Mtj_pylite.Vm.engine vm) in
+  (match Mtj_pylite.Vm.run_source vm program with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | Mtj_rjit.Driver.Budget_exceeded -> failwith "ran out of budget"
+  | Mtj_rjit.Driver.Runtime_error e -> failwith e);
+  Mtj_pintool.Phase_tracker.finalize tracker;
+  (vm, tracker)
+
+let () =
+  print_endline "Running a pylite program on the meta-tracing JIT VM...\n";
+  let vm_interp, _ = run false in
+  let vm_jit, tracker = run true in
+  let cycles vm =
+    Mtj_machine.Engine.total_cycles (Mtj_pylite.Vm.engine vm)
+  in
+  Printf.printf "program output (both VMs agree): %s"
+    (Mtj_pylite.Vm.output vm_jit);
+  assert (Mtj_pylite.Vm.output vm_jit = Mtj_pylite.Vm.output vm_interp);
+  Printf.printf "\ninterpreter: %11.0f simulated cycles\n" (cycles vm_interp);
+  Printf.printf "with JIT:    %11.0f simulated cycles  (%.1fx faster)\n"
+    (cycles vm_jit)
+    (cycles vm_interp /. cycles vm_jit);
+  print_endline "\nwhere the JIT run spent its time:";
+  List.iter
+    (fun p ->
+      let f = Mtj_pintool.Phase_tracker.fraction tracker p in
+      if f > 0.001 then
+        Printf.printf "  %-12s %5.1f%%\n" (Mtj_core.Phase.name p) (100. *. f))
+    Mtj_core.Phase.all;
+  let jl = Mtj_pylite.Vm.jitlog vm_jit in
+  Printf.printf "\ncompiled %d traces (%d bridges), %d deoptimizations\n"
+    (Mtj_rjit.Jitlog.num_traces jl)
+    jl.Mtj_rjit.Jitlog.bridges_attached jl.Mtj_rjit.Jitlog.deopts

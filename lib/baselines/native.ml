@@ -1,0 +1,457 @@
+(** Statically-compiled (C/C++) reference implementations of the CLBG
+    benchmarks (the C rows of Table II and the "still slower than C"
+    discussion, Q9).
+
+    Each kernel computes the same result as the hosted-language version
+    (same algorithm, same PRNG seeds, same printed output) while charging
+    the machine model the cost an optimizing C compiler's output would:
+    unboxed arithmetic, direct array addressing, no dispatch.  The
+    [pidigits] kernel uses the same {!Mtj_rt.Rbigint} library the VMs
+    call — GMP-style bignum work is AOT-compiled C in every
+    implementation, which is why CPython is competitive there (Table II,
+    Q1 discussion). *)
+
+open Mtj_core
+open Mtj_rt
+module Engine = Mtj_machine.Engine
+
+type kernel = {
+  kname : string;
+  run : Ctx.t -> Buffer.t -> unit;
+}
+
+(* cost shorthands: tight compiled loops *)
+let c_int = Cost.make ~alu:3 ~load:1 ()
+let c_float = Cost.make ~fpu:4 ~alu:2 ~load:1 ()
+let c_mem = Cost.make ~alu:2 ~load:1 ~store:1 ()
+
+let out_line buf s =
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\n'
+
+(* --- binarytrees --- *)
+
+type tree = Leaf | Node of tree * tree
+
+let binarytrees ctx buf =
+  let eng = Ctx.engine ctx in
+  let rec make depth =
+    (* malloc + initialize: C pays an allocator, too *)
+    Engine.emit eng (Cost.make ~alu:14 ~load:6 ~store:8 ~other:4 ());
+    if depth = 0 then Node (Leaf, Leaf) else Node (make (depth - 1), make (depth - 1))
+  in
+  let rec check t =
+    Engine.emit eng (Cost.make ~alu:1 ~load:2 ());
+    Engine.branch eng ~site:800_001 ~taken:(t <> Node (Leaf, Leaf));
+    match t with
+    | Leaf -> 0
+    | Node (Leaf, Leaf) -> 1
+    | Node (l, r) -> 1 + check l + check r
+  in
+  let max_depth = 8 in
+  out_line buf (string_of_int (check (make (max_depth + 1))));
+  let long_lived = make max_depth in
+  let total = ref 0 in
+  let depth = ref 4 in
+  while !depth <= max_depth do
+    let iterations = 1 lsl (max_depth - !depth + 4) in
+    for _ = 1 to iterations do
+      total := !total + check (make !depth)
+    done;
+    depth := !depth + 2
+  done;
+  out_line buf (string_of_int !total);
+  out_line buf (string_of_int (check long_lived))
+
+(* --- fasta --- *)
+
+let fasta ctx buf =
+  let eng = Ctx.engine ctx in
+  let chars = [| "a"; "c"; "g"; "t"; "B"; "D"; "H"; "K"; "M"; "N" |] in
+  let probs = [| 270; 120; 120; 270; 20; 20; 20; 20; 20; 120 |] in
+  (* mirror the hosted version exactly: only complete 60-char lines are
+     written, and the counts are taken over the written output *)
+  let out = Buffer.create 4096 in
+  let line = Buffer.create 64 in
+  let seed = ref 42 in
+  let count = ref 0 in
+  for _ = 1 to 11000 do
+    seed := (!seed * 3877 + 29573) mod 139968;
+    let r = ref (!seed mod 1000) in
+    let i = ref 0 in
+    while !i < 9 && !r >= probs.(!i) do
+      Engine.emit eng c_int;
+      Engine.branch eng ~site:800_002 ~taken:true;
+      r := !r - probs.(!i);
+      incr i
+    done;
+    Engine.emit eng (Cost.make ~alu:6 ~load:2 ~store:1 ());
+    Buffer.add_string line chars.(!i);
+    incr count;
+    if !count = 60 then begin
+      Buffer.add_buffer out line;
+      Buffer.add_char out '\n';
+      Buffer.clear line;
+      count := 0
+    end
+  done;
+  let s = Buffer.contents out in
+  let acount = ref 0 in
+  String.iter (fun c -> if c = 'a' then incr acount) s;
+  Engine.emit eng (Cost.make ~alu:(String.length s) ~load:(String.length s / 8) ());
+  out_line buf (string_of_int (String.length s));
+  out_line buf (string_of_int !acount)
+
+(* --- mandelbrot --- *)
+
+let mandelbrot ctx buf =
+  let eng = Ctx.engine ctx in
+  let size = 52 in
+  let total = ref 0 in
+  for py = 0 to size - 1 do
+    let ci = (2.0 *. float_of_int py /. float_of_int size) -. 1.0 in
+    for px = 0 to size - 1 do
+      let cr = (2.0 *. float_of_int px /. float_of_int size) -. 1.5 in
+      let zr = ref 0.0 and zi = ref 0.0 in
+      let inside = ref true in
+      (try
+         for _ = 1 to 50 do
+           Engine.emit eng (Cost.make ~fpu:10 ~alu:3 ());
+           let zr2 = !zr *. !zr and zi2 = !zi *. !zi in
+           let escaped = zr2 +. zi2 > 4.0 in
+           Engine.branch eng ~site:800_003 ~taken:(not escaped);
+           if escaped then begin
+             inside := false;
+             raise Exit
+           end;
+           zi := (2.0 *. !zr *. !zi) +. ci;
+           zr := zr2 -. zi2 +. cr
+         done
+       with Exit -> ());
+      if !inside then incr total
+    done
+  done;
+  out_line buf (string_of_int !total)
+
+(* --- nbody --- *)
+
+let nbody ctx buf =
+  let eng = Ctx.engine ctx in
+  let n = 5 in
+  let xs = [| 0.0; 4.84; 8.34; 12.89; 15.37 |] in
+  let ys = [| 0.0; -1.16; 4.12; -15.11; -25.91 |] in
+  let zs = [| 0.0; -0.1; -0.4; -0.22; 0.17 |] in
+  let vxs = [| 0.0; 0.00166; -0.00276; 0.00296; 0.00268 |] in
+  let vys = [| 0.0; 0.00769; 0.0049; 0.00237; 0.00162 |] in
+  let vzs = [| 0.0; -0.00002; 0.00002; -0.00003; -0.00009 |] in
+  let ms = [| 39.47; 0.03769; 0.011286; 0.0017237; 0.0020336 |] in
+  let px = ref 0.0 and py = ref 0.0 and pz = ref 0.0 in
+  for i = 0 to n - 1 do
+    px := !px +. (vxs.(i) *. ms.(i));
+    py := !py +. (vys.(i) *. ms.(i));
+    pz := !pz +. (vzs.(i) *. ms.(i))
+  done;
+  vxs.(0) <- 0.0 -. (!px /. ms.(0));
+  vys.(0) <- 0.0 -. (!py /. ms.(0));
+  vzs.(0) <- 0.0 -. (!pz /. ms.(0));
+  let energy () =
+    let e = ref 0.0 in
+    for i = 0 to n - 1 do
+      Engine.emit eng c_float;
+      e :=
+        !e
+        +. (0.5 *. ms.(i)
+           *. ((vxs.(i) *. vxs.(i)) +. (vys.(i) *. vys.(i)) +. (vzs.(i) *. vzs.(i))));
+      for j = i + 1 to n - 1 do
+        Engine.emit eng (Cost.make ~fpu:12 ~alu:2 ());
+        let dx = xs.(i) -. xs.(j)
+        and dy = ys.(i) -. ys.(j)
+        and dz = zs.(i) -. zs.(j) in
+        e :=
+          !e
+          -. (ms.(i) *. ms.(j)
+             /. Float.pow ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) 0.5)
+      done
+    done;
+    !e
+  in
+  let e0 = energy () in
+  for _ = 1 to 700 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Engine.emit eng (Cost.make ~fpu:22 ~alu:4 ~load:6 ~store:6 ());
+        let dx = xs.(i) -. xs.(j)
+        and dy = ys.(i) -. ys.(j)
+        and dz = zs.(i) -. zs.(j) in
+        let d2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        let mag = 0.01 /. (d2 *. Float.pow d2 0.5) in
+        vxs.(i) <- vxs.(i) -. (dx *. ms.(j) *. mag);
+        vys.(i) <- vys.(i) -. (dy *. ms.(j) *. mag);
+        vzs.(i) <- vzs.(i) -. (dz *. ms.(j) *. mag);
+        vxs.(j) <- vxs.(j) +. (dx *. ms.(i) *. mag);
+        vys.(j) <- vys.(j) +. (dy *. ms.(i) *. mag);
+        vzs.(j) <- vzs.(j) +. (dz *. ms.(i) *. mag)
+      done
+    done;
+    for i = 0 to n - 1 do
+      Engine.emit eng (Cost.make ~fpu:6 ~load:3 ~store:3 ());
+      xs.(i) <- xs.(i) +. (0.01 *. vxs.(i));
+      ys.(i) <- ys.(i) +. (0.01 *. vys.(i));
+      zs.(i) <- zs.(i) +. (0.01 *. vzs.(i))
+    done
+  done;
+  let e1 = energy () in
+  out_line buf (string_of_int (int_of_float (e0 *. 1000000000.)));
+  out_line buf (string_of_int (int_of_float (e1 *. 1000000000.)))
+
+(* --- spectralnorm --- *)
+
+let spectralnorm ctx buf =
+  let eng = Ctx.engine ctx in
+  let n = 34 in
+  let eval_a i j =
+    1.0 /. ((float_of_int ((i + j) * (i + j + 1)) /. 2.0) +. float_of_int i +. 1.0)
+  in
+  let u = Array.make n 1.0 and v = Array.make n 0.0 and w = Array.make n 0.0 in
+  let a_times_u src out =
+    for i = 0 to n - 1 do
+      let s = ref 0.0 in
+      for j = 0 to n - 1 do
+        Engine.emit eng (Cost.make ~fpu:7 ~alu:3 ~load:1 ());
+        s := !s +. (eval_a i j *. src.(j))
+      done;
+      out.(i) <- !s
+    done
+  in
+  let at_times_u src out =
+    for i = 0 to n - 1 do
+      let s = ref 0.0 in
+      for j = 0 to n - 1 do
+        Engine.emit eng (Cost.make ~fpu:7 ~alu:3 ~load:1 ());
+        s := !s +. (eval_a j i *. src.(j))
+      done;
+      out.(i) <- !s
+    done
+  in
+  for _ = 1 to 10 do
+    a_times_u u w;
+    at_times_u w v;
+    a_times_u v w;
+    at_times_u w u
+  done;
+  let vbv = ref 0.0 and vv = ref 0.0 in
+  for i = 0 to n - 1 do
+    vbv := !vbv +. (u.(i) *. v.(i));
+    vv := !vv +. (v.(i) *. v.(i))
+  done;
+  out_line buf (string_of_int (int_of_float (sqrt (!vbv /. !vv) *. 1000000000.)))
+
+(* --- fannkuchredux --- *)
+
+let fannkuchredux ctx buf =
+  let eng = Ctx.engine ctx in
+  let n = 6 in
+  let perm1 = Array.init n (fun i -> i) in
+  let count = Array.make n 0 in
+  let perm = Array.make n 0 in
+  let max_flips = ref 0 and checksum = ref 0 and sign = ref 1 in
+  let running = ref true in
+  while !running do
+    if perm1.(0) <> 0 then begin
+      Array.blit perm1 0 perm 0 n;
+      let flips = ref 0 in
+      while perm.(0) <> 0 do
+        Engine.emit eng (Cost.make ~alu:6 ~load:4 ~store:4 ());
+        let k = perm.(0) in
+        let lo = ref 0 and hi = ref k in
+        while !lo < !hi do
+          let t = perm.(!lo) in
+          perm.(!lo) <- perm.(!hi);
+          perm.(!hi) <- t;
+          incr lo;
+          decr hi
+        done;
+        incr flips
+      done;
+      if !flips > !max_flips then max_flips := !flips;
+      checksum := !checksum + (!sign * !flips)
+    end;
+    sign := - !sign;
+    let i = ref 1 in
+    let advanced = ref false in
+    while (not !advanced) && !i < n do
+      Engine.emit eng c_mem;
+      let t = perm1.(0) in
+      for j = 0 to !i - 1 do
+        perm1.(j) <- perm1.(j + 1)
+      done;
+      perm1.(!i) <- t;
+      count.(!i) <- count.(!i) + 1;
+      if count.(!i) <= !i then advanced := true
+      else begin
+        count.(!i) <- 0;
+        incr i
+      end
+    done;
+    if not !advanced then running := false
+  done;
+  out_line buf (string_of_int !max_flips);
+  out_line buf (string_of_int !checksum)
+
+(* --- pidigits (uses the same bignum library, as real C uses GMP) --- *)
+
+let pidigits ctx buf =
+  let module B = Rbigint in
+  let eng = Ctx.engine ctx in
+  let big = B.of_int in
+  let q = ref B.one
+  and r = ref B.zero
+  and t = ref B.one
+  and k = ref 1
+  and digits = ref 0
+  and checksum = ref 0 in
+  while !digits < 160 do
+    (* charge the glue code; bignum work itself is charged via the digit
+       counts like any other AOT bigint call *)
+    let work = B.num_digits !q + B.num_digits !r + B.num_digits !t in
+    Engine.emit eng (Cost.make ~alu:(8 + (6 * work)) ~load:(4 + (2 * work)) ~store:(2 + work) ());
+    let k2 = (2 * !k) + 1 in
+    let y, _ =
+      B.divmod
+        (B.add (B.mul !q (big ((4 * !k) + 2))) (B.mul !r (big k2)))
+        (B.mul !t (big k2))
+    in
+    let y3, _ =
+      B.divmod
+        (B.add
+           (B.add (B.mul !q (big ((4 * !k) + 6))) (B.mul !r (big k2)))
+           (B.mul !q (big 3)))
+        (B.mul !t (big k2))
+    in
+    if B.equal y y3 then begin
+      let d = int_of_string (B.to_string y) in
+      checksum := ((!checksum * 10) + d) mod 1000000007;
+      incr digits;
+      r := B.mul (B.sub !r (B.mul !t y)) (big 10);
+      q := B.mul !q (big 10)
+    end
+    else begin
+      r := B.mul (B.add (B.add !q !q) !r) (big k2);
+      t := B.mul !t (big k2);
+      q := B.mul !q (big !k);
+      incr k
+    end
+  done;
+  out_line buf (string_of_int !checksum)
+
+(* --- revcomp --- *)
+
+let revcomp ctx buf =
+  let eng = Ctx.engine ctx in
+  let chars = [| 'a'; 'c'; 'g'; 't' |] in
+  let n = 5200 in
+  let seq = Bytes.create n in
+  let seed = ref 13 in
+  for i = 0 to n - 1 do
+    seed := ((!seed * 1103515245) + 12345) mod 2147483648;
+    Bytes.set seq i chars.(!seed mod 4)
+  done;
+  Engine.emit eng (Cost.make ~alu:(3 * n) ~load:n ~store:n ());
+  let comp c =
+    match c with 'a' -> 't' | 't' -> 'a' | 'c' -> 'g' | 'g' -> 'c' | c -> c
+  in
+  let rc = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set rc i (comp (Bytes.get seq (n - 1 - i)))
+  done;
+  Engine.emit eng (Cost.make ~alu:(2 * n) ~load:n ~store:n ());
+  let matches = ref 0 in
+  for i = 0 to n - 1 do
+    if Bytes.get rc i = 'g' then incr matches
+  done;
+  Engine.emit eng (Cost.make ~alu:n ~load:n ());
+  out_line buf (string_of_int n);
+  out_line buf (string_of_int !matches)
+
+(* --- knucleotide --- *)
+
+let knucleotide ctx buf =
+  let eng = Ctx.engine ctx in
+  let chars = [| "a"; "c"; "g"; "t" |] in
+  let nseq = 4200 in
+  let parts = Buffer.create nseq in
+  let seed = ref 99 in
+  for _ = 1 to nseq do
+    seed := ((!seed * 69069) + 1) mod 4294967296;
+    Buffer.add_string parts chars.(!seed mod 4)
+  done;
+  let seq = Buffer.contents parts in
+  let total = ref 0 in
+  List.iter
+    (fun k ->
+      let counts = Hashtbl.create 1024 in
+      for i = 0 to String.length seq - k do
+        Engine.emit eng (Cost.make ~alu:8 ~load:4 ~store:1 ());
+        Engine.branch eng ~site:800_004 ~taken:(i land 7 <> 0);
+        let kmer = String.sub seq i k in
+        Hashtbl.replace counts kmer
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts kmer))
+      done;
+      let best = Hashtbl.fold (fun _ v acc -> max v acc) counts 0 in
+      total := !total + best + Hashtbl.length counts)
+    [ 1; 2; 3; 4 ];
+  out_line buf (string_of_int !total)
+
+(* --- chameneosredux --- *)
+
+let chameneosredux ctx buf =
+  let eng = Ctx.engine ctx in
+  let complement c1 c2 =
+    if c1 = c2 then c1
+    else if c1 = 0 then if c2 = 2 then 1 else 2
+    else if c1 = 1 then if c2 = 2 then 0 else 2
+    else if c2 = 1 then 0
+    else 1
+  in
+  let creatures = [| 0; 1; 2; 0; 1; 2; 0; 1 |] in
+  let n = Array.length creatures in
+  let meets = Array.make n 0 in
+  let seed = ref 5 in
+  for _ = 1 to 26000 do
+    Engine.emit eng (Cost.make ~alu:14 ~load:4 ~store:4 ());
+    Engine.branch eng ~site:800_005 ~taken:(!seed land 1 = 0);
+    seed := ((!seed * 1103515245) + 12345) mod 2147483648;
+    let i = !seed mod n in
+    let j = (i + 1 + (!seed mod (n - 1))) mod n in
+    let nc = complement creatures.(i) creatures.(j) in
+    creatures.(i) <- nc;
+    creatures.(j) <- nc;
+    meets.(i) <- meets.(i) + 1;
+    meets.(j) <- meets.(j) + 1
+  done;
+  out_line buf (string_of_int (Array.fold_left ( + ) 0 meets));
+  out_line buf (string_of_int creatures.(0))
+
+let kernels : kernel list =
+  [
+    { kname = "binarytrees"; run = binarytrees };
+    { kname = "fasta"; run = fasta };
+    { kname = "mandelbrot"; run = mandelbrot };
+    { kname = "nbody"; run = nbody };
+    { kname = "spectralnorm"; run = spectralnorm };
+    { kname = "fannkuchredux"; run = fannkuchredux };
+    { kname = "pidigits"; run = pidigits };
+    { kname = "revcomp"; run = revcomp };
+    { kname = "knucleotide"; run = knucleotide };
+    { kname = "chameneosredux"; run = chameneosredux };
+  ]
+
+let find name = List.find_opt (fun k -> k.kname = name) kernels
+
+(** run a kernel under the native profile; returns its printed output *)
+let run ctx (k : kernel) : string =
+  let eng = Ctx.engine ctx in
+  Engine.set_interp_width eng Profile.native.Profile.interp_width;
+  let buf = Buffer.create 256 in
+  Engine.in_phase eng Phase.Native (fun () -> k.run ctx buf);
+  Buffer.contents buf

@@ -1,0 +1,238 @@
+(** Computer Language Benchmarks Game programs in pylite (Table II /
+    Figure 4 workloads). *)
+
+let binarytrees =
+  {|
+class Node:
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+def make_tree(depth):
+    level = []
+    for i in range(1 << depth):
+        level.append(Node(None, None))
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(Node(level[i], level[i + 1]))
+        level = nxt
+    return level[0]
+
+def check_tree(root):
+    count = 0
+    stack = [root]
+    while len(stack) > 0:
+        node = stack.pop()
+        count = count + 1
+        if node.left is not None:
+            stack.append(node.left)
+            stack.append(node.right)
+    return count
+
+def main():
+    max_depth = 8
+    stretch = make_tree(max_depth + 1)
+    print(check_tree(stretch))
+    long_lived = make_tree(max_depth)
+    total = 0
+    depth = 4
+    while depth <= max_depth:
+        iterations = 1 << (max_depth - depth + 4)
+        check = 0
+        for i in range(iterations):
+            t = make_tree(depth)
+            check = check + check_tree(t)
+        total = total + check
+        depth = depth + 2
+    print(total)
+    print(check_tree(long_lived))
+
+main()
+|}
+
+let fasta =
+  {|
+def select_nucleotide(probs, chars, r):
+    i = 0
+    n = len(probs)
+    while i < n - 1 and r >= probs[i]:
+        r = r - probs[i]
+        i = i + 1
+    return chars[i]
+
+def main():
+    chars = ["a", "c", "g", "t", "B", "D", "H", "K", "M", "N"]
+    probs = [270, 120, 120, 270, 20, 20, 20, 20, 20, 120]
+    out = StringIO()
+    seed = 42
+    line = []
+    count = 0
+    for i in range(11000):
+        seed = (seed * 3877 + 29573) % 139968
+        r = seed % 1000
+        c = select_nucleotide(probs, chars, r)
+        line.append(c)
+        count = count + 1
+        if count == 60:
+            out.write("".join(line))
+            out.write("\n")
+            line = []
+            count = 0
+    s = out.getvalue()
+    total = 0
+    for i in range(len(s)):
+        if s[i] == "a":
+            total = total + 1
+    print(len(s))
+    print(total)
+
+main()
+|}
+
+let mandelbrot =
+  {|
+def main():
+    size = 52
+    total = 0
+    for py in range(size):
+        ci = 2.0 * py / size - 1.0
+        for px in range(size):
+            cr = 2.0 * px / size - 1.5
+            zr = 0.0
+            zi = 0.0
+            inside = True
+            for i in range(50):
+                zr2 = zr * zr
+                zi2 = zi * zi
+                if zr2 + zi2 > 4.0:
+                    inside = False
+                    break
+                zi = 2.0 * zr * zi + ci
+                zr = zr2 - zi2 + cr
+            if inside:
+                total = total + 1
+    print(total)
+
+main()
+|}
+
+let revcomp =
+  {|
+def main():
+    table = {}
+    table["a"] = "t"
+    table["t"] = "a"
+    table["c"] = "g"
+    table["g"] = "c"
+    chars = ["a", "c", "g", "t"]
+    parts = []
+    seed = 13
+    for i in range(5200):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        parts.append(chars[seed % 4])
+    seq = "".join(parts)
+    comp = seq.translate(table)
+    out = []
+    n = len(comp)
+    for i in range(n):
+        out.append(comp[n - 1 - i])
+    rc = "".join(out)
+    matches = 0
+    for i in range(len(rc)):
+        if rc[i] == "g":
+            matches = matches + 1
+    print(len(rc))
+    print(matches)
+
+main()
+|}
+
+let knucleotide =
+  {|
+def count_kmers(seq, k):
+    counts = {}
+    n = len(seq)
+    for i in range(n - k + 1):
+        kmer = seq[i:i + k]
+        if kmer in counts:
+            counts[kmer] = counts[kmer] + 1
+        else:
+            counts[kmer] = 1
+    return counts
+
+def main():
+    chars = ["a", "c", "g", "t"]
+    parts = []
+    seed = 99
+    for i in range(4200):
+        seed = (seed * 69069 + 1) % 4294967296
+        parts.append(chars[seed % 4])
+    seq = "".join(parts)
+    total = 0
+    for k in [1, 2, 3, 4]:
+        counts = count_kmers(seq, k)
+        best = 0
+        for kmer in counts:
+            c = counts[kmer]
+            if c > best:
+                best = c
+        total = total + best + len(counts)
+    print(total)
+
+main()
+|}
+
+let chameneos =
+  {|
+def complement(c1, c2):
+    if c1 == c2:
+        return c1
+    if c1 == 0:
+        return 1 if c2 == 2 else 2
+    if c1 == 1:
+        return 0 if c2 == 2 else 2
+    return 0 if c2 == 1 else 1
+
+def main():
+    creatures = [0, 1, 2, 0, 1, 2, 0, 1]
+    meets = []
+    for c in creatures:
+        meets.append(0)
+    n = len(creatures)
+    meetings = 26000
+    seed = 5
+    a = -1
+    for m in range(meetings):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        i = seed % n
+        j = (i + 1 + seed % (n - 1)) % n
+        new_colour = complement(creatures[i], creatures[j])
+        creatures[i] = new_colour
+        creatures[j] = new_colour
+        meets[i] = meets[i] + 1
+        meets[j] = meets[j] + 1
+    total = 0
+    for c in range(n):
+        total = total + meets[c]
+    print(total)
+    print(creatures[0])
+
+main()
+|}
+
+(* CLBG entries reusing the PyPy-suite implementations at CLBG-style
+   scales *)
+let all : (string * string) list =
+  [
+    ("binarytrees", binarytrees);
+    ("fasta", fasta);
+    ("mandelbrot", mandelbrot);
+    ("revcomp", revcomp);
+    ("knucleotide", knucleotide);
+    ("chameneosredux", chameneos);
+    ("nbody", Py_suite.nbody_modified);
+    ("spectralnorm", Py_suite.spectral_norm);
+    ("fannkuchredux", Py_suite.fannkuch);
+    ("pidigits", Py_suite.pidigits);
+  ]

@@ -1,0 +1,303 @@
+(** Computer Language Benchmarks Game programs in rklite, for the
+    Racket/Pycket columns of Table II and Figure 4. *)
+
+let binarytrees =
+  {|
+(define (make-level n acc)
+  (if (= n 0) acc (make-level (- n 1) (cons (cons '() '()) acc))))
+
+(define (pair-up l acc)
+  (if (null? l)
+      acc
+      (pair-up (cdr (cdr l)) (cons (cons (car l) (car (cdr l))) acc))))
+
+(define (build level)
+  (if (null? (cdr level)) (car level) (build (pair-up level '()))))
+
+(define (make-tree depth) (build (make-level (expt 2 depth) '())))
+
+(define (check-tree root)
+  (let loop ((stack (cons root '())) (count 0))
+    (if (null? stack)
+        count
+        (let ((node (car stack)) (rest (cdr stack)))
+          (if (null? (car node))
+              (loop rest (+ count 1))
+              (loop (cons (car node) (cons (cdr node) rest)) (+ count 1)))))))
+
+(define (main)
+  (let ((max-depth 8))
+    (display (check-tree (make-tree (+ max-depth 1))))
+    (newline)
+    (let ((long-lived (make-tree max-depth)))
+      (let depth-loop ((depth 4) (total 0))
+        (if (<= depth max-depth)
+            (let ((iterations (* 16 (expt 2 (- max-depth depth)))))
+              (let iter ((i 0) (check 0))
+                (if (< i iterations)
+                    (iter (+ i 1) (+ check (check-tree (make-tree depth))))
+                    (depth-loop (+ depth 2) (+ total check)))))
+            (begin
+              (display total)
+              (newline)
+              (display (check-tree long-lived))
+              (newline)))))))
+
+(main)
+|}
+
+let fasta =
+  {|
+(define probs (vector 270 120 120 270 20 20 20 20 20 120))
+(define chars (vector "a" "c" "g" "t" "B" "D" "H" "K" "M" "N"))
+
+(define (select-nucleotide r)
+  (let loop ((i 0) (r r))
+    (if (and (< i 9) (>= r (vector-ref probs i)))
+        (loop (+ i 1) (- r (vector-ref probs i)))
+        (vector-ref chars i))))
+
+(define (main)
+  (let loop ((i 0) (seed 42) (len 0) (acount 0))
+    (if (< i 11000)
+        (let ((seed2 (modulo (+ (* seed 3877) 29573) 139968)))
+          (let ((c (select-nucleotide (modulo seed2 1000))))
+            (loop (+ i 1) seed2
+                  (+ len (string-length c))
+                  (if (equal? c "a") (+ acount 1) acount))))
+        (begin
+          (display len) (newline)
+          (display acount) (newline)))))
+
+(main)
+|}
+
+let mandelbrot =
+  {|
+(define (main)
+  (let ((size 40))
+    (let yloop ((py 0) (total 0))
+      (if (< py size)
+          (let ((ci (- (/ (* 2.0 py) size) 1.0)))
+            (let xloop ((px 0) (total total))
+              (if (< px size)
+                  (let ((cr (- (/ (* 2.0 px) size) 1.5)))
+                    (let iter ((i 0) (zr 0.0) (zi 0.0))
+                      (if (>= i 50)
+                          (xloop (+ px 1) (+ total 1))
+                          (let ((zr2 (* zr zr)) (zi2 (* zi zi)))
+                            (if (> (+ zr2 zi2) 4.0)
+                                (xloop (+ px 1) total)
+                                (iter (+ i 1)
+                                      (+ (- zr2 zi2) cr)
+                                      (+ (* 2.0 (* zr zi)) ci)))))))
+                  (yloop (+ py 1) total))))
+          (begin (display total) (newline))))))
+
+(main)
+|}
+
+let nbody =
+  {|
+(define n 5)
+(define xs (vector 0.0 4.84 8.34 12.89 15.37))
+(define ys (vector 0.0 -1.16 4.12 -15.11 -25.91))
+(define zs (vector 0.0 -0.1 -0.4 -0.22 0.17))
+(define vxs (vector 0.0 0.00166 -0.00276 0.00296 0.00268))
+(define vys (vector 0.0 0.00769 0.0049 0.00237 0.00162))
+(define vzs (vector 0.0 -0.00002 0.00002 -0.00003 -0.00009))
+(define ms (vector 39.47 0.03769 0.011286 0.0017237 0.0020336))
+
+(define (advance dt)
+  (let iloop ((i 0))
+    (when (< i n)
+      (let jloop ((j (+ i 1)))
+        (when (< j n)
+          (let ((dx (- (vector-ref xs i) (vector-ref xs j)))
+                (dy (- (vector-ref ys i) (vector-ref ys j)))
+                (dz (- (vector-ref zs i) (vector-ref zs j))))
+            (let ((d2 (+ (+ (* dx dx) (* dy dy)) (* dz dz))))
+              (let ((mag (/ dt (* d2 (expt d2 0.5)))))
+                (vector-set! vxs i (- (vector-ref vxs i) (* (* dx (vector-ref ms j)) mag)))
+                (vector-set! vys i (- (vector-ref vys i) (* (* dy (vector-ref ms j)) mag)))
+                (vector-set! vzs i (- (vector-ref vzs i) (* (* dz (vector-ref ms j)) mag)))
+                (vector-set! vxs j (+ (vector-ref vxs j) (* (* dx (vector-ref ms i)) mag)))
+                (vector-set! vys j (+ (vector-ref vys j) (* (* dy (vector-ref ms i)) mag)))
+                (vector-set! vzs j (+ (vector-ref vzs j) (* (* dz (vector-ref ms i)) mag))))))
+          (jloop (+ j 1))))
+      (let ((dtv dt))
+        (vector-set! xs i (+ (vector-ref xs i) (* dtv (vector-ref vxs i))))
+        (vector-set! ys i (+ (vector-ref ys i) (* dtv (vector-ref vys i))))
+        (vector-set! zs i (+ (vector-ref zs i) (* dtv (vector-ref vzs i)))))
+      (iloop (+ i 1)))))
+
+(define (energy)
+  (let iloop ((i 0) (e 0.0))
+    (if (< i n)
+        (let ((e1 (+ e (* (* 0.5 (vector-ref ms i))
+                          (+ (+ (* (vector-ref vxs i) (vector-ref vxs i))
+                                (* (vector-ref vys i) (vector-ref vys i)))
+                             (* (vector-ref vzs i) (vector-ref vzs i)))))))
+          (let jloop ((j (+ i 1)) (e e1))
+            (if (< j n)
+                (let ((dx (- (vector-ref xs i) (vector-ref xs j)))
+                      (dy (- (vector-ref ys i) (vector-ref ys j)))
+                      (dz (- (vector-ref zs i) (vector-ref zs j))))
+                  (jloop (+ j 1)
+                         (- e (/ (* (vector-ref ms i) (vector-ref ms j))
+                                 (expt (+ (+ (* dx dx) (* dy dy)) (* dz dz)) 0.5)))))
+                (iloop (+ i 1) e))))
+        e)))
+
+(define (main)
+  (display (floor (* (energy) 1000000.0))) (newline)
+  (let loop ((step 0))
+    (when (< step 700)
+      (advance 0.01)
+      (loop (+ step 1))))
+  (display (floor (* (energy) 1000000.0))) (newline))
+
+(main)
+|}
+
+let spectralnorm =
+  {|
+(define (eval-a i j)
+  (/ 1.0 (+ (+ (/ (* (+ i j) (+ (+ i j) 1)) 2.0) i) 1.0)))
+
+(define (a-times-u u n out)
+  (let iloop ((i 0))
+    (when (< i n)
+      (let jloop ((j 0) (s 0.0))
+        (if (< j n)
+            (jloop (+ j 1) (+ s (* (eval-a i j) (vector-ref u j))))
+            (vector-set! out i s)))
+      (iloop (+ i 1)))))
+
+(define (at-times-u u n out)
+  (let iloop ((i 0))
+    (when (< i n)
+      (let jloop ((j 0) (s 0.0))
+        (if (< j n)
+            (jloop (+ j 1) (+ s (* (eval-a j i) (vector-ref u j))))
+            (vector-set! out i s)))
+      (iloop (+ i 1)))))
+
+(define (main)
+  (let ((n 34))
+    (let ((u (make-vector n 1.0))
+          (v (make-vector n 0.0))
+          (w (make-vector n 0.0)))
+      (let loop ((k 0))
+        (when (< k 10)
+          (a-times-u u n w)
+          (at-times-u w n v)
+          (a-times-u v n w)
+          (at-times-u w n u)
+          (loop (+ k 1))))
+      (let dots ((i 0) (vbv 0.0) (vv 0.0))
+        (if (< i n)
+            (dots (+ i 1)
+                  (+ vbv (* (vector-ref u i) (vector-ref v i)))
+                  (+ vv (* (vector-ref v i) (vector-ref v i))))
+            (begin
+              (display (floor (* (sqrt (/ vbv vv)) 1000000000.0)))
+              (newline)))))))
+
+(main)
+|}
+
+let fannkuchredux =
+  {|
+(define (flips-of perm1 n)
+  (let ((perm (make-vector n 0)))
+    (let copy ((i 0))
+      (when (< i n)
+        (vector-set! perm i (vector-ref perm1 i))
+        (copy (+ i 1))))
+    (let count-flips ((flips 0))
+      (let ((k (vector-ref perm 0)))
+        (if (= k 0)
+            flips
+            (begin
+              (let rev ((lo 0) (hi k))
+                (when (< lo hi)
+                  (let ((t (vector-ref perm lo)))
+                    (vector-set! perm lo (vector-ref perm hi))
+                    (vector-set! perm hi t))
+                  (rev (+ lo 1) (- hi 1))))
+              (count-flips (+ flips 1))))))))
+
+(define (main)
+  (let ((n 6))
+    (let ((perm1 (make-vector n 0))
+          (count (make-vector n 0)))
+      (let init ((i 0))
+        (when (< i n)
+          (vector-set! perm1 i i)
+          (init (+ i 1))))
+      (let loop ((max-flips 0) (checksum 0) (sign 1) (done #f))
+        (if done
+            (begin
+              (display max-flips) (newline)
+              (display checksum) (newline))
+            (let ((flips (if (= (vector-ref perm1 0) 0)
+                             0
+                             (flips-of perm1 n))))
+              (let ((mf (max max-flips flips))
+                    (cs (+ checksum (* sign flips))))
+                ;; next permutation
+                (let next ((i 1))
+                  (if (>= i n)
+                      (loop mf cs (- 0 sign) #t)
+                      (begin
+                        (let ((t (vector-ref perm1 0)))
+                          (let shift ((j 0))
+                            (when (< j i)
+                              (vector-set! perm1 j (vector-ref perm1 (+ j 1)))
+                              (shift (+ j 1))))
+                          (vector-set! perm1 i t))
+                        (vector-set! count i (+ (vector-ref count i) 1))
+                        (if (<= (vector-ref count i) i)
+                            (loop mf cs (- 0 sign) #f)
+                            (begin
+                              (vector-set! count i 0)
+                              (next (+ i 1))))))))))))))
+
+(main)
+|}
+
+let pidigits =
+  {|
+;; spigot with native bignums (rklite ints promote automatically)
+(define (main)
+  (let loop ((q 1) (r 0) (t 1) (k 1) (digits 0) (checksum 0))
+    (if (>= digits 160)
+        (begin (display checksum) (newline))
+        (let ((y (quotient (+ (* q (+ (* 4 k) 2)) (* r (+ (* 2 k) 1)))
+                           (* t (+ (* 2 k) 1))))
+              (y3 (quotient (+ (+ (* q (+ (* 4 k) 6)) (* r (+ (* 2 k) 1))) (* 3 q))
+                            (* t (+ (* 2 k) 1)))))
+          (if (= y y3)
+              (loop (* q 10)
+                    (* (- r (* t y)) 10)
+                    t k (+ digits 1)
+                    (modulo (+ (* checksum 10) y) 1000000007))
+              (loop (* q k)
+                    (* (+ (+ q q) r) (+ (* 2 k) 1))
+                    (* t (+ (* 2 k) 1))
+                    (+ k 1) digits checksum))))))
+
+(main)
+|}
+
+let all : (string * string) list =
+  [
+    ("binarytrees", binarytrees);
+    ("fasta", fasta);
+    ("mandelbrot", mandelbrot);
+    ("nbody", nbody);
+    ("spectralnorm", spectralnorm);
+    ("fannkuchredux", fannkuchredux);
+    ("pidigits", pidigits);
+  ]

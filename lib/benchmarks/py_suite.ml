@@ -1,0 +1,1095 @@
+(** The PyPy-Benchmark-Suite analogues, written in pylite.
+
+    Each program is a scaled-down but regime-faithful version of the
+    benchmark the paper characterizes: the same kind of work dominates
+    (bigint arithmetic in pidigits, dict probes in django/genshi, string
+    building in spitfire, guards in richards, ...), so the phase and
+    IR-mix shapes of Figures 2–9 are exercised by the same mechanisms. *)
+
+(* ---------------------------------------------------------------- *)
+let richards =
+  {|
+class Packet:
+    def __init__(self, link, ident, kind):
+        self.link = link
+        self.ident = ident
+        self.kind = kind
+        self.datum = 0
+        self.data = [0, 0, 0, 0]
+
+class Task:
+    def __init__(self, ident, priority, work, scheduler):
+        self.ident = ident
+        self.priority = priority
+        self.work = work
+        self.scheduler = scheduler
+        self.state_wait = False
+        self.state_hold = False
+        self.v1 = 0
+        self.v2 = 0
+
+    def run_task(self, pkt):
+        return None
+
+class IdleTask(Task):
+    def run_task(self, pkt):
+        s = self.scheduler
+        self.v2 = self.v2 - 1
+        if self.v2 == 0:
+            self.state_hold = True
+            return None
+        if self.v1 % 2 == 0:
+            self.v1 = self.v1 // 2
+            return s.find_task(5)
+        self.v1 = (self.v1 // 2) ^ 53256
+        return s.find_task(6)
+
+class WorkTask(Task):
+    def run_task(self, pkt):
+        s = self.scheduler
+        if pkt is None:
+            self.state_wait = True
+            return None
+        if self.v1 == 2:
+            self.v1 = 3
+        else:
+            self.v1 = 2
+        pkt.ident = self.v1
+        pkt.datum = 0
+        i = 0
+        while i < 4:
+            self.v2 = self.v2 + 1
+            if self.v2 > 26:
+                self.v2 = 1
+            pkt.data[i] = 64 + self.v2
+            i = i + 1
+        return s.queue_packet(pkt, self.v1)
+
+class HandlerTask(Task):
+    def __init__(self, ident, priority, work, scheduler):
+        Task.__init__(self, ident, priority, work, scheduler)
+        self.work_in = []
+        self.device_in = []
+
+    def run_task(self, pkt):
+        s = self.scheduler
+        if pkt is not None:
+            if pkt.kind == 1:
+                self.work_in.append(pkt)
+            else:
+                self.device_in.append(pkt)
+        if len(self.work_in) > 0:
+            work = self.work_in[0]
+            count = work.datum
+            if count >= 4:
+                self.work_in.pop(0)
+                return s.queue_packet(work, 2)
+            if len(self.device_in) > 0:
+                dev = self.device_in.pop(0)
+                dev.datum = work.data[count]
+                work.datum = count + 1
+                return s.queue_packet(dev, self.ident + 2)
+        self.state_wait = True
+        return None
+
+class DeviceTask(Task):
+    def run_task(self, pkt):
+        s = self.scheduler
+        if pkt is None:
+            if self.v1 == 0:
+                self.state_wait = True
+                return None
+            p = self.v1
+            self.v1 = 0
+            s.holdcount = s.holdcount + 1
+            return s.queue_packet_obj(p)
+        self.v1 = pkt
+        self.state_hold = True
+        return None
+
+class Scheduler:
+    def __init__(self):
+        self.tasks = []
+        self.queues = {}
+        self.holdcount = 0
+        self.qpktcount = 0
+
+    def add_task(self, task, kind):
+        self.tasks.append(task)
+        self.queues[kind] = []
+
+    def find_task(self, kind):
+        return kind
+
+    def queue_packet(self, pkt, kind):
+        if kind in self.queues:
+            self.queues[kind].append(pkt)
+            self.qpktcount = self.qpktcount + 1
+        return None
+
+    def queue_packet_obj(self, pkt):
+        self.qpktcount = self.qpktcount + 1
+        return None
+
+    def schedule(self, rounds):
+        n = len(self.tasks)
+        r = 0
+        while r < rounds:
+            i = 0
+            while i < n:
+                task = self.tasks[i]
+                if not task.state_hold:
+                    kind = task.ident
+                    q = self.queues[kind]
+                    pkt = None
+                    if len(q) > 0:
+                        pkt = q.pop(0)
+                    task.run_task(pkt)
+                    if task.state_hold and task.v2 == 0:
+                        task.state_hold = False
+                        task.v2 = 10
+                i = i + 1
+            r = r + 1
+
+def main():
+    s = Scheduler()
+    idle = IdleTask(5, 0, 0, s)
+    idle.v1 = 1
+    idle.v2 = 10000
+    s.add_task(idle, 5)
+    w = WorkTask(6, 1000, 0, s)
+    w.v1 = 2
+    s.add_task(w, 6)
+    h1 = HandlerTask(7, 2000, 0, s)
+    s.add_task(h1, 7)
+    h2 = HandlerTask(8, 3000, 0, s)
+    s.add_task(h2, 8)
+    d1 = DeviceTask(9, 4000, 0, s)
+    s.add_task(d1, 9)
+    d2 = DeviceTask(10, 5000, 0, s)
+    s.add_task(d2, 10)
+    k = 0
+    while k < 12:
+        p = Packet(None, 6, 1)
+        s.queue_packet(p, 6)
+        q = Packet(None, 9, 2)
+        s.queue_packet(q, 9)
+        k = k + 1
+    s.schedule(1500)
+    print(s.qpktcount)
+    print(s.holdcount)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let crypto_pyaes =
+  {|
+def make_sbox():
+    sbox = []
+    for i in range(256):
+        x = i
+        x = (x * 7 + 99) % 256
+        x = (x ^ (x * 13 % 251)) % 256
+        sbox.append(x)
+    return sbox
+
+def encrypt_block(block, sbox, rounds):
+    for r in range(rounds):
+        for i in range(16):
+            block[i] = sbox[block[i]]
+        t = block[0]
+        for i in range(15):
+            block[i] = block[i + 1] ^ (t & 15)
+        block[15] = t
+        acc = 0
+        for i in range(16):
+            acc = (acc + block[i]) % 256
+        block[0] = block[0] ^ acc
+    return block
+
+def main():
+    sbox = make_sbox()
+    total = 0
+    for b in range(260):
+        block = []
+        for i in range(16):
+            block.append((b * 31 + i * 7) % 256)
+        encrypt_block(block, sbox, 10)
+        total = (total + block[0] + block[15]) % 65536
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let chaos =
+  {|
+def main():
+    width = 60
+    height = 40
+    grid = []
+    for y in range(height):
+        row = []
+        for x in range(width):
+            row.append(0)
+        grid.append(row)
+    x = 0.35
+    y = 0.71
+    seed = 1234567
+    count = 0
+    for i in range(15000):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        r = seed % 3
+        if r == 0:
+            x = x * 0.5
+            y = y * 0.5
+        elif r == 1:
+            x = x * 0.5 + 0.5
+            y = y * 0.5
+        else:
+            x = x * 0.5 + 0.25
+            y = y * 0.5 + 0.5
+        gx = int(x * width)
+        gy = int(y * height)
+        if gx >= 0 and gx < width and gy >= 0 and gy < height:
+            row = grid[gy]
+            row[gx] = row[gx] + 1
+            count = count + 1
+    total = 0
+    for yy in range(height):
+        row = grid[yy]
+        for xx in range(width):
+            if row[xx] > 0:
+                total = total + 1
+    print(count)
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let telco =
+  {|
+def rate_call(duration, rate_num, rate_den):
+    price = duration * rate_num // rate_den
+    tax = price * 6 // 100
+    dist_tax = 0
+    if duration > 120:
+        dist_tax = price * 3 // 100
+    return price + tax + dist_tax
+
+def main():
+    seed = 42
+    total = 0
+    calls = 0
+    for i in range(26000):
+        seed = (seed * 69069 + 1) % 4294967296
+        duration = seed % 2879
+        kind = seed % 3
+        if kind == 0:
+            p = rate_call(duration, 9, 1000)
+        elif kind == 1:
+            p = rate_call(duration, 27, 1000)
+        else:
+            p = rate_call(duration, 77, 10000)
+        total = total + p
+        calls = calls + 1
+    print(total)
+    print(calls)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let spectral_norm =
+  {|
+def eval_a(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2.0 + i + 1.0)
+
+def eval_a_times_u(u, n, out):
+    for i in range(n):
+        s = 0.0
+        for j in range(n):
+            s = s + eval_a(i, j) * u[j]
+        out[i] = s
+
+def eval_at_times_u(u, n, out):
+    for i in range(n):
+        s = 0.0
+        for j in range(n):
+            s = s + eval_a(j, i) * u[j]
+        out[i] = s
+
+def main():
+    n = 34
+    u = []
+    v = []
+    w = []
+    for i in range(n):
+        u.append(1.0)
+        v.append(0.0)
+        w.append(0.0)
+    for k in range(10):
+        eval_a_times_u(u, n, w)
+        eval_at_times_u(w, n, v)
+        eval_a_times_u(v, n, w)
+        eval_at_times_u(w, n, u)
+    vbv = 0.0
+    vv = 0.0
+    for i in range(n):
+        vbv = vbv + u[i] * v[i]
+        vv = vv + v[i] * v[i]
+    result = math.sqrt(vbv / vv)
+    print(int(result * 1000000000))
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let django =
+  {|
+def render_row(ctx, cols):
+    parts = []
+    for c in cols:
+        key = "col" + str(c)
+        v = ctx.get(key, "-")
+        parts.append("<td>")
+        parts.append(v)
+        parts.append("</td>")
+    return "".join(parts)
+
+def main():
+    cols = []
+    for c in range(10):
+        cols.append(c)
+    out_len = 0
+    for row in range(1300):
+        ctx = {}
+        for c in range(10):
+            ctx["col" + str(c)] = "value" + str((row + c) % 17)
+        html = "<tr>" + render_row(ctx, cols) + "</tr>"
+        html = html.replace("value3", "TAGGED")
+        out_len = out_len + len(html)
+    print(out_len)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let twisted_iteration =
+  {|
+class Deferred:
+    def __init__(self, value):
+        self.value = value
+        self.callbacks = []
+
+    def add_callback(self, tag):
+        self.callbacks.append(tag)
+
+    def fire(self):
+        v = self.value
+        for tag in self.callbacks:
+            if tag == 0:
+                v = v + 1
+            elif tag == 1:
+                v = v * 2
+            else:
+                v = v - 3
+        return v
+
+class Reactor:
+    def __init__(self):
+        self.pending = []
+        self.processed = 0
+
+    def push(self, d):
+        self.pending.append(d)
+
+    def iterate(self):
+        work = self.pending
+        self.pending = []
+        total = 0
+        for d in work:
+            total = total + d.fire()
+            self.processed = self.processed + 1
+        return total
+
+def main():
+    r = Reactor()
+    total = 0
+    for it in range(1100):
+        for k in range(8):
+            d = Deferred(k + it % 5)
+            d.add_callback(k % 3)
+            d.add_callback((k + 1) % 3)
+            r.push(d)
+        total = (total + r.iterate()) % 1000003
+    print(total)
+    print(r.processed)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let spitfire_cstringio =
+  {|
+def render_table(rows, cols):
+    buf = StringIO()
+    buf.write("<table>")
+    for r in range(rows):
+        buf.write("<tr>")
+        for c in range(cols):
+            buf.write("<td>")
+            buf.write(str(r * cols + c))
+            buf.write("</td>")
+        buf.write("</tr>")
+    buf.write("</table>")
+    return buf.getvalue()
+
+def main():
+    total = 0
+    for i in range(26):
+        s = render_table(100, 10)
+        total = total + len(s)
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let raytrace_simple =
+  {|
+class Vec:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def dot(self, o):
+        return self.x * o.x + self.y * o.y + self.z * o.z
+
+    def scale(self, k):
+        return Vec(self.x * k, self.y * k, self.z * k)
+
+    def sub(self, o):
+        return Vec(self.x - o.x, self.y - o.y, self.z - o.z)
+
+    def add(self, o):
+        return Vec(self.x + o.x, self.y + o.y, self.z + o.z)
+
+class Sphere:
+    def __init__(self, center, radius):
+        self.center = center
+        self.radius = radius
+
+    def intersect(self, origin, direction):
+        oc = origin.sub(self.center)
+        b = 2.0 * oc.dot(direction)
+        c = oc.dot(oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c
+        if disc < 0.0:
+            return -1.0
+        return (0.0 - b - math.sqrt(disc)) / 2.0
+
+def main():
+    spheres = []
+    spheres.append(Sphere(Vec(0.0, 0.0, -5.0), 1.0))
+    spheres.append(Sphere(Vec(1.5, 0.5, -6.0), 1.2))
+    spheres.append(Sphere(Vec(-1.5, -0.5, -4.0), 0.8))
+    width = 48
+    height = 36
+    hits = 0
+    shade = 0.0
+    for py in range(height):
+        for px in range(width):
+            dx = (px - width / 2.0) / width
+            dy = (py - height / 2.0) / height
+            d = Vec(dx, dy, -1.0)
+            norm = math.sqrt(d.dot(d))
+            d = d.scale(1.0 / norm)
+            origin = Vec(0.0, 0.0, 0.0)
+            best = 1000000.0
+            for s in spheres:
+                t = s.intersect(origin, d)
+                if t > 0.0 and t < best:
+                    best = t
+            if best < 1000000.0:
+                hits = hits + 1
+                p = origin.add(d.scale(best))
+                shade = shade + (p.z if p.z > -10.0 else 0.0)
+    print(hits)
+    print(int(shade * 1000))
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let hexiom2 =
+  {|
+def neighbours(pos, size):
+    out = []
+    x = pos % size
+    y = pos // size
+    if x > 0:
+        out.append(pos - 1)
+    if x < size - 1:
+        out.append(pos + 1)
+    if y > 0:
+        out.append(pos - size)
+    if y < size - 1:
+        out.append(pos + size)
+    return out
+
+def solve(board, pos, size, depth):
+    if depth == 0 or pos >= size * size:
+        score = 0
+        for i in range(size * size):
+            if board[i] > 0:
+                ns = neighbours(i, size)
+                cnt = 0
+                for n in ns:
+                    if board[n] > 0:
+                        cnt = cnt + 1
+                if cnt == board[i]:
+                    score = score + 1
+        return score
+    best = 0
+    for v in range(3):
+        board[pos] = v
+        r = solve(board, pos + 1, size, depth - 1)
+        if r > best:
+            best = r
+    board[pos] = 0
+    return best
+
+def main():
+    size = 4
+    total = 0
+    for round in range(7):
+        board = []
+        for i in range(size * size):
+            board.append((round + i) % 3)
+        total = total + solve(board, 0, size, 4)
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let float_bench =
+  {|
+class Point:
+    def __init__(self, i):
+        self.x = math.sin(i * 0.1)
+        self.y = math.cos(i * 0.1) * 3.0
+        self.z = (self.x * self.x) / 2.0
+
+    def normalize(self):
+        norm = math.sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+        self.x = self.x / norm
+        self.y = self.y / norm
+        self.z = self.z / norm
+
+    def maximize(self, other):
+        self.x = self.x if self.x > other.x else other.x
+        self.y = self.y if self.y > other.y else other.y
+        self.z = self.z if self.z > other.z else other.z
+        return self
+
+def maximize(points):
+    nxt = points[0]
+    for i in range(1, len(points)):
+        nxt = nxt.maximize(points[i])
+    return nxt
+
+def benchmark(n):
+    points = []
+    for i in range(n):
+        points.append(Point(i))
+    for p in points:
+        p.normalize()
+    return maximize(points)
+
+def main():
+    best = None
+    for i in range(9):
+        best = benchmark(400)
+    print(int(best.x * 1000000))
+    print(int(best.y * 1000000))
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let ai =
+  {|
+def ok(queens, row, col):
+    for r in range(row):
+        c = queens[r]
+        if c == col:
+            return False
+        if c - r == col - row:
+            return False
+        if c + r == col + row:
+            return False
+    return True
+
+def solve(queens, row, n):
+    if row == n:
+        return 1
+    count = 0
+    for col in range(n):
+        if ok(queens, row, col):
+            queens[row] = col
+            count = count + solve(queens, row + 1, n)
+    return count
+
+def main():
+    n = 6
+    total = 0
+    for i in range(14):
+        queens = []
+        for j in range(n):
+            queens.append(-1)
+        total = total + solve(queens, 0, n)
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let json_bench =
+  {|
+def encode_value(v, out):
+    t = str(v)
+    out.write(t)
+
+def encode_pair(k, v, out):
+    out.write("\"")
+    out.write(encode_json(k))
+    out.write("\":")
+    encode_value(v, out)
+
+def encode_record(rec_keys, rec, out):
+    out.write("{")
+    first = True
+    for k in rec_keys:
+        if not first:
+            out.write(",")
+        encode_pair(k, rec[k], out)
+        first = False
+    out.write("}")
+
+def main():
+    keys = ["alpha", "beta", "gamma\n", "delta\"x", "epsilon"]
+    total = 0
+    for i in range(1300):
+        rec = {}
+        for j in range(5):
+            rec[keys[j]] = (i * 31 + j * 7) % 10007
+        out = StringIO()
+        encode_record(keys, rec, out)
+        total = total + len(out.getvalue())
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let meteor_contest =
+  {|
+def main():
+    universe = []
+    for i in range(60):
+        universe.append(i)
+    total = 0
+    for round in range(420):
+        a = {1}
+        b = {0}
+        a.remove(1)
+        b.remove(0)
+        for i in universe:
+            if i % 2 == 0:
+                a.add(i)
+            if i % 3 == 0:
+                b.add(i)
+        c = a.difference(b)
+        d = a.intersection(b)
+        e = a.union(b)
+        if d.issubset(a) and d.issubset(b):
+            total = total + len(c) + len(e) - len(d)
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let pidigits =
+  {|
+def main():
+    ndigits = 160
+    q = bigint(1)
+    r = bigint(0)
+    t = bigint(1)
+    k = 1
+    digits = 0
+    checksum = 0
+    while digits < ndigits:
+        y = (q * (4 * k + 2) + r * (2 * k + 1)) // (t * (2 * k + 1))
+        y3 = (q * (4 * k + 6) + r * (2 * k + 1) + (q + q + q)) // (t * (2 * k + 1))
+        if y == y3:
+            d = int(str(y))
+            checksum = (checksum * 10 + d) % 1000000007
+            digits = digits + 1
+            r = (r - t * y) * 10
+            q = q * 10
+        else:
+            r = (q + q + r) * (2 * k + 1)
+            t = t * (2 * k + 1)
+            q = q * k
+            k = k + 1
+    print(checksum)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let fannkuch =
+  {|
+def fannkuch(n):
+    perm1 = []
+    for i in range(n):
+        perm1.append(i)
+    count = []
+    for i in range(n):
+        count.append(0)
+    max_flips = 0
+    checksum = 0
+    r = n
+    sign = 1
+    while True:
+        if perm1[0] != 0:
+            perm = perm1[0:n]
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                lo = 0
+                hi = k
+                while lo < hi:
+                    t = perm[lo]
+                    perm[lo] = perm[hi]
+                    perm[hi] = t
+                    lo = lo + 1
+                    hi = hi - 1
+                flips = flips + 1
+                k = perm[0]
+            if flips > max_flips:
+                max_flips = flips
+            checksum = checksum + sign * flips
+        sign = 0 - sign
+        i = 1
+        done = False
+        while i < n:
+            t = perm1[0]
+            for j in range(i):
+                perm1[j] = perm1[j + 1]
+            perm1[i] = t
+            count[i] = count[i] + 1
+            if count[i] <= i:
+                done = True
+                break
+            count[i] = 0
+            i = i + 1
+        if not done:
+            return max_flips, checksum
+
+def main():
+    mf, cs = fannkuch(6)
+    print(mf)
+    print(cs)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let nbody_modified =
+  {|
+def advance(xs, ys, zs, vxs, vys, vzs, ms, n, dt):
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            dz = zs[i] - zs[j]
+            d2 = dx * dx + dy * dy + dz * dz
+            mag = dt / (d2 * pow(d2, 0.5))
+            vxs[i] = vxs[i] - dx * ms[j] * mag
+            vys[i] = vys[i] - dy * ms[j] * mag
+            vzs[i] = vzs[i] - dz * ms[j] * mag
+            vxs[j] = vxs[j] + dx * ms[i] * mag
+            vys[j] = vys[j] + dy * ms[i] * mag
+            vzs[j] = vzs[j] + dz * ms[i] * mag
+    for i in range(n):
+        xs[i] = xs[i] + dt * vxs[i]
+        ys[i] = ys[i] + dt * vys[i]
+        zs[i] = zs[i] + dt * vzs[i]
+
+def energy(xs, ys, zs, vxs, vys, vzs, ms, n):
+    e = 0.0
+    for i in range(n):
+        e = e + 0.5 * ms[i] * (vxs[i] * vxs[i] + vys[i] * vys[i] + vzs[i] * vzs[i])
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            dz = zs[i] - zs[j]
+            e = e - ms[i] * ms[j] / pow(dx * dx + dy * dy + dz * dz, 0.5)
+    return e
+
+def main():
+    n = 5
+    xs = [0.0, 4.84, 8.34, 12.89, 15.37]
+    ys = [0.0, -1.16, 4.12, -15.11, -25.91]
+    zs = [0.0, -0.1, -0.4, -0.22, 0.17]
+    vxs = [0.0, 0.00166, -0.00276, 0.00296, 0.00268]
+    vys = [0.0, 0.00769, 0.0049, 0.00237, 0.00162]
+    vzs = [0.0, -0.00002, 0.00002, -0.00003, -0.00009]
+    ms = [39.47, 0.03769, 0.011286, 0.0017237, 0.0020336]
+    px = 0.0
+    py = 0.0
+    pz = 0.0
+    for i in range(n):
+        px = px + vxs[i] * ms[i]
+        py = py + vys[i] * ms[i]
+        pz = pz + vzs[i] * ms[i]
+    vxs[0] = 0.0 - px / ms[0]
+    vys[0] = 0.0 - py / ms[0]
+    vzs[0] = 0.0 - pz / ms[0]
+    e0 = energy(xs, ys, zs, vxs, vys, vzs, ms, n)
+    for step in range(700):
+        advance(xs, ys, zs, vxs, vys, vzs, ms, n, 0.01)
+    e1 = energy(xs, ys, zs, vxs, vys, vzs, ms, n)
+    print(int(e0 * 1000000000))
+    print(int(e1 * 1000000000))
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let pyflate_fast =
+  {|
+def read_bits(data, bitpos, nbits):
+    acc = 0
+    for i in range(nbits):
+        byte_i = (bitpos + i) // 8
+        bit_i = (bitpos + i) % 8
+        ch = ord(data[byte_i])
+        bit = (ch >> bit_i) & 1
+        acc = acc | (bit << i)
+    return acc
+
+def main():
+    parts = []
+    seed = 7
+    for i in range(700):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        parts.append(chr(32 + seed % 95))
+    data = "".join(parts)
+    total = 0
+    markers = 0
+    bitpos = 0
+    limit = len(data) * 8 - 16
+    while bitpos < limit:
+        v = read_bits(data, bitpos, 5)
+        total = (total + v) % 1000003
+        if v == 17:
+            markers = markers + 1
+            bitpos = bitpos + 11
+        else:
+            bitpos = bitpos + 3
+    idx = data.find("zz")
+    print(total)
+    print(markers)
+    print(idx)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let sympy_str =
+  {|
+def node_str(kind, a, b, depth):
+    if depth == 0:
+        return str(a % 10)
+    left = node_str((kind * 7 + 3) % 4, a * 2 + 1, b, depth - 1)
+    right = node_str((kind * 5 + 1) % 4, b * 2 + 1, a, depth - 1)
+    if kind == 0:
+        return "(" + left + " + " + right + ")"
+    if kind == 1:
+        return "(" + left + "*" + right + ")"
+    if kind == 2:
+        return "(" + left + " - " + right + ")"
+    return "(" + left + "/" + right + ")"
+
+def simplify_str(s):
+    t = s.replace("(0 + ", "(")
+    t = t.replace("*1)", ")")
+    t = t.replace(" - 0)", ")")
+    return t
+
+def main():
+    total = 0
+    for i in range(170):
+        s = node_str(i % 4, i, i + 1, 6)
+        t = simplify_str(s)
+        total = (total + len(t) + len(s)) % 1000003
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let bm_mako =
+  {|
+def render(template, ctx_keys, ctx):
+    out = template
+    for k in ctx_keys:
+        out = out.replace("${" + k + "}", ctx[k])
+    return out
+
+def main():
+    template = "<html><body><h1>${title}</h1><p>${body}</p><i>${footer}</i>${title}</body></html>"
+    keys = ["title", "body", "footer"]
+    total = 0
+    for i in range(2600):
+        ctx = {}
+        ctx["title"] = "Page" + str(i % 100)
+        ctx["body"] = "content " + str(i) + " lorem ipsum dolor"
+        ctx["footer"] = "(c) " + str(2000 + i % 20)
+        html = render(template, keys, ctx)
+        total = total + len(html)
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let bm_mdp =
+  {|
+def value_iteration(states, transitions, rounds):
+    values = {}
+    for s in states:
+        values[s] = 0
+    for r in range(rounds):
+        new_values = {}
+        for s in states:
+            best = -1000000
+            moves = transitions[s]
+            for m in moves:
+                nxt, reward = m
+                v = reward + values[nxt] * 9 // 10
+                if v > best:
+                    best = v
+            new_values[s] = best
+        values = new_values
+    return values
+
+def main():
+    n = 60
+    states = []
+    for i in range(n):
+        states.append(i)
+    transitions = {}
+    for i in range(n):
+        moves = []
+        moves.append(((i + 1) % n, i % 7))
+        moves.append(((i * 3 + 1) % n, (i * 2) % 5))
+        moves.append(((i + n - 1) % n, 1))
+        transitions[i] = moves
+    values = value_iteration(states, transitions, 110)
+    total = 0
+    for s in states:
+        total = total + values[s]
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let genshi_xml =
+  {|
+def escape(s, table):
+    return s.translate(table)
+
+def main():
+    table = {}
+    table["<"] = "&lt;"
+    table[">"] = "&gt;"
+    table["&"] = "&amp;"
+    total = 0
+    for i in range(2400):
+        raw = "<item id=" + str(i) + ">text & stuff <b>bold</b></item>"
+        esc = escape(raw, table)
+        xml = "<entry>" + esc + "</entry>"
+        total = total + len(xml)
+    print(total)
+
+main()
+|}
+
+(* ---------------------------------------------------------------- *)
+let eparse =
+  {|
+def parse_line(line):
+    fields = line.split(",")
+    total = 0
+    for fld in fields:
+        s = fld.strip()
+        if s.startswith("n"):
+            total = total + int(s[1:len(s)])
+        else:
+            total = total + len(s)
+    return total
+
+def main():
+    lines = []
+    for i in range(900):
+        lines.append("n" + str(i) + ", word" + str(i % 13) + " , n42,x," + str(i % 7))
+    total = 0
+    for line in lines:
+        total = total + parse_line(line)
+    parts = []
+    for i in range(400):
+        parts.append(str(i % 10))
+    joined = ",".join(parts)
+    total = total + len(joined)
+    print(total)
+
+main()
+|}
+
+let all : (string * string) list =
+  [
+    ("richards", richards);
+    ("crypto_pyaes", crypto_pyaes);
+    ("chaos", chaos);
+    ("telco", telco);
+    ("spectral_norm", spectral_norm);
+    ("django", django);
+    ("twisted_iteration", twisted_iteration);
+    ("spitfire_cstringio", spitfire_cstringio);
+    ("raytrace_simple", raytrace_simple);
+    ("hexiom2", hexiom2);
+    ("float", float_bench);
+    ("ai", ai);
+    ("json_bench", json_bench);
+    ("meteor_contest", meteor_contest);
+    ("pidigits", pidigits);
+    ("fannkuch", fannkuch);
+    ("nbody_modified", nbody_modified);
+    ("pyflate_fast", pyflate_fast);
+    ("sympy_str", sympy_str);
+    ("bm_mako", bm_mako);
+    ("bm_mdp", bm_mdp);
+    ("genshi_xml", genshi_xml);
+    ("eparse", eparse);
+  ]

@@ -1,0 +1,75 @@
+(** Benchmark registry: every workload the harness runs, with its
+    language, suite, and the execution regime it exercises (per the
+    paper's per-benchmark discussion). *)
+
+type lang = Py | Rk
+
+type suite = Pypy_suite | Clbg
+
+type bench = {
+  name : string;
+  lang : lang;
+  suite : suite;
+  source : string;
+  regime : string;  (* what dominates, per the paper *)
+}
+
+let regime_of = function
+  | "richards" -> "branchy method dispatch; guards dominate"
+  | "crypto_pyaes" -> "int ops + list indexing; strong JIT win"
+  | "chaos" -> "float arithmetic + list grid"
+  | "telco" -> "int arithmetic with data-dependent branches"
+  | "spectral_norm" | "spectralnorm" -> "dense float kernel; hot tiny trace"
+  | "django" -> "dict lookups + string building (template rendering)"
+  | "twisted_iteration" -> "object allocation + method calls (event loop)"
+  | "spitfire_cstringio" -> "string-builder appends (rbuilder AOT calls)"
+  | "raytrace_simple" -> "float vector objects; allocation + getfield"
+  | "hexiom2" -> "recursive search over lists; branchy"
+  | "float" -> "float object fields; math AOT calls"
+  | "ai" -> "recursive backtracking; stays interpreted"
+  | "json_bench" -> "string escaping module calls (AOT) + builder"
+  | "meteor_contest" -> "set algebra AOT calls dominate"
+  | "pidigits" -> "bignum arithmetic: all time in rbigint AOT calls"
+  | "fannkuch" | "fannkuchredux" -> "list slicing/permutation (setslice AOT)"
+  | "nbody_modified" | "nbody" -> "float kernel with C pow() calls"
+  | "pyflate_fast" -> "bit/str ops; find_char AOT calls"
+  | "sympy_str" -> "very branchy recursion; worst case, mostly interpreter"
+  | "bm_mako" -> "string replace (AOT) heavy templates"
+  | "bm_mdp" -> "dict probes dominate (ll_call_lookup_function)"
+  | "genshi_xml" -> "unicode translate AOT calls"
+  | "eparse" -> "split/strip/join string parsing"
+  | "binarytrees" -> "allocation/GC bound"
+  | "fasta" -> "string building + table lookup"
+  | "mandelbrot" -> "pure float loop; best JIT case"
+  | "revcomp" -> "translate + reverse; library-call bound"
+  | "knucleotide" -> "dict-counting bound"
+  | "chameneosredux" -> "tiny int loop; library/GIL bound in CPython"
+  | _ -> "mixed"
+
+let pypy_suite : bench list =
+  List.map
+    (fun (name, source) ->
+      { name; lang = Py; suite = Pypy_suite; source; regime = regime_of name })
+    Py_suite.all
+
+let clbg_py : bench list =
+  List.map
+    (fun (name, source) ->
+      { name; lang = Py; suite = Clbg; source; regime = regime_of name })
+    Clbg_py.all
+
+let clbg_rk : bench list =
+  List.map
+    (fun (name, source) ->
+      { name; lang = Rk; suite = Clbg; source; regime = regime_of name })
+    Clbg_rk.all
+
+let all = pypy_suite @ clbg_py @ clbg_rk
+
+let find ~lang name =
+  List.find_opt (fun b -> b.name = name && b.lang = lang) all
+
+let find_exn ~lang name =
+  match find ~lang name with
+  | Some b -> b
+  | None -> invalid_arg ("unknown benchmark: " ^ name)

@@ -1,0 +1,50 @@
+type t = {
+  jit_threshold : int;
+  bridge_threshold : int;
+  retrace_limit : int;
+  max_trace_ops : int;
+  max_inline_depth : int;
+  opt_fold : bool;
+  opt_guard_elim : bool;
+  opt_forward : bool;
+  opt_virtuals : bool;
+  opt_peel : bool;
+  nursery_words : int;
+  major_growth : float;
+  insn_budget : int;
+  sample_window : int;
+  jit_enabled : bool;
+  tiered : bool;
+  tier2_threshold : int;
+}
+
+let default =
+  {
+    jit_threshold = 131;
+    bridge_threshold = 17;
+    retrace_limit = 4;
+    max_trace_ops = 4000;
+    max_inline_depth = 12;
+    opt_fold = true;
+    opt_guard_elim = true;
+    opt_forward = true;
+    opt_virtuals = true;
+    opt_peel = true;
+    nursery_words = 12 * 1024;
+    major_growth = 1.5;
+    insn_budget = 20_000_000;
+    sample_window = 100_000;
+    jit_enabled = true;
+    tiered = false;
+    tier2_threshold = 40;
+  }
+
+let no_jit = { default with jit_enabled = false }
+let two_tier = { default with tiered = true }
+let with_budget insn_budget t = { t with insn_budget }
+
+let paper_scale =
+  "Paper: loop threshold 1039, benchmarks run for 10e9 instructions. \
+   Here: threshold 131, budget 2e7 instructions; the threshold/budget \
+   ratio is kept within ~2x of the paper's so warmup occupies a \
+   comparable fraction of each run."

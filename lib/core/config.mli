@@ -1,0 +1,59 @@
+(** Global configuration of the meta-tracing framework and the simulation.
+
+    The paper's PyPy uses a loop threshold of 1039 iterations and runs
+    benchmarks for 10 billion instructions; we scale workloads down to a
+    few million simulated instructions, so thresholds scale too
+    (documented in DESIGN.md Sec. 4). *)
+
+type t = {
+  (* --- JIT driver --- *)
+  jit_threshold : int;
+      (** loop-header executions before tracing starts (PyPy: 1039) *)
+  bridge_threshold : int;
+      (** guard failures before a bridge is traced (PyPy: 200, scaled) *)
+  retrace_limit : int;
+      (** trace aborts at a loop header before the header is blacklisted *)
+  max_trace_ops : int;  (** abort tracing past this many IR operations *)
+  max_inline_depth : int;
+      (** abort tracing past this application-level call depth *)
+  (* --- optimizer pass toggles (for ablation benches) --- *)
+  opt_fold : bool;       (** constant folding / algebraic simplification *)
+  opt_guard_elim : bool; (** remove guards implied by earlier guards *)
+  opt_forward : bool;    (** heap load forwarding (getfield after set/get) *)
+  opt_virtuals : bool;   (** escape analysis: remove non-escaping [new]s *)
+  opt_peel : bool;
+      (** loop peeling: duplicate the trace into preamble + loop so that
+          loop-invariant guards (types, bounds) run only in the preamble *)
+  (* --- GC --- *)
+  nursery_words : int;       (** nursery capacity in heap words *)
+  major_growth : float;      (** major GC when old gen grows by this factor *)
+  (* --- simulation --- *)
+  insn_budget : int;     (** stop a run after this many simulated insns *)
+  sample_window : int;   (** warmup-curve sampling window, in insns *)
+  jit_enabled : bool;
+  (* --- extension: two-tier compilation (the paper's Q5 discussion) --- *)
+  tiered : bool;
+      (** tier-1: compile traces unoptimized at a fraction of the compile
+          cost; recompile with the full pass pipeline once hot *)
+  tier2_threshold : int;
+      (** tier-1 trace executions before the tier-2 recompile *)
+}
+
+val default : t
+(** Scaled defaults: threshold 131, bridge threshold 17, 256 Ki-word
+    nursery, 20 M-instruction budget. *)
+
+val no_jit : t
+(** [default] with the meta-tracing JIT disabled (the "PyPy w/o JIT"
+    configuration of Table I). *)
+
+val with_budget : int -> t -> t
+(** Override the instruction budget. *)
+
+val two_tier : t
+(** [default] with two-tier compilation enabled: traces are first
+    compiled unoptimized (cheap, slow code), then recompiled through the
+    full optimizer once they have run [tier2_threshold] times. *)
+
+val paper_scale : string
+(** Human-readable note mapping scaled parameters to the paper's. *)

@@ -1,0 +1,27 @@
+(** Instruction-class cost bundles.
+
+    All VMs in this reproduction charge their work to the simulated
+    machine as bundles of instructions broken down by class.  Branches are
+    {e not} part of a bundle: they are emitted individually through
+    {!Mtj_machine.Engine.branch} so the branch predictor sees real control
+    flow. *)
+
+type t = {
+  alu : int;    (** integer ALU instructions *)
+  fpu : int;    (** floating-point instructions *)
+  load : int;   (** memory loads *)
+  store : int;  (** memory stores *)
+  other : int;  (** moves, lea, pushes — instructions with no modelled cost *)
+}
+
+val zero : t
+val make : ?alu:int -> ?fpu:int -> ?load:int -> ?store:int -> ?other:int -> unit -> t
+val ( + ) : t -> t -> t
+val scale : float -> t -> t
+(** [scale f c] multiplies every field by [f], rounding to nearest,
+    keeping at least one instruction in a field that was nonzero. *)
+
+val total : t -> int
+(** Total instruction count of the bundle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type t =
+  | Interpreter
+  | Tracing
+  | Jit
+  | Jit_call
+  | Gc_minor
+  | Gc_major
+  | Blackhole
+  | Native
+
+let all =
+  [ Interpreter; Tracing; Jit; Jit_call; Gc_minor; Gc_major; Blackhole; Native ]
+
+let index = function
+  | Interpreter -> 0
+  | Tracing -> 1
+  | Jit -> 2
+  | Jit_call -> 3
+  | Gc_minor -> 4
+  | Gc_major -> 5
+  | Blackhole -> 6
+  | Native -> 7
+
+let count = List.length all
+
+let of_index = function
+  | 0 -> Interpreter
+  | 1 -> Tracing
+  | 2 -> Jit
+  | 3 -> Jit_call
+  | 4 -> Gc_minor
+  | 5 -> Gc_major
+  | 6 -> Blackhole
+  | 7 -> Native
+  | n -> invalid_arg (Printf.sprintf "Phase.of_index: %d" n)
+
+let name = function
+  | Interpreter -> "interpreter"
+  | Tracing -> "tracing"
+  | Jit -> "jit"
+  | Jit_call -> "jit_call"
+  | Gc_minor -> "gc_minor"
+  | Gc_major -> "gc_major"
+  | Blackhole -> "blackhole"
+  | Native -> "native"
+
+let is_gc = function
+  | Gc_minor | Gc_major -> true
+  | Interpreter | Tracing | Jit | Jit_call | Blackhole | Native -> false
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+let equal (a : t) (b : t) = a = b
+let compare a b = Int.compare (index a) (index b)

@@ -1,0 +1,42 @@
+(** Execution phases of a meta-tracing JIT VM.
+
+    The paper (Sec. V-B) divides the execution of an RPython-based VM into
+    phases: the bytecode interpreter, the tracing meta-interpreter, the
+    execution of JIT-compiled code, calls from JIT code into AOT-compiled
+    runtime functions, garbage collection, and the blackhole interpreter
+    used for deoptimization.  [Native] covers statically-compiled baseline
+    code (the C/C++ reference implementations of Table II). *)
+
+type t =
+  | Interpreter  (** bytecode dispatch loop + handlers *)
+  | Tracing      (** the meta-interpreter recording a trace *)
+  | Jit          (** executing JIT-compiled trace code *)
+  | Jit_call     (** AOT-compiled runtime function called from JIT code *)
+  | Gc_minor     (** nursery collection *)
+  | Gc_major     (** full-heap collection *)
+  | Blackhole    (** deoptimization: rebuilding interpreter state *)
+  | Native       (** statically-compiled baseline code *)
+
+val all : t list
+(** Every phase, in the display order used by the paper's figures. *)
+
+val index : t -> int
+(** Stable dense index of a phase, for use in per-phase counter arrays. *)
+
+val count : int
+(** Number of distinct phases ([List.length all]). *)
+
+val of_index : int -> t
+(** Inverse of {!index}.  Raises [Invalid_argument] on out-of-range. *)
+
+val name : t -> string
+(** Short lowercase name, e.g. ["jit_call"]. *)
+
+val is_gc : t -> bool
+(** True for [Gc_minor] and [Gc_major]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer (prints {!name}). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

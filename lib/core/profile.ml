@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  dispatch : Cost.t;
+  dispatch_indirect : bool;
+  op_scale : float;
+  frame_cost : Cost.t;
+  interp_width : float;
+}
+
+let cpython =
+  {
+    name = "cpython";
+    dispatch = Cost.make ~alu:9 ~load:7 ~store:2 ~other:7 ();
+    dispatch_indirect = true;
+    op_scale = 1.8;
+    frame_cost = Cost.make ~alu:14 ~load:10 ~store:14 ~other:10 ();
+    interp_width = 1.95;
+  }
+
+let rpython_interp =
+  {
+    name = "rpython-interp";
+    dispatch = Cost.make ~alu:17 ~load:14 ~store:5 ~other:14 ();
+    dispatch_indirect = true;
+    op_scale = 3.5;
+    frame_cost = Cost.make ~alu:24 ~load:18 ~store:24 ~other:18 ();
+    interp_width = 1.45;
+  }
+
+let racket_custom =
+  {
+    name = "racket";
+    dispatch = Cost.make ~alu:3 ~load:2 ~other:3 ();
+    dispatch_indirect = true;
+    op_scale = 0.85;
+    frame_cost = Cost.make ~alu:6 ~load:4 ~store:6 ~other:4 ();
+    interp_width = 2.2;
+  }
+
+let native =
+  {
+    name = "native";
+    dispatch = Cost.zero;
+    dispatch_indirect = false;
+    op_scale = 0.3;
+    frame_cost = Cost.make ~alu:2 ~load:1 ~store:2 ~other:2 ();
+    interp_width = 2.6;
+  }
+
+let pp fmt t = Format.pp_print_string fmt t.name

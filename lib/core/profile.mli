@@ -1,0 +1,44 @@
+(** VM execution-style cost profiles.
+
+    The paper compares VMs that share semantics but differ in how much
+    machine work each unit of interpretation costs: CPython is hand-written
+    C tuned as an interpreter; the RPython-generated interpreter is
+    translated from a high-level language and roughly 2x slower (Table I);
+    Racket is a mature custom JIT VM; the C/C++ baselines are statically
+    compiled.  A profile captures the interpreter-side parameters of one
+    such execution style; JIT-compiled trace code has its own fixed cost
+    model in the backend. *)
+
+type t = {
+  name : string;
+  dispatch : Cost.t;
+      (** instruction overhead of one dispatch-loop iteration (fetch,
+          decode, bounds checks), excluding the handler's semantic work *)
+  dispatch_indirect : bool;
+      (** whether dispatch performs an indirect branch on the opcode (all
+          interpreters here do; native code does not) *)
+  op_scale : float;
+      (** multiplier applied to the semantic cost of runtime operations
+          executed by handlers (boxing, type dispatch, field access...) *)
+  frame_cost : Cost.t;  (** overhead of an application-level call/return *)
+  interp_width : float;
+      (** effective superscalar issue width achieved by this VM's
+          interpreter-style code (dependency chains limit real ILP) *)
+}
+
+val cpython : t
+(** The reference C interpreter: modest dispatch cost, tuned handlers. *)
+
+val rpython_interp : t
+(** An RPython-translated interpreter with the meta-tracing JIT disabled:
+    heavier dispatch and handlers (Table I: ~2x slower than CPython, IPC
+    ~32% worse). *)
+
+val racket_custom : t
+(** Racket's custom JIT-optimizing VM, modelled as a uniformly fast
+    baseline execution style (Table II). *)
+
+val native : t
+(** Statically-compiled C/C++ code (Table II reference rows). *)
+
+val pp : Format.formatter -> t -> unit

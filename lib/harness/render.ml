@@ -1,0 +1,100 @@
+(** ASCII rendering helpers for the tables and figures. *)
+
+let pr fmt = Printf.printf fmt
+
+let heading title =
+  let line = String.make (String.length title) '=' in
+  pr "\n%s\n%s\n" title line
+
+let subheading title = pr "\n--- %s ---\n" title
+
+(* column-aligned table *)
+let table ~(header : string list) ~(rows : string list list) =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let print_row r =
+    List.iteri
+      (fun i cell ->
+        if i = 0 then pr "%-*s" widths.(i) cell
+        else pr "  %*s" widths.(i) cell)
+      r;
+    pr "\n"
+  in
+  print_row header;
+  pr "%s\n" (String.make (Array.fold_left (fun a w -> a + w + 2) 0 widths) '-');
+  List.iter print_row rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+
+(* phase letter codes for the stacked bars *)
+let phase_letter (p : Mtj_core.Phase.t) =
+  match p with
+  | Mtj_core.Phase.Interpreter -> 'I'
+  | Tracing -> 'T'
+  | Jit -> 'J'
+  | Jit_call -> 'C'
+  | Gc_minor | Gc_major -> 'G'
+  | Blackhole -> 'B'
+  | Native -> 'N'
+
+let phase_legend =
+  "I=interpreter T=tracing J=jit C=jit_call G=gc B=blackhole N=native"
+
+(* a stacked horizontal bar: each (phase, fraction) gets proportional
+   width, rendered with the phase's letter *)
+let stacked_bar ?(width = 50) (parts : (Mtj_core.Phase.t * float) list) =
+  let buf = Buffer.create width in
+  let used = ref 0 in
+  let parts = List.filter (fun (_, f) -> f > 0.0) parts in
+  let n = List.length parts in
+  List.iteri
+    (fun i (p, frac) ->
+      let w =
+        if i = n - 1 then width - !used
+        else int_of_float (Float.round (frac *. float_of_int width))
+      in
+      let w = max 0 (min w (width - !used)) in
+      Buffer.add_string buf (String.make w (phase_letter p));
+      used := !used + w)
+    parts;
+  Buffer.add_string buf (String.make (max 0 (width - !used)) ' ');
+  Buffer.contents buf
+
+(* sparkline over [0, vmax] *)
+let spark_chars = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let sparkline ?(vmax = 0.0) (values : float array) =
+  let vmax =
+    if vmax > 0.0 then vmax
+    else Array.fold_left Float.max 0.000001 values
+  in
+  String.concat ""
+    (Array.to_list
+       (Array.map
+          (fun v ->
+            let i =
+              int_of_float (Float.round (v /. vmax *. 9.0))
+            in
+            String.make 1 spark_chars.(max 0 (min 9 i)))
+          values))
+
+let simple_bar ?(width = 40) frac =
+  let w = max 0 (min width (int_of_float (frac *. float_of_int width))) in
+  String.make w '#' ^ String.make (width - w) ' '
+
+let mean_std values =
+  match values with
+  | [] -> (0.0, 0.0)
+  | _ ->
+      let n = float_of_int (List.length values) in
+      let mean = List.fold_left ( +. ) 0.0 values /. n in
+      let var =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+        /. n
+      in
+      (mean, sqrt var)

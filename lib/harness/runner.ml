@@ -1,0 +1,227 @@
+(** Benchmark runner: executes one benchmark under one VM configuration
+    with the full cross-layer instrumentation attached, and collects
+    everything the paper's tables and figures need.  Results are memoized
+    per (benchmark, configuration) since several experiments share runs. *)
+
+open Mtj_core
+open Mtj_rt
+module Engine = Mtj_machine.Engine
+module Counters = Mtj_machine.Counters
+module B = Mtj_benchmarks.Registry
+module Ir = Mtj_rjit.Ir
+module Jitlog = Mtj_rjit.Jitlog
+
+type vm_config =
+  | Cpython        (** reference C interpreter (pylite) *)
+  | Pypy_nojit     (** RPython-translated interpreter, JIT off *)
+  | Pypy_jit       (** the meta-tracing JIT *)
+  | Pypy_tiered    (** extension: two-tier compile (quick then optimized) *)
+  | Racket         (** custom-JIT reference VM (rklite) *)
+  | Pycket_nojit
+  | Pycket_jit
+  | Native_c       (** statically-compiled kernel *)
+
+let config_name = function
+  | Cpython -> "cpython"
+  | Pypy_nojit -> "pypy-nojit"
+  | Pypy_jit -> "pypy"
+  | Pypy_tiered -> "pypy-2tier"
+  | Racket -> "racket"
+  | Pycket_nojit -> "pycket-nojit"
+  | Pycket_jit -> "pycket"
+  | Native_c -> "c"
+
+type status = Ok_run | Hit_budget | Failed of string
+
+type jit_stats = {
+  traces : int;
+  bridges : int;
+  deopts : int;
+  aborts : int;
+  blacklisted : int;
+  retiers : int;
+  ir_compiled : int;
+  ir_dynamic : int;
+  hot_fraction_95 : float;
+  by_category : (Ir.cat * int) list;
+  by_node_type : (string * int) list;
+  x86_per_type : (string * float) list;
+}
+
+type result = {
+  bench : B.bench option;  (* None for native kernels *)
+  bench_name : string;
+  config : vm_config;
+  status : status;
+  output : string;
+  insns : int;
+  cycles : float;
+  total : Counters.snapshot;
+  per_phase : (Phase.t * Counters.snapshot) list;
+  phase_insns : (Phase.t * int) list;      (* from the annotation stream *)
+  timeline : (Phase.t * float) array array;
+  timeline_bucket : int;
+  ticks : int;                              (* dispatch-loop work units *)
+  samples : (int * int) array;              (* warmup curve *)
+  aot_top : (string * string * int) list;   (* (src, name, insns) desc *)
+  jit : jit_stats option;
+  gc : Gc_sim.stats;
+}
+
+let default_budget = 200_000_000
+
+let profile_of = function
+  | Cpython -> Profile.cpython
+  | Pypy_nojit | Pypy_jit | Pypy_tiered | Pycket_nojit | Pycket_jit ->
+      Profile.rpython_interp
+  | Racket -> Profile.racket_custom
+  | Native_c -> Profile.native
+
+let jit_enabled = function
+  | Pypy_jit | Pypy_tiered | Pycket_jit -> true
+  | _ -> false
+
+let config_of ?(budget = default_budget) vc =
+  let base =
+    match vc with
+    | Pypy_tiered -> Config.two_tier
+    | _ -> if jit_enabled vc then Config.default else Config.no_jit
+  in
+  Config.with_budget budget base
+
+let jit_stats_of jl =
+  {
+    traces = Jitlog.num_traces jl;
+    bridges = jl.Jitlog.bridges_attached;
+    deopts = jl.Jitlog.deopts;
+    aborts = jl.Jitlog.aborts;
+    blacklisted = jl.Jitlog.blacklisted;
+    retiers = jl.Jitlog.retiers;
+    ir_compiled = Jitlog.total_ir_compiled jl;
+    ir_dynamic = Jitlog.total_dynamic_ir jl;
+    hot_fraction_95 = Jitlog.hot_ir_fraction jl ~coverage:0.95;
+    by_category = Jitlog.dynamic_by_category jl;
+    by_node_type = Jitlog.dynamic_by_node_type jl;
+    x86_per_type = Jitlog.x86_per_node_type jl;
+  }
+
+let aot_ranking attrib =
+  Mtj_pintool.Aot_attrib.top attrib ~n:12
+  |> List.filter_map (fun (id, insns) ->
+         match Aot.find id with
+         | Some fn ->
+             Some (Aot.src_letter (Aot.src fn), Aot.name fn, insns)
+         | None -> None)
+
+let run_uncached ?budget (bench_name : string) (vc : vm_config) : result =
+  let config = config_of ?budget vc in
+  let finish ~bench ~status ~output ~ticks ~aot_top ~jit rtc tracker sampler =
+    Mtj_pintool.Phase_tracker.finalize tracker;
+    Mtj_pintool.Rate_sampler.finalize sampler;
+    let eng = Ctx.engine rtc in
+    let counters = Engine.counters eng in
+    {
+      bench;
+      bench_name;
+      config = vc;
+      status;
+      output;
+      insns = Engine.total_insns eng;
+      cycles = Engine.total_cycles eng;
+      total = Counters.total counters;
+      per_phase =
+        List.map (fun p -> (p, Counters.phase counters p)) Phase.all;
+      phase_insns =
+        List.map
+          (fun p -> (p, Mtj_pintool.Phase_tracker.phase_insns tracker p))
+          Phase.all;
+      timeline = Mtj_pintool.Phase_tracker.timeline tracker;
+      timeline_bucket = Mtj_pintool.Phase_tracker.bucket_insns tracker;
+      ticks = (if ticks >= 0 then ticks else Mtj_pintool.Rate_sampler.ticks sampler);
+      samples = Mtj_pintool.Rate_sampler.samples sampler;
+      aot_top;
+      jit;
+      gc = Gc_sim.stats (Ctx.gc rtc);
+    }
+  in
+  match vc with
+  | Native_c -> (
+      match Mtj_baselines.Native.find bench_name with
+      | None -> invalid_arg ("no native kernel for " ^ bench_name)
+      | Some kernel ->
+          let rtc = Ctx.create ~config () in
+          let tracker = Mtj_pintool.Phase_tracker.attach (Ctx.engine rtc) in
+          let sampler = Mtj_pintool.Rate_sampler.attach (Ctx.engine rtc) in
+          let status, output =
+            match Mtj_baselines.Native.run rtc kernel with
+            | out -> (Ok_run, out)
+            | exception Engine.Budget_exhausted -> (Hit_budget, "")
+          in
+          finish ~bench:None ~status ~output ~ticks:(-1) ~aot_top:[]
+            ~jit:None rtc tracker sampler)
+  | Cpython | Pypy_nojit | Pypy_jit | Pypy_tiered ->
+      let b = B.find_exn ~lang:B.Py bench_name in
+      let vm = Mtj_pylite.Vm.create ~config ~profile:(profile_of vc) () in
+      let eng = Mtj_pylite.Vm.engine vm in
+      let tracker = Mtj_pintool.Phase_tracker.attach eng in
+      let sampler = Mtj_pintool.Rate_sampler.attach eng in
+      let attrib = Mtj_pintool.Aot_attrib.attach eng in
+      let status =
+        match Mtj_pylite.Vm.run_source vm b.B.source with
+        | Mtj_rjit.Driver.Completed _ -> Ok_run
+        | Mtj_rjit.Driver.Budget_exceeded -> Hit_budget
+        | Mtj_rjit.Driver.Runtime_error e -> Failed e
+      in
+      finish ~bench:(Some b) ~status ~output:(Mtj_pylite.Vm.output vm)
+        ~ticks:(-1) ~aot_top:(aot_ranking attrib)
+        ~jit:(Some (jit_stats_of (Mtj_pylite.Vm.jitlog vm)))
+        (Mtj_pylite.Vm.rtc vm) tracker sampler
+  | Racket | Pycket_nojit | Pycket_jit ->
+      let b = B.find_exn ~lang:B.Rk bench_name in
+      let vm = Mtj_rklite.Kvm.create ~config ~profile:(profile_of vc) () in
+      let eng = Mtj_rklite.Kvm.engine vm in
+      let tracker = Mtj_pintool.Phase_tracker.attach eng in
+      let sampler = Mtj_pintool.Rate_sampler.attach eng in
+      let attrib = Mtj_pintool.Aot_attrib.attach eng in
+      let status =
+        match Mtj_rklite.Kvm.run_source vm b.B.source with
+        | Mtj_rjit.Driver.Completed _ -> Ok_run
+        | Mtj_rjit.Driver.Budget_exceeded -> Hit_budget
+        | Mtj_rjit.Driver.Runtime_error e -> Failed e
+      in
+      finish ~bench:(Some b) ~status ~output:(Mtj_rklite.Kvm.output vm)
+        ~ticks:(-1) ~aot_top:(aot_ranking attrib)
+        ~jit:(Some (jit_stats_of (Mtj_rklite.Kvm.jitlog vm)))
+        (Mtj_rklite.Kvm.rtc vm) tracker sampler
+
+(* --- memoized entry point --- *)
+
+let cache : (string * vm_config, result) Hashtbl.t = Hashtbl.create 128
+
+let run ?budget (bench_name : string) (vc : vm_config) : result =
+  match Hashtbl.find_opt cache (bench_name, vc) with
+  | Some r -> r
+  | None ->
+      let r = run_uncached ?budget bench_name vc in
+      Hashtbl.replace cache (bench_name, vc) r;
+      r
+
+let clear_cache () = Hashtbl.reset cache
+
+(* --- derived metrics --- *)
+
+let mcycles r = r.cycles /. 1.0e6
+let ipc r = Counters.ipc r.total
+let mpki r = Counters.branch_mpki r.total
+
+let speedup ~baseline r =
+  if r.cycles <= 0.0 then 0.0 else baseline.cycles /. r.cycles
+
+let phase_insns_of r p =
+  Option.value ~default:0 (List.assoc_opt p r.phase_insns)
+
+let phase_fraction r p =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 r.phase_insns in
+  if total = 0 then 0.0
+  else
+    float_of_int (List.assoc p r.phase_insns) /. float_of_int total

@@ -1,0 +1,42 @@
+(** Per-phase performance counters (the PAPI/perf substitute).
+
+    Tracks instructions, cycles, branches, branch misses, loads, stores
+    and cache misses, attributed to the framework phase that was current
+    when the work was charged.  Derived metrics (IPC, branch MPKI, branch
+    rate, miss rate) feed Table I, Table IV and the per-phase
+    microarchitecture analysis. *)
+
+type t
+
+type snapshot = {
+  insns : int;
+  cycles : float;
+  branches : int;
+  branch_misses : int;
+  loads : int;
+  stores : int;
+  cache_misses : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(* --- charging (used by Engine) --- *)
+
+val add_bundle : t -> Mtj_core.Phase.t -> Mtj_core.Cost.t -> cycles:float -> unit
+val add_branch : t -> Mtj_core.Phase.t -> mispredicted:bool -> cycles:float -> unit
+val add_cache_miss : t -> Mtj_core.Phase.t -> cycles:float -> unit
+
+(* --- queries --- *)
+
+val phase : t -> Mtj_core.Phase.t -> snapshot
+val total : t -> snapshot
+val ipc : snapshot -> float
+(** instructions per cycle; 0 when no cycles elapsed *)
+
+val branch_mpki : snapshot -> float
+(** branch misses per 1000 instructions *)
+
+val branch_per_insn : snapshot -> float
+val branch_miss_rate : snapshot -> float
+(** fraction of branches mispredicted *)

@@ -1,0 +1,59 @@
+type t = {
+  tags : int array;       (* sets * ways; -1 = invalid *)
+  lru : int array;        (* per-line last-use stamp *)
+  sets_mask : int;
+  ways : int;
+  line_bits : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(sets_bits = 9) ?(ways = 4) ?(line_bits = 6) () =
+  let sets = 1 lsl sets_bits in
+  {
+    tags = Array.make (sets * ways) (-1);
+    lru = Array.make (sets * ways) 0;
+    sets_mask = sets - 1;
+    ways;
+    line_bits;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t ~addr =
+  let line = addr lsr t.line_bits in
+  let set = line land t.sets_mask in
+  let base = set * t.ways in
+  t.clock <- t.clock + 1;
+  let rec find i =
+    if i >= t.ways then None
+    else if t.tags.(base + i) = line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      t.lru.(base + i) <- t.clock;
+      t.hits <- t.hits + 1;
+      true
+  | None ->
+      (* evict least-recently-used way *)
+      let victim = ref 0 in
+      for i = 1 to t.ways - 1 do
+        if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
+      done;
+      t.tags.(base + !victim) <- line;
+      t.lru.(base + !victim) <- t.clock;
+      t.misses <- t.misses + 1;
+      false
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let hits t = t.hits
+let misses t = t.misses

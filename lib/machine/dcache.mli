@@ -1,0 +1,16 @@
+(** Set-associative data cache model with LRU replacement.
+
+    Fed by the explicit heap accesses performed by the runtime object
+    model (field reads/writes, list elements, dictionary probes); misses
+    add a fixed stall to the current phase's cycle count. *)
+
+type t
+
+val create : ?sets_bits:int -> ?ways:int -> ?line_bits:int -> unit -> t
+
+val access : t -> addr:int -> bool
+(** Touch [addr]; returns [true] on hit.  A miss fills the line. *)
+
+val reset : t -> unit
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,136 @@
+open Mtj_core
+
+exception Budget_exhausted
+
+type listener = insns:int -> Annot.t -> unit
+
+type t = {
+  cfg : Config.t;
+  predictor : Predictor.t;
+  dcache : Dcache.t;
+  counters : Counters.t;
+  mutable phase : Phase.t;
+  mutable phase_stack : Phase.t list;
+  mutable listeners : listener list;
+  mutable interp_width : float;
+  mutable insns : int;
+  mutable cycles : float;
+  mispredict_penalty : float;
+  miss_penalty : float;
+}
+
+let create ?(config = Config.default) () =
+  {
+    cfg = config;
+    predictor = Predictor.create ();
+    dcache = Dcache.create ();
+    counters = Counters.create ();
+    phase = Phase.Interpreter;
+    phase_stack = [];
+    listeners = [];
+    interp_width = 2.0;
+    insns = 0;
+    cycles = 0.0;
+    mispredict_penalty = 14.0;
+    miss_penalty = 18.0;
+  }
+
+let set_interp_width t w = t.interp_width <- w
+
+(* Issue widths for code styles that are properties of the framework
+   rather than of the hosted VM.  JIT trace code is dense straight-line
+   code; the blackhole interpreter is pointer-chasing and serial (the
+   paper's Table IV measures it at the lowest IPC of all phases); GC is
+   a tight, cache-warm loop. *)
+let width t = function
+  | Phase.Interpreter | Phase.Tracing | Phase.Native -> t.interp_width
+  | Phase.Jit -> 1.95
+  | Phase.Jit_call -> 1.75
+  | Phase.Gc_minor | Phase.Gc_major -> 2.0
+  | Phase.Blackhole -> 1.05
+
+let bump_insns t n =
+  t.insns <- t.insns + n;
+  if t.insns > t.cfg.Config.insn_budget then raise Budget_exhausted
+
+let emit t cost =
+  let n = Cost.total cost in
+  if n > 0 then begin
+    let cy = float_of_int n /. width t t.phase in
+    t.cycles <- t.cycles +. cy;
+    Counters.add_bundle t.counters t.phase cost ~cycles:cy;
+    bump_insns t n
+  end
+
+let branch t ~site ~taken =
+  let correct = Predictor.conditional t.predictor ~site ~taken in
+  let cy =
+    (1.0 /. width t t.phase)
+    +. (if correct then 0.0 else t.mispredict_penalty)
+  in
+  t.cycles <- t.cycles +. cy;
+  Counters.add_branch t.counters t.phase ~mispredicted:(not correct) ~cycles:cy;
+  bump_insns t 1
+
+let branch_indirect t ~site ~target =
+  let correct = Predictor.indirect t.predictor ~site ~target in
+  let cy =
+    (1.0 /. width t t.phase)
+    +. (if correct then 0.0 else t.mispredict_penalty)
+  in
+  t.cycles <- t.cycles +. cy;
+  Counters.add_branch t.counters t.phase ~mispredicted:(not correct) ~cycles:cy;
+  bump_insns t 1
+
+let mem_access t ~addr ~write =
+  let hit = Dcache.access t.dcache ~addr in
+  let cost =
+    if write then Cost.make ~store:1 () else Cost.make ~load:1 ()
+  in
+  let cy = 1.0 /. width t t.phase in
+  t.cycles <- t.cycles +. cy;
+  Counters.add_bundle t.counters t.phase cost ~cycles:cy;
+  if not hit then begin
+    t.cycles <- t.cycles +. t.miss_penalty;
+    Counters.add_cache_miss t.counters t.phase ~cycles:t.miss_penalty
+  end;
+  bump_insns t 1
+
+let annot t a =
+  List.iter (fun l -> l ~insns:t.insns a) t.listeners
+
+let push_phase t p =
+  annot t (Annot.Phase_push p);
+  t.phase_stack <- t.phase :: t.phase_stack;
+  t.phase <- p
+
+let pop_phase t =
+  match t.phase_stack with
+  | [] -> invalid_arg "Engine.pop_phase: empty phase stack"
+  | p :: rest ->
+      let popped = t.phase in
+      t.phase <- p;
+      t.phase_stack <- rest;
+      (* delivered after restoring, so listeners reading [current_phase]
+         see the parent phase while the annotation names the popped one *)
+      annot t (Annot.Phase_pop popped)
+
+let current_phase t = t.phase
+
+let in_phase t p f =
+  push_phase t p;
+  match f () with
+  | v ->
+      pop_phase t;
+      v
+  | exception e ->
+      pop_phase t;
+      raise e
+
+let add_listener t l = t.listeners <- l :: t.listeners
+let total_insns t = t.insns
+let total_cycles t = t.cycles
+let counters t = t.counters
+let config t = t.cfg
+let predictor t = t.predictor
+let dcache t = t.dcache

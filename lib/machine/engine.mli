@@ -1,0 +1,71 @@
+(** The execution target.
+
+    Every VM in this reproduction — reference interpreters, the
+    RPython-style interpreter, JIT-compiled trace code, the GC, the
+    blackhole deoptimizer, native baselines — performs its semantic work
+    in OCaml and charges the corresponding machine work here: instruction
+    bundles, individual branch events (fed to the predictor), heap
+    accesses (fed to the cache model) and zero-cost cross-layer
+    annotations (delivered to listeners, playing the role of the paper's
+    PinTool intercepting tagged [nop]s).
+
+    Cycle model: a bundle of [n] instructions issued under phase [p]
+    costs [n / width(p)] cycles; a mispredicted branch adds a fixed
+    pipeline-flush penalty; a cache miss adds a fixed stall.  Widths for
+    interpreter-style phases come from the running VM's {!Mtj_core.Profile};
+    widths for JIT/GC/blackhole phases are properties of that code style. *)
+
+exception Budget_exhausted
+(** Raised when the configured instruction budget is reached; the harness
+    catches it to end a run (the paper runs each benchmark for a fixed
+    10 B instructions). *)
+
+type t
+
+type listener = insns:int -> Mtj_core.Annot.t -> unit
+(** Called for every annotation with the current total instruction count. *)
+
+val create : ?config:Mtj_core.Config.t -> unit -> t
+
+val set_interp_width : t -> float -> unit
+(** Install the effective issue width used while in the [Interpreter],
+    [Tracing] and [Native] phases (from the VM's profile). *)
+
+(* --- charging work --- *)
+
+val emit : t -> Mtj_core.Cost.t -> unit
+(** Charge a bundle of non-branch instructions to the current phase. *)
+
+val branch : t -> site:int -> taken:bool -> unit
+(** A conditional branch at code site [site]. *)
+
+val branch_indirect : t -> site:int -> target:int -> unit
+(** An indirect branch (dispatch, call_assembler, virtual call). *)
+
+val mem_access : t -> addr:int -> write:bool -> unit
+(** A heap access: charges one load or store instruction and consults the
+    data-cache model. *)
+
+(* --- phases --- *)
+
+val push_phase : t -> Mtj_core.Phase.t -> unit
+val pop_phase : t -> unit
+val current_phase : t -> Mtj_core.Phase.t
+val in_phase : t -> Mtj_core.Phase.t -> (unit -> 'a) -> 'a
+(** [in_phase t p f] runs [f] with [p] pushed, popping even on exception. *)
+
+(* --- annotations / instrumentation --- *)
+
+val annot : t -> Mtj_core.Annot.t -> unit
+(** Emit a cross-layer annotation (zero machine cost). *)
+
+val add_listener : t -> listener -> unit
+
+(* --- observation --- *)
+
+val total_insns : t -> int
+val total_cycles : t -> float
+val counters : t -> Counters.t
+val config : t -> Mtj_core.Config.t
+val predictor : t -> Predictor.t
+val dcache : t -> Dcache.t

@@ -1,0 +1,24 @@
+(** Branch prediction model.
+
+    Conditional branches use a gshare predictor (global history XOR branch
+    site indexing a table of 2-bit saturating counters).  Indirect
+    branches — interpreter dispatch, [call_assembler], virtual calls — use
+    a branch target buffer that predicts the last observed target for the
+    site.  This is the component that makes the paper's
+    microarchitecture-level observations (Table I, Table IV) emerge from
+    real control behaviour: trace code with monotone guards predicts well;
+    dispatch loops with high opcode entropy do not. *)
+
+type t
+
+val create : ?history_bits:int -> ?table_bits:int -> ?btb_bits:int -> unit -> t
+
+val conditional : t -> site:int -> taken:bool -> bool
+(** Record a conditional branch outcome; returns [true] if the prediction
+    was correct. *)
+
+val indirect : t -> site:int -> target:int -> bool
+(** Record an indirect branch to [target]; returns [true] if the BTB
+    predicted that target. *)
+
+val reset : t -> unit

@@ -1,0 +1,84 @@
+open Mtj_core
+
+type t = {
+  window : int;
+  mutable ticks : int;
+  mutable next_mark : int;
+  mutable rev_samples : (int * int) list;
+  engine : Mtj_machine.Engine.t;
+  mutable finalized : bool;
+}
+
+let attach ?window engine =
+  let window =
+    match window with
+    | Some w -> w
+    | None -> (Mtj_machine.Engine.config engine).Config.sample_window
+  in
+  let t =
+    {
+      window;
+      ticks = 0;
+      next_mark = window;
+      rev_samples = [];
+      engine;
+      finalized = false;
+    }
+  in
+  Mtj_machine.Engine.add_listener engine (fun ~insns annot ->
+      match annot with
+      | Annot.Dispatch_tick ->
+          t.ticks <- t.ticks + 1;
+          while insns >= t.next_mark do
+            t.rev_samples <- (t.next_mark, t.ticks) :: t.rev_samples;
+            t.next_mark <- t.next_mark + t.window
+          done
+      | Annot.Phase_push _ | Annot.Phase_pop _ | Annot.Ir_exec _
+      | Annot.Aot_enter _ | Annot.Aot_exit _ | Annot.Trace_enter _
+      | Annot.Trace_exit _ | Annot.Guard_fail _ | Annot.App_marker _ ->
+          ());
+  t
+
+let finalize t =
+  if not t.finalized then begin
+    let insns = Mtj_machine.Engine.total_insns t.engine in
+    t.rev_samples <- (insns, t.ticks) :: t.rev_samples;
+    t.finalized <- true
+  end
+
+let ticks t = t.ticks
+let samples t = Array.of_list (List.rev t.rev_samples)
+
+let ticks_at t insns =
+  let s = samples t in
+  let n = Array.length s in
+  if n = 0 then 0
+  else if insns <= fst s.(0) then
+    (* interpolate from origin *)
+    let i0, k0 = s.(0) in
+    if i0 = 0 then k0 else insns * k0 / i0
+  else if insns >= fst s.(n - 1) then snd s.(n - 1)
+  else begin
+    (* binary search for the bracketing pair *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fst s.(mid) <= insns then lo := mid else hi := mid
+    done;
+    let i0, k0 = s.(!lo) and i1, k1 = s.(!hi) in
+    if i1 = i0 then k0 else k0 + ((insns - i0) * (k1 - k0) / (i1 - i0))
+  end
+
+let break_even t ~against =
+  let s = samples t in
+  let found = ref None in
+  (try
+     Array.iter
+       (fun (insns, k) ->
+         if k >= ticks_at against insns && k > 0 then begin
+           found := Some insns;
+           raise Exit
+         end)
+       s
+   with Exit -> ());
+  !found

@@ -1,0 +1,34 @@
+(** Bytecode-execution-rate sampler (interpreter-level characterization,
+    Sec. V-D / Figure 5).
+
+    Counts [Dispatch_tick] annotations — one per dispatch-loop iteration
+    in the interpreter, one per bytecode-level merge point in JIT-compiled
+    code — and records the cumulative count at fixed instruction-count
+    boundaries.  Comparing two VMs' curves at equal instruction counts
+    gives the warmup break-even points, precisely and without perturbing
+    the measured VM (the paper's key argument for the methodology). *)
+
+type t
+
+val attach : ?window:int -> Mtj_machine.Engine.t -> t
+(** [window] is the sampling interval in instructions (default from the
+    engine's configuration). *)
+
+val finalize : t -> unit
+(** Record the final partial window. *)
+
+val ticks : t -> int
+(** Total dispatch ticks observed ("work" completed). *)
+
+val samples : t -> (int * int) array
+(** [(insns, cumulative_ticks)] at each window boundary, ascending. *)
+
+val ticks_at : t -> int -> int
+(** [ticks_at t insns]: cumulative ticks at the given instruction count
+    (linear interpolation between samples; saturates at the ends). *)
+
+val break_even : t -> against:t -> int option
+(** [break_even fast ~against:slow] finds the first instruction count at
+    which [fast]'s cumulative work catches up with [against]'s — the
+    paper's break-even point (Fig. 5 dashed/dotted lines).  [None] if it
+    never catches up within the recorded run. *)

@@ -1,0 +1,68 @@
+(** Abstract syntax of pylite, the hosted Python subset.
+
+    Supported: ints (unbounded via the bignum runtime), floats, strings,
+    booleans, None, lists, tuples, dicts, sets; arithmetic, comparison
+    (including [is]/[in]), boolean operators; attribute and subscript
+    access; 2-bound slices; [if]/[elif]/[else], [while], [for ... in]
+    (over ranges, sequences, dicts), [break]/[continue]; function and
+    class definitions (single inheritance, methods, [__init__]);
+    [return], [pass], [global], [del d[k]]; calls with positional
+    arguments.
+
+    Not supported (and not needed by the benchmark suite): closures /
+    nested functions, generators, exceptions ([try]/[raise]), keyword
+    arguments, decorators, [with], imports (well-known modules such as
+    [math] are pre-bound builtins). *)
+
+type binop =
+  | Add | Sub | Mult | Div | Floordiv | Mod | Pow
+  | Lshift | Rshift | Bitand | Bitor | Bitxor
+
+type unop = Neg | Not
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | None_lit
+  | Name of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cmp of Mtj_rjit.Ops_intf.cmp * expr * expr
+  | Bool_op of [ `And | `Or ] * expr * expr
+  | Call of expr * expr list
+  | Attr of expr * string
+  | Subscr of expr * expr
+  | Slice of expr * expr option * expr option
+  | List_lit of expr list
+  | Tuple_lit of expr list
+  | Dict_lit of (expr * expr) list
+  | Set_lit of expr list
+  | If_exp of expr * expr * expr  (* cond, then, else *)
+
+type target =
+  | T_name of string
+  | T_attr of expr * string
+  | T_subscr of expr * expr
+  | T_slice of expr * expr option * expr option
+  | T_tuple of string list
+
+type stmt =
+  | Expr_stmt of expr
+  | Assign of target * expr
+  | Aug_assign of target * binop * expr
+  | If of (expr * stmt list) list * stmt list  (* arms, else *)
+  | While of expr * stmt list
+  | For of string list * expr * stmt list
+      (* one or more loop variables (tuple unpacking), iterable, body *)
+  | Def of string * string list * stmt list
+  | Class of string * string option * stmt list  (* name, parent, body *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Pass
+  | Global of string list
+  | Del of expr * expr  (* del d[k] *)
+
+type program = stmt list

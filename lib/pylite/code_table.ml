@@ -1,0 +1,17 @@
+(** Global registry of compiled pylite code objects, resolving the
+    [code_ref]s carried by function values and resume snapshots. *)
+
+let table : (int, Bytecode.code) Hashtbl.t = Hashtbl.create 256
+let next_id = ref 0
+
+let fresh_id () =
+  let id = !next_id in
+  incr next_id;
+  id
+
+let register (c : Bytecode.code) = Hashtbl.replace table c.Bytecode.id c
+
+let lookup id =
+  match Hashtbl.find_opt table id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "unknown pylite code_ref %d" id)

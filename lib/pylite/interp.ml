@@ -1,0 +1,350 @@
+(** The pylite bytecode interpreter, written once against the OPS seam.
+
+    Instantiated with {!Mtj_rjit.Direct_ops} this is "the interpreter";
+    instantiated with {!Mtj_rjit.Trace_ops} it is the meta-interpreter
+    recording traces.  Handler discipline: within one bytecode all
+    guard-recording / error-raising operations run before the first heap
+    side effect, and [pc] is committed last. *)
+
+open Mtj_rt
+open Mtj_rjit
+open Bytecode
+
+module Step (O : Ops_intf.OPS) = struct
+  type frame = (O.t, Bytecode.code) Frame.t
+
+  let err = Semantics.err
+
+  let make_frame cx code parent : frame =
+    Frame.create ~code ~code_ref:code.Bytecode.id ~nlocals:code.Bytecode.nlocals
+      ~stack_size:code.Bytecode.stacksize
+      ~default:(O.const cx Value.Nil)
+      ~parent
+
+  (* dispatch a call to any callable value; arguments arrive reversed
+     (top of stack first) and are reversed back here *)
+  let rec call_value cx (f : frame) callee (rev_args : O.t list) nargs :
+      (O.t, Bytecode.code) Frame.outcome =
+    match O.concrete callee with
+    | Value.Obj { payload = Value.Func fn; _ } ->
+        if fn.Value.code_ref < 0 then begin
+          let fn = O.guard_func cx callee in
+          let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
+          let args = Array.make nargs (O.const cx Value.Nil) in
+          List.iteri (fun i a -> args.(nargs - 1 - i) <- a) rev_args;
+          let r = O.call_builtin cx b args in
+          Frame.push f r;
+          f.Frame.pc <- f.Frame.pc + 1;
+          Frame.Continue
+        end
+        else begin
+          let fn = O.guard_func cx callee in
+          if fn.Value.arity <> nargs then
+            err "%s() takes %d arguments (%d given)" fn.Value.func_name
+              fn.Value.arity nargs;
+          let code = Code_table.lookup fn.Value.code_ref in
+          f.Frame.pc <- f.Frame.pc + 1;
+          let nf = make_frame cx code (Some f) in
+          List.iteri
+            (fun i a -> nf.Frame.locals.(nargs - 1 - i) <- a)
+            rev_args;
+          Frame.Call nf
+        end
+    | Value.Obj { payload = Value.Class _; _ } ->
+        let inst = O.alloc_instance cx callee in
+        (match O.class_init_func cx callee with
+        | Some initf ->
+            if initf.Value.arity <> nargs + 1 then
+              err "__init__ takes %d arguments (%d given)" initf.Value.arity
+                (nargs + 1);
+            let code = Code_table.lookup initf.Value.code_ref in
+            Frame.push f inst;
+            f.Frame.pc <- f.Frame.pc + 1;
+            let nf = make_frame cx code (Some f) in
+            nf.Frame.discard_return <- true;
+            nf.Frame.locals.(0) <- inst;
+            List.iteri
+              (fun i a -> nf.Frame.locals.(nargs - i) <- a)
+              rev_args;
+            Frame.Call nf
+        | None ->
+            if nargs <> 0 then err "this class takes no constructor arguments";
+            Frame.push f inst;
+            f.Frame.pc <- f.Frame.pc + 1;
+            Frame.Continue)
+    | Value.Obj { payload = Value.Method _; _ } -> (
+        match O.method_parts cx callee with
+        | Some (func, recv) ->
+            call_value cx f func (rev_args @ [ recv ]) (nargs + 1)
+        | None -> err "broken bound method")
+    | v -> err "%s object is not callable" (Value.type_name v)
+
+  let binary cx op a b =
+    match (op : Ast.binop) with
+    | Ast.Add -> O.add cx a b
+    | Ast.Sub -> O.sub cx a b
+    | Ast.Mult -> O.mul cx a b
+    | Ast.Div -> O.truediv cx a b
+    | Ast.Floordiv -> O.floordiv cx a b
+    | Ast.Mod -> O.modulo cx a b
+    | Ast.Pow -> O.pow cx a b
+    | Ast.Lshift -> O.lshift cx a b
+    | Ast.Rshift -> O.rshift cx a b
+    | Ast.Bitand -> O.bitand cx a b
+    | Ast.Bitor -> O.bitor cx a b
+    | Ast.Bitxor -> O.bitxor cx a b
+
+  let step cx (globals : Globals.t) (f : frame) :
+      (O.t, Bytecode.code) Frame.outcome =
+    let pc = f.Frame.pc in
+    let instr = f.Frame.code.Bytecode.instrs.(pc) in
+    let continue_at next =
+      f.Frame.pc <- next;
+      Frame.Continue
+    in
+    let next () = continue_at (pc + 1) in
+    match instr with
+    | NOP -> next ()
+    | LOAD_CONST v ->
+        Frame.push f (O.const cx v);
+        next ()
+    | LOAD_FAST slot ->
+        Frame.push f f.Frame.locals.(slot);
+        next ()
+    | STORE_FAST slot ->
+        f.Frame.locals.(slot) <- Frame.pop f;
+        next ()
+    | LOAD_GLOBAL name ->
+        Frame.push f (O.load_global cx globals name);
+        next ()
+    | STORE_GLOBAL name ->
+        O.store_global cx globals name (Frame.pop f);
+        next ()
+    | LOAD_ATTR name ->
+        let obj = Frame.pop f in
+        Frame.push f (O.getattr cx obj name);
+        next ()
+    | STORE_ATTR name ->
+        let v = Frame.pop f in
+        let obj = Frame.pop f in
+        O.setattr cx obj name v;
+        next ()
+    | LOAD_METHOD name ->
+        let obj = Frame.pop f in
+        let callable, self = O.load_method cx obj name in
+        Frame.push f callable;
+        Frame.push f self;
+        next ()
+    | CALL_METHOD nargs ->
+        let rec pops n acc = if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc) in
+        let args = List.rev (pops nargs []) in
+        (* args is reversed: top of stack first *)
+        let self = Frame.pop f in
+        let callable = Frame.pop f in
+        if O.concrete self = Value.Nil then call_value cx f callable args nargs
+        else call_value cx f callable (args @ [ self ]) (nargs + 1)
+    | CALL_FUNCTION nargs ->
+        let rec pops n acc = if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc) in
+        let args = List.rev (pops nargs []) in
+        let callee = Frame.pop f in
+        call_value cx f callee args nargs
+    | BINARY op ->
+        let b = Frame.pop f in
+        let a = Frame.pop f in
+        Frame.push f (binary cx op a b);
+        next ()
+    | UNARY_NEG ->
+        let a = Frame.pop f in
+        Frame.push f (O.neg cx a);
+        next ()
+    | UNARY_NOT ->
+        let a = Frame.pop f in
+        Frame.push f (O.not_ cx a);
+        next ()
+    | COMPARE op ->
+        let b = Frame.pop f in
+        let a = Frame.pop f in
+        Frame.push f (O.compare cx op a b);
+        next ()
+    | JUMP t -> continue_at t
+    | POP_JUMP_IF_FALSE t ->
+        let v = Frame.pop f in
+        if O.is_true cx v then next () else continue_at t
+    | POP_JUMP_IF_TRUE t ->
+        let v = Frame.pop f in
+        if O.is_true cx v then continue_at t else next ()
+    | JUMP_IF_FALSE_OR_POP t ->
+        let v = Frame.peek f 0 in
+        if O.is_true cx v then begin
+          ignore (Frame.pop f);
+          next ()
+        end
+        else continue_at t
+    | JUMP_IF_TRUE_OR_POP t ->
+        let v = Frame.peek f 0 in
+        if O.is_true cx v then continue_at t
+        else begin
+          ignore (Frame.pop f);
+          next ()
+        end
+    | BUILD_LIST n ->
+        let items = Array.make n (O.const cx Value.Nil) in
+        for i = n - 1 downto 0 do
+          items.(i) <- Frame.pop f
+        done;
+        Frame.push f (O.make_list cx items);
+        next ()
+    | BUILD_TUPLE n ->
+        let items = Array.make n (O.const cx Value.Nil) in
+        for i = n - 1 downto 0 do
+          items.(i) <- Frame.pop f
+        done;
+        Frame.push f (O.make_tuple cx items);
+        next ()
+    | BUILD_DICT n ->
+        let pairs = Array.make n (O.const cx Value.Nil, O.const cx Value.Nil) in
+        for i = n - 1 downto 0 do
+          let v = Frame.pop f in
+          let k = Frame.pop f in
+          pairs.(i) <- (k, v)
+        done;
+        Frame.push f (O.make_dict cx pairs);
+        next ()
+    | BUILD_SET n ->
+        let items = Array.make n (O.const cx Value.Nil) in
+        for i = n - 1 downto 0 do
+          items.(i) <- Frame.pop f
+        done;
+        Frame.push f (O.make_set cx items);
+        next ()
+    | BINARY_SUBSCR ->
+        let k = Frame.pop f in
+        let obj = Frame.pop f in
+        Frame.push f (O.getitem cx obj k);
+        next ()
+    | STORE_SUBSCR ->
+        let v = Frame.pop f in
+        let k = Frame.pop f in
+        let obj = Frame.pop f in
+        O.setitem cx obj k v;
+        next ()
+    | DELETE_SUBSCR ->
+        let k = Frame.pop f in
+        let obj = Frame.pop f in
+        ignore (O.call_builtin cx Builtin.Del_item [| obj; k |]);
+        next ()
+    | GET_SLICE ->
+        let hi = Frame.pop f in
+        let lo = Frame.pop f in
+        let obj = Frame.pop f in
+        Frame.push f (O.call_builtin cx Builtin.Slice_get [| obj; lo; hi |]);
+        next ()
+    | SET_SLICE ->
+        let v = Frame.pop f in
+        let hi = Frame.pop f in
+        let lo = Frame.pop f in
+        let obj = Frame.pop f in
+        ignore (O.call_builtin cx Builtin.Slice_set [| obj; lo; hi; v |]);
+        next ()
+    | RETURN_VALUE -> Frame.Return (Frame.pop f)
+    | RETURN_NONE -> Frame.Return (O.const cx Value.Nil)
+    | POP_TOP ->
+        ignore (Frame.pop f);
+        next ()
+    | DUP_TOP ->
+        Frame.push f (Frame.peek f 0);
+        next ()
+    | UNPACK_SEQUENCE n ->
+        let seq = Frame.pop f in
+        let items = O.unpack cx seq n in
+        for i = n - 1 downto 0 do
+          Frame.push f items.(i)
+        done;
+        next ()
+    | GET_INDEXABLE ->
+        let v = Frame.pop f in
+        Frame.push f (O.call_builtin cx Builtin.Indexable [| v |]);
+        next ()
+    | FOR_RANGE { var; cur; stop; step; exit } ->
+        let c = f.Frame.locals.(cur) in
+        let s = f.Frame.locals.(stop) in
+        let st = f.Frame.locals.(step) in
+        let stepi = O.guard_int cx st in
+        let cond =
+          if stepi > 0 then O.compare cx Ops_intf.Lt c s
+          else O.compare cx Ops_intf.Gt c s
+        in
+        if O.is_true cx cond then begin
+          f.Frame.locals.(var) <- c;
+          f.Frame.locals.(cur) <- O.add cx c st;
+          next ()
+        end
+        else continue_at exit
+    | FOR_ITER { var; seq; idx; exit } ->
+        let s = f.Frame.locals.(seq) in
+        let i = f.Frame.locals.(idx) in
+        let n = O.len_ cx s in
+        let cond = O.compare cx Ops_intf.Lt i n in
+        if O.is_true cx cond then begin
+          let v = O.getitem cx s i in
+          f.Frame.locals.(var) <- v;
+          f.Frame.locals.(idx) <- O.add cx i (O.const cx (Value.Int 1));
+          next ()
+        end
+        else continue_at exit
+    | MAKE_FUNCTION { code_ref; fname; arity } ->
+        (* function objects are created during (cold) module setup *)
+        let fv =
+          Gc_sim.obj
+            (Ctx.gc (O.rt cx))
+            (Value.Func
+               {
+                 func_id = code_ref;
+                 func_name = fname;
+                 arity;
+                 code_ref;
+                 captured = [||];
+               })
+        in
+        Frame.push f (O.const cx fv);
+        next ()
+    | MAKE_CLASS { cls_name; parent; methods } ->
+        let parent_obj =
+          match parent with
+          | None -> None
+          | Some pname -> (
+              match O.concrete (O.load_global cx globals pname) with
+              | Value.Obj ({ payload = Value.Class _; _ } as p) -> Some p
+              | v -> err "class parent %s is %s" pname (Value.type_name v))
+        in
+        let n = List.length methods in
+        let rec pops k acc = if k = 0 then acc else pops (k - 1) (Frame.pop f :: acc) in
+        let method_values = pops n [] in
+        let attrs =
+          List.map2
+            (fun name v -> (name, O.concrete v))
+            methods method_values
+        in
+        (* instances of a subclass share the parent's layout prefix *)
+        let layout =
+          match parent_obj with
+          | Some { Value.payload = Value.Class pc; _ } ->
+              Array.copy pc.Value.layout
+          | _ -> [||]
+        in
+        let next_cls_id = Code_table.fresh_id () in
+        let cls =
+          Gc_sim.obj
+            (Ctx.gc (O.rt cx))
+            (Value.Class
+               {
+                 Value.cls_id = next_cls_id;
+                 cls_name;
+                 layout;
+                 attrs;
+                 parent = parent_obj;
+               })
+        in
+        Frame.push f (O.const cx cls);
+        next ()
+end

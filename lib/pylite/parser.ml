@@ -1,0 +1,546 @@
+(** Recursive-descent parser for pylite. *)
+
+open Ast
+
+exception Syntax_error = Lexer.Syntax_error
+
+type state = { toks : Lexer.token array; mutable pos : int }
+
+let error fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
+let peek st = st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else Lexer.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_op st op =
+  match next st with
+  | Lexer.OP o when o = op -> ()
+  | t -> error "expected '%s', got %s" op (Format.asprintf "%a" Lexer.pp_token t)
+
+let expect_kw st kw =
+  match next st with
+  | Lexer.KW k when k = kw -> ()
+  | t -> error "expected '%s', got %s" kw (Format.asprintf "%a" Lexer.pp_token t)
+
+let expect_newline st =
+  match next st with
+  | Lexer.NEWLINE -> ()
+  | t -> error "expected newline, got %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let expect_name st =
+  match next st with
+  | Lexer.NAME n -> n
+  | t -> error "expected name, got %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let accept_op st op =
+  match peek st with
+  | Lexer.OP o when o = op ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+(* --- expressions --- *)
+
+let rec parse_expr st : expr = parse_ternary st
+
+and parse_ternary st =
+  let e = parse_or st in
+  if accept_kw st "if" then begin
+    let cond = parse_or st in
+    expect_kw st "else";
+    let els = parse_expr st in
+    If_exp (cond, e, els)
+  end
+  else e
+
+and parse_or st =
+  let rec go acc =
+    if accept_kw st "or" then go (Bool_op (`Or, acc, parse_and st)) else acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go acc =
+    if accept_kw st "and" then go (Bool_op (`And, acc, parse_not st)) else acc
+  in
+  go (parse_not st)
+
+and parse_not st =
+  if accept_kw st "not" then Un (Not, parse_not st) else parse_comparison st
+
+and cmp_op st : Mtj_rjit.Ops_intf.cmp option =
+  match peek st with
+  | Lexer.OP "<" -> advance st; Some Mtj_rjit.Ops_intf.Lt
+  | Lexer.OP "<=" -> advance st; Some Mtj_rjit.Ops_intf.Le
+  | Lexer.OP ">" -> advance st; Some Mtj_rjit.Ops_intf.Gt
+  | Lexer.OP ">=" -> advance st; Some Mtj_rjit.Ops_intf.Ge
+  | Lexer.OP "==" -> advance st; Some Mtj_rjit.Ops_intf.Eq
+  | Lexer.OP "!=" -> advance st; Some Mtj_rjit.Ops_intf.Ne
+  | Lexer.KW "in" -> advance st; Some Mtj_rjit.Ops_intf.In
+  | Lexer.KW "is" ->
+      advance st;
+      if accept_kw st "not" then Some Mtj_rjit.Ops_intf.Is_not
+      else Some Mtj_rjit.Ops_intf.Is
+  | Lexer.KW "not" when peek2 st = Lexer.KW "in" ->
+      advance st;
+      advance st;
+      Some Mtj_rjit.Ops_intf.Not_in
+  | _ -> None
+
+and parse_comparison st =
+  let first = parse_bitor st in
+  match cmp_op st with
+  | None -> first
+  | Some op ->
+      let second = parse_bitor st in
+      let rec chain acc prev =
+        match cmp_op st with
+        | None -> acc
+        | Some op2 ->
+            let nxt = parse_bitor st in
+            chain (Bool_op (`And, acc, Cmp (op2, prev, nxt))) nxt
+      in
+      chain (Cmp (op, first, second)) second
+
+and parse_bitor st =
+  let rec go acc =
+    if accept_op st "|" then go (Bin (Bitor, acc, parse_bitxor st)) else acc
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go acc =
+    if accept_op st "^" then go (Bin (Bitxor, acc, parse_bitand st)) else acc
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go acc =
+    if accept_op st "&" then go (Bin (Bitand, acc, parse_shift st)) else acc
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go acc =
+    if accept_op st "<<" then go (Bin (Lshift, acc, parse_arith st))
+    else if accept_op st ">>" then go (Bin (Rshift, acc, parse_arith st))
+    else acc
+  in
+  go (parse_arith st)
+
+and parse_arith st =
+  let rec go acc =
+    if accept_op st "+" then go (Bin (Add, acc, parse_term st))
+    else if accept_op st "-" then go (Bin (Sub, acc, parse_term st))
+    else acc
+  in
+  go (parse_term st)
+
+and parse_term st =
+  let rec go acc =
+    if accept_op st "*" then go (Bin (Mult, acc, parse_factor st))
+    else if accept_op st "//" then go (Bin (Floordiv, acc, parse_factor st))
+    else if accept_op st "/" then go (Bin (Div, acc, parse_factor st))
+    else if accept_op st "%" then go (Bin (Mod, acc, parse_factor st))
+    else acc
+  in
+  go (parse_factor st)
+
+and parse_factor st =
+  if accept_op st "-" then Un (Neg, parse_factor st)
+  else if accept_op st "+" then parse_factor st
+  else parse_power st
+
+and parse_power st =
+  let base = parse_postfix st in
+  if accept_op st "**" then Bin (Pow, base, parse_factor st) else base
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | Lexer.OP "(" ->
+        advance st;
+        let args = parse_call_args st in
+        go (Call (e, args))
+    | Lexer.OP "[" ->
+        advance st;
+        let e' = parse_subscript st e in
+        go e'
+    | Lexer.OP "." ->
+        advance st;
+        let name = expect_name st in
+        go (Attr (e, name))
+    | _ -> e
+  in
+  go (parse_atom st)
+
+and parse_call_args st =
+  if accept_op st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_op st "," then
+        if accept_op st ")" then List.rev (e :: acc) else go (e :: acc)
+      else begin
+        expect_op st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_subscript st e =
+  (* after '[': expr | [expr] ':' [expr] *)
+  if accept_op st ":" then begin
+    let hi = if peek st = Lexer.OP "]" then None else Some (parse_expr st) in
+    expect_op st "]";
+    Slice (e, None, hi)
+  end
+  else begin
+    let lo = parse_expr st in
+    if accept_op st ":" then begin
+      let hi = if peek st = Lexer.OP "]" then None else Some (parse_expr st) in
+      expect_op st "]";
+      Slice (e, Some lo, hi)
+    end
+    else begin
+      expect_op st "]";
+      Subscr (e, lo)
+    end
+  end
+
+and parse_atom st =
+  match next st with
+  | Lexer.INT i -> Int_lit i
+  | Lexer.FLOAT f -> Float_lit f
+  | Lexer.STRING s ->
+      (* adjacent string literals concatenate *)
+      let rec go acc =
+        match peek st with
+        | Lexer.STRING s2 ->
+            advance st;
+            go (acc ^ s2)
+        | _ -> Str_lit acc
+      in
+      go s
+  | Lexer.KW "True" -> Bool_lit true
+  | Lexer.KW "False" -> Bool_lit false
+  | Lexer.KW "None" -> None_lit
+  | Lexer.NAME n -> Name n
+  | Lexer.OP "(" ->
+      if accept_op st ")" then Tuple_lit []
+      else begin
+        let e = parse_expr st in
+        if accept_op st "," then begin
+          let rec go acc =
+            if peek st = Lexer.OP ")" then List.rev acc
+            else begin
+              let e = parse_expr st in
+              if accept_op st "," then go (e :: acc) else List.rev (e :: acc)
+            end
+          in
+          let rest = go [] in
+          expect_op st ")";
+          Tuple_lit (e :: rest)
+        end
+        else begin
+          expect_op st ")";
+          e
+        end
+      end
+  | Lexer.OP "[" ->
+      if accept_op st "]" then List_lit []
+      else begin
+        let rec go acc =
+          let e = parse_expr st in
+          if accept_op st "," then
+            if peek st = Lexer.OP "]" then List.rev (e :: acc)
+            else go (e :: acc)
+          else List.rev (e :: acc)
+        in
+        let items = go [] in
+        expect_op st "]";
+        List_lit items
+      end
+  | Lexer.OP "{" ->
+      if accept_op st "}" then Dict_lit []
+      else begin
+        let first = parse_expr st in
+        if accept_op st ":" then begin
+          (* dict *)
+          let v = parse_expr st in
+          let rec go acc =
+            if accept_op st "," then
+              if peek st = Lexer.OP "}" then List.rev acc
+              else begin
+                let k = parse_expr st in
+                expect_op st ":";
+                let v = parse_expr st in
+                go ((k, v) :: acc)
+              end
+            else List.rev acc
+          in
+          let pairs = go [ (first, v) ] in
+          expect_op st "}";
+          Dict_lit pairs
+        end
+        else begin
+          (* set *)
+          let rec go acc =
+            if accept_op st "," then
+              if peek st = Lexer.OP "}" then List.rev acc
+              else go (parse_expr st :: acc)
+            else List.rev acc
+          in
+          let items = go [ first ] in
+          expect_op st "}";
+          Set_lit items
+        end
+      end
+  | t -> error "unexpected token %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+(* an expression list at statement level: [e, e, ...] makes a tuple *)
+let parse_exprlist st =
+  let e = parse_expr st in
+  if peek st = Lexer.OP "," then begin
+    let rec go acc =
+      if accept_op st "," then
+        match peek st with
+        | Lexer.NEWLINE | Lexer.OP "=" -> List.rev acc
+        | _ -> go (parse_expr st :: acc)
+      else List.rev acc
+    in
+    Tuple_lit (go [ e ])
+  end
+  else e
+
+(* --- statements --- *)
+
+let target_of_expr (e : expr) : target =
+  match e with
+  | Name n -> T_name n
+  | Attr (o, a) -> T_attr (o, a)
+  | Subscr (o, k) -> T_subscr (o, k)
+  | Slice (o, lo, hi) -> T_slice (o, lo, hi)
+  | Tuple_lit items ->
+      T_tuple
+        (List.map
+           (function
+             | Name n -> n
+             | _ -> error "only simple names in tuple assignment")
+           items)
+  | _ -> error "invalid assignment target"
+
+let aug_of_op = function
+  | "+=" -> Add
+  | "-=" -> Sub
+  | "*=" -> Mult
+  | "/=" -> Div
+  | "//=" -> Floordiv
+  | "%=" -> Mod
+  | "**=" -> Pow
+  | "<<=" -> Lshift
+  | ">>=" -> Rshift
+  | "&=" -> Bitand
+  | "|=" -> Bitor
+  | "^=" -> Bitxor
+  | op -> error "unknown augmented assignment %s" op
+
+let rec parse_stmt st : stmt list =
+  match peek st with
+  | Lexer.NEWLINE ->
+      advance st;
+      []
+  | Lexer.KW "if" -> [ parse_if st ]
+  | Lexer.KW "while" ->
+      advance st;
+      let cond = parse_expr st in
+      expect_op st ":";
+      let body = parse_suite st in
+      [ While (cond, body) ]
+  | Lexer.KW "for" ->
+      advance st;
+      let first = expect_name st in
+      let vars =
+        if accept_op st "," then begin
+          let rec go acc =
+            let n = expect_name st in
+            if accept_op st "," then go (n :: acc) else List.rev (n :: acc)
+          in
+          first :: go []
+        end
+        else [ first ]
+      in
+      expect_kw st "in";
+      let iter = parse_exprlist st in
+      expect_op st ":";
+      let body = parse_suite st in
+      [ For (vars, iter, body) ]
+  | Lexer.KW "def" ->
+      advance st;
+      let name = expect_name st in
+      expect_op st "(";
+      let params =
+        if accept_op st ")" then []
+        else begin
+          let rec go acc =
+            let p = expect_name st in
+            if accept_op st "," then go (p :: acc) else List.rev (p :: acc)
+          in
+          let ps = go [] in
+          expect_op st ")";
+          ps
+        end
+      in
+      expect_op st ":";
+      let body = parse_suite st in
+      [ Def (name, params, body) ]
+  | Lexer.KW "class" ->
+      advance st;
+      let name = expect_name st in
+      let parent =
+        if accept_op st "(" then begin
+          if accept_op st ")" then None
+          else begin
+            let p = expect_name st in
+            expect_op st ")";
+            Some p
+          end
+        end
+        else None
+      in
+      expect_op st ":";
+      let body = parse_suite st in
+      [ Class (name, parent, body) ]
+  | _ -> parse_simple_line st
+
+and parse_if st =
+  expect_kw st "if";
+  let cond = parse_expr st in
+  expect_op st ":";
+  let body = parse_suite st in
+  let rec arms () =
+    if accept_kw st "elif" then begin
+      let c = parse_expr st in
+      expect_op st ":";
+      let b = parse_suite st in
+      let rest, els = arms () in
+      ((c, b) :: rest, els)
+    end
+    else if accept_kw st "else" then begin
+      expect_op st ":";
+      let b = parse_suite st in
+      ([], b)
+    end
+    else ([], [])
+  in
+  let rest, els = arms () in
+  If ((cond, body) :: rest, els)
+
+and parse_simple_line st =
+  let stmts = ref [] in
+  let rec go () =
+    stmts := parse_simple st :: !stmts;
+    if accept_op st ";" then
+      match peek st with Lexer.NEWLINE -> () | _ -> go ()
+  in
+  go ();
+  expect_newline st;
+  List.rev !stmts
+
+and parse_simple st : stmt =
+  match peek st with
+  | Lexer.KW "return" ->
+      advance st;
+      (match peek st with
+      | Lexer.NEWLINE | Lexer.OP ";" -> Return None
+      | _ -> Return (Some (parse_exprlist st)))
+  | Lexer.KW "break" ->
+      advance st;
+      Break
+  | Lexer.KW "continue" ->
+      advance st;
+      Continue
+  | Lexer.KW "pass" ->
+      advance st;
+      Pass
+  | Lexer.KW "global" ->
+      advance st;
+      let rec go acc =
+        let n = expect_name st in
+        if accept_op st "," then go (n :: acc) else List.rev (n :: acc)
+      in
+      Global (go [])
+  | Lexer.KW "del" ->
+      advance st;
+      let e = parse_expr st in
+      (match e with
+      | Subscr (o, k) -> Del (o, k)
+      | _ -> error "only 'del x[k]' is supported")
+  | _ -> (
+      let e = parse_exprlist st in
+      match peek st with
+      | Lexer.OP "=" ->
+          advance st;
+          let rhs = parse_exprlist st in
+          Assign (target_of_expr e, rhs)
+      | Lexer.OP
+          (( "+=" | "-=" | "*=" | "/=" | "//=" | "%=" | "**=" | "<<=" | ">>="
+           | "&=" | "|=" | "^=" ) as op) ->
+          advance st;
+          let rhs = parse_exprlist st in
+          Aug_assign (target_of_expr e, aug_of_op op, rhs)
+      | _ -> Expr_stmt e)
+
+and parse_suite st : stmt list =
+  if accept_op st ";" then error "unexpected ';'"
+  else if peek st = Lexer.NEWLINE then begin
+    advance st;
+    (match next st with
+    | Lexer.INDENT -> ()
+    | t -> error "expected indented block, got %s" (Format.asprintf "%a" Lexer.pp_token t));
+    let stmts = ref [] in
+    let rec go () =
+      match peek st with
+      | Lexer.DEDENT ->
+          advance st;
+          ()
+      | Lexer.EOF -> ()
+      | _ ->
+          stmts := !stmts @ parse_stmt st;
+          go ()
+    in
+    go ();
+    !stmts
+  end
+  else parse_simple_line st
+
+let parse (src : string) : program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let stmts = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.NEWLINE | Lexer.DEDENT ->
+        advance st;
+        go ()
+    | _ ->
+        stmts := !stmts @ parse_stmt st;
+        go ()
+  in
+  go ();
+  !stmts

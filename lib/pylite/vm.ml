@@ -1,0 +1,88 @@
+(** The pylite virtual machine.
+
+    Wires the language into the meta-tracing framework: with the JIT
+    enabled and the RPython profile this models PyPy; with the JIT
+    disabled it models "PyPy w/o JIT"; under the CPython profile (and no
+    JIT) it models the reference CPython interpreter (Table I's three
+    configurations). *)
+
+open Mtj_core
+open Mtj_rt
+open Mtj_rjit
+
+module Lang : Ops_intf.LANG with type code = Bytecode.code = struct
+  type code = Bytecode.code
+
+  let code_ref (c : code) = c.Bytecode.id
+  let lookup_code = Code_table.lookup
+  let nlocals (c : code) = c.Bytecode.nlocals
+  let stack_size (c : code) = c.Bytecode.stacksize
+  let loop_header (c : code) pc = c.Bytecode.headers.(pc)
+  let opcode_at (c : code) pc = Bytecode.tag c.Bytecode.instrs.(pc)
+  let name (c : code) = c.Bytecode.name
+
+  module Step = Interp.Step
+end
+
+module D = Driver.Make (Lang)
+
+type t = { rtc : Ctx.t; driver : D.t }
+
+(* names exposed as module-level globals *)
+let global_builtins =
+  Builtin.
+    [ Len; Range2; Abs; Min2; Max2; Ord; Chr; To_int; To_float; To_str;
+      Repr; Print; Sorted; Hashf; Sio_new; Annotate; Bigint_of; Powf;
+      Encode_json ]
+
+let bind_builtins rtc globals =
+  List.iter
+    (fun b ->
+      Globals.define globals (Builtin.name b) (Builtins_impl.builtin_value rtc b))
+    global_builtins;
+  (* the math module is modelled as a class object with builtin attrs *)
+  let math_attrs =
+    [ ("sqrt", Builtin.Sqrt); ("sin", Builtin.Sin); ("cos", Builtin.Cos);
+      ("floor", Builtin.Floor_f); ("pow", Builtin.Powf) ]
+  in
+  let math =
+    Gc_sim.obj (Ctx.gc rtc)
+      (Value.Class
+         {
+           Value.cls_id = -1;
+           cls_name = "math";
+           layout = [||];
+           attrs =
+             List.map
+               (fun (n, b) -> (n, Builtins_impl.builtin_value rtc b))
+               math_attrs;
+           parent = None;
+         })
+  in
+  Globals.define globals "math" math
+
+let create ?(config = Config.default) ?(profile = Profile.rpython_interp) () =
+  let rtc = Ctx.create ~config () in
+  let globals = Globals.create () in
+  bind_builtins rtc globals;
+  let driver = D.create ~profile rtc globals in
+  { rtc; driver }
+
+let rtc t = t.rtc
+let engine t = Ctx.engine t.rtc
+let jitlog t = D.jitlog t.driver
+let globals t = D.globals t.driver
+let output t = Buffer.contents (Ctx.out t.rtc)
+
+let compile = Compiler.compile_source
+
+let run_code t (code : Bytecode.code) : Driver.outcome = D.run t.driver code
+
+let run_source t (src : string) : Driver.outcome =
+  run_code t (compile src)
+
+(** convenience: fresh VM, run source, return (outcome, vm) *)
+let run ?config ?profile src =
+  let t = create ?config ?profile () in
+  let outcome = run_source t src in
+  (outcome, t)

@@ -1,0 +1,49 @@
+(** The pylite virtual machine: a CPython-style bytecode interpreter for
+    a Python subset, written once against the {!Mtj_rjit.Ops_intf.OPS}
+    seam and driven by the generic meta-tracing JIT
+    ({!Mtj_rjit.Driver.Make}).
+
+    The same VM models both sides of Table I: with
+    {!Mtj_core.Profile.cpython} and the JIT disabled it stands in for
+    CPython; with {!Mtj_core.Profile.rpython_interp} it is the
+    RPython-translated interpreter, with or without the meta-tracing
+    JIT ({!Mtj_core.Config.jit_enabled}).
+
+    {[
+      let vm = Vm.create ~config:Mtj_core.Config.default () in
+      match Vm.run_source vm "print(1 + 2)" with
+      | Mtj_rjit.Driver.Completed _ -> print_string (Vm.output vm)
+      | _ -> prerr_endline "failed"
+    ]} *)
+
+type t
+
+val create :
+  ?config:Mtj_core.Config.t -> ?profile:Mtj_core.Profile.t -> unit -> t
+(** Fresh VM: its own machine engine, GC, globals (with builtins and the
+    [math] module bound) and JIT driver. [profile] sets the interpreter's
+    cost model (default {!Mtj_core.Profile.rpython_interp}). *)
+
+val compile : string -> Bytecode.code
+(** Compile source to bytecode. Raises {!Parser.Syntax_error} or
+    {!Compiler.Compile_error} on invalid programs. VM-independent: code
+    objects live in a global table keyed by [code_ref]. *)
+
+val run_code : t -> Bytecode.code -> Mtj_rjit.Driver.outcome
+val run_source : t -> string -> Mtj_rjit.Driver.outcome
+
+val run :
+  ?config:Mtj_core.Config.t ->
+  ?profile:Mtj_core.Profile.t ->
+  string ->
+  Mtj_rjit.Driver.outcome * t
+(** Convenience: fresh VM, compile and run, return the outcome and the
+    VM for inspection. *)
+
+val output : t -> string
+(** Everything the program printed (kept off stdout for the harness). *)
+
+val rtc : t -> Mtj_rt.Ctx.t
+val engine : t -> Mtj_machine.Engine.t
+val jitlog : t -> Mtj_rjit.Jitlog.t
+val globals : t -> Mtj_rjit.Globals.t

@@ -1,0 +1,25 @@
+(** Trace "assembler": lowers optimized IR into executable, costed trace
+    code.
+
+    Each IR node is assigned its x86 footprint (Figure 9's templates from
+    {!Ir.x86_template}); assembling charges machine work proportional to
+    the trace length, with a superlinear term reflecting the compiler
+    passes the paper notes scale super-linearly with trace size
+    (Sec. V-E). *)
+
+val compile :
+  Jitlog.t ->
+  Mtj_rt.Ctx.t ->
+  kind:Ir.trace_kind ->
+  entry_slots:int ->
+  ?loop_base:int ->
+  ?loop_start:int ->
+  ?tier:int ->
+  Ir.op array ->
+  Ir.trace
+(** Lower [ops] into a registered {!Ir.trace}, charging the assembling
+    cost to the current machine phase (the driver wraps compiles in the
+    tracing phase). [loop_base]/[loop_start] come from the peeler via
+    {!Opt.optimize}. [tier] defaults to [2] (fully optimized); a [tier:1]
+    compile (two-tier mode) charges ~30% of the cost and no superlinear
+    term, since the optimizer pipeline was skipped. *)

@@ -1,0 +1,142 @@
+(** Builtin operations shared by the hosted languages.
+
+    Builtins are exposed to programs as function values whose [code_ref]
+    is the negated builtin tag; calling one never pushes an interpreter
+    frame.  During tracing, each builtin either inlines primitive IR
+    (e.g. [Len] becomes an [arraylen_gc] node) or records a residual call
+    to the corresponding AOT function — reproducing the paper's split
+    between JIT-compiled and AOT-compiled work. *)
+
+type t =
+  | Len
+  | Range2           (* range(a, b) / range(a, b, c) / range(n) *)
+  | Abs
+  | Min2
+  | Max2
+  | Ord
+  | Chr
+  | To_int
+  | To_float
+  | To_str
+  | Repr
+  | Print
+  | Append
+  | Pop
+  | Insert
+  | Extend
+  | Index
+  | Keys
+  | Values
+  | Items
+  | Dict_get
+  | Has_key
+  | Join
+  | Split
+  | Replace
+  | Find
+  | Strip
+  | Upper
+  | Lower
+  | Startswith
+  | Sqrt
+  | Sin
+  | Cos
+  | Floor_f
+  | Powf
+  | Set_add
+  | Set_remove
+  | Issubset
+  | Difference
+  | Union
+  | Intersection
+  | Translate
+  | Encode_json
+  | Hashf
+  | Sorted
+  | Sio_new          (* cStringIO-style builder *)
+  | Sio_write
+  | Sio_getvalue
+  | Annotate         (* application-level cross-layer annotation *)
+  | Bigint_of        (* force a bignum (pidigits setup) *)
+  | Indexable        (* coerce an iterable to an indexable sequence *)
+  | Slice_get        (* l[a:b] *)
+  | Slice_set        (* l[a:b] = other *)
+  | Del_item         (* del d[k] *)
+  | Make_vector      (* scheme: make-vector n init *)
+  | Display          (* scheme: display (no newline) *)
+
+let all =
+  [ Len; Range2; Abs; Min2; Max2; Ord; Chr; To_int; To_float; To_str; Repr;
+    Print; Append; Pop; Insert; Extend; Index; Keys; Values; Items;
+    Dict_get; Has_key; Join; Split; Replace; Find; Strip; Upper; Lower;
+    Startswith; Sqrt; Sin; Cos; Floor_f; Powf; Set_add; Set_remove;
+    Issubset; Difference; Union; Intersection; Translate; Encode_json;
+    Hashf; Sorted; Sio_new; Sio_write; Sio_getvalue; Annotate; Bigint_of;
+    Indexable; Slice_get; Slice_set; Del_item; Make_vector; Display ]
+
+let tag b =
+  let rec idx i = function
+    | [] -> invalid_arg "Builtin.tag"
+    | x :: rest -> if x = b then i else idx (i + 1) rest
+  in
+  idx 0 all
+
+let of_tag i = List.nth all i
+
+let name = function
+  | Len -> "len"
+  | Range2 -> "range"
+  | Abs -> "abs"
+  | Min2 -> "min"
+  | Max2 -> "max"
+  | Ord -> "ord"
+  | Chr -> "chr"
+  | To_int -> "int"
+  | To_float -> "float"
+  | To_str -> "str"
+  | Repr -> "repr"
+  | Print -> "print"
+  | Append -> "append"
+  | Pop -> "pop"
+  | Insert -> "insert"
+  | Extend -> "extend"
+  | Index -> "index"
+  | Keys -> "keys"
+  | Values -> "values"
+  | Items -> "items"
+  | Dict_get -> "get"
+  | Has_key -> "has_key"
+  | Join -> "join"
+  | Split -> "split"
+  | Replace -> "replace"
+  | Find -> "find"
+  | Strip -> "strip"
+  | Upper -> "upper"
+  | Lower -> "lower"
+  | Startswith -> "startswith"
+  | Sqrt -> "sqrt"
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Floor_f -> "floor"
+  | Powf -> "pow"
+  | Set_add -> "add"
+  | Set_remove -> "remove"
+  | Issubset -> "issubset"
+  | Difference -> "difference"
+  | Union -> "union"
+  | Intersection -> "intersection"
+  | Translate -> "translate"
+  | Encode_json -> "encode_json"
+  | Hashf -> "hash"
+  | Sorted -> "sorted"
+  | Sio_new -> "StringIO"
+  | Sio_write -> "write"
+  | Sio_getvalue -> "getvalue"
+  | Annotate -> "annotate"
+  | Bigint_of -> "bigint"
+  | Indexable -> "__indexable"
+  | Slice_get -> "__slice_get"
+  | Slice_set -> "__slice_set"
+  | Del_item -> "__del_item"
+  | Make_vector -> "make-vector"
+  | Display -> "display"

@@ -1,0 +1,394 @@
+(** Concrete implementations of the builtin operations.
+
+    Used directly by the interpreter and as residual-call thunks from
+    JIT-compiled traces. *)
+
+open Mtj_rt
+module Engine = Mtj_machine.Engine
+
+let err = Semantics.err
+
+let arity_err b n =
+  err "%s() called with %d arguments" (Builtin.name b) n
+
+let math_fn = Aot.register ~name:"math.libm_call" ~src:Aot.C
+
+let float1 ctx f args name =
+  match args with
+  | [| v |] ->
+      Aot.call ctx math_fn @@ fun () ->
+      Engine.emit (Ctx.engine ctx) (Mtj_core.Cost.make ~fpu:18 ~alu:6 ());
+      Value.Float (f (Rarith.to_float v))
+  | _ -> err "%s() takes one argument" name
+
+let make_range _ctx args =
+  match args with
+  | [| Value.Int stop |] -> Value.Range { start = 0; stop; step = 1 }
+  | [| Value.Int start; Value.Int stop |] -> Value.Range { start; stop; step = 1 }
+  | [| Value.Int start; Value.Int stop; Value.Int step |] ->
+      if step = 0 then err "range() arg 3 must not be zero";
+      Value.Range { start; stop; step }
+  | _ -> err "range() expects int arguments"
+
+(* range as a payload needs a heap object; allocate lazily *)
+let range_value ctx args =
+  match make_range ctx args with
+  | Value.Range _ as p -> Gc_sim.obj (Ctx.gc ctx) p
+  | _ -> assert false
+
+let range_to_list ctx (r : Value.t) =
+  match r with
+  | Value.Obj { payload = Value.Range { start; stop; step }; _ } ->
+      let items = ref [] in
+      let i = ref start in
+      if step > 0 then
+        while !i < stop do
+          items := Value.Int !i :: !items;
+          i := !i + step
+        done
+      else
+        while !i > stop do
+          items := Value.Int !i :: !items;
+          i := !i + step
+        done;
+      Value.Obj (Rlist.create ctx (List.rev !items))
+  | v -> v
+
+(* builtin function values are shared singletons so that calling them
+   allocates nothing; their [code_ref] is the negated builtin tag *)
+let builtin_funcs : (Builtin.t, Value.t) Hashtbl.t = Hashtbl.create 64
+
+let builtin_value ctx b =
+  match Hashtbl.find_opt builtin_funcs b with
+  | Some v -> v
+  | None ->
+      let v =
+        Gc_sim.obj (Ctx.gc ctx)
+          (Value.Func
+             {
+               func_id = -(1 + Builtin.tag b);
+               func_name = Builtin.name b;
+               arity = -1;
+               code_ref = -(1 + Builtin.tag b);
+               captured = [||];
+             })
+      in
+      Hashtbl.replace builtin_funcs b v;
+      v
+
+let builtin_of_code_ref cr =
+  if cr >= 0 then None else Some (Builtin.of_tag (-cr - 1))
+
+let run ctx (b : Builtin.t) (args : Value.t array) : Value.t =
+  let one () = match args with [| v |] -> v | _ -> arity_err b (Array.length args) in
+  let two () =
+    match args with [| a; x |] -> (a, x) | _ -> arity_err b (Array.length args)
+  in
+  match b with
+  | Builtin.Len -> Value.Int (Semantics.len_of ctx (one ()))
+  | Builtin.Range2 -> range_value ctx args
+  | Builtin.Abs -> (
+      match one () with
+      | Value.Int i -> Value.Int (abs i)
+      | Value.Float f -> Value.Float (Float.abs f)
+      | v -> err "abs(): bad operand %s" (Value.type_name v))
+  | Builtin.Min2 ->
+      let a, x = two () in
+      if Semantics.order ctx a x <= 0 then a else x
+  | Builtin.Max2 ->
+      let a, x = two () in
+      if Semantics.order ctx a x >= 0 then a else x
+  | Builtin.Ord -> (
+      match one () with
+      | Value.Str s when String.length s = 1 -> Value.Int (Char.code s.[0])
+      | _ -> err "ord() expects a single character")
+  | Builtin.Chr -> (
+      match one () with
+      | Value.Int i when i >= 0 && i < 256 -> Value.Str (String.make 1 (Char.chr i))
+      | _ -> err "chr() arg out of range")
+  | Builtin.To_int -> (
+      match one () with
+      | Value.Int _ as v -> v
+      | Value.Float f -> Value.Int (int_of_float (Float.trunc f))
+      | Value.Bool x -> Value.Int (Bool.to_int x)
+      | Value.Str s -> (
+          match Rstr.string_to_int ctx s with
+          | Some i -> Value.Int i
+          | None -> err "invalid literal for int(): '%s'" s)
+      | Value.Obj { payload = Value.Bigint _; _ } as v -> v
+      | v -> err "int(): bad argument %s" (Value.type_name v))
+  | Builtin.To_float -> (
+      match one () with
+      | Value.Float _ as v -> v
+      | Value.Int i -> Value.Float (float_of_int i)
+      | Value.Str s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f -> Value.Float f
+          | None -> err "could not convert string to float: '%s'" s)
+      | v -> err "float(): bad argument %s" (Value.type_name v))
+  | Builtin.To_str -> Semantics.to_str ctx (one ())
+  | Builtin.Repr -> Value.Str (Value.repr (one ()))
+  | Builtin.Print ->
+      let parts =
+        Array.to_list (Array.map Value.to_display_string args)
+      in
+      Buffer.add_string (Ctx.out ctx) (String.concat " " parts);
+      Buffer.add_char (Ctx.out ctx) '\n';
+      Value.Nil
+  | Builtin.Append ->
+      let lst, v = two () in
+      Rlist.append ctx (Semantics.as_list lst) v;
+      Value.Nil
+  | Builtin.Pop -> (
+      match args with
+      | [| lst |] ->
+          let o = Semantics.as_list lst in
+          let n = Rlist.length (Rlist.of_obj o) in
+          if n = 0 then err "pop from empty list";
+          Rlist.pop ctx o (n - 1)
+      | [| lst; Value.Int i |] ->
+          let o = Semantics.as_list lst in
+          let n = Rlist.length (Rlist.of_obj o) in
+          let i = Semantics.norm_index n i in
+          if i < 0 || i >= n then err "pop index out of range";
+          Rlist.pop ctx o i
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Insert -> (
+      match args with
+      | [| lst; Value.Int i; v |] ->
+          let o = Semantics.as_list lst in
+          (* append then rotate: O(n) like the real thing *)
+          Rlist.append ctx o v;
+          let l = Rlist.of_obj o in
+          let n = Rlist.length l in
+          let i = max 0 (min (n - 1) (Semantics.norm_index (n - 1) i)) in
+          for j = n - 1 downto i + 1 do
+            let prev = Rlist.get ctx o (j - 1) in
+            let cur = Rlist.get ctx o j in
+            Rlist.set ctx o (j - 1) cur;
+            Rlist.set ctx o j prev
+          done;
+          Value.Nil
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Extend ->
+      let lst, other = two () in
+      let o = Semantics.as_list lst in
+      let other_o = Semantics.as_list (Semantics.iterable_as_indexable ctx other) in
+      let ol = Rlist.of_obj other_o in
+      for i = 0 to Rlist.length ol - 1 do
+        Rlist.append ctx o (Rlist.get ctx other_o i)
+      done;
+      Value.Nil
+  | Builtin.Index ->
+      let lst, v = two () in
+      let i = Rlist.find ctx (Semantics.as_list lst) v in
+      if i < 0 then err "%s is not in list" (Value.repr v);
+      Value.Int i
+  | Builtin.Keys -> Semantics.keys_list ctx (one ())
+  | Builtin.Values -> (
+      match one () with
+      | Value.Obj { payload = Value.Dict d; _ } ->
+          let acc = ref [] in
+          Rdict.iter d (fun _ v -> acc := v :: !acc);
+          Value.Obj (Rlist.create ctx (List.rev !acc))
+      | v -> err "values(): expected dict, got %s" (Value.type_name v))
+  | Builtin.Items -> (
+      match one () with
+      | Value.Obj { payload = Value.Dict d; _ } ->
+          let acc = ref [] in
+          Rdict.iter d (fun k v ->
+              acc := Gc_sim.obj (Ctx.gc ctx) (Value.Tuple [| k; v |]) :: !acc);
+          Value.Obj (Rlist.create ctx (List.rev !acc))
+      | v -> err "items(): expected dict, got %s" (Value.type_name v))
+  | Builtin.Dict_get -> (
+      match args with
+      | [| d; k |] | [| d; k; _ |] -> (
+          let dd =
+            match d with
+            | Value.Obj { payload = Value.Dict dd; _ } -> dd
+            | v -> err "get(): expected dict, got %s" (Value.type_name v)
+          in
+          match Rdict.get ctx dd k with
+          | Some v -> v
+          | None -> if Array.length args = 3 then args.(2) else Value.Nil)
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Has_key ->
+      let d, k = two () in
+      let dd =
+        match d with
+        | Value.Obj { payload = Value.Dict dd | Value.Set dd; _ } -> dd
+        | v -> err "has_key(): expected dict, got %s" (Value.type_name v)
+      in
+      Value.Bool (Rdict.contains ctx dd k)
+  | Builtin.Join ->
+      let sep, lst = two () in
+      let sep = Semantics.as_str sep in
+      let o = Semantics.as_list (Semantics.iterable_as_indexable ctx lst) in
+      let l = Rlist.of_obj o in
+      let parts =
+        List.init (Rlist.length l) (fun i ->
+            Semantics.as_str (Value.list_get_unsafe l i))
+      in
+      Value.Str (Rstr.join ctx sep parts)
+  | Builtin.Split ->
+      let s, sep = two () in
+      let parts =
+        Rstr.split ctx (Semantics.as_str s)
+          (match sep with
+          | Value.Str sep when String.length sep = 1 -> sep.[0]
+          | Value.Str _ -> err "split(): single-char separators only"
+          | v -> err "split(): expected str, got %s" (Value.type_name v))
+      in
+      Value.Obj (Rlist.create ctx (List.map (fun p -> Value.Str p) parts))
+  | Builtin.Replace -> (
+      match args with
+      | [| s; a; x |] ->
+          Value.Str
+            (Rstr.replace ctx (Semantics.as_str s) (Semantics.as_str a)
+               (Semantics.as_str x))
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Find -> (
+      match args with
+      | [| s; Value.Str c |] when String.length c = 1 ->
+          Value.Int (Rstr.find_char ctx (Semantics.as_str s) c.[0] ~start:0)
+      | [| s; Value.Str c; Value.Int start |] when String.length c = 1 ->
+          Value.Int (Rstr.find_char ctx (Semantics.as_str s) c.[0] ~start)
+      | [| s; Value.Str sub |] ->
+          (* substring search, charged linearly *)
+          let s = Semantics.as_str s in
+          let n = String.length s and m = String.length sub in
+          Engine.emit (Ctx.engine ctx) (Mtj_core.Cost.make ~alu:n ~load:n ());
+          let rec go i =
+            if i + m > n then -1
+            else if String.sub s i m = sub then i
+            else go (i + 1)
+          in
+          Value.Int (go 0)
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Strip -> Value.Str (String.trim (Semantics.as_str (one ())))
+  | Builtin.Upper ->
+      Value.Str (String.uppercase_ascii (Semantics.as_str (one ())))
+  | Builtin.Lower ->
+      Value.Str (String.lowercase_ascii (Semantics.as_str (one ())))
+  | Builtin.Startswith ->
+      let s, p = two () in
+      let s = Semantics.as_str s and p = Semantics.as_str p in
+      Value.Bool
+        (String.length p <= String.length s
+        && String.sub s 0 (String.length p) = p)
+  | Builtin.Sqrt -> float1 ctx sqrt args "sqrt"
+  | Builtin.Sin -> float1 ctx sin args "sin"
+  | Builtin.Cos -> float1 ctx cos args "cos"
+  | Builtin.Floor_f -> float1 ctx floor args "floor"
+  | Builtin.Powf ->
+      let a, x = two () in
+      Value.Float (Rstr.pow_float ctx (Rarith.to_float a) (Rarith.to_float x))
+  | Builtin.Set_add ->
+      let s, v = two () in
+      Rset.add ctx (Semantics.as_set_obj s) v;
+      Value.Nil
+  | Builtin.Set_remove ->
+      let s, v = two () in
+      ignore (Rset.remove ctx (Semantics.as_set_obj s) v);
+      Value.Nil
+  | Builtin.Issubset ->
+      let a, x = two () in
+      Value.Bool (Rset.issubset ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+  | Builtin.Difference ->
+      let a, x = two () in
+      Value.Obj (Rset.difference ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+  | Builtin.Union ->
+      let a, x = two () in
+      Value.Obj (Rset.union ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+  | Builtin.Intersection ->
+      let a, x = two () in
+      Value.Obj (Rset.intersection ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+  | Builtin.Translate ->
+      let s, table = two () in
+      let table =
+        match table with
+        | Value.Obj { payload = Value.Dict d; _ } ->
+            let acc = ref [] in
+            Rdict.iter d (fun k v ->
+                match (k, v) with
+                | Value.Str k, Value.Str v when String.length k = 1 ->
+                    acc := (k.[0], v) :: !acc
+                | _ -> ());
+            !acc
+        | _ -> err "translate(): expected dict table"
+      in
+      Value.Str (Rstr.translate ctx (Semantics.as_str s) table)
+  | Builtin.Encode_json -> Value.Str (Rstr.encode_ascii ctx (Semantics.as_str (one ())))
+  | Builtin.Hashf -> Value.Int (Value.py_hash (one ()))
+  | Builtin.Sorted -> Semantics.sorted ctx (one ())
+  | Builtin.Sio_new -> Value.Obj (Rstr.builder_new ctx)
+  | Builtin.Sio_write ->
+      let o, s = two () in
+      Rstr.builder_append ctx (Semantics.as_obj o) (Semantics.as_str s);
+      Value.Nil
+  | Builtin.Sio_getvalue ->
+      Value.Str (Rstr.builder_build ctx (Semantics.as_obj (one ())))
+  | Builtin.Annotate ->
+      Engine.annot (Ctx.engine ctx)
+        (Mtj_core.Annot.App_marker (Semantics.as_int (one ())));
+      Value.Nil
+  | Builtin.Bigint_of -> (
+      match one () with
+      | Value.Int i ->
+          Gc_sim.obj (Ctx.gc ctx) (Value.Bigint (Rbigint.of_int i))
+      | Value.Str s ->
+          Gc_sim.obj (Ctx.gc ctx) (Value.Bigint (Rbigint.of_string s))
+      | v -> err "bigint(): bad argument %s" (Value.type_name v))
+  | Builtin.Make_vector -> (
+      match args with
+      | [| Value.Int n; init |] ->
+          if n < 0 then err "make-vector: negative size";
+          Value.Obj (Rlist.create ctx (List.init n (fun _ -> init)))
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Display ->
+      Array.iter
+        (fun v -> Buffer.add_string (Ctx.out ctx) (Value.to_display_string v))
+        args;
+      Value.Nil
+  | Builtin.Indexable ->
+      range_to_list ctx (Semantics.iterable_as_indexable ctx (one ()))
+  | Builtin.Slice_get -> (
+      match args with
+      | [| container; Value.Int lo; Value.Int hi |] -> (
+          match container with
+          | Value.Obj ({ payload = Value.List l; _ } as o) ->
+              let n = Value.list_len l in
+              let lo = if lo < 0 then max 0 (n + lo) else min lo n in
+              let hi = if hi < 0 then max 0 (n + hi) else min hi n in
+              Value.Obj (Rlist.slice ctx o lo hi)
+          | Value.Str s ->
+              let n = String.length s in
+              let lo = if lo < 0 then max 0 (n + lo) else min lo n in
+              let hi = if hi < 0 then max 0 (n + hi) else min hi n in
+              let hi = max lo hi in
+              Value.Str (String.sub s lo (hi - lo))
+          | v -> err "cannot slice %s" (Value.type_name v))
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Del_item -> (
+      match args with
+      | [| d; k |] -> (
+          match d with
+          | Value.Obj { payload = Value.Dict dd; _ } ->
+              if not (Rdict.delete ctx dd k) then
+                err "KeyError: %s" (Value.repr k);
+              Value.Nil
+          | v -> err "cannot delete items of %s" (Value.type_name v))
+      | _ -> arity_err b (Array.length args))
+  | Builtin.Slice_set -> (
+      match args with
+      | [| container; Value.Int lo; Value.Int hi; src |] ->
+          let dst = Semantics.as_list container in
+          let n = Rlist.length (Rlist.of_obj dst) in
+          let lo = if lo < 0 then max 0 (n + lo) else min lo n in
+          let hi = if hi < 0 then max 0 (n + hi) else min hi n in
+          let hi = max lo hi in
+          Rlist.setslice ctx dst lo hi (Semantics.as_list src);
+          Value.Nil
+      | _ -> arity_err b (Array.length args))
+
+let _ = range_to_list

@@ -1,0 +1,593 @@
+(** The generic VM driver: dispatch loop, hot-loop detection, tracing
+    control, compiled-code entry and deoptimization plumbing.
+
+    Instantiated once per hosted language (pylite, rklite).  The driver
+    owns the mode transitions of Figure 1/3 of the paper:
+
+    - {b interpreter}: the dispatch loop runs [Step(Direct_ops)], emitting
+      one [Dispatch_tick] annotation and one indirect dispatch branch per
+      bytecode;
+    - {b tracing}: when a loop header's counter crosses the threshold the
+      same handlers run as [Step(Trace_ops)], recording IR until the loop
+      closes (or the trace aborts);
+    - {b JIT}: compiled loops execute in {!Executor}; guard failures
+      deoptimize through the blackhole back into the interpreter, and hot
+      guards get bridges traced from their deopt state. *)
+
+open Mtj_core
+open Mtj_rt
+module Engine = Mtj_machine.Engine
+
+type outcome =
+  | Completed of Value.t
+  | Budget_exceeded
+  | Runtime_error of string
+
+module Make (L : Ops_intf.LANG) = struct
+  module D = L.Step (Direct_ops)
+  module T = L.Step (Trace_ops)
+
+  type site = {
+    mutable counter : int;
+    mutable state : [ `Cold | `Compiled of Ir.trace | `Blacklisted ];
+    mutable aborts : int;
+    mutable raw : Ir.op array option;
+        (* tiered mode: recorded (unoptimized) ops kept for the tier-2
+           recompile *)
+  }
+
+  type dframe = (Value.t, L.code) Frame.t
+  type tframe = (Recorder.tval, L.code) Frame.t
+
+  type t = {
+    rtc : Ctx.t;
+    cfg : Config.t;
+    profile : Profile.t;
+    globals : Globals.t;
+    jitlog : Jitlog.t;
+    sites : (int * int, site) Hashtbl.t;
+    dcx : Direct_ops.cx;
+    mutable cur : dframe option;        (* GC roots: direct frames *)
+    mutable tracking : tframe option;   (* GC roots: tracked frames *)
+  }
+
+  let create ?(profile = Profile.rpython_interp) rtc globals =
+    let t =
+      {
+        rtc;
+        cfg = Ctx.config rtc;
+        profile;
+        globals;
+        jitlog = Jitlog.create ();
+        sites = Hashtbl.create 64;
+        dcx = Direct_ops.make_cx rtc profile;
+        cur = None;
+        tracking = None;
+      }
+    in
+    Engine.set_interp_width (Ctx.engine rtc) profile.Profile.interp_width;
+    (* frames and globals are GC roots *)
+    let scan_dchain visit =
+      let rec go = function
+        | None -> ()
+        | Some (f : dframe) ->
+            Array.iter visit f.Frame.locals;
+            for i = 0 to f.Frame.sp - 1 do
+              visit f.Frame.stack.(i)
+            done;
+            go f.Frame.parent
+      in
+      go t.cur
+    in
+    let scan_tchain visit =
+      let rec go = function
+        | None -> ()
+        | Some (f : tframe) ->
+            Array.iter (fun (tv : Recorder.tval) -> visit tv.Recorder.v) f.Frame.locals;
+            for i = 0 to f.Frame.sp - 1 do
+              visit f.Frame.stack.(i).Recorder.v
+            done;
+            go f.Frame.parent
+      in
+      go t.tracking
+    in
+    ignore
+      (Gc_sim.add_root_scanner (Ctx.gc rtc) (fun visit ->
+           scan_dchain visit;
+           scan_tchain visit;
+           Globals.scan globals visit));
+    t
+
+  let jitlog t = t.jitlog
+  let globals t = t.globals
+  let rtc t = t.rtc
+
+  let site_of t key =
+    match Hashtbl.find_opt t.sites key with
+    | Some s -> s
+    | None ->
+        let s = { counter = 0; state = `Cold; aborts = 0; raw = None } in
+        Hashtbl.replace t.sites key s;
+        s
+
+  let make_dframe code parent : dframe =
+    Frame.create ~code ~code_ref:(L.code_ref code) ~nlocals:(L.nlocals code)
+      ~stack_size:(L.stack_size code) ~default:Value.Nil ~parent
+
+  (* --- resume snapshots over tracked frames --- *)
+
+  let source_of_tval (tv : Recorder.tval) : Ir.source =
+    match tv.Recorder.src with
+    | Ir.Reg r -> Ir.S_reg r
+    | Ir.Const v -> Ir.S_const v
+
+  let chain_outermost_first (bottom : tframe) =
+    let rec go acc (f : tframe) =
+      match f.Frame.parent with None -> f :: acc | Some p -> go (f :: acc) p
+    in
+    go [] bottom
+
+  let build_resume (innermost : tframe) : Ir.resume =
+    let frames =
+      List.map
+        (fun (f : tframe) ->
+          {
+            Ir.snap_code = f.Frame.code_ref;
+            snap_pc = f.Frame.pc;
+            snap_locals = Array.map source_of_tval f.Frame.locals;
+            snap_stack =
+              Array.init f.Frame.sp (fun i -> source_of_tval f.Frame.stack.(i));
+            snap_discard = f.Frame.discard_return;
+          })
+        (chain_outermost_first innermost)
+    in
+    { Ir.frames; r_virtuals = [||] }
+
+  type saved_frame = {
+    s_code : L.code;
+    s_pc : int;
+    s_locals : Value.t array;
+    s_stack : Value.t array;
+    s_discard : bool;
+  }
+
+  let save_chain (innermost : tframe) =
+    List.map
+      (fun (f : tframe) ->
+        {
+          s_code = f.Frame.code;
+          s_pc = f.Frame.pc;
+          s_locals = Array.map (fun (tv : Recorder.tval) -> tv.Recorder.v) f.Frame.locals;
+          s_stack =
+            Array.init f.Frame.sp (fun i -> f.Frame.stack.(i).Recorder.v);
+          s_discard = f.Frame.discard_return;
+        })
+      (chain_outermost_first innermost)
+
+  (* rebuild a direct frame chain from saved state; [parent] is the frame
+     below the traced region *)
+  let rebuild_saved (saved : saved_frame list) (parent : dframe option) : dframe =
+    List.fold_left
+      (fun parent s ->
+        let f = make_dframe s.s_code parent in
+        f.Frame.pc <- s.s_pc;
+        f.Frame.discard_return <- s.s_discard;
+        Array.blit s.s_locals 0 f.Frame.locals 0 (Array.length s.s_locals);
+        Array.iteri (fun i v -> f.Frame.stack.(i) <- v) s.s_stack;
+        f.Frame.sp <- Array.length s.s_stack;
+        Some f)
+      parent saved
+    |> Option.get
+
+  let rebuild_deopt (frames : Executor.deopt_frame list) (parent : dframe option)
+      : dframe =
+    rebuild_saved
+      (List.map
+         (fun (d : Executor.deopt_frame) ->
+           {
+             s_code = L.lookup_code d.Executor.df_code;
+             s_pc = d.Executor.df_pc;
+             s_locals = d.Executor.df_locals;
+             s_stack = d.Executor.df_stack;
+             s_discard = d.Executor.df_discard;
+           })
+         frames)
+      parent
+
+  (* --- recording sessions (loops and bridges share this) --- *)
+
+  type session_end =
+    | Closed of Ir.op array * saved_frame list
+    | Closed_return of Ir.op array * Value.t
+        (* the traced region returned out of its bottom frame; the value
+           flows to the caller of the region (bridges only) *)
+    | Aborted of string * saved_frame list
+
+  (* runs the tracing meta-interpreter until [close] says the trace is
+     complete or tracing aborts; returns the recorded ops and the
+     concrete state to resume direct execution from *)
+  let record_session t (rec_ : Recorder.t) (start : tframe) ~target_key
+      ~allow_finish
+      ~(close : steps:int -> tframe -> bool) ~(finish : Recorder.t -> tframe -> unit) :
+      session_end =
+    let tcur = ref start in
+    t.tracking <- Some start;
+    let last_saved = ref (save_chain start) in
+    let finish_session result =
+      t.tracking <- None;
+      result
+    in
+    ignore target_key;
+    let rec loop steps =
+      let f = !tcur in
+      if close ~steps f then begin
+        finish rec_ f;
+        Closed (Recorder.ops rec_, save_chain f)
+      end
+      else begin
+        (* inner loops that are already compiled are traced straight
+           through (unrolled); overly long unrolls hit the trace-length
+           abort, as in RPython *)
+        last_saved := save_chain f;
+        Recorder.begin_bytecode rec_ ~resume:(build_resume f)
+          ~code:f.Frame.code_ref ~pc:f.Frame.pc;
+        match T.step rec_ t.globals f with
+        | Frame.Continue -> loop (steps + 1)
+        | Frame.Call nf ->
+            if Frame.depth nf > t.cfg.Config.max_inline_depth then
+              raise (Recorder.Abort "call too deep to inline");
+            Recorder.enter_call rec_;
+            tcur := nf;
+            t.tracking <- Some nf;
+            loop (steps + 1)
+        | Frame.Return v -> (
+            match f.Frame.parent with
+            | Some p ->
+                if not f.Frame.discard_return then Frame.push p v;
+                Recorder.exit_call rec_;
+                tcur := p;
+                t.tracking <- Some p;
+                loop (steps + 1)
+            | None ->
+                if allow_finish then begin
+                  (* the region returned: end the trace with [finish],
+                     handing the value back to the region's caller *)
+                  Recorder.emit_n rec_ Ir.Finish [| v.Recorder.src |];
+                  Closed_return (Recorder.ops rec_, v.Recorder.v)
+                end
+                else raise (Recorder.Abort "returned out of the traced region"))
+      end
+    in
+    match loop 0 with
+    | result -> finish_session result
+    | exception Recorder.Abort msg ->
+        let where =
+          match !tcur with
+          | f -> Printf.sprintf " @%s:%d" (L.name f.Frame.code) f.Frame.pc
+        in
+        finish_session (Aborted (msg ^ where, !last_saved))
+    | exception Ops_intf.Lang_error _ ->
+        finish_session (Aborted ("language error while tracing", !last_saved))
+    | exception Rarith.Type_error _ ->
+        finish_session (Aborted ("type error while tracing", !last_saved))
+    | exception Division_by_zero ->
+        finish_session (Aborted ("division by zero while tracing", !last_saved))
+    | exception e ->
+        t.tracking <- None;
+        raise e
+
+  let tval_of_value r i v : Recorder.tval = ignore r; { Recorder.v; src = Ir.Reg i }
+
+  (* --- tracing a loop --- *)
+
+  let trace_loop t (f : dframe) (site : site) : dframe =
+    let key = (f.Frame.code_ref, f.Frame.pc) in
+    let eng = Ctx.engine t.rtc in
+    Engine.push_phase eng Phase.Tracing;
+    Fun.protect ~finally:(fun () -> Engine.pop_phase eng) @@ fun () ->
+    let entry_slots = Array.length f.Frame.locals in
+    let rec_ = Recorder.create t.rtc ~entry_slots in
+    let tf : tframe =
+      Frame.create ~code:f.Frame.code ~code_ref:f.Frame.code_ref
+        ~nlocals:entry_slots ~stack_size:(L.stack_size f.Frame.code)
+        ~default:{ Recorder.v = Value.Nil; src = Ir.Const Value.Nil }
+        ~parent:None
+    in
+    Array.iteri (fun i v -> tf.Frame.locals.(i) <- tval_of_value rec_ i v) f.Frame.locals;
+    tf.Frame.pc <- f.Frame.pc;
+    let close ~steps (fr : tframe) =
+      steps > 0 && fr.Frame.parent = None
+      && fr.Frame.code_ref = fst key
+      && fr.Frame.pc = snd key && fr.Frame.sp = 0
+    in
+    let finish rec_ (fr : tframe) =
+      let args = Array.map (fun (tv : Recorder.tval) -> tv.Recorder.src) fr.Frame.locals in
+      Recorder.emit_n rec_ Ir.Jump args
+    in
+    let orig_parent = f.Frame.parent in
+    match record_session t rec_ tf ~target_key:key ~allow_finish:false ~close ~finish with
+    | Closed (ops, saved) ->
+        let trace =
+          if t.cfg.Config.tiered then begin
+            (* tier 1: skip the optimizer, pay a fraction of the compile
+               cost, keep the raw recording for the tier-2 recompile *)
+            site.raw <- Some (Ir.copy_ops ops);
+            Backend.compile t.jitlog t.rtc
+              ~kind:(Ir.Loop { loop_code = fst key; loop_pc = snd key })
+              ~entry_slots ~tier:1 ops
+          end
+          else begin
+            let opt_ops, loop_base, loop_start =
+              Opt.optimize t.cfg ~kind:`Loop ops ~entry_slots
+            in
+            Backend.compile t.jitlog t.rtc
+              ~kind:(Ir.Loop { loop_code = fst key; loop_pc = snd key })
+              ~entry_slots ~loop_base ~loop_start opt_ops
+          end
+        in
+        site.state <- `Compiled trace;
+        rebuild_saved saved orig_parent
+    | Closed_return _ -> assert false (* loops never record [finish] *)
+    | Aborted (msg, saved) ->
+        Jitlog.record_abort t.jitlog msg;
+        site.aborts <- site.aborts + 1;
+        site.counter <- 0;
+        if site.aborts >= t.cfg.Config.retrace_limit then begin
+          site.state <- `Blacklisted;
+          Jitlog.record_blacklist t.jitlog
+        end;
+        rebuild_saved saved orig_parent
+
+  (* --- tracing a bridge from a deoptimized state --- *)
+
+  (* result of running / bridging JIT code: either an interpreter frame
+     to continue from, or the whole region returned a value to the caller
+     of [orig_parent]'s child (possibly ending the program) *)
+  type jit_outcome = J_frame of dframe | J_done of Value.t
+
+  let continue_after_region_return ~(orig_parent : dframe option)
+      ~(discard : bool) (v : Value.t) : jit_outcome =
+    match orig_parent with
+    | Some p ->
+        if not discard then Frame.push p v;
+        J_frame p
+    | None -> J_done v
+
+  let loop_key_of (trace : Ir.trace) =
+    match trace.Ir.kind with
+    | Ir.Loop { loop_code; loop_pc } -> (loop_code, loop_pc)
+    | Ir.Bridge { loop_code; loop_pc; _ } -> (loop_code, loop_pc)
+
+  let trace_bridge t (g : Ir.guard) (frames : Executor.deopt_frame list)
+      ~loop_key ~(orig_parent : dframe option) : jit_outcome =
+    let eng = Ctx.engine t.rtc in
+    Engine.push_phase eng Phase.Tracing;
+    Fun.protect ~finally:(fun () -> Engine.pop_phase eng) @@ fun () ->
+    (* flatten the deopt state: entry registers in frame order, locals
+       then stack for each frame, outermost first *)
+    let next = ref 0 in
+    let entry_slots =
+      List.fold_left
+        (fun acc (d : Executor.deopt_frame) ->
+          acc
+          + Array.length d.Executor.df_locals
+          + Array.length d.Executor.df_stack)
+        0 frames
+    in
+    let rec_ = Recorder.create t.rtc ~entry_slots in
+    let bottom_to_top =
+      List.fold_left
+        (fun parent (d : Executor.deopt_frame) ->
+          let code = L.lookup_code d.Executor.df_code in
+          let f : tframe =
+            Frame.create ~code ~code_ref:d.Executor.df_code
+              ~nlocals:(L.nlocals code) ~stack_size:(L.stack_size code)
+              ~default:{ Recorder.v = Value.Nil; src = Ir.Const Value.Nil }
+              ~parent
+          in
+          f.Frame.pc <- d.Executor.df_pc;
+          f.Frame.discard_return <- d.Executor.df_discard;
+          Array.iteri
+            (fun i v ->
+              let r = !next in
+              incr next;
+              f.Frame.locals.(i) <- { Recorder.v; src = Ir.Reg r })
+            d.Executor.df_locals;
+          Array.iteri
+            (fun i v ->
+              let r = !next in
+              incr next;
+              f.Frame.stack.(i) <- { Recorder.v; src = Ir.Reg r })
+            d.Executor.df_stack;
+          f.Frame.sp <- Array.length d.Executor.df_stack;
+          Some f)
+        None frames
+    in
+    let start = Option.get bottom_to_top in
+    let close ~steps (fr : tframe) =
+      steps > 0 && fr.Frame.parent = None
+      && (fr.Frame.code_ref, fr.Frame.pc) = loop_key
+      && fr.Frame.sp = 0
+    in
+    let target_trace_id () =
+      match (site_of t loop_key).state with
+      | `Compiled tr -> Some tr.Ir.trace_id
+      | `Cold | `Blacklisted -> None
+    in
+    let finish rec_ (fr : tframe) =
+      match target_trace_id () with
+      | Some tid ->
+          let args =
+            Array.map (fun (tv : Recorder.tval) -> tv.Recorder.src) fr.Frame.locals
+          in
+          Recorder.emit_n rec_ (Ir.Call_assembler tid) args
+      | None -> raise (Recorder.Abort "bridge target loop vanished")
+    in
+    let compile_bridge ops =
+      let opt_ops, _, _ = Opt.optimize t.cfg ~kind:`Bridge ops ~entry_slots in
+      let bridge =
+        Backend.compile t.jitlog t.rtc
+          ~kind:
+            (Ir.Bridge
+               {
+                 from_guard = g.Ir.guard_id;
+                 loop_code = fst loop_key;
+                 loop_pc = snd loop_key;
+               })
+          ~entry_slots opt_ops
+      in
+      g.Ir.bridge <- Some bridge;
+      Jitlog.record_bridge t.jitlog
+    in
+    let region_discard =
+      match frames with
+      | outermost :: _ -> outermost.Executor.df_discard
+      | [] -> false
+    in
+    match
+      record_session t rec_ start ~target_key:loop_key ~allow_finish:true
+        ~close ~finish
+    with
+    | Closed (ops, saved) ->
+        compile_bridge ops;
+        J_frame (rebuild_saved saved orig_parent)
+    | Closed_return (ops, v) ->
+        compile_bridge ops;
+        continue_after_region_return ~orig_parent ~discard:region_discard v
+    | Aborted (msg, saved) ->
+        Jitlog.record_abort t.jitlog msg;
+        g.Ir.bridgeable <- false;
+        J_frame (rebuild_saved saved orig_parent)
+
+  (* --- entering compiled code --- *)
+
+  let enter_jit t (trace : Ir.trace) (f : dframe) : jit_outcome =
+    let eng = Ctx.engine t.rtc in
+    let orig_parent = f.Frame.parent in
+    Engine.push_phase eng Phase.Jit;
+    let ex =
+      Fun.protect ~finally:(fun () -> Engine.pop_phase eng) @@ fun () ->
+      Executor.run t.rtc t.jitlog ~trace ~entry:f.Frame.locals
+    in
+    match ex.Executor.finished with
+    | Some v ->
+        continue_after_region_return ~orig_parent
+          ~discard:f.Frame.discard_return v
+    | None -> (
+        match ex.Executor.failed_guard with
+        | Some g when ex.Executor.request_bridge && g.Ir.bridgeable ->
+            trace_bridge t g ex.Executor.frames ~loop_key:(loop_key_of trace)
+              ~orig_parent
+        | Some _ | None -> J_frame (rebuild_deopt ex.Executor.frames orig_parent))
+
+  (* --- the JIT portal, consulted at every loop header --- *)
+
+  let on_loop_header t (f : dframe) : jit_outcome =
+    if f.Frame.sp <> 0 then J_frame f
+    else begin
+      let key = (f.Frame.code_ref, f.Frame.pc) in
+      let site = site_of t key in
+      match site.state with
+      | `Compiled trace ->
+          let trace =
+            (* two-tier mode: once a quick tier-1 trace proves hot,
+               recompile the saved recording through the full optimizer
+               (tracing-phase work, like the original compile) *)
+            if
+              trace.Ir.tier = 1
+              && trace.Ir.exec_count >= t.cfg.Config.tier2_threshold
+            then
+              match site.raw with
+              | Some raw ->
+                  let eng = Ctx.engine t.rtc in
+                  Engine.push_phase eng Phase.Tracing;
+                  Fun.protect ~finally:(fun () -> Engine.pop_phase eng)
+                  @@ fun () ->
+                  let entry_slots = trace.Ir.entry_slots in
+                  let ops = Ir.copy_ops raw in
+                  let opt_ops, loop_base, loop_start =
+                    Opt.optimize t.cfg ~kind:`Loop ops ~entry_slots
+                  in
+                  let t2 =
+                    Backend.compile t.jitlog t.rtc ~kind:trace.Ir.kind
+                      ~entry_slots ~loop_base ~loop_start opt_ops
+                  in
+                  Jitlog.record_retier t.jitlog;
+                  site.state <- `Compiled t2;
+                  site.raw <- None;
+                  t2
+              | None -> trace
+            else trace
+          in
+          enter_jit t trace f
+      | `Blacklisted -> J_frame f
+      | `Cold ->
+          site.counter <- site.counter + 1;
+          if site.counter >= t.cfg.Config.jit_threshold then
+            J_frame (trace_loop t f site)
+          else J_frame f
+    end
+
+  (* --- the dispatch loop --- *)
+
+  let run_frame t (frame0 : dframe) : outcome =
+    let eng = Ctx.engine t.rtc in
+    let cur = ref frame0 in
+    t.cur <- Some frame0;
+    let result = ref None in
+    (try
+       while !result = None do
+         let f = !cur in
+         (* the JIT portal *)
+         let f =
+           if
+             t.cfg.Config.jit_enabled
+             && L.loop_header f.Frame.code f.Frame.pc
+           then begin
+             match on_loop_header t f with
+             | J_frame f' ->
+                 cur := f';
+                 t.cur <- Some f';
+                 Some f'
+             | J_done v ->
+                 result := Some (Completed v);
+                 None
+           end
+           else Some f
+         in
+         match f with
+         | None -> ()
+         | Some f ->
+         (* one dispatch-loop iteration *)
+         Engine.annot eng Annot.Dispatch_tick;
+         Engine.emit eng t.profile.Profile.dispatch;
+         if t.profile.Profile.dispatch_indirect then
+           Engine.branch_indirect eng
+             ~site:(200_000 + (f.Frame.code_ref land 1023))
+             ~target:(L.opcode_at f.Frame.code f.Frame.pc);
+         match D.step t.dcx t.globals f with
+         | Frame.Continue -> ()
+         | Frame.Call nf ->
+             Engine.emit eng t.profile.Profile.frame_cost;
+             cur := nf;
+             t.cur <- Some nf
+         | Frame.Return v -> (
+             match f.Frame.parent with
+             | Some p ->
+                 Engine.emit eng t.profile.Profile.frame_cost;
+                 if not f.Frame.discard_return then Frame.push p v;
+                 cur := p;
+                 t.cur <- Some p
+             | None -> result := Some (Completed v))
+       done
+     with
+    | Engine.Budget_exhausted -> result := Some Budget_exceeded
+    | Ops_intf.Lang_error msg -> result := Some (Runtime_error msg)
+    | Rarith.Type_error msg -> result := Some (Runtime_error msg)
+    | Division_by_zero -> result := Some (Runtime_error "division by zero"));
+    t.cur <- None;
+    Option.get !result
+
+  let run t (code : L.code) : outcome =
+    run_frame t (make_dframe code None)
+end

@@ -1,0 +1,134 @@
+(** Pure evaluation of side-effect-free IR opcodes over concrete values.
+
+    Shared by the optimizer (constant folding) and the trace executor.
+    Raises [Not_pure] for opcodes that touch the heap, call out, or
+    control the trace; raises language errors ({!Ops_intf.Lang_error},
+    [Division_by_zero]) exactly where the interpreter would. *)
+
+open Mtj_rt
+
+exception Not_pure
+exception Overflow
+
+let as_int = function
+  | Value.Int i -> i
+  | Value.Bool b -> Bool.to_int b
+  | v -> Semantics.err "int op on %s" (Value.type_name v)
+
+let as_float = function
+  | Value.Float f -> f
+  | v -> Semantics.err "float op on %s" (Value.type_name v)
+
+let as_str = function
+  | Value.Str s -> s
+  | v -> Semantics.err "str op on %s" (Value.type_name v)
+
+let checked_add x y =
+  let r = x + y in
+  if (x >= 0) = (y >= 0) && (r >= 0) <> (x >= 0) then raise Overflow else r
+
+let checked_sub x y =
+  let r = x - y in
+  if (x >= 0) <> (y >= 0) && (r >= 0) <> (x >= 0) then raise Overflow else r
+
+let checked_mul x y =
+  if x <> 0 && (abs x > 1 lsl 31 || abs y > 1 lsl 31) && (x * y) / x <> y then
+    raise Overflow
+  else x * y
+
+let bool v = Value.Bool v
+
+let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
+  let i n = as_int args.(n) and f n = as_float args.(n) in
+  match opcode with
+  | Ir.Int_add -> Value.Int (i 0 + i 1)
+  | Ir.Int_sub -> Value.Int (i 0 - i 1)
+  | Ir.Int_mul -> Value.Int (i 0 * i 1)
+  | Ir.Int_and -> Value.Int (i 0 land i 1)
+  | Ir.Int_or -> Value.Int (i 0 lor i 1)
+  | Ir.Int_xor -> Value.Int (i 0 lxor i 1)
+  | Ir.Int_lshift -> Value.Int (i 0 lsl i 1)
+  | Ir.Int_rshift -> Value.Int (i 0 asr i 1)
+  | Ir.Int_lt -> bool (i 0 < i 1)
+  | Ir.Int_le -> bool (i 0 <= i 1)
+  | Ir.Int_eq -> bool (i 0 = i 1)
+  | Ir.Int_ne -> bool (i 0 <> i 1)
+  | Ir.Int_gt -> bool (i 0 > i 1)
+  | Ir.Int_ge -> bool (i 0 >= i 1)
+  | Ir.Int_neg ->
+      let x = i 0 in
+      if x = min_int then Semantics.err "integer negation overflow"
+      else Value.Int (-x)
+  | Ir.Int_is_true -> bool (i 0 <> 0)
+  | Ir.Int_is_zero -> bool (not (Value.truthy args.(0)))
+  | Ir.Int_floordiv -> Value.Int (Rarith.floordiv_int (i 0) (i 1))
+  | Ir.Int_mod -> Value.Int (Rarith.mod_int (i 0) (i 1))
+  | Ir.Float_add -> Value.Float (f 0 +. f 1)
+  | Ir.Float_sub -> Value.Float (f 0 -. f 1)
+  | Ir.Float_mul -> Value.Float (f 0 *. f 1)
+  | Ir.Float_truediv ->
+      if f 1 = 0.0 then raise Division_by_zero
+      else Value.Float (f 0 /. f 1)
+  | Ir.Float_neg -> Value.Float (-.(f 0))
+  | Ir.Float_abs -> Value.Float (Float.abs (f 0))
+  | Ir.Float_lt -> bool (f 0 < f 1)
+  | Ir.Float_le -> bool (f 0 <= f 1)
+  | Ir.Float_eq -> bool (f 0 = f 1)
+  | Ir.Float_ne -> bool (f 0 <> f 1)
+  | Ir.Float_gt -> bool (f 0 > f 1)
+  | Ir.Float_ge -> bool (f 0 >= f 1)
+  | Ir.Cast_int_to_float -> Value.Float (float_of_int (i 0))
+  | Ir.Cast_float_to_int -> Value.Int (int_of_float (Float.trunc (f 0)))
+  | Ir.Str_concat -> Value.Str (as_str args.(0) ^ as_str args.(1))
+  | Ir.Str_eq -> bool (String.equal (as_str args.(0)) (as_str args.(1)))
+  | Ir.Strlen -> Value.Int (String.length (as_str args.(0)))
+  | Ir.Strgetitem ->
+      let s = as_str args.(0) and idx = i 1 in
+      if idx < 0 || idx >= String.length s then
+        Semantics.err "string index out of range"
+      else Value.Str (String.make 1 s.[idx])
+  | Ir.Ptr_eq -> bool (Semantics.identical args.(0) args.(1))
+  | Ir.Ptr_ne -> bool (not (Semantics.identical args.(0) args.(1)))
+  | Ir.Same_as -> args.(0)
+  | Ir.Unicode_len -> Value.Int (String.length (as_str args.(0)))
+  | Ir.Unicode_getitem ->
+      let s = as_str args.(0) and idx = i 1 in
+      if idx < 0 || idx >= String.length s then
+        Semantics.err "string index out of range"
+      else Value.Str (String.make 1 s.[idx])
+  | Ir.Getfield_gc _ | Ir.Setfield_gc _ | Ir.Getarrayitem_gc | Ir.Getlistitem
+  | Ir.Setlistitem | Ir.Arraylen | Ir.Getcell | Ir.Setcell | Ir.Guard _
+  | Ir.Call_r _ | Ir.Call_n _ | Ir.Call_assembler _ | Ir.Label | Ir.Jump | Ir.Finish
+  | Ir.New_with_vtable _ | Ir.New_array _ | Ir.New_list _ | Ir.New_cell
+  | Ir.Debug_merge_point _ ->
+      raise Not_pure
+
+(* is this opcode foldable when all arguments are constants? *)
+let foldable opcode =
+  match opcode with
+  | Ir.Int_add | Ir.Int_sub | Ir.Int_mul | Ir.Int_and | Ir.Int_or
+  | Ir.Int_xor | Ir.Int_lshift | Ir.Int_rshift | Ir.Int_lt | Ir.Int_le
+  | Ir.Int_eq | Ir.Int_ne | Ir.Int_gt | Ir.Int_ge | Ir.Int_neg
+  | Ir.Int_is_true | Ir.Int_is_zero | Ir.Int_floordiv | Ir.Int_mod
+  | Ir.Float_add | Ir.Float_sub | Ir.Float_mul | Ir.Float_truediv
+  | Ir.Float_neg | Ir.Float_abs | Ir.Float_lt | Ir.Float_le | Ir.Float_eq
+  | Ir.Float_ne | Ir.Float_gt | Ir.Float_ge | Ir.Cast_int_to_float
+  | Ir.Cast_float_to_int | Ir.Str_concat | Ir.Str_eq | Ir.Strlen
+  | Ir.Strgetitem | Ir.Ptr_eq | Ir.Ptr_ne | Ir.Same_as | Ir.Unicode_len
+  | Ir.Unicode_getitem ->
+      true
+  | _ -> false
+
+(* result-producing ops with no observable effect: removable when the
+   result is unused (allocations included — that is trivial escape
+   analysis; pure residual calls included) *)
+let removable (op : Ir.op) =
+  op.Ir.result >= 0
+  &&
+  match op.Ir.opcode with
+  | Ir.Guard _ | Ir.Setfield_gc _ | Ir.Setlistitem | Ir.Setcell | Ir.Jump
+  | Ir.Finish | Ir.Label | Ir.Call_assembler _ | Ir.Debug_merge_point _
+  | Ir.Call_n _ ->
+      false
+  | Ir.Call_r c -> not c.Ir.effectful
+  | _ -> true

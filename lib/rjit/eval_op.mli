@@ -1,0 +1,31 @@
+(** Pure evaluation of IR opcodes on concrete values, shared by the
+    optimizer's constant folder and the trace executor. *)
+
+exception Not_pure
+(** Raised by {!eval} for opcodes that touch the heap or have effects. *)
+
+exception Overflow
+(** Raised by the checked arithmetic helpers on native-int overflow —
+    the condition the [guard_no_overflow] family checks. *)
+
+val as_int : Mtj_rt.Value.t -> int
+val as_float : Mtj_rt.Value.t -> float
+val as_str : Mtj_rt.Value.t -> string
+
+val checked_add : int -> int -> int
+val checked_sub : int -> int -> int
+val checked_mul : int -> int -> int
+
+val eval : Ir.opcode -> Mtj_rt.Value.t array -> Mtj_rt.Value.t
+(** Evaluate a pure opcode. Raises {!Not_pure} for heap/effect opcodes,
+    [Division_by_zero] and {!Mtj_rjit.Ops_intf.Lang_error} with the same
+    messages the interpreter produces (so folding never changes
+    observable errors). *)
+
+val foldable : Ir.opcode -> bool
+(** Whether the constant folder may evaluate this opcode at compile time
+    when all arguments are constants. *)
+
+val removable : Ir.op -> bool
+(** Whether dead-code elimination may drop this operation when its
+    result is unused. *)

@@ -1,0 +1,57 @@
+(** Trace executor: runs compiled trace code against the machine model.
+
+    Executes the trace's operations on concrete values while charging
+    each node's pre-lowered cost, evaluating guards, following attached
+    bridges on guard failure, and switching into other compiled traces
+    at [call_assembler] back-edges. On a guard failure with no bridge it
+    deoptimizes: the blackhole interpreter (Phase [Blackhole], Table IV's
+    worst-IPC phase) rebuilds interpreter frames from the guard's resume
+    data, materializing any virtualized allocations. *)
+
+type deopt_frame = {
+  df_code : int;             (** interpreter code_ref *)
+  df_pc : int;               (** bytecode pc to re-execute from *)
+  df_locals : Mtj_rt.Value.t array;
+  df_stack : Mtj_rt.Value.t array;
+  df_discard : bool;         (** the frame's return value is discarded *)
+}
+
+type exit_state = {
+  frames : deopt_frame list;  (** outermost first; empty on [finished] *)
+  failed_guard : Ir.guard option;
+  request_bridge : bool;
+      (** the failed guard is hot enough to deserve a bridge *)
+  finished : Mtj_rt.Value.t option;
+      (** a trace ended with [finish]: the traced region returned this
+          value to its caller *)
+}
+
+val materialize_frames :
+  Mtj_rt.Ctx.t -> Ir.resume -> Mtj_rt.Value.t array -> deopt_frame list
+(** Rebuild interpreter frames from resume data and the current register
+    file, allocating any virtual objects described by the resume's
+    descriptors (shared descriptors materialize once, cycles are fine). *)
+
+val guard_holds : Ir.guard -> Mtj_rt.Value.t array -> bool
+(** Evaluate a guard's condition against its argument values. *)
+
+val blackhole :
+  Mtj_rt.Ctx.t ->
+  Ir.resume ->
+  Mtj_rt.Value.t array ->
+  guard_id:int ->
+  deopt_frame list
+(** {!materialize_frames} wrapped in the blackhole phase with the
+    deoptimization cost model (resume-chain walking, poor prediction). *)
+
+val run :
+  Mtj_rt.Ctx.t ->
+  Jitlog.t ->
+  trace:Ir.trace ->
+  entry:Mtj_rt.Value.t array ->
+  exit_state
+(** Execute a compiled trace from its entry, with [entry] filling the
+    first [trace.entry_slots] registers. Returns how JIT code was left:
+    a finished region, or frames to continue from in the interpreter
+    (with [request_bridge] set when the failing guard crossed the bridge
+    threshold). The register file is a GC root for the duration. *)

@@ -1,0 +1,56 @@
+(** Module-level global bindings with a version counter (PyPy's
+    module-dict cells / [guard_not_invalidated]).
+
+    Global lookups in hot code are {e promoted}: the trace records the
+    value seen during tracing as a constant, guarded by the dictionary's
+    version. To keep that sound without invalidating traces on every
+    store, assignment follows PyPy's ModuleDict strategy:
+
+    - a name assigned {e once} is stored directly; traces may treat its
+      value as a constant under the version guard, because any
+      reassignment converts the binding and bumps the version;
+    - a name assigned {e again} is converted to a {e cell} (one final
+      version bump); loads of a celled name compile to a runtime cell
+      read, and further stores mutate the cell without touching the
+      version — a toplevel counter updated in a loop costs one trace
+      invalidation ever, not one per iteration. *)
+
+type binding =
+  | Direct of Mtj_rt.Value.t         (* assigned once: promotable *)
+  | Celled of Mtj_rt.Value.t ref     (* reassigned: runtime reads *)
+
+type t = {
+  tbl : (string, binding) Hashtbl.t;
+  version : int ref;
+}
+
+let create () = { tbl = Hashtbl.create 64; version = ref 0 }
+
+let binding t name = Hashtbl.find_opt t.tbl name
+
+let get t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Direct v) -> Some v
+  | Some (Celled c) -> Some !c
+  | None -> None
+
+let set t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Celled c) -> c := v
+  | Some (Direct _) ->
+      (* second assignment: convert to a cell; the version bump kills
+         every trace that promoted the old value *)
+      incr t.version;
+      Hashtbl.replace t.tbl name (Celled (ref v))
+  | None ->
+      incr t.version;
+      Hashtbl.replace t.tbl name (Direct v)
+
+(* defining at startup also bumps the version; traces recorded later see
+   the settled version *)
+let define = set
+
+let scan t visit =
+  Hashtbl.iter
+    (fun _ b -> match b with Direct v -> visit v | Celled c -> visit !c)
+    t.tbl

@@ -1,0 +1,171 @@
+(** The PyPy-Log equivalent (Sec. III).
+
+    Records every compiled trace (loops and bridges) with its IR, the
+    bytecode merge points, the per-operation assembly footprint, and the
+    dynamic execution counts maintained by the executor.  The JIT-IR-level
+    characterization (Figures 6, 7, 8, 9) is computed from here. *)
+
+type t = {
+  mutable traces : Ir.trace list;  (* newest first *)
+  mutable next_trace_id : int;
+  mutable aborts : int;
+  mutable abort_reasons : (string * int) list;
+  mutable blacklisted : int;
+  mutable deopts : int;
+  mutable bridges_attached : int;
+  mutable retiers : int;  (* tier-1 traces recompiled at tier 2 *)
+}
+
+let create () =
+  {
+    traces = [];
+    next_trace_id = 0;
+    aborts = 0;
+    abort_reasons = [];
+    blacklisted = 0;
+    deopts = 0;
+    bridges_attached = 0;
+    retiers = 0;
+  }
+
+let fresh_trace_id t =
+  let id = t.next_trace_id in
+  t.next_trace_id <- id + 1;
+  id
+
+let register t trace = t.traces <- trace :: t.traces
+
+let find t id =
+  List.find_opt (fun (tr : Ir.trace) -> tr.Ir.trace_id = id) t.traces
+
+let traces t = List.rev t.traces
+let num_traces t = List.length t.traces
+
+let record_abort t reason =
+  t.aborts <- t.aborts + 1;
+  let n = Option.value ~default:0 (List.assoc_opt reason t.abort_reasons) in
+  t.abort_reasons <- (reason, n + 1) :: List.remove_assoc reason t.abort_reasons
+
+let record_deopt t = t.deopts <- t.deopts + 1
+let record_bridge t = t.bridges_attached <- t.bridges_attached + 1
+let record_blacklist t = t.blacklisted <- t.blacklisted + 1
+let record_retier t = t.retiers <- t.retiers + 1
+
+(* --- aggregate statistics for the figures --- *)
+
+(* counted IR nodes exclude pure debug markers, as the paper's counts do *)
+let countable (op : Ir.op) =
+  match op.Ir.opcode with Ir.Debug_merge_point _ | Ir.Label -> false | _ -> true
+
+(** total IR nodes compiled (Figure 6a) *)
+let total_ir_compiled t =
+  List.fold_left
+    (fun acc (tr : Ir.trace) ->
+      acc + Array.length (Array.of_seq (Seq.filter countable (Array.to_seq tr.Ir.ops))))
+    0 t.traces
+
+(** total dynamic IR node executions (Figure 6c numerator) *)
+let total_dynamic_ir t =
+  List.fold_left
+    (fun acc (tr : Ir.trace) ->
+      let s = ref 0 in
+      Array.iteri
+        (fun i op -> if countable op then s := !s + tr.Ir.op_exec.(i))
+        tr.Ir.ops;
+      acc + !s)
+    0 t.traces
+
+(** fraction (in %) of compiled IR nodes that account for [coverage]
+    (e.g. 0.95) of all dynamic IR executions (Figure 6b) *)
+let hot_ir_fraction t ~coverage =
+  let counts = ref [] in
+  let compiled = ref 0 in
+  List.iter
+    (fun (tr : Ir.trace) ->
+      Array.iteri
+        (fun i op ->
+          if countable op then begin
+            incr compiled;
+            counts := tr.Ir.op_exec.(i) :: !counts
+          end)
+        tr.Ir.ops)
+    t.traces;
+  let sorted = List.sort (fun a b -> Int.compare b a) !counts in
+  let total = List.fold_left ( + ) 0 sorted in
+  if total = 0 || !compiled = 0 then 0.0
+  else begin
+    let target = coverage *. float_of_int total in
+    let rec go acc n = function
+      | [] -> n
+      | c :: rest ->
+          let acc = acc +. float_of_int c in
+          if acc >= target then n + 1 else go acc (n + 1) rest
+    in
+    let needed = go 0.0 0 sorted in
+    100.0 *. float_of_int needed /. float_of_int !compiled
+  end
+
+(** dynamic execution count per IR node-type name (Figure 8) *)
+let dynamic_by_node_type t =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Ir.trace) ->
+      Array.iteri
+        (fun i op ->
+          if countable op then begin
+            let k = Ir.node_type op.Ir.opcode in
+            let cur = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+            Hashtbl.replace tbl k (cur + tr.Ir.op_exec.(i))
+          end)
+        tr.Ir.ops)
+    t.traces;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+(** dynamic execution count per IR category (Figure 7) *)
+let dynamic_by_category t =
+  let counts = Array.make (List.length Ir.all_cats) 0 in
+  let idx c =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if x = c then i else go (i + 1) rest
+    in
+    go 0 Ir.all_cats
+  in
+  List.iter
+    (fun (tr : Ir.trace) ->
+      Array.iteri
+        (fun i op ->
+          if countable op then begin
+            let c = idx (Ir.category op.Ir.opcode) in
+            if c >= 0 then counts.(c) <- counts.(c) + tr.Ir.op_exec.(i)
+          end)
+        tr.Ir.ops)
+    t.traces;
+  List.mapi (fun i c -> (c, counts.(i))) Ir.all_cats
+
+(** mean x86 instructions per IR node type, dynamically weighted
+    (Figure 9) *)
+let x86_per_node_type t =
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Ir.trace) ->
+      Array.iteri
+        (fun i op ->
+          if countable op then begin
+            let k = Ir.node_type op.Ir.opcode in
+            let x86 = Ir.x86_count op.Ir.opcode in
+            let execs, insns =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt tbl k)
+            in
+            Hashtbl.replace tbl k
+              (execs + tr.Ir.op_exec.(i), insns + (x86 * max 1 tr.Ir.op_exec.(i)))
+          end)
+        tr.Ir.ops)
+    t.traces;
+  Hashtbl.fold
+    (fun k (execs, insns) acc ->
+      if execs > 0 then (k, float_of_int insns /. float_of_int execs) :: acc
+      else (k, float_of_int insns) :: acc)
+    tbl []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)

@@ -1,0 +1,63 @@
+(** The PyPy-Log equivalent (Sec. III).
+
+    Records every compiled trace (loops and bridges) with its IR and the
+    dynamic per-operation execution counts maintained by the executor,
+    plus the JIT machinery event counters (aborts, deopts, bridges,
+    blacklists, retiers). The JIT-IR-level characterization (Figures
+    6–9) is computed from here. *)
+
+type t = {
+  mutable traces : Ir.trace list;  (** newest first *)
+  mutable next_trace_id : int;
+  mutable aborts : int;
+  mutable abort_reasons : (string * int) list;
+  mutable blacklisted : int;
+  mutable deopts : int;
+  mutable bridges_attached : int;
+  mutable retiers : int;  (** tier-1 traces recompiled at tier 2 *)
+}
+
+val create : unit -> t
+val fresh_trace_id : t -> int
+val register : t -> Ir.trace -> unit
+
+val find : t -> int -> Ir.trace option
+(** Look up a trace by id (the executor resolves [call_assembler]
+    targets through this). *)
+
+val traces : t -> Ir.trace list
+(** All compiled traces, oldest first. *)
+
+val num_traces : t -> int
+
+val record_abort : t -> string -> unit
+val record_deopt : t -> unit
+val record_bridge : t -> unit
+val record_blacklist : t -> unit
+val record_retier : t -> unit
+
+(** {2 Aggregate statistics for the figures}
+
+    All counts exclude debug merge points and labels, as the paper's
+    do. *)
+
+val total_ir_compiled : t -> int
+(** Total IR nodes compiled (Figure 6a). *)
+
+val total_dynamic_ir : t -> int
+(** Total dynamic IR node executions (Figure 6c numerator). *)
+
+val hot_ir_fraction : t -> coverage:float -> float
+(** Percentage of compiled IR nodes accounting for [coverage] (e.g.
+    [0.95]) of all dynamic IR executions (Figure 6b). *)
+
+val dynamic_by_node_type : t -> (string * int) list
+(** Dynamic execution count per IR node-type name, descending
+    (Figure 8). *)
+
+val dynamic_by_category : t -> (Ir.cat * int) list
+(** Dynamic execution count per IR category (Figure 7). *)
+
+val x86_per_node_type : t -> (string * float) list
+(** Mean x86 instructions per IR node type, dynamically weighted
+    (Figure 9). *)

@@ -1,0 +1,16 @@
+(** Registry of compiled rklite code objects. *)
+
+let table : (int, Kbytecode.code) Hashtbl.t = Hashtbl.create 128
+let next_id = ref 1_000_000  (* disjoint from pylite ids, for sanity *)
+
+let fresh_id () =
+  let id = !next_id in
+  incr next_id;
+  id
+
+let register (c : Kbytecode.code) = Hashtbl.replace table c.Kbytecode.id c
+
+let lookup id =
+  match Hashtbl.find_opt table id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "unknown rklite code_ref %d" id)

@@ -1,0 +1,597 @@
+(** rklite compiler: s-expressions to bytecode.
+
+    Closures are flat: free variables are boxed into cells in their
+    defining frame and captured by reference.  Self tail calls (including
+    named [let] loops) become [K_TAILJUMP] back-edges — the loop headers
+    the meta-tracing driver hooks. *)
+
+open Reader
+open Kbytecode
+open Mtj_rt
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let special_forms =
+  [ "define"; "lambda"; "let"; "let*"; "letrec"; "if"; "cond"; "else";
+    "begin"; "set!"; "and"; "or"; "quote"; "when"; "unless" ]
+
+let prims =
+  [ ("+", P_add); ("-", P_sub); ("*", P_mul); ("/", P_div);
+    ("quotient", P_quotient); ("remainder", P_remainder);
+    ("modulo", P_modulo); ("<", P_lt); ("<=", P_le); (">", P_gt);
+    (">=", P_ge); ("=", P_numeq); ("eq?", P_eq); ("eqv?", P_eq);
+    ("equal?", P_equal); ("not", P_not); ("zero?", P_zerop);
+    ("null?", P_nullp); ("pair?", P_pairp); ("car", P_car); ("cdr", P_cdr);
+    ("cons", P_cons); ("set-car!", P_set_car); ("set-cdr!", P_set_cdr);
+    ("vector-ref", P_vector_ref); ("vector-set!", P_vector_set);
+    ("vector-length", P_vector_length); ("vector", P_vector);
+    ("make-vector", P_make_vector); ("display", P_display);
+    ("newline", P_newline); ("sqrt", P_sqrt); ("sin", P_sin);
+    ("cos", P_cos); ("expt", P_expt); ("abs", P_abs); ("min", P_min);
+    ("max", P_max); ("floor", P_floor); ("number->string", P_num_to_str);
+    ("string-append", P_str_append); ("string-length", P_str_length);
+    ("exact->inexact", P_to_float); ("list", P_list);
+    ("annotate", P_annotate) ]
+
+(* --- free-variable analysis (transitive through inner lambdas) --- *)
+
+module SSet = Set.Make (String)
+
+let rec free_vars (e : sexp) (bound : SSet.t) : SSet.t =
+  match e with
+  | Atom ("#t" | "#f") | Num _ | Fnum _ | Strlit _ -> SSet.empty
+  | Atom a ->
+      if SSet.mem a bound || List.mem_assoc a prims
+         || List.mem a special_forms
+      then SSet.empty
+      else SSet.singleton a
+  | Slist (Atom "quote" :: _) -> SSet.empty
+  | Slist (Atom "lambda" :: Slist params :: body) ->
+      let bound' =
+        List.fold_left
+          (fun acc p ->
+            match p with Atom a -> SSet.add a acc | _ -> acc)
+          bound params
+      in
+      free_list body bound'
+  | Slist (Atom "let" :: Atom name :: Slist bindings :: body) ->
+      let inits =
+        List.fold_left
+          (fun acc b ->
+            match b with
+            | Slist [ Atom _; e ] -> SSet.union acc (free_vars e bound)
+            | _ -> acc)
+          SSet.empty bindings
+      in
+      let bound' =
+        List.fold_left
+          (fun acc b ->
+            match b with Slist [ Atom v; _ ] -> SSet.add v acc | _ -> acc)
+          (SSet.add name bound) bindings
+      in
+      SSet.union inits (free_list body bound')
+  | Slist (Atom ("let" | "let*") :: Slist bindings :: body) ->
+      let inits =
+        List.fold_left
+          (fun acc b ->
+            match b with
+            | Slist [ Atom _; e ] -> SSet.union acc (free_vars e bound)
+            | _ -> acc)
+          SSet.empty bindings
+      in
+      let bound' =
+        List.fold_left
+          (fun acc b ->
+            match b with Slist [ Atom v; _ ] -> SSet.add v acc | _ -> acc)
+          bound bindings
+      in
+      SSet.union inits (free_list body bound')
+  | Slist (Atom "letrec" :: Slist bindings :: body) ->
+      let bound' =
+        List.fold_left
+          (fun acc b ->
+            match b with Slist [ Atom v; _ ] -> SSet.add v acc | _ -> acc)
+          bound bindings
+      in
+      let inits =
+        List.fold_left
+          (fun acc b ->
+            match b with
+            | Slist [ Atom _; e ] -> SSet.union acc (free_vars e bound')
+            | _ -> acc)
+          SSet.empty bindings
+      in
+      SSet.union inits (free_list body bound')
+  | Slist items -> free_list items bound
+
+and free_list items bound =
+  List.fold_left (fun acc e -> SSet.union acc (free_vars e bound)) SSet.empty
+    items
+
+(* names captured by any lambda nested in [body] *)
+let captured_names (body : sexp list) : SSet.t =
+  let acc = ref SSet.empty in
+  let rec walk e =
+    (match e with
+    | Slist (Atom "lambda" :: Slist _ :: _) ->
+        acc := SSet.union !acc (free_vars e SSet.empty)
+    | Slist (Atom "let" :: Atom _ :: Slist _ :: _) ->
+        (* named let desugars to a lambda *)
+        acc := SSet.union !acc (free_vars e SSet.empty)
+    | _ -> ());
+    match e with
+    | Slist items -> List.iter walk items
+    | _ -> ()
+  in
+  List.iter walk body;
+  !acc
+
+(* --- compilation scopes --- *)
+
+type buf = { mutable arr : instr array; mutable len : int }
+
+let buf_create () = { arr = Array.make 32 K_POP; len = 0 }
+
+let emit b i =
+  if b.len >= Array.length b.arr then begin
+    let bigger = Array.make (2 * Array.length b.arr) K_POP in
+    Array.blit b.arr 0 bigger 0 b.len;
+    b.arr <- bigger
+  end;
+  b.arr.(b.len) <- i;
+  b.len <- b.len + 1;
+  b.len - 1
+
+let patch b pc i = b.arr.(pc) <- i
+
+type scope = {
+  parent : scope option;
+  fname : string;
+  nargs : int;
+  self_name : string option;
+  tbl : (string, int) Hashtbl.t;       (* visible name -> local slot *)
+  celled : SSet.t;                     (* names living in cells *)
+  mutable captures : (string * int) list;  (* captured name -> index *)
+  mutable nlocals : int;
+  buf : buf;
+}
+
+let is_celled sc name = SSet.mem name sc.celled
+
+let fresh_slot sc =
+  let s = sc.nlocals in
+  sc.nlocals <- s + 1;
+  s
+
+(* resolve a name to an access plan within this scope *)
+type access =
+  | A_local of int            (* plain local slot *)
+  | A_cell of int             (* local slot holding a cell *)
+  | A_global
+
+let rec resolve sc name : access =
+  match Hashtbl.find_opt sc.tbl name with
+  | Some slot -> if is_celled sc name then A_cell slot else A_local slot
+  | None -> (
+      match sc.parent with
+      | None -> A_global
+      | Some parent -> (
+          (* capture from an enclosing function: the variable must be a
+             cell there (guaranteed by the captured_names analysis) *)
+          match parent_has parent name with
+          | false -> A_global
+          | true -> (
+              match List.assoc_opt name sc.captures with
+              | Some idx -> A_cell (sc.nargs + idx)
+              | None ->
+                  let idx = List.length sc.captures in
+                  sc.captures <- sc.captures @ [ (name, idx) ];
+                  A_cell (sc.nargs + idx))))
+
+and parent_has sc name =
+  Hashtbl.mem sc.tbl name
+  || match sc.parent with Some p -> parent_has p name | None -> false
+
+(* the slot in [sc] that holds the cell for [name] (for closure capture) *)
+let cell_slot_for sc name =
+  match resolve sc name with
+  | A_cell slot -> slot
+  | A_local slot ->
+      (* should not happen thanks to the celled analysis; be lenient *)
+      slot
+  | A_global -> error "cannot capture global %s" name
+
+(* --- compilation --- *)
+
+let quote_value (e : sexp) : Value.t =
+  match e with
+  | Num n -> Value.Int n
+  | Fnum f -> Value.Float f
+  | Strlit s -> Value.Str s
+  | Atom "#t" -> Value.Bool true
+  | Atom "#f" -> Value.Bool false
+  | Atom a -> Value.Str a  (* symbols are interned as strings *)
+  | Slist [] -> Value.Nil
+  | Slist _ -> error "quoted lists are not supported"
+
+let rec compile_expr sc ~tail (e : sexp) =
+  let b = sc.buf in
+  match e with
+  | Num n -> ignore (emit b (K_CONST (Value.Int n)))
+  | Fnum f -> ignore (emit b (K_CONST (Value.Float f)))
+  | Strlit s -> ignore (emit b (K_CONST (Value.Str s)))
+  | Atom "#t" -> ignore (emit b (K_CONST (Value.Bool true)))
+  | Atom "#f" -> ignore (emit b (K_CONST (Value.Bool false)))
+  | Atom name -> (
+      match resolve sc name with
+      | A_local slot -> ignore (emit b (K_LOCAL slot))
+      | A_cell slot -> ignore (emit b (K_CELL_GET slot))
+      | A_global -> ignore (emit b (K_GLOBAL name)))
+  | Slist [] -> error "empty application"
+  | Slist (head :: args) -> compile_form sc ~tail head args
+
+and compile_form sc ~tail head args =
+  let b = sc.buf in
+  match (head, args) with
+  | Atom "quote", [ v ] -> ignore (emit b (K_CONST (quote_value v)))
+  | Atom "if", [ c; t ] ->
+      compile_expr sc ~tail:false c;
+      let jf = emit b (K_JUMP_IF_FALSE (-1)) in
+      compile_expr sc ~tail t;
+      let jend = emit b (K_JUMP (-1)) in
+      patch b jf (K_JUMP_IF_FALSE b.len);
+      ignore (emit b (K_CONST Value.Nil));
+      patch b jend (K_JUMP b.len)
+  | Atom "if", [ c; t; e ] ->
+      compile_expr sc ~tail:false c;
+      let jf = emit b (K_JUMP_IF_FALSE (-1)) in
+      compile_expr sc ~tail t;
+      let jend = emit b (K_JUMP (-1)) in
+      patch b jf (K_JUMP_IF_FALSE b.len);
+      compile_expr sc ~tail e;
+      patch b jend (K_JUMP b.len)
+  | Atom "cond", clauses ->
+      let jends = ref [] in
+      let rec go = function
+        | [] -> ignore (emit b (K_CONST Value.Nil))
+        | Slist (Atom "else" :: body) :: _ -> compile_body sc ~tail body
+        | Slist (c :: body) :: rest ->
+            compile_expr sc ~tail:false c;
+            let jf = emit b (K_JUMP_IF_FALSE (-1)) in
+            compile_body sc ~tail body;
+            jends := emit b (K_JUMP (-1)) :: !jends;
+            patch b jf (K_JUMP_IF_FALSE b.len);
+            go rest
+        | _ -> error "malformed cond clause"
+      in
+      go clauses;
+      List.iter (fun j -> patch b j (K_JUMP b.len)) !jends
+  | Atom "when", c :: body ->
+      compile_expr sc ~tail:false c;
+      let jf = emit b (K_JUMP_IF_FALSE (-1)) in
+      compile_body sc ~tail body;
+      let jend = emit b (K_JUMP (-1)) in
+      patch b jf (K_JUMP_IF_FALSE b.len);
+      ignore (emit b (K_CONST Value.Nil));
+      patch b jend (K_JUMP b.len)
+  | Atom "unless", c :: body ->
+      compile_form sc ~tail (Atom "when")
+        (Slist [ Atom "not"; c ] :: body)
+  | Atom "begin", body -> compile_body sc ~tail body
+  | Atom "and", [] -> ignore (emit b (K_CONST (Value.Bool true)))
+  | Atom "and", items ->
+      let rec go = function
+        | [ last ] -> compile_expr sc ~tail last
+        | x :: rest ->
+            compile_expr sc ~tail:false x;
+            let j = emit b (K_JFALSE_OR_POP (-1)) in
+            go rest;
+            patch b j (K_JFALSE_OR_POP b.len)
+        | [] -> assert false
+      in
+      go items
+  | Atom "or", [] -> ignore (emit b (K_CONST (Value.Bool false)))
+  | Atom "or", items ->
+      let rec go = function
+        | [ last ] -> compile_expr sc ~tail last
+        | x :: rest ->
+            compile_expr sc ~tail:false x;
+            let j = emit b (K_JTRUE_OR_POP (-1)) in
+            go rest;
+            patch b j (K_JTRUE_OR_POP b.len)
+        | [] -> assert false
+      in
+      go items
+  | Atom "set!", [ Atom name; e ] -> (
+      compile_expr sc ~tail:false e;
+      match resolve sc name with
+      | A_local slot -> ignore (emit b (K_SET_LOCAL slot))
+      | A_cell slot -> ignore (emit b (K_CELL_SET slot))
+      | A_global -> ignore (emit b (K_SET_GLOBAL name)));
+      ignore (emit b (K_CONST Value.Nil))
+  | Atom "lambda", Slist params :: body ->
+      compile_closure sc ~cname:"lambda" ~self:None params body
+  | Atom "let", Atom name :: Slist bindings :: body ->
+      (* named let: (letrec ((name (lambda (vars) body))) (name inits)) *)
+      let vars =
+        List.map
+          (function
+            | Slist [ Atom v; _ ] -> Atom v
+            | _ -> error "malformed named-let binding")
+          bindings
+      in
+      let inits =
+        List.map
+          (function
+            | Slist [ Atom _; e ] -> e
+            | _ -> error "malformed named-let binding")
+          bindings
+      in
+      compile_form sc ~tail (Atom "letrec")
+        [
+          Slist [ Slist [ Atom name; Slist (Atom "lambda" :: Slist vars :: body) ] ];
+          Slist (Atom name :: inits);
+        ]
+  | Atom ("let" | "let*"), Slist bindings :: body ->
+      (* both evaluate bindings in order; [let*] scoping emerges because
+         each binding is added to the table as soon as it is compiled —
+         for plain [let] the benchmark programs do not rely on the
+         simultaneous-scope difference *)
+      let saved = Hashtbl.copy sc.tbl in
+      List.iter
+        (function
+          | Slist [ Atom v; e ] ->
+              compile_expr sc ~tail:false e;
+              let slot = fresh_slot sc in
+              Hashtbl.replace sc.tbl v slot;
+              ignore (emit b (K_SET_LOCAL slot));
+              if is_celled sc v then ignore (emit b (K_MAKE_CELL slot))
+          | _ -> error "malformed let binding")
+        bindings;
+      compile_body sc ~tail body;
+      Hashtbl.reset sc.tbl;
+      Hashtbl.iter (Hashtbl.replace sc.tbl) saved
+  | Atom "letrec", [ Slist _ ] -> error "letrec needs a body"
+  | Atom "letrec", Slist bindings :: body ->
+      let saved = Hashtbl.copy sc.tbl in
+      (* pre-bind all names (celled, since the lambdas capture them) *)
+      let slots =
+        List.map
+          (function
+            | Slist [ Atom v; _ ] ->
+                let slot = fresh_slot sc in
+                Hashtbl.replace sc.tbl v slot;
+                ignore (emit b (K_CONST Value.Nil));
+                ignore (emit b (K_SET_LOCAL slot));
+                if is_celled sc v then ignore (emit b (K_MAKE_CELL slot));
+                (v, slot)
+            | _ -> error "malformed letrec binding")
+          bindings
+      in
+      List.iter2
+        (fun (v, slot) binding ->
+          match binding with
+          | Slist [ Atom _; Slist (Atom "lambda" :: Slist params :: lbody) ] ->
+              compile_closure sc ~cname:v ~self:(Some v) params lbody;
+              if is_celled sc v then ignore (emit b (K_CELL_SET slot))
+              else ignore (emit b (K_SET_LOCAL slot))
+          | Slist [ Atom _; e ] ->
+              compile_expr sc ~tail:false e;
+              if is_celled sc v then ignore (emit b (K_CELL_SET slot))
+              else ignore (emit b (K_SET_LOCAL slot))
+          | _ -> error "malformed letrec binding")
+        slots bindings;
+      compile_body sc ~tail body;
+      Hashtbl.reset sc.tbl;
+      Hashtbl.iter (Hashtbl.replace sc.tbl) saved
+  | Atom "define", _ -> error "define is only allowed at toplevel"
+  | Atom (("lambda" | "let" | "let*" | "letrec" | "if" | "quote" | "set!"
+          | "when" | "unless" | "else") as kw), _ ->
+      (* a keyword reaching this point missed every valid shape above *)
+      error "malformed %s form" kw
+  | Atom name, _
+    when Some name = sc.self_name && tail
+         && not (Hashtbl.mem sc.tbl name) -> (
+      (* self tail call -> loop back-edge *)
+      match sc.self_name with
+      | Some _ when List.length args = sc.nargs ->
+          List.iter (compile_expr sc ~tail:false) args;
+          ignore (emit b (K_TAILJUMP (List.length args)))
+      | _ -> compile_call sc ~tail head args)
+  | Atom name, _ when List.mem_assoc name prims && not (parent_has sc name)
+    ->
+      let p = List.assoc name prims in
+      List.iter (compile_expr sc ~tail:false) args;
+      ignore (emit b (K_PRIM (p, List.length args)))
+  | _, _ -> compile_call sc ~tail head args
+
+and compile_call sc ~tail head args =
+  compile_expr sc ~tail:false head;
+  List.iter (compile_expr sc ~tail:false) args;
+  if tail then ignore (emit sc.buf (K_TAILCALL (List.length args)))
+  else ignore (emit sc.buf (K_CALL (List.length args)))
+
+and compile_body sc ~tail = function
+  | [] -> ignore (emit sc.buf (K_CONST Value.Nil))
+  | [ last ] -> compile_expr sc ~tail last
+  | x :: rest ->
+      compile_expr sc ~tail:false x;
+      ignore (emit sc.buf K_POP);
+      compile_body sc ~tail rest
+
+and compile_closure sc ~cname ~self params body =
+  let code = compile_lambda ~parent:(Some sc) ~cname ~self params body in
+  (* tell the parent which of its cell slots to capture *)
+  ignore code
+
+and compile_lambda ~parent ~cname ~self params body : unit =
+  (* the actual closure-compilation; emits K_CLOSURE into the parent *)
+  let param_names =
+    List.map
+      (function Atom a -> a | _ -> error "bad parameter")
+      params
+  in
+  let celled = captured_names body in
+  let sc =
+    {
+      parent;
+      fname = cname;
+      nargs = List.length param_names;
+      self_name = self;
+      tbl = Hashtbl.create 16;
+      celled;
+      captures = [];
+      nlocals = 0;
+      buf = buf_create ();
+    }
+  in
+  List.iter
+    (fun p ->
+      Hashtbl.replace sc.tbl p sc.nlocals;
+      sc.nlocals <- sc.nlocals + 1)
+    param_names;
+  (* reserve capture slots after the parameters; filled at call time *)
+  (* (the count is only known after compiling the body, so the body is
+     compiled into its own buffer and capture slots use a distinct range
+     starting at nargs; locals after that are offset accordingly) *)
+  (* approach: temporarily allocate a generous window is avoided by
+     numbering captures inside [resolve] as nargs + index, and starting
+     ordinary locals after a post-pass renumber; instead we simply place
+     captures at nargs.. and shift locals by patching below. *)
+  (* To keep slot numbering simple, captures are discovered on the fly;
+     ordinary locals are allocated from a separate high range and
+     compacted afterwards. *)
+  sc.nlocals <- sc.nargs + 64;  (* locals start after a capture window *)
+  let entry_cells = ref [] in
+  List.iteri
+    (fun i p -> if SSet.mem p celled then entry_cells := i :: !entry_cells)
+    param_names;
+  let prelude = List.rev_map (fun slot -> K_MAKE_CELL slot) !entry_cells in
+  List.iter (fun ins -> ignore (emit sc.buf ins)) prelude;
+  compile_body sc ~tail:true body;
+  ignore (emit sc.buf K_RETURN);
+  let ncaptured = List.length sc.captures in
+  if ncaptured > 64 then error "too many captured variables";
+  let instrs = Array.sub sc.buf.arr 0 sc.buf.len in
+  let n = Array.length instrs in
+  let headers = Array.make n false in
+  Array.iteri
+    (fun pc i ->
+      match i with
+      | K_TAILJUMP _ -> headers.(0) <- true
+      | K_JUMP t when t <= pc -> headers.(t) <- true
+      | _ -> ())
+    instrs;
+  (* stack-size analysis *)
+  let depth = Array.make n (-1) in
+  let maxd = ref 0 in
+  let work = Queue.create () in
+  Queue.add (0, 0) work;
+  while not (Queue.is_empty work) do
+    let pc, d = Queue.pop work in
+    if pc < n && depth.(pc) < d then begin
+      depth.(pc) <- d;
+      maxd := max !maxd d;
+      let i = instrs.(pc) in
+      let cont = d + stack_effect i in
+      maxd := max !maxd (max cont (d + 1));
+      List.iter
+        (fun t -> Queue.add (t, max 0 (d + stack_effect ~taken:true i)) work)
+        (jump_targets i);
+      if falls_through i then Queue.add (pc + 1, max 0 cont) work
+    end
+  done;
+  let code =
+    {
+      Kbytecode.id = Kcode_table.fresh_id ();
+      name = cname;
+      nargs = List.length param_names;
+      ncaptured;
+      nlocals = sc.nlocals;
+      stacksize = !maxd + 8;
+      instrs;
+      headers;
+    }
+  in
+  Kcode_table.register code;
+  (* emit the K_CLOSURE into the parent, capturing the parent's cells *)
+  match parent with
+  | Some psc ->
+      let capture_slots =
+        Array.of_list
+          (List.map (fun (name, _) -> cell_slot_for psc name) sc.captures)
+      in
+      ignore
+        (emit psc.buf
+           (K_CLOSURE
+              {
+                code_ref = code.Kbytecode.id;
+                arity = code.Kbytecode.nargs;
+                cname;
+                capture_slots;
+              }))
+  | None -> ()
+
+(* --- toplevel --- *)
+
+let compile_program (forms : sexp list) : Kbytecode.code =
+  let sc =
+    {
+      parent = None;
+      fname = "<toplevel>";
+      nargs = 0;
+      self_name = None;
+      tbl = Hashtbl.create 16;
+      (* toplevel let/letrec bindings can be captured by lambdas too *)
+      celled = captured_names forms;
+      captures = [];
+      nlocals = 0;
+      buf = buf_create ();
+    }
+  in
+  let b = sc.buf in
+  List.iter
+    (fun form ->
+      (match form with
+      | Slist [ Atom "define"; Atom name; e ] ->
+          compile_expr sc ~tail:false e;
+          ignore (emit b (K_SET_GLOBAL name));
+          ignore (emit b (K_CONST Value.Nil))
+      | Slist (Atom "define" :: Slist (Atom name :: params) :: body) ->
+          compile_lambda ~parent:(Some sc) ~cname:name ~self:(Some name)
+            params body;
+          ignore (emit b (K_SET_GLOBAL name));
+          ignore (emit b (K_CONST Value.Nil))
+      | e -> compile_expr sc ~tail:false e);
+      ignore (emit b K_POP))
+    forms;
+  ignore (emit b (K_CONST Value.Nil));
+  ignore (emit b K_RETURN);
+  let instrs = Array.sub b.arr 0 b.len in
+  let n = Array.length instrs in
+  let headers = Array.make n false in
+  Array.iteri
+    (fun pc i ->
+      match i with
+      | K_JUMP t when t <= pc -> headers.(t) <- true
+      | _ -> ())
+    instrs;
+  let code =
+    {
+      Kbytecode.id = Kcode_table.fresh_id ();
+      name = "<toplevel>";
+      nargs = 0;
+      ncaptured = 0;
+      nlocals = max 1 sc.nlocals;
+      stacksize = 64;
+      instrs;
+      headers;
+    }
+  in
+  Kcode_table.register code;
+  code
+
+let compile_source (src : string) : Kbytecode.code =
+  compile_program (Reader.read_all src)

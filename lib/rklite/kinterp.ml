@@ -1,0 +1,243 @@
+(** The rklite bytecode interpreter, functorized over the OPS seam
+    (the Pycket analogue: same meta-tracing framework, different hosted
+    language). *)
+
+open Mtj_rt
+open Mtj_rjit
+open Kbytecode
+
+module Step (O : Ops_intf.OPS) = struct
+  type frame = (O.t, Kbytecode.code) Frame.t
+
+  let err = Semantics.err
+
+  let make_frame cx code parent : frame =
+    Frame.create ~code ~code_ref:code.Kbytecode.id
+      ~nlocals:code.Kbytecode.nlocals ~stack_size:code.Kbytecode.stacksize
+      ~default:(O.const cx Value.Nil)
+      ~parent
+
+  let pair_class cx globals = O.load_global cx globals "%pair"
+
+  let cons cx globals car cdr =
+    let p = O.alloc_instance cx (pair_class cx globals) in
+    O.setattr cx p "car" car;
+    O.setattr cx p "cdr" cdr;
+    p
+
+  let number_prim cx op (args : O.t list) identity =
+    match args with
+    | [] -> O.const cx identity
+    | x :: rest -> List.fold_left (fun acc a -> op cx acc a) x rest
+
+  let cmp_chain cx op (args : O.t list) =
+    (* (< a b c ...) *)
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+          if O.is_true cx (O.compare cx op a b) then go rest else false
+      | _ -> true
+    in
+    O.const cx (Value.Bool (go args))
+
+  let prim cx globals (f : frame) (p : prim) (args : O.t list) : O.t =
+    ignore f;
+    match (p, args) with
+    | P_add, _ -> number_prim cx O.add args (Value.Int 0)
+    | P_sub, [ x ] -> O.neg cx x
+    | P_sub, x :: rest when rest <> [] ->
+        List.fold_left (fun acc a -> O.sub cx acc a) x rest
+    | P_mul, _ -> number_prim cx O.mul args (Value.Int 1)
+    | P_div, [ a; b ] -> O.truediv cx a b
+    | P_quotient, [ a; b ] -> O.floordiv cx a b
+    | P_remainder, [ a; b ] | P_modulo, [ a; b ] -> O.modulo cx a b
+    | P_lt, _ -> cmp_chain cx Ops_intf.Lt args
+    | P_le, _ -> cmp_chain cx Ops_intf.Le args
+    | P_gt, _ -> cmp_chain cx Ops_intf.Gt args
+    | P_ge, _ -> cmp_chain cx Ops_intf.Ge args
+    | P_numeq, _ -> cmp_chain cx Ops_intf.Eq args
+    | P_eq, [ a; b ] -> O.compare cx Ops_intf.Is a b
+    | P_equal, [ a; b ] -> O.compare cx Ops_intf.Eq a b
+    | P_not, [ a ] -> O.not_ cx a
+    | P_zerop, [ a ] -> O.compare cx Ops_intf.Eq a (O.const cx (Value.Int 0))
+    | P_nullp, [ a ] -> O.compare cx Ops_intf.Is a (O.const cx Value.Nil)
+    | P_pairp, [ a ] -> (
+        match O.concrete a with
+        | Value.Obj { payload = Value.Instance _; _ } ->
+            (* the only instances in rklite are pairs *)
+            O.const cx (Value.Bool true)
+        | _ -> O.const cx (Value.Bool false))
+    | P_car, [ a ] -> O.getattr cx a "car"
+    | P_cdr, [ a ] -> O.getattr cx a "cdr"
+    | P_cons, [ a; d ] -> cons cx globals a d
+    | P_set_car, [ p; v ] ->
+        O.setattr cx p "car" v;
+        O.const cx Value.Nil
+    | P_set_cdr, [ p; v ] ->
+        O.setattr cx p "cdr" v;
+        O.const cx Value.Nil
+    | P_vector_ref, [ v; i ] -> O.getitem cx v i
+    | P_vector_set, [ v; i; x ] ->
+        O.setitem cx v i x;
+        O.const cx Value.Nil
+    | P_vector_length, [ v ] -> O.len_ cx v
+    | P_vector, _ -> O.make_list cx (Array.of_list args)
+    | P_make_vector, [ n ] ->
+        O.call_builtin cx Builtin.Make_vector [| n; O.const cx (Value.Int 0) |]
+    | P_make_vector, [ n; init ] ->
+        O.call_builtin cx Builtin.Make_vector [| n; init |]
+    | P_display, [ v ] -> O.call_builtin cx Builtin.Display [| v |]
+    | P_newline, [] ->
+        O.call_builtin cx Builtin.Display [| O.const cx (Value.Str "\n") |]
+    | P_sqrt, [ v ] -> O.call_builtin cx Builtin.Sqrt [| v |]
+    | P_sin, [ v ] -> O.call_builtin cx Builtin.Sin [| v |]
+    | P_cos, [ v ] -> O.call_builtin cx Builtin.Cos [| v |]
+    | P_expt, [ a; b ] -> O.pow cx a b
+    | P_abs, [ v ] -> O.call_builtin cx Builtin.Abs [| v |]
+    | P_min, [ a; b ] -> O.call_builtin cx Builtin.Min2 [| a; b |]
+    | P_max, [ a; b ] -> O.call_builtin cx Builtin.Max2 [| a; b |]
+    | P_floor, [ v ] -> O.call_builtin cx Builtin.Floor_f [| v |]
+    | P_num_to_str, [ v ] -> O.call_builtin cx Builtin.To_str [| v |]
+    | P_str_append, _ ->
+        number_prim cx O.add args (Value.Str "")
+    | P_str_length, [ v ] -> O.len_ cx v
+    | P_to_float, [ v ] -> O.call_builtin cx Builtin.To_float [| v |]
+    | P_list, _ ->
+        List.fold_right (fun a acc -> cons cx globals a acc) args
+          (O.const cx Value.Nil)
+    | P_annotate, [ v ] -> O.call_builtin cx Builtin.Annotate [| v |]
+    | p, _ ->
+        err "%s: wrong number of arguments (%d)" (prim_name p)
+          (List.length args)
+
+  let step cx (globals : Globals.t) (f : frame) :
+      (O.t, Kbytecode.code) Frame.outcome =
+    let pc = f.Frame.pc in
+    let instr = f.Frame.code.Kbytecode.instrs.(pc) in
+    let continue_at next =
+      f.Frame.pc <- next;
+      Frame.Continue
+    in
+    let next () = continue_at (pc + 1) in
+    match instr with
+    | K_CONST v ->
+        Frame.push f (O.const cx v);
+        next ()
+    | K_LOCAL slot ->
+        Frame.push f f.Frame.locals.(slot);
+        next ()
+    | K_SET_LOCAL slot ->
+        f.Frame.locals.(slot) <- Frame.pop f;
+        next ()
+    | K_GLOBAL name ->
+        Frame.push f (O.load_global cx globals name);
+        next ()
+    | K_SET_GLOBAL name ->
+        O.store_global cx globals name (Frame.pop f);
+        next ()
+    | K_CELL_GET slot ->
+        Frame.push f (O.cell_get cx f.Frame.locals.(slot));
+        next ()
+    | K_CELL_SET slot ->
+        let v = Frame.pop f in
+        O.cell_set cx f.Frame.locals.(slot) v;
+        next ()
+    | K_MAKE_CELL slot ->
+        f.Frame.locals.(slot) <- O.make_cell cx f.Frame.locals.(slot);
+        next ()
+    | K_CLOSURE { code_ref; arity; cname; capture_slots } ->
+        let cells = Array.map (fun s -> f.Frame.locals.(s)) capture_slots in
+        Frame.push f (O.make_closure cx ~code_ref ~arity ~fname:cname cells);
+        next ()
+    | K_CALL nargs ->
+        let rec pops n acc =
+          if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc)
+        in
+        let args = pops nargs [] in
+        let callee = Frame.pop f in
+        let fn = O.guard_func cx callee in
+        if fn.Value.code_ref < 0 then begin
+          let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
+          let r = O.call_builtin cx b (Array.of_list args) in
+          Frame.push f r;
+          next ()
+        end
+        else begin
+          if fn.Value.arity <> nargs then
+            err "%s: expects %d arguments, got %d" fn.Value.func_name
+              fn.Value.arity nargs;
+          let code = Kcode_table.lookup fn.Value.code_ref in
+          f.Frame.pc <- pc + 1;
+          let nf = make_frame cx code (Some f) in
+          List.iteri (fun i a -> nf.Frame.locals.(i) <- a) args;
+          (* copy the captured cells into the capture slots *)
+          for i = 0 to code.Kbytecode.ncaptured - 1 do
+            nf.Frame.locals.(code.Kbytecode.nargs + i) <-
+              O.func_captured cx callee i
+          done;
+          Frame.Call nf
+        end
+    | K_TAILCALL nargs ->
+        let rec pops n acc =
+          if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc)
+        in
+        let args = pops nargs [] in
+        let callee = Frame.pop f in
+        let fn = O.guard_func cx callee in
+        if fn.Value.code_ref < 0 then begin
+          let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
+          let r = O.call_builtin cx b (Array.of_list args) in
+          Frame.Return r
+        end
+        else begin
+          if fn.Value.arity <> nargs then
+            err "%s: expects %d arguments, got %d" fn.Value.func_name
+              fn.Value.arity nargs;
+          let code = Kcode_table.lookup fn.Value.code_ref in
+          (* proper tail call: the new frame replaces this one *)
+          let nf = make_frame cx code f.Frame.parent in
+          nf.Frame.discard_return <- f.Frame.discard_return;
+          List.iteri (fun i a -> nf.Frame.locals.(i) <- a) args;
+          for i = 0 to code.Kbytecode.ncaptured - 1 do
+            nf.Frame.locals.(code.Kbytecode.nargs + i) <-
+              O.func_captured cx callee i
+          done;
+          Frame.Call nf
+        end
+    | K_TAILJUMP nargs ->
+        (* refresh the parameters and restart the function body *)
+        for i = nargs - 1 downto 0 do
+          f.Frame.locals.(i) <- Frame.pop f
+        done;
+        (* re-box celled parameters for the next iteration *)
+        continue_at 0
+    | K_JUMP t -> continue_at t
+    | K_JUMP_IF_FALSE t ->
+        let v = Frame.pop f in
+        if O.is_true cx v then next () else continue_at t
+    | K_JFALSE_OR_POP t ->
+        let v = Frame.peek f 0 in
+        if O.is_true cx v then begin
+          ignore (Frame.pop f);
+          next ()
+        end
+        else continue_at t
+    | K_JTRUE_OR_POP t ->
+        let v = Frame.peek f 0 in
+        if O.is_true cx v then continue_at t
+        else begin
+          ignore (Frame.pop f);
+          next ()
+        end
+    | K_RETURN -> Frame.Return (Frame.pop f)
+    | K_POP ->
+        ignore (Frame.pop f);
+        next ()
+    | K_PRIM (p, nargs) ->
+        let rec pops n acc =
+          if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc)
+        in
+        let args = pops nargs [] in
+        let r = prim cx globals f p args in
+        Frame.push f r;
+        next ()
+end

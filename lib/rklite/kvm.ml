@@ -1,0 +1,66 @@
+(** The rklite virtual machine.
+
+    With the JIT enabled on the RPython profile this models Pycket; under
+    the custom-JIT profile with the JIT disabled it models the reference
+    Racket VM (Table II's two Racket-language configurations). *)
+
+open Mtj_core
+open Mtj_rt
+open Mtj_rjit
+
+module Lang : Ops_intf.LANG with type code = Kbytecode.code = struct
+  type code = Kbytecode.code
+
+  let code_ref (c : code) = c.Kbytecode.id
+  let lookup_code = Kcode_table.lookup
+  let nlocals (c : code) = c.Kbytecode.nlocals
+  let stack_size (c : code) = c.Kbytecode.stacksize
+  let loop_header (c : code) pc = c.Kbytecode.headers.(pc)
+  let opcode_at (c : code) pc = Kbytecode.tag c.Kbytecode.instrs.(pc)
+  let name (c : code) = c.Kbytecode.name
+
+  module Step = Kinterp.Step
+end
+
+module D = Driver.Make (Lang)
+
+type t = { rtc : Ctx.t; driver : D.t }
+
+(* the pair "struct": rklite's cons cells are 2-field instances, so car
+   and cdr trace to plain getfield_gc nodes and non-escaping pairs are
+   removed by the JIT's escape analysis *)
+let install_pair_class rtc globals =
+  let cls =
+    Gc_sim.obj (Ctx.gc rtc)
+      (Value.Class
+         {
+           Value.cls_id = -2;
+           cls_name = "pair";
+           layout = [| "car"; "cdr" |];
+           attrs = [];
+           parent = None;
+         })
+  in
+  Globals.define globals "%pair" cls
+
+let create ?(config = Config.default) ?(profile = Profile.rpython_interp) () =
+  let rtc = Ctx.create ~config () in
+  let globals = Globals.create () in
+  install_pair_class rtc globals;
+  let driver = D.create ~profile rtc globals in
+  { rtc; driver }
+
+let rtc t = t.rtc
+let engine t = Ctx.engine t.rtc
+let jitlog t = D.jitlog t.driver
+let globals t = D.globals t.driver
+let output t = Buffer.contents (Ctx.out t.rtc)
+
+let compile = Kcompiler.compile_source
+let run_code t code : Driver.outcome = D.run t.driver code
+let run_source t src = run_code t (compile src)
+
+let run ?config ?profile src =
+  let t = create ?config ?profile () in
+  let outcome = run_source t src in
+  (outcome, t)

@@ -1,0 +1,61 @@
+open Mtj_core
+module Engine = Mtj_machine.Engine
+
+type src = R | L | C | I | M
+
+type fn = { id : int; name : string; src : src }
+
+let registry : (string, fn) Hashtbl.t = Hashtbl.create 64
+let by_id : (int, fn) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+let register ~name ~src =
+  match Hashtbl.find_opt registry name with
+  | Some fn -> fn
+  | None ->
+      let fn = { id = !next_id; name; src } in
+      incr next_id;
+      Hashtbl.replace registry name fn;
+      Hashtbl.replace by_id fn.id fn;
+      fn
+
+let id fn = fn.id
+let name fn = fn.name
+let src fn = fn.src
+
+let src_letter = function
+  | R -> "R"
+  | L -> "L"
+  | C -> "C"
+  | I -> "I"
+  | M -> "M"
+
+let find i = Hashtbl.find_opt by_id i
+
+(* call/return overhead of leaving JIT-compiled code for an AOT function:
+   argument shuffling, spills, the call itself (the paper's Fig. 9 shows
+   call-class IR nodes costing 15+ x86 instructions) *)
+let call_overhead = Cost.make ~alu:3 ~load:3 ~store:4 ~other:5 ()
+
+let call ctx fn body =
+  let eng = Ctx.engine ctx in
+  let from_jit =
+    Phase.equal (Engine.current_phase eng) Phase.Jit
+  in
+  Engine.emit eng call_overhead;
+  Engine.branch_indirect eng ~site:(700_000 + fn.id) ~target:fn.id;
+  if from_jit then begin
+    Engine.push_phase eng Phase.Jit_call;
+    Engine.annot eng (Annot.Aot_enter fn.id);
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.annot eng (Annot.Aot_exit fn.id);
+        Engine.pop_phase eng)
+      body
+  end
+  else begin
+    Engine.annot eng (Annot.Aot_enter fn.id);
+    Fun.protect
+      ~finally:(fun () -> Engine.annot eng (Annot.Aot_exit fn.id))
+      body
+  end

@@ -1,0 +1,39 @@
+(** Registry of AOT-compiled runtime functions.
+
+    In a meta-tracing JIT, interpreter/runtime functions whose loops have
+    data-dependent bounds are not inlined into traces; they are compiled
+    ahead of time and {e called} from JIT-compiled code (Sec. II).  The
+    paper shows these calls dominate many benchmarks (Figure 2's
+    [jit_call] phase, Table III).
+
+    Every such function in this reproduction is registered here.  Calling
+    through {!call} while JIT-compiled code is executing switches the
+    engine to the [Jit_call] phase and emits [Aot_enter]/[Aot_exit]
+    cross-layer annotations, which {!Mtj_pintool.Aot_attrib} uses to
+    attribute time exactly as the paper's PinTool does. *)
+
+(** Where the function is defined, following Table III's legend. *)
+type src =
+  | R  (** RPython type-system intrinsics *)
+  | L  (** RPython standard library *)
+  | C  (** external C standard library *)
+  | I  (** the interpreter *)
+  | M  (** a PyPy module *)
+
+type fn
+
+val register : name:string -> src:src -> fn
+(** Register (or look up, if already registered) a function by name. *)
+
+val id : fn -> int
+val name : fn -> string
+val src : fn -> src
+val src_letter : src -> string
+val find : int -> fn option
+(** Look up by id (used when resolving annotation tags). *)
+
+val call : Ctx.t -> fn -> (unit -> 'a) -> 'a
+(** Execute the function body.  Charges the call/return overhead, emits
+    the annotations, and — when invoked from JIT-compiled code — runs the
+    body under the [Jit_call] phase.  The body itself charges its
+    data-dependent work. *)

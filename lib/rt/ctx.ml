@@ -1,0 +1,20 @@
+(** Runtime context threaded through all runtime operations: the machine
+    engine that work is charged to and the garbage collector that owns
+    the heap. *)
+
+type t = {
+  engine : Mtj_machine.Engine.t;
+  gc : Gc_sim.t;
+  out : Buffer.t;  (* program output (print), kept off stdout for benches *)
+}
+
+let create ?config () =
+  let config = Option.value ~default:Mtj_core.Config.default config in
+  let engine = Mtj_machine.Engine.create ~config () in
+  let gc = Gc_sim.create engine config in
+  { engine; gc; out = Buffer.create 256 }
+
+let engine t = t.engine
+let gc t = t.gc
+let out t = t.out
+let config t = Mtj_machine.Engine.config t.engine

@@ -1,0 +1,230 @@
+open Mtj_core
+module Engine = Mtj_machine.Engine
+
+exception Type_error of string
+
+let big_add_fn = Aot.register ~name:"rbigint.add" ~src:Aot.L
+let big_sub_fn = Aot.register ~name:"rbigint.sub" ~src:Aot.L
+let big_mul_fn = Aot.register ~name:"rbigint.mul" ~src:Aot.L
+let big_divmod_fn = Aot.register ~name:"rbigint.divmod" ~src:Aot.L
+let big_lshift_fn = Aot.register ~name:"rbigint.lshift" ~src:Aot.L
+let big_rshift_fn = Aot.register ~name:"rbigint.rshift" ~src:Aot.L
+let big_cmp_fn = Aot.register ~name:"rbigint.cmp" ~src:Aot.L
+
+let is_number = function
+  | Value.Int _ | Value.Float _ | Value.Bool _ -> true
+  | Value.Obj { payload = Value.Bigint _; _ } -> true
+  | Value.Nil | Value.Str _ | Value.Obj _ -> false
+
+
+let normalize_big ctx b =
+  match Rbigint.to_int_opt b with
+  | Some i -> Value.Int i
+  | None -> Gc_sim.obj (Ctx.gc ctx) (Value.Bigint b)
+
+let as_big = function
+  | Value.Int i -> Some (Rbigint.of_int i)
+  | Value.Bool b -> Some (Rbigint.of_int (Bool.to_int b))
+  | Value.Obj { payload = Value.Bigint b; _ } -> Some b
+  | Value.Nil | Value.Float _ | Value.Str _ | Value.Obj _ -> None
+
+let to_float = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | Value.Bool b -> if b then 1.0 else 0.0
+  | Value.Obj { payload = Value.Bigint b; _ } ->
+      float_of_string (Rbigint.to_string b)
+  | v -> raise (Type_error ("expected number, got " ^ Value.type_name v))
+
+let charge_digits ctx fn a b op =
+  Aot.call ctx fn @@ fun () ->
+  let da = max 1 (Rbigint.num_digits a) and db = max 1 (Rbigint.num_digits b) in
+  let w =
+    if fn == big_mul_fn then da * db
+    else if fn == big_divmod_fn then (max 1 (da - db + 1)) * db
+    else max da db
+  in
+  Engine.emit (Ctx.engine ctx)
+    (Cost.make ~alu:(3 * w) ~load:w ~store:w ~other:w ());
+  op ()
+
+(* fallthrough: promote both to bigint, run, demote if possible *)
+let big_binop ctx fn op a b =
+  match (as_big a, as_big b) with
+  | Some ba, Some bb ->
+      charge_digits ctx fn ba bb (fun () -> normalize_big ctx (op ba bb))
+  | _ ->
+      raise
+        (Type_error
+           (Printf.sprintf "unsupported operand types: %s and %s"
+              (Value.type_name a) (Value.type_name b)))
+
+let overflowed_add a b r = (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0)
+
+let int_like = function
+  | Value.Int _ | Value.Bool _ -> true
+  | Value.Nil | Value.Float _ | Value.Str _ | Value.Obj _ -> false
+
+let as_int = function
+  | Value.Int i -> i
+  | Value.Bool b -> Bool.to_int b
+  | _ -> raise (Type_error "expected int")
+
+let float_involved a b =
+  match (a, b) with
+  | Value.Float _, _ | _, Value.Float _ -> true
+  | _ -> false
+
+let add ctx a b =
+  if float_involved a b then Value.Float (to_float a +. to_float b)
+  else if int_like a && int_like b then begin
+    let x = as_int a and y = as_int b in
+    let r = x + y in
+    if overflowed_add x y r then
+      big_binop ctx big_add_fn Rbigint.add a b
+    else Value.Int r
+  end
+  else big_binop ctx big_add_fn Rbigint.add a b
+
+let sub ctx a b =
+  if float_involved a b then Value.Float (to_float a -. to_float b)
+  else if int_like a && int_like b then begin
+    let x = as_int a and y = as_int b in
+    let r = x - y in
+    if (x >= 0) <> (y >= 0) && (r >= 0) <> (x >= 0) then
+      big_binop ctx big_sub_fn Rbigint.sub a b
+    else Value.Int r
+  end
+  else big_binop ctx big_sub_fn Rbigint.sub a b
+
+let mul_overflows x y =
+  x <> 0
+  && (abs x > 1 lsl 31 || abs y > 1 lsl 31)
+  && (let r = x * y in r / x <> y)
+
+let mul ctx a b =
+  if float_involved a b then Value.Float (to_float a *. to_float b)
+  else if int_like a && int_like b then begin
+    let x = as_int a and y = as_int b in
+    if mul_overflows x y then big_binop ctx big_mul_fn Rbigint.mul a b
+    else Value.Int (x * y)
+  end
+  else big_binop ctx big_mul_fn Rbigint.mul a b
+
+(* Python floor division / modulo on native ints *)
+let floordiv_int x y =
+  if y = 0 then raise Division_by_zero;
+  let q = x / y in
+  if (x < 0) <> (y < 0) && x mod y <> 0 then q - 1 else q
+
+let mod_int x y =
+  if y = 0 then raise Division_by_zero;
+  let r = x mod y in
+  if r <> 0 && (r < 0) <> (y < 0) then r + y else r
+
+let floordiv ctx a b =
+  if float_involved a b then begin
+    let d = to_float b in
+    if d = 0.0 then raise Division_by_zero;
+    Value.Float (floor (to_float a /. d))
+  end
+  else if int_like a && int_like b then
+    Value.Int (floordiv_int (as_int a) (as_int b))
+  else
+    big_binop ctx big_divmod_fn (fun x y -> fst (Rbigint.divmod x y)) a b
+
+let modulo ctx a b =
+  if float_involved a b then begin
+    let d = to_float b in
+    if d = 0.0 then raise Division_by_zero;
+    let r = Float.rem (to_float a) d in
+    let r = if r <> 0.0 && (r < 0.0) <> (d < 0.0) then r +. d else r in
+    Value.Float r
+  end
+  else if int_like a && int_like b then
+    Value.Int (mod_int (as_int a) (as_int b))
+  else
+    big_binop ctx big_divmod_fn (fun x y -> snd (Rbigint.divmod x y)) a b
+
+let truediv _ctx a b =
+  let d = to_float b in
+  if d = 0.0 then raise Division_by_zero;
+  Value.Float (to_float a /. d)
+
+let divmod ctx a b = (floordiv ctx a b, modulo ctx a b)
+
+let neg ctx = function
+  | Value.Int i when i <> min_int -> Value.Int (-i)
+  | Value.Int i -> normalize_big ctx (Rbigint.neg (Rbigint.of_int i))
+  | Value.Float f -> Value.Float (-.f)
+  | Value.Bool b -> Value.Int (-Bool.to_int b)
+  | Value.Obj { payload = Value.Bigint b; _ } ->
+      normalize_big ctx (Rbigint.neg b)
+  | v -> raise (Type_error ("bad operand for unary -: " ^ Value.type_name v))
+
+let pow ctx a b =
+  match (a, b) with
+  | _, _ when float_involved a b ->
+      Value.Float (Rstr.pow_float ctx (to_float a) (to_float b))
+  | _ when int_like a && int_like b ->
+      let base = as_int a and e = as_int b in
+      if e < 0 then Value.Float (Rstr.pow_float ctx (float_of_int base) (float_of_int e))
+      else begin
+        (* exponentiation by squaring with overflow promotion *)
+        let rec go acc base e =
+          if e = 0 then acc
+          else begin
+            let acc = if e land 1 = 1 then mul ctx acc base else acc in
+            let base' = if e > 1 then mul ctx base base else base in
+            go acc base' (e lsr 1)
+          end
+        in
+        go (Value.Int 1) (Value.Int base) e
+      end
+  | _ ->
+      raise
+        (Type_error
+           (Printf.sprintf "pow: unsupported operands %s, %s"
+              (Value.type_name a) (Value.type_name b)))
+
+let lshift ctx a n =
+  match a with
+  | Value.Int i when n < 40 && abs i < 1 lsl 20 -> Value.Int (i lsl n)
+  | _ -> (
+      match as_big a with
+      | Some b ->
+          Aot.call ctx big_lshift_fn (fun () ->
+              let w = Rbigint.num_digits b + (n / 30) + 1 in
+              Engine.emit (Ctx.engine ctx)
+                (Cost.make ~alu:(2 * w) ~load:w ~store:w ());
+              normalize_big ctx (Rbigint.lshift b n))
+      | None -> raise (Type_error "lshift: expected int"))
+
+let rshift ctx a n =
+  match a with
+  | Value.Int i when i >= 0 -> Value.Int (i asr n)
+  | _ -> (
+      match as_big a with
+      | Some b ->
+          Aot.call ctx big_rshift_fn (fun () ->
+              let w = max 1 (Rbigint.num_digits b) in
+              Engine.emit (Ctx.engine ctx)
+                (Cost.make ~alu:(2 * w) ~load:w ~store:w ());
+              normalize_big ctx (Rbigint.rshift b n))
+      | None -> raise (Type_error "rshift: expected int"))
+
+let compare_num ctx a b =
+  if float_involved a b then Float.compare (to_float a) (to_float b)
+  else if int_like a && int_like b then Int.compare (as_int a) (as_int b)
+  else
+    match (as_big a, as_big b) with
+    | Some ba, Some bb ->
+        Aot.call ctx big_cmp_fn (fun () ->
+            let w = Rbigint.work ba bb in
+            Engine.emit (Ctx.engine ctx) (Cost.make ~alu:w ~load:w ());
+            Rbigint.compare ba bb)
+    | _ ->
+        raise
+          (Type_error
+             (Printf.sprintf "cannot compare %s and %s" (Value.type_name a)
+                (Value.type_name b)))

@@ -1,0 +1,424 @@
+(* Sign-magnitude bignums over base-2^30 digits, little-endian, no
+   leading zero digits.  The magnitude algorithms follow Knuth TAOCP
+   vol. 2 (algorithm D for division). *)
+
+let shift_bits = 30
+let base = 1 lsl shift_bits
+let digit_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* invariant: sign = 0 iff mag = [||]; mag has no trailing (most
+   significant) zero digit *)
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+(* increment a magnitude in place semantics-free: returns a fresh array *)
+let incr_mag mag =
+  let lm = Array.length mag in
+  let out = Array.make (lm + 1) 0 in
+  Array.blit mag 0 out 0 lm;
+  let i = ref 0 in
+  let carry = ref 1 in
+  while !carry = 1 && !i <= lm do
+    let s = out.(!i) + 1 in
+    if s = base then out.(!i) <- 0
+    else begin
+      out.(!i) <- s;
+      carry := 0
+    end;
+    incr i
+  done;
+  out
+
+let rec of_int i =
+  if i = 0 then zero
+  else if i = min_int then
+    (* abs min_int overflows; build |min_int| as |min_int + 1| + 1 *)
+    let near = of_int (min_int + 1) in
+    normalize (-1) (incr_mag near.mag)
+  else begin
+    let sign = if i < 0 then -1 else 1 in
+    (* careful with min_int: negate via abs on the magnitude digits *)
+    let rec digits acc m = if m = 0 then acc else digits (acc + 1) (m lsr shift_bits) in
+    let m0 = abs i in
+    let n = digits 0 m0 in
+    let mag = Array.make n 0 in
+    let m = ref m0 in
+    for k = 0 to n - 1 do
+      mag.(k) <- !m land digit_mask;
+      m := !m lsr shift_bits
+    done;
+    { sign; mag }
+  end
+
+let to_int_opt t =
+  match Array.length t.mag with
+  | 0 -> Some 0
+  | 1 -> Some (t.sign * t.mag.(0))
+  | 2 -> Some (t.sign * ((t.mag.(1) lsl shift_bits) lor t.mag.(0)))
+  | 3 when t.mag.(2) < 4 ->
+      let v =
+        (t.mag.(2) lsl (2 * shift_bits))
+        lor (t.mag.(1) lsl shift_bits)
+        lor t.mag.(0)
+      in
+      if v >= 0 then Some (t.sign * v) else None
+  | _ -> None
+
+let sign t = t.sign
+let num_digits t = Array.length t.mag
+
+let bits_of_digit d =
+  let rec go n d = if d = 0 then n else go (n + 1) (d lsr 1) in
+  go 0 d
+
+let numbits t =
+  let n = Array.length t.mag in
+  if n = 0 then 0
+  else ((n - 1) * shift_bits) + bits_of_digit t.mag.(n - 1)
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then { t with sign = 1 } else t
+
+(* --- magnitude primitives --- *)
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lo, hi, llo, lhi = if la < lb then (a, b, la, lb) else (b, a, lb, la) in
+  let out = Array.make (lhi + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to llo - 1 do
+    let s = lo.(i) + hi.(i) + !carry in
+    out.(i) <- s land digit_mask;
+    carry := s lsr shift_bits
+  done;
+  for i = llo to lhi - 1 do
+    let s = hi.(i) + !carry in
+    out.(i) <- s land digit_mask;
+    carry := s lsr shift_bits
+  done;
+  out.(lhi) <- !carry;
+  out
+
+(* requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bi = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bi - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  out
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let p = (ai * b.(j)) + out.(i + j) + !carry in
+          out.(i + j) <- p land digit_mask;
+          carry := p lsr shift_bits
+        done;
+        out.(i + lb) <- out.(i + lb) + !carry
+      end
+    done;
+    out
+  end
+
+(* --- signed operations --- *)
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let compare a b =
+  if a.sign <> b.sign then Int.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+(* --- shifts on magnitudes --- *)
+
+let lshift_mag mag n =
+  if Array.length mag = 0 then [||]
+  else begin
+    let words = n / shift_bits and bits = n mod shift_bits in
+    let lm = Array.length mag in
+    let out = Array.make (lm + words + 1) 0 in
+    if bits = 0 then Array.blit mag 0 out words lm
+    else begin
+      let carry = ref 0 in
+      for i = 0 to lm - 1 do
+        let v = (mag.(i) lsl bits) lor !carry in
+        out.(words + i) <- v land digit_mask;
+        carry := v lsr shift_bits
+      done;
+      out.(words + lm) <- !carry
+    end;
+    out
+  end
+
+let rshift_mag mag n =
+  let words = n / shift_bits and bits = n mod shift_bits in
+  let lm = Array.length mag in
+  if words >= lm then [||]
+  else begin
+    let lo = lm - words in
+    let out = Array.make lo 0 in
+    if bits = 0 then Array.blit mag words out 0 lo
+    else begin
+      for i = 0 to lo - 1 do
+        let hi_part =
+          if words + i + 1 < lm then
+            (mag.(words + i + 1) lsl (shift_bits - bits)) land digit_mask
+          else 0
+        in
+        out.(i) <- (mag.(words + i) lsr bits) lor hi_part
+      done
+    end;
+    out
+  end
+
+let lshift a n =
+  if n < 0 then invalid_arg "Rbigint.lshift: negative shift"
+  else if n = 0 || a.sign = 0 then a
+  else normalize a.sign (lshift_mag a.mag n)
+
+(* --- division --- *)
+
+(* short division of a magnitude by a single digit *)
+let divmod_digit mag d =
+  let lm = Array.length mag in
+  let q = Array.make lm 0 in
+  let r = ref 0 in
+  for i = lm - 1 downto 0 do
+    let cur = (!r lsl shift_bits) lor mag.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth algorithm D over magnitudes: returns (q, r) with u = q*v + r,
+   0 <= r < v.  Requires v nonzero. *)
+let divmod_mag u v =
+  let lv = Array.length v in
+  if lv = 0 then raise Division_by_zero;
+  if cmp_mag u v < 0 then ([||], u)
+  else if lv = 1 then begin
+    let q, r = divmod_digit u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    (* D1: normalize so the top divisor digit has its high bit set *)
+    let shift = shift_bits - bits_of_digit v.(lv - 1) in
+    let un = lshift_mag u shift in
+    (* ensure un has an extra high digit slot: lshift_mag already adds one *)
+    let vn = rshift_mag (lshift_mag v shift) 0 in
+    let vn =
+      (* strip the extra zero limb lshift_mag may have appended *)
+      let n = ref (Array.length vn) in
+      while !n > 0 && vn.(!n - 1) = 0 do decr n done;
+      Array.sub vn 0 !n
+    in
+    let n = Array.length vn in
+    let m =
+      let lu = ref (Array.length un) in
+      while !lu > 0 && un.(!lu - 1) = 0 do decr lu done;
+      !lu - n
+    in
+    let m = max m 0 in
+    (* un padded to n + m + 1 digits *)
+    let u_arr = Array.make (n + m + 1) 0 in
+    Array.blit un 0 u_arr 0 (min (Array.length un) (n + m + 1));
+    let q = Array.make (m + 1) 0 in
+    let vtop = vn.(n - 1) and vsecond = vn.(n - 2) in
+    for j = m downto 0 do
+      (* D3: estimate qhat from the top two dividend digits *)
+      let top2 = (u_arr.(j + n) lsl shift_bits) lor u_arr.(j + n - 1) in
+      let qhat = ref (top2 / vtop) in
+      let rhat = ref (top2 mod vtop) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := top2 - (!qhat * vtop)
+      end;
+      let continue = ref true in
+      while !continue && !rhat < base do
+        let u_next = if j + n - 2 >= 0 then u_arr.(j + n - 2) else 0 in
+        if !qhat * vsecond > (!rhat lsl shift_bits) lor u_next then begin
+          decr qhat;
+          rhat := !rhat + vtop
+        end
+        else continue := false
+      done;
+      (* D4: multiply and subtract *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = !qhat * vn.(i) + !carry in
+        carry := p lsr shift_bits;
+        let d = u_arr.(j + i) - (p land digit_mask) - !borrow in
+        if d < 0 then begin
+          u_arr.(j + i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u_arr.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u_arr.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* D6: estimate was one too large; add back *)
+        u_arr.(j + n) <- d + base;
+        decr qhat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u_arr.(j + i) + vn.(i) + !carry2 in
+          u_arr.(j + i) <- s land digit_mask;
+          carry2 := s lsr shift_bits
+        done;
+        u_arr.(j + n) <- (u_arr.(j + n) + !carry2) land digit_mask
+      end
+      else u_arr.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    (* D8: denormalize the remainder *)
+    let r = rshift_mag (Array.sub u_arr 0 n) shift in
+    (q, r)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag a.mag b.mag in
+    let q = normalize (a.sign * b.sign) qm in
+    let r = normalize a.sign rm in
+    (* adjust to floor semantics: remainder takes the divisor's sign *)
+    if r.sign <> 0 && r.sign <> b.sign then
+      (sub q one, add r b)
+    else (q, r)
+  end
+
+let rshift a n =
+  if n < 0 then invalid_arg "Rbigint.rshift: negative shift"
+  else if n = 0 || a.sign = 0 then a
+  else if a.sign > 0 then normalize 1 (rshift_mag a.mag n)
+  else begin
+    (* floor semantics for negatives: -((-a + (2^n - 1)) >> n) done via
+       divmod by 2^n *)
+    let q, _ = divmod a (lshift one n) in
+    q
+  end
+
+(* --- decimal conversion --- *)
+
+let chunk = 100_000_000 (* 10^8 < 2^30, so short division by it is exact *)
+let chunk_digits = 8
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag acc =
+      let lm =
+        let n = ref (Array.length mag) in
+        while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+        !n
+      in
+      if lm = 0 then acc
+      else begin
+        let mag = Array.sub mag 0 lm in
+        let q, r = divmod_digit mag chunk in
+        go q (r :: acc)
+      end
+    in
+    let chunks = go t.mag [] in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    (match chunks with
+    | [] -> Buffer.add_char buf '0'
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter
+          (fun c -> Buffer.add_string buf (Printf.sprintf "%0*d" chunk_digits c))
+          rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Rbigint.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Rbigint.of_string: no digits";
+  let acc = ref zero in
+  let chunk_big = of_int chunk in
+  let i = ref start in
+  while !i < len do
+    let upto = min len (!i + chunk_digits) in
+    let piece = String.sub s !i (upto - !i) in
+    String.iter
+      (fun c -> if c < '0' || c > '9' then invalid_arg "Rbigint.of_string")
+      piece;
+    let scale =
+      if upto - !i = chunk_digits then chunk_big
+      else of_int (int_of_float (10.0 ** float_of_int (upto - !i)))
+    in
+    acc := add (mul !acc scale) (of_int (int_of_string piece));
+    i := upto
+  done;
+  if negative then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let work a b =
+  let da = max 1 (num_digits a) and db = max 1 (num_digits b) in
+  da + db

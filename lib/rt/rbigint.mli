@@ -1,0 +1,56 @@
+(** Arbitrary-precision integers (RPython's [rbigint]).
+
+    Sign-magnitude representation over base-2{^30} digits.  This is the
+    AOT-compiled arithmetic library that the paper's [pidigits] benchmark
+    spends >90% of its time in (Table III: [rbigint.add], [.divmod],
+    [.lshift], [.mul]); the meta-traces call into it rather than inlining
+    it, because its loops have data-dependent bounds (Sec. II).
+
+    All operations are total over valid values; [divmod] raises
+    [Division_by_zero] on a zero divisor. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+val to_int_opt : t -> int option
+(** [None] if the value does not fit in a native [int]. *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val numbits : t -> int
+(** Bits in the magnitude; 0 for zero. *)
+
+val num_digits : t -> int
+(** Base-2{^30} digits in the magnitude. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** Floor division: [divmod a b = (q, r)] with [a = q*b + r] and
+    [0 <= |r| < |b|], [r] having the sign of [b] (Python semantics). *)
+
+val lshift : t -> int -> t
+
+val rshift : t -> int -> t
+(** Arithmetic shift (floor), like Python. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+val of_string : string -> t
+(** Decimal, with optional leading [-].  Raises [Invalid_argument] on
+    malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val work : t -> t -> int
+(** Rough digit-operation count for an operation over these operands;
+    used by the AOT cost model to charge machine work proportional to
+    actual bignum sizes. *)

@@ -1,0 +1,248 @@
+open Mtj_core
+module Engine = Mtj_machine.Engine
+
+let setslice_int_fn = Aot.register ~name:"IntegerListStrategy_setslice" ~src:Aot.I
+let fill_sliced_fn =
+  Aot.register ~name:"IntegerListStrategy_fill_in_with_sliced_items" ~src:Aot.I
+let safe_find_fn = Aot.register ~name:"IntegerListStrategy_safe_find" ~src:Aot.I
+let setslice_bytes_fn = Aot.register ~name:"BytesListStrategy_setslice" ~src:Aot.I
+
+let of_obj (o : Value.obj) =
+  match o.Value.payload with
+  | Value.List l -> l
+  | _ -> invalid_arg "Rlist.of_obj: not a list"
+
+let length = Value.list_len
+
+(* choose the narrowest strategy covering all the values *)
+let strategy_of_values values : Value.strategy =
+  let all p = List.for_all p values in
+  if values = [] then Value.S_empty
+  else if all (function Value.Int _ -> true | _ -> false) then
+    Value.S_int
+      {
+        ints =
+          Array.of_list
+            (List.map (function Value.Int i -> i | _ -> 0) values);
+        len = List.length values;
+      }
+  else if all (function Value.Float _ -> true | _ -> false) then
+    Value.S_float
+      {
+        floats =
+          Array.of_list
+            (List.map (function Value.Float f -> f | _ -> 0.0) values);
+        len = List.length values;
+      }
+  else if all (function Value.Str _ -> true | _ -> false) then
+    Value.S_str
+      {
+        strs =
+          Array.of_list
+            (List.map (function Value.Str s -> s | _ -> "") values);
+        len = List.length values;
+      }
+  else Value.S_obj { objs = Array.of_list values; len = List.length values }
+
+let create ctx values =
+  Gc_sim.alloc (Ctx.gc ctx) (Value.List { strategy = strategy_of_values values })
+
+let strategy_name (l : Value.lst) =
+  match l.Value.strategy with
+  | Value.S_empty -> "empty"
+  | Value.S_int _ -> "int"
+  | Value.S_float _ -> "float"
+  | Value.S_str _ -> "bytes"
+  | Value.S_obj _ -> "object"
+
+let nth (l : Value.lst) i : Value.t =
+  match l.Value.strategy with
+  | Value.S_empty -> invalid_arg "Rlist.get: index out of range"
+  | Value.S_int s ->
+      if i >= s.len then invalid_arg "Rlist.get" else Value.Int s.ints.(i)
+  | Value.S_float s ->
+      if i >= s.len then invalid_arg "Rlist.get" else Value.Float s.floats.(i)
+  | Value.S_str s ->
+      if i >= s.len then invalid_arg "Rlist.get" else Value.Str s.strs.(i)
+  | Value.S_obj s ->
+      if i >= s.len then invalid_arg "Rlist.get" else s.objs.(i)
+
+let get ctx (o : Value.obj) i =
+  let l = of_obj o in
+  if i < 0 || i >= length l then invalid_arg "Rlist.get: index out of range";
+  Engine.mem_access (Ctx.engine ctx) ~addr:(Gc_sim.addr o ~field:i) ~write:false;
+  nth l i
+
+(* generalize storage to boxed objects (PyPy's strategy switch) *)
+let generalize ctx (o : Value.obj) (l : Value.lst) =
+  let n = length l in
+  let objs = Array.init (max 4 n) (fun i -> if i < n then nth l i else Value.Nil) in
+  l.Value.strategy <- Value.S_obj { objs; len = n };
+  Engine.emit (Ctx.engine ctx) (Cost.make ~alu:(2 * n) ~load:n ~store:n ());
+  Gc_sim.grow (Ctx.gc ctx) o
+
+let grow_array arr len make =
+  if len < Array.length arr then arr
+  else begin
+    let bigger = make (max 4 (2 * Array.length arr)) in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let rec append ctx (o : Value.obj) v =
+  let l = of_obj o in
+  let eng = Ctx.engine ctx in
+  Engine.mem_access eng ~addr:(Gc_sim.addr o ~field:(length l)) ~write:true;
+  match (l.Value.strategy, v) with
+  | Value.S_empty, Value.Int i ->
+      l.Value.strategy <- Value.S_int { ints = Array.make 4 i; len = 1 };
+      Gc_sim.grow (Ctx.gc ctx) o
+  | Value.S_empty, Value.Float f ->
+      l.Value.strategy <- Value.S_float { floats = Array.make 4 f; len = 1 };
+      Gc_sim.grow (Ctx.gc ctx) o
+  | Value.S_empty, Value.Str s ->
+      l.Value.strategy <- Value.S_str { strs = Array.make 4 s; len = 1 };
+      Gc_sim.grow (Ctx.gc ctx) o
+  | Value.S_empty, other ->
+      l.Value.strategy <-
+        Value.S_obj { objs = Array.make 4 other; len = 1 };
+      Gc_sim.grow (Ctx.gc ctx) o;
+      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:other
+  | Value.S_int s, Value.Int i ->
+      let arr = grow_array s.ints s.len (fun n -> Array.make n 0) in
+      if arr != s.ints then begin
+        s.ints <- arr;
+        Gc_sim.grow (Ctx.gc ctx) o
+      end;
+      s.ints.(s.len) <- i;
+      s.len <- s.len + 1
+  | Value.S_float s, Value.Float f ->
+      let arr = grow_array s.floats s.len (fun n -> Array.make n 0.0) in
+      if arr != s.floats then begin
+        s.floats <- arr;
+        Gc_sim.grow (Ctx.gc ctx) o
+      end;
+      s.floats.(s.len) <- f;
+      s.len <- s.len + 1
+  | Value.S_str s, Value.Str str ->
+      let arr = grow_array s.strs s.len (fun n -> Array.make n "") in
+      if arr != s.strs then begin
+        s.strs <- arr;
+        Gc_sim.grow (Ctx.gc ctx) o
+      end;
+      s.strs.(s.len) <- str;
+      s.len <- s.len + 1
+  | Value.S_obj s, other ->
+      let arr = grow_array s.objs s.len (fun n -> Array.make n Value.Nil) in
+      if arr != s.objs then begin
+        s.objs <- arr;
+        Gc_sim.grow (Ctx.gc ctx) o
+      end;
+      s.objs.(s.len) <- other;
+      s.len <- s.len + 1;
+      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:other
+  | (Value.S_int _ | Value.S_float _ | Value.S_str _), _ ->
+      generalize ctx o l;
+      append ctx o v
+
+let rec set ctx (o : Value.obj) i v =
+  let l = of_obj o in
+  if i < 0 || i >= length l then invalid_arg "Rlist.set: index out of range";
+  Engine.mem_access (Ctx.engine ctx) ~addr:(Gc_sim.addr o ~field:i) ~write:true;
+  match (l.Value.strategy, v) with
+  | Value.S_int s, Value.Int x -> s.ints.(i) <- x
+  | Value.S_float s, Value.Float x -> s.floats.(i) <- x
+  | Value.S_str s, Value.Str x -> s.strs.(i) <- x
+  | Value.S_obj s, x ->
+      s.objs.(i) <- x;
+      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:x
+  | (Value.S_int _ | Value.S_float _ | Value.S_str _ | Value.S_empty), _ ->
+      generalize ctx o l;
+      set ctx o i v
+
+let pop ctx (o : Value.obj) i =
+  let l = of_obj o in
+  let n = length l in
+  if i < 0 || i >= n then invalid_arg "Rlist.pop: index out of range";
+  let v = nth l i in
+  let eng = Ctx.engine ctx in
+  Engine.emit eng (Cost.make ~alu:(n - i) ~load:(n - i) ~store:(n - i) ());
+  (match l.Value.strategy with
+  | Value.S_empty -> ()
+  | Value.S_int s ->
+      Array.blit s.ints (i + 1) s.ints i (s.len - i - 1);
+      s.len <- s.len - 1
+  | Value.S_float s ->
+      Array.blit s.floats (i + 1) s.floats i (s.len - i - 1);
+      s.len <- s.len - 1
+  | Value.S_str s ->
+      Array.blit s.strs (i + 1) s.strs i (s.len - i - 1);
+      s.len <- s.len - 1
+  | Value.S_obj s ->
+      Array.blit s.objs (i + 1) s.objs i (s.len - i - 1);
+      s.objs.(s.len - 1) <- Value.Nil;
+      s.len <- s.len - 1);
+  v
+
+let slice ctx (o : Value.obj) lo hi =
+  let l = of_obj o in
+  let n = length l in
+  let lo = max 0 lo and hi = min n hi in
+  let hi = max lo hi in
+  Aot.call ctx fill_sliced_fn @@ fun () ->
+  let eng = Ctx.engine ctx in
+  let count = hi - lo in
+  Engine.emit eng (Cost.make ~alu:count ~load:count ~store:count ());
+  let values = ref [] in
+  for i = hi - 1 downto lo do
+    values := nth l i :: !values
+  done;
+  create ctx !values
+
+let setslice ctx (dst : Value.obj) lo hi (src : Value.obj) =
+  let dl = of_obj dst and sl = of_obj src in
+  let fn =
+    match dl.Value.strategy with
+    | Value.S_str _ -> setslice_bytes_fn
+    | Value.S_empty | Value.S_int _ | Value.S_float _ | Value.S_obj _ ->
+        setslice_int_fn
+  in
+  Aot.call ctx fn @@ fun () ->
+  let eng = Ctx.engine ctx in
+  let count = hi - lo in
+  Engine.emit eng (Cost.make ~alu:(2 * count) ~load:count ~store:count ());
+  if count <> length sl then
+    invalid_arg "Rlist.setslice: length mismatch";
+  for i = 0 to count - 1 do
+    set ctx dst (lo + i) (nth sl i)
+  done
+
+let find ctx (o : Value.obj) v =
+  let l = of_obj o in
+  Aot.call ctx safe_find_fn @@ fun () ->
+  let eng = Ctx.engine ctx in
+  let n = length l in
+  let result = ref (-1) in
+  (try
+     for i = 0 to n - 1 do
+       Engine.emit eng (Cost.make ~alu:2 ~load:1 ());
+       let hit = Value.py_eq (nth l i) v in
+       Engine.branch eng ~site:920_001 ~taken:hit;
+       if hit then begin
+         result := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let to_array (l : Value.lst) = Array.init (length l) (fun i -> nth l i)
+
+let concat ctx (a : Value.obj) (b : Value.obj) =
+  let la = of_obj a and lb = of_obj b in
+  let values =
+    List.init (length la) (nth la) @ List.init (length lb) (nth lb)
+  in
+  let n = List.length values in
+  Engine.emit (Ctx.engine ctx) (Cost.make ~alu:n ~load:n ~store:n ());
+  create ctx values

@@ -1,0 +1,34 @@
+(** Lists with storage strategies (PyPy's list strategies).
+
+    A list of homogeneous ints/floats/strings is stored unboxed; mixing
+    types generalizes the storage to boxed objects.  The strategy
+    transition functions and the slice/find helpers are the
+    interpreter-level AOT functions of Table III
+    ([IntegerListStrategy_setslice], [_fill_in_with_sliced],
+    [_safe_find], [BytesListStrategy_setslice]). *)
+
+val create : Ctx.t -> Value.t list -> Value.obj
+(** Allocate a list object choosing the narrowest strategy that fits. *)
+
+val length : Value.lst -> int
+val get : Ctx.t -> Value.obj -> int -> Value.t
+(** Raises [Invalid_argument] when out of bounds (the VM layers raise
+    their language-level IndexError before calling). *)
+
+val set : Ctx.t -> Value.obj -> int -> Value.t -> unit
+val append : Ctx.t -> Value.obj -> Value.t -> unit
+val pop : Ctx.t -> Value.obj -> int -> Value.t
+val slice : Ctx.t -> Value.obj -> int -> int -> Value.obj
+val setslice : Ctx.t -> Value.obj -> int -> int -> Value.obj -> unit
+(** [setslice ctx dst lo hi src] replaces [dst[lo:hi]] with [src]'s
+    elements (equal lengths only, as the benchmarks use). *)
+
+val find : Ctx.t -> Value.obj -> Value.t -> int
+(** Index of the first structurally-equal element, or -1. *)
+
+val concat : Ctx.t -> Value.obj -> Value.obj -> Value.obj
+val to_array : Value.lst -> Value.t array
+val of_obj : Value.obj -> Value.lst
+(** Extract list storage; raises [Invalid_argument] on non-lists. *)
+
+val strategy_name : Value.lst -> string

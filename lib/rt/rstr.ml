@@ -1,0 +1,161 @@
+open Mtj_core
+module Engine = Mtj_machine.Engine
+
+let join_fn = Aot.register ~name:"rstr.ll_join" ~src:Aot.R
+let find_char_fn = Aot.register ~name:"rstr.ll_find_char" ~src:Aot.R
+let strhash_fn = Aot.register ~name:"rstr_ll_strhash" ~src:Aot.R
+let int2dec_fn = Aot.register ~name:"ll_str_ll_int2dec" ~src:Aot.R
+let replace_fn = Aot.register ~name:"rstring.replace" ~src:Aot.L
+let split_fn = Aot.register ~name:"rstring.split" ~src:Aot.L
+let string_to_int_fn = Aot.register ~name:"arithmetic.string_to_int" ~src:Aot.L
+let unicode_encode_fn =
+  Aot.register ~name:"runicode.unicode_encode_ucs1_helper" ~src:Aot.L
+let translate_fn =
+  Aot.register ~name:"W_UnicodeObject_descr_translate" ~src:Aot.I
+let json_encode_fn =
+  Aot.register ~name:"_pypyjson.raw_encode_basestring_ascii" ~src:Aot.M
+let builder_append_fn = Aot.register ~name:"rbuilder.ll_append" ~src:Aot.R
+let pow_fn = Aot.register ~name:"pow" ~src:Aot.C
+let memcpy_fn = Aot.register ~name:"memcpy" ~src:Aot.C
+
+let charge_chars ctx n =
+  Engine.emit (Ctx.engine ctx)
+    (Cost.make ~alu:(max 1 (n / 2)) ~load:(max 1 (n / 4))
+       ~store:(max 1 (n / 8)) ())
+
+let join ctx sep parts =
+  Aot.call ctx join_fn @@ fun () ->
+  let result = String.concat sep parts in
+  charge_chars ctx (String.length result);
+  result
+
+let find_char ctx s c ~start =
+  Aot.call ctx find_char_fn @@ fun () ->
+  let eng = Ctx.engine ctx in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then begin
+      Engine.branch eng ~site:930_001 ~taken:false;
+      -1
+    end
+    else begin
+      Engine.emit eng (Cost.make ~alu:1 ~load:1 ());
+      let hit = s.[i] = c in
+      Engine.branch eng ~site:930_001 ~taken:(not hit);
+      if hit then i else go (i + 1)
+    end
+  in
+  go (max 0 start)
+
+let replace ctx s old_sub new_sub =
+  Aot.call ctx replace_fn @@ fun () ->
+  charge_chars ctx (2 * String.length s);
+  if String.length old_sub = 0 then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let ol = String.length old_sub in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i <= n - ol do
+      if String.sub s !i ol = old_sub then begin
+        Buffer.add_string buf new_sub;
+        i := !i + ol
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    while !i < n do
+      Buffer.add_char buf s.[!i];
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+let split ctx s c =
+  Aot.call ctx split_fn @@ fun () ->
+  charge_chars ctx (String.length s);
+  String.split_on_char c s
+
+let strhash ctx s =
+  Aot.call ctx strhash_fn @@ fun () ->
+  charge_chars ctx (String.length s);
+  Value.str_hash s
+
+let int2dec ctx i =
+  Aot.call ctx int2dec_fn @@ fun () ->
+  let s = string_of_int i in
+  charge_chars ctx (String.length s);
+  s
+
+let string_to_int ctx s =
+  Aot.call ctx string_to_int_fn @@ fun () ->
+  charge_chars ctx (String.length s);
+  int_of_string_opt (String.trim s)
+
+let encode_ascii ctx s =
+  Aot.call ctx json_encode_fn @@ fun () ->
+  charge_chars ctx (2 * String.length s);
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let translate ctx s table =
+  Aot.call ctx translate_fn @@ fun () ->
+  charge_chars ctx (2 * String.length s);
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match List.assoc_opt c table with
+      | Some repl -> Buffer.add_string buf repl
+      | None -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unicode_encode ctx s =
+  Aot.call ctx unicode_encode_fn @@ fun () ->
+  charge_chars ctx (String.length s);
+  s
+
+let pow_float ctx x y =
+  Aot.call ctx pow_fn @@ fun () ->
+  Engine.emit (Ctx.engine ctx) (Cost.make ~fpu:22 ~alu:8 ~load:4 ());
+  Float.pow x y
+
+let memcpy_cost ctx n =
+  Aot.call ctx memcpy_fn @@ fun () ->
+  Engine.emit (Ctx.engine ctx)
+    (Cost.make ~load:(max 1 (n / 16)) ~store:(max 1 (n / 16)) ~alu:4 ())
+
+(* --- builders --- *)
+
+let builder_new ctx =
+  Gc_sim.alloc (Ctx.gc ctx) (Value.Strbuilder (Buffer.create 32))
+
+let buffer_of (o : Value.obj) =
+  match o.Value.payload with
+  | Value.Strbuilder b -> b
+  | _ -> invalid_arg "Rstr.buffer_of: not a builder"
+
+let builder_append ctx o s =
+  Aot.call ctx builder_append_fn @@ fun () ->
+  charge_chars ctx (String.length s);
+  Buffer.add_string (buffer_of o) s;
+  Gc_sim.grow (Ctx.gc ctx) o
+
+let builder_build ctx o =
+  let b = buffer_of o in
+  charge_chars ctx (Buffer.length b);
+  Buffer.contents b

@@ -1,0 +1,39 @@
+(** String runtime functions (RPython's [rstr] / [rbuilder] / [runicode]
+    plus a few C-library and PyPy-module functions).
+
+    These are the remaining AOT-compiled entry points of Table III:
+    [rstr.ll_join], [rstr.ll_find_char], [rstr_ll_strhash],
+    [ll_str_ll_int2dec], [rstring.replace], [rbuilder.ll_append],
+    [arithmetic.string_to_int], [runicode.unicode_encode_ucs1_helper],
+    [W_UnicodeObject_descr_translate],
+    [_pypyjson.raw_encode_basestring_ascii], and the external C calls
+    [pow] and [memcpy].  Each charges machine work proportional to the
+    characters actually processed. *)
+
+val join : Ctx.t -> string -> string list -> string
+val find_char : Ctx.t -> string -> char -> start:int -> int
+val replace : Ctx.t -> string -> string -> string -> string
+val split : Ctx.t -> string -> char -> string list
+val strhash : Ctx.t -> string -> int
+val int2dec : Ctx.t -> int -> string
+val string_to_int : Ctx.t -> string -> int option
+val encode_ascii : Ctx.t -> string -> string
+(** JSON string escaping ([_pypyjson.raw_encode_basestring_ascii]). *)
+
+val translate : Ctx.t -> string -> (char * string) list -> string
+(** Character-table translation ([W_UnicodeObject_descr_translate]). *)
+
+val unicode_encode : Ctx.t -> string -> string
+(** Identity byte walk standing in for UCS-1 encoding. *)
+
+val pow_float : Ctx.t -> float -> float -> float
+(** The C library [pow] (dominates [nbody_modified] in Table III). *)
+
+val memcpy_cost : Ctx.t -> int -> unit
+(** Charge a [memcpy] of [n] bytes (twisted_tcp's hot C call). *)
+
+(* --- string builders (rbuilder) --- *)
+
+val builder_new : Ctx.t -> Value.obj
+val builder_append : Ctx.t -> Value.obj -> string -> unit
+val builder_build : Ctx.t -> Value.obj -> string

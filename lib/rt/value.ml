@@ -1,0 +1,277 @@
+(** The dynamic object model shared by every VM in the reproduction.
+   Heap objects carry GC metadata (generation, age, mark bit) managed by
+   Gc_sim; immediate values (nil, bools, ints, floats, immutable strings)
+   are unboxed from the GC's point of view, as in PyPy after its
+   small-int optimization. *)
+
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of obj
+
+and obj = {
+  uid : int;
+  mutable payload : payload;
+  mutable gc_gen : int;    (* 0 = nursery, 1 = old generation *)
+  mutable gc_age : int;    (* minor collections survived *)
+  mutable gc_mark : bool;
+  mutable remembered : bool;
+  mutable words : int;     (* current heap footprint in words *)
+}
+
+and payload =
+  | Instance of instance
+  | Class of cls
+  | List of lst
+  | Dict of dict
+  | Set of dict            (* sets reuse the ordered-dict storage *)
+  | Tuple of t array
+  | Func of func
+  | Method of { receiver : t; func : obj }
+  | Cell of { mutable cell : t }
+  | Bigint of Rbigint.t
+  | Strbuilder of Buffer.t
+  | Range of { start : int; stop : int; step : int }
+  | Iter of { mutable idx : int; src : t }
+
+and instance = { cls : obj; mutable fields : t array }
+
+and cls = {
+  cls_id : int;
+  cls_name : string;
+  mutable layout : string array;   (* field name -> index ("map"/shape) *)
+  mutable attrs : (string * t) list;  (* methods and class attributes *)
+  mutable parent : obj option;
+}
+
+and func = {
+  func_id : int;
+  func_name : string;
+  arity : int;
+  code_ref : int;               (* index into the owning VM's code table *)
+  mutable captured : t array;   (* closed-over cells *)
+}
+
+(* list strategies, after PyPy's storage strategies (Table III names
+   IntegerListStrategy / BytesListStrategy functions) *)
+and lst = { mutable strategy : strategy }
+
+and strategy =
+  | S_empty
+  | S_int of { mutable ints : int array; mutable len : int }
+  | S_float of { mutable floats : float array; mutable len : int }
+  | S_str of { mutable strs : string array; mutable len : int }
+  | S_obj of { mutable objs : t array; mutable len : int }
+
+(* RPython-style insertion-ordered dict: a dense entries array plus an
+   open-addressing index table *)
+and dict = {
+  mutable entries : entry array;
+  mutable num_entries : int;  (* used slots in [entries], incl. dead *)
+  mutable num_live : int;
+  mutable index : int array;  (* -1 empty, -2 tombstone, else entry slot *)
+  mutable index_mask : int;
+}
+
+and entry = {
+  mutable key : t;
+  mutable dval : t;
+  mutable khash : int;
+  mutable live : bool;
+}
+
+let type_name = function
+  | Nil -> "NoneType"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "str"
+  | Obj o -> (
+      match o.payload with
+      | Instance i -> (
+          match i.cls.payload with
+          | Class c -> c.cls_name
+          | _ -> "instance")
+      | Class _ -> "type"
+      | List _ -> "list"
+      | Dict _ -> "dict"
+      | Set _ -> "set"
+      | Tuple _ -> "tuple"
+      | Func _ -> "function"
+      | Method _ -> "method"
+      | Cell _ -> "cell"
+      | Bigint _ -> "int"
+      | Strbuilder _ -> "strbuilder"
+      | Range _ -> "range"
+      | Iter _ -> "iterator")
+
+let list_len (l : lst) =
+  match l.strategy with
+  | S_empty -> 0
+  | S_int s -> s.len
+  | S_float s -> s.len
+  | S_str s -> s.len
+  | S_obj s -> s.len
+
+let truthy = function
+  | Nil -> false
+  | Bool b -> b
+  | Int i -> i <> 0
+  | Float f -> f <> 0.0
+  | Str s -> String.length s > 0
+  | Obj o -> (
+      match o.payload with
+      | List l -> list_len l > 0
+      | Dict d | Set d -> d.num_live > 0
+      | Tuple a -> Array.length a > 0
+      | Bigint b -> Rbigint.sign b <> 0
+      | Strbuilder b -> Buffer.length b > 0
+      | Range r ->
+          if r.step > 0 then r.stop > r.start else r.stop < r.start
+      | Instance _ | Class _ | Func _ | Method _ | Cell _ | Iter _ -> true)
+
+(* structural equality with Python semantics for immediates, tuples,
+   bigints; identity for other heap objects *)
+let rec py_eq a b =
+  match (a, b) with
+  | Nil, Nil -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> String.equal x y
+  | Obj x, Obj y -> (
+      match (x.payload, y.payload) with
+      | Tuple xs, Tuple ys ->
+          Array.length xs = Array.length ys
+          && begin
+               let rec go i =
+                 i >= Array.length xs || (py_eq xs.(i) ys.(i) && go (i + 1))
+               in
+               go 0
+             end
+      | Bigint bx, Bigint by -> Rbigint.equal bx by
+      | _ -> x == y)
+  | Obj { payload = Bigint bx; _ }, Int y
+  | Int y, Obj { payload = Bigint bx; _ } ->
+      Rbigint.equal bx (Rbigint.of_int y)
+  | (Nil | Bool _ | Int _ | Float _ | Str _ | Obj _), _ -> false
+
+(* FNV-style string hash, standing in for rstr_ll_strhash *)
+let str_hash s =
+  let h = ref 2166136261 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 16777619 land max_int) s;
+  !h
+
+let rec py_hash = function
+  | Nil -> 271828
+  | Bool b -> if b then 1 else 0
+  | Int i -> i land max_int
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        int_of_float f land max_int
+      else Hashtbl.hash f
+  | Str s -> str_hash s
+  | Obj o -> (
+      match o.payload with
+      | Tuple xs ->
+          Array.fold_left (fun acc v -> ((acc * 31) + py_hash v) land max_int)
+            1000003 xs
+      | Bigint b -> (
+          match Rbigint.to_int_opt b with
+          | Some i -> i land max_int
+          | None -> str_hash (Rbigint.to_string b))
+      | _ -> o.uid)
+
+(* heap footprint in words of a freshly-built payload (header excluded;
+   Gc_sim adds a fixed header) *)
+let payload_words = function
+  | Instance i -> 1 + Array.length i.fields
+  | Class _ -> 8
+  | List l -> (
+      2
+      +
+      match l.strategy with
+      | S_empty -> 0
+      | S_int s -> Array.length s.ints
+      | S_float s -> Array.length s.floats
+      | S_str s -> Array.length s.strs
+      | S_obj s -> Array.length s.objs)
+  | Dict d | Set d -> 3 + (2 * Array.length d.entries) + Array.length d.index
+  | Tuple a -> 1 + Array.length a
+  | Func f -> 4 + Array.length f.captured
+  | Method _ -> 3
+  | Cell _ -> 2
+  | Bigint b -> 2 + Rbigint.num_digits b
+  | Strbuilder b -> 2 + ((Buffer.length b + 7) / 8)
+  | Range _ -> 4
+  | Iter _ -> 3
+
+(* --- rendering (repr/str for the hosted languages) --- *)
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec repr v =
+  match v with
+  | Nil -> "None"
+  | Bool true -> "True"
+  | Bool false -> "False"
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | Str s -> "'" ^ s ^ "'"
+  | Obj o -> (
+      match o.payload with
+      | Bigint b -> Rbigint.to_string b
+      | Tuple a ->
+          "(" ^ String.concat ", " (Array.to_list (Array.map repr a)) ^ ")"
+      | List l ->
+          let items = ref [] in
+          for i = list_len l - 1 downto 0 do
+            items := repr (list_get_unsafe l i) :: !items
+          done;
+          "[" ^ String.concat ", " !items ^ "]"
+      | Dict d ->
+          let items = ref [] in
+          for i = d.num_entries - 1 downto 0 do
+            let e = d.entries.(i) in
+            if e.live then
+              items := (repr e.key ^ ": " ^ repr e.dval) :: !items
+          done;
+          "{" ^ String.concat ", " !items ^ "}"
+      | Set d ->
+          let items = ref [] in
+          for i = d.num_entries - 1 downto 0 do
+            let e = d.entries.(i) in
+            if e.live then items := repr e.key :: !items
+          done;
+          "{" ^ String.concat ", " !items ^ "}"
+      | Instance i -> (
+          match i.cls.payload with
+          | Class c -> "<" ^ c.cls_name ^ " instance>"
+          | _ -> "<instance>")
+      | Class c -> "<class " ^ c.cls_name ^ ">"
+      | Func f -> "<function " ^ f.func_name ^ ">"
+      | Method _ -> "<bound method>"
+      | Cell _ -> "<cell>"
+      | Strbuilder b -> "<strbuilder " ^ string_of_int (Buffer.length b) ^ ">"
+      | Range r -> Printf.sprintf "range(%d, %d, %d)" r.start r.stop r.step
+      | Iter _ -> "<iterator>")
+
+and to_display_string v =
+  match v with Str s -> s | other -> repr other
+
+and list_get_unsafe (l : lst) i =
+  match l.strategy with
+  | S_empty -> invalid_arg "list_get_unsafe: empty"
+  | S_int s -> Int s.ints.(i)
+  | S_float s -> Float s.floats.(i)
+  | S_str s -> Str s.strs.(i)
+  | S_obj s -> s.objs.(i)
+
+let pp fmt v = Format.pp_print_string fmt (repr v)

@@ -1,0 +1,44 @@
+The mtj CLI drives the VMs from the shell. Its output is byte-stable
+because the whole stack is a deterministic simulation.
+
+List a few registered benchmarks:
+
+  $ ../../bin/mtj.exe list | head -4
+  name                 lang suite  regime
+  ------------------------------------------------------------------------------------------
+  richards             py   pypy   branchy method dispatch; guards dominate
+  crypto_pyaes         py   pypy   int ops + list indexing; strong JIT win
+
+Execute a pylite source file:
+
+  $ cat > hot.py <<'PY'
+  > def f(n):
+  >     s = 0
+  >     for i in range(n):
+  >         s = s + i
+  >     return s
+  > print(f(2000))
+  > PY
+  $ ../../bin/mtj.exe exec hot.py
+  1999000
+  [ok; 116781 simulated instructions]
+
+The JIT can be disabled, and a two-tier policy selected; the program
+output is identical either way:
+
+  $ ../../bin/mtj.exe exec hot.py --no-jit 2>/dev/null | head -1
+  1999000
+  $ ../../bin/mtj.exe exec hot.py --tiered 2>/dev/null | head -1
+  1999000
+
+Scheme sources run on the rklite VM:
+
+  $ cat > loop.scm <<'SCM'
+  > (define (work n)
+  >   (let loop ((i 0) (acc 0))
+  >     (if (= i n) acc (loop (+ i 1) (+ acc i)))))
+  > (display (work 2000))
+  > (newline)
+  > SCM
+  $ ../../bin/mtj.exe exec loop.scm 2>/dev/null | head -1
+  1999000

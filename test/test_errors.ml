@@ -1,0 +1,241 @@
+(** Error-path tests: runtime errors must be reported with the same
+    message and the same output-so-far whether the program runs under the
+    plain interpreter or an eagerly-JITting configuration (errors inside
+    compiled traces deoptimize, re-execute in the interpreter and report
+    from there). Also covers syntax/compile-time rejection. *)
+
+module PV = Mtj_pylite.Vm
+module KV = Mtj_rklite.Kvm
+module C = Mtj_core.Config
+module D = Mtj_rjit.Driver
+
+let nojit = { C.no_jit with C.insn_budget = 20_000_000 }
+let eager = { C.default with C.jit_threshold = 7; bridge_threshold = 3;
+              insn_budget = 20_000_000 }
+
+(* run pylite source, return (error message option, output) *)
+let run_py config src =
+  let outcome, vm = PV.run ~config src in
+  let err =
+    match outcome with
+    | D.Runtime_error e -> Some e
+    | D.Completed _ -> None
+    | D.Budget_exceeded -> Some "<budget>"
+  in
+  (err, PV.output vm)
+
+let run_rk config src =
+  let outcome, vm = KV.run ~config src in
+  let err =
+    match outcome with
+    | D.Runtime_error e -> Some e
+    | D.Completed _ -> None
+    | D.Budget_exceeded -> Some "<budget>"
+  in
+  (err, KV.output vm)
+
+(* the error must fire, with identical message and prior output, in both
+   execution modes *)
+let check_py_error name ?(needle = "") src () =
+  let ei, oi = run_py nojit src in
+  let ej, oj = run_py eager src in
+  (match ei with
+  | None -> Alcotest.failf "%s: no error raised (output %S)" name oi
+  | Some m ->
+      if needle <> "" then begin
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (name ^ ": message mentions " ^ needle)
+          true (contains m needle)
+      end);
+  Alcotest.(check (option string)) (name ^ ": same error under jit") ei ej;
+  Alcotest.(check string) (name ^ ": same output before error") oi oj
+
+let t name ?needle src = Alcotest.test_case name `Quick (check_py_error name ?needle src)
+
+(* errors raised from inside hot loops: the loop compiles first, then the
+   failing iteration deoptimizes and reports from the interpreter *)
+let hot_loop_error body =
+  Printf.sprintf
+    "def f(i):\n    if i == 90:\n%s\n    return i\nacc = 0\nfor i in range(100):\n    acc = acc + f(i)\nprint(acc)\n"
+    body
+
+let py_cases =
+  [
+    t "undefined name" ~needle:"not defined" "print(nope)\n";
+    t "type error add" ~needle:"unsupported" "x = 1 + \"s\"\n";
+    t "division by zero" ~needle:"division" "x = 1 // 0\n";
+    t "modulo by zero" ~needle:"division" "x = 7 % 0\n";
+    t "index out of range" ~needle:"range" "xs = [1, 2]\nprint(xs[5])\n";
+    t "negative index too far" ~needle:"range" "xs = [1]\nprint(xs[-4])\n";
+    t "missing dict key" "d = {\"a\": 1}\nprint(d[\"b\"])\n";
+    t "missing attribute" ~needle:"attribute"
+      "class A:\n    def __init__(self):\n        self.x = 1\na = A()\nprint(a.y)\n";
+    t "call non-function" "x = 5\nx(3)\n";
+    t "wrong arity" "def f(a, b):\n    return a\nf(1)\n";
+    t "string index out of range" "s = \"ab\"\nprint(s[10])\n";
+    t "output before error is kept"
+      "print(\"one\")\nprint(\"two\")\nboom(1)\n";
+    t "error in hot loop (zero div)"
+      (hot_loop_error "        return i // 0");
+    t "error in hot loop (type)"
+      (hot_loop_error "        return i + \"s\"");
+    t "error in hot loop (index)"
+      (hot_loop_error "        return [1][7]");
+    t "error in hot method loop"
+      "class A:\n\
+      \    def __init__(self):\n\
+      \        self.v = 0\n\
+      \    def step(self, i):\n\
+      \        if i == 95:\n\
+      \            return self.missing\n\
+      \        self.v = self.v + i\n\
+      \        return 0\n\
+       a = A()\n\
+       for i in range(120):\n\
+      \    a.step(i)\n\
+       print(a.v)\n";
+  ]
+
+let check_py_syntax name src () =
+  match PV.compile src with
+  | exception Mtj_pylite.Parser.Syntax_error _ -> ()
+  | exception Mtj_pylite.Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.failf "%s: bad program compiled" name
+
+let s name src = Alcotest.test_case ("syntax: " ^ name) `Quick (check_py_syntax name src)
+
+let py_syntax =
+  [
+    s "unterminated string" "x = \"abc\n";
+    s "bad indent" "def f():\nreturn 1\n";
+    s "dangling else" "else:\n    pass\n";
+    s "unclosed paren" "x = (1 + 2\n";
+    s "assignment to literal" "3 = x\n";
+    s "break outside loop" "break\n";
+  ]
+
+(* --- rklite --- *)
+
+let check_rk_error name src () =
+  let ei, oi = run_rk nojit src in
+  let ej, oj = run_rk eager src in
+  (match ei with
+  | None -> Alcotest.failf "%s: no error raised (output %S)" name oi
+  | Some _ -> ());
+  Alcotest.(check (option string)) (name ^ ": same error under jit") ei ej;
+  Alcotest.(check string) (name ^ ": same output before error") oi oj
+
+let k name src = Alcotest.test_case name `Quick (check_rk_error name src)
+
+let rk_cases =
+  [
+    k "unbound variable" "(display nope)";
+    k "car of non-pair" "(car 5)";
+    k "apply non-procedure" "(5 1 2)";
+    k "vector index out of range" "(vector-ref (make-vector 3 0) 9)";
+    k "error in hot loop"
+      "(define (loop i acc)\n\
+      \  (if (= i 200) acc\n\
+      \      (loop (+ i 1) (+ acc (if (= i 150) (car 0) 1)))))\n\
+       (display (loop 0 0))";
+  ]
+
+let check_rk_syntax name src () =
+  match KV.compile src with
+  | exception Mtj_rklite.Reader.Syntax_error _ -> ()
+  | exception Mtj_rklite.Kcompiler.Compile_error _ -> ()
+  | _ -> Alcotest.failf "%s: bad program compiled" name
+
+let ks name src = Alcotest.test_case ("syntax: " ^ name) `Quick (check_rk_syntax name src)
+
+let rk_syntax =
+  [
+    ks "unclosed paren" "(define x (+ 1 2)";
+    ks "stray close" ")";
+    ks "unterminated string" "(display \"abc)";
+    ks "bad define" "(define)";
+    ks "bad lambda" "(lambda)";
+  ]
+
+(* --- fuzzing the frontends: random input must parse, or be rejected
+   with the frontend's own syntax/compile error — never crash with an
+   internal exception (Invalid_argument, Assert_failure, ...) --- *)
+
+let py_tokens =
+  [| "def"; "if"; "else"; "elif"; "for"; "while"; "return"; "print";
+     "class"; "in"; "range"; "("; ")"; "["; "]"; "{"; "}"; ":"; ","; ".";
+     "="; "=="; "+"; "-"; "*"; "//"; "%"; "<"; ">"; "x"; "y"; "foo"; "42";
+     "3.5"; "\"s\""; "\n"; "\n    "; "\n        "; " " |]
+
+let rk_tokens =
+  [| "("; ")"; "define"; "lambda"; "let"; "if"; "cond"; "+"; "-"; "*";
+     "car"; "cdr"; "cons"; "x"; "y"; "42"; "3.5"; "\"s\""; "'"; "#t";
+     "#f"; " "; ";comment\n" |]
+
+let fuzz_source rng tokens =
+  let n = 1 + Random.State.int rng 60 in
+  String.concat ""
+    (List.init n (fun _ ->
+         tokens.(Random.State.int rng (Array.length tokens))))
+
+let prop_py_frontend_total =
+  QCheck.Test.make ~name:"pylite frontend never crashes" ~count:500
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed; 41 |] in
+      let src = fuzz_source rng py_tokens in
+      match PV.compile src with
+      | (_ : Mtj_pylite.Bytecode.code) -> true
+      | exception Mtj_pylite.Parser.Syntax_error _ -> true
+      | exception Mtj_pylite.Compiler.Compile_error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "source %S crashed: %s" src
+            (Printexc.to_string e))
+
+let prop_rk_frontend_total =
+  QCheck.Test.make ~name:"rklite frontend never crashes" ~count:500
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed; 43 |] in
+      let src = fuzz_source rng rk_tokens in
+      match KV.compile src with
+      | _ -> true
+      | exception Mtj_rklite.Reader.Syntax_error _ -> true
+      | exception Mtj_rklite.Kcompiler.Compile_error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "source %S crashed: %s" src
+            (Printexc.to_string e))
+
+(* raw byte soup, not just token soup *)
+let prop_frontends_survive_bytes =
+  QCheck.Test.make ~name:"frontends survive raw bytes" ~count:300
+    (QCheck.make QCheck.Gen.(string_size (int_range 0 80)))
+    (fun src ->
+      let ok_py =
+        match PV.compile src with
+        | _ -> true
+        | exception Mtj_pylite.Parser.Syntax_error _ -> true
+        | exception Mtj_pylite.Compiler.Compile_error _ -> true
+        | exception _ -> false
+      in
+      let ok_rk =
+        match KV.compile src with
+        | _ -> true
+        | exception Mtj_rklite.Reader.Syntax_error _ -> true
+        | exception Mtj_rklite.Kcompiler.Compile_error _ -> true
+        | exception _ -> false
+      in
+      ok_py && ok_rk)
+
+let suite =
+  py_cases @ py_syntax @ rk_cases @ rk_syntax
+  @ [
+      QCheck_alcotest.to_alcotest prop_py_frontend_total;
+      QCheck_alcotest.to_alcotest prop_rk_frontend_total;
+      QCheck_alcotest.to_alcotest prop_frontends_survive_bytes;
+    ]

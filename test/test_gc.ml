@@ -1,0 +1,181 @@
+(** Tests for the generational GC: reachability, promotion, remembered
+    sets, write barriers, and phase accounting. *)
+
+open Mtj_rt
+module V = Value
+module Engine = Mtj_machine.Engine
+
+let small_nursery = { Mtj_core.Config.no_jit with Mtj_core.Config.nursery_words = 256 }
+
+let ctx () = Ctx.create ~config:small_nursery ()
+
+let alloc_pair gc a b =
+  Gc_sim.alloc gc (V.Tuple [| a; b |])
+
+let test_alloc_counts () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  for _ = 1 to 10 do
+    ignore (alloc_pair gc V.Nil V.Nil)
+  done;
+  let s = Gc_sim.stats gc in
+  Alcotest.(check int) "allocated" 10 s.Gc_sim.allocated_objects
+
+let test_minor_frees_garbage () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  (* no roots registered: everything in the nursery is garbage *)
+  for _ = 1 to 100 do
+    ignore (alloc_pair gc V.Nil V.Nil)
+  done;
+  Gc_sim.collect_minor gc;
+  let s = Gc_sim.stats gc in
+  Alcotest.(check int) "all freed" 100 s.Gc_sim.freed_objects;
+  Alcotest.(check int) "nursery empty" 0 (Gc_sim.nursery_used gc)
+
+let test_roots_survive () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  let keep = alloc_pair gc (V.Int 1) (V.Int 2) in
+  let _garbage = alloc_pair gc V.Nil V.Nil in
+  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj keep)));
+  Gc_sim.collect_minor gc;
+  let s = Gc_sim.stats gc in
+  Alcotest.(check int) "one freed" 1 s.Gc_sim.freed_objects;
+  Alcotest.(check bool) "survivor still in nursery accounting" true
+    (Gc_sim.nursery_used gc > 0)
+
+let test_transitive_reachability () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  (* a chain root -> a -> b -> c; only the root is scanned *)
+  let cobj = alloc_pair gc (V.Int 3) V.Nil in
+  let bobj = alloc_pair gc (V.Obj cobj) V.Nil in
+  let aobj = alloc_pair gc (V.Obj bobj) V.Nil in
+  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj aobj)));
+  for _ = 1 to 50 do
+    ignore (alloc_pair gc V.Nil V.Nil)
+  done;
+  Gc_sim.collect_minor gc;
+  let s = Gc_sim.stats gc in
+  Alcotest.(check int) "garbage freed, chain kept" 50 s.Gc_sim.freed_objects
+
+let test_promotion_after_two_minors () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  let keep = alloc_pair gc (V.Int 1) V.Nil in
+  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj keep)));
+  Gc_sim.collect_minor gc;
+  Alcotest.(check int) "still young" 0 keep.V.gc_gen;
+  Gc_sim.collect_minor gc;
+  Alcotest.(check int) "promoted" 1 keep.V.gc_gen;
+  Alcotest.(check bool) "old words grew" true (Gc_sim.old_words gc > 0);
+  let s = Gc_sim.stats gc in
+  Alcotest.(check int) "promotion count" 1 s.Gc_sim.promoted_objects
+
+let test_remembered_set_keeps_young () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  (* promote a parent object to the old generation *)
+  let parent =
+    Gc_sim.alloc gc
+      (V.Instance
+         {
+           V.cls =
+             Gc_sim.alloc gc
+               (V.Class
+                  { V.cls_id = 0; cls_name = "t"; layout = [| "f" |];
+                    attrs = []; parent = None });
+           fields = [| V.Nil |];
+         })
+  in
+  let keep_parent =
+    Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj parent))
+  in
+  Gc_sim.collect_minor gc;
+  Gc_sim.collect_minor gc;
+  Alcotest.(check int) "parent old" 1 parent.V.gc_gen;
+  (* now store a fresh young object into the old parent, with the
+     barrier; drop the direct root so only the remembered set keeps it *)
+  let child = alloc_pair gc (V.Int 9) V.Nil in
+  (match parent.V.payload with
+  | V.Instance i -> i.V.fields.(0) <- V.Obj child
+  | _ -> assert false);
+  Gc_sim.write_barrier gc ~parent ~child:(V.Obj child);
+  Gc_sim.remove_root_scanner gc keep_parent;
+  ignore
+    (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj parent)));
+  let freed_before = (Gc_sim.stats gc).Gc_sim.freed_objects in
+  Gc_sim.collect_minor gc;
+  let freed_after = (Gc_sim.stats gc).Gc_sim.freed_objects in
+  (* the child must have been counted live (not freed) *)
+  Alcotest.(check int) "child survives via remembered set" freed_before
+    freed_after
+
+let test_major_collects_old_garbage () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  let root_cell = ref [] in
+  ignore
+    (Gc_sim.add_root_scanner gc (fun visit ->
+         List.iter (fun o -> visit (V.Obj o)) !root_cell));
+  (* promote 20 objects *)
+  let objs = List.init 20 (fun i -> alloc_pair gc (V.Int i) V.Nil) in
+  root_cell := objs;
+  Gc_sim.collect_minor gc;
+  Gc_sim.collect_minor gc;
+  Alcotest.(check bool) "promoted" true (Gc_sim.old_words gc > 0);
+  (* drop half and run a major collection *)
+  root_cell := List.filteri (fun i _ -> i < 10) objs;
+  let before = Gc_sim.old_words gc in
+  Gc_sim.collect_major gc;
+  let after = Gc_sim.old_words gc in
+  Alcotest.(check bool) "old shrank" true (after < before);
+  Alcotest.(check int) "major ran" 1 (Gc_sim.stats gc).Gc_sim.major_collections
+
+let test_gc_charges_gc_phase () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  for _ = 1 to 50 do
+    ignore (alloc_pair gc V.Nil V.Nil)
+  done;
+  Gc_sim.collect_minor gc;
+  let counters = Engine.counters (Ctx.engine c) in
+  let s = Mtj_machine.Counters.phase counters Mtj_core.Phase.Gc_minor in
+  Alcotest.(check bool) "gc insns charged" true
+    (s.Mtj_machine.Counters.insns > 0)
+
+let test_alloc_triggers_collection () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  (* nursery is 256 words; tuples are ~5 words: ~60 allocations overflow *)
+  for _ = 1 to 200 do
+    ignore (alloc_pair gc V.Nil V.Nil)
+  done;
+  Alcotest.(check bool) "minor happened" true
+    ((Gc_sim.stats gc).Gc_sim.minor_collections > 0)
+
+let test_grow_accounts_words () =
+  let c = ctx () in
+  let gc = Ctx.gc c in
+  let l = Rlist.create c [] in
+  let before = Gc_sim.nursery_used gc in
+  for i = 1 to 100 do
+    Rlist.append c l (V.Int i)
+  done;
+  Alcotest.(check bool) "growth accounted" true
+    (Gc_sim.nursery_used gc > before)
+
+let suite =
+  [
+    Alcotest.test_case "alloc counts" `Quick test_alloc_counts;
+    Alcotest.test_case "minor frees garbage" `Quick test_minor_frees_garbage;
+    Alcotest.test_case "roots survive" `Quick test_roots_survive;
+    Alcotest.test_case "transitive reachability" `Quick test_transitive_reachability;
+    Alcotest.test_case "promotion after two minors" `Quick test_promotion_after_two_minors;
+    Alcotest.test_case "remembered set keeps young" `Quick test_remembered_set_keeps_young;
+    Alcotest.test_case "major collects old garbage" `Quick test_major_collects_old_garbage;
+    Alcotest.test_case "gc phase charged" `Quick test_gc_charges_gc_phase;
+    Alcotest.test_case "alloc triggers collection" `Quick test_alloc_triggers_collection;
+    Alcotest.test_case "grow accounts words" `Quick test_grow_accounts_words;
+  ]

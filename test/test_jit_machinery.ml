@@ -1,0 +1,391 @@
+(** White-box tests of the JIT machinery: trace compilation, bridges,
+    aborts, blacklisting, and the measurable effect of each optimizer
+    pass on the compiled IR. *)
+
+module V = Mtj_pylite.Vm
+module C = Mtj_core.Config
+module Ir = Mtj_rjit.Ir
+module Jitlog = Mtj_rjit.Jitlog
+
+let eager ?(tweak = fun c -> c) () =
+  tweak
+    {
+      C.default with
+      C.jit_threshold = 7;
+      bridge_threshold = 4;
+      insn_budget = 50_000_000;
+    }
+
+let run ?tweak src =
+  let config = eager ?tweak () in
+  let vm = V.create ~config () in
+  (match V.run_source vm src with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | Mtj_rjit.Driver.Budget_exceeded -> Alcotest.fail "budget"
+  | Mtj_rjit.Driver.Runtime_error e -> Alcotest.failf "error %s" e);
+  V.jitlog vm
+
+let count_ops pred jl =
+  List.fold_left
+    (fun acc (tr : Ir.trace) ->
+      Array.fold_left
+        (fun acc (op : Ir.op) -> if pred op then acc + 1 else acc)
+        acc tr.Ir.ops)
+    0 (Jitlog.traces jl)
+
+let is_new (op : Ir.op) =
+  match op.Ir.opcode with
+  | Ir.New_with_vtable _ | Ir.New_array _ | Ir.New_list _ | Ir.New_cell -> true
+  | _ -> false
+
+let is_guard (op : Ir.op) =
+  match op.Ir.opcode with Ir.Guard _ -> true | _ -> false
+
+let hot_loop_src =
+  "def f(n):\n    s = 0\n    for i in range(n):\n        s = s + i\n    return s\nprint(f(500))\n"
+
+let test_loop_compiles () =
+  let jl = run hot_loop_src in
+  Alcotest.(check bool) "compiled" true (Jitlog.num_traces jl >= 1);
+  let loop_traces =
+    List.filter
+      (fun (tr : Ir.trace) ->
+        match tr.Ir.kind with Ir.Loop _ -> true | Ir.Bridge _ -> false)
+      (Jitlog.traces jl)
+  in
+  Alcotest.(check bool) "has loop" true (List.length loop_traces >= 1);
+  (* the loop executed many times *)
+  Alcotest.(check bool) "hot" true
+    (List.exists (fun (tr : Ir.trace) -> tr.Ir.exec_count > 200) loop_traces)
+
+let test_trace_ends_with_jump () =
+  let jl = run hot_loop_src in
+  List.iter
+    (fun (tr : Ir.trace) ->
+      match tr.Ir.kind with
+      | Ir.Loop _ ->
+          let last = tr.Ir.ops.(Array.length tr.Ir.ops - 1) in
+          Alcotest.(check bool) "ends with jump" true
+            (match last.Ir.opcode with Ir.Jump -> true | _ -> false)
+      | Ir.Bridge _ -> ())
+    (Jitlog.traces jl)
+
+let test_bridge_created_for_biased_branch () =
+  (* a branch taken ~50/50 causes frequent guard failures -> a bridge *)
+  let src =
+    "def f(n):\n    s = 0\n    for i in range(n):\n        if i % 2 == 0:\n            s = s + 1\n        else:\n            s = s + 2\n    return s\nprint(f(800))\n"
+  in
+  let jl = run src in
+  Alcotest.(check bool) "bridges attached" true (jl.Jitlog.bridges_attached >= 1);
+  (* with the bridge installed, deopts stop growing: far fewer deopts
+     than iterations *)
+  Alcotest.(check bool) "deopts bounded" true (jl.Jitlog.deopts < 400)
+
+let test_abort_and_blacklist_deep_recursion () =
+  let src =
+    "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\ndef main():\n    s = 0\n    for i in range(45):\n        s = s + fib(11)\n    return s\nprint(main())\n"
+  in
+  let jl = run src in
+  Alcotest.(check bool) "aborted" true (jl.Jitlog.aborts >= 1);
+  Alcotest.(check bool) "blacklisted" true (jl.Jitlog.blacklisted >= 1)
+
+let test_virtuals_remove_allocations () =
+  let src =
+    "def f(n):\n    s = 0\n    for i in range(n):\n        s = s + (i, i + 1)[0] + (i, i + 1)[1]\n    return s\nprint(f(400))\n"
+  in
+  let with_v = run src in
+  let without_v = run ~tweak:(fun c -> { c with C.opt_virtuals = false }) src in
+  let news_with = count_ops is_new with_v in
+  let news_without = count_ops is_new without_v in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer news (%d vs %d)" news_with news_without)
+    true (news_with < news_without)
+
+let test_guard_elim_reduces_guards () =
+  (* two identical guarded list reads in one iteration: the second bound
+     check is implied by the first; peeling off on both sides so the
+     static trace sizes are comparable *)
+  let src =
+    "def f(n):\n    l = [1, 2, 3, 4]\n    s = 0\n    for i in range(n):\n        k = i % 4\n        s = s + l[k] + l[k]\n    return s\nprint(f(400))\n"
+  in
+  let with_opt =
+    run ~tweak:(fun c -> { c with C.opt_peel = false }) src
+  in
+  let without_opt =
+    run ~tweak:(fun c -> { c with C.opt_guard_elim = false; opt_peel = false }) src
+  in
+  let g_with = count_ops is_guard with_opt in
+  let g_without = count_ops is_guard without_opt in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer guards (%d vs %d)" g_with g_without)
+    true (g_with < g_without)
+
+let test_peeling_structure () =
+  let jl = run hot_loop_src in
+  let tr =
+    List.find
+      (fun (tr : Ir.trace) ->
+        match tr.Ir.kind with Ir.Loop _ -> true | _ -> false)
+      (Jitlog.traces jl)
+  in
+  (* peeled: the back-edge targets the loop part, not op 0 *)
+  Alcotest.(check bool) "loop_start past preamble" true (tr.Ir.loop_start > 0);
+  Alcotest.(check bool) "loop_base shifted" true (tr.Ir.loop_base > 0);
+  (* the loop part runs more often than the preamble part *)
+  Alcotest.(check bool) "loop part hotter" true
+    (tr.Ir.op_exec.(tr.Ir.loop_start) > tr.Ir.op_exec.(0))
+
+let test_peeling_hoists_guards () =
+  let peeled = run hot_loop_src in
+  let unpeeled = run ~tweak:(fun c -> { c with C.opt_peel = false }) hot_loop_src in
+  (* dynamic guard executions are lower with peeling, because the loop
+     part re-checks less *)
+  let dyn_guards jl =
+    List.fold_left
+      (fun acc (tr : Ir.trace) ->
+        let s = ref acc in
+        Array.iteri
+          (fun i (op : Ir.op) ->
+            if is_guard op then s := !s + tr.Ir.op_exec.(i))
+          tr.Ir.ops;
+        !s)
+      0 (Jitlog.traces jl)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer dynamic guards (%d vs %d)" (dyn_guards peeled)
+       (dyn_guards unpeeled))
+    true
+    (dyn_guards peeled < dyn_guards unpeeled)
+
+let test_jitlog_stats_consistency () =
+  let jl = run hot_loop_src in
+  let compiled = Jitlog.total_ir_compiled jl in
+  let dynamic = Jitlog.total_dynamic_ir jl in
+  Alcotest.(check bool) "compiled > 0" true (compiled > 0);
+  Alcotest.(check bool) "dynamic >= compiled" true (dynamic >= compiled);
+  let hot = Jitlog.hot_ir_fraction jl ~coverage:0.95 in
+  Alcotest.(check bool) "hot fraction in (0,100]" true (hot > 0.0 && hot <= 100.0);
+  let cats = Jitlog.dynamic_by_category jl in
+  let total_cat = List.fold_left (fun a (_, n) -> a + n) 0 cats in
+  Alcotest.(check int) "categories partition dynamic count" dynamic total_cat
+
+let test_x86_per_type_positive () =
+  let jl = run hot_loop_src in
+  List.iter
+    (fun (ty, mean) ->
+      if mean <= 0.0 then Alcotest.failf "non-positive x86 mean for %s" ty)
+    (Jitlog.x86_per_node_type jl)
+
+let test_global_invalidation () =
+  (* storing a global inside the loop invalidates promoted loads but must
+     stay correct *)
+  let src =
+    "g = 0\ndef f(n):\n    global g\n    s = 0\n    for i in range(n):\n        g = g + 1\n        s = s + g\n    return s\nprint(f(300))\n"
+  in
+  let config = eager () in
+  let outcome, vm = V.run ~config src in
+  (match outcome with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | _ -> Alcotest.fail "did not complete");
+  Alcotest.(check string) "sum of 1..300" "45150\n" (V.output vm)
+
+let test_budget_mid_jit () =
+  let config = { (eager ()) with C.insn_budget = 60_000 } in
+  let vm = V.create ~config () in
+  match V.run_source vm "def f():\n    s = 0\n    i = 0\n    while True:\n        i = i + 1\n        s = s + i\nf()\n" with
+  | Mtj_rjit.Driver.Budget_exceeded -> ()
+  | _ -> Alcotest.fail "expected budget exhaustion"
+
+(* regression for the virtual-substitution chain bug: every compiled
+   trace must only reference registers that are defined (entry slots,
+   loop-carried slots, or results of retained ops) *)
+let check_no_dangling_regs (jl : Jitlog.t) =
+  List.iter
+    (fun (tr : Ir.trace) ->
+      let defined = Hashtbl.create 64 in
+      for i = 0 to tr.Ir.entry_slots - 1 do
+        Hashtbl.replace defined i ();
+        Hashtbl.replace defined (tr.Ir.loop_base + i) ()
+      done;
+      let check_reg what r =
+        if not (Hashtbl.mem defined r) then
+          Alcotest.failf "trace %d: %s references undefined r%d" tr.Ir.trace_id
+            what r
+      in
+      let check_src = function
+        | Ir.S_reg r -> check_reg "resume" r
+        | Ir.S_const _ | Ir.S_virtual _ -> ()
+      in
+      let check_resume (r : Ir.resume) =
+        List.iter
+          (fun (f : Ir.frame_snap) ->
+            Array.iter check_src f.Ir.snap_locals;
+            Array.iter check_src f.Ir.snap_stack)
+          r.Ir.frames;
+        Array.iter
+          (function
+            | Ir.V_instance { v_fields; _ } -> Array.iter check_src v_fields
+            | Ir.V_tuple a | Ir.V_list a -> Array.iter check_src a
+            | Ir.V_cell sc -> check_src sc)
+          r.Ir.r_virtuals
+      in
+      Array.iter
+        (fun (op : Ir.op) ->
+          Array.iter
+            (function Ir.Reg r -> check_reg "op arg" r | Ir.Const _ -> ())
+            op.Ir.args;
+          (match op.Ir.opcode with
+          | Ir.Guard g -> check_resume g.Ir.resume
+          | Ir.Debug_merge_point d -> check_resume d.dmp_resume
+          | _ -> ());
+          if op.Ir.result >= 0 then Hashtbl.replace defined op.Ir.result ())
+        tr.Ir.ops)
+    (Jitlog.traces jl)
+
+let test_traces_well_formed () =
+  (* rklite binarytrees historically triggered dangling registers via
+     chained virtual reads; check it and a dict/string workload *)
+  let rk = Mtj_benchmarks.Registry.find_exn ~lang:Mtj_benchmarks.Registry.Rk "binarytrees" in
+  let config = C.with_budget 250_000_000 C.default in
+  let vm = Mtj_rklite.Kvm.create ~config () in
+  (match Mtj_rklite.Kvm.run_source vm rk.Mtj_benchmarks.Registry.source with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | _ -> Alcotest.fail "rk binarytrees failed");
+  check_no_dangling_regs (Mtj_rklite.Kvm.jitlog vm);
+  let py = Mtj_benchmarks.Registry.find_exn ~lang:Mtj_benchmarks.Registry.Py "django" in
+  let vm2 = V.create ~config () in
+  (match V.run_source vm2 py.Mtj_benchmarks.Registry.source with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | _ -> Alcotest.fail "django failed");
+  check_no_dangling_regs (V.jitlog vm2)
+
+(* toplevel loops store their counters as module globals every iteration;
+   PyPy's module-dict cells keep that from invalidating traces. Before
+   the cell strategy this program compiled one bridge every
+   bridge_threshold iterations, forever (624 traces). *)
+let test_global_store_does_not_storm () =
+  let config = eager () in
+  let vm = V.create ~config () in
+  (match V.run_source vm
+    "out = []\n\
+     acc = 0\n\
+     for i in range(2500):\n\
+    \    xs = [i, i + 1, i + 2]\n\
+    \    out.append(xs)\n\
+    \    acc = acc + xs[2]\n\
+     print(acc)\n" with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | _ -> Alcotest.fail "run failed");
+  Alcotest.(check string) "output" "3128750\n" (V.output vm);
+  let jl = V.jitlog vm in
+  Alcotest.(check bool) "no bridge storm" true (Jitlog.num_traces jl <= 4);
+  Alcotest.(check bool) "few deopts" true (jl.Jitlog.deopts < 50);
+  (* the loop trace took essentially every iteration *)
+  Alcotest.(check bool) "loop stays compiled" true
+    (List.exists (fun (tr : Ir.trace) -> tr.Ir.exec_count > 2400)
+       (Jitlog.traces jl))
+
+(* --- two-tier extension --- *)
+
+let test_tiered_retier () =
+  let config =
+    {
+      C.default with
+      C.jit_threshold = 7;
+      bridge_threshold = 4;
+      insn_budget = 50_000_000;
+      tiered = true;
+      tier2_threshold = 10;
+    }
+  in
+  let vm = V.create ~config () in
+  (match V.run_source vm hot_loop_src with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | _ -> Alcotest.fail "run failed");
+  Alcotest.(check string) "same output" "124750\n" (V.output vm);
+  let jl = V.jitlog vm in
+  Alcotest.(check bool) "a retier happened" true (jl.Jitlog.retiers >= 1);
+  let loops =
+    List.filter
+      (fun (tr : Ir.trace) ->
+        match tr.Ir.kind with Ir.Loop _ -> true | _ -> false)
+      (Jitlog.traces jl)
+  in
+  let tier1 = List.filter (fun (tr : Ir.trace) -> tr.Ir.tier = 1) loops in
+  let tier2 = List.filter (fun (tr : Ir.trace) -> tr.Ir.tier = 2) loops in
+  Alcotest.(check bool) "both tiers present" true
+    (tier1 <> [] && tier2 <> []);
+  (* the optimized recompile's steady-state loop body must be strictly
+     smaller (the peeled preamble runs once and doesn't count) *)
+  let min_body trs =
+    List.fold_left
+      (fun acc (tr : Ir.trace) ->
+        min acc (Array.length tr.Ir.ops - tr.Ir.loop_start))
+      max_int trs
+  in
+  Alcotest.(check bool) "tier-2 loop body smaller than tier-1" true
+    (min_body tier2 < min_body tier1);
+  (* after the retier the tier-2 trace takes all further iterations *)
+  Alcotest.(check bool) "tier-2 is the hot one" true
+    (List.exists (fun (tr : Ir.trace) -> tr.Ir.exec_count > 200) tier2)
+
+let test_tiered_matches_interp () =
+  (* a branchy program with bridges + retier; outputs must match interp *)
+  let src =
+    "acc = 0\n\
+     for i in range(400):\n\
+    \    if i % 3 == 0:\n\
+    \        acc = acc + i\n\
+    \    else:\n\
+    \        acc = acc - 1\n\
+     print(acc)\n"
+  in
+  let out config =
+    let vm = V.create ~config () in
+    (match V.run_source vm src with
+    | Mtj_rjit.Driver.Completed _ -> ()
+    | _ -> Alcotest.fail "run failed");
+    V.output vm
+  in
+  let interp = out { C.no_jit with C.insn_budget = 50_000_000 } in
+  let tiered =
+    out
+      {
+        C.default with
+        C.jit_threshold = 7;
+        bridge_threshold = 3;
+        insn_budget = 50_000_000;
+        tiered = true;
+        tier2_threshold = 8;
+      }
+  in
+  Alcotest.(check string) "tiered = interp" interp tiered
+
+let suite =
+  [
+    Alcotest.test_case "hot loop compiles" `Quick test_loop_compiles;
+    Alcotest.test_case "loop trace ends with jump" `Quick test_trace_ends_with_jump;
+    Alcotest.test_case "bridge for biased branch" `Quick
+      test_bridge_created_for_biased_branch;
+    Alcotest.test_case "abort + blacklist on deep recursion" `Quick
+      test_abort_and_blacklist_deep_recursion;
+    Alcotest.test_case "escape analysis removes news" `Quick
+      test_virtuals_remove_allocations;
+    Alcotest.test_case "guard elimination reduces guards" `Quick
+      test_guard_elim_reduces_guards;
+    Alcotest.test_case "peeling structure" `Quick test_peeling_structure;
+    Alcotest.test_case "peeling hoists guards" `Quick test_peeling_hoists_guards;
+    Alcotest.test_case "jitlog stats consistent" `Quick
+      test_jitlog_stats_consistency;
+    Alcotest.test_case "x86 per type positive" `Quick test_x86_per_type_positive;
+    Alcotest.test_case "global store invalidation" `Quick test_global_invalidation;
+    Alcotest.test_case "budget exhaustion mid-JIT" `Quick test_budget_mid_jit;
+    Alcotest.test_case "compiled traces are well-formed" `Slow
+      test_traces_well_formed;
+    Alcotest.test_case "global stores don't storm bridges" `Quick
+      test_global_store_does_not_storm;
+    Alcotest.test_case "two-tier: retier fires and shrinks" `Quick
+      test_tiered_retier;
+    Alcotest.test_case "two-tier: bridgy program matches interp" `Quick
+      test_tiered_matches_interp;
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "mtj"
+    [
+      ("core", Test_core.suite);
+      ("machine", Test_machine.suite);
+      ("rbigint", Test_rbigint.suite);
+      ("rt", Test_rt.suite);
+      ("gc", Test_gc.suite);
+      ("rt-model", Test_rt_model.suite);
+      ("pylite", Test_pylite.suite);
+      ("rklite", Test_rklite.suite);
+      ("jit-equivalence", Test_jit_equiv.suite);
+      ("jit-equivalence-rk", Test_jit_equiv_rk.suite);
+      ("pintool", Test_pintool.suite);
+      ("annot-stream", Test_annot_stream.suite);
+      ("jit-machinery", Test_jit_machinery.suite);
+      ("jit-optimizer", Test_opt.suite);
+      ("jit-executor", Test_executor.suite);
+      ("jit-opt-property", Test_opt_prop.suite);
+      ("lang-internals", Test_lang_internals.suite);
+      ("error-paths", Test_errors.suite);
+      ("integration", Test_integration.suite);
+    ]

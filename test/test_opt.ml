@@ -1,0 +1,312 @@
+(** Direct unit tests of the trace optimizer on hand-constructed IR, and
+    of the pure-op evaluator. *)
+
+open Mtj_rjit
+module V = Mtj_rt.Value
+
+let cfg = Mtj_core.Config.default
+let nopeel = { cfg with Mtj_core.Config.opt_peel = false }
+
+let vi i = Ir.Const (V.Int i)
+
+let mk ?(result = -1) opcode args = { Ir.opcode; args; result }
+
+let empty_resume = { Ir.frames = []; r_virtuals = [||] }
+
+let guard ?(gkind = Ir.G_true) args =
+  {
+    Ir.opcode =
+      Ir.Guard
+        {
+          Ir.guard_id = 100_000 + Random.int 10_000;
+          gkind;
+          resume = empty_resume;
+          fail_count = 0;
+          bridge = None;
+          bridgeable = true;
+        };
+    args;
+    result = -1;
+  }
+
+(* a one-frame resume keeping the given registers alive *)
+let resume_of regs =
+  {
+    Ir.frames =
+      [
+        {
+          Ir.snap_code = 0;
+          snap_pc = 0;
+          snap_locals = Array.of_list (List.map (fun r -> Ir.S_reg r) regs);
+          snap_stack = [||];
+          snap_discard = false;
+        };
+      ];
+    r_virtuals = [||];
+  }
+
+let jump args = mk Ir.Jump args
+
+let optimize ?(config = nopeel) ?(entry = 2) ops =
+  let out, _, _ =
+    Opt.optimize config ~kind:`Loop (Array.of_list ops) ~entry_slots:entry
+  in
+  Array.to_list out
+
+let count pred ops = List.length (List.filter pred ops)
+let is_guard (op : Ir.op) = match op.Ir.opcode with Ir.Guard _ -> true | _ -> false
+let opcode_is o (op : Ir.op) = Ir.node_type op.Ir.opcode = o
+
+let test_constant_folding () =
+  (* r2 = 2 + 3 must fold; the jump then carries the constant *)
+  let ops =
+    [ mk ~result:2 Ir.Int_add [| vi 2; vi 3 |];
+      jump [| Ir.Reg 2; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "add folded away" 0 (count (opcode_is "int_add") out);
+  match (List.hd (List.rev out)).Ir.args.(0) with
+  | Ir.Const (V.Int 5) -> ()
+  | _ -> Alcotest.fail "jump arg not folded to 5"
+
+let test_guard_dedup () =
+  let g () = guard ~gkind:(Ir.G_class Ir.Ty_int) [| Ir.Reg 0 |] in
+  let ops = [ g (); g (); g (); jump [| Ir.Reg 0; Ir.Reg 1 |] ] in
+  let out = optimize ops in
+  Alcotest.(check int) "one guard survives" 1 (count is_guard out)
+
+let test_overflow_guard_intbounds () =
+  (* r2 = r0 mod 100 -> [0,99]; r3 = r2 + 5 cannot overflow *)
+  let ops =
+    [ mk ~result:2 Ir.Int_mod [| Ir.Reg 0; vi 100 |];
+      mk ~result:3 Ir.Int_add [| Ir.Reg 2; vi 5 |];
+      guard ~gkind:Ir.G_no_ovf_add [| Ir.Reg 2; vi 5 |];
+      jump [| Ir.Reg 3; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "overflow guard removed" 0 (count is_guard out)
+
+let test_overflow_guard_kept_when_unbounded () =
+  let ops =
+    [ mk ~result:2 Ir.Int_add [| Ir.Reg 0; Ir.Reg 1 |];
+      guard ~gkind:Ir.G_no_ovf_add [| Ir.Reg 0; Ir.Reg 1 |];
+      jump [| Ir.Reg 2; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "guard kept" 1 (count is_guard out)
+
+let test_heap_forwarding () =
+  (* two getfields of the same field with no effects between *)
+  let ops =
+    [ mk ~result:2 (Ir.Getfield_gc 0) [| Ir.Reg 0 |];
+      mk ~result:3 (Ir.Getfield_gc 0) [| Ir.Reg 0 |];
+      mk ~result:4 Ir.Int_add [| Ir.Reg 2; Ir.Reg 3 |];
+      guard ~gkind:Ir.G_no_ovf_add [| Ir.Reg 2; Ir.Reg 3 |];
+      jump [| Ir.Reg 4; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "one load survives" 1
+    (count (opcode_is "getfield_gc") out)
+
+let test_forwarding_invalidated_by_call () =
+  let rc =
+    {
+      Ir.aot = Mtj_rt.Aot.register ~name:"test.effectful" ~src:Mtj_rt.Aot.I;
+      run = (fun _ _ -> V.Nil);
+      effectful = true;
+    }
+  in
+  let ops =
+    [ mk ~result:2 (Ir.Getfield_gc 0) [| Ir.Reg 0 |];
+      mk (Ir.Call_n rc) [| Ir.Reg 0 |];
+      mk ~result:3 (Ir.Getfield_gc 0) [| Ir.Reg 0 |];
+      mk ~result:4 Ir.Int_add [| Ir.Reg 2; Ir.Reg 3 |];
+      guard ~gkind:Ir.G_no_ovf_add [| Ir.Reg 2; Ir.Reg 3 |];
+      jump [| Ir.Reg 4; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "both loads survive" 2
+    (count (opcode_is "getfield_gc") out)
+
+let test_dce_removes_unused_pure () =
+  let ops =
+    [ mk ~result:2 Ir.Int_mul [| Ir.Reg 0; Ir.Reg 0 |];  (* unused *)
+      mk ~result:3 Ir.Int_add [| Ir.Reg 0; vi 1 |];
+      guard ~gkind:Ir.G_no_ovf_add [| Ir.Reg 0; vi 1 |];
+      jump [| Ir.Reg 3; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "mul removed" 0 (count (opcode_is "int_mul") out)
+
+let test_dce_respects_resume () =
+  (* the pure op's only use is a guard's resume: must be kept *)
+  let g =
+    {
+      Ir.opcode =
+        Ir.Guard
+          {
+            Ir.guard_id = 999_999;
+            gkind = Ir.G_true;
+            resume = resume_of [ 2 ];
+            fail_count = 0;
+            bridge = None;
+            bridgeable = true;
+          };
+      args = [| Ir.Reg 1 |];
+      result = -1;
+    }
+  in
+  let ops =
+    [ mk ~result:2 Ir.Int_mul [| Ir.Reg 0; Ir.Reg 0 |];
+      g;
+      jump [| Ir.Reg 0; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "mul kept for resume" 1 (count (opcode_is "int_mul") out)
+
+let test_virtuals_removed_when_private () =
+  (* a tuple that never escapes: allocation and field reads disappear *)
+  let ops =
+    [ mk ~result:2 (Ir.New_array 2) [| Ir.Reg 0; Ir.Reg 1 |];
+      mk ~result:3 Ir.Getarrayitem_gc [| Ir.Reg 2; vi 0 |];
+      mk ~result:4 Ir.Getarrayitem_gc [| Ir.Reg 2; vi 1 |];
+      mk ~result:5 Ir.Int_add [| Ir.Reg 3; Ir.Reg 4 |];
+      guard ~gkind:Ir.G_no_ovf_add [| Ir.Reg 3; Ir.Reg 4 |];
+      jump [| Ir.Reg 5; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "no allocation" 0 (count (opcode_is "new_array") out);
+  Alcotest.(check int) "no element loads" 0
+    (count (opcode_is "getarrayitem_gc") out)
+
+let test_virtuals_kept_when_escaping () =
+  (* stored via jump: the allocation must survive *)
+  let ops =
+    [ mk ~result:2 (Ir.New_array 2) [| Ir.Reg 0; Ir.Reg 1 |];
+      jump [| Ir.Reg 2; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "allocation kept" 1 (count (opcode_is "new_array") out)
+
+let test_virtual_in_resume_materializes () =
+  (* a virtual referenced only by a resume becomes S_virtual with a
+     descriptor *)
+  let g =
+    {
+      Ir.opcode =
+        Ir.Guard
+          {
+            Ir.guard_id = 999_998;
+            gkind = Ir.G_true;
+            resume = resume_of [ 2 ];
+            fail_count = 0;
+            bridge = None;
+            bridgeable = true;
+          };
+      args = [| Ir.Reg 1 |];
+      result = -1;
+    }
+  in
+  let ops =
+    [ mk ~result:2 (Ir.New_array 2) [| Ir.Reg 0; vi 7 |];
+      g;
+      jump [| Ir.Reg 0; Ir.Reg 1 |] ]
+  in
+  let out = optimize ops in
+  Alcotest.(check int) "allocation removed" 0 (count (opcode_is "new_array") out);
+  let found = ref false in
+  List.iter
+    (fun (op : Ir.op) ->
+      match op.Ir.opcode with
+      | Ir.Guard gg ->
+          if Array.length gg.Ir.resume.Ir.r_virtuals = 1 then begin
+            (match gg.Ir.resume.Ir.r_virtuals.(0) with
+            | Ir.V_tuple [| Ir.S_reg 0; Ir.S_const (V.Int 7) |] -> found := true
+            | _ -> ());
+            List.iter
+              (fun (f : Ir.frame_snap) ->
+                Array.iter
+                  (function
+                    | Ir.S_virtual 0 -> ()
+                    | Ir.S_reg 2 -> Alcotest.fail "resume kept the raw reg"
+                    | _ -> ())
+                  f.Ir.snap_locals)
+              gg.Ir.resume.Ir.frames
+          end
+      | _ -> ())
+    out;
+  Alcotest.(check bool) "vdesc captured" true !found
+
+let test_peeling_duplicates () =
+  let ops =
+    [ guard ~gkind:(Ir.G_class Ir.Ty_int) [| Ir.Reg 0 |];
+      mk ~result:2 Ir.Int_add [| Ir.Reg 0; vi 1 |];
+      guard ~gkind:Ir.G_no_ovf_add [| Ir.Reg 0; vi 1 |];
+      jump [| Ir.Reg 2; Ir.Reg 1 |] ]
+  in
+  let out, loop_base, loop_start =
+    Opt.optimize cfg ~kind:`Loop (Array.of_list ops) ~entry_slots:2
+  in
+  Alcotest.(check bool) "peeled" true (loop_start > 0 && loop_base > 0);
+  (* the type guard survives only in the preamble: the loop part carries
+     the Int fact through the back-edge *)
+  let loop_part = Array.sub out loop_start (Array.length out - loop_start) in
+  Alcotest.(check int) "no class guard in loop" 0
+    (count
+       (fun op ->
+         match op.Ir.opcode with
+         | Ir.Guard { gkind = Ir.G_class _; _ } -> true
+         | _ -> false)
+       (Array.to_list loop_part))
+
+(* --- pure evaluator --- *)
+
+let test_eval_int_ops () =
+  Alcotest.(check bool) "add" true (Eval_op.eval Ir.Int_add [| V.Int 2; V.Int 3 |] = V.Int 5);
+  Alcotest.(check bool) "mod" true (Eval_op.eval Ir.Int_mod [| V.Int (-7); V.Int 3 |] = V.Int 2);
+  Alcotest.(check bool) "lt" true (Eval_op.eval Ir.Int_lt [| V.Int 1; V.Int 2 |] = V.Bool true)
+
+let test_eval_errors () =
+  Alcotest.(check bool) "div by zero raises" true
+    (try ignore (Eval_op.eval Ir.Int_mod [| V.Int 1; V.Int 0 |]); false
+     with Division_by_zero -> true);
+  Alcotest.(check bool) "str index" true
+    (try ignore (Eval_op.eval Ir.Strgetitem [| V.Str "ab"; V.Int 9 |]); false
+     with Ops_intf.Lang_error _ -> true)
+
+let test_eval_not_pure () =
+  Alcotest.check_raises "getfield is impure" Eval_op.Not_pure (fun () ->
+      ignore (Eval_op.eval (Ir.Getfield_gc 0) [| V.Nil |]))
+
+let test_checked_ops () =
+  Alcotest.(check int) "ok" 5 (Eval_op.checked_add 2 3);
+  Alcotest.check_raises "overflow" Eval_op.Overflow (fun () ->
+      ignore (Eval_op.checked_add max_int 1));
+  Alcotest.check_raises "mul overflow" Eval_op.Overflow (fun () ->
+      ignore (Eval_op.checked_mul max_int 2))
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "guard dedup" `Quick test_guard_dedup;
+    Alcotest.test_case "intbounds removes overflow guard" `Quick
+      test_overflow_guard_intbounds;
+    Alcotest.test_case "unbounded overflow guard kept" `Quick
+      test_overflow_guard_kept_when_unbounded;
+    Alcotest.test_case "heap forwarding" `Quick test_heap_forwarding;
+    Alcotest.test_case "forwarding invalidated by call" `Quick
+      test_forwarding_invalidated_by_call;
+    Alcotest.test_case "dce removes unused pure" `Quick test_dce_removes_unused_pure;
+    Alcotest.test_case "dce respects resume" `Quick test_dce_respects_resume;
+    Alcotest.test_case "virtuals removed when private" `Quick
+      test_virtuals_removed_when_private;
+    Alcotest.test_case "virtuals kept when escaping" `Quick
+      test_virtuals_kept_when_escaping;
+    Alcotest.test_case "virtual captured in resume" `Quick
+      test_virtual_in_resume_materializes;
+    Alcotest.test_case "peeling hoists type guards" `Quick test_peeling_duplicates;
+    Alcotest.test_case "eval int ops" `Quick test_eval_int_ops;
+    Alcotest.test_case "eval errors" `Quick test_eval_errors;
+    Alcotest.test_case "eval not pure" `Quick test_eval_not_pure;
+    Alcotest.test_case "checked ops" `Quick test_checked_ops;
+  ]

@@ -1,0 +1,486 @@
+(** pylite language tests: every supported construct is executed under
+    (a) the plain interpreter and (b) an aggressive JIT configuration
+    (tiny hot-loop threshold, so even small test loops compile and
+    deoptimize); outputs must match exactly. *)
+
+module V = Mtj_pylite.Vm
+module C = Mtj_core.Config
+
+(* a config that JITs almost immediately, to push tiny programs through
+   the tracing/compile/deopt machinery *)
+let eager_jit =
+  {
+    C.default with
+    C.jit_threshold = 7;
+    bridge_threshold = 3;
+    insn_budget = 50_000_000;
+  }
+
+let run_with config src =
+  let outcome, vm = V.run ~config src in
+  match outcome with
+  | Mtj_rjit.Driver.Completed _ -> V.output vm
+  | Mtj_rjit.Driver.Budget_exceeded -> Alcotest.fail "budget exceeded"
+  | Mtj_rjit.Driver.Runtime_error e -> Alcotest.failf "runtime error: %s" e
+
+let check_program name ?expect src () =
+  let interp = run_with { C.no_jit with C.insn_budget = 50_000_000 } src in
+  let jit = run_with eager_jit src in
+  Alcotest.(check string) (name ^ ": interp vs jit") interp jit;
+  match expect with
+  | Some e -> Alcotest.(check string) (name ^ ": expected") e interp
+  | None -> ()
+
+let t name ?expect src =
+  Alcotest.test_case name `Quick (check_program name ?expect src)
+
+let missing_key_reported () =
+  let config = { C.no_jit with C.insn_budget = 10_000_000 } in
+  let outcome, _ = V.run ~config "d = {}\nprint(d[\"nope\"])\n" in
+  match outcome with
+  | Mtj_rjit.Driver.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected a KeyError-style runtime error"
+
+let suite =
+  [
+    t "arithmetic" ~expect:"13\n-3\n40\n2\n1\n2.5\n1024\n"
+      {|
+a = 5
+b = 8
+print(a + b)
+print(a - b)
+print(a * b)
+print(b // 3)
+print(b % 7)
+print(a / 2)
+print(2 ** 10)
+|};
+    t "unary and precedence" ~expect:"-5\n11\n17\nTrue\n"
+      {|
+x = 5
+print(-x)
+print(1 + 2 * 5)
+print((1 + 2) * 5 + 2)
+print(not False)
+|};
+    t "bitwise" ~expect:"4\n14\n10\n20\n2\n"
+      {|
+print(12 & 6)
+print(12 | 6)
+print(12 ^ 6)
+print(5 << 2)
+print(5 >> 1)
+|};
+    t "comparisons" ~expect:"True\nFalse\nTrue\nTrue\nFalse\nTrue\n"
+      {|
+print(1 < 2)
+print(2 < 1)
+print(2 <= 2)
+print(3 > 2)
+print(3 != 3)
+print(1 < 2 < 3)
+|};
+    t "booleans and short circuit" ~expect:"True\nFalse\n7\n0\n"
+      {|
+print(True and True)
+print(True and False)
+print(False or 7)
+print(False or 0)
+|};
+    t "while loop" ~expect:"45\n"
+      {|
+s = 0
+i = 0
+while i < 10:
+    s = s + i
+    i = i + 1
+print(s)
+|};
+    t "for range" ~expect:"285\n"
+      {|
+def main():
+    s = 0
+    for i in range(10):
+        s = s + i * i
+    return s
+print(main())
+|};
+    t "range with start stop step" ~expect:"12\n9\n"
+      {|
+def f():
+    s = 0
+    for i in range(2, 7, 2):
+        s = s + i
+    return s
+def g():
+    s = 0
+    for i in range(5, 0, -2):
+        s = s + i
+    return s
+print(f())
+print(g())
+|};
+    t "break continue" ~expect:"11\n9\n"
+      {|
+def f():
+    s = 0
+    for i in range(100):
+        if i == 4:
+            continue
+        if i > 5:
+            break
+        s = s + i
+    return s
+def g():
+    s = 0
+    i = 0
+    while True:
+        i = i + 1
+        if i % 2 == 0:
+            continue
+        s = s + i
+        if s >= 9:
+            break
+    return s
+print(f())
+print(g())
+|};
+    t "nested loops" ~expect:"2025\n"
+      {|
+def f():
+    s = 0
+    for i in range(10):
+        for j in range(10):
+            s = s + i * j
+    return s
+print(f())
+|};
+    t "lists" ~expect:"3\n2\n[1, 2, 3, 99]\n99\n[1, 5, 3]\n"
+      {|
+l = [1, 2, 3]
+print(len(l))
+print(l[1])
+l.append(99)
+print(l)
+print(l.pop())
+l[1] = 5
+print(l)
+|};
+    t "list negative index" ~expect:"3\n1\n"
+      {|
+l = [1, 2, 3]
+print(l[-1])
+print(l[-3])
+|};
+    t "slices" ~expect:"[2, 3]\n[1, 2]\n[3, 4]\nbc\n"
+      {|
+l = [1, 2, 3, 4]
+print(l[1:3])
+print(l[:2])
+print(l[2:])
+s = "abcd"
+print(s[1:3])
+|};
+    t "dicts" ~expect:"2\n10\nTrue\nFalse\n-1\n1\n"
+      {|
+d = {"a": 10, "b": 20}
+print(len(d))
+print(d["a"])
+print("a" in d)
+print("z" in d)
+print(d.get("z", -1))
+del d["a"]
+print(len(d))
+|};
+    t "dict iteration order" ~expect:"x 1\ny 2\nz 3\n"
+      {|
+d = {}
+d["x"] = 1
+d["y"] = 2
+d["z"] = 3
+for k in d:
+    print(k, d[k])
+|};
+    t "tuples" ~expect:"2\n1\n3\n(1, 2)\n"
+      {|
+t = (1, 2, 3)
+print(t[1])
+a, b, c = t
+print(a)
+print(c)
+print((1, 2))
+|};
+    t "tuple swap" ~expect:"2 1\n"
+      {|
+a = 1
+b = 2
+a, b = b, a
+print(a, b)
+|};
+    t "strings" ~expect:"5\nh\nHELLO\nhe-llo\n2\nTrue\n"
+      {|
+s = "hello"
+print(len(s))
+print(s[0])
+print(s.upper())
+print("he-llo")
+print(s.find("l"))
+print(s.startswith("he"))
+|};
+    t "string join split replace" ~expect:"a,b,c\n3\nxbc\n"
+      {|
+parts = ["a", "b", "c"]
+print(",".join(parts))
+print(len("a b c".split(" ")))
+print("abc".replace("a", "x"))
+|};
+    t "string concat in loop" ~expect:"0123456789\n"
+      {|
+def f():
+    s = ""
+    for i in range(10):
+        s = s + str(i)
+    return s
+print(f())
+|};
+    t "sets" ~expect:"3\nTrue\n2\n"
+      {|
+s = {1, 2, 3}
+print(len(s))
+a = {1, 2}
+print(a.issubset(s))
+s.remove(3)
+print(len(s))
+|};
+    t "functions" ~expect:"7\n120\n"
+      {|
+def add(a, b):
+    return a + b
+def fact(n):
+    if n <= 1:
+        return 1
+    return n * fact(n - 1)
+print(add(3, 4))
+print(fact(5))
+|};
+    t "functions as values" ~expect:"9\n16\n"
+      {|
+def sq(x):
+    return x * x
+def apply(f, x):
+    return f(x)
+print(apply(sq, 3))
+print(apply(sq, 4))
+|};
+    t "classes" ~expect:"3\n7\n10\n"
+      {|
+class Counter:
+    def __init__(self, start):
+        self.n = start
+    def bump(self, k):
+        self.n = self.n + k
+        return self.n
+c = Counter(3)
+print(c.n)
+print(c.bump(4))
+print(c.bump(3))
+|};
+    t "inheritance" ~expect:"generic\nwoof\nwoof\n"
+      {|
+class Animal:
+    def speak(self):
+        return "generic"
+class Dog(Animal):
+    def speak(self):
+        return "woof"
+a = Animal()
+d = Dog()
+print(a.speak())
+print(d.speak())
+class Puppy(Dog):
+    pass
+print(Puppy().speak())
+|};
+    t "super-style init chain" ~expect:"5 10\n"
+      {|
+class Base:
+    def __init__(self, x):
+        self.x = x
+class Derived(Base):
+    def __init__(self, x, y):
+        Base.__init__(self, x)
+        self.y = y
+d = Derived(5, 10)
+print(d.x, d.y)
+|};
+    t "methods as bound values" ~expect:"8\n"
+      {|
+class Adder:
+    def __init__(self, k):
+        self.k = k
+    def add(self, x):
+        return x + self.k
+a = Adder(5)
+m = a.add
+print(m(3))
+|};
+    t "ternary and chained" ~expect:"small\nbig\n"
+      {|
+def f(x):
+    return "small" if x < 10 else "big"
+print(f(5))
+print(f(50))
+|};
+    t "augmented assignment" ~expect:"15\n[1, 4]\n7\n"
+      {|
+x = 5
+x += 10
+print(x)
+l = [1, 2]
+l[1] += 2
+print(l)
+class P:
+    def __init__(self):
+        self.v = 3
+p = P()
+p.v += 4
+print(p.v)
+|};
+    t "global statement" ~expect:"11\n"
+      {|
+counter = 0
+def bump():
+    global counter
+    counter = counter + 11
+bump()
+print(counter)
+|};
+    t "builtins" ~expect:"5\n3\n9\n97\na\n3\n3.5\n42\n"
+      {|
+print(abs(-5))
+print(min(3, 7))
+print(max(9, 2))
+print(ord("a"))
+print(chr(97))
+print(int(3.9))
+print(float("3.5"))
+print(int("42"))
+|};
+    t "sorted and hash" ~expect:"[1, 2, 3]\nTrue\n"
+      {|
+print(sorted([3, 1, 2]))
+print(hash("x") == hash("x"))
+|};
+    t "math module" ~expect:"3.0\n1.0\n8.0\n"
+      {|
+print(math.sqrt(9.0))
+print(math.floor(1.7))
+print(math.pow(2.0, 3.0))
+|};
+    t "stringio" ~expect:"hello world\n"
+      {|
+b = StringIO()
+b.write("hello")
+b.write(" world")
+print(b.getvalue())
+|};
+    t "for over list and dict and string" ~expect:"6\nab\n3\n"
+      {|
+s = 0
+for x in [1, 2, 3]:
+    s = s + x
+print(s)
+acc = ""
+for ch in "ab":
+    acc = acc + ch
+print(acc)
+d = {1: 10, 2: 20, 3: 30}
+n = 0
+for k in d:
+    n = n + 1
+print(n)
+|};
+    t "for tuple unpacking" ~expect:"1 2\n3 4\n"
+      {|
+pairs = [(1, 2), (3, 4)]
+for a, b in pairs:
+    print(a, b)
+|};
+    t "bignum integration" ~expect:"2432902008176640000\n265252859812191058636308480000000\n"
+      {|
+def fact(n):
+    r = 1
+    for i in range(2, n + 1):
+        r = r * i
+    return r
+print(fact(20))
+print(fact(30))
+|};
+    t "float formatting" ~expect:"2.5\n1.0\n0.5\n"
+      {|
+print(2.5)
+print(1.0)
+print(1 / 2)
+|};
+    t "deep data structures" ~expect:"6\n"
+      {|
+d = {"rows": [[1, 2], [3]], "tag": "x"}
+s = 0
+for row in d["rows"]:
+    for v in row:
+        s = s + v
+print(s)
+|};
+    t "polymorphic hot loop (bridges)"
+      {|
+def f():
+    s = 0
+    for i in range(1000):
+        if i % 3 == 0:
+            s = s + i
+        elif i % 3 == 1:
+            s = s + i * 2
+        else:
+            s = s - i
+    s = s + 500 * 1000
+    return s
+print(f())
+|};
+    t "virtualized allocation with rare escape"
+      {|
+def f():
+    s = 0
+    last = None
+    for i in range(1000):
+        p = (i, i * 2)
+        if i == 999:
+            last = p
+        s = s + p[0] + p[1]
+    return s + last[0] + last[1] - 3000 + 4
+print(f() - 999 - 1998 + 996)
+def g():
+    total = 0
+    for i in range(100):
+        box = [i]
+        if i % 2 == 0:
+            total = total + box[0] * 2
+        else:
+            total = total + box[0]
+    return total
+print(g())
+|};
+    t "guard failure type switch"
+      {|
+def f():
+    s = 0
+    for i in range(100):
+        if i < 50:
+            x = i
+        else:
+            x = i * 1.0
+        s = s + int(x)
+    return s + 2600
+print(f())
+|};
+    Alcotest.test_case "missing key reported" `Quick missing_key_reported;
+  ]

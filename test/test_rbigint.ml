@@ -1,0 +1,188 @@
+(** Unit + property tests for the bignum library: cross-checked against
+    native int arithmetic in range, and against algebraic identities for
+    values beyond the native range. *)
+
+module B = Mtj_rt.Rbigint
+
+let big = B.of_int
+let b_test = Alcotest.testable B.pp B.equal
+
+(* --- unit tests --- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun i -> Alcotest.(check (option int)) "roundtrip" (Some i) (B.to_int_opt (big i)))
+    [ 0; 1; -1; 42; -42; max_int; min_int + 1; 1 lsl 40; -(1 lsl 40) ]
+
+let test_min_int () =
+  Alcotest.(check string) "min_int" (string_of_int min_int)
+    (B.to_string (big min_int))
+
+let test_add_basic () =
+  Alcotest.check b_test "2+3" (big 5) (B.add (big 2) (big 3));
+  Alcotest.check b_test "neg" (big (-1)) (B.add (big 2) (big (-3)));
+  Alcotest.check b_test "zero" (big 7) (B.add (big 7) B.zero)
+
+let test_carry_chain () =
+  (* force multi-digit carries *)
+  let nearly = B.sub (B.lshift B.one 120) B.one in
+  Alcotest.check b_test "carry" (B.lshift B.one 120) (B.add nearly B.one)
+
+let test_mul_signs () =
+  Alcotest.check b_test "pos*neg" (big (-6)) (B.mul (big 2) (big (-3)));
+  Alcotest.check b_test "neg*neg" (big 6) (B.mul (big (-2)) (big (-3)));
+  Alcotest.check b_test "by zero" B.zero (B.mul (big 12345) B.zero)
+
+let test_divmod_floor_semantics () =
+  let check a b q r =
+    let q', r' = B.divmod (big a) (big b) in
+    Alcotest.check b_test (Printf.sprintf "%d//%d q" a b) (big q) q';
+    Alcotest.check b_test (Printf.sprintf "%d%%%d r" a b) (big r) r'
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-4) 1;
+  check 7 (-2) (-4) (-1);
+  check (-7) (-2) 3 (-1)
+
+let test_divmod_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_to_string_known () =
+  Alcotest.(check string) "0" "0" (B.to_string B.zero);
+  Alcotest.(check string) "2^100"
+    "1267650600228229401496703205376"
+    (B.to_string (B.lshift B.one 100));
+  Alcotest.(check string) "neg" "-1267650600228229401496703205376"
+    (B.to_string (B.neg (B.lshift B.one 100)))
+
+let test_of_string () =
+  Alcotest.check b_test "parse" (B.lshift B.one 100)
+    (B.of_string "1267650600228229401496703205376");
+  Alcotest.check b_test "neg" (big (-123)) (B.of_string "-123");
+  Alcotest.check_raises "bad" (Invalid_argument "Rbigint.of_string")
+    (fun () -> ignore (B.of_string "12x3"))
+
+let test_shifts () =
+  Alcotest.check b_test "1<<31" (big (1 lsl 31)) (B.lshift B.one 31);
+  Alcotest.check b_test "asymmetric" (big 5) (B.rshift (big 0b101000) 3);
+  (* floor semantics for negative values *)
+  Alcotest.check b_test "neg rshift" (big (-3)) (B.rshift (big (-5)) 1)
+
+let test_numbits () =
+  Alcotest.(check int) "0" 0 (B.numbits B.zero);
+  Alcotest.(check int) "1" 1 (B.numbits B.one);
+  Alcotest.(check int) "255" 8 (B.numbits (big 255));
+  Alcotest.(check int) "256" 9 (B.numbits (big 256));
+  Alcotest.(check int) "2^100" 101 (B.numbits (B.lshift B.one 100))
+
+let test_compare_total_order () =
+  let xs = [ B.neg (B.lshift B.one 80); big (-5); B.zero; big 3; B.lshift B.one 80 ] in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          Alcotest.(check int)
+            (Printf.sprintf "cmp %d %d" i j)
+            (Int.compare i j)
+            (B.compare a b))
+        xs)
+    xs
+
+(* --- property tests --- *)
+
+let in_range = QCheck.int_range (-1_000_000_000) 1_000_000_000
+
+let prop_matches_native =
+  QCheck.Test.make ~name:"bigint matches native int ops" ~count:2000
+    (QCheck.pair in_range in_range) (fun (a, b) ->
+      let ba = big a and bb = big b in
+      B.to_int_opt (B.add ba bb) = Some (a + b)
+      && B.to_int_opt (B.sub ba bb) = Some (a - b)
+      && B.to_int_opt (B.mul ba bb) = Some (a * b)
+      && B.compare ba bb = Int.compare a b)
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"divmod invariant a = q*b + r, |r| < |b|" ~count:2000
+    (QCheck.pair in_range in_range) (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let ba = big a and bb = big b in
+      let q, r = B.divmod ba bb in
+      B.equal (B.add (B.mul q bb) r) ba
+      && B.compare (B.abs r) (B.abs bb) < 0
+      && (B.sign r = 0 || B.sign r = B.sign bb))
+
+(* random big numbers from decimal strings *)
+let big_gen =
+  QCheck.Gen.(
+    map2
+      (fun digits neg ->
+        let s =
+          String.concat ""
+            (List.mapi
+               (fun i d -> string_of_int (if i = 0 then 1 + (d mod 9) else d mod 10))
+               digits)
+        in
+        let v = B.of_string s in
+        if neg then B.neg v else v)
+      (list_size (int_range 1 50) (int_bound 9))
+      bool)
+
+let arbitrary_big = QCheck.make ~print:B.to_string big_gen
+
+let prop_add_sub_roundtrip =
+  QCheck.Test.make ~name:"(a+b)-b = a (large)" ~count:500
+    (QCheck.pair arbitrary_big arbitrary_big) (fun (a, b) ->
+      B.equal (B.sub (B.add a b) b) a)
+
+let prop_mul_div_roundtrip =
+  QCheck.Test.make ~name:"(a*b)/b = a (large)" ~count:500
+    (QCheck.pair arbitrary_big arbitrary_big) (fun (a, b) ->
+      QCheck.assume (B.sign b <> 0);
+      let q, r = B.divmod (B.mul a b) b in
+      B.equal q a && B.sign r = 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:500
+    arbitrary_big (fun a -> B.equal (B.of_string (B.to_string a)) a)
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"(a<<n)>>n = a" ~count:500
+    (QCheck.pair arbitrary_big (QCheck.int_range 0 200)) (fun (a, n) ->
+      B.equal (B.rshift (B.lshift a n) n) a)
+
+let prop_mul_commutes =
+  QCheck.Test.make ~name:"a*b = b*a (large)" ~count:300
+    (QCheck.pair arbitrary_big arbitrary_big) (fun (a, b) ->
+      B.equal (B.mul a b) (B.mul b a))
+
+let prop_divmod_large =
+  QCheck.Test.make ~name:"divmod invariant (large)" ~count:500
+    (QCheck.pair arbitrary_big arbitrary_big) (fun (a, b) ->
+      QCheck.assume (B.sign b <> 0);
+      let q, r = B.divmod a b in
+      B.equal (B.add (B.mul q b) r) a && B.compare (B.abs r) (B.abs b) < 0)
+
+let suite =
+  [
+    Alcotest.test_case "int roundtrip" `Quick test_of_to_int;
+    Alcotest.test_case "min_int" `Quick test_min_int;
+    Alcotest.test_case "add basic" `Quick test_add_basic;
+    Alcotest.test_case "carry chain" `Quick test_carry_chain;
+    Alcotest.test_case "mul signs" `Quick test_mul_signs;
+    Alcotest.test_case "divmod floor semantics" `Quick test_divmod_floor_semantics;
+    Alcotest.test_case "divmod by zero" `Quick test_divmod_by_zero;
+    Alcotest.test_case "to_string known values" `Quick test_to_string_known;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "numbits" `Quick test_numbits;
+    Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+    QCheck_alcotest.to_alcotest prop_matches_native;
+    QCheck_alcotest.to_alcotest prop_divmod_invariant;
+    QCheck_alcotest.to_alcotest prop_add_sub_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mul_div_roundtrip;
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_shift_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mul_commutes;
+    QCheck_alcotest.to_alcotest prop_divmod_large;
+  ]

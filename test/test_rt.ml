@@ -1,0 +1,298 @@
+(** Unit + model-based property tests for the runtime object model:
+    values, ordered dicts, list strategies, strings, sets, arithmetic. *)
+
+open Mtj_rt
+module V = Value
+module B = Mtj_rt.Rbigint
+
+let ctx () = Ctx.create ~config:Mtj_core.Config.no_jit ()
+
+let vint i = V.Int i
+let vstr s = V.Str s
+
+(* --- values --- *)
+
+let test_truthiness () =
+  let c = ctx () in
+  Alcotest.(check bool) "0" false (V.truthy (vint 0));
+  Alcotest.(check bool) "1" true (V.truthy (vint 1));
+  Alcotest.(check bool) "''" false (V.truthy (vstr ""));
+  Alcotest.(check bool) "'x'" true (V.truthy (vstr "x"));
+  Alcotest.(check bool) "nil" false (V.truthy V.Nil);
+  Alcotest.(check bool) "0.0" false (V.truthy (V.Float 0.0));
+  let empty = Rlist.create c [] in
+  Alcotest.(check bool) "[]" false (V.truthy (V.Obj empty));
+  Rlist.append c empty (vint 1);
+  Alcotest.(check bool) "[1]" true (V.truthy (V.Obj empty))
+
+let test_py_eq_numbers () =
+  Alcotest.(check bool) "int/float" true (V.py_eq (vint 3) (V.Float 3.0));
+  Alcotest.(check bool) "neq" false (V.py_eq (vint 3) (V.Float 3.5))
+
+let test_py_eq_tuples () =
+  let c = ctx () in
+  let t1 = Gc_sim.obj (Ctx.gc c) (V.Tuple [| vint 1; vstr "a" |]) in
+  let t2 = Gc_sim.obj (Ctx.gc c) (V.Tuple [| vint 1; vstr "a" |]) in
+  let t3 = Gc_sim.obj (Ctx.gc c) (V.Tuple [| vint 2; vstr "a" |]) in
+  Alcotest.(check bool) "structural" true (V.py_eq t1 t2);
+  Alcotest.(check bool) "different" false (V.py_eq t1 t3)
+
+let test_hash_eq_consistent () =
+  let pairs = [ (vint 5, V.Float 5.0); (vstr "ab", vstr "ab") ] in
+  List.iter
+    (fun (a, b) ->
+      if V.py_eq a b then
+        Alcotest.(check int) "hash consistent" (V.py_hash a) (V.py_hash b))
+    pairs
+
+let test_repr () =
+  Alcotest.(check string) "int" "42" (V.repr (vint 42));
+  Alcotest.(check string) "str" "'hi'" (V.repr (vstr "hi"));
+  Alcotest.(check string) "none" "None" (V.repr V.Nil);
+  Alcotest.(check string) "true" "True" (V.repr (V.Bool true));
+  Alcotest.(check string) "float" "2.5" (V.repr (V.Float 2.5))
+
+(* --- ordered dict vs a model --- *)
+
+let test_dict_basic () =
+  let c = ctx () in
+  let d = Rdict.create c in
+  let o = Gc_sim.alloc (Ctx.gc c) (V.Dict d) in
+  Rdict.set c o d (vstr "a") (vint 1);
+  Rdict.set c o d (vstr "b") (vint 2);
+  Rdict.set c o d (vstr "a") (vint 3);
+  Alcotest.(check int) "len" 2 (Rdict.length d);
+  Alcotest.(check bool) "get a" true (Rdict.get c d (vstr "a") = Some (vint 3));
+  Alcotest.(check bool) "get b" true (Rdict.get c d (vstr "b") = Some (vint 2));
+  Alcotest.(check bool) "missing" true (Rdict.get c d (vstr "z") = None)
+
+let test_dict_insertion_order () =
+  let c = ctx () in
+  let d = Rdict.create c in
+  let o = Gc_sim.alloc (Ctx.gc c) (V.Dict d) in
+  List.iter (fun k -> Rdict.set c o d (vint k) (vint (k * 10))) [ 5; 3; 9; 1 ];
+  Alcotest.(check (list int)) "order" [ 5; 3; 9; 1 ]
+    (List.map (function V.Int i -> i | _ -> -1) (Rdict.keys d))
+
+let test_dict_delete () =
+  let c = ctx () in
+  let d = Rdict.create c in
+  let o = Gc_sim.alloc (Ctx.gc c) (V.Dict d) in
+  Rdict.set c o d (vstr "x") (vint 1);
+  Alcotest.(check bool) "deleted" true (Rdict.delete c d (vstr "x"));
+  Alcotest.(check bool) "gone" true (Rdict.get c d (vstr "x") = None);
+  Alcotest.(check bool) "again" false (Rdict.delete c d (vstr "x"));
+  Alcotest.(check int) "len" 0 (Rdict.length d);
+  (* reinsert after tombstone *)
+  Rdict.set c o d (vstr "x") (vint 2);
+  Alcotest.(check bool) "reinserted" true (Rdict.get c d (vstr "x") = Some (vint 2))
+
+let test_dict_growth () =
+  let c = ctx () in
+  let d = Rdict.create c in
+  let o = Gc_sim.alloc (Ctx.gc c) (V.Dict d) in
+  for i = 0 to 499 do
+    Rdict.set c o d (vint i) (vint (i * i))
+  done;
+  Alcotest.(check int) "len" 500 (Rdict.length d);
+  for i = 0 to 499 do
+    if Rdict.get c d (vint i) <> Some (vint (i * i)) then
+      Alcotest.failf "lost key %d" i
+  done
+
+(* random op sequence against an association-list model *)
+let prop_dict_model =
+  QCheck.Test.make ~name:"ordered dict matches model" ~count:200
+    QCheck.(list (pair (int_bound 30) (option (int_bound 100))))
+    (fun ops ->
+      let c = ctx () in
+      let d = Rdict.create c in
+      let o = Gc_sim.alloc (Ctx.gc c) (V.Dict d) in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Some v ->
+              Rdict.set c o d (vint k) (vint v);
+              Hashtbl.replace model k v
+          | None ->
+              let deleted = Rdict.delete c d (vint k) in
+              let in_model = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              if deleted <> in_model then QCheck.Test.fail_report "delete mismatch")
+        ops;
+      Hashtbl.length model = Rdict.length d
+      && Hashtbl.fold
+           (fun k v acc -> acc && Rdict.get c d (vint k) = Some (vint v))
+           model true)
+
+(* --- list strategies --- *)
+
+let test_list_int_strategy () =
+  let c = ctx () in
+  let l = Rlist.create c [ vint 1; vint 2; vint 3 ] in
+  Alcotest.(check string) "strategy" "int" (Rlist.strategy_name (Rlist.of_obj l));
+  Alcotest.(check bool) "get" true (Rlist.get c l 1 = vint 2)
+
+let test_list_generalizes () =
+  let c = ctx () in
+  let l = Rlist.create c [ vint 1 ] in
+  Rlist.append c l (vstr "x");
+  Alcotest.(check string) "generalized" "object"
+    (Rlist.strategy_name (Rlist.of_obj l));
+  Alcotest.(check bool) "kept int" true (Rlist.get c l 0 = vint 1);
+  Alcotest.(check bool) "kept str" true (Rlist.get c l 1 = vstr "x")
+
+let test_list_str_strategy () =
+  let c = ctx () in
+  let l = Rlist.create c [ vstr "a"; vstr "b" ] in
+  Alcotest.(check string) "bytes" "bytes" (Rlist.strategy_name (Rlist.of_obj l))
+
+let test_list_float_strategy () =
+  let c = ctx () in
+  let l = Rlist.create c [ V.Float 1.5 ] in
+  Alcotest.(check string) "float" "float" (Rlist.strategy_name (Rlist.of_obj l))
+
+let test_list_pop_slice () =
+  let c = ctx () in
+  let l = Rlist.create c (List.init 10 vint) in
+  let v = Rlist.pop c l 0 in
+  Alcotest.(check bool) "pop head" true (v = vint 0);
+  Alcotest.(check int) "len" 9 (Rlist.length (Rlist.of_obj l));
+  let s = Rlist.slice c l 2 5 in
+  Alcotest.(check int) "slice len" 3 (Rlist.length (Rlist.of_obj s));
+  Alcotest.(check bool) "slice contents" true (Rlist.get c s 0 = vint 3)
+
+let test_list_setslice_find () =
+  let c = ctx () in
+  let l = Rlist.create c (List.init 6 vint) in
+  let src = Rlist.create c [ vint 100; vint 200 ] in
+  Rlist.setslice c l 2 4 src;
+  Alcotest.(check bool) "setslice" true (Rlist.get c l 2 = vint 100);
+  Alcotest.(check int) "find" 3 (Rlist.find c l (vint 200));
+  Alcotest.(check int) "find missing" (-1) (Rlist.find c l (vint 999))
+
+let prop_list_model =
+  QCheck.Test.make ~name:"list matches model" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun xs ->
+      let c = ctx () in
+      let l = Rlist.create c [] in
+      List.iter (fun x -> Rlist.append c l (vint x)) xs;
+      let back = Array.to_list (Rlist.to_array (Rlist.of_obj l)) in
+      back = List.map vint xs)
+
+(* --- strings --- *)
+
+let test_str_ops () =
+  let c = ctx () in
+  Alcotest.(check string) "join" "a-b-c" (Rstr.join c "-" [ "a"; "b"; "c" ]);
+  Alcotest.(check int) "find_char" 2 (Rstr.find_char c "abcabc" 'c' ~start:0);
+  Alcotest.(check int) "find from" 5 (Rstr.find_char c "abcabc" 'c' ~start:3);
+  Alcotest.(check int) "not found" (-1) (Rstr.find_char c "abc" 'z' ~start:0);
+  Alcotest.(check string) "replace" "xbxb" (Rstr.replace c "abab" "a" "x");
+  Alcotest.(check (list string)) "split" [ "a"; "b"; "" ] (Rstr.split c "a,b," ',');
+  Alcotest.(check string) "int2dec" "-42" (Rstr.int2dec c (-42));
+  Alcotest.(check (option int)) "string_to_int" (Some 17)
+    (Rstr.string_to_int c " 17 ")
+
+let test_str_escape () =
+  let c = ctx () in
+  Alcotest.(check string) "json" "a\\\"b\\nc" (Rstr.encode_ascii c "a\"b\nc");
+  Alcotest.(check string) "translate" "x&amp;y"
+    (Rstr.translate c "x&y" [ ('&', "&amp;") ])
+
+let test_builder () =
+  let c = ctx () in
+  let b = Rstr.builder_new c in
+  Rstr.builder_append c b "foo";
+  Rstr.builder_append c b "bar";
+  Alcotest.(check string) "build" "foobar" (Rstr.builder_build c b)
+
+(* --- sets --- *)
+
+let test_set_algebra () =
+  let c = ctx () in
+  let a = Rset.create c [ vint 1; vint 2; vint 3 ] in
+  let b = Rset.create c [ vint 2; vint 3; vint 4 ] in
+  let diff = Rset.difference c a b in
+  Alcotest.(check int) "diff" 1 (Rset.length (Rset.of_obj diff));
+  let inter = Rset.intersection c a b in
+  Alcotest.(check int) "inter" 2 (Rset.length (Rset.of_obj inter));
+  let union = Rset.union c a b in
+  Alcotest.(check int) "union" 4 (Rset.length (Rset.of_obj union));
+  Alcotest.(check bool) "subset" true (Rset.issubset c inter a);
+  Alcotest.(check bool) "not subset" false (Rset.issubset c union a)
+
+(* --- arithmetic tower --- *)
+
+let test_arith_overflow_promotes () =
+  let c = ctx () in
+  let big = Rarith.mul c (vint max_int) (vint 2) in
+  (match big with
+  | V.Obj { payload = V.Bigint _; _ } -> ()
+  | v -> Alcotest.failf "expected bigint, got %s" (V.repr v));
+  (* and demotes when shrinking back *)
+  let back = Rarith.floordiv c big (vint 2) in
+  Alcotest.(check bool) "demoted" true (back = vint max_int)
+
+let test_arith_float_contagion () =
+  let c = ctx () in
+  Alcotest.(check bool) "int+float" true
+    (Rarith.add c (vint 1) (V.Float 0.5) = V.Float 1.5)
+
+let test_arith_python_mod () =
+  let c = ctx () in
+  Alcotest.(check bool) "-7 % 3" true (Rarith.modulo c (vint (-7)) (vint 3) = vint 2);
+  Alcotest.(check bool) "7 % -3" true (Rarith.modulo c (vint 7) (vint (-3)) = vint (-2))
+
+let test_arith_pow () =
+  let c = ctx () in
+  Alcotest.(check bool) "2**10" true (Rarith.pow c (vint 2) (vint 10) = vint 1024);
+  (* big power promotes *)
+  match Rarith.pow c (vint 10) (vint 30) with
+  | V.Obj { payload = V.Bigint b; _ } ->
+      Alcotest.(check string) "10^30" ("1" ^ String.make 30 '0') (B.to_string b)
+  | _ -> Alcotest.fail "expected bigint"
+
+let prop_arith_matches_native =
+  QCheck.Test.make ~name:"value arithmetic matches native in range" ~count:1000
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      let c = ctx () in
+      Rarith.add c (vint a) (vint b) = vint (a + b)
+      && Rarith.sub c (vint a) (vint b) = vint (a - b)
+      && Rarith.mul c (vint a) (vint b) = vint (a * b)
+      && (b = 0
+         || Rarith.modulo c (vint a) (vint b)
+            = vint (Rarith.mod_int a b)))
+
+let suite =
+  [
+    Alcotest.test_case "truthiness" `Quick test_truthiness;
+    Alcotest.test_case "py_eq numbers" `Quick test_py_eq_numbers;
+    Alcotest.test_case "py_eq tuples" `Quick test_py_eq_tuples;
+    Alcotest.test_case "hash/eq consistency" `Quick test_hash_eq_consistent;
+    Alcotest.test_case "repr" `Quick test_repr;
+    Alcotest.test_case "dict basic" `Quick test_dict_basic;
+    Alcotest.test_case "dict insertion order" `Quick test_dict_insertion_order;
+    Alcotest.test_case "dict delete/tombstone" `Quick test_dict_delete;
+    Alcotest.test_case "dict growth" `Quick test_dict_growth;
+    QCheck_alcotest.to_alcotest prop_dict_model;
+    Alcotest.test_case "list int strategy" `Quick test_list_int_strategy;
+    Alcotest.test_case "list generalization" `Quick test_list_generalizes;
+    Alcotest.test_case "list str strategy" `Quick test_list_str_strategy;
+    Alcotest.test_case "list float strategy" `Quick test_list_float_strategy;
+    Alcotest.test_case "list pop/slice" `Quick test_list_pop_slice;
+    Alcotest.test_case "list setslice/find" `Quick test_list_setslice_find;
+    QCheck_alcotest.to_alcotest prop_list_model;
+    Alcotest.test_case "string ops" `Quick test_str_ops;
+    Alcotest.test_case "string escapes" `Quick test_str_escape;
+    Alcotest.test_case "string builder" `Quick test_builder;
+    Alcotest.test_case "set algebra" `Quick test_set_algebra;
+    Alcotest.test_case "overflow promotion" `Quick test_arith_overflow_promotes;
+    Alcotest.test_case "float contagion" `Quick test_arith_float_contagion;
+    Alcotest.test_case "python modulo" `Quick test_arith_python_mod;
+    Alcotest.test_case "pow" `Quick test_arith_pow;
+    QCheck_alcotest.to_alcotest prop_arith_matches_native;
+  ]

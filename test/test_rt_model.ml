@@ -1,0 +1,353 @@
+(** Model-based property tests for the runtime substrates.
+
+    Each test drives a substrate (ordered dict, list strategies, set
+    strategies, string functions) with a long random operation sequence
+    and checks every observable result against a trivially-correct OCaml
+    reference model. These catch exactly the bug class hash tables and
+    strategy switches breed: probe-sequence errors after deletions,
+    resize-time entry loss, order violations, and strategy-transition
+    corruption. *)
+
+open Mtj_rt
+module V = Value
+
+let ctx () = Ctx.create ()
+
+let vint i = V.Int i
+let vstr s = V.Str s
+
+(* keys drawn from a small pool so collisions, updates and
+   delete-then-reinsert happen often *)
+let key rng =
+  if Random.State.bool rng then vint (Random.State.int rng 25)
+  else vstr (String.make 1 (Char.chr (97 + Random.State.int rng 12)))
+
+(* --- ordered dict vs insertion-ordered association list --- *)
+
+let dict_model_run seed =
+  let rng = Random.State.make [| seed |] in
+  let c = ctx () in
+  let d = Rdict.create c in
+  let o = Gc_sim.alloc (Ctx.gc c) (V.Dict d) in
+  (* model: (key, value) list in insertion order *)
+  let model = ref [] in
+  let model_set k v =
+    if List.exists (fun (k', _) -> V.py_eq k k') !model then
+      model := List.map (fun (k', v') -> if V.py_eq k k' then (k', v) else (k', v')) !model
+    else model := !model @ [ (k, v) ]
+  in
+  let model_del k =
+    let had = List.exists (fun (k', _) -> V.py_eq k k') !model in
+    model := List.filter (fun (k', _) -> not (V.py_eq k k')) !model;
+    had
+  in
+  let model_get k =
+    List.find_map (fun (k', v) -> if V.py_eq k k' then Some v else None) !model
+  in
+  let steps = 400 in
+  let ok = ref true in
+  for step = 1 to steps do
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        let k = key rng and v = vint step in
+        Rdict.set c o d k v;
+        model_set k v
+    | 4 | 5 ->
+        let k = key rng in
+        let was = Rdict.delete c d k in
+        let mwas = model_del k in
+        if was <> mwas then ok := false
+    | 6 | 7 ->
+        let k = key rng in
+        if Rdict.get c d k <> model_get k then ok := false
+    | 8 ->
+        let k = key rng in
+        if Rdict.contains c d k <> (model_get k <> None) then ok := false
+    | _ ->
+        (* full order check *)
+        let keys = Rdict.keys d in
+        let mkeys = List.map fst !model in
+        if not (List.length keys = List.length mkeys
+                && List.for_all2 V.py_eq keys mkeys) then ok := false);
+    if Rdict.length d <> List.length !model then ok := false
+  done;
+  (* final sweep: every model entry retrievable, iteration in order *)
+  List.iter
+    (fun (k, v) ->
+      match Rdict.get c d k with
+      | Some v' when V.py_eq v v' -> ()
+      | _ -> ok := false)
+    !model;
+  let n = ref 0 in
+  Rdict.iter d (fun k v ->
+      (match List.nth_opt !model !n with
+      | Some (mk, mv) -> if not (V.py_eq k mk && V.py_eq v mv) then ok := false
+      | None -> ok := false);
+      incr n);
+  !ok && !n = List.length !model
+
+let prop_dict =
+  QCheck.Test.make ~name:"ordered dict matches assoc-list model" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    dict_model_run
+
+(* --- list strategies vs a dynamic array model --- *)
+
+let list_model_run seed =
+  let rng = Random.State.make [| seed; 7 |] in
+  let c = ctx () in
+  let lo = Rlist.create c [] in
+  let model = ref [||] in
+  let ok = ref true in
+  (* random element: mostly ints (IntegerListStrategy), sometimes strings
+     or floats to force ObjectListStrategy transitions *)
+  let elt () =
+    match Random.State.int rng 8 with
+    | 0 -> vstr (String.make 1 (Char.chr (97 + Random.State.int rng 26)))
+    | 1 -> V.Float (float_of_int (Random.State.int rng 100) /. 4.0)
+    | _ -> vint (Random.State.int rng 1000 - 500)
+  in
+  for _ = 1 to 300 do
+    let n = Array.length !model in
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 ->
+        let v = elt () in
+        Rlist.append c lo v;
+        model := Array.append !model [| v |]
+    | 3 when n > 0 ->
+        let i = Random.State.int rng n in
+        let v = elt () in
+        Rlist.set c lo i v;
+        !model.(i) <- v
+    | 4 when n > 0 ->
+        let i = Random.State.int rng n in
+        let v = Rlist.pop c lo i in
+        if not (V.py_eq v !model.(i)) then ok := false;
+        model :=
+          Array.append (Array.sub !model 0 i)
+            (Array.sub !model (i + 1) (n - i - 1))
+    | 5 when n > 1 ->
+        let i = Random.State.int rng n in
+        let j = i + Random.State.int rng (n - i) in
+        let s = Rlist.slice c lo i j in
+        let msub = Array.sub !model i (j - i) in
+        let got = Rlist.to_array (Rlist.of_obj s) in
+        if not (Array.length got = Array.length msub
+                && Array.for_all2 V.py_eq got msub) then ok := false
+    | 6 when n > 0 ->
+        let v = !model.(Random.State.int rng n) in
+        let i = Rlist.find c lo v in
+        (* first occurrence in the model *)
+        let mi = ref (-1) in
+        Array.iteri (fun k x -> if !mi < 0 && V.py_eq x v then mi := k) !model;
+        if i <> !mi then ok := false
+    | 7 ->
+        let v = vint 999_999 in
+        if Rlist.find c lo v <> -1 then ok := false
+    | 8 when n > 0 ->
+        let i = Random.State.int rng n in
+        if not (V.py_eq (Rlist.get c lo i) !model.(i)) then ok := false
+    | _ ->
+        let other = Rlist.create c (Array.to_list !model) in
+        let cat = Rlist.concat c lo other in
+        let got = Rlist.to_array (Rlist.of_obj cat) in
+        let want = Array.append !model !model in
+        if not (Array.length got = Array.length want
+                && Array.for_all2 V.py_eq got want) then ok := false
+  done;
+  let got = Rlist.to_array (Rlist.of_obj lo) in
+  !ok
+  && Array.length got = Array.length !model
+  && Array.for_all2 V.py_eq got !model
+
+let prop_list =
+  QCheck.Test.make ~name:"list strategies match array model" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    list_model_run
+
+(* strategy transitions: an int list degrades to object strategy when a
+   non-int lands in it, and reports int strategy while homogeneous *)
+let test_list_strategy_transition () =
+  let c = ctx () in
+  let lo = Rlist.create c [ vint 1; vint 2 ] in
+  let l = Rlist.of_obj lo in
+  Alcotest.(check string) "starts integer" "int" (Rlist.strategy_name l);
+  Rlist.append c lo (vstr "x");
+  Alcotest.(check string) "degrades to object" "object" (Rlist.strategy_name l);
+  (* contents preserved across the transition *)
+  Alcotest.(check bool) "contents survive" true
+    (V.py_eq (Rlist.get c lo 0) (vint 1)
+    && V.py_eq (Rlist.get c lo 2) (vstr "x"))
+
+(* --- sets vs a sorted-list model --- *)
+
+let set_model_run seed =
+  let rng = Random.State.make [| seed; 13 |] in
+  let c = ctx () in
+  let mk vals = Rset.create c vals in
+  let pool = Array.init 20 (fun i -> vint i) in
+  let rand_elems () =
+    List.filter (fun _ -> Random.State.bool rng) (Array.to_list pool)
+  in
+  let module IS = Set.Make (Int) in
+  let to_is vals =
+    IS.of_list (List.map (function V.Int i -> i | _ -> assert false) vals)
+  in
+  let of_set o = to_is (Rset.elements (Rset.of_obj o)) in
+  let ok = ref true in
+  for _ = 1 to 60 do
+    let a = rand_elems () and b = rand_elems () in
+    let sa = mk a and sb = mk b in
+    let ma = to_is a and mb = to_is b in
+    if not (IS.equal (of_set (Rset.difference c sa sb)) (IS.diff ma mb)) then
+      ok := false;
+    if not (IS.equal (of_set (Rset.union c sa sb)) (IS.union ma mb)) then
+      ok := false;
+    if not (IS.equal (of_set (Rset.intersection c sa sb)) (IS.inter ma mb))
+    then ok := false;
+    if Rset.issubset c sa sb <> IS.subset ma mb then ok := false;
+    (* add/remove round trip *)
+    let x = pool.(Random.State.int rng 20) in
+    Rset.add c sa x;
+    if not (Rset.contains c (Rset.of_obj sa) x) then ok := false;
+    let removed = Rset.remove c sa x in
+    if not removed then ok := false;
+    if Rset.contains c (Rset.of_obj sa) x then ok := false
+  done;
+  !ok
+
+let prop_set =
+  QCheck.Test.make ~name:"set strategies match Set model" ~count:40
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    set_model_run
+
+(* --- strings vs stdlib --- *)
+
+let gen_word rng =
+  String.init (Random.State.int rng 12) (fun _ ->
+      Char.chr (97 + Random.State.int rng 6))
+
+let str_model_run seed =
+  let rng = Random.State.make [| seed; 29 |] in
+  let c = ctx () in
+  let ok = ref true in
+  for _ = 1 to 80 do
+    let s = gen_word rng in
+    (* join/split round trip (no empty-part ambiguity when parts are
+       nonempty and separator absent from them) *)
+    let parts =
+      List.init (1 + Random.State.int rng 5) (fun _ -> "w" ^ gen_word rng)
+    in
+    let joined = Rstr.join c "," parts in
+    if String.concat "," parts <> joined then ok := false;
+    if Rstr.split c joined ',' <> parts then ok := false;
+    (* find_char agrees with String.index_from *)
+    let ch = Char.chr (97 + Random.State.int rng 6) in
+    let start = if s = "" then 0 else Random.State.int rng (String.length s) in
+    let want =
+      match String.index_from_opt s start ch with Some i -> i | None -> -1
+    in
+    if Rstr.find_char c s ch ~start <> want then ok := false;
+    (* replace agrees with a naive reference *)
+    let pat = "ab" and rep = gen_word rng in
+    let naive =
+      let b = Buffer.create 16 in
+      let i = ref 0 in
+      let n = String.length s in
+      while !i < n do
+        if !i + 2 <= n && String.sub s !i 2 = pat then begin
+          Buffer.add_string b rep;
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char b s.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents b
+    in
+    if Rstr.replace c s pat rep <> naive then ok := false;
+    (* int2dec / string_to_int round trip *)
+    let v = Random.State.int rng 2_000_001 - 1_000_000 in
+    if Rstr.int2dec c v <> string_of_int v then ok := false;
+    if Rstr.string_to_int c (string_of_int v) <> Some v then ok := false;
+    if Rstr.string_to_int c (s ^ "x9") <> None then ok := false;
+    (* builder accumulates in order *)
+    let b = Rstr.builder_new c in
+    List.iter (fun p -> Rstr.builder_append c b p) parts;
+    if Rstr.builder_build c b <> String.concat "" parts then ok := false
+  done;
+  !ok
+
+let prop_str =
+  QCheck.Test.make ~name:"string functions match stdlib" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    str_model_run
+
+(* --- GC: random object graphs survive forced collections --- *)
+
+let gc_model_run seed =
+  let rng = Random.State.make [| seed; 31 |] in
+  let cfg = { Mtj_core.Config.default with Mtj_core.Config.nursery_words = 512 } in
+  let c = Ctx.create ~config:cfg () in
+  let gc = Ctx.gc c in
+  (* roots: a register file the GC scans *)
+  let roots = Array.make 8 V.Nil in
+  let scanner = Gc_sim.add_root_scanner gc (fun visit -> Array.iter visit roots) in
+  Fun.protect ~finally:(fun () -> Gc_sim.remove_root_scanner gc scanner)
+  @@ fun () ->
+  (* build random tuples-of-tuples reachable from roots, tracked by a
+     parallel pure model; lots of garbage allocated in between *)
+  let model = Array.make 8 [] in
+  for _ = 1 to 300 do
+    let slot = Random.State.int rng 8 in
+    match Random.State.int rng 4 with
+    | 0 ->
+        (* new chain cell: (payload_int, previous_root) *)
+        let p = Random.State.int rng 1000 in
+        let v = Gc_sim.obj gc (V.Tuple [| vint p; roots.(slot) |]) in
+        roots.(slot) <- v;
+        model.(slot) <- p :: model.(slot)
+    | 1 ->
+        (* garbage *)
+        ignore (Gc_sim.obj gc (V.Tuple [| vint 0; vint 1; vint 2 |]))
+    | 2 ->
+        roots.(slot) <- V.Nil;
+        model.(slot) <- []
+    | _ ->
+        if Random.State.bool rng then Gc_sim.collect_minor gc
+        else Gc_sim.collect_major gc
+  done;
+  Gc_sim.collect_minor gc;
+  Gc_sim.collect_major gc;
+  (* verify every chain matches its model *)
+  let ok = ref true in
+  Array.iteri
+    (fun i expected ->
+      let rec walk v = function
+        | [] -> if v <> V.Nil then ok := false
+        | p :: rest -> (
+            match v with
+            | V.Obj { V.payload = V.Tuple [| V.Int p'; next |]; _ } ->
+                if p' <> p then ok := false else walk next rest
+            | _ -> ok := false)
+      in
+      walk roots.(i) expected)
+    model;
+  !ok
+
+let prop_gc =
+  QCheck.Test.make ~name:"object graphs survive collection" ~count:40
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    gc_model_run
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_dict;
+    QCheck_alcotest.to_alcotest prop_list;
+    Alcotest.test_case "list strategy transition" `Quick
+      test_list_strategy_transition;
+    QCheck_alcotest.to_alcotest prop_set;
+    QCheck_alcotest.to_alcotest prop_str;
+    QCheck_alcotest.to_alcotest prop_gc;
+  ]
