@@ -3,41 +3,17 @@
    With no arguments (or "all"), regenerates every table and figure of
    the paper from live simulated runs.  Individual experiments can be
    selected by name; "bechamel" runs wall-clock micro-benchmarks of the
-   simulation substrate itself (one Test.make group per experiment
-   driver plus core kernels). *)
+   simulation substrate itself.
 
-let experiments : (string * string * (unit -> unit)) list =
-  [
-    ("table1", "PyPy-suite performance (time, IPC, MPKI x 3 VMs)",
-     Mtj_harness.Experiments.table1);
-    ("table2", "CLBG performance across languages + C",
-     Mtj_harness.Experiments.table2);
-    ("table3", "significant AOT functions called from traces",
-     Mtj_harness.Experiments.table3);
-    ("table4", "per-phase microarchitectural statistics",
-     Mtj_harness.Experiments.table4);
-    ("fig2", "phase breakdown per benchmark", Mtj_harness.Experiments.fig2);
-    ("fig3", "phase timeline during warmup", Mtj_harness.Experiments.fig3);
-    ("fig4", "PyPy vs Pycket phase breakdown (CLBG)",
-     Mtj_harness.Experiments.fig4);
-    ("fig5", "warmup curves and break-even points",
-     Mtj_harness.Experiments.fig5);
-    ("fig6", "IR nodes compiled / hotness / dynamic rate",
-     Mtj_harness.Experiments.fig6);
-    ("fig7", "meta-trace composition by IR category",
-     Mtj_harness.Experiments.fig7);
-    ("fig8", "dynamic IR node-type histogram", Mtj_harness.Experiments.fig8);
-    ("fig9", "x86 instructions per IR node type",
-     Mtj_harness.Experiments.fig9);
-    ("activity", "JIT machinery counters (extension)",
-     Mtj_harness.Experiments.jit_activity);
-    ("ablation", "optimizer-pass ablation (extension)",
-     Mtj_harness.Experiments.ablation);
-    ("tiers", "two-tier compilation: warmup vs steady state (extension)",
-     Mtj_harness.Experiments.tiers);
-    ("thresholds", "hot-loop threshold sensitivity (extension)",
-     Mtj_harness.Experiments.thresholds);
-  ]
+   The run matrix executes on a pool of worker domains: -j N (or
+   MTJ_JOBS) selects the worker count, defaulting to what the hardware
+   recommends, capped at the matrix size.  Table/figure output is
+   byte-identical at any -j; --timings FILE additionally writes a
+   machine-readable JSON report of per-run and per-experiment
+   wall-clock. *)
+
+module E = Mtj_harness.Experiments
+module R = Mtj_harness.Runner
 
 (* --- bechamel micro-benchmarks of the substrate --- *)
 
@@ -104,31 +80,153 @@ let bechamel () =
         res)
     tests
 
+(* --- timing report (--timings FILE) --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_timings ~file ~jobs ~total_wall
+    ~(experiments : (string * float) list) =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mtj-bench-timings/1\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"total_wall_s\": %.6f,\n" total_wall;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, wall) ->
+      p "    {\"name\": \"%s\", \"wall_s\": %.6f}%s\n" (json_escape name)
+        wall
+        (if i = List.length experiments - 1 then "" else ","))
+    experiments;
+  p "  ],\n";
+  p "  \"runs\": [\n";
+  let runs = R.run_timings () in
+  List.iteri
+    (fun i (rt : R.run_timing) ->
+      p
+        "    {\"bench\": \"%s\", \"config\": \"%s\", \"wall_s\": %.6f, \
+         \"insns\": %d, \"cycles\": %.1f}%s\n"
+        (json_escape rt.R.rt_bench)
+        (json_escape (R.config_name rt.R.rt_config))
+        rt.R.rt_wall_s rt.R.rt_insns rt.R.rt_cycles
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.eprintf "[timings written to %s]\n%!" file
+
+(* --- argument handling --- *)
+
 let usage () =
-  print_endline "usage: main.exe [all | bechamel | <experiment> ...]";
+  print_endline
+    "usage: main.exe [-j N] [--timings FILE] [all | bechamel | <experiment> ...]";
   print_endline "experiments:";
   List.iter
-    (fun (name, doc, _) -> Printf.printf "  %-10s %s\n" name doc)
-    experiments
+    (fun (e : E.experiment) ->
+      Printf.printf "  %-10s %s\n" e.E.ex_name e.E.ex_doc)
+    E.registry
+
+type parsed = {
+  names : string list;  (* in command-line order *)
+  run_all : bool;
+  jobs : int option;
+  timings_file : string option;
+  help : bool;
+}
+
+let parse_args argv =
+  let rec go acc = function
+    | [] -> Ok acc
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> go { acc with jobs = Some n } rest
+        | _ -> Error (Printf.sprintf "bad job count %S" v))
+    | [ ("-j" | "--jobs") ] -> Error "-j requires an argument"
+    | "--timings" :: f :: rest -> go { acc with timings_file = Some f } rest
+    | [ "--timings" ] -> Error "--timings requires an argument"
+    | ("help" | "--help" | "-h") :: rest -> go { acc with help = true } rest
+    | "all" :: rest -> go { acc with run_all = true } rest
+    | name :: _ when String.length name > 0 && name.[0] = '-' ->
+        Error (Printf.sprintf "unknown option %S" name)
+    | name :: rest -> go { acc with names = acc.names @ [ name ] } rest
+  in
+  go
+    { names = []; run_all = false; jobs = None; timings_file = None;
+      help = false }
+    argv
 
 let () =
-  match Array.to_list Sys.argv with
-  | [] | _ :: [] | _ :: [ "all" ] ->
-      print_endline
-        "Cross-Layer Workload Characterization of Meta-Tracing JIT VMs";
-      print_endline
-        "(OCaml reproduction; times are simulated megacycles, see DESIGN.md)";
-      Mtj_harness.Experiments.all ()
-  | _ :: [ "bechamel" ] -> bechamel ()
-  | _ :: [ "help" ] | _ :: [ "--help" ] -> usage ()
-  | _ :: names ->
-      List.iter
-        (fun name ->
-          match
-            List.find_opt (fun (n, _, _) -> n = name) experiments
-          with
-          | Some (_, _, f) -> f ()
-          | None ->
-              Printf.printf "unknown experiment %S\n" name;
-              usage ())
-        names
+  let argv = List.tl (Array.to_list Sys.argv) in
+  match parse_args argv with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      usage ();
+      exit 2
+  | Ok { help = true; _ } -> usage ()
+  | Ok p ->
+      Option.iter R.set_jobs p.jobs;
+      (* validate every requested name before running anything *)
+      let unknown =
+        List.filter
+          (fun n -> n <> "bechamel" && E.find n = None)
+          p.names
+      in
+      if unknown <> [] then begin
+        List.iter
+          (fun n -> Printf.eprintf "unknown experiment %S\n" n)
+          unknown;
+        usage ();
+        exit 2
+      end;
+      let t_start = Unix.gettimeofday () in
+      let exp_walls = ref [] in
+      let timed name f =
+        let t0 = Unix.gettimeofday () in
+        f ();
+        exp_walls := (name, Unix.gettimeofday () -. t0) :: !exp_walls
+      in
+      if p.run_all || p.names = [] then begin
+        print_endline
+          "Cross-Layer Workload Characterization of Meta-Tracing JIT VMs";
+        print_endline
+          "(OCaml reproduction; times are simulated megacycles, see DESIGN.md)";
+        timed "prefetch" (fun () -> E.prefetch_for E.registry);
+        List.iter
+          (fun (e : E.experiment) -> timed e.E.ex_name e.E.ex_render)
+          E.registry
+      end
+      else begin
+        (* one parallel prefetch wave over the union of the requested
+           experiments' matrices, then render each in order *)
+        let exps = List.filter_map E.find p.names in
+        if exps <> [] then
+          timed "prefetch" (fun () -> E.prefetch_for exps);
+        List.iter
+          (fun name ->
+            if name = "bechamel" then timed name bechamel
+            else
+              match E.find name with
+              | Some e -> timed name e.E.ex_render
+              | None -> assert false)
+          p.names
+      end;
+      match p.timings_file with
+      | None -> ()
+      | Some file ->
+          write_timings ~file ~jobs:(R.jobs ())
+            ~total_wall:(Unix.gettimeofday () -. t_start)
+            ~experiments:(List.rev !exp_walls)

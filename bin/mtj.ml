@@ -49,6 +49,15 @@ let list_cmd =
 let bench_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
 
+let benches_arg =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"BENCHMARK")
+
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"worker domains for multi-benchmark runs (0 = auto: \
+                 \\$(b,MTJ_JOBS) or the hardware's recommended count)")
+
 let config_arg =
   Arg.(value & opt config_conv R.Pypy_jit & info [ "vm" ] ~docv:"VM"
          ~doc:"VM configuration: cpython, pypy-nojit, pypy, racket, \
@@ -108,14 +117,32 @@ let print_result (r : R.result) show_output =
   end
 
 let run_cmd =
-  let doc = "Run a benchmark under a VM configuration" in
-  let run name vm budget show_output =
-    match R.run ~budget name vm with
-    | r -> print_result r show_output
-    | exception Invalid_argument msg -> Printf.eprintf "error: %s\n" msg
+  let doc =
+    "Run benchmarks under a VM configuration (several benchmarks run in \
+     parallel on worker domains; results print in argument order)"
+  in
+  let run names vm budget jobs show_output =
+    if jobs > 0 then R.set_jobs jobs;
+    (* fill the cache in parallel; a benchmark that fails to run is
+       reported per-name below, after the others have completed *)
+    (try R.prefetch ~budget (List.map (fun n -> (n, vm)) names)
+     with Invalid_argument _ -> ());
+    let ok = ref true in
+    List.iteri
+      (fun i name ->
+        if i > 0 then print_newline ();
+        match R.run ~budget name vm with
+        | r -> print_result r show_output
+        | exception Invalid_argument msg ->
+            ok := false;
+            Printf.eprintf "error: %s\n" msg)
+      names;
+    if not !ok then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ bench_arg $ config_arg $ budget_arg $ show_output_arg)
+    Term.(
+      const run $ benches_arg $ config_arg $ budget_arg $ jobs_arg
+      $ show_output_arg)
 
 (* --- trace --- *)
 

@@ -555,56 +555,81 @@ let jit_activity () =
 
 (* ---------------- ablation of optimizer passes ---------------- *)
 
+let ablation_benches = [ "richards"; "raytrace_simple"; "crypto_pyaes"; "django" ]
+
+let ablation_variants =
+  [
+    ("full", fun (c : Config.t) -> c);
+    ("-fold", fun c -> { c with Config.opt_fold = false });
+    ("-guards", fun c -> { c with Config.opt_guard_elim = false });
+    ("-forward", fun c -> { c with Config.opt_forward = false });
+    ("-virtuals", fun c -> { c with Config.opt_virtuals = false });
+    ("-peel", fun c -> { c with Config.opt_peel = false });
+    ( "none",
+      fun c ->
+        {
+          c with
+          Config.opt_fold = false;
+          opt_guard_elim = false;
+          opt_forward = false;
+          opt_virtuals = false;
+        } );
+  ]
+
+(* one self-contained VM run with a tweaked config; used by the custom
+   sweeps below, outside the (bench, vm_config) memo cache *)
+let py_cycles_of name tweak =
+  let config = tweak (Config.with_budget R.default_budget Config.default) in
+  let b = B.find_exn ~lang:B.Py name in
+  let vm = Mtj_pylite.Vm.create ~config () in
+  match Mtj_pylite.Vm.run_source vm b.B.source with
+  | _ -> Mtj_machine.Engine.total_cycles (Mtj_pylite.Vm.engine vm)
+
+(* split [xs] into consecutive chunks of [n] *)
+let rec chunks n xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let chunk, rest = take n [] xs in
+      chunk :: chunks n rest
+
 let ablation () =
   Render.heading
     "ABLATION: optimizer passes (JIT cycles, normalized to full optimizer)";
   pr "passes: fold=constant folding, guards=guard elimination,\n";
   pr "forward=heap forwarding, virtuals=escape analysis, peel=loop peeling\n\n";
-  let benches = [ "richards"; "raytrace_simple"; "crypto_pyaes"; "django" ] in
-  let variants =
-    [
-      ("full", fun (c : Config.t) -> c);
-      ("-fold", fun c -> { c with Config.opt_fold = false });
-      ("-guards", fun c -> { c with Config.opt_guard_elim = false });
-      ("-forward", fun c -> { c with Config.opt_forward = false });
-      ("-virtuals", fun c -> { c with Config.opt_virtuals = false });
-      ("-peel", fun c -> { c with Config.opt_peel = false });
-      ( "none",
-        fun c ->
-          {
-            c with
-            Config.opt_fold = false;
-            opt_guard_elim = false;
-            opt_forward = false;
-            opt_virtuals = false;
-          } );
-    ]
+  (* the (bench x variant) matrix is embarrassingly parallel: each cell
+     is its own VM.  Cells come back in matrix order, so the rendered
+     table is identical at any -j. *)
+  let matrix =
+    List.concat_map
+      (fun name -> List.map (fun (_, tweak) -> (name, tweak)) ablation_variants)
+      ablation_benches
   in
-  let cycles_of name tweak =
-    let config =
-      tweak (Config.with_budget R.default_budget Config.default)
-    in
-    let b = B.find_exn ~lang:B.Py name in
-    let vm = Mtj_pylite.Vm.create ~config () in
-    match Mtj_pylite.Vm.run_source vm b.B.source with
-    | _ ->
-        Mtj_machine.Engine.total_cycles (Mtj_pylite.Vm.engine vm)
+  let cells =
+    R.parallel_map (fun (name, tweak) -> py_cycles_of name tweak) matrix
   in
   let rows =
-    List.map
-      (fun name ->
-        let full = cycles_of name (fun c -> c) in
-        name
-        :: List.map
-             (fun (_, tweak) ->
-               let c = cycles_of name tweak in
-               Printf.sprintf "%.2fx" (c /. full))
-             variants)
-      benches
+    List.map2
+      (fun name cells ->
+        (* variant 0 is "full": the normalization baseline *)
+        let full = List.hd cells in
+        name :: List.map (fun c -> Printf.sprintf "%.2fx" (c /. full)) cells)
+      ablation_benches
+      (chunks (List.length ablation_variants) cells)
   in
-  Render.table ~header:("benchmark" :: List.map fst variants) ~rows
+  Render.table ~header:("benchmark" :: List.map fst ablation_variants) ~rows
 
 (* ---------------- extension: two-tier compilation ---------------- *)
+
+let tiers_benches =
+  [ "richards"; "crypto_pyaes"; "spectral_norm"; "float"; "django";
+    "fannkuch" ]
 
 let tiers () =
   Render.heading
@@ -613,10 +638,7 @@ let tiers () =
   pr "traces hot for %d runs are recompiled through the full optimizer.\n"
     Config.two_tier.Config.tier2_threshold;
   pr "break-even = instructions until cumulative work rate catches CPython.\n\n";
-  let benches =
-    [ "richards"; "crypto_pyaes"; "spectral_norm"; "float"; "django";
-      "fannkuch" ]
-  in
+  let benches = tiers_benches in
   let rows =
     List.map
       (fun name ->
@@ -664,27 +686,30 @@ let thresholds () =
       "pyflate_fast" ]
   in
   let sweep = [ 17; 37; 131; 523; 2099 ] in
-  let cycles_of name threshold =
-    let config =
-      Config.with_budget R.default_budget
-        { Config.default with Config.jit_threshold = threshold }
-    in
-    let b = B.find_exn ~lang:B.Py name in
-    let vm = Mtj_pylite.Vm.create ~config () in
-    match Mtj_pylite.Vm.run_source vm b.B.source with
-    | _ -> Mtj_machine.Engine.total_cycles (Mtj_pylite.Vm.engine vm)
+  let matrix =
+    List.concat_map (fun name -> List.map (fun th -> (name, th)) sweep) benches
+  in
+  let cells =
+    R.parallel_map
+      (fun (name, th) ->
+        py_cycles_of name (fun c -> { c with Config.jit_threshold = th }))
+      matrix
   in
   let rows =
-    List.map
-      (fun name ->
-        let base = cycles_of name 131 in
+    List.map2
+      (fun name cells ->
+        (* normalize to the th=131 cell (the scaled production default) *)
+        let base =
+          List.nth cells
+            (Option.value ~default:0
+               (List.find_index (fun th -> th = 131) sweep))
+        in
         name
         :: List.map
-             (fun th ->
-               let c = cycles_of name th in
-               Printf.sprintf "%.1f (%.2fx)" (c /. 1e6) (c /. base))
-             sweep)
+             (fun c -> Printf.sprintf "%.1f (%.2fx)" (c /. 1e6) (c /. base))
+             cells)
       benches
+      (chunks (List.length sweep) cells)
   in
   Render.table
     ~header:
@@ -700,22 +725,129 @@ let thresholds () =
      the default -- which is why PyPy ships an aggressive 1039 despite\n\
      the compile-time it spends on marginal loops.\n"
 
+(* ---------------- the experiment registry ---------------- *)
+
+(* Each experiment declares the (benchmark, vm_config) matrix it reads
+   up front; the harness prefetches the union through the worker pool,
+   then the renderers replay against the warm cache in deterministic
+   order.  Experiments that sweep custom configs (ablation, thresholds)
+   have an empty matrix and parallelize internally via
+   [Runner.parallel_map]. *)
+
+type experiment = {
+  ex_name : string;
+  ex_doc : string;
+  ex_runs : unit -> (string * R.vm_config) list;
+  ex_render : unit -> unit;
+}
+
+let suite_runs configs () =
+  List.concat_map
+    (fun n -> List.map (fun c -> (n, c)) configs)
+    (suite_names ())
+
+(* suite_by_speedup's row ordering needs these two columns *)
+let order_runs = suite_runs [ R.Cpython; R.Pypy_jit ]
+
+let table2_runs () =
+  let native_names =
+    List.map (fun k -> k.Mtj_baselines.Native.kname) Mtj_baselines.Native.kernels
+  in
+  let rk = clbg_rk_names () in
+  List.concat_map
+    (fun n ->
+      [ (n, R.Cpython); (n, R.Pypy_jit) ]
+      @ (if List.mem n native_names then [ (n, R.Native_c) ] else [])
+      @
+      if List.mem n rk then [ (n, R.Racket); (n, R.Pycket_jit) ] else [])
+    (clbg_py_names ())
+
+let fig4_runs () =
+  List.concat_map
+    (fun n -> [ (n, R.Pypy_jit); (n, R.Pycket_jit) ])
+    (clbg_common ())
+
+let tiers_runs () =
+  List.concat_map
+    (fun n -> [ (n, R.Pypy_jit); (n, R.Pypy_tiered); (n, R.Cpython) ])
+    tiers_benches
+
+let registry : experiment list =
+  [
+    { ex_name = "table1";
+      ex_doc = "PyPy-suite performance (time, IPC, MPKI x 3 VMs)";
+      ex_runs = suite_runs [ R.Cpython; R.Pypy_nojit; R.Pypy_jit ];
+      ex_render = table1 };
+    { ex_name = "table2";
+      ex_doc = "CLBG performance across languages + C";
+      ex_runs = table2_runs;
+      ex_render = table2 };
+    { ex_name = "table3";
+      ex_doc = "significant AOT functions called from traces";
+      ex_runs = order_runs;
+      ex_render = table3 };
+    { ex_name = "table4";
+      ex_doc = "per-phase microarchitectural statistics";
+      ex_runs = suite_runs [ R.Pypy_jit ];
+      ex_render = table4 };
+    { ex_name = "fig2";
+      ex_doc = "phase breakdown per benchmark";
+      ex_runs = order_runs;
+      ex_render = fig2 };
+    { ex_name = "fig3";
+      ex_doc = "phase timeline during warmup";
+      ex_runs = order_runs;
+      ex_render = fig3 };
+    { ex_name = "fig4";
+      ex_doc = "PyPy vs Pycket phase breakdown (CLBG)";
+      ex_runs = fig4_runs;
+      ex_render = fig4 };
+    { ex_name = "fig5";
+      ex_doc = "warmup curves and break-even points";
+      ex_runs = suite_runs [ R.Cpython; R.Pypy_nojit; R.Pypy_jit ];
+      ex_render = fig5 };
+    { ex_name = "fig6";
+      ex_doc = "IR nodes compiled / hotness / dynamic rate";
+      ex_runs = order_runs;
+      ex_render = fig6 };
+    { ex_name = "fig7";
+      ex_doc = "meta-trace composition by IR category";
+      ex_runs = order_runs;
+      ex_render = fig7 };
+    { ex_name = "fig8";
+      ex_doc = "dynamic IR node-type histogram";
+      ex_runs = order_runs;
+      ex_render = fig8 };
+    { ex_name = "fig9";
+      ex_doc = "x86 instructions per IR node type";
+      ex_runs = order_runs;
+      ex_render = fig9 };
+    { ex_name = "activity";
+      ex_doc = "JIT machinery counters (extension)";
+      ex_runs = order_runs;
+      ex_render = jit_activity };
+    { ex_name = "ablation";
+      ex_doc = "optimizer-pass ablation (extension)";
+      ex_runs = (fun () -> []);
+      ex_render = ablation };
+    { ex_name = "tiers";
+      ex_doc = "two-tier compilation: warmup vs steady state (extension)";
+      ex_runs = tiers_runs;
+      ex_render = tiers };
+    { ex_name = "thresholds";
+      ex_doc = "hot-loop threshold sensitivity (extension)";
+      ex_runs = (fun () -> []);
+      ex_render = thresholds };
+  ]
+
+let find name = List.find_opt (fun e -> e.ex_name = name) registry
+
+(** fill the memo cache for a set of experiments in one parallel wave *)
+let prefetch_for (exps : experiment list) =
+  R.prefetch (List.concat_map (fun e -> e.ex_runs ()) exps)
+
 (* ---------------- everything ---------------- *)
 
 let all () =
-  table1 ();
-  table2 ();
-  table3 ();
-  table4 ();
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  fig7 ();
-  fig8 ();
-  fig9 ();
-  jit_activity ();
-  ablation ();
-  tiers ();
-  thresholds ()
+  prefetch_for registry;
+  List.iter (fun e -> e.ex_render ()) registry

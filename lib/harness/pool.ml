@@ -1,0 +1,153 @@
+(** Fixed-size worker pool over raw OCaml 5 domains.
+
+    Built from [Domain] + [Mutex]/[Condition] only (no dependency on a
+    scheduler library).  Jobs are closures submitted to a shared queue;
+    each returns its value through a future, and an exception raised by
+    a job is captured with its backtrace and re-raised at [await] time
+    in the submitting domain.
+
+    Spawning a pool calls {!Mtj_rt.Aot.freeze}: all global registration
+    in the runtime happens at module-initialization time, and freezing
+    the registry before the first worker exists is what makes its
+    lock-free concurrent reads sound (see DESIGN.md, "Domain-safety
+    audit"). *)
+
+type job = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type 'a state =
+  | Pending
+  | Value of 'a
+  | Error of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  flock : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
+(* the default worker count: MTJ_JOBS if set, else what the hardware
+   recommends *)
+let default_jobs () =
+  match Sys.getenv_opt "MTJ_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker t =
+  Mutex.lock t.lock;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some job -> Some job
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          next ()
+        end
+  in
+  let job = next () in
+  Mutex.unlock t.lock;
+  match job with
+  | None -> ()
+  | Some job ->
+      job ();
+      worker t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  Mtj_rt.Aot.freeze ();
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t f =
+  let fut = { flock = Mutex.create (); fdone = Condition.create (); state = Pending } in
+  let job () =
+    let outcome =
+      match f () with
+      | v -> Value v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.flock;
+    fut.state <- outcome;
+    Condition.broadcast fut.fdone;
+    Mutex.unlock fut.flock
+  in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock;
+  fut
+
+(* wait without raising; used internally so [map] can drain every
+   future before propagating the first failure *)
+let await_result fut =
+  Mutex.lock fut.flock;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fdone fut.flock;
+        wait ()
+    | Value v -> Ok v
+    | Error (e, bt) -> Stdlib.Error (e, bt)
+  in
+  let r = wait () in
+  Mutex.unlock fut.flock;
+  r
+
+let await fut =
+  match await_result fut with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers
+
+(** [map ~jobs f xs] applies [f] to every element of [xs] on a temporary
+    pool of [jobs] workers and returns the results in list order.  All
+    jobs run to completion even if some fail; the first failure (in list
+    order) is then re-raised with its original backtrace.  With one job
+    (or one element) it degrades to [List.map] on the calling domain. *)
+let map ~jobs f xs =
+  let n = List.length xs in
+  let jobs = min (max 1 jobs) n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let t = create ~jobs in
+    let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+    let results = List.map await_result futs in
+    shutdown t;
+    List.map
+      (function
+        | Ok v -> v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      results
+  end
+
+let iter ~jobs f xs = ignore (map ~jobs (fun x -> f x; ()) xs)

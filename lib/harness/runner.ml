@@ -196,17 +196,115 @@ let run_uncached ?budget (bench_name : string) (vc : vm_config) : result =
 
 (* --- memoized entry point --- *)
 
+(* The cache is shared across domains; every access happens under
+   [cache_lock].  The (long) simulation itself runs outside the lock:
+   [prefetch] deduplicates keys before fanning out, so no key is
+   computed twice, and a racing duplicate would in any case store an
+   identical (deterministic) result. *)
+
 let cache : (string * vm_config, result) Hashtbl.t = Hashtbl.create 128
+let run_walls : (string * vm_config, float) Hashtbl.t = Hashtbl.create 128
+let cache_lock = Mutex.create ()
+
+let with_cache_lock f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
 
 let run ?budget (bench_name : string) (vc : vm_config) : result =
-  match Hashtbl.find_opt cache (bench_name, vc) with
+  let key = (bench_name, vc) in
+  match with_cache_lock (fun () -> Hashtbl.find_opt cache key) with
   | Some r -> r
   | None ->
+      let t0 = Unix.gettimeofday () in
       let r = run_uncached ?budget bench_name vc in
-      Hashtbl.replace cache (bench_name, vc) r;
+      let wall = Unix.gettimeofday () -. t0 in
+      with_cache_lock (fun () ->
+          Hashtbl.replace cache key r;
+          Hashtbl.replace run_walls key wall);
       r
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () =
+  with_cache_lock (fun () ->
+      Hashtbl.reset cache;
+      Hashtbl.reset run_walls)
+
+(* --- parallel execution --- *)
+
+(* the -j setting; 0 means "auto" (MTJ_JOBS, else the hardware) *)
+let jobs_setting = Atomic.make 0
+let set_jobs n = Atomic.set jobs_setting (max 0 n)
+let jobs () =
+  let n = Atomic.get jobs_setting in
+  if n > 0 then n else Pool.default_jobs ()
+
+(** [parallel_map f xs] maps [f] over [xs] on the configured number of
+    worker domains (capped at the list length), preserving list order.
+    [f] must be self-contained: create its VMs and run them entirely
+    within the call. *)
+let parallel_map ?jobs:j f xs =
+  let j = match j with Some j -> j | None -> jobs () in
+  Pool.map ~jobs:j f xs
+
+(** [prefetch pairs] fills the memo cache for every (benchmark,
+    vm_config) pair, running the missing ones in parallel.  Renderers
+    that subsequently call {!run} read cached results in their own
+    deterministic order, so output is byte-identical to a serial run. *)
+let prefetch ?jobs:j ?budget (pairs : (string * vm_config) list) =
+  let seen = Hashtbl.create 64 in
+  let pending =
+    List.filter
+      (fun key ->
+        (not (Hashtbl.mem seen key))
+        && begin
+             Hashtbl.replace seen key ();
+             not (with_cache_lock (fun () -> Hashtbl.mem cache key))
+           end)
+      pairs
+  in
+  ignore
+    (parallel_map ?jobs:j
+       (fun (b, vc) -> ignore (run ?budget b vc))
+       pending)
+
+(** [run_many pairs] = prefetch in parallel, then return the results in
+    input order. *)
+let run_many ?jobs:j ?budget (pairs : (string * vm_config) list) :
+    result list =
+  prefetch ?jobs:j ?budget pairs;
+  List.map (fun (b, vc) -> run ?budget b vc) pairs
+
+(* --- timing report --- *)
+
+type run_timing = {
+  rt_bench : string;
+  rt_config : vm_config;
+  rt_wall_s : float;
+  rt_insns : int;
+  rt_cycles : float;
+}
+
+(** wall-clock and simulated work of every cached run, sorted by
+    (benchmark, config) for stable reporting *)
+let run_timings () : run_timing list =
+  with_cache_lock (fun () ->
+      Hashtbl.fold
+        (fun ((b, vc) as key) (r : result) acc ->
+          let wall =
+            Option.value ~default:0.0 (Hashtbl.find_opt run_walls key)
+          in
+          {
+            rt_bench = b;
+            rt_config = vc;
+            rt_wall_s = wall;
+            rt_insns = r.insns;
+            rt_cycles = r.cycles;
+          }
+          :: acc)
+        cache [])
+  |> List.sort (fun a b ->
+         match compare a.rt_bench b.rt_bench with
+         | 0 -> compare (config_name a.rt_config) (config_name b.rt_config)
+         | c -> c)
 
 (* --- derived metrics --- *)
 
@@ -224,4 +322,6 @@ let phase_fraction r p =
   let total = List.fold_left (fun acc (_, n) -> acc + n) 0 r.phase_insns in
   if total = 0 then 0.0
   else
-    float_of_int (List.assoc p r.phase_insns) /. float_of_int total
+    (* a phase absent from the annotation stream contributes 0, it is
+       not an error *)
+    float_of_int (phase_insns_of r p) /. float_of_int total

@@ -11,8 +11,11 @@ type t = {
   counters : Counters.t;
   mutable phase : Phase.t;
   mutable phase_stack : Phase.t list;
-  mutable listeners : listener list;
+  mutable listeners : listener array;
   mutable interp_width : float;
+  mutable inv_width : float;  (* 1 / width(phase), kept in sync on phase
+                                 changes so the per-instruction paths
+                                 multiply instead of divide *)
   mutable insns : int;
   mutable cycles : float;
   mispredict_penalty : float;
@@ -27,15 +30,14 @@ let create ?(config = Config.default) () =
     counters = Counters.create ();
     phase = Phase.Interpreter;
     phase_stack = [];
-    listeners = [];
+    listeners = [||];
     interp_width = 2.0;
+    inv_width = 1.0 /. 2.0;
     insns = 0;
     cycles = 0.0;
     mispredict_penalty = 14.0;
     miss_penalty = 18.0;
   }
-
-let set_interp_width t w = t.interp_width <- w
 
 (* Issue widths for code styles that are properties of the framework
    rather than of the hosted VM.  JIT trace code is dense straight-line
@@ -49,6 +51,12 @@ let width t = function
   | Phase.Gc_minor | Phase.Gc_major -> 2.0
   | Phase.Blackhole -> 1.05
 
+let refresh_width t = t.inv_width <- 1.0 /. width t t.phase
+
+let set_interp_width t w =
+  t.interp_width <- w;
+  refresh_width t
+
 let bump_insns t n =
   t.insns <- t.insns + n;
   if t.insns > t.cfg.Config.insn_budget then raise Budget_exhausted
@@ -56,7 +64,7 @@ let bump_insns t n =
 let emit t cost =
   let n = Cost.total cost in
   if n > 0 then begin
-    let cy = float_of_int n /. width t t.phase in
+    let cy = float_of_int n *. t.inv_width in
     t.cycles <- t.cycles +. cy;
     Counters.add_bundle t.counters t.phase cost ~cycles:cy;
     bump_insns t n
@@ -65,8 +73,7 @@ let emit t cost =
 let branch t ~site ~taken =
   let correct = Predictor.conditional t.predictor ~site ~taken in
   let cy =
-    (1.0 /. width t t.phase)
-    +. (if correct then 0.0 else t.mispredict_penalty)
+    t.inv_width +. (if correct then 0.0 else t.mispredict_penalty)
   in
   t.cycles <- t.cycles +. cy;
   Counters.add_branch t.counters t.phase ~mispredicted:(not correct) ~cycles:cy;
@@ -75,8 +82,7 @@ let branch t ~site ~taken =
 let branch_indirect t ~site ~target =
   let correct = Predictor.indirect t.predictor ~site ~target in
   let cy =
-    (1.0 /. width t t.phase)
-    +. (if correct then 0.0 else t.mispredict_penalty)
+    t.inv_width +. (if correct then 0.0 else t.mispredict_penalty)
   in
   t.cycles <- t.cycles +. cy;
   Counters.add_branch t.counters t.phase ~mispredicted:(not correct) ~cycles:cy;
@@ -87,7 +93,7 @@ let mem_access t ~addr ~write =
   let cost =
     if write then Cost.make ~store:1 () else Cost.make ~load:1 ()
   in
-  let cy = 1.0 /. width t t.phase in
+  let cy = t.inv_width in
   t.cycles <- t.cycles +. cy;
   Counters.add_bundle t.counters t.phase cost ~cycles:cy;
   if not hit then begin
@@ -97,12 +103,16 @@ let mem_access t ~addr ~write =
   bump_insns t 1
 
 let annot t a =
-  List.iter (fun l -> l ~insns:t.insns a) t.listeners
+  let ls = t.listeners in
+  for i = 0 to Array.length ls - 1 do
+    (Array.unsafe_get ls i) ~insns:t.insns a
+  done
 
 let push_phase t p =
   annot t (Annot.Phase_push p);
   t.phase_stack <- t.phase :: t.phase_stack;
-  t.phase <- p
+  t.phase <- p;
+  refresh_width t
 
 let pop_phase t =
   match t.phase_stack with
@@ -111,6 +121,7 @@ let pop_phase t =
       let popped = t.phase in
       t.phase <- p;
       t.phase_stack <- rest;
+      refresh_width t;
       (* delivered after restoring, so listeners reading [current_phase]
          see the parent phase while the annotation names the popped one *)
       annot t (Annot.Phase_pop popped)
@@ -127,7 +138,9 @@ let in_phase t p f =
       pop_phase t;
       raise e
 
-let add_listener t l = t.listeners <- l :: t.listeners
+(* prepend, like the cons it replaces, so dispatch order is unchanged;
+   attachment is rare, delivery is the hot path *)
+let add_listener t l = t.listeners <- Array.append [| l |] t.listeners
 let total_insns t = t.insns
 let total_cycles t = t.cycles
 let counters t = t.counters

@@ -1,17 +1,39 @@
-(** Global registry of compiled pylite code objects, resolving the
-    [code_ref]s carried by function values and resume snapshots. *)
+(** Registry of compiled pylite code objects, resolving the [code_ref]s
+    carried by function values and resume snapshots.
 
-let table : (int, Bytecode.code) Hashtbl.t = Hashtbl.create 256
-let next_id = ref 0
+    The table is domain-local: a VM is created, compiled and run on one
+    domain, and resolves only its own code objects, so domains never
+    share entries (and never race).  {!reset} — called from [Vm.create]
+    — restarts the id sequence at zero, which matters because code ids
+    feed branch-predictor site hashes in the driver: with a per-VM id
+    sequence, a run's simulated behaviour is independent of whatever ran
+    before it, on any domain.  Entries of a previous VM on the same
+    domain are dropped by the reset; they are unreachable by then (a VM
+    only resolves code_refs while it runs). *)
+
+type store = {
+  table : (int, Bytecode.code) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { table = Hashtbl.create 256; next_id = 0 })
+
+let reset () =
+  let s = Domain.DLS.get store_key in
+  Hashtbl.reset s.table;
+  s.next_id <- 0
 
 let fresh_id () =
-  let id = !next_id in
-  incr next_id;
+  let s = Domain.DLS.get store_key in
+  let id = s.next_id in
+  s.next_id <- id + 1;
   id
 
-let register (c : Bytecode.code) = Hashtbl.replace table c.Bytecode.id c
+let register (c : Bytecode.code) =
+  Hashtbl.replace (Domain.DLS.get store_key).table c.Bytecode.id c
 
 let lookup id =
-  match Hashtbl.find_opt table id with
+  match Hashtbl.find_opt (Domain.DLS.get store_key).table id with
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "unknown pylite code_ref %d" id)

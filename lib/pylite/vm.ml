@@ -62,6 +62,9 @@ let bind_builtins rtc globals =
   Globals.define globals "math" math
 
 let create ?(config = Config.default) ?(profile = Profile.rpython_interp) () =
+  (* fresh per-VM code-id sequence: simulated behaviour must not depend
+     on what compiled before us on this domain (see Code_table) *)
+  Code_table.reset ();
   let rtc = Ctx.create ~config () in
   let globals = Globals.create () in
   bind_builtins rtc globals;

@@ -54,26 +54,29 @@ let range_to_list ctx (r : Value.t) =
       Value.Obj (Rlist.create ctx (List.rev !items))
   | v -> v
 
-(* builtin function values are shared singletons so that calling them
-   allocates nothing; their [code_ref] is the negated builtin tag *)
-let builtin_funcs : (Builtin.t, Value.t) Hashtbl.t = Hashtbl.create 64
-
+(* builtin function values are per-VM singletons so that calling them
+   allocates nothing after the first use; their [code_ref] is the
+   negated builtin tag.  The memo table lives in the runtime context
+   (not a process-wide global) so each VM's builtins live in its own
+   simulated heap — see the parallel-harness notes in DESIGN.md. *)
 let builtin_value ctx b =
-  match Hashtbl.find_opt builtin_funcs b with
+  let cache = Ctx.builtin_cache ctx in
+  let tag = Builtin.tag b in
+  match Hashtbl.find_opt cache tag with
   | Some v -> v
   | None ->
       let v =
         Gc_sim.obj (Ctx.gc ctx)
           (Value.Func
              {
-               func_id = -(1 + Builtin.tag b);
+               func_id = -(1 + tag);
                func_name = Builtin.name b;
                arity = -1;
-               code_ref = -(1 + Builtin.tag b);
+               code_ref = -(1 + tag);
                captured = [||];
              })
       in
-      Hashtbl.replace builtin_funcs b v;
+      Hashtbl.replace cache tag v;
       v
 
 let builtin_of_code_ref cr =

@@ -52,6 +52,9 @@ module Make (L : Ops_intf.LANG) = struct
   }
 
   let create ?(profile = Profile.rpython_interp) rtc globals =
+    (* per-VM id sequences restart at zero so a run's simulated
+       behaviour does not depend on what ran before it on this domain *)
+    Recorder.reset_guard_ids ();
     let t =
       {
         rtc;

@@ -587,7 +587,9 @@ let max_virtuals =
   | Some s -> (try int_of_string s with _ -> max_int)
   | None -> max_int
 
-let virtuals_seen = ref 0
+(* shared across domains; only consulted when MTJ_MAX_VIRTUALS is set,
+   so an atomic is plenty *)
+let virtuals_seen = Atomic.make 0
 
 let pass_virtuals_once cfg (ops : Ir.op array)
     (subst0 : (int, Ir.operand) Hashtbl.t) ~(forced : IntSet.t) =
@@ -614,8 +616,7 @@ let pass_virtuals_once cfg (ops : Ir.op array)
     else
       IntSet.filter
         (fun r ->
-          incr virtuals_seen;
-          let keep = !virtuals_seen <= max_virtuals in
+          let keep = 1 + Atomic.fetch_and_add virtuals_seen 1 <= max_virtuals in
           if keep && Sys.getenv_opt "MTJ_DEBUG_VIRTUALS" <> None then begin
             Printf.eprintf "VIRTUALIZING reg %d in trace of %d ops\n"
               r (Array.length ops);

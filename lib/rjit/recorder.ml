@@ -20,11 +20,23 @@ exception Abort of string
 
 type tval = { v : Value.t; src : Ir.operand }
 
-let next_guard_id = ref 0
+(* Guard ids only need to be unique within one VM (bridges attach to
+   guards through the VM's own jitlog), but their numeric value feeds
+   branch-predictor site hashes in the executor, so they must be
+   reproducible run-to-run.  The counter is domain-local — no cross-
+   domain races — and [Driver.create] resets it, so every VM sees the
+   same id sequence no matter which domain it runs on or what ran
+   before it. *)
+let next_guard_id : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
 let fresh_guard_id () =
-  let id = !next_guard_id in
-  incr next_guard_id;
+  let r = Domain.DLS.get next_guard_id in
+  let id = !r in
+  incr r;
   id
+
+let reset_guard_ids () = Domain.DLS.get next_guard_id := 0
 
 type t = {
   rtc : Ctx.t;

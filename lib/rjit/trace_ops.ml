@@ -134,11 +134,37 @@ let func_captured cx (tv : t) i =
   | _ -> err "bad closure environment access"
 
 (* closures allocate via a residual call so each trace iteration gets a
-   fresh function object with its own captured cells *)
-let closure_rc_tbl : (int, Ir.rescall) Hashtbl.t = Hashtbl.create 16
+   fresh function object with its own captured cells.  The memo table is
+   domain-local (code_refs are only unique within a VM, and VMs on other
+   domains must not observe this domain's entries), and keyed by the
+   full (code_ref, arity, fname) triple so that a code_ref reused by a
+   later VM on the same domain cannot alias a stale closure. *)
+let closure_rc_tbl_key :
+    (int * int * string, Ir.rescall) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+(* Pre-register every AOT name that is minted lazily during tracing
+   (inside [neg], [compare], [setitem], [unpack], global load/store and
+   [closure_rc] below).  After {!Aot.freeze} the registry rejects new
+   names, so each of these must already exist before the first worker
+   domain spawns; the lazy [rc] calls then resolve to these entries. *)
+let () =
+  List.iter
+    (fun (name, src) -> ignore (Aot.register ~name ~src))
+    [
+      ("interp.make_closure", Aot.I);
+      ("W_Object.descr_neg", Aot.I);
+      ("W_Object.descr_richcompare", Aot.I);
+      ("W_Object.descr_setitem", Aot.I);
+      ("W_Object.descr_unpack", Aot.I);
+      ("Module.getdictvalue", Aot.I);
+      ("Module.setdictvalue", Aot.I);
+    ]
 
 let closure_rc code_ref arity fname =
-  match Hashtbl.find_opt closure_rc_tbl code_ref with
+  let tbl = Domain.DLS.get closure_rc_tbl_key in
+  let key = (code_ref, arity, fname) in
+  match Hashtbl.find_opt tbl key with
   | Some r -> r
   | None ->
       let r =
@@ -155,7 +181,7 @@ let closure_rc code_ref arity fname =
                  }))
           ~effectful:false
       in
-      Hashtbl.replace closure_rc_tbl code_ref r;
+      Hashtbl.replace tbl key r;
       r
 
 let make_closure cx ~code_ref ~arity ~fname (captured : t array) =
@@ -797,20 +823,25 @@ let builtin_effectful (b : Builtin.t) =
       true
   | _ -> false
 
+(* Populated eagerly for every builtin at module-initialization time
+   (single-domain, before Aot freezes), after which the table is
+   read-only and safe to consult from any domain without a lock. *)
 let rc_builtin_tbl : (Builtin.t, Ir.rescall) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  List.iter
+    (fun b ->
+      let name, src = builtin_aot_name b in
+      Hashtbl.replace rc_builtin_tbl b
+        (rc name src
+           (fun c a -> Builtins_impl.run c b a)
+           ~effectful:(builtin_effectful b)))
+    Builtin.all
 
 let rc_builtin b =
   match Hashtbl.find_opt rc_builtin_tbl b with
   | Some r -> r
-  | None ->
-      let name, src = builtin_aot_name b in
-      let r =
-        rc name src
-          (fun c a -> Builtins_impl.run c b a)
-          ~effectful:(builtin_effectful b)
-      in
-      Hashtbl.replace rc_builtin_tbl b r;
-      r
+  | None -> invalid_arg ("rc_builtin: unregistered builtin " ^ Builtin.name b)
 
 let call_builtin cx (b : Builtin.t) (args : t array) : t =
   match b with

@@ -1,16 +1,35 @@
-(** Registry of compiled rklite code objects. *)
+(** Registry of compiled rklite code objects.
 
-let table : (int, Kbytecode.code) Hashtbl.t = Hashtbl.create 128
-let next_id = ref 1_000_000  (* disjoint from pylite ids, for sanity *)
+    Domain-local, reset per VM from [Kvm.create] — same reproducibility
+    and isolation story as [Mtj_pylite.Code_table].  Ids start at
+    1_000_000, disjoint from pylite ids, for sanity. *)
+
+let first_id = 1_000_000
+
+type store = {
+  table : (int, Kbytecode.code) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { table = Hashtbl.create 128; next_id = first_id })
+
+let reset () =
+  let s = Domain.DLS.get store_key in
+  Hashtbl.reset s.table;
+  s.next_id <- first_id
 
 let fresh_id () =
-  let id = !next_id in
-  incr next_id;
+  let s = Domain.DLS.get store_key in
+  let id = s.next_id in
+  s.next_id <- id + 1;
   id
 
-let register (c : Kbytecode.code) = Hashtbl.replace table c.Kbytecode.id c
+let register (c : Kbytecode.code) =
+  Hashtbl.replace (Domain.DLS.get store_key).table c.Kbytecode.id c
 
 let lookup id =
-  match Hashtbl.find_opt table id with
+  match Hashtbl.find_opt (Domain.DLS.get store_key).table id with
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "unknown rklite code_ref %d" id)

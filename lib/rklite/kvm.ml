@@ -44,6 +44,8 @@ let install_pair_class rtc globals =
   Globals.define globals "%pair" cls
 
 let create ?(config = Config.default) ?(profile = Profile.rpython_interp) () =
+  (* fresh per-VM code-id sequence (see Kcode_table) *)
+  Kcode_table.reset ();
   let rtc = Ctx.create ~config () in
   let globals = Globals.create () in
   install_pair_class rtc globals;

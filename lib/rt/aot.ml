@@ -9,15 +9,39 @@ let registry : (string, fn) Hashtbl.t = Hashtbl.create 64
 let by_id : (int, fn) Hashtbl.t = Hashtbl.create 64
 let next_id = ref 0
 
+(* The registry is written during module initialization (every runtime
+   module registers its functions at load time) and then frozen by the
+   harness before any worker domain starts.  After [freeze], the tables
+   are read-only and may be consulted from any domain without taking
+   [lock]; a registration of a genuinely new name after the freeze is a
+   programming error and raises. *)
+let lock = Mutex.create ()
+let frozen = ref false
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let freeze () = frozen := true
+let is_frozen () = !frozen
+
 let register ~name ~src =
   match Hashtbl.find_opt registry name with
   | Some fn -> fn
+  | None when !frozen ->
+      invalid_arg
+        ("Aot.register: registry is frozen but " ^ name
+       ^ " was never registered during startup")
   | None ->
-      let fn = { id = !next_id; name; src } in
-      incr next_id;
-      Hashtbl.replace registry name fn;
-      Hashtbl.replace by_id fn.id fn;
-      fn
+      with_lock (fun () ->
+          match Hashtbl.find_opt registry name with
+          | Some fn -> fn
+          | None ->
+              let fn = { id = !next_id; name; src } in
+              incr next_id;
+              Hashtbl.replace registry name fn;
+              Hashtbl.replace by_id fn.id fn;
+              fn)
 
 let id fn = fn.id
 let name fn = fn.name

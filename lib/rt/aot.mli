@@ -23,7 +23,20 @@ type src =
 type fn
 
 val register : name:string -> src:src -> fn
-(** Register (or look up, if already registered) a function by name. *)
+(** Register (or look up, if already registered) a function by name.
+    Registration of new names is only legal before {!freeze}; afterwards
+    the call degrades to a (domain-safe, lock-free) lookup and raises
+    [Invalid_argument] on an unknown name. *)
+
+val freeze : unit -> unit
+(** Mark startup registration as complete.  All runtime modules register
+    their functions at module-initialization time, so by the time a
+    worker domain can exist the registry is fully populated; freezing
+    makes the tables read-only so concurrent domains can consult them
+    without synchronization.  Called by the harness (and by
+    {!Mtj_harness.Pool}) before the first domain is spawned. *)
+
+val is_frozen : unit -> bool
 
 val id : fn -> int
 val name : fn -> string

@@ -6,15 +6,22 @@ type t = {
   engine : Mtj_machine.Engine.t;
   gc : Gc_sim.t;
   out : Buffer.t;  (* program output (print), kept off stdout for benches *)
+  builtin_cache : (int, Value.t) Hashtbl.t;
+      (* builtin function singletons, keyed by builtin tag.  Per-context
+         (rather than a process-wide table) so every VM allocates its
+         builtins in its own simulated heap: runs stay independent of
+         which VM happened to run first, which is what makes results
+         reproducible under the parallel harness. *)
 }
 
 let create ?config () =
   let config = Option.value ~default:Mtj_core.Config.default config in
   let engine = Mtj_machine.Engine.create ~config () in
   let gc = Gc_sim.create engine config in
-  { engine; gc; out = Buffer.create 256 }
+  { engine; gc; out = Buffer.create 256; builtin_cache = Hashtbl.create 64 }
 
 let engine t = t.engine
 let gc t = t.gc
 let out t = t.out
+let builtin_cache t = t.builtin_cache
 let config t = Mtj_machine.Engine.config t.engine

@@ -19,5 +19,6 @@ let () =
       ("jit-opt-property", Test_opt_prop.suite);
       ("lang-internals", Test_lang_internals.suite);
       ("error-paths", Test_errors.suite);
+      ("pool", Test_pool.suite);
       ("integration", Test_integration.suite);
     ]
