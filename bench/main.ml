@@ -80,60 +80,12 @@ let bechamel () =
         res)
     tests
 
-(* --- timing report (--timings FILE) --- *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let write_timings ~file ~jobs ~total_wall
-    ~(experiments : (string * float) list) =
-  let oc = open_out file in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"mtj-bench-timings/1\",\n";
-  p "  \"jobs\": %d,\n" jobs;
-  p "  \"total_wall_s\": %.6f,\n" total_wall;
-  p "  \"experiments\": [\n";
-  List.iteri
-    (fun i (name, wall) ->
-      p "    {\"name\": \"%s\", \"wall_s\": %.6f}%s\n" (json_escape name)
-        wall
-        (if i = List.length experiments - 1 then "" else ","))
-    experiments;
-  p "  ],\n";
-  p "  \"runs\": [\n";
-  let runs = R.run_timings () in
-  List.iteri
-    (fun i (rt : R.run_timing) ->
-      p
-        "    {\"bench\": \"%s\", \"config\": \"%s\", \"wall_s\": %.6f, \
-         \"insns\": %d, \"cycles\": %.1f}%s\n"
-        (json_escape rt.R.rt_bench)
-        (json_escape (R.config_name rt.R.rt_config))
-        rt.R.rt_wall_s rt.R.rt_insns rt.R.rt_cycles
-        (if i = List.length runs - 1 then "" else ","))
-    runs;
-  p "  ]\n";
-  p "}\n";
-  close_out oc;
-  Printf.eprintf "[timings written to %s]\n%!" file
-
 (* --- argument handling --- *)
 
 let usage () =
   print_endline
-    "usage: main.exe [-j N] [--timings FILE] [all | bechamel | <experiment> ...]";
+    "usage: main.exe [-j N] [--timings FILE] [--metrics-out FILE] [all | \
+     bechamel | <experiment> ...]";
   print_endline "experiments:";
   List.iter
     (fun (e : E.experiment) ->
@@ -145,6 +97,7 @@ type parsed = {
   run_all : bool;
   jobs : int option;
   timings_file : string option;
+  metrics_file : string option;
   help : bool;
 }
 
@@ -158,6 +111,8 @@ let parse_args argv =
     | [ ("-j" | "--jobs") ] -> Error "-j requires an argument"
     | "--timings" :: f :: rest -> go { acc with timings_file = Some f } rest
     | [ "--timings" ] -> Error "--timings requires an argument"
+    | "--metrics-out" :: f :: rest -> go { acc with metrics_file = Some f } rest
+    | [ "--metrics-out" ] -> Error "--metrics-out requires an argument"
     | ("help" | "--help" | "-h") :: rest -> go { acc with help = true } rest
     | "all" :: rest -> go { acc with run_all = true } rest
     | name :: _ when String.length name > 0 && name.[0] = '-' ->
@@ -166,7 +121,7 @@ let parse_args argv =
   in
   go
     { names = []; run_all = false; jobs = None; timings_file = None;
-      help = false }
+      metrics_file = None; help = false }
     argv
 
 let () =
@@ -224,9 +179,20 @@ let () =
               | None -> assert false)
           p.names
       end;
-      match p.timings_file with
+      (match p.timings_file with
       | None -> ()
       | Some file ->
-          write_timings ~file ~jobs:(R.jobs ())
+          Mtj_harness.Report.write_timings ~file ~jobs:(R.jobs ())
             ~total_wall:(Unix.gettimeofday () -. t_start)
-            ~experiments:(List.rev !exp_walls)
+            ~experiments:(List.rev !exp_walls));
+      match p.metrics_file with
+      | None -> ()
+      | Some file ->
+          (* every cached run, in the stable (bench, config) order of the
+             timing report *)
+          let results =
+            List.map
+              (fun (rt : R.run_timing) -> R.run rt.R.rt_bench rt.R.rt_config)
+              (R.run_timings ())
+          in
+          Mtj_harness.Report.write_metrics ~file results

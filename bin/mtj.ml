@@ -146,46 +146,99 @@ let run_cmd =
 
 (* --- trace --- *)
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"record the run's cross-layer event stream and write it as \
+                 Chrome trace-event JSON (load in Perfetto or \
+                 chrome://tracing)")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"write the run's per-phase and per-trace counters as \
+                 versioned JSON")
+
 let trace_cmd =
-  let doc = "Dump the JIT traces compiled for a benchmark" in
-  let run name budget =
+  let doc =
+    "Dump the JIT traces compiled for a benchmark, or (with \
+     $(b,--trace-out)/$(b,--metrics-out)) export the run's timeline and \
+     counters as JSON"
+  in
+  let run name budget trace_out metrics_out =
+    let observing = trace_out <> None || metrics_out <> None in
     let config =
       Mtj_core.Config.with_budget budget Mtj_core.Config.default
     in
-    let jl, header =
+    let attach eng =
+      if observing then Some (Mtj_obs.Sink.attach eng) else None
+    in
+    let status_of = function
+      | Mtj_rjit.Driver.Completed _ -> "ok"
+      | Mtj_rjit.Driver.Budget_exceeded -> "budget"
+      | Mtj_rjit.Driver.Runtime_error _ -> "failed"
+    in
+    let jl, header, eng, rtc, sink, status =
       match B.find ~lang:B.Py name with
       | Some b ->
           let vm = Mtj_pylite.Vm.create ~config () in
-          ignore (Mtj_pylite.Vm.run_source vm b.B.source);
-          (Mtj_pylite.Vm.jitlog vm, "pylite")
+          let eng = Mtj_pylite.Vm.engine vm in
+          let sink = attach eng in
+          let outcome = Mtj_pylite.Vm.run_source vm b.B.source in
+          ( Mtj_pylite.Vm.jitlog vm, "pylite", eng, Mtj_pylite.Vm.rtc vm,
+            sink, status_of outcome )
       | None ->
           let b = B.find_exn ~lang:B.Rk name in
           let vm = Mtj_rklite.Kvm.create ~config () in
-          ignore (Mtj_rklite.Kvm.run_source vm b.B.source);
-          (Mtj_rklite.Kvm.jitlog vm, "rklite")
+          let eng = Mtj_rklite.Kvm.engine vm in
+          let sink = attach eng in
+          let outcome = Mtj_rklite.Kvm.run_source vm b.B.source in
+          ( Mtj_rklite.Kvm.jitlog vm, "rklite", eng, Mtj_rklite.Kvm.rtc vm,
+            sink, status_of outcome )
     in
-    Printf.printf "%s: %d traces, %d aborts, %d deopts\n\n" header
-      (Mtj_rjit.Jitlog.num_traces jl)
-      jl.Mtj_rjit.Jitlog.aborts jl.Mtj_rjit.Jitlog.deopts;
-    List.iter
-      (fun (tr : Mtj_rjit.Ir.trace) ->
-        Printf.printf "=== trace %d  %s  ops=%d  entries=%d\n" tr.trace_id
-          (match tr.kind with
-          | Mtj_rjit.Ir.Loop { loop_code; loop_pc } ->
-              Printf.sprintf "loop code=%d pc=%d" loop_code loop_pc
-          | Mtj_rjit.Ir.Bridge { from_guard; _ } ->
-              Printf.sprintf "bridge from guard %d" from_guard)
-          (Array.length tr.ops) tr.exec_count;
-        Array.iteri
-          (fun i (op : Mtj_rjit.Ir.op) ->
-            Printf.printf "%4d [%9d] %s%s\n" i tr.op_exec.(i)
-              (if i = tr.loop_start && tr.loop_start > 0 then "LOOP: " else "")
-              (Format.asprintf "%a" Mtj_rjit.Ir.pp_op op))
-          tr.ops;
-        print_newline ())
-      (Mtj_rjit.Jitlog.traces jl)
+    Option.iter Mtj_obs.Sink.finalize sink;
+    (match (trace_out, sink) with
+    | Some file, Some s ->
+        Mtj_obs.Chrome_trace.write ~bench:name ~vm:header ~file s;
+        Printf.eprintf "[trace written to %s]\n%!" file
+    | _ -> ());
+    (match metrics_out with
+    | Some file ->
+        let run_record =
+          Mtj_obs.Metrics.run_json ~bench:name ~config:header ~status
+            ~engine:eng ~jitlog:jl
+            ~gc:(Mtj_rt.Gc_sim.stats (Mtj_rt.Ctx.gc rtc))
+            ?ticks:(Option.map Mtj_obs.Sink.ticks sink) ()
+        in
+        Mtj_obs.Metrics.write ~file ~runs:[ run_record ];
+        Printf.eprintf "[metrics written to %s]\n%!" file
+    | None -> ());
+    if not observing then begin
+      Printf.printf "%s: %d traces, %d aborts, %d deopts\n\n" header
+        (Mtj_rjit.Jitlog.num_traces jl)
+        jl.Mtj_rjit.Jitlog.aborts jl.Mtj_rjit.Jitlog.deopts;
+      List.iter
+        (fun (tr : Mtj_rjit.Ir.trace) ->
+          Printf.printf "=== trace %d  %s  ops=%d  entries=%d\n" tr.trace_id
+            (match tr.kind with
+            | Mtj_rjit.Ir.Loop { loop_code; loop_pc } ->
+                Printf.sprintf "loop code=%d pc=%d" loop_code loop_pc
+            | Mtj_rjit.Ir.Bridge { from_guard; _ } ->
+                Printf.sprintf "bridge from guard %d" from_guard)
+            (Array.length tr.ops) tr.exec_count;
+          Array.iteri
+            (fun i (op : Mtj_rjit.Ir.op) ->
+              Printf.printf "%4d [%9d] %s%s\n" i tr.op_exec.(i)
+                (if i = tr.loop_start && tr.loop_start > 0 then "LOOP: "
+                 else "")
+                (Format.asprintf "%a" Mtj_rjit.Ir.pp_op op))
+            tr.ops;
+          print_newline ())
+        (Mtj_rjit.Jitlog.traces jl)
+    end
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ bench_arg $ budget_arg)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ bench_arg $ budget_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- exec --- *)
 

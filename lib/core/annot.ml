@@ -7,6 +7,8 @@ type t =
   | Aot_exit of int
   | Trace_enter of int
   | Trace_exit of int
+  | Trace_compile of int
+  | Trace_abort of int
   | Guard_fail of int
   | App_marker of int
 
@@ -19,6 +21,8 @@ let to_string = function
   | Aot_exit id -> Printf.sprintf "aot_exit:%d" id
   | Trace_enter id -> Printf.sprintf "trace_enter:%d" id
   | Trace_exit id -> Printf.sprintf "trace_exit:%d" id
+  | Trace_compile id -> Printf.sprintf "trace_compile:%d" id
+  | Trace_abort code -> Printf.sprintf "trace_abort:%d" code
   | Guard_fail id -> Printf.sprintf "guard_fail:%d" id
   | App_marker id -> Printf.sprintf "app_marker:%d" id
 

@@ -27,6 +27,12 @@ type t =
   | Aot_exit of int   (** Leaving AOT-compiled runtime function [id]. *)
   | Trace_enter of int  (** Execution enters compiled trace [id]. *)
   | Trace_exit of int   (** Execution leaves compiled trace [id]. *)
+  | Trace_compile of int
+      (** The backend finished assembling trace [id] (loop or bridge);
+          emitted under the [Tracing] phase, at the end of the compile. *)
+  | Trace_abort of int
+      (** A recording session aborted; the payload is the [code_ref] of
+          the loop header the session started from. *)
   | Guard_fail of int   (** Guard [id] failed; deoptimization follows. *)
   | App_marker of int
       (** Application-level annotation emitted through the language-level

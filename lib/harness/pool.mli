@@ -1,0 +1,42 @@
+(** Fixed-size worker pool over raw OCaml 5 domains.
+
+    Built from [Domain] + [Mutex]/[Condition] only (no dependency on a
+    scheduler library).  Jobs are closures submitted to a shared queue;
+    each returns its value through a future, and an exception raised by
+    a job is captured with its backtrace and re-raised at {!await} time
+    in the submitting domain.
+
+    Spawning a pool calls [Mtj_rt.Aot.freeze]: all global registration
+    in the runtime happens at module-initialization time, and freezing
+    the registry before the first worker exists is what makes its
+    lock-free concurrent reads sound (see DESIGN.md, "Domain-safety
+    audit"). *)
+
+type t
+
+type 'a future
+
+val default_jobs : unit -> int
+(** [MTJ_JOBS] if set and valid, else the hardware's recommendation. *)
+
+val create : jobs:int -> t
+(** Spawn [max 1 jobs] worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the job finishes; re-raises its exception (with the
+    original backtrace) if it failed. *)
+
+val shutdown : t -> unit
+(** Close the queue, let queued jobs drain, and join every worker. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] on a temporary pool of [jobs] workers
+    and returns the results in list order.  All jobs run to completion
+    even if some fail; the first failure (in list order) is then
+    re-raised with its original backtrace.  With one job (or one
+    element) it degrades to [List.map] on the calling domain. *)
+
+val iter : jobs:int -> ('a -> unit) -> 'a list -> unit

@@ -1,0 +1,35 @@
+(** ASCII rendering helpers for the tables and figures. *)
+
+val pr : ('a, out_channel, unit) format -> 'a
+(** [Printf.printf]. *)
+
+val heading : string -> unit
+val subheading : string -> unit
+
+val table : header:string list -> rows:string list list -> unit
+(** Column-aligned table with a rule under the header. *)
+
+val f1 : float -> string
+(** one decimal place *)
+
+val f2 : float -> string
+(** two decimal places *)
+
+val phase_letter : Mtj_core.Phase.t -> char
+(** Letter codes for the stacked bars (I/T/J/C/G/B/N). *)
+
+val phase_legend : string
+
+val stacked_bar : ?width:int -> (Mtj_core.Phase.t * float) list -> string
+(** A stacked horizontal bar: each (phase, fraction) gets proportional
+    width, rendered with the phase's letter. *)
+
+val sparkline : ?vmax:float -> float array -> string
+(** Density sparkline over [\[0, vmax\]] (default: the data maximum). *)
+
+val simple_bar : ?width:int -> float -> string
+(** A plain [#] bar for a fraction in [\[0, 1\]]. *)
+
+val mean_std : float list -> float * float
+(** Population mean and standard deviation; [(0, 0)] on the empty
+    list. *)

@@ -1,0 +1,99 @@
+module J = Mtj_obs.Json
+module Metrics = Mtj_obs.Metrics
+module Counters = Mtj_machine.Counters
+module R = Runner
+
+(* --- bench timings ("mtj-bench-timings/1") --- *)
+
+let timings_json ~jobs ~total_wall ~experiments ~runs =
+  J.Obj
+    [
+      ("schema", J.Str "mtj-bench-timings/1");
+      ("jobs", J.Int jobs);
+      ("total_wall_s", J.Float total_wall);
+      ( "experiments",
+        J.Arr
+          (List.map
+             (fun (name, wall) ->
+               J.Obj [ ("name", J.Str name); ("wall_s", J.Float wall) ])
+             experiments) );
+      ( "runs",
+        J.Arr
+          (List.map
+             (fun (rt : R.run_timing) ->
+               J.Obj
+                 [
+                   ("bench", J.Str rt.R.rt_bench);
+                   ("config", J.Str (R.config_name rt.R.rt_config));
+                   ("wall_s", J.Float rt.R.rt_wall_s);
+                   ("insns", J.Int rt.R.rt_insns);
+                   ("cycles", J.Float rt.R.rt_cycles);
+                 ])
+             runs) );
+    ]
+
+let write_timings ~file ~jobs ~total_wall ~experiments =
+  J.write_file ~indent:2 ~file
+    (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
+  Printf.eprintf "[timings written to %s]\n%!" file
+
+(* --- metrics ("mtj-metrics/1") --- *)
+
+let status_name = function
+  | R.Ok_run -> "ok"
+  | R.Hit_budget -> "budget"
+  | R.Failed _ -> "failed"
+
+let jit_json (j : R.jit_stats) =
+  J.Obj
+    [
+      ("num_traces", J.Int j.R.traces);
+      ("aborts", J.Int j.R.aborts);
+      ("deopts", J.Int j.R.deopts);
+      ("bridges_attached", J.Int j.R.bridges);
+      ("blacklisted", J.Int j.R.blacklisted);
+      ("retiers", J.Int j.R.retiers);
+      ("total_ir_compiled", J.Int j.R.ir_compiled);
+      ("total_dynamic_ir", J.Int j.R.ir_dynamic);
+      ( "traces",
+        J.Arr
+          (List.map
+             (fun (tr : R.trace_row) ->
+               J.Obj
+                 [
+                   ("id", J.Int tr.R.tr_id);
+                   ("kind", J.Str tr.R.tr_kind);
+                   ("tier", J.Int tr.R.tr_tier);
+                   ("loop_code", J.Int tr.R.tr_loop_code);
+                   ("static_ops", J.Int tr.R.tr_static_ops);
+                   ("entries", J.Int tr.R.tr_entries);
+                   ("dynamic_ir", J.Int tr.R.tr_dynamic_ir);
+                 ])
+             j.R.trace_rows) );
+    ]
+
+let metrics_json (r : R.result) =
+  let phase_rows =
+    List.filter_map
+      (fun (p, s) ->
+        if s.Counters.insns = 0 then None
+        else Some (Mtj_core.Phase.name p, Metrics.snapshot_json s))
+      r.R.per_phase
+  in
+  J.Obj
+    [
+      ("bench", J.Str r.R.bench_name);
+      ("config", J.Str (R.config_name r.R.config));
+      ("status", J.Str (status_name r.R.status));
+      ("insns", J.Int r.R.insns);
+      ("cycles", J.Float r.R.cycles);
+      ("ticks", J.Int r.R.ticks);
+      ( "phases",
+        J.Obj (phase_rows @ [ ("total", Metrics.snapshot_json r.R.total) ]) );
+      ("gc", Metrics.gc_json r.R.gc);
+      ("jit", match r.R.jit with Some j -> jit_json j | None -> J.Null);
+    ]
+
+let write_metrics ~file results =
+  Metrics.write ~file ~runs:(List.map metrics_json results);
+  Printf.eprintf "[metrics written to %s]\n%!" file

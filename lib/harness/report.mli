@@ -1,0 +1,36 @@
+(** Machine-readable reports over {!Runner} results.
+
+    Two versioned JSON documents, both built on {!Mtj_obs.Json} and
+    checked by {!Mtj_obs.Validate}:
+
+    - ["mtj-bench-timings/1"] — per-experiment and per-run wall-clock of
+      a bench invocation ([--timings FILE]);
+    - ["mtj-metrics/1"] — the full cross-layer counter export of a set
+      of runs ([--metrics-out FILE]): per-phase machine counters with
+      derived rates, GC statistics, JIT machinery counters and per-trace
+      rows. *)
+
+val timings_json :
+  jobs:int ->
+  total_wall:float ->
+  experiments:(string * float) list ->
+  runs:Runner.run_timing list ->
+  Mtj_obs.Json.t
+
+val write_timings :
+  file:string ->
+  jobs:int ->
+  total_wall:float ->
+  experiments:(string * float) list ->
+  unit
+(** Render {!timings_json} over [Runner.run_timings ()] and write it. *)
+
+val status_name : Runner.status -> string
+(** ["ok"], ["budget"] or ["failed"]. *)
+
+val metrics_json : Runner.result -> Mtj_obs.Json.t
+(** One ["mtj-metrics/1"] run record, built purely from the memoized
+    result (no live engine needed). *)
+
+val write_metrics : file:string -> Runner.result list -> unit
+(** Wrap the run records into the versioned document and write it. *)

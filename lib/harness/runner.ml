@@ -33,6 +33,18 @@ let config_name = function
 
 type status = Ok_run | Hit_budget | Failed of string
 
+(* one row per compiled trace, in compilation order; everything the
+   metrics export needs, without retaining the trace IR itself *)
+type trace_row = {
+  tr_id : int;
+  tr_kind : string;  (* "loop" | "bridge" *)
+  tr_tier : int;
+  tr_loop_code : int;
+  tr_static_ops : int;
+  tr_entries : int;
+  tr_dynamic_ir : int;
+}
+
 type jit_stats = {
   traces : int;
   bridges : int;
@@ -46,6 +58,7 @@ type jit_stats = {
   by_category : (Ir.cat * int) list;
   by_node_type : (string * int) list;
   x86_per_type : (string * float) list;
+  trace_rows : trace_row list;
 }
 
 type result = {
@@ -103,6 +116,24 @@ let jit_stats_of jl =
     by_category = Jitlog.dynamic_by_category jl;
     by_node_type = Jitlog.dynamic_by_node_type jl;
     x86_per_type = Jitlog.x86_per_node_type jl;
+    trace_rows =
+      List.map
+        (fun (tr : Ir.trace) ->
+          let kind, loop_code =
+            match tr.Ir.kind with
+            | Ir.Loop { loop_code; _ } -> ("loop", loop_code)
+            | Ir.Bridge { loop_code; _ } -> ("bridge", loop_code)
+          in
+          {
+            tr_id = tr.Ir.trace_id;
+            tr_kind = kind;
+            tr_tier = tr.Ir.tier;
+            tr_loop_code = loop_code;
+            tr_static_ops = Array.length tr.Ir.ops;
+            tr_entries = tr.Ir.exec_count;
+            tr_dynamic_ir = Array.fold_left ( + ) 0 tr.Ir.op_exec;
+          })
+        (Jitlog.traces jl);
   }
 
 let aot_ranking attrib =

@@ -1,0 +1,128 @@
+(** Benchmark runner: executes one benchmark under one VM configuration
+    with the full cross-layer instrumentation attached, and collects
+    everything the paper's tables and figures need.  Results are
+    memoized per (benchmark, configuration) since several experiments
+    share runs; {!prefetch} fills the cache from a pool of worker
+    domains, and the simulation is deterministic, so rendered output is
+    byte-identical at any [-j]. *)
+
+(** The VM configurations of the paper's run matrix (Table II). *)
+type vm_config =
+  | Cpython        (** reference C interpreter (pylite) *)
+  | Pypy_nojit     (** RPython-translated interpreter, JIT off *)
+  | Pypy_jit       (** the meta-tracing JIT *)
+  | Pypy_tiered    (** extension: two-tier compile (quick then optimized) *)
+  | Racket         (** custom-JIT reference VM (rklite) *)
+  | Pycket_nojit
+  | Pycket_jit
+  | Native_c       (** statically-compiled kernel *)
+
+val config_name : vm_config -> string
+
+type status = Ok_run | Hit_budget | Failed of string
+
+(** One row per compiled trace, in compilation order; everything the
+    metrics export needs, without retaining the trace IR itself. *)
+type trace_row = {
+  tr_id : int;
+  tr_kind : string;  (** ["loop"] or ["bridge"] *)
+  tr_tier : int;
+  tr_loop_code : int;
+  tr_static_ops : int;
+  tr_entries : int;
+  tr_dynamic_ir : int;
+}
+
+type jit_stats = {
+  traces : int;
+  bridges : int;
+  deopts : int;
+  aborts : int;
+  blacklisted : int;
+  retiers : int;
+  ir_compiled : int;
+  ir_dynamic : int;
+  hot_fraction_95 : float;
+  by_category : (Mtj_rjit.Ir.cat * int) list;
+  by_node_type : (string * int) list;
+  x86_per_type : (string * float) list;
+  trace_rows : trace_row list;
+}
+
+type result = {
+  bench : Mtj_benchmarks.Registry.bench option;  (** [None] for native kernels *)
+  bench_name : string;
+  config : vm_config;
+  status : status;
+  output : string;
+  insns : int;
+  cycles : float;
+  total : Mtj_machine.Counters.snapshot;
+  per_phase : (Mtj_core.Phase.t * Mtj_machine.Counters.snapshot) list;
+  phase_insns : (Mtj_core.Phase.t * int) list;
+      (** from the annotation stream *)
+  timeline : (Mtj_core.Phase.t * float) array array;
+  timeline_bucket : int;
+  ticks : int;  (** dispatch-loop work units *)
+  samples : (int * int) array;  (** warmup curve *)
+  aot_top : (string * string * int) list;  (** (src, name, insns) desc *)
+  jit : jit_stats option;
+  gc : Mtj_rt.Gc_sim.stats;
+}
+
+val default_budget : int
+
+(* --- running --- *)
+
+val run : ?budget:int -> string -> vm_config -> result
+(** Memoized: the first call per (benchmark, config) simulates, later
+    calls return the cached result.  Raises [Invalid_argument] for an
+    unknown benchmark name. *)
+
+val run_many :
+  ?jobs:int -> ?budget:int -> (string * vm_config) list -> result list
+(** {!prefetch} in parallel, then return the results in input order. *)
+
+val prefetch : ?jobs:int -> ?budget:int -> (string * vm_config) list -> unit
+(** Fill the memo cache for every pair, running the missing ones on
+    worker domains.  Renderers that subsequently call {!run} read cached
+    results in their own deterministic order. *)
+
+val clear_cache : unit -> unit
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Map on the configured number of worker domains, preserving order.
+    The function must be self-contained (create its VMs within the
+    call). *)
+
+(* --- the -j setting --- *)
+
+val set_jobs : int -> unit
+(** [0] means "auto" ([MTJ_JOBS], else the hardware's recommendation). *)
+
+val jobs : unit -> int
+
+(* --- timing report --- *)
+
+type run_timing = {
+  rt_bench : string;
+  rt_config : vm_config;
+  rt_wall_s : float;
+  rt_insns : int;
+  rt_cycles : float;
+}
+
+val run_timings : unit -> run_timing list
+(** Wall-clock and simulated work of every cached run, sorted by
+    (benchmark, config) for stable reporting. *)
+
+(* --- derived metrics --- *)
+
+val mcycles : result -> float
+val ipc : result -> float
+val mpki : result -> float
+
+val speedup : baseline:result -> result -> float
+
+val phase_insns_of : result -> Mtj_core.Phase.t -> int
+val phase_fraction : result -> Mtj_core.Phase.t -> float

@@ -1,0 +1,27 @@
+(** Chrome trace-event exporter (loadable in Perfetto / chrome://tracing).
+
+    Renders a {!Sink} recording as the JSON object format: one process
+    ([pid] 1) with three named threads — {e phases} (tid 1: interpreter /
+    tracing / jit / jit_call / blackhole / native spans), {e jit-traces}
+    (tid 2: one span per compiled-trace execution, plus instant events
+    for trace compiles, aborts and guard failures) and {e gc} (tid 3:
+    minor/major collection spans) — and counter tracks (["IPC"],
+    ["branch_miss_rate"], ["cache_miss_rate"], ["work_rate"]) derived
+    from the periodic counter samples.
+
+    Timestamps are simulated cycles.  [B]/[E] events always balance:
+    spans left open by a budget-exhausted run (or by event-buffer
+    overflow) are closed at the final timestamp with
+    [args.auto_closed = true].  The per-phase self time recoverable from
+    the [phase]/[gc] spans equals, cycle for cycle, what
+    {!Mtj_machine.Counters} attributed to each phase between attach and
+    finalize ({!Validate.trace} recomputes and checks this). *)
+
+val schema : string
+(** ["mtj-trace/1"]; written to the document's ["schema"] field. *)
+
+val export : ?bench:string -> ?vm:string -> Sink.t -> Json.t
+(** Build the document (finalizes the sink if needed).  [bench]/[vm]
+    label the process and are recorded under ["otherData"]. *)
+
+val write : ?bench:string -> ?vm:string -> file:string -> Sink.t -> unit

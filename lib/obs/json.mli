@@ -1,0 +1,50 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability exporters ({!Chrome_trace}, {!Metrics}) build
+    documents as values of {!t} and serialize them here; the round-trip
+    tests and the schema validator ({!Validate}) parse reports back with
+    {!parse}.  Self-contained on purpose: the repository deliberately
+    carries no external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** {2 Printing} *)
+
+val to_buffer : ?indent:int -> Buffer.t -> t -> unit
+(** Serialize. [indent] > 0 pretty-prints with that step (default 0:
+    compact). Floats are printed with enough digits to round-trip
+    ([%.17g]); non-finite floats are clamped to [0] so the output is
+    always valid JSON. *)
+
+val to_string : ?indent:int -> t -> string
+
+val write_file : ?indent:int -> file:string -> t -> unit
+(** Serialize to [file] with a trailing newline. *)
+
+(** {2 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. Numbers
+    without [.], [e] or [E] parse as [Int], the rest as [Float]. The
+    error string carries a byte offset. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on non-objects and missing keys). *)
+
+val get_str : t -> string option
+val get_int : t -> int option
+
+val get_num : t -> float option
+(** [Int] or [Float], as a float. *)
+
+val get_arr : t -> t list option
+val get_obj : t -> (string * t) list option

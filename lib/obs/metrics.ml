@@ -1,0 +1,108 @@
+open Mtj_core
+module Counters = Mtj_machine.Counters
+module Engine = Mtj_machine.Engine
+
+let schema = "mtj-metrics/1"
+
+let snapshot_json (s : Counters.snapshot) =
+  let cache_miss_rate =
+    let mem = s.Counters.loads + s.Counters.stores in
+    if mem = 0 then 0.0
+    else float_of_int s.Counters.cache_misses /. float_of_int mem
+  in
+  Json.Obj
+    [
+      ("insns", Json.Int s.Counters.insns);
+      ("cycles", Json.Float s.Counters.cycles);
+      ("branches", Json.Int s.Counters.branches);
+      ("branch_misses", Json.Int s.Counters.branch_misses);
+      ("loads", Json.Int s.Counters.loads);
+      ("stores", Json.Int s.Counters.stores);
+      ("cache_misses", Json.Int s.Counters.cache_misses);
+      ("ipc", Json.Float (Counters.ipc s));
+      ("branch_mpki", Json.Float (Counters.branch_mpki s));
+      ("branch_miss_rate", Json.Float (Counters.branch_miss_rate s));
+      ("cache_miss_rate", Json.Float cache_miss_rate);
+    ]
+
+let phases_json (c : Counters.t) =
+  let rows =
+    List.filter_map
+      (fun p ->
+        let s = Counters.phase c p in
+        if s.Counters.insns = 0 then None
+        else Some (Phase.name p, snapshot_json s))
+      Phase.all
+  in
+  Json.Obj (rows @ [ ("total", snapshot_json (Counters.total c)) ])
+
+let gc_json (g : Mtj_rt.Gc_sim.stats) =
+  Json.Obj
+    [
+      ("minor_collections", Json.Int g.Mtj_rt.Gc_sim.minor_collections);
+      ("major_collections", Json.Int g.Mtj_rt.Gc_sim.major_collections);
+      ("allocated_objects", Json.Int g.Mtj_rt.Gc_sim.allocated_objects);
+      ("allocated_words", Json.Int g.Mtj_rt.Gc_sim.allocated_words);
+      ("promoted_objects", Json.Int g.Mtj_rt.Gc_sim.promoted_objects);
+      ("freed_objects", Json.Int g.Mtj_rt.Gc_sim.freed_objects);
+    ]
+
+let trace_row_json (tr : Mtj_rjit.Ir.trace) =
+  let open Mtj_rjit in
+  let kind, loop_code =
+    match tr.Ir.kind with
+    | Ir.Loop { loop_code; _ } -> ("loop", loop_code)
+    | Ir.Bridge { loop_code; _ } -> ("bridge", loop_code)
+  in
+  let dynamic_ir = Array.fold_left ( + ) 0 tr.Ir.op_exec in
+  Json.Obj
+    [
+      ("id", Json.Int tr.Ir.trace_id);
+      ("kind", Json.Str kind);
+      ("tier", Json.Int tr.Ir.tier);
+      ("loop_code", Json.Int loop_code);
+      ("static_ops", Json.Int (Array.length tr.Ir.ops));
+      ("entries", Json.Int tr.Ir.exec_count);
+      ("dynamic_ir", Json.Int dynamic_ir);
+    ]
+
+let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
+  let open Mtj_rjit in
+  let traces = Jitlog.traces jl in
+  Json.Obj
+    [
+      ("num_traces", Json.Int (Jitlog.num_traces jl));
+      ("aborts", Json.Int jl.Jitlog.aborts);
+      ( "abort_reasons",
+        Json.Obj
+          (List.map
+             (fun (r, n) -> (r, Json.Int n))
+             (List.sort compare jl.Jitlog.abort_reasons)) );
+      ("deopts", Json.Int jl.Jitlog.deopts);
+      ("bridges_attached", Json.Int jl.Jitlog.bridges_attached);
+      ("blacklisted", Json.Int jl.Jitlog.blacklisted);
+      ("retiers", Json.Int jl.Jitlog.retiers);
+      ("total_ir_compiled", Json.Int (Jitlog.total_ir_compiled jl));
+      ("total_dynamic_ir", Json.Int (Jitlog.total_dynamic_ir jl));
+      ("traces", Json.Arr (List.map trace_row_json traces));
+    ]
+
+let run_json ~bench ~config ~status ~engine ?jitlog ?gc ?ticks () =
+  let opt f = function Some v -> f v | None -> Json.Null in
+  Json.Obj
+    [
+      ("bench", Json.Str bench);
+      ("config", Json.Str config);
+      ("status", Json.Str status);
+      ("insns", Json.Int (Engine.total_insns engine));
+      ("cycles", Json.Float (Engine.total_cycles engine));
+      ("ticks", opt (fun n -> Json.Int n) ticks);
+      ("phases", phases_json (Engine.counters engine));
+      ("gc", opt gc_json gc);
+      ("jit", opt jitlog_json jitlog);
+    ]
+
+let document ~runs =
+  Json.Obj [ ("schema", Json.Str schema); ("runs", Json.Arr runs) ]
+
+let write ~file ~runs = Json.write_file ~indent:2 ~file (document ~runs)

@@ -1,0 +1,167 @@
+open Mtj_core
+module Engine = Mtj_machine.Engine
+module Counters = Mtj_machine.Counters
+
+type kind =
+  | Phase_begin of Phase.t
+  | Phase_end of Phase.t
+  | Trace_enter of int
+  | Trace_exit of int
+  | Guard_fail of int
+  | Trace_compile of int
+  | Trace_abort of int
+  | Marker of int
+
+type event = { kind : kind; at_insns : int; at_cycles : float }
+
+type sample = {
+  s_insns : int;
+  s_cycles : float;
+  s_ticks : int;
+  s_counters : Counters.snapshot;
+}
+
+(* Events are stored structure-of-arrays so recording is three unboxed
+   stores and a counter bump: an int tag, an int argument, and the two
+   timestamps.  Tags: 0 phase_begin, 1 phase_end, 2 trace_enter,
+   3 trace_exit, 4 guard_fail, 5 trace_compile, 6 trace_abort, 7 marker. *)
+type t = {
+  eng : Engine.t;
+  capacity : int;
+  tags : int array;
+  args : int array;
+  ev_insns : int array;
+  ev_cycles : float array;
+  mutable n : int;
+  mutable dropped : int;
+  (* counter sampling *)
+  window : int;
+  mutable next_mark : int;
+  mutable ticks : int;
+  mutable rev_samples : sample list;
+  (* run boundaries *)
+  start_phase : Phase.t;
+  start_insns : int;
+  start_cycles : float;
+  mutable end_insns : int;
+  mutable end_cycles : float;
+  mutable finalized : bool;
+}
+
+let take_sample t insns =
+  t.rev_samples <-
+    {
+      s_insns = insns;
+      s_cycles = Engine.total_cycles t.eng;
+      s_ticks = t.ticks;
+      s_counters = Counters.total (Engine.counters t.eng);
+    }
+    :: t.rev_samples
+
+let record t tag arg insns =
+  if t.n < t.capacity then begin
+    let i = t.n in
+    t.tags.(i) <- tag;
+    t.args.(i) <- arg;
+    t.ev_insns.(i) <- insns;
+    t.ev_cycles.(i) <- Engine.total_cycles t.eng;
+    t.n <- i + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let on_annot t ~insns (a : Annot.t) =
+  (match a with
+  | Annot.Phase_push p -> record t 0 (Phase.index p) insns
+  | Annot.Phase_pop p -> record t 1 (Phase.index p) insns
+  | Annot.Trace_enter id -> record t 2 id insns
+  | Annot.Trace_exit id -> record t 3 id insns
+  | Annot.Guard_fail id -> record t 4 id insns
+  | Annot.Trace_compile id -> record t 5 id insns
+  | Annot.Trace_abort code -> record t 6 code insns
+  | Annot.App_marker n -> record t 7 n insns
+  | Annot.Dispatch_tick -> t.ticks <- t.ticks + 1
+  | Annot.Ir_exec _ | Annot.Aot_enter _ | Annot.Aot_exit _ -> ());
+  if insns >= t.next_mark then begin
+    take_sample t insns;
+    t.next_mark <- t.next_mark + t.window
+  end
+
+let attach ?(capacity = 1 lsl 18) ?counter_window eng =
+  let window =
+    match counter_window with
+    | Some w -> max 1 w
+    | None -> (Engine.config eng).Config.sample_window
+  in
+  let capacity = max 16 capacity in
+  let t =
+    {
+      eng;
+      capacity;
+      tags = Array.make capacity 0;
+      args = Array.make capacity 0;
+      ev_insns = Array.make capacity 0;
+      ev_cycles = Array.make capacity 0.0;
+      n = 0;
+      dropped = 0;
+      window;
+      next_mark = Engine.total_insns eng + window;
+      ticks = 0;
+      rev_samples = [];
+      start_phase = Engine.current_phase eng;
+      start_insns = Engine.total_insns eng;
+      start_cycles = Engine.total_cycles eng;
+      end_insns = 0;
+      end_cycles = 0.0;
+      finalized = false;
+    }
+  in
+  (* baseline sample: counter windows are deltas between consecutive
+     samples, so the exporters need the totals at attach time *)
+  take_sample t t.start_insns;
+  Engine.add_listener eng (fun ~insns a -> on_annot t ~insns a);
+  t
+
+let finalize t =
+  if not t.finalized then begin
+    t.end_insns <- Engine.total_insns t.eng;
+    t.end_cycles <- Engine.total_cycles t.eng;
+    take_sample t t.end_insns;
+    t.finalized <- true
+  end
+
+let kind_of t i =
+  let arg = t.args.(i) in
+  match t.tags.(i) with
+  | 0 -> Phase_begin (Phase.of_index arg)
+  | 1 -> Phase_end (Phase.of_index arg)
+  | 2 -> Trace_enter arg
+  | 3 -> Trace_exit arg
+  | 4 -> Guard_fail arg
+  | 5 -> Trace_compile arg
+  | 6 -> Trace_abort arg
+  | 7 -> Marker arg
+  | tag -> invalid_arg (Printf.sprintf "Sink: bad event tag %d" tag)
+
+let event_of t i =
+  { kind = kind_of t i; at_insns = t.ev_insns.(i); at_cycles = t.ev_cycles.(i) }
+
+let events t = Array.init t.n (event_of t)
+
+let iter_events t f =
+  for i = 0 to t.n - 1 do
+    f (event_of t i)
+  done
+
+let samples t = List.rev t.rev_samples
+let num_events t = t.n
+let dropped t = t.dropped
+let ticks t = t.ticks
+let start_phase t = t.start_phase
+let start_insns t = t.start_insns
+let start_cycles t = t.start_cycles
+
+let end_insns t = if t.finalized then t.end_insns else Engine.total_insns t.eng
+let end_cycles t =
+  if t.finalized then t.end_cycles else Engine.total_cycles t.eng
+
+let engine t = t.eng

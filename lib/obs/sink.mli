@@ -1,0 +1,75 @@
+(** Low-overhead structured event sink.
+
+    Attaches to a machine engine as an ordinary annotation listener and
+    records the cross-layer event stream — phase pushes/pops (framework,
+    GC, blackhole), compiled-trace enters/exits, guard failures, trace
+    compiles/aborts, application markers — into a preallocated flat
+    buffer, timestamped with the simulated instruction and cycle counts
+    at the moment each event fired.  Alongside the event stream it takes
+    periodic counter samples (engine counter snapshots + dispatch-tick
+    totals) from which the exporters derive IPC / miss-rate / work-rate
+    counter tracks.
+
+    Disabled by default: a run only pays for the sink when one is
+    attached.  When attached, the per-event cost is a handful of array
+    stores into preallocated arrays — no allocation on the hot path
+    (counter samples, taken every [counter_window] instructions, are the
+    only allocating operation). *)
+
+type t
+
+(** Event kinds, in the order they appear in the stream. *)
+type kind =
+  | Phase_begin of Mtj_core.Phase.t
+  | Phase_end of Mtj_core.Phase.t  (** carries the phase that was popped *)
+  | Trace_enter of int
+  | Trace_exit of int
+  | Guard_fail of int
+  | Trace_compile of int
+  | Trace_abort of int  (** payload: code ref of the aborted loop header *)
+  | Marker of int       (** application-level [annotate(n)] *)
+
+type event = { kind : kind; at_insns : int; at_cycles : float }
+
+(** One periodic counter sample: cumulative totals at the sample point. *)
+type sample = {
+  s_insns : int;
+  s_cycles : float;
+  s_ticks : int;  (** cumulative dispatch ticks *)
+  s_counters : Mtj_machine.Counters.snapshot;  (** engine totals *)
+}
+
+val attach :
+  ?capacity:int -> ?counter_window:int -> Mtj_machine.Engine.t -> t
+(** Register on the engine.  [capacity] bounds the event buffer (default
+    [1 lsl 18] events); once full, further events are counted in
+    {!dropped} but not stored, so the recorded prefix stays well-formed.
+    [counter_window] is the counter-sampling interval in instructions
+    (default: the engine configuration's [sample_window]). *)
+
+val finalize : t -> unit
+(** Record the final timestamps and a closing counter sample.  Call once
+    after the run completes; idempotent. *)
+
+(* --- observation (used by the exporters) --- *)
+
+val events : t -> event array
+(** The recorded events, oldest first.  Allocates; call after the run. *)
+
+val iter_events : t -> (event -> unit) -> unit
+val samples : t -> sample list
+(** Counter samples, oldest first.  The first sample is the baseline
+    taken at attach time; {!finalize} appends a closing sample. *)
+
+val num_events : t -> int
+val dropped : t -> int
+val ticks : t -> int
+
+val start_phase : t -> Mtj_core.Phase.t
+(** The engine's current phase when the sink attached (the root span). *)
+
+val start_insns : t -> int
+val start_cycles : t -> float
+val end_insns : t -> int
+val end_cycles : t -> float
+val engine : t -> Mtj_machine.Engine.t

@@ -1,0 +1,235 @@
+type trace_stats = {
+  events : int;
+  duration_tracks : int;
+  counter_tracks : int;
+  instants : int;
+  auto_closed : int;
+  phase_self_cycles : (string * float) list;
+}
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Invalid msg)) fmt
+
+let need what = function Some v -> v | None -> fail "missing %s" what
+
+let str_field j key =
+  need (key ^ " (string)") (Option.bind (Json.member key j) Json.get_str)
+
+let int_field j key =
+  need (key ^ " (int)") (Option.bind (Json.member key j) Json.get_int)
+
+let num_field j key =
+  need (key ^ " (number)") (Option.bind (Json.member key j) Json.get_num)
+
+let arr_field j key =
+  need (key ^ " (array)") (Option.bind (Json.member key j) Json.get_arr)
+
+let check_schema j expected =
+  let s = str_field j "schema" in
+  if s <> expected then fail "schema %S, expected %S" s expected
+
+let wrap f j = match f j with v -> Ok v | exception Invalid msg -> Error msg
+
+(* --- chrome trace --- *)
+
+let trace_exn j =
+  check_schema j "mtj-trace/1";
+  let events = arr_field j "traceEvents" in
+  (* per-tid span stacks: tid -> (name, begin ts) list *)
+  let stacks : (int, (string * float) list) Hashtbl.t = Hashtbl.create 8 in
+  let counter_names = Hashtbl.create 8 in
+  let duration_tids = Hashtbl.create 8 in
+  let instants = ref 0 in
+  let auto_closed = ref 0 in
+  let prev_ts = ref neg_infinity in
+  (* innermost-phase attribution over the combined phase/gc stream *)
+  let phase_self : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let phase_stack = ref [] in
+  let phase_last_ts = ref 0.0 in
+  let accrue ts =
+    (match !phase_stack with
+    | [] -> ()
+    | top :: _ ->
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt phase_self top) in
+        Hashtbl.replace phase_self top (prev +. (ts -. !phase_last_ts)));
+    phase_last_ts := ts
+  in
+  let n = ref 0 in
+  List.iteri
+    (fun i ev ->
+      incr n;
+      let ph = str_field ev "ph" in
+      if ph = "M" then ()
+      else begin
+        let ts = num_field ev "ts" in
+        if Float.is_nan ts then fail "event %d: NaN timestamp" i;
+        if ts < !prev_ts then
+          fail "event %d: timestamp %g before previous %g" i ts !prev_ts;
+        prev_ts := ts;
+        let tid = int_field ev "tid" in
+        match ph with
+        | "B" ->
+            let name = str_field ev "name" in
+            let cat = str_field ev "cat" in
+            Hashtbl.replace duration_tids tid ();
+            let st =
+              Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+            in
+            Hashtbl.replace stacks tid ((name, ts) :: st);
+            if cat = "phase" || cat = "gc" then begin
+              accrue ts;
+              phase_stack := name :: !phase_stack
+            end
+        | "E" -> (
+            let name = str_field ev "name" in
+            let cat = str_field ev "cat" in
+            (match Option.bind (Json.member "args" ev)
+                     (Json.member "auto_closed")
+             with
+            | Some (Json.Bool true) -> incr auto_closed
+            | _ -> ());
+            (match Hashtbl.find_opt stacks tid with
+            | Some ((open_name, _) :: rest) ->
+                if open_name <> name then
+                  fail "event %d: E %S closes open span %S on tid %d" i name
+                    open_name tid;
+                Hashtbl.replace stacks tid rest
+            | _ -> fail "event %d: E %S on tid %d with no open span" i name tid);
+            match cat with
+            | "phase" | "gc" -> (
+                accrue ts;
+                match !phase_stack with
+                | top :: rest ->
+                    if top <> name then
+                      fail "event %d: phase E %S but innermost phase is %S" i
+                        name top;
+                    phase_stack := rest
+                | [] -> fail "event %d: phase E %S with empty phase stack" i name)
+            | _ -> ())
+        | "i" ->
+            ignore (str_field ev "name");
+            incr instants
+        | "C" ->
+            let name = str_field ev "name" in
+            let v =
+              need "counter args.value"
+                (Option.bind
+                   (Option.bind (Json.member "args" ev) (Json.member "value"))
+                   Json.get_num)
+            in
+            if Float.is_nan v || v = Float.infinity || v < 0.0 then
+              fail "event %d: counter %S has bad value %g" i name v;
+            Hashtbl.replace counter_names name ()
+        | ph -> fail "event %d: unknown ph %S" i ph
+      end)
+    events;
+  Hashtbl.iter
+    (fun tid st ->
+      match st with
+      | [] -> ()
+      | (name, _) :: _ -> fail "span %S left open on tid %d" name tid)
+    stacks;
+  if !phase_stack <> [] then fail "phase stack not empty at end of stream";
+  let phase_self_cycles =
+    List.filter_map
+      (fun p ->
+        let name = Mtj_core.Phase.name p in
+        Option.map (fun c -> (name, c)) (Hashtbl.find_opt phase_self name))
+      Mtj_core.Phase.all
+  in
+  {
+    events = !n;
+    duration_tracks = Hashtbl.length duration_tids;
+    counter_tracks = Hashtbl.length counter_names;
+    instants = !instants;
+    auto_closed = !auto_closed;
+    phase_self_cycles;
+  }
+
+let trace = wrap trace_exn
+
+(* --- metrics --- *)
+
+let check_rate run what j key =
+  match Option.bind (Json.member key j) Json.get_num with
+  | None -> fail "run %s: %s missing %s" run what key
+  | Some v ->
+      if Float.is_nan v || v < 0.0 || v > 1.0 then
+        fail "run %s: %s %s=%g outside [0,1]" run what key v
+
+let check_snapshot run what j =
+  List.iter
+    (fun key ->
+      if int_field j key < 0 then fail "run %s: %s %s negative" run what key)
+    [ "insns"; "branches"; "branch_misses"; "loads"; "stores"; "cache_misses" ];
+  if num_field j "cycles" < 0.0 then fail "run %s: %s cycles negative" run what;
+  if num_field j "ipc" < 0.0 then fail "run %s: %s ipc negative" run what;
+  check_rate run what j "branch_miss_rate";
+  check_rate run what j "cache_miss_rate"
+
+let metrics_exn j =
+  check_schema j "mtj-metrics/1";
+  let runs = arr_field j "runs" in
+  List.iter
+    (fun run ->
+      let label =
+        Printf.sprintf "%s/%s" (str_field run "bench") (str_field run "config")
+      in
+      ignore (str_field run "status");
+      let insns = int_field run "insns" in
+      if insns < 0 then fail "run %s: negative insns" label;
+      if num_field run "cycles" < 0.0 then fail "run %s: negative cycles" label;
+      let phases =
+        need "phases (object)"
+          (Option.bind (Json.member "phases" run) Json.get_obj)
+      in
+      let total =
+        need (label ^ " phases.total")
+          (List.assoc_opt "total" phases)
+      in
+      check_snapshot label "total" total;
+      let sum = ref 0 in
+      List.iter
+        (fun (name, snap) ->
+          if name <> "total" then begin
+            check_snapshot label name snap;
+            sum := !sum + int_field snap "insns"
+          end)
+        phases;
+      let total_insns = int_field total "insns" in
+      if !sum <> total_insns then
+        fail "run %s: per-phase insns sum %d <> total %d" label !sum total_insns;
+      if total_insns <> insns then
+        fail "run %s: phases.total.insns %d <> run insns %d" label total_insns
+          insns)
+    runs;
+  List.length runs
+
+let metrics = wrap metrics_exn
+
+(* --- bench timings --- *)
+
+let timings_exn j =
+  check_schema j "mtj-bench-timings/1";
+  if int_field j "jobs" < 1 then fail "jobs < 1";
+  if num_field j "total_wall_s" < 0.0 then fail "negative total_wall_s";
+  List.iter
+    (fun e ->
+      ignore (str_field e "name");
+      if num_field e "wall_s" < 0.0 then
+        fail "experiment %s: negative wall_s" (str_field e "name"))
+    (arr_field j "experiments");
+  let runs = arr_field j "runs" in
+  List.iter
+    (fun r ->
+      let label =
+        Printf.sprintf "%s/%s" (str_field r "bench") (str_field r "config")
+      in
+      if num_field r "wall_s" < 0.0 then fail "run %s: negative wall_s" label;
+      if int_field r "insns" < 0 then fail "run %s: negative insns" label;
+      if num_field r "cycles" < 0.0 then fail "run %s: negative cycles" label)
+    runs;
+  List.length runs
+
+let timings = wrap timings_exn

@@ -59,6 +59,7 @@ let attach ?(bucket_insns = 50_000) engine =
              pop annotation is delivered *)
       | Annot.Dispatch_tick | Annot.Ir_exec _ | Annot.Aot_enter _
       | Annot.Aot_exit _ | Annot.Trace_enter _ | Annot.Trace_exit _
+      | Annot.Trace_compile _ | Annot.Trace_abort _
       | Annot.Guard_fail _ | Annot.App_marker _ ->
           ());
   t

@@ -35,7 +35,8 @@ let attach ?window engine =
           done
       | Annot.Phase_push _ | Annot.Phase_pop _ | Annot.Ir_exec _
       | Annot.Aot_enter _ | Annot.Aot_exit _ | Annot.Trace_enter _
-      | Annot.Trace_exit _ | Annot.Guard_fail _ | Annot.App_marker _ ->
+      | Annot.Trace_exit _ | Annot.Trace_compile _ | Annot.Trace_abort _
+      | Annot.Guard_fail _ | Annot.App_marker _ ->
           ());
   t
 

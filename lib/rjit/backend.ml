@@ -61,4 +61,5 @@ let compile jitlog rtc ~(kind : Ir.trace_kind) ~entry_slots
     }
   in
   Jitlog.register jitlog trace;
+  Engine.annot eng (Annot.Trace_compile trace.Ir.trace_id);
   trace

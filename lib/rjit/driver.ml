@@ -332,6 +332,7 @@ module Make (L : Ops_intf.LANG) = struct
         rebuild_saved saved orig_parent
     | Closed_return _ -> assert false (* loops never record [finish] *)
     | Aborted (msg, saved) ->
+        Engine.annot eng (Annot.Trace_abort (fst key));
         Jitlog.record_abort t.jitlog msg;
         site.aborts <- site.aborts + 1;
         site.counter <- 0;
@@ -458,6 +459,7 @@ module Make (L : Ops_intf.LANG) = struct
         compile_bridge ops;
         continue_after_region_return ~orig_parent ~discard:region_discard v
     | Aborted (msg, saved) ->
+        Engine.annot eng (Annot.Trace_abort (fst loop_key));
         Jitlog.record_abort t.jitlog msg;
         g.Ir.bridgeable <- false;
         J_frame (rebuild_saved saved orig_parent)

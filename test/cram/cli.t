@@ -31,6 +31,28 @@ output is identical either way:
   $ ../../bin/mtj.exe exec hot.py --tiered 2>/dev/null | head -1
   1999000
 
+A run can be recorded through the observability sink and exported as a
+Chrome trace-event timeline (Perfetto-loadable) plus a versioned
+metrics document; both must satisfy the schema validator (balanced
+B/E spans, phases + jit-traces + gc tracks, counter tracks, per-phase
+counters consistent with the totals):
+
+  $ ../../bin/mtj.exe trace binarytrees --budget 2000000 \
+  >   --trace-out t.json --metrics-out m.json
+  [trace written to t.json]
+  [metrics written to m.json]
+  $ ../validate_obs.exe trace t.json
+  trace OK: balanced spans on 3 tracks, 4 counter tracks
+  $ ../validate_obs.exe metrics m.json
+  metrics OK: 1 run record
+
+The validator rejects a corrupted artifact:
+
+  $ sed 's|mtj-trace/1|mtj-trace/9|' t.json > broken.json
+  $ ../validate_obs.exe trace broken.json
+  broken.json: invalid trace: schema "mtj-trace/9", expected "mtj-trace/1"
+  [1]
+
 Scheme sources run on the rklite VM:
 
   $ cat > loop.scm <<'SCM'

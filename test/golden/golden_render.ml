@@ -1,0 +1,66 @@
+(* Golden-file driver for lib/harness/render.ml.
+
+   Renders two small experiments over live (deterministic) simulated
+   runs; dune diffs the output byte-for-byte against the committed
+   .expected files, so any drift in table layout, bar/sparkline
+   rendering, number formatting, or the simulation itself fails
+   `dune runtest`.  After an intentional change, refresh with
+   `dune promote`. *)
+
+module R = Mtj_harness.Runner
+module Rd = Mtj_harness.Render
+
+let budget = 2_000_000
+let benches = [ "nbody"; "richards" ]
+let configs = [ R.Cpython; R.Pypy_nojit; R.Pypy_jit ]
+
+let pairs =
+  List.concat_map (fun b -> List.map (fun c -> (b, c)) configs) benches
+
+(* experiment 1: the Table-I-style per-VM summary *)
+let table () =
+  R.prefetch ~jobs:2 ~budget pairs;
+  Rd.heading "golden: per-VM cycle summary (2 M insn budget)";
+  Rd.table
+    ~header:[ "bench"; "vm"; "Mcycles"; "IPC"; "MPKI" ]
+    ~rows:
+      (List.map
+         (fun (b, c) ->
+           let r = R.run ~budget b c in
+           [
+             b;
+             R.config_name c;
+             Rd.f2 (R.mcycles r);
+             Rd.f2 (R.ipc r);
+             Rd.f1 (R.mpki r);
+           ])
+         pairs)
+
+(* experiment 2: the Figure-2/5-style phase bars and warmup sparkline *)
+let figures () =
+  R.prefetch ~jobs:2 ~budget
+    (List.map (fun b -> (b, R.Pypy_jit)) benches);
+  Rd.heading "golden: phase mix and warmup (pypy)";
+  List.iter
+    (fun b ->
+      let r = R.run ~budget b R.Pypy_jit in
+      let parts =
+        List.map (fun p -> (p, R.phase_fraction r p)) Mtj_core.Phase.all
+      in
+      Rd.pr "%-10s |%s|\n" b (Rd.stacked_bar ~width:40 parts))
+    benches;
+  Rd.pr "%s\n" Rd.phase_legend;
+  Rd.subheading "dispatch-tick rate over time (nbody)";
+  let r = R.run ~budget "nbody" R.Pypy_jit in
+  let values = Array.map (fun (_, v) -> float_of_int v) r.R.samples in
+  Rd.pr "|%s|\n" (Rd.sparkline values);
+  Rd.pr "ticks total: %d   simple_bar(jit frac): |%s|\n" r.R.ticks
+    (Rd.simple_bar ~width:30 (R.phase_fraction r Mtj_core.Phase.Jit))
+
+let () =
+  match Sys.argv with
+  | [| _; "table" |] -> table ()
+  | [| _; "figures" |] -> figures ()
+  | _ ->
+      prerr_endline "usage: golden_render.exe (table|figures)";
+      exit 2

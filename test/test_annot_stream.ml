@@ -19,6 +19,8 @@ type stats = {
   mutable max_aot_depth : int;
   mutable ticks : int;
   mutable guard_fails : int;
+  mutable compiles : int;
+  mutable aborts : int;
   mutable violations : string list;
 }
 
@@ -32,6 +34,8 @@ let collect src config =
       max_aot_depth = 0;
       ticks = 0;
       guard_fails = 0;
+      compiles = 0;
+      aborts = 0;
       violations = [];
     }
   in
@@ -73,6 +77,16 @@ let collect src config =
       | A.Guard_fail _ ->
           st.guard_fails <- st.guard_fails + 1;
           if !trace_stack = [] then violate "guard fail outside any trace"
+      | A.Trace_compile _ -> (
+          st.compiles <- st.compiles + 1;
+          match !phase_stack with
+          | Phase.Tracing :: _ -> ()
+          | _ -> violate "trace_compile outside the tracing phase")
+      | A.Trace_abort _ -> (
+          st.aborts <- st.aborts + 1;
+          match !phase_stack with
+          | Phase.Tracing :: _ -> ()
+          | _ -> violate "trace_abort outside the tracing phase")
       | A.Ir_exec _ | A.App_marker _ -> ());
   (match V.run_source vm src with
   | Mtj_rjit.Driver.Completed _ -> ()
@@ -108,7 +122,8 @@ let test_numeric_stream () =
   in
   check st;
   Alcotest.(check bool) "ticks counted" true (st.ticks > 3000);
-  Alcotest.(check bool) "phases nested" true (st.max_phase_depth >= 2)
+  Alcotest.(check bool) "phases nested" true (st.max_phase_depth >= 2);
+  Alcotest.(check bool) "compiles announced" true (st.compiles >= 1)
 
 (* allocation loop under a tiny nursery: GC interrupts JIT code *)
 let test_gc_interrupts_stream () =

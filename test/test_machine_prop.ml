@@ -1,0 +1,189 @@
+(** Property-based tests for the machine models.
+
+    Random access/branch streams drive the data-cache, the branch
+    predictor and the engine counters, checking the invariants every
+    downstream table relies on: conservation (hits + misses = accesses,
+    per-phase counters sum to the totals), monotonicity under more work,
+    rates staying inside [0, 1], and the predictor actually learning a
+    fully-biased branch stream. *)
+
+module M = Mtj_machine
+module Counters = M.Counters
+module Phase = Mtj_core.Phase
+
+let seeded_rng seed = Random.State.make [| seed; 0x6d74 |]
+
+(* --- dcache --- *)
+
+let prop_dcache_conservation =
+  QCheck.Test.make ~count:100 ~name:"dcache: hits + misses = accesses"
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, addrs) ->
+      let rng = seeded_rng seed in
+      let c = M.Dcache.create () in
+      let n = ref 0 in
+      List.iter
+        (fun a ->
+          (* mix a few hot lines with cold sweeps *)
+          let addr =
+            if Random.State.bool rng then a land 0xff
+            else (a * 6151) + Random.State.int rng 1_000_000
+          in
+          ignore (M.Dcache.access c ~addr);
+          incr n)
+        addrs;
+      let hits = M.Dcache.hits c and misses = M.Dcache.misses c in
+      let rate =
+        if !n = 0 then 0.0 else float_of_int hits /. float_of_int !n
+      in
+      hits >= 0 && misses >= 0
+      && hits + misses = !n
+      && rate >= 0.0 && rate <= 1.0)
+
+let prop_dcache_rehit =
+  QCheck.Test.make ~count:100 ~name:"dcache: immediate re-access hits"
+    QCheck.(list small_int)
+    (fun addrs ->
+      let c = M.Dcache.create () in
+      List.for_all
+        (fun a ->
+          ignore (M.Dcache.access c ~addr:a);
+          M.Dcache.access c ~addr:a)
+        addrs)
+
+(* --- predictor --- *)
+
+let prop_predictor_biased =
+  QCheck.Test.make ~count:50
+    ~name:"predictor: fully-biased stream mispredicts <1%"
+    QCheck.(pair small_int bool)
+    (fun (site, taken) ->
+      let p = M.Predictor.create () in
+      let n = 10_000 in
+      let miss = ref 0 in
+      for _ = 1 to n do
+        if not (M.Predictor.conditional p ~site ~taken) then incr miss
+      done;
+      (* warmup only: the 2-bit counters and the global history settle
+         within a few tens of branches *)
+      !miss * 100 < n)
+
+let prop_predictor_btb_stable =
+  QCheck.Test.make ~count:50
+    ~name:"predictor: monomorphic indirect target locks in"
+    QCheck.(pair small_int small_int)
+    (fun (site, target) ->
+      let p = M.Predictor.create () in
+      (* warm up: the BTB index mixes in global history, which converges
+         to a fixed point under a constant target stream *)
+      for _ = 1 to 100 do
+        ignore (M.Predictor.indirect p ~site ~target)
+      done;
+      let ok = ref true in
+      for _ = 1 to 100 do
+        if not (M.Predictor.indirect p ~site ~target) then ok := false
+      done;
+      !ok)
+
+(* --- engine counters --- *)
+
+type work = Emit of int | Branch of bool | Mem of int * bool
+
+let work_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 300)
+      (oneof
+         [
+           map (fun n -> Emit (1 + (n mod 7))) small_nat;
+           map (fun b -> Branch b) bool;
+           map2 (fun a w -> Mem (a, w)) small_nat bool;
+         ]))
+
+let arb_work =
+  QCheck.make work_gen
+    ~print:(fun ws -> Printf.sprintf "<%d work items>" (List.length ws))
+
+let apply_work eng w =
+  match w with
+  | Emit n -> M.Engine.emit eng (Mtj_core.Cost.make ~alu:n ())
+  | Branch taken -> M.Engine.branch eng ~site:3 ~taken
+  | Mem (addr, write) -> M.Engine.mem_access eng ~addr ~write
+
+let prop_counters_conserved =
+  QCheck.Test.make ~count:100
+    ~name:"engine: totals = sum of charges, phases sum to total" arb_work
+    (fun ws ->
+      let eng = M.Engine.create () in
+      (* spread the work over two phases so the per-phase sum is
+         non-trivial *)
+      let i = ref 0 in
+      let expected_insns = ref 0 in
+      let expected_branches = ref 0 in
+      let expected_mem = ref 0 in
+      List.iter
+        (fun w ->
+          incr i;
+          (match w with
+          | Emit n -> expected_insns := !expected_insns + n
+          | Branch _ ->
+              incr expected_branches;
+              incr expected_insns
+          | Mem _ ->
+              incr expected_mem;
+              incr expected_insns);
+          if !i mod 2 = 0 then
+            M.Engine.in_phase eng Phase.Jit (fun () -> apply_work eng w)
+          else apply_work eng w)
+        ws;
+      let t = Counters.total (M.Engine.counters eng) in
+      let sum f =
+        List.fold_left
+          (fun acc p -> acc + f (Counters.phase (M.Engine.counters eng) p))
+          0 Phase.all
+      in
+      t.Counters.insns = !expected_insns
+      && t.Counters.insns = M.Engine.total_insns eng
+      && t.Counters.branches = !expected_branches
+      && t.Counters.branch_misses <= t.Counters.branches
+      && t.Counters.loads + t.Counters.stores = !expected_mem
+      && sum (fun s -> s.Counters.insns) = t.Counters.insns
+      && sum (fun s -> s.Counters.branches) = t.Counters.branches
+      && sum (fun s -> s.Counters.cache_misses) = t.Counters.cache_misses
+      && Counters.ipc t >= 0.0
+      && Counters.branch_miss_rate t >= 0.0
+      && Counters.branch_miss_rate t <= 1.0)
+
+let prop_counters_monotone =
+  QCheck.Test.make ~count:100
+    ~name:"engine: every counter is monotone under more work" arb_work
+    (fun ws ->
+      let eng = M.Engine.create () in
+      let prev = ref (Counters.total (M.Engine.counters eng)) in
+      List.for_all
+        (fun w ->
+          apply_work eng w;
+          let c = Counters.total (M.Engine.counters eng) in
+          let ok =
+            c.Counters.insns >= !prev.Counters.insns
+            && c.Counters.cycles >= !prev.Counters.cycles
+            && c.Counters.branches >= !prev.Counters.branches
+            && c.Counters.branch_misses >= !prev.Counters.branch_misses
+            && c.Counters.loads >= !prev.Counters.loads
+            && c.Counters.stores >= !prev.Counters.stores
+            && c.Counters.cache_misses >= !prev.Counters.cache_misses
+            && M.Engine.total_cycles eng >= 0.0
+          in
+          prev := c;
+          ok)
+        ws)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dcache_conservation;
+      prop_dcache_rehit;
+      prop_predictor_biased;
+      prop_predictor_btb_stable;
+      prop_counters_conserved;
+      prop_counters_monotone;
+    ]

@@ -1,0 +1,317 @@
+(** Round-trip tests for the observability subsystem: record a real run
+    through {!Mtj_obs.Sink}, export trace / metrics / timings JSON,
+    re-parse the bytes with {!Mtj_obs.Json.parse} and check them with
+    the same {!Mtj_obs.Validate} used by the CI artifact gate.  The key
+    cross-layer assertion: per-phase self time recovered purely from the
+    exported span stream equals what the machine counters attributed to
+    each phase. *)
+
+open Mtj_obs
+module Engine = Mtj_machine.Engine
+module Counters = Mtj_machine.Counters
+module B = Mtj_benchmarks.Registry
+module Phase = Mtj_core.Phase
+
+type observed = {
+  o_eng : Engine.t;
+  o_sink : Sink.t;
+  o_baseline : (Phase.t * Counters.snapshot) list;
+  o_jitlog : Mtj_rjit.Jitlog.t;
+  o_gc : Mtj_rt.Gc_sim.stats;
+  o_status : string;
+}
+
+let run_observed ?capacity ~budget name =
+  let config =
+    Mtj_core.Config.with_budget budget Mtj_core.Config.default
+  in
+  let b = B.find_exn ~lang:B.Py name in
+  let vm = Mtj_pylite.Vm.create ~config () in
+  let eng = Mtj_pylite.Vm.engine vm in
+  let baseline =
+    List.map (fun p -> (p, Counters.phase (Engine.counters eng) p)) Phase.all
+  in
+  let sink = Sink.attach ?capacity eng in
+  let outcome = Mtj_pylite.Vm.run_source vm b.B.source in
+  Sink.finalize sink;
+  {
+    o_eng = eng;
+    o_sink = sink;
+    o_baseline = baseline;
+    o_jitlog = Mtj_pylite.Vm.jitlog vm;
+    o_gc = Mtj_rt.Gc_sim.stats (Mtj_rt.Ctx.gc (Mtj_pylite.Vm.rtc vm));
+    o_status =
+      (match outcome with
+      | Mtj_rjit.Driver.Completed _ -> "ok"
+      | Mtj_rjit.Driver.Budget_exceeded -> "budget"
+      | Mtj_rjit.Driver.Runtime_error e -> "failed: " ^ e);
+  }
+
+(* one shared jitting run, reused by several tests *)
+let observed = lazy (run_observed ~budget:2_000_000 "binarytrees")
+
+let parse_ok what s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let validated_trace o =
+  let doc = Chrome_trace.export ~bench:"binarytrees" ~vm:"pylite" o.o_sink in
+  let reparsed = parse_ok "trace json" (Json.to_string doc) in
+  match Validate.trace reparsed with
+  | Ok stats -> stats
+  | Error e -> Alcotest.failf "trace validation: %s" e
+
+(* --- chrome trace --- *)
+
+let test_trace_roundtrip () =
+  let o = Lazy.force observed in
+  let stats = validated_trace o in
+  Alcotest.(check bool) "has events" true (stats.Validate.events > 100);
+  Alcotest.(check bool)
+    "phases + jit-traces + gc tracks" true
+    (stats.Validate.duration_tracks >= 3);
+  Alcotest.(check bool)
+    "at least two counter tracks" true
+    (stats.Validate.counter_tracks >= 2);
+  Alcotest.(check bool)
+    "compile/abort/guard instants present" true
+    (stats.Validate.instants > 0);
+  Alcotest.(check int) "nothing dropped" 0 (Sink.dropped o.o_sink)
+
+let test_phase_self_time_agrees () =
+  let o = Lazy.force observed in
+  let stats = validated_trace o in
+  let counters = Engine.counters o.o_eng in
+  let close a b =
+    Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max a b)
+  in
+  List.iter
+    (fun p ->
+      let name = Phase.name p in
+      let base = List.assoc p o.o_baseline in
+      let expected =
+        (Counters.phase counters p).Counters.cycles -. base.Counters.cycles
+      in
+      let got =
+        Option.value ~default:0.0
+          (List.assoc_opt name stats.Validate.phase_self_cycles)
+      in
+      if not (close expected got) then
+        Alcotest.failf "phase %s: span self-time %f <> counters %f" name got
+          expected)
+    Phase.all
+
+let test_trace_has_jit_activity () =
+  (* the span stream really carries the cross-layer story: binarytrees
+     under the default config compiles traces and runs them *)
+  let o = Lazy.force observed in
+  let kinds = Hashtbl.create 8 in
+  Sink.iter_events o.o_sink (fun e ->
+      let k =
+        match e.Sink.kind with
+        | Sink.Phase_begin _ -> "phase_begin"
+        | Sink.Phase_end _ -> "phase_end"
+        | Sink.Trace_enter _ -> "trace_enter"
+        | Sink.Trace_exit _ -> "trace_exit"
+        | Sink.Guard_fail _ -> "guard_fail"
+        | Sink.Trace_compile _ -> "trace_compile"
+        | Sink.Trace_abort _ -> "trace_abort"
+        | Sink.Marker _ -> "marker"
+      in
+      Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k)));
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " recorded") true (Hashtbl.mem kinds k))
+    [ "phase_begin"; "phase_end"; "trace_enter"; "trace_exit"; "trace_compile" ]
+
+let test_overflow_still_wellformed () =
+  (* a tiny ring drops the tail of the stream; the exporter must still
+     produce balanced, validating output *)
+  let o = run_observed ~capacity:64 ~budget:1_000_000 "richards" in
+  Alcotest.(check bool) "events were dropped" true (Sink.dropped o.o_sink > 0);
+  let stats = validated_trace o in
+  Alcotest.(check bool)
+    "open spans were auto-closed" true
+    (stats.Validate.auto_closed > 0)
+
+(* --- metrics --- *)
+
+let test_metrics_roundtrip () =
+  let o = Lazy.force observed in
+  let run =
+    Metrics.run_json ~bench:"binarytrees" ~config:"pypy" ~status:o.o_status
+      ~engine:o.o_eng ~jitlog:o.o_jitlog ~gc:o.o_gc
+      ~ticks:(Sink.ticks o.o_sink) ()
+  in
+  let doc = Metrics.document ~runs:[ run ] in
+  let reparsed = parse_ok "metrics json" (Json.to_string ~indent:2 doc) in
+  match Validate.metrics reparsed with
+  | Ok n -> Alcotest.(check int) "one run record" 1 n
+  | Error e -> Alcotest.failf "metrics validation: %s" e
+
+let test_runner_metrics_roundtrip () =
+  (* the memoized-result path used by `bench --metrics-out` *)
+  let r = Mtj_harness.Runner.run ~budget:1_000_000 "nbody" Mtj_harness.Runner.Pypy_jit in
+  let doc =
+    Metrics.document ~runs:[ Mtj_harness.Report.metrics_json r ]
+  in
+  let reparsed = parse_ok "runner metrics json" (Json.to_string doc) in
+  match Validate.metrics reparsed with
+  | Ok n -> Alcotest.(check int) "one run record" 1 n
+  | Error e -> Alcotest.failf "runner metrics validation: %s" e
+
+(* --- bench timings --- *)
+
+let test_timings_roundtrip () =
+  let runs =
+    [
+      {
+        Mtj_harness.Runner.rt_bench = "nbody";
+        rt_config = Mtj_harness.Runner.Pypy_jit;
+        rt_wall_s = 0.25;
+        rt_insns = 123_456;
+        rt_cycles = 98_765.4;
+      };
+    ]
+  in
+  let doc =
+    Mtj_harness.Report.timings_json ~jobs:4 ~total_wall:1.5
+      ~experiments:[ ("prefetch", 1.0); ("tab1", 0.5) ]
+      ~runs
+  in
+  let reparsed = parse_ok "timings json" (Json.to_string ~indent:2 doc) in
+  match Validate.timings reparsed with
+  | Ok n -> Alcotest.(check int) "one run row" 1 n
+  | Error e -> Alcotest.failf "timings validation: %s" e
+
+(* --- json parser --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd\te");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("whole", Json.Float 3.0);
+        ("nested", Json.Arr [ Json.Null; Json.Bool true; Json.Obj [] ]);
+      ]
+  in
+  List.iter
+    (fun indent ->
+      match Json.parse (Json.to_string ?indent v) with
+      | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+      | Error e -> Alcotest.fail e)
+    [ None; Some 2 ]
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "parse accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter bad [ "{"; "[1,]"; "{\"a\" 1}"; "1 2"; "tru"; "\"unterminated"; "" ]
+
+(* --- validator rejections --- *)
+
+let test_validator_rejects_corruption () =
+  let expect_err what = function
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  (* wrong schema *)
+  expect_err "wrong schema"
+    (Validate.trace
+       (Json.Obj [ ("schema", Json.Str "bogus/9"); ("traceEvents", Json.Arr []) ]));
+  (* unbalanced E *)
+  let ev ph name ts =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("cat", Json.Str "phase");
+        ("ph", Json.Str ph);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("ts", Json.Float ts);
+        ("args", Json.Obj []);
+      ]
+  in
+  let doc events =
+    Json.Obj
+      [ ("schema", Json.Str "mtj-trace/1"); ("traceEvents", Json.Arr events) ]
+  in
+  expect_err "E without B" (Validate.trace (doc [ ev "E" "x" 1.0 ]));
+  expect_err "unclosed B" (Validate.trace (doc [ ev "B" "x" 1.0 ]));
+  expect_err "time going backwards"
+    (Validate.trace
+       (doc [ ev "B" "x" 2.0; ev "E" "x" 1.0 ]));
+  expect_err "mismatched close"
+    (Validate.trace
+       (doc [ ev "B" "x" 1.0; ev "B" "y" 2.0; ev "E" "x" 3.0; ev "E" "y" 4.0 ]));
+  (* metrics: per-phase sum disagreeing with the total *)
+  let snap insns =
+    Json.Obj
+      [
+        ("insns", Json.Int insns);
+        ("cycles", Json.Float 10.0);
+        ("branches", Json.Int 1);
+        ("branch_misses", Json.Int 0);
+        ("loads", Json.Int 1);
+        ("stores", Json.Int 0);
+        ("cache_misses", Json.Int 0);
+        ("ipc", Json.Float 1.0);
+        ("branch_mpki", Json.Float 0.0);
+        ("branch_miss_rate", Json.Float 0.0);
+        ("cache_miss_rate", Json.Float 0.0);
+      ]
+  in
+  let mdoc total =
+    Json.Obj
+      [
+        ("schema", Json.Str "mtj-metrics/1");
+        ( "runs",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("bench", Json.Str "b");
+                  ("config", Json.Str "c");
+                  ("status", Json.Str "ok");
+                  ("insns", Json.Int total);
+                  ("cycles", Json.Float 10.0);
+                  ( "phases",
+                    Json.Obj
+                      [ ("interpreter", snap 7); ("total", snap total) ] );
+                ];
+            ] );
+      ]
+  in
+  (match Validate.metrics (mdoc 7) with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "expected 1 run, got %d" n
+  | Error e -> Alcotest.failf "consistent metrics rejected: %s" e);
+  expect_err "inconsistent phase sum" (Validate.metrics (mdoc 8))
+
+let suite =
+  [
+    Alcotest.test_case "trace round-trip + validate" `Quick
+      test_trace_roundtrip;
+    Alcotest.test_case "phase self-time = counters" `Quick
+      test_phase_self_time_agrees;
+    Alcotest.test_case "jit events in the stream" `Quick
+      test_trace_has_jit_activity;
+    Alcotest.test_case "ring overflow stays well-formed" `Quick
+      test_overflow_still_wellformed;
+    Alcotest.test_case "metrics round-trip + validate" `Quick
+      test_metrics_roundtrip;
+    Alcotest.test_case "runner metrics round-trip" `Quick
+      test_runner_metrics_roundtrip;
+    Alcotest.test_case "timings round-trip + validate" `Quick
+      test_timings_roundtrip;
+    Alcotest.test_case "json print/parse round-trip" `Quick
+      test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_errors;
+    Alcotest.test_case "validator rejects corruption" `Quick
+      test_validator_rejects_corruption;
+  ]
