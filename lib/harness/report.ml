@@ -37,7 +37,7 @@ let write_timings ~file ~jobs ~total_wall ~experiments =
     (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
   Printf.eprintf "[timings written to %s]\n%!" file
 
-(* --- metrics ("mtj-metrics/1") --- *)
+(* --- metrics ("mtj-metrics/2") --- *)
 
 let status_name = function
   | R.Ok_run -> "ok"
@@ -53,6 +53,8 @@ let jit_json (j : R.jit_stats) =
       ("bridges_attached", J.Int j.R.bridges);
       ("blacklisted", J.Int j.R.blacklisted);
       ("retiers", J.Int j.R.retiers);
+      ("translations", J.Int j.R.translations);
+      ("code_cache_hits", J.Int j.R.code_cache_hits);
       ("total_ir_compiled", J.Int j.R.ir_compiled);
       ("total_dynamic_ir", J.Int j.R.ir_dynamic);
       ( "traces",
@@ -68,6 +70,8 @@ let jit_json (j : R.jit_stats) =
                    ("static_ops", J.Int tr.R.tr_static_ops);
                    ("entries", J.Int tr.R.tr_entries);
                    ("dynamic_ir", J.Int tr.R.tr_dynamic_ir);
+                   ("translations", J.Int tr.R.tr_translations);
+                   ("cache_hits", J.Int tr.R.tr_cache_hits);
                  ])
              j.R.trace_rows) );
     ]

@@ -43,6 +43,8 @@ type trace_row = {
   tr_static_ops : int;
   tr_entries : int;
   tr_dynamic_ir : int;
+  tr_translations : int;
+  tr_cache_hits : int;
 }
 
 type jit_stats = {
@@ -52,6 +54,8 @@ type jit_stats = {
   aborts : int;
   blacklisted : int;
   retiers : int;
+  translations : int;
+  code_cache_hits : int;
   ir_compiled : int;
   ir_dynamic : int;
   hot_fraction_95 : float;
@@ -110,6 +114,8 @@ let jit_stats_of jl =
     aborts = jl.Jitlog.aborts;
     blacklisted = jl.Jitlog.blacklisted;
     retiers = jl.Jitlog.retiers;
+    translations = jl.Jitlog.translations;
+    code_cache_hits = jl.Jitlog.code_cache_hits;
     ir_compiled = Jitlog.total_ir_compiled jl;
     ir_dynamic = Jitlog.total_dynamic_ir jl;
     hot_fraction_95 = Jitlog.hot_ir_fraction jl ~coverage:0.95;
@@ -132,6 +138,8 @@ let jit_stats_of jl =
             tr_static_ops = Array.length tr.Ir.ops;
             tr_entries = tr.Ir.exec_count;
             tr_dynamic_ir = Array.fold_left ( + ) 0 tr.Ir.op_exec;
+            tr_translations = tr.Ir.translations;
+            tr_cache_hits = tr.Ir.cache_hits;
           })
         (Jitlog.traces jl);
   }

@@ -31,6 +31,8 @@ type trace_row = {
   tr_static_ops : int;
   tr_entries : int;
   tr_dynamic_ir : int;
+  tr_translations : int;  (** times threaded code was (re)built *)
+  tr_cache_hits : int;    (** entries served from the code cache *)
 }
 
 type jit_stats = {
@@ -40,6 +42,8 @@ type jit_stats = {
   aborts : int;
   blacklisted : int;
   retiers : int;
+  translations : int;      (** traces translated to threaded code *)
+  code_cache_hits : int;   (** trace entries served from the cache *)
   ir_compiled : int;
   ir_dynamic : int;
   hot_fraction_95 : float;

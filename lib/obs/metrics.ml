@@ -2,7 +2,10 @@ open Mtj_core
 module Counters = Mtj_machine.Counters
 module Engine = Mtj_machine.Engine
 
-let schema = "mtj-metrics/1"
+(* v2: per-trace rows gained [translations]/[cache_hits] and the jit
+   block gained [translations]/[code_cache_hits] (threaded-code cache
+   effectiveness) *)
+let schema = "mtj-metrics/2"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -64,6 +67,8 @@ let trace_row_json (tr : Mtj_rjit.Ir.trace) =
       ("static_ops", Json.Int (Array.length tr.Ir.ops));
       ("entries", Json.Int tr.Ir.exec_count);
       ("dynamic_ir", Json.Int dynamic_ir);
+      ("translations", Json.Int tr.Ir.translations);
+      ("cache_hits", Json.Int tr.Ir.cache_hits);
     ]
 
 let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
@@ -82,6 +87,8 @@ let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
       ("bridges_attached", Json.Int jl.Jitlog.bridges_attached);
       ("blacklisted", Json.Int jl.Jitlog.blacklisted);
       ("retiers", Json.Int jl.Jitlog.retiers);
+      ("translations", Json.Int jl.Jitlog.translations);
+      ("code_cache_hits", Json.Int jl.Jitlog.code_cache_hits);
       ("total_ir_compiled", Json.Int (Jitlog.total_ir_compiled jl));
       ("total_dynamic_ir", Json.Int (Jitlog.total_dynamic_ir jl));
       ("traces", Json.Arr (List.map trace_row_json traces));

@@ -168,8 +168,32 @@ let check_snapshot run what j =
   check_rate run what j "branch_miss_rate";
   check_rate run what j "cache_miss_rate"
 
+(* jit block (v2): threaded-code cache counters.  Every registered trace
+   is translated at compile time, so [translations] dominates the trace
+   count and each per-trace row carries at least one translation. *)
+let check_jit run j =
+  match Json.member "jit" j with
+  | None | Some Json.Null -> ()
+  | Some jit ->
+      let num_traces = int_field jit "num_traces" in
+      let translations = int_field jit "translations" in
+      let hits = int_field jit "code_cache_hits" in
+      if translations < 0 then fail "run %s: negative translations" run;
+      if hits < 0 then fail "run %s: negative code_cache_hits" run;
+      if translations < num_traces then
+        fail "run %s: translations %d < num_traces %d" run translations
+          num_traces;
+      List.iter
+        (fun tr ->
+          let id = int_field tr "id" in
+          if int_field tr "translations" < 1 then
+            fail "run %s: trace %d never translated" run id;
+          if int_field tr "cache_hits" < 0 then
+            fail "run %s: trace %d negative cache_hits" run id)
+        (arr_field jit "traces")
+
 let metrics_exn j =
-  check_schema j "mtj-metrics/1";
+  check_schema j "mtj-metrics/2";
   let runs = arr_field j "runs" in
   List.iter
     (fun run ->
@@ -202,7 +226,8 @@ let metrics_exn j =
         fail "run %s: per-phase insns sum %d <> total %d" label !sum total_insns;
       if total_insns <> insns then
         fail "run %s: phases.total.insns %d <> run insns %d" label total_insns
-          insns)
+          insns;
+      check_jit label run)
     runs;
   List.length runs
 

@@ -21,17 +21,28 @@ module Step (O : Ops_intf.OPS) = struct
       ~default:(O.const cx Value.Nil)
       ~parent
 
-  (* dispatch a call to any callable value; arguments arrive reversed
-     (top of stack first) and are reversed back here *)
-  let rec call_value cx (f : frame) callee (rev_args : O.t list) nargs :
+  (* pop [n] operands into a fresh positional-order array (top of stack
+     is the last argument) *)
+  let pop_args cx (f : frame) n : O.t array =
+    if n = 0 then [||]
+    else begin
+      let args = Array.make n (O.const cx Value.Nil) in
+      for i = n - 1 downto 0 do
+        args.(i) <- Frame.pop f
+      done;
+      args
+    end
+
+  (* dispatch a call to any callable value; [args] is in positional
+     order (collected off the stack by [pop_args], no list building) *)
+  let rec call_value cx (f : frame) callee (args : O.t array) :
       (O.t, Bytecode.code) Frame.outcome =
+    let nargs = Array.length args in
     match O.concrete callee with
     | Value.Obj { payload = Value.Func fn; _ } ->
         if fn.Value.code_ref < 0 then begin
           let fn = O.guard_func cx callee in
           let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
-          let args = Array.make nargs (O.const cx Value.Nil) in
-          List.iteri (fun i a -> args.(nargs - 1 - i) <- a) rev_args;
           let r = O.call_builtin cx b args in
           Frame.push f r;
           f.Frame.pc <- f.Frame.pc + 1;
@@ -45,9 +56,7 @@ module Step (O : Ops_intf.OPS) = struct
           let code = Code_table.lookup fn.Value.code_ref in
           f.Frame.pc <- f.Frame.pc + 1;
           let nf = make_frame cx code (Some f) in
-          List.iteri
-            (fun i a -> nf.Frame.locals.(nargs - 1 - i) <- a)
-            rev_args;
+          Array.blit args 0 nf.Frame.locals 0 nargs;
           Frame.Call nf
         end
     | Value.Obj { payload = Value.Class _; _ } ->
@@ -63,9 +72,7 @@ module Step (O : Ops_intf.OPS) = struct
             let nf = make_frame cx code (Some f) in
             nf.Frame.discard_return <- true;
             nf.Frame.locals.(0) <- inst;
-            List.iteri
-              (fun i a -> nf.Frame.locals.(nargs - i) <- a)
-              rev_args;
+            Array.blit args 0 nf.Frame.locals 1 nargs;
             Frame.Call nf
         | None ->
             if nargs <> 0 then err "this class takes no constructor arguments";
@@ -75,7 +82,7 @@ module Step (O : Ops_intf.OPS) = struct
     | Value.Obj { payload = Value.Method _; _ } -> (
         match O.method_parts cx callee with
         | Some (func, recv) ->
-            call_value cx f func (rev_args @ [ recv ]) (nargs + 1)
+            call_value cx f func (Array.append [| recv |] args)
         | None -> err "broken bound method")
     | v -> err "%s object is not callable" (Value.type_name v)
 
@@ -136,18 +143,15 @@ module Step (O : Ops_intf.OPS) = struct
         Frame.push f self;
         next ()
     | CALL_METHOD nargs ->
-        let rec pops n acc = if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc) in
-        let args = List.rev (pops nargs []) in
-        (* args is reversed: top of stack first *)
+        let args = pop_args cx f nargs in
         let self = Frame.pop f in
         let callable = Frame.pop f in
-        if O.concrete self = Value.Nil then call_value cx f callable args nargs
-        else call_value cx f callable (args @ [ self ]) (nargs + 1)
+        if O.concrete self = Value.Nil then call_value cx f callable args
+        else call_value cx f callable (Array.append [| self |] args)
     | CALL_FUNCTION nargs ->
-        let rec pops n acc = if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc) in
-        let args = List.rev (pops nargs []) in
+        let args = pop_args cx f nargs in
         let callee = Frame.pop f in
-        call_value cx f callee args nargs
+        call_value cx f callee args
     | BINARY op ->
         let b = Frame.pop f in
         let a = Frame.pop f in
@@ -318,12 +322,11 @@ module Step (O : Ops_intf.OPS) = struct
               | v -> err "class parent %s is %s" pname (Value.type_name v))
         in
         let n = List.length methods in
-        let rec pops k acc = if k = 0 then acc else pops (k - 1) (Frame.pop f :: acc) in
-        let method_values = pops n [] in
+        let method_values = pop_args cx f n in
         let attrs =
-          List.map2
-            (fun name v -> (name, O.concrete v))
-            methods method_values
+          List.mapi
+            (fun i name -> (name, O.concrete method_values.(i)))
+            methods
         in
         (* instances of a subclass share the parent's layout prefix *)
         let layout =

@@ -74,6 +74,11 @@ let all =
     Hashf; Sorted; Sio_new; Sio_write; Sio_getvalue; Annotate; Bigint_of;
     Indexable; Slice_get; Slice_set; Del_item; Make_vector; Display ]
 
+(* [of_tag] sits on the call path of every builtin invocation from both
+   the interpreter and compiled traces, so it must be O(1): back [all]
+   with an array and index directly *)
+let all_arr = Array.of_list all
+
 let tag b =
   let rec idx i = function
     | [] -> invalid_arg "Builtin.tag"
@@ -81,7 +86,9 @@ let tag b =
   in
   idx 0 all
 
-let of_tag i = List.nth all i
+let of_tag i =
+  if i < 0 || i >= Array.length all_arr then invalid_arg "Builtin.of_tag"
+  else Array.unsafe_get all_arr i
 
 let name = function
   | Len -> "len"

@@ -363,7 +363,8 @@ module Make (L : Ops_intf.LANG) = struct
     | Ir.Bridge { loop_code; loop_pc; _ } -> (loop_code, loop_pc)
 
   let trace_bridge t (g : Ir.guard) (frames : Executor.deopt_frame list)
-      ~loop_key ~(orig_parent : dframe option) : jit_outcome =
+      ~loop_key ~(owner : Ir.trace option) ~(orig_parent : dframe option) :
+      jit_outcome =
     let eng = Ctx.engine t.rtc in
     Engine.push_phase eng Phase.Tracing;
     Fun.protect ~finally:(fun () -> Engine.pop_phase eng) @@ fun () ->
@@ -441,6 +442,10 @@ module Make (L : Ops_intf.LANG) = struct
           ~entry_slots opt_ops
       in
       g.Ir.bridge <- Some bridge;
+      (* the guard's owning trace has a new fail path: drop its cached
+         threaded code so the next entry re-translates with the bridge
+         bound directly into the guard's fail step *)
+      Option.iter Ir.invalidate_code owner;
       Jitlog.record_bridge t.jitlog
     in
     let region_discard =
@@ -482,7 +487,7 @@ module Make (L : Ops_intf.LANG) = struct
         match ex.Executor.failed_guard with
         | Some g when ex.Executor.request_bridge && g.Ir.bridgeable ->
             trace_bridge t g ex.Executor.frames ~loop_key:(loop_key_of trace)
-              ~orig_parent
+              ~owner:ex.Executor.failed_in ~orig_parent
         | Some _ | None -> J_frame (rebuild_deopt ex.Executor.frames orig_parent))
 
   (* --- the JIT portal, consulted at every loop header --- *)

@@ -205,12 +205,24 @@ and trace = {
   mutable exec_count : int;
   op_exec : int array;   (* per-op dynamic execution counts *)
   tier : int;            (* 1 = quick unoptimized compile, 2 = full *)
+  mutable code_version : int;
+      (* bumped whenever a guard of this trace gains a bridge; cached
+         threaded translations carry the version they were built at and
+         are re-translated on mismatch, so guard fail paths re-specialize
+         to jump straight into the attached bridge *)
+  mutable translations : int;  (* times this trace was threaded *)
+  mutable cache_hits : int;    (* entries served from the code cache *)
 }
 
 and trace_kind =
   | Loop of { loop_code : int; loop_pc : int }
   | Bridge of { from_guard : int; loop_code : int; loop_pc : int }
       (* a bridge ultimately jumps back into the loop it side-exited *)
+
+(* invalidate any cached threaded code for [t] (a bridge was attached to
+   one of its guards; the next entry re-translates, so the guard's fail
+   path re-specializes to jump straight into the bridge) *)
+let invalidate_code (t : trace) = t.code_version <- t.code_version + 1
 
 (* ---------- opcode metadata ---------- *)
 

@@ -14,6 +14,8 @@ type t = {
   mutable deopts : int;
   mutable bridges_attached : int;
   mutable retiers : int;  (* tier-1 traces recompiled at tier 2 *)
+  mutable translations : int;  (* traces translated to threaded code *)
+  mutable code_cache_hits : int;  (* trace entries served from the cache *)
 }
 
 let create () =
@@ -26,6 +28,8 @@ let create () =
     deopts = 0;
     bridges_attached = 0;
     retiers = 0;
+    translations = 0;
+    code_cache_hits = 0;
   }
 
 let fresh_trace_id t =
@@ -50,6 +54,8 @@ let record_deopt t = t.deopts <- t.deopts + 1
 let record_bridge t = t.bridges_attached <- t.bridges_attached + 1
 let record_blacklist t = t.blacklisted <- t.blacklisted + 1
 let record_retier t = t.retiers <- t.retiers + 1
+let record_translation t = t.translations <- t.translations + 1
+let record_code_cache_hit t = t.code_cache_hits <- t.code_cache_hits + 1
 
 (* --- aggregate statistics for the figures --- *)
 

@@ -15,6 +15,11 @@ type t = {
   mutable deopts : int;
   mutable bridges_attached : int;
   mutable retiers : int;  (** tier-1 traces recompiled at tier 2 *)
+  mutable translations : int;
+      (** traces translated into closure-threaded code *)
+  mutable code_cache_hits : int;
+      (** trace entries whose threaded code came from the per-context
+          code cache *)
 }
 
 val create : unit -> t
@@ -35,6 +40,8 @@ val record_deopt : t -> unit
 val record_bridge : t -> unit
 val record_blacklist : t -> unit
 val record_retier : t -> unit
+val record_translation : t -> unit
+val record_code_cache_hit : t -> unit
 
 (** {2 Aggregate statistics for the figures}
 

@@ -1,0 +1,82 @@
+(** CI wall-clock gate for the trace executor.
+
+    Compares two ["mtj-bench-timings/1"] documents (a committed baseline
+    and the current build's run) and fails when the JIT-dominated
+    configurations regressed by more than the allowed fraction.
+
+    Absolute wall-clock is meaningless across machines, so the gate
+    compares the RATIO of JIT-config wall time (pypy / pypy-2tier /
+    pycket — the configs that spend their time in the trace executor) to
+    interpreter/native-config wall time (cpython / pypy-nojit / racket /
+    c — paths the executor change does not touch).  That normalizes out
+    runner speed while staying sensitive to trace-executor regressions.
+
+    Usage: bench_gate.exe BASELINE.json CURRENT.json [MAX_REGRESS]
+    (MAX_REGRESS defaults to 0.15, i.e. fail above +15%). *)
+
+open Mtj_obs
+
+let jit_configs = [ "pypy"; "pypy-2tier"; "pycket" ]
+let ref_configs = [ "cpython"; "pypy-nojit"; "racket"; "c" ]
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let load file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j =
+    match Json.parse s with
+    | Ok j -> j
+    | Error e -> die "%s: parse error: %s" file e
+  in
+  (match Validate.timings j with
+  | Ok _ -> ()
+  | Error e -> die "%s: invalid timings document: %s" file e);
+  j
+
+(* (jit wall, reference wall) over the document's runs *)
+let split_wall file j =
+  let jit = ref 0.0 and base = ref 0.0 in
+  let runs =
+    match Option.bind (Json.member "runs" j) Json.get_arr with
+    | Some r -> r
+    | None -> die "%s: no runs" file
+  in
+  List.iter
+    (fun r ->
+      let str k = Option.bind (Json.member k r) Json.get_str in
+      let num k = Option.bind (Json.member k r) Json.get_num in
+      match (str "config", num "wall_s") with
+      | Some c, Some w ->
+          if List.mem c jit_configs then jit := !jit +. w
+          else if List.mem c ref_configs then base := !base +. w
+      | _ -> die "%s: malformed run row" file)
+    runs;
+  if !jit <= 0.0 then die "%s: no JIT-config runs" file;
+  if !base <= 0.0 then die "%s: no reference-config runs" file;
+  (!jit, !base)
+
+let () =
+  let baseline_file, current_file, max_regress =
+    match Array.to_list Sys.argv with
+    | [ _; b; c ] -> (b, c, 0.15)
+    | [ _; b; c; m ] -> (b, c, float_of_string m)
+    | _ ->
+        die "usage: %s BASELINE.json CURRENT.json [MAX_REGRESS]" Sys.argv.(0)
+  in
+  let bjit, bbase = split_wall baseline_file (load baseline_file) in
+  let cjit, cbase = split_wall current_file (load current_file) in
+  let bratio = bjit /. bbase and cratio = cjit /. cbase in
+  let change = (cratio -. bratio) /. bratio in
+  Printf.printf
+    "baseline: jit=%.3fs ref=%.3fs ratio=%.4f\n\
+     current:  jit=%.3fs ref=%.3fs ratio=%.4f\n\
+     normalized trace-executor change: %+.1f%% (limit +%.0f%%)\n"
+    bjit bbase bratio cjit cbase cratio (100.0 *. change)
+    (100.0 *. max_regress);
+  if change > max_regress then begin
+    prerr_endline "FAIL: trace-executor wall-clock regressed past the limit";
+    exit 1
+  end;
+  print_endline "OK"

@@ -17,6 +17,7 @@ let () =
       ("jit-optimizer", Test_opt.suite);
       ("jit-executor", Test_executor.suite);
       ("jit-opt-property", Test_opt_prop.suite);
+      ("jit-threaded-diff", Test_threaded_diff.suite);
       ("machine-property", Test_machine_prop.suite);
       ("obs", Test_obs.suite);
       ("lang-internals", Test_lang_internals.suite);

@@ -146,9 +146,34 @@ let test_metrics_roundtrip () =
   in
   let doc = Metrics.document ~runs:[ run ] in
   let reparsed = parse_ok "metrics json" (Json.to_string ~indent:2 doc) in
-  match Validate.metrics reparsed with
+  (match Validate.metrics reparsed with
   | Ok n -> Alcotest.(check int) "one run record" 1 n
-  | Error e -> Alcotest.failf "metrics validation: %s" e
+  | Error e -> Alcotest.failf "metrics validation: %s" e);
+  (* v2 cache-effectiveness counters survive the round trip verbatim *)
+  let jit =
+    match
+      Option.bind (Json.member "runs" reparsed) (fun runs ->
+          match Json.get_arr runs with
+          | Some (r :: _) -> Json.member "jit" r
+          | _ -> None)
+    with
+    | Some j -> j
+    | None -> Alcotest.fail "jit block missing from reparsed metrics"
+  in
+  let jint key =
+    match Option.bind (Json.member key jit) Json.get_int with
+    | Some v -> v
+    | None -> Alcotest.failf "jit.%s missing" key
+  in
+  Alcotest.(check int)
+    "translations round-trips" o.o_jitlog.Mtj_rjit.Jitlog.translations
+    (jint "translations");
+  Alcotest.(check int)
+    "code_cache_hits round-trips" o.o_jitlog.Mtj_rjit.Jitlog.code_cache_hits
+    (jint "code_cache_hits");
+  Alcotest.(check bool)
+    "a jitting run reuses cached code" true
+    (jint "code_cache_hits" > 0)
 
 let test_runner_metrics_roundtrip () =
   (* the memoized-result path used by `bench --metrics-out` *)
@@ -269,7 +294,7 @@ let test_validator_rejects_corruption () =
   let mdoc total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/1");
+        ("schema", Json.Str "mtj-metrics/2");
         ( "runs",
           Json.Arr
             [
@@ -291,7 +316,50 @@ let test_validator_rejects_corruption () =
   | Ok 1 -> ()
   | Ok n -> Alcotest.failf "expected 1 run, got %d" n
   | Error e -> Alcotest.failf "consistent metrics rejected: %s" e);
-  expect_err "inconsistent phase sum" (Validate.metrics (mdoc 8))
+  expect_err "inconsistent phase sum" (Validate.metrics (mdoc 8));
+  (* jit block violating the v2 cache invariants *)
+  let jdoc translations trace_translations =
+    Json.Obj
+      [
+        ("schema", Json.Str "mtj-metrics/2");
+        ( "runs",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("bench", Json.Str "b");
+                  ("config", Json.Str "c");
+                  ("status", Json.Str "ok");
+                  ("insns", Json.Int 7);
+                  ("cycles", Json.Float 10.0);
+                  ( "phases",
+                    Json.Obj [ ("interpreter", snap 7); ("total", snap 7) ] );
+                  ( "jit",
+                    Json.Obj
+                      [
+                        ("num_traces", Json.Int 1);
+                        ("translations", Json.Int translations);
+                        ("code_cache_hits", Json.Int 0);
+                        ( "traces",
+                          Json.Arr
+                            [
+                              Json.Obj
+                                [
+                                  ("id", Json.Int 1);
+                                  ("translations", Json.Int trace_translations);
+                                  ("cache_hits", Json.Int 0);
+                                ];
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  (match Validate.metrics (jdoc 1 1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "well-formed jit block rejected: %s" e);
+  expect_err "translations < num_traces" (Validate.metrics (jdoc 0 1));
+  expect_err "untranslated trace row" (Validate.metrics (jdoc 1 0))
 
 let suite =
   [

@@ -1,0 +1,651 @@
+(** Differential test of the closure-threaded executor ({!Executor.run})
+    against the reference interpreting loop ({!Executor.run_ref}).
+
+    Random straight-line traces (integer/float/string arithmetic, heap
+    traffic, failable guards, division that deoptimizes at the bytecode
+    boundary) and deterministic loop / bridge / call_assembler / tiered
+    scenarios are executed through both strategies in fresh contexts.
+    Everything observable must be BYTE-IDENTICAL: the exit state
+    (finished value, failed guard, materialized frames), per-phase
+    simulated machine counters (including float cycles, compared
+    exactly), trace entry counts, per-op execution counts, and guard
+    fail counts.  The threaded form is an execution-strategy change
+    only; any divergence is a bug in the translation or in a fused
+    superinstruction. *)
+
+open Mtj_rjit
+module V = Mtj_rt.Value
+module Counters = Mtj_machine.Counters
+module Engine = Mtj_machine.Engine
+module Config = Mtj_core.Config
+module Phase = Mtj_core.Phase
+
+type executor =
+  Mtj_rt.Ctx.t ->
+  Jitlog.t ->
+  trace:Ir.trace ->
+  entry:V.t array ->
+  Executor.exit_state
+
+(* ---------- observation digest ---------- *)
+
+let snap_str (s : Counters.snapshot) =
+  Printf.sprintf "i=%d c=%.17g b=%d bm=%d l=%d s=%d cm=%d" s.Counters.insns
+    s.Counters.cycles s.Counters.branches s.Counters.branch_misses
+    s.Counters.loads s.Counters.stores s.Counters.cache_misses
+
+let render_exit (ex : Executor.exit_state) =
+  let buf = Buffer.create 128 in
+  (match ex.Executor.finished with
+  | Some v -> Buffer.add_string buf ("finish:" ^ V.repr v)
+  | None -> Buffer.add_string buf "deopt");
+  (match ex.Executor.failed_guard with
+  | Some g -> Buffer.add_string buf (Printf.sprintf "|guard=%d" g.Ir.guard_id)
+  | None -> ());
+  (match ex.Executor.failed_in with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "|in=%d" t.Ir.trace_id)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "|bridge?=%b" ex.Executor.request_bridge);
+  List.iter
+    (fun (f : Executor.deopt_frame) ->
+      Buffer.add_string buf
+        (Printf.sprintf "|frame code=%d pc=%d discard=%b locals="
+           f.Executor.df_code f.Executor.df_pc f.Executor.df_discard);
+      Array.iter (fun v -> Buffer.add_string buf (V.repr v ^ ",")) f.Executor.df_locals;
+      Buffer.add_string buf " stack=";
+      Array.iter (fun v -> Buffer.add_string buf (V.repr v ^ ",")) f.Executor.df_stack)
+    ex.Executor.frames;
+  Buffer.contents buf
+
+(* everything the machine and the JIT runtime expose about a run *)
+let observe rtc (traces : Ir.trace list) exits =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf (Printf.sprintf "exit%d: %s\n" i e))
+    exits;
+  let counters = Engine.counters (Mtj_rt.Ctx.engine rtc) in
+  List.iter
+    (fun p ->
+      let s = Counters.phase counters p in
+      if s.Counters.insns <> 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s: %s\n" (Phase.name p) (snap_str s)))
+    Phase.all;
+  Buffer.add_string buf ("total: " ^ snap_str (Counters.total counters) ^ "\n");
+  List.iter
+    (fun (t : Ir.trace) ->
+      Buffer.add_string buf
+        (Printf.sprintf "trace%d: entries=%d op_exec=[%s] fails=[%s]\n"
+           t.Ir.trace_id t.Ir.exec_count
+           (String.concat ","
+              (List.map string_of_int (Array.to_list t.Ir.op_exec)))
+           (String.concat ","
+              (Array.to_list t.Ir.ops
+              |> List.filter_map (fun (op : Ir.op) ->
+                     match op.Ir.opcode with
+                     | Ir.Guard g ->
+                         Some
+                           (Printf.sprintf "%d:%d" g.Ir.guard_id
+                              g.Ir.fail_count)
+                     | _ -> None)))))
+    traces;
+  Buffer.contents buf
+
+(* run [exec] and render the exit (exceptions render too: the threaded
+   executor must raise exactly what the reference loop raises) *)
+let exit_of (exec : executor) rtc jitlog trace entry =
+  match exec rtc jitlog ~trace ~entry:(Array.copy entry) with
+  | ex -> render_exit ex
+  | exception e -> "raise:" ^ Printexc.to_string e
+
+(* ---------- random straight-line traces ---------- *)
+
+type rkind = RInt | RFloat | RBool | RStr | RArr | RCell | RList
+
+let guard_ctr = ref 0
+
+type gen_state = {
+  rng : Random.State.t;
+  mutable ops : Ir.op list; (* reversed *)
+  mutable regs : (int * rkind) list; (* newest first *)
+  mutable next : int;
+}
+
+let fresh st kind =
+  let r = st.next in
+  st.next <- r + 1;
+  st.regs <- (r, kind) :: st.regs;
+  r
+
+let push st op = st.ops <- op :: st.ops
+let emit st ?(result = -1) opcode args = push st { Ir.opcode; args; result }
+
+let pick_kind st kind =
+  let cands = List.filter (fun (_, k) -> k = kind) st.regs in
+  match cands with
+  | [] -> None
+  | _ ->
+      Some (fst (List.nth cands (Random.State.int st.rng (List.length cands))))
+
+let live_snap st =
+  let n = 1 + Random.State.int st.rng 4 in
+  let all = Array.of_list (List.map fst st.regs) in
+  let live =
+    Array.init n (fun _ ->
+        Ir.S_reg all.(Random.State.int st.rng (Array.length all)))
+  in
+  {
+    Ir.frames =
+      [
+        {
+          Ir.snap_code = 1;
+          snap_pc = Random.State.int st.rng 64;
+          snap_locals = live;
+          snap_stack = [||];
+          snap_discard = false;
+        };
+      ];
+    r_virtuals = [||];
+  }
+
+let emit_guard st gkind args =
+  incr guard_ctr;
+  push st
+    {
+      Ir.opcode =
+        Ir.Guard
+          {
+            Ir.guard_id = 500_000 + !guard_ctr;
+            gkind;
+            resume = live_snap st;
+            fail_count = 0;
+            bridge = None;
+            bridgeable = true;
+          };
+      args;
+      result = -1;
+    }
+
+let emit_dmp st =
+  emit st
+    (Ir.Debug_merge_point
+       { dmp_code = 1; dmp_pc = Random.State.int st.rng 64;
+         dmp_resume = live_snap st })
+    [||]
+
+let gen_step st =
+  let rnd n = Random.State.int st.rng n in
+  let int_reg () = Option.get (pick_kind st RInt) in
+  let float_reg () = Option.get (pick_kind st RFloat) in
+  match rnd 16 with
+  | 0 | 1 ->
+      (* int arithmetic *)
+      let a = int_reg () and b = int_reg () in
+      let opc =
+        match rnd 5 with
+        | 0 -> Ir.Int_add
+        | 1 -> Ir.Int_sub
+        | 2 -> Ir.Int_xor
+        | 3 -> Ir.Int_and
+        | _ -> Ir.Int_or
+      in
+      let r = fresh st RInt in
+      emit st ~result:r opc [| Ir.Reg a; Ir.Reg b |]
+  | 2 ->
+      (* int op immediately followed by its overflow guard: the threaded
+         translator fuses this pair into one superinstruction *)
+      let a = int_reg () and b = int_reg () in
+      let opc, gk =
+        match rnd 3 with
+        | 0 -> (Ir.Int_add, Ir.G_no_ovf_add)
+        | 1 -> (Ir.Int_sub, Ir.G_no_ovf_sub)
+        | _ -> (Ir.Int_mul, Ir.G_no_ovf_mul)
+      in
+      let args = [| Ir.Reg a; Ir.Reg b |] in
+      let r = fresh st RInt in
+      emit st ~result:r opc args;
+      emit_guard st gk (Array.copy args)
+  | 3 ->
+      (* compare immediately followed by a guard on its result: the
+         other fused superinstruction; fails on real data *)
+      let a = int_reg () and b = int_reg () in
+      let opc =
+        match rnd 6 with
+        | 0 -> Ir.Int_lt
+        | 1 -> Ir.Int_le
+        | 2 -> Ir.Int_eq
+        | 3 -> Ir.Int_ne
+        | 4 -> Ir.Int_gt
+        | _ -> Ir.Int_ge
+      in
+      let r = fresh st RBool in
+      emit st ~result:r opc [| Ir.Reg a; Ir.Reg b |];
+      emit_guard st
+        (if rnd 2 = 0 then Ir.G_true else Ir.G_false)
+        [| Ir.Reg r |]
+  | 4 ->
+      (* division: raises at 0 and deopts to the bytecode boundary *)
+      let a = int_reg () and b = int_reg () in
+      let r = fresh st RInt in
+      emit st ~result:r
+        (if rnd 2 = 0 then Ir.Int_floordiv else Ir.Int_mod)
+        [| Ir.Reg a; Ir.Reg b |]
+  | 5 ->
+      (* float arithmetic; truediv by zero deopts at the boundary *)
+      let a = float_reg () and b = float_reg () in
+      let opc =
+        match rnd 4 with
+        | 0 -> Ir.Float_add
+        | 1 -> Ir.Float_sub
+        | 2 -> Ir.Float_mul
+        | _ -> Ir.Float_truediv
+      in
+      let r = fresh st RFloat in
+      emit st ~result:r opc [| Ir.Reg a; Ir.Reg b |]
+  | 6 ->
+      (* float compare + fused guard *)
+      let a = float_reg () and b = float_reg () in
+      let opc =
+        match rnd 4 with
+        | 0 -> Ir.Float_lt
+        | 1 -> Ir.Float_le
+        | 2 -> Ir.Float_eq
+        | _ -> Ir.Float_gt
+      in
+      let r = fresh st RBool in
+      emit st ~result:r opc [| Ir.Reg a; Ir.Reg b |];
+      if rnd 2 = 0 then emit_guard st Ir.G_true [| Ir.Reg r |]
+  | 7 ->
+      let a = int_reg () in
+      let r = fresh st RFloat in
+      emit st ~result:r Ir.Cast_int_to_float [| Ir.Reg a |]
+  | 8 ->
+      (* unary int ops *)
+      let a = int_reg () in
+      let r = fresh st (if rnd 2 = 0 then RInt else RBool) in
+      (match rnd 3 with
+      | 0 -> emit st ~result:r Ir.Int_neg [| Ir.Reg a |]
+      | 1 -> emit st ~result:r Ir.Int_is_true [| Ir.Reg a |]
+      | _ -> emit st ~result:r Ir.Int_is_zero [| Ir.Reg a |])
+  | 9 -> (
+      (* strings: bounded concat, length, equality, failable getitem *)
+      match pick_kind st RStr with
+      | None -> ()
+      | Some s -> (
+          match rnd 4 with
+          | 0 ->
+              let r = fresh st RStr in
+              emit st ~result:r Ir.Str_concat
+                [| Ir.Reg s; Ir.Const (V.Str "ab") |]
+          | 1 ->
+              let r = fresh st RInt in
+              emit st ~result:r Ir.Strlen [| Ir.Reg s |]
+          | 2 ->
+              let r = fresh st RBool in
+              emit st ~result:r Ir.Str_eq
+                [| Ir.Reg s; Ir.Const (V.Str "xy") |]
+          | _ ->
+              let r = fresh st RStr in
+              emit st ~result:r Ir.Strgetitem
+                [| Ir.Reg s; Ir.Const (V.Int (rnd 6)) |]))
+  | 10 ->
+      (* heap: a cell created from an int, read back *)
+      let v = int_reg () in
+      let cell = fresh st RCell in
+      emit st ~result:cell Ir.New_cell [| Ir.Reg v |];
+      let r = fresh st RInt in
+      emit st ~result:r Ir.Getcell [| Ir.Reg cell |]
+  | 11 -> (
+      match pick_kind st RCell with
+      | None -> ()
+      | Some cell ->
+          let v = int_reg () in
+          emit st Ir.Setcell [| Ir.Reg cell; Ir.Reg v |])
+  | 12 -> (
+      (* tuples: create / read (charges a simulated memory access) *)
+      match pick_kind st RArr with
+      | None ->
+          let a = int_reg () and b = int_reg () in
+          let t = fresh st RArr in
+          emit st ~result:t (Ir.New_array 2) [| Ir.Reg a; Ir.Reg b |]
+      | Some t ->
+          let r = fresh st RInt in
+          emit st ~result:r Ir.Getarrayitem_gc
+            [| Ir.Reg t; Ir.Const (V.Int (rnd 2)) |])
+  | 13 -> (
+      (* lists: create or mutate + read *)
+      match pick_kind st RList with
+      | None ->
+          let a = int_reg () and b = int_reg () in
+          let l = fresh st RList in
+          emit st ~result:l (Ir.New_list 2) [| Ir.Reg a; Ir.Reg b |]
+      | Some l ->
+          let v = int_reg () in
+          emit st Ir.Setlistitem
+            [| Ir.Reg l; Ir.Const (V.Int (rnd 2)); Ir.Reg v |];
+          let r = fresh st RInt in
+          emit st ~result:r Ir.Getlistitem
+            [| Ir.Reg l; Ir.Const (V.Int (rnd 2)) |])
+  | 14 ->
+      (* standalone guards that can fail *)
+      let a = int_reg () in
+      let gk =
+        match rnd 4 with
+        | 0 -> Ir.G_index_lt
+        | 1 -> Ir.G_value (V.Int (rnd 8))
+        | 2 -> Ir.G_class (if rnd 4 = 0 then Ir.Ty_float else Ir.Ty_int)
+        | _ -> Ir.G_nonnull
+      in
+      let args =
+        match gk with
+        | Ir.G_index_lt -> [| Ir.Reg a; Ir.Const (V.Int (rnd 40)) |]
+        | _ -> [| Ir.Reg a |]
+      in
+      emit_guard st gk args
+  | _ -> emit_dmp st
+
+(* xor-fold the int registers so corrupted dataflow changes the answer *)
+let epilogue st =
+  let acc = ref (Option.get (pick_kind st RInt)) in
+  List.iter
+    (fun (r, k) ->
+      if k = RInt then begin
+        let nr = fresh st RInt in
+        emit st ~result:nr Ir.Int_xor [| Ir.Reg !acc; Ir.Reg r |];
+        acc := nr
+      end)
+    st.regs;
+  emit st Ir.Finish [| Ir.Reg !acc |]
+
+let entry_slots = 6 (* 3 ints, 2 floats, 1 string *)
+
+let gen_program seed =
+  let rng = Random.State.make [| seed; 0x7d1f |] in
+  let st = { rng; ops = []; regs = []; next = entry_slots } in
+  List.iteri
+    (fun i k -> st.regs <- (i, k) :: st.regs)
+    [ RInt; RInt; RInt; RFloat; RFloat; RStr ];
+  (* a merge point first, so boundary deopts always have a resume *)
+  emit_dmp st;
+  let nsteps = 4 + Random.State.int rng 28 in
+  for _ = 1 to nsteps do
+    gen_step st
+  done;
+  epilogue st;
+  let entry =
+    [|
+      V.Int (Random.State.int rng 201 - 100);
+      V.Int (Random.State.int rng 201 - 100);
+      V.Int (Random.State.int rng 201 - 100);
+      V.Float (float_of_int (Random.State.int rng 17 - 8) /. 4.0);
+      V.Float (float_of_int (Random.State.int rng 17 - 8) /. 4.0);
+      V.Str (String.sub "hello" 0 (Random.State.int rng 6));
+    |]
+  in
+  (Array.of_list (List.rev st.ops), entry)
+
+(* fresh guards per run: the executors bump fail counts in place *)
+let copy_ops ops =
+  Array.map
+    (fun (op : Ir.op) ->
+      match op.Ir.opcode with
+      | Ir.Guard g -> { op with Ir.opcode = Ir.Guard { g with Ir.guard_id = g.Ir.guard_id } }
+      | _ -> { op with Ir.args = Array.copy op.Ir.args })
+    ops
+
+let run_random (exec : executor) ops entry =
+  let rtc = Mtj_rt.Ctx.create () in
+  let jitlog = Jitlog.create () in
+  let ops = copy_ops ops in
+  let trace =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
+      ~entry_slots ops
+  in
+  let e = exit_of exec rtc jitlog trace entry in
+  observe rtc [ trace ] [ e ]
+
+let prop_threaded_identical =
+  QCheck.Test.make ~name:"threaded executor is byte-identical to reference"
+    ~count:300
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let ops, entry = gen_program seed in
+      let reference = run_random Executor.run_ref ops entry in
+      let threaded = run_random Executor.run ops entry in
+      if String.equal reference threaded then true
+      else
+        QCheck.Test.fail_reportf "seed %d diverged:\n--- reference:\n%s--- threaded:\n%s"
+          seed reference threaded)
+
+(* the property only bites if the generator reaches all three outcomes *)
+let test_generator_coverage () =
+  let finish = ref 0 and guard = ref 0 and boundary = ref 0 in
+  for seed = 1 to 150 do
+    let ops, entry = gen_program seed in
+    let r = run_random Executor.run_ref ops entry in
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length r && (String.sub r i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    if String.length r >= 12 && String.sub r 0 12 = "exit0: deopt" then
+      if contains "guard=" then incr guard else incr boundary
+    else incr finish
+  done;
+  Alcotest.(check bool) "some finish" true (!finish > 10);
+  Alcotest.(check bool) "some guard deopts" true (!guard > 10);
+  Alcotest.(check bool) "some boundary deopts" true (!boundary > 3)
+
+(* ---------- deterministic multi-trace scenarios ---------- *)
+
+let snap_reg r =
+  {
+    Ir.frames =
+      [
+        {
+          Ir.snap_code = 1;
+          snap_pc = 0;
+          snap_locals = [| Ir.S_reg r |];
+          snap_stack = [||];
+          snap_discard = false;
+        };
+      ];
+    r_virtuals = [||];
+  }
+
+let mk_guard ~id gkind resume =
+  { Ir.guard_id = id; gkind; resume; fail_count = 0; bridge = None;
+    bridgeable = true }
+
+(* r1 = r0 + 1; guard r1 < limit (fused cmp+guard); jump [r1] *)
+let counting_loop_ops ~limit =
+  [|
+    { Ir.opcode =
+        Ir.Debug_merge_point
+          { dmp_code = 1; dmp_pc = 0; dmp_resume = snap_reg 0 };
+      args = [||]; result = -1 };
+    { Ir.opcode = Ir.Int_add;
+      args = [| Ir.Reg 0; Ir.Const (V.Int 1) |]; result = 1 };
+    { Ir.opcode = Ir.Int_lt;
+      args = [| Ir.Reg 1; Ir.Const (V.Int limit) |]; result = 2 };
+    { Ir.opcode = Ir.Guard (mk_guard ~id:9001 Ir.G_true (snap_reg 1));
+      args = [| Ir.Reg 2 |]; result = -1 };
+    { Ir.opcode = Ir.Jump; args = [| Ir.Reg 1 |]; result = -1 };
+  |]
+
+let scenario_loop (exec : executor) =
+  let rtc = Mtj_rt.Ctx.create () in
+  let jitlog = Jitlog.create () in
+  let trace =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
+      ~entry_slots:1 (counting_loop_ops ~limit:500)
+  in
+  let e = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  observe rtc [ trace ] [ e ]
+
+(* guard fails at [limit]; a bridge is then attached and the cached
+   threaded code must be invalidated so the second run jumps into it *)
+let scenario_bridge (exec : executor) =
+  let rtc = Mtj_rt.Ctx.create () in
+  let jitlog = Jitlog.create () in
+  let trace =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
+      ~entry_slots:1 (counting_loop_ops ~limit:100)
+  in
+  let e1 = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  let bridge =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Bridge { from_guard = 9001; loop_code = 1; loop_pc = 0 })
+      ~entry_slots:1
+      [|
+        { Ir.opcode = Ir.Int_mul;
+          args = [| Ir.Reg 0; Ir.Const (V.Int 3) |]; result = 1 };
+        { Ir.opcode = Ir.Finish; args = [| Ir.Reg 1 |]; result = -1 };
+      |]
+  in
+  Array.iter
+    (fun (op : Ir.op) ->
+      match op.Ir.opcode with
+      | Ir.Guard g -> g.Ir.bridge <- Some bridge
+      | _ -> ())
+    trace.Ir.ops;
+  Ir.invalidate_code trace;
+  let e2 = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  observe rtc [ trace; bridge ] [ e1; e2 ]
+
+(* A adds 3 then chains into B (call_assembler), which doubles and
+   finishes; exercises the cross-trace switch in threaded code *)
+let scenario_call_assembler (exec : executor) =
+  let rtc = Mtj_rt.Ctx.create () in
+  let jitlog = Jitlog.create () in
+  let b =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 2; loop_pc = 0 })
+      ~entry_slots:1
+      [|
+        { Ir.opcode = Ir.Int_mul;
+          args = [| Ir.Reg 0; Ir.Const (V.Int 2) |]; result = 1 };
+        { Ir.opcode = Ir.Finish; args = [| Ir.Reg 1 |]; result = -1 };
+      |]
+  in
+  let a =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
+      ~entry_slots:1
+      [|
+        { Ir.opcode =
+            Ir.Debug_merge_point
+              { dmp_code = 1; dmp_pc = 0; dmp_resume = snap_reg 0 };
+          args = [||]; result = -1 };
+        { Ir.opcode = Ir.Int_add;
+          args = [| Ir.Reg 0; Ir.Const (V.Int 3) |]; result = 1 };
+        { Ir.opcode = Ir.Call_assembler b.Ir.trace_id;
+          args = [| Ir.Reg 1 |]; result = -1 };
+      |]
+  in
+  let e = exit_of exec rtc jitlog a [| V.Int 5 |] in
+  observe rtc [ a; b ] [ e ]
+
+(* a hot tier-1 loop exits at its back-edge under the two-tier config *)
+let scenario_tiered (exec : executor) =
+  let cfg = { Config.two_tier with Config.tier2_threshold = 5 } in
+  let rtc = Mtj_rt.Ctx.create ~config:cfg () in
+  let jitlog = Jitlog.create () in
+  let trace =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
+      ~entry_slots:1 ~tier:1 (counting_loop_ops ~limit:500)
+  in
+  let e = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  observe rtc [ trace ] [ e ]
+
+(* integer overflow inside a fused op+guard pair *)
+let scenario_ovf_fused (exec : executor) =
+  let rtc = Mtj_rt.Ctx.create () in
+  let jitlog = Jitlog.create () in
+  let ops entry_ovf =
+    [|
+      { Ir.opcode =
+          Ir.Debug_merge_point
+            { dmp_code = 1; dmp_pc = 0; dmp_resume = snap_reg 0 };
+        args = [||]; result = -1 };
+      { Ir.opcode = Ir.Int_add;
+        args = [| Ir.Reg 0; Ir.Const (V.Int 1) |]; result = 1 };
+      { Ir.opcode =
+          Ir.Guard (mk_guard ~id:(9100 + entry_ovf) Ir.G_no_ovf_add (snap_reg 0));
+        args = [| Ir.Reg 0; Ir.Const (V.Int 1) |]; result = -1 };
+      { Ir.opcode = Ir.Finish; args = [| Ir.Reg 1 |]; result = -1 };
+    |]
+  in
+  let t_ok =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
+      ~entry_slots:1 (ops 0)
+  in
+  let t_ovf =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 1 })
+      ~entry_slots:1 (ops 1)
+  in
+  let e1 = exit_of exec rtc jitlog t_ok [| V.Int 41 |] in
+  let e2 = exit_of exec rtc jitlog t_ovf [| V.Int max_int |] in
+  observe rtc [ t_ok; t_ovf ] [ e1; e2 ]
+
+let check_scenario name scenario =
+  Alcotest.(check string) name (scenario Executor.run_ref)
+    (scenario Executor.run)
+
+let test_loop () = check_scenario "counting loop" scenario_loop
+let test_bridge () = check_scenario "bridge + invalidation" scenario_bridge
+
+let test_call_assembler () =
+  check_scenario "call_assembler chain" scenario_call_assembler
+
+let test_tiered () = check_scenario "tier-1 back-edge exit" scenario_tiered
+let test_ovf () = check_scenario "fused overflow guard" scenario_ovf_fused
+
+(* ---------- cache accounting (threaded executor only) ---------- *)
+
+let test_cache_accounting () =
+  let rtc = Mtj_rt.Ctx.create () in
+  let jitlog = Jitlog.create () in
+  let trace =
+    Backend.compile jitlog rtc
+      ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
+      ~entry_slots:1 (counting_loop_ops ~limit:10)
+  in
+  Alcotest.(check int) "compile translates once" 1 trace.Ir.translations;
+  Alcotest.(check int) "no hits yet" 0 trace.Ir.cache_hits;
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
+  Alcotest.(check int) "two cached entries" 2 trace.Ir.cache_hits;
+  Alcotest.(check int) "still one translation" 1 trace.Ir.translations;
+  Ir.invalidate_code trace;
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
+  Alcotest.(check int) "invalidation forces re-translation" 2
+    trace.Ir.translations;
+  Alcotest.(check int) "a stale entry is not a hit" 2 trace.Ir.cache_hits;
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
+  Alcotest.(check int) "fresh code is cached again" 3 trace.Ir.cache_hits;
+  Alcotest.(check int) "jitlog translations" 2 jitlog.Jitlog.translations;
+  Alcotest.(check int) "jitlog hits" 3 jitlog.Jitlog.code_cache_hits
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_threaded_identical;
+    Alcotest.test_case "generator covers all exits" `Quick
+      test_generator_coverage;
+    Alcotest.test_case "loop back-edge" `Quick test_loop;
+    Alcotest.test_case "bridge attach + cache invalidation" `Quick test_bridge;
+    Alcotest.test_case "call_assembler switch" `Quick test_call_assembler;
+    Alcotest.test_case "tiered back-edge exit" `Quick test_tiered;
+    Alcotest.test_case "fused overflow guard" `Quick test_ovf;
+    Alcotest.test_case "code cache accounting" `Quick test_cache_accounting;
+  ]
