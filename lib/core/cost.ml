@@ -31,6 +31,8 @@ let scale f c =
     other = scale_field f c.other;
   }
 
+let scale_all f costs = Array.map (scale f) costs
+
 let pp fmt c =
   Format.fprintf fmt "{alu=%d; fpu=%d; ld=%d; st=%d; other=%d}" c.alu c.fpu
     c.load c.store c.other

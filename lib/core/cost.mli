@@ -21,6 +21,11 @@ val scale : float -> t -> t
 (** [scale f c] multiplies every field by [f], rounding to nearest,
     keeping at least one instruction in a field that was nonzero. *)
 
+val scale_all : float -> t array -> t array
+(** Map {!scale} over a table of base costs.  Used to preintern a
+    profile-scaled cost table once at VM setup, so hot paths charge the
+    interned records instead of rescaling per dispatch. *)
+
 val total : t -> int
 (** Total instruction count of the bundle. *)
 

@@ -37,7 +37,7 @@ let write_timings ~file ~jobs ~total_wall ~experiments =
     (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
   Printf.eprintf "[timings written to %s]\n%!" file
 
-(* --- metrics ("mtj-metrics/2") --- *)
+(* --- metrics ("mtj-metrics/3") --- *)
 
 let status_name = function
   | R.Ok_run -> "ok"
@@ -92,6 +92,8 @@ let metrics_json (r : R.result) =
       ("insns", J.Int r.R.insns);
       ("cycles", J.Float r.R.cycles);
       ("ticks", J.Int r.R.ticks);
+      ("charge_flushes", J.Int r.R.charge_flushes);
+      ("fast_path_bundles", J.Int r.R.fast_path_bundles);
       ( "phases",
         J.Obj (phase_rows @ [ ("total", Metrics.snapshot_json r.R.total) ]) );
       ("gc", Metrics.gc_json r.R.gc);

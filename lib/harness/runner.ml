@@ -83,6 +83,8 @@ type result = {
   aot_top : (string * string * int) list;   (* (src, name, insns) desc *)
   jit : jit_stats option;
   gc : Gc_sim.stats;
+  charge_flushes : int;                     (* staged-counter writebacks *)
+  fast_path_bundles : int;                  (* bundles charged via fast path *)
 }
 
 let default_budget = 200_000_000
@@ -181,6 +183,10 @@ let run_uncached ?budget (bench_name : string) (vc : vm_config) : result =
       aot_top;
       jit;
       gc = Gc_sim.stats (Ctx.gc rtc);
+      (* read after [Counters.total] above so the final writeback of the
+         staged fast path is included in the flush count *)
+      charge_flushes = Engine.charge_flushes eng;
+      fast_path_bundles = Engine.fast_path_bundles eng;
     }
   in
   match vc with

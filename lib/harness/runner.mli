@@ -72,6 +72,10 @@ type result = {
   aot_top : (string * string * int) list;  (** (src, name, insns) desc *)
   jit : jit_stats option;
   gc : Mtj_rt.Gc_sim.stats;
+  charge_flushes : int;
+      (** staged-counter writebacks performed by the charging fast path *)
+  fast_path_bundles : int;
+      (** bundles charged through the batched [Counters] fast path *)
 }
 
 val default_budget : int

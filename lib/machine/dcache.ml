@@ -22,31 +22,42 @@ let create ?(sets_bits = 9) ?(ways = 4) ?(line_bits = 6) () =
     misses = 0;
   }
 
-let access t ~addr =
+(* allocation-free lookup: way index or -1, no option box on the hot
+   hit path *)
+let[@inline] find_way t ~base ~line =
+  let rec go i =
+    if i >= t.ways then -1
+    else if t.tags.(base + i) = line then i
+    else go (i + 1)
+  in
+  go 0
+
+(* least-recently-used way, as a plain accumulator loop (no ref cell) *)
+let victim_way t ~base =
+  let rec go i best =
+    if i >= t.ways then best
+    else go (i + 1) (if t.lru.(base + i) < t.lru.(base + best) then i else best)
+  in
+  go 1 0
+
+let[@inline] access t ~addr =
   let line = addr lsr t.line_bits in
   let set = line land t.sets_mask in
   let base = set * t.ways in
   t.clock <- t.clock + 1;
-  let rec find i =
-    if i >= t.ways then None
-    else if t.tags.(base + i) = line then Some i
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some i ->
-      t.lru.(base + i) <- t.clock;
-      t.hits <- t.hits + 1;
-      true
-  | None ->
-      (* evict least-recently-used way *)
-      let victim = ref 0 in
-      for i = 1 to t.ways - 1 do
-        if t.lru.(base + i) < t.lru.(base + !victim) then victim := i
-      done;
-      t.tags.(base + !victim) <- line;
-      t.lru.(base + !victim) <- t.clock;
-      t.misses <- t.misses + 1;
-      false
+  let i = find_way t ~base ~line in
+  if i >= 0 then begin
+    t.lru.(base + i) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    let v = victim_way t ~base in
+    t.tags.(base + v) <- line;
+    t.lru.(base + v) <- t.clock;
+    t.misses <- t.misses + 1;
+    false
+  end
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -10,14 +10,20 @@ type t = {
   dcache : Dcache.t;
   counters : Counters.t;
   mutable phase : Phase.t;
+  mutable phase_idx : int;  (* Phase.index phase, cached for the
+                               counter fast path *)
   mutable phase_stack : Phase.t list;
-  mutable listeners : listener array;
+  mutable listeners : listener array;  (* first n_listeners slots live;
+                                          newest listener last *)
+  mutable n_listeners : int;
   mutable interp_width : float;
   mutable inv_width : float;  (* 1 / width(phase), kept in sync on phase
                                  changes so the per-instruction paths
                                  multiply instead of divide *)
   mutable insns : int;
-  mutable cycles : float;
+  cycles : float array;  (* one cell: float-array stores stay unboxed,
+                            unlike a mutable float field in this mixed
+                            record which would allocate per charge *)
   mispredict_penalty : float;
   miss_penalty : float;
 }
@@ -29,12 +35,14 @@ let create ?(config = Config.default) () =
     dcache = Dcache.create ();
     counters = Counters.create ();
     phase = Phase.Interpreter;
+    phase_idx = Phase.index Phase.Interpreter;
     phase_stack = [];
     listeners = [||];
+    n_listeners = 0;
     interp_width = 2.0;
     inv_width = 1.0 /. 2.0;
     insns = 0;
-    cycles = 0.0;
+    cycles = Array.make 1 0.0;
     mispredict_penalty = 14.0;
     miss_penalty = 18.0;
   }
@@ -51,60 +59,76 @@ let width t = function
   | Phase.Gc_minor | Phase.Gc_major -> 2.0
   | Phase.Blackhole -> 1.05
 
-let refresh_width t = t.inv_width <- 1.0 /. width t t.phase
+let refresh_phase t =
+  t.inv_width <- 1.0 /. width t t.phase;
+  t.phase_idx <- Phase.index t.phase
 
 let set_interp_width t w =
   t.interp_width <- w;
-  refresh_width t
+  refresh_phase t
 
-let bump_insns t n =
+let[@inline] bump_insns t n =
   t.insns <- t.insns + n;
   if t.insns > t.cfg.Config.insn_budget then raise Budget_exhausted
 
-let emit t cost =
+let[@inline] bump_cycles t cy =
+  Array.unsafe_set t.cycles 0 (Array.unsafe_get t.cycles 0 +. cy)
+
+let[@inline] emit t cost =
   let n = Cost.total cost in
   if n > 0 then begin
     let cy = float_of_int n *. t.inv_width in
-    t.cycles <- t.cycles +. cy;
-    Counters.add_bundle t.counters t.phase cost ~cycles:cy;
+    bump_cycles t cy;
+    Counters.add_bundle_idx t.counters t.phase_idx ~n ~loads:cost.Cost.load
+      ~stores:cost.Cost.store ~cycles:cy;
     bump_insns t n
   end
 
-let branch t ~site ~taken =
-  let correct = Predictor.conditional t.predictor ~site ~taken in
+let emit_static t costs ~lo ~hi =
+  if lo < 0 || hi > Array.length costs || lo > hi then
+    invalid_arg "Engine.emit_static";
+  for i = lo to hi - 1 do
+    emit t (Array.unsafe_get costs i)
+  done
+
+let[@inline] charge_branch t ~correct =
   let cy =
     t.inv_width +. (if correct then 0.0 else t.mispredict_penalty)
   in
-  t.cycles <- t.cycles +. cy;
-  Counters.add_branch t.counters t.phase ~mispredicted:(not correct) ~cycles:cy;
+  bump_cycles t cy;
+  Counters.add_branch_idx t.counters t.phase_idx ~mispredicted:(not correct)
+    ~cycles:cy;
   bump_insns t 1
 
+let branch t ~site ~taken =
+  charge_branch t ~correct:(Predictor.conditional t.predictor ~site ~taken)
+
 let branch_indirect t ~site ~target =
-  let correct = Predictor.indirect t.predictor ~site ~target in
-  let cy =
-    t.inv_width +. (if correct then 0.0 else t.mispredict_penalty)
-  in
-  t.cycles <- t.cycles +. cy;
-  Counters.add_branch t.counters t.phase ~mispredicted:(not correct) ~cycles:cy;
-  bump_insns t 1
+  charge_branch t ~correct:(Predictor.indirect t.predictor ~site ~target)
+
+(* hoisted out of [mem_access]: one load / one store, shared by every
+   simulated heap access instead of being rebuilt per call *)
+let load_cost = Cost.make ~load:1 ()
+let store_cost = Cost.make ~store:1 ()
 
 let mem_access t ~addr ~write =
   let hit = Dcache.access t.dcache ~addr in
-  let cost =
-    if write then Cost.make ~store:1 () else Cost.make ~load:1 ()
-  in
+  let cost = if write then store_cost else load_cost in
   let cy = t.inv_width in
-  t.cycles <- t.cycles +. cy;
-  Counters.add_bundle t.counters t.phase cost ~cycles:cy;
+  bump_cycles t cy;
+  Counters.add_bundle_idx t.counters t.phase_idx ~n:1 ~loads:cost.Cost.load
+    ~stores:cost.Cost.store ~cycles:cy;
   if not hit then begin
-    t.cycles <- t.cycles +. t.miss_penalty;
-    Counters.add_cache_miss t.counters t.phase ~cycles:t.miss_penalty
+    bump_cycles t t.miss_penalty;
+    Counters.add_cache_miss_idx t.counters t.phase_idx ~cycles:t.miss_penalty
   end;
   bump_insns t 1
 
 let annot t a =
   let ls = t.listeners in
-  for i = 0 to Array.length ls - 1 do
+  (* newest-first, matching the prepend order the old append-built array
+     delivered in *)
+  for i = t.n_listeners - 1 downto 0 do
     (Array.unsafe_get ls i) ~insns:t.insns a
   done
 
@@ -112,7 +136,7 @@ let push_phase t p =
   annot t (Annot.Phase_push p);
   t.phase_stack <- t.phase :: t.phase_stack;
   t.phase <- p;
-  refresh_width t
+  refresh_phase t
 
 let pop_phase t =
   match t.phase_stack with
@@ -121,7 +145,7 @@ let pop_phase t =
       let popped = t.phase in
       t.phase <- p;
       t.phase_stack <- rest;
-      refresh_width t;
+      refresh_phase t;
       (* delivered after restoring, so listeners reading [current_phase]
          see the parent phase while the annotation names the popped one *)
       annot t (Annot.Phase_pop popped)
@@ -138,12 +162,24 @@ let in_phase t p f =
       pop_phase t;
       raise e
 
-(* prepend, like the cons it replaces, so dispatch order is unchanged;
-   attachment is rare, delivery is the hot path *)
-let add_listener t l = t.listeners <- Array.append [| l |] t.listeners
+(* attachment is rare, delivery is the hot path: grow a capacity-doubled
+   buffer instead of rebuilding the array per attach *)
+let add_listener t l =
+  let n = t.n_listeners in
+  let cap = Array.length t.listeners in
+  if n = cap then begin
+    let grown = Array.make (if cap = 0 then 4 else 2 * cap) l in
+    Array.blit t.listeners 0 grown 0 n;
+    t.listeners <- grown
+  end;
+  t.listeners.(n) <- l;
+  t.n_listeners <- n + 1
+
 let total_insns t = t.insns
-let total_cycles t = t.cycles
+let total_cycles t = t.cycles.(0)
 let counters t = t.counters
+let charge_flushes t = Counters.charge_flushes t.counters
+let fast_path_bundles t = Counters.fast_path_bundles t.counters
 let config t = t.cfg
 let predictor t = t.predictor
 let dcache t = t.dcache

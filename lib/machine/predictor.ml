@@ -23,13 +23,13 @@ let create ?(history_bits = 12) ?(table_bits = 14) ?(btb_bits = 11) () =
   }
 
 (* Cheap integer hash to spread site ids across the tables. *)
-let hash_site site = (site * 2654435761) land max_int
+let[@inline] hash_site site = (site * 2654435761) land max_int
 
 (* Two-level local-history prediction (PAg): each branch site keeps its
    own outcome history, which indexes the shared pattern table.  This
    captures per-branch periodic behaviour (loop trip counts, modulo
    patterns) the way modern TAGE-class predictors do. *)
-let conditional t ~site ~taken =
+let[@inline] conditional t ~site ~taken =
   let h = hash_site site in
   let lidx = h land t.local_mask in
   let local = t.local_hist.(lidx) in
@@ -45,7 +45,7 @@ let conditional t ~site ~taken =
   t.history <- ((t.history lsl 1) lor Bool.to_int taken) land t.history_mask;
   correct
 
-let indirect t ~site ~target =
+let[@inline] indirect t ~site ~target =
   (* path-based indexing: modern indirect predictors (ITTAGE-like) use
      global history, which lets them track the periodic dispatch-target
      sequences of interpreter loops (cf. Rohou et al., cited in the

@@ -4,8 +4,11 @@ module Engine = Mtj_machine.Engine
 
 (* v2: per-trace rows gained [translations]/[cache_hits] and the jit
    block gained [translations]/[code_cache_hits] (threaded-code cache
-   effectiveness) *)
-let schema = "mtj-metrics/2"
+   effectiveness).
+   v3: run records gained [charge_flushes]/[fast_path_bundles] — the
+   engine's staged charging fast path exposes how many bundles were
+   coalesced and how many counter writebacks that took. *)
+let schema = "mtj-metrics/3"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -104,6 +107,8 @@ let run_json ~bench ~config ~status ~engine ?jitlog ?gc ?ticks () =
       ("insns", Json.Int (Engine.total_insns engine));
       ("cycles", Json.Float (Engine.total_cycles engine));
       ("ticks", opt (fun n -> Json.Int n) ticks);
+      ("charge_flushes", Json.Int (Engine.charge_flushes engine));
+      ("fast_path_bundles", Json.Int (Engine.fast_path_bundles engine));
       ("phases", phases_json (Engine.counters engine));
       ("gc", opt gc_json gc);
       ("jit", opt jitlog_json jitlog);

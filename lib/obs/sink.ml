@@ -48,6 +48,11 @@ type t = {
   mutable finalized : bool;
 }
 
+(* Samples are taken from inside listener dispatch, i.e. mid-stream of
+   the engine's staged charging fast path.  [Counters.total] flushes the
+   staged state before reading (and [total_cycles]/[insns] are always
+   exact), so ring-buffer samples observe exact counts with no explicit
+   synchronization here. *)
 let take_sample t insns =
   t.rev_samples <-
     {

@@ -192,8 +192,25 @@ let check_jit run j =
             fail "run %s: trace %d negative cache_hits" run id)
         (arr_field jit "traces")
 
+(* charging fast-path stats (v3).  Every bundle — including the implicit
+   one-insn bundle of a memory access — goes through the staged
+   [Counters] path, so a run with any loads or stores must report at
+   least one fast-path bundle; and since exporting queries the counters
+   (which writes the staged state back), a run that retired insns must
+   have flushed at least once. *)
+let check_charge_stats run j total =
+  let flushes = int_field j "charge_flushes" in
+  let bundles = int_field j "fast_path_bundles" in
+  if flushes < 0 then fail "run %s: negative charge_flushes" run;
+  if bundles < 0 then fail "run %s: negative fast_path_bundles" run;
+  let mem = int_field total "loads" + int_field total "stores" in
+  if bundles = 0 && mem > 0 then
+    fail "run %s: %d loads+stores but no fast-path bundles" run mem;
+  if int_field j "insns" > 0 && flushes = 0 then
+    fail "run %s: insns retired but charge_flushes = 0" run
+
 let metrics_exn j =
-  check_schema j "mtj-metrics/2";
+  check_schema j "mtj-metrics/3";
   let runs = arr_field j "runs" in
   List.iter
     (fun run ->
@@ -227,6 +244,7 @@ let metrics_exn j =
       if total_insns <> insns then
         fail "run %s: phases.total.insns %d <> run insns %d" label total_insns
           insns;
+      check_charge_stats label run total;
       check_jit label run)
     runs;
   List.length runs

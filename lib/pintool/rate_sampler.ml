@@ -25,6 +25,10 @@ let attach ?window engine =
       finalized = false;
     }
   in
+  (* this listener runs on every annotation (the deliver-hot path of
+     Engine.add_listener); [insns] is the engine's exact per-bundle
+     total — bundle charging is staged in Counters, never in the
+     instruction count — so sample marks land on precise boundaries *)
   Mtj_machine.Engine.add_listener engine (fun ~insns annot ->
       match annot with
       | Annot.Dispatch_tick ->
@@ -33,11 +37,7 @@ let attach ?window engine =
             t.rev_samples <- (t.next_mark, t.ticks) :: t.rev_samples;
             t.next_mark <- t.next_mark + t.window
           done
-      | Annot.Phase_push _ | Annot.Phase_pop _ | Annot.Ir_exec _
-      | Annot.Aot_enter _ | Annot.Aot_exit _ | Annot.Trace_enter _
-      | Annot.Trace_exit _ | Annot.Trace_compile _ | Annot.Trace_abort _
-      | Annot.Guard_fail _ | Annot.App_marker _ ->
-          ());
+      | _ -> ());
   t
 
 let finalize t =

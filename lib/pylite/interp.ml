@@ -33,6 +33,15 @@ module Step (O : Ops_intf.OPS) = struct
       args
     end
 
+  (* [first :: args] as a single fresh array (one allocation, unlike
+     [Array.append [| first |] args]) — the receiver-prepend of every
+     method call *)
+  let prepend (first : O.t) (args : O.t array) : O.t array =
+    let n = Array.length args in
+    let out = Array.make (n + 1) first in
+    Array.blit args 0 out 1 n;
+    out
+
   (* dispatch a call to any callable value; [args] is in positional
      order (collected off the stack by [pop_args], no list building) *)
   let rec call_value cx (f : frame) callee (args : O.t array) :
@@ -81,8 +90,7 @@ module Step (O : Ops_intf.OPS) = struct
             Frame.Continue)
     | Value.Obj { payload = Value.Method _; _ } -> (
         match O.method_parts cx callee with
-        | Some (func, recv) ->
-            call_value cx f func (Array.append [| recv |] args)
+        | Some (func, recv) -> call_value cx f func (prepend recv args)
         | None -> err "broken bound method")
     | v -> err "%s object is not callable" (Value.type_name v)
 
@@ -147,7 +155,7 @@ module Step (O : Ops_intf.OPS) = struct
         let self = Frame.pop f in
         let callable = Frame.pop f in
         if O.concrete self = Value.Nil then call_value cx f callable args
-        else call_value cx f callable (Array.append [| self |] args)
+        else call_value cx f callable (prepend self args)
     | CALL_FUNCTION nargs ->
         let args = pop_args cx f nargs in
         let callee = Frame.pop f in

@@ -12,12 +12,13 @@ let arity_err b n =
   err "%s() called with %d arguments" (Builtin.name b) n
 
 let math_fn = Aot.register ~name:"math.libm_call" ~src:Aot.C
+let libm_cost = Mtj_core.Cost.make ~fpu:18 ~alu:6 ()
 
 let float1 ctx f args name =
   match args with
   | [| v |] ->
       Aot.call ctx math_fn @@ fun () ->
-      Engine.emit (Ctx.engine ctx) (Mtj_core.Cost.make ~fpu:18 ~alu:6 ());
+      Engine.emit (Ctx.engine ctx) libm_cost;
       Value.Float (f (Rarith.to_float v))
   | _ -> err "%s() takes one argument" name
 

@@ -10,21 +10,6 @@ open Mtj_rt
 open Mtj_core
 module Engine = Mtj_machine.Engine
 
-type cx = { rtc : Ctx.t; profile : Profile.t }
-
-let make_cx rtc profile = { rtc; profile }
-
-type t = Value.t
-
-let rt cx = cx.rtc
-let const _cx v = v
-let concrete v = v
-
-let charge cx (c : Cost.t) =
-  Engine.emit (Ctx.engine cx.rtc) (Cost.scale cx.profile.Profile.op_scale c)
-
-let branch cx ~site ~taken = Engine.branch (Ctx.engine cx.rtc) ~site ~taken
-
 (* base handler costs (pre-scaling) for classes of operations *)
 let c_arith = Cost.make ~alu:6 ~load:4 ~store:2 ~other:3 ()
 let c_cmp = Cost.make ~alu:5 ~load:3 ~other:2 ()
@@ -34,31 +19,75 @@ let c_build = Cost.make ~alu:5 ~load:2 ~store:4 ~other:3 ()
 let c_truth = Cost.make ~alu:3 ~load:2 ()
 let c_global = Cost.make ~alu:4 ~load:4 ~other:2 ()
 
+(* The profile-scaled versions of the class costs, interned once per VM
+   in [make_cx] ([Cost.scale] is deterministic, so the interned record
+   equals what per-call scaling used to produce).  The hot handlers
+   charge these through the cached engine handle with no per-dispatch
+   allocation or float work. *)
+type cx = {
+  rtc : Ctx.t;
+  profile : Profile.t;
+  eng : Engine.t;
+  k_arith : Cost.t;
+  k_cmp : Cost.t;
+  k_attr : Cost.t;
+  k_item : Cost.t;
+  k_build : Cost.t;
+  k_truth : Cost.t;
+  k_global : Cost.t;
+}
+
+let make_cx rtc profile =
+  let k =
+    Cost.scale_all profile.Profile.op_scale
+      [| c_arith; c_cmp; c_attr; c_item; c_build; c_truth; c_global |]
+  in
+  {
+    rtc;
+    profile;
+    eng = Ctx.engine rtc;
+    k_arith = k.(0);
+    k_cmp = k.(1);
+    k_attr = k.(2);
+    k_item = k.(3);
+    k_build = k.(4);
+    k_truth = k.(5);
+    k_global = k.(6);
+  }
+
+type t = Value.t
+
+let rt cx = cx.rtc
+let const _cx v = v
+let concrete v = v
+let[@inline] charge cx (c : Cost.t) = Engine.emit cx.eng c
+let branch cx ~site ~taken = Engine.branch cx.eng ~site ~taken
+
 let is_true cx v =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   let b = Value.truthy v in
   branch cx ~site:100_001 ~taken:b;
   b
 
 let guard_int cx v =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   Semantics.as_int v
 
 let guard_func cx v =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   match v with
   | Value.Obj { payload = Value.Func f; _ } -> f
   | v -> Semantics.err "%s object is not callable" (Value.type_name v)
 
 let method_parts cx v =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   match v with
   | Value.Obj { payload = Value.Method m; _ } ->
       Some (Value.Obj m.func, m.receiver)
   | _ -> None
 
 let func_captured cx v i =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   match v with
   | Value.Obj { payload = Value.Func fn; _ }
     when i < Array.length fn.Value.captured ->
@@ -66,13 +95,13 @@ let func_captured cx v i =
   | _ -> Semantics.err "bad closure environment access"
 
 let make_closure cx ~code_ref ~arity ~fname captured =
-  charge cx c_build;
+  charge cx cx.k_build;
   Gc_sim.obj (Ctx.gc cx.rtc)
     (Value.Func
        { func_id = code_ref; func_name = fname; arity; code_ref; captured })
 
 let arith f cx a b =
-  charge cx c_arith;
+  charge cx cx.k_arith;
   branch cx ~site:100_002
     ~taken:(match a with Value.Int _ -> true | _ -> false);
   f cx.rtc a b
@@ -84,17 +113,17 @@ let floordiv = arith Rarith.floordiv
 let truediv = arith Rarith.truediv
 
 let modulo cx a b =
-  charge cx c_arith;
+  charge cx cx.k_arith;
   match (a, b) with
   | Value.Str _, _ -> Semantics.err "string %% formatting is not supported"
   | _ -> Rarith.modulo cx.rtc a b
 
 let pow = arith Rarith.pow
-let lshift cx a b = charge cx c_arith; Rarith.lshift cx.rtc a (Semantics.as_int b)
-let rshift cx a b = charge cx c_arith; Rarith.rshift cx.rtc a (Semantics.as_int b)
+let lshift cx a b = charge cx cx.k_arith; Rarith.lshift cx.rtc a (Semantics.as_int b)
+let rshift cx a b = charge cx cx.k_arith; Rarith.rshift cx.rtc a (Semantics.as_int b)
 
 let int2 f cx a b =
-  charge cx c_arith;
+  charge cx cx.k_arith;
   Value.Int (f (Semantics.as_int a) (Semantics.as_int b))
 
 let bitand = int2 ( land )
@@ -102,25 +131,25 @@ let bitor = int2 ( lor )
 let bitxor = int2 ( lxor )
 
 let neg cx a =
-  charge cx c_arith;
+  charge cx cx.k_arith;
   Rarith.neg cx.rtc a
 
 let compare cx op a b =
-  charge cx c_cmp;
+  charge cx cx.k_cmp;
   let r = Semantics.compare_values cx.rtc op a b in
   branch cx ~site:100_003 ~taken:(Value.truthy r);
   r
 
 let not_ cx a =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   Value.Bool (not (Value.truthy a))
 
 let getattr cx v name =
-  charge cx c_attr;
+  charge cx cx.k_attr;
   Semantics.getattr cx.rtc v name
 
 let setattr cx v name x =
-  charge cx c_attr;
+  charge cx cx.k_attr;
   Semantics.setattr cx.rtc v name x
 
 let builtin_value cx b = Builtins_impl.builtin_value cx.rtc b
@@ -158,7 +187,7 @@ let builtin_method name : Builtin.t option =
   | _ -> None
 
 let load_method cx v name =
-  charge cx c_attr;
+  charge cx cx.k_attr;
   match v with
   | Value.Obj { payload = Value.Class c; _ } -> (
       (* unbound access: Task.__init__(self, ...), math.sqrt(x) *)
@@ -182,52 +211,52 @@ let load_method cx v name =
             name)
 
 let getitem cx c k =
-  charge cx c_item;
+  charge cx cx.k_item;
   Semantics.getitem cx.rtc c k
 
 let setitem cx c k v =
-  charge cx c_item;
+  charge cx cx.k_item;
   Semantics.setitem cx.rtc c k v
 
 let len_ cx v =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   Value.Int (Semantics.len_of cx.rtc v)
 
 let unpack cx v n =
-  charge cx c_item;
+  charge cx cx.k_item;
   Semantics.unpack cx.rtc v n
 
 let make_list cx items =
-  charge cx c_build;
+  charge cx cx.k_build;
   Value.Obj (Rlist.create cx.rtc (Array.to_list items))
 
 let make_tuple cx items =
-  charge cx c_build;
+  charge cx cx.k_build;
   Gc_sim.obj (Ctx.gc cx.rtc) (Value.Tuple items)
 
 let make_dict cx pairs =
-  charge cx c_build;
+  charge cx cx.k_build;
   let d = Rdict.create cx.rtc in
   let o = Gc_sim.alloc (Ctx.gc cx.rtc) (Value.Dict d) in
   Array.iter (fun (k, v) -> Rdict.set cx.rtc o d k v) pairs;
   Value.Obj o
 
 let make_set cx items =
-  charge cx c_build;
+  charge cx cx.k_build;
   Value.Obj (Rset.create cx.rtc (Array.to_list items))
 
 let make_cell cx v =
-  charge cx c_build;
+  charge cx cx.k_build;
   Gc_sim.obj (Ctx.gc cx.rtc) (Value.Cell { cell = v })
 
 let cell_get cx v =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   match v with
   | Value.Obj { payload = Value.Cell c; _ } -> c.cell
   | _ -> Semantics.err "expected cell"
 
 let cell_set cx v x =
-  charge cx c_truth;
+  charge cx cx.k_truth;
   match v with
   | Value.Obj ({ payload = Value.Cell c; _ } as o) ->
       c.cell <- x;
@@ -235,7 +264,7 @@ let cell_set cx v x =
   | _ -> Semantics.err "expected cell"
 
 let alloc_instance cx clsv =
-  charge cx c_build;
+  charge cx cx.k_build;
   let cls_obj, cls = Semantics.as_cls clsv in
   Gc_sim.obj (Ctx.gc cx.rtc)
     (Value.Instance
@@ -245,23 +274,23 @@ let alloc_instance cx clsv =
        })
 
 let class_init_func cx clsv =
-  charge cx c_attr;
+  charge cx cx.k_attr;
   let _, cls = Semantics.as_cls clsv in
   match Semantics.class_attr cls "__init__" with
   | Some (Value.Obj { payload = Value.Func f; _ }) -> Some f
   | Some _ | None -> None
 
 let load_global cx globals name =
-  charge cx c_global;
+  charge cx cx.k_global;
   match Globals.get globals name with
   | Some v -> v
   | None -> Semantics.err "name '%s' is not defined" name
 
 let store_global cx globals name v =
-  charge cx c_global;
+  charge cx cx.k_global;
   Globals.set globals name v
 
 let call_builtin cx b args =
-  charge cx c_item;
+  charge cx cx.k_item;
   Builtins_impl.run cx.rtc b args
 

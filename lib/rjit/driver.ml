@@ -47,6 +47,10 @@ module Make (L : Ops_intf.LANG) = struct
     jitlog : Jitlog.t;
     sites : (int * int, site) Hashtbl.t;
     dcx : Direct_ops.cx;
+    charge_tab : Cost.t array;
+        (* preinterned dispatch-loop cost table: slot 0 = per-bytecode
+           dispatch bundle, slot 1 = frame setup/teardown; charged via
+           [Engine.emit_static] *)
     mutable cur : dframe option;        (* GC roots: direct frames *)
     mutable tracking : tframe option;   (* GC roots: tracked frames *)
   }
@@ -64,6 +68,7 @@ module Make (L : Ops_intf.LANG) = struct
         jitlog = Jitlog.create ();
         sites = Hashtbl.create 64;
         dcx = Direct_ops.make_cx rtc profile;
+        charge_tab = [| profile.Profile.dispatch; profile.Profile.frame_cost |];
         cur = None;
         tracking = None;
       }
@@ -570,7 +575,7 @@ module Make (L : Ops_intf.LANG) = struct
          | Some f ->
          (* one dispatch-loop iteration *)
          Engine.annot eng Annot.Dispatch_tick;
-         Engine.emit eng t.profile.Profile.dispatch;
+         Engine.emit_static eng t.charge_tab ~lo:0 ~hi:1;
          if t.profile.Profile.dispatch_indirect then
            Engine.branch_indirect eng
              ~site:(200_000 + (f.Frame.code_ref land 1023))
@@ -578,13 +583,13 @@ module Make (L : Ops_intf.LANG) = struct
          match D.step t.dcx t.globals f with
          | Frame.Continue -> ()
          | Frame.Call nf ->
-             Engine.emit eng t.profile.Profile.frame_cost;
+             Engine.emit_static eng t.charge_tab ~lo:1 ~hi:2;
              cur := nf;
              t.cur <- Some nf
          | Frame.Return v -> (
              match f.Frame.parent with
              | Some p ->
-                 Engine.emit eng t.profile.Profile.frame_cost;
+                 Engine.emit_static eng t.charge_tab ~lo:1 ~hi:2;
                  if not f.Frame.discard_return then Frame.push p v;
                  cur := p;
                  t.cur <- Some p

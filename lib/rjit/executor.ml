@@ -139,6 +139,9 @@ let guard_holds (g : Ir.guard) (vals : Value.t array) =
 
 (* --- blackhole: charge deoptimization and rebuild frames --- *)
 
+(* fixed entry cost of a deopt, hoisted so it is not rebuilt per event *)
+let blackhole_entry_cost = Cost.make ~alu:160 ~load:130 ~store:95 ~other:120 ()
+
 let blackhole rtc (resume : Ir.resume) regs ~guard_id =
   let eng = Ctx.engine rtc in
   Engine.in_phase eng Phase.Blackhole @@ fun () ->
@@ -148,7 +151,7 @@ let blackhole rtc (resume : Ir.resume) regs ~guard_id =
         acc + Array.length f.Ir.snap_locals + Array.length f.Ir.snap_stack)
       0 resume.Ir.frames
   in
-  Engine.emit eng (Cost.make ~alu:160 ~load:130 ~store:95 ~other:120 ());
+  Engine.emit eng blackhole_entry_cost;
   Engine.emit eng
     (Cost.make ~alu:(5 * slots) ~load:(4 * slots) ~store:(4 * slots) ());
   (* the blackhole interpreter walks resume chains with irregular,
@@ -247,7 +250,9 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
     let regs = !cur_regs in
     let op = t.Ir.ops.(!ip) in
     t.Ir.op_exec.(!ip) <- t.Ir.op_exec.(!ip) + 1;
-    Engine.emit eng t.Ir.op_costs.(!ip);
+    (* per-opcode costs are interned in the trace's code table at
+       compile time; charge through the block API *)
+    Engine.emit_static eng t.Ir.op_costs ~lo:!ip ~hi:(!ip + 1);
     let arg i =
       match op.Ir.args.(i) with
       | Ir.Const v -> v

@@ -17,6 +17,18 @@ module Step (O : Ops_intf.OPS) = struct
       ~default:(O.const cx Value.Nil)
       ~parent
 
+  (* pop [n] operands into a fresh positional-order array (top of stack
+     is the last argument) — no per-call list building on the call path *)
+  let pop_args cx (f : frame) n : O.t array =
+    if n = 0 then [||]
+    else begin
+      let args = Array.make n (O.const cx Value.Nil) in
+      for i = n - 1 downto 0 do
+        args.(i) <- Frame.pop f
+      done;
+      args
+    end
+
   let pair_class cx globals = O.load_global cx globals "%pair"
 
   let cons cx globals car cdr =
@@ -149,15 +161,12 @@ module Step (O : Ops_intf.OPS) = struct
         Frame.push f (O.make_closure cx ~code_ref ~arity ~fname:cname cells);
         next ()
     | K_CALL nargs ->
-        let rec pops n acc =
-          if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc)
-        in
-        let args = pops nargs [] in
+        let args = pop_args cx f nargs in
         let callee = Frame.pop f in
         let fn = O.guard_func cx callee in
         if fn.Value.code_ref < 0 then begin
           let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
-          let r = O.call_builtin cx b (Array.of_list args) in
+          let r = O.call_builtin cx b args in
           Frame.push f r;
           next ()
         end
@@ -168,7 +177,7 @@ module Step (O : Ops_intf.OPS) = struct
           let code = Kcode_table.lookup fn.Value.code_ref in
           f.Frame.pc <- pc + 1;
           let nf = make_frame cx code (Some f) in
-          List.iteri (fun i a -> nf.Frame.locals.(i) <- a) args;
+          Array.blit args 0 nf.Frame.locals 0 nargs;
           (* copy the captured cells into the capture slots *)
           for i = 0 to code.Kbytecode.ncaptured - 1 do
             nf.Frame.locals.(code.Kbytecode.nargs + i) <-
@@ -177,15 +186,12 @@ module Step (O : Ops_intf.OPS) = struct
           Frame.Call nf
         end
     | K_TAILCALL nargs ->
-        let rec pops n acc =
-          if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc)
-        in
-        let args = pops nargs [] in
+        let args = pop_args cx f nargs in
         let callee = Frame.pop f in
         let fn = O.guard_func cx callee in
         if fn.Value.code_ref < 0 then begin
           let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
-          let r = O.call_builtin cx b (Array.of_list args) in
+          let r = O.call_builtin cx b args in
           Frame.Return r
         end
         else begin
@@ -196,7 +202,7 @@ module Step (O : Ops_intf.OPS) = struct
           (* proper tail call: the new frame replaces this one *)
           let nf = make_frame cx code f.Frame.parent in
           nf.Frame.discard_return <- f.Frame.discard_return;
-          List.iteri (fun i a -> nf.Frame.locals.(i) <- a) args;
+          Array.blit args 0 nf.Frame.locals 0 nargs;
           for i = 0 to code.Kbytecode.ncaptured - 1 do
             nf.Frame.locals.(code.Kbytecode.nargs + i) <-
               O.func_captured cx callee i

@@ -151,9 +151,14 @@ let rebuild_remembered t candidates =
 
 let scan_cost = Cost.make ~alu:10 ~load:8 ~store:4 ()
 
+(* constant charge records for the per-event paths, interned once *)
+let collection_entry_cost = Cost.make ~alu:900 ~load:400 ~store:400 ~other:300 ()
+let alloc_cost = Cost.make ~alu:4 ~store:4 ~other:2 ()
+let barrier_cost = Cost.make ~alu:1 ~store:1 ()
+
 let charge_collection t ~visited ~promoted_words ~freed =
   let eng = t.engine in
-  Engine.emit eng (Cost.make ~alu:900 ~load:400 ~store:400 ~other:300 ());
+  Engine.emit eng collection_entry_cost;
   (* per-object scanning loop: predictable branches, dense code *)
   for i = 0 to (visited / 4) - 1 do
     Engine.branch eng ~site:900_001 ~taken:(i mod 16 <> 15)
@@ -281,7 +286,7 @@ let alloc t payload =
       allocated_words = t.s.allocated_words + words;
     };
   (* bump-pointer allocation plus the amortized slow path *)
-  Engine.emit t.engine (Cost.make ~alu:4 ~store:4 ~other:2 ());
+  Engine.emit t.engine alloc_cost;
   o
 
 let obj t payload = Value.Obj (alloc t payload)
@@ -307,7 +312,7 @@ let write_barrier t ~parent ~child =
          && not parent.Value.remembered ->
       parent.Value.remembered <- true;
       t.remembered <- parent :: t.remembered;
-      Engine.emit t.engine (Cost.make ~alu:1 ~store:1 ())
+      Engine.emit t.engine barrier_cost
   | Value.Obj _ | Value.Nil | Value.Bool _ | Value.Int _ | Value.Float _
   | Value.Str _ ->
       ()

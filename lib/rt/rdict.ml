@@ -23,11 +23,16 @@ let length (d : Value.dict) = d.Value.num_live
 (* The probe loop: CPython/PyPy-style perturbed open addressing.  Returns
    [`Found slot] or [`Free index_position].  Charges one index load per
    probe and a key-comparison branch on collisions. *)
+(* per-probe charge records, interned once (the probe loop is the
+   hottest dict path) *)
+let probe_index_cost = Cost.make ~alu:3 ~load:1 ()
+let probe_entry_cost = Cost.make ~load:2 ~alu:2 ()
+
 let probe ctx (d : Value.dict) key khash =
   let eng = Ctx.engine ctx in
   let mask = d.Value.index_mask in
   let rec go j perturb first_tomb =
-    Engine.emit eng (Cost.make ~alu:3 ~load:1 ());
+    Engine.emit eng probe_index_cost;
     let slot = d.Value.index.(j) in
     if slot = free_slot then begin
       Engine.branch eng ~site:910_001 ~taken:false;
@@ -41,7 +46,7 @@ let probe ctx (d : Value.dict) key khash =
     else begin
       let e = d.Value.entries.(slot) in
       (* touch the entry for the cache model *)
-      Engine.emit eng (Cost.make ~load:2 ~alu:2 ());
+      Engine.emit eng probe_entry_cost;
       let hit = e.Value.khash = khash && Value.py_eq e.Value.key key in
       Engine.branch eng ~site:910_002 ~taken:hit;
       if hit && e.Value.live then `Found slot

@@ -217,6 +217,9 @@ let setslice ctx (dst : Value.obj) lo hi (src : Value.obj) =
     set ctx dst (lo + i) (nth sl i)
   done
 
+(* per-element probe charge of [find], interned once *)
+let find_step_cost = Cost.make ~alu:2 ~load:1 ()
+
 let find ctx (o : Value.obj) v =
   let l = of_obj o in
   Aot.call ctx safe_find_fn @@ fun () ->
@@ -225,7 +228,7 @@ let find ctx (o : Value.obj) v =
   let result = ref (-1) in
   (try
      for i = 0 to n - 1 do
-       Engine.emit eng (Cost.make ~alu:2 ~load:1 ());
+       Engine.emit eng find_step_cost;
        let hit = Value.py_eq (nth l i) v in
        Engine.branch eng ~site:920_001 ~taken:hit;
        if hit then begin

@@ -1,6 +1,10 @@
 open Mtj_core
 module Engine = Mtj_machine.Engine
 
+(* constant charge records for the scan/libm paths, interned once *)
+let scan_char_cost = Cost.make ~alu:1 ~load:1 ()
+let pow_cost = Cost.make ~fpu:22 ~alu:8 ~load:4 ()
+
 let join_fn = Aot.register ~name:"rstr.ll_join" ~src:Aot.R
 let find_char_fn = Aot.register ~name:"rstr.ll_find_char" ~src:Aot.R
 let strhash_fn = Aot.register ~name:"rstr_ll_strhash" ~src:Aot.R
@@ -39,7 +43,7 @@ let find_char ctx s c ~start =
       -1
     end
     else begin
-      Engine.emit eng (Cost.make ~alu:1 ~load:1 ());
+      Engine.emit eng scan_char_cost;
       let hit = s.[i] = c in
       Engine.branch eng ~site:930_001 ~taken:(not hit);
       if hit then i else go (i + 1)
@@ -131,7 +135,7 @@ let unicode_encode ctx s =
 
 let pow_float ctx x y =
   Aot.call ctx pow_fn @@ fun () ->
-  Engine.emit (Ctx.engine ctx) (Cost.make ~fpu:22 ~alu:8 ~load:4 ());
+  Engine.emit (Ctx.engine ctx) pow_cost;
   Float.pow x y
 
 let memcpy_cost ctx n =

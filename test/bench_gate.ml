@@ -1,23 +1,47 @@
-(** CI wall-clock gate for the trace executor.
+(** CI wall-clock gate for the simulation hot paths.
 
     Compares two ["mtj-bench-timings/1"] documents (a committed baseline
-    and the current build's run) and fails when the JIT-dominated
-    configurations regressed by more than the allowed fraction.
+    and the current build's run) and fails when either gated group
+    regressed by more than the allowed fraction.
 
-    Absolute wall-clock is meaningless across machines, so the gate
-    compares the RATIO of JIT-config wall time (pypy / pypy-2tier /
-    pycket — the configs that spend their time in the trace executor) to
-    interpreter/native-config wall time (cpython / pypy-nojit / racket /
-    c — paths the executor change does not touch).  That normalizes out
-    runner speed while staying sensitive to trace-executor regressions.
+    Absolute wall-clock is meaningless across machines, so both gates
+    compare machine-independent RATIOS between config groups:
 
-    Usage: bench_gate.exe BASELINE.json CURRENT.json [MAX_REGRESS]
-    (MAX_REGRESS defaults to 0.15, i.e. fail above +15%). *)
+    - {b trace-executor gate}: JIT-config wall time (pypy / pypy-2tier /
+      pycket — the configs that spend their time in the trace executor)
+      over interpreter/native-config wall time (cpython / pypy-nojit /
+      racket / c).  A trace-executor regression raises this ratio.
+    - {b interpreter gate}: host nanoseconds per simulated instruction of
+      the interpreter-dominated configs (cpython / pypy-nojit / racket)
+      over ns-per-insn of the JIT configs.  A regression in the engine's
+      charging fast path or the dispatch loops raises this ratio — and
+      it cannot hide in the first gate, which such a regression would
+      (misleadingly) LOWER.  Simulated insn counts are deterministic, so
+      the rate quotient still cancels machine speed.
+
+    Usage:
+      bench_gate.exe BASELINE.json CURRENT.json [MAX_REGRESS]
+      bench_gate.exe --update-baseline BASELINE.json CURRENT.json
+
+    [MAX_REGRESS] defaults to 0.15 (fail above +15%) and applies to both
+    gates.  [--update-baseline] validates CURRENT and copies it over
+    BASELINE instead of gating.
+
+    Baseline refresh workflow (after an intentional perf change):
+    {v
+      dune exec bench/main.exe -- all --timings /tmp/BENCH_new.json
+      dune exec test/bench_gate.exe -- bench/BENCH_after.json /tmp/BENCH_new.json
+      # inspect the printed ratios; if the change is intended:
+      dune exec test/bench_gate.exe -- --update-baseline \
+          bench/BENCH_after.json /tmp/BENCH_new.json
+      git add bench/BENCH_after.json   # commit with the change itself
+    v} *)
 
 open Mtj_obs
 
 let jit_configs = [ "pypy"; "pypy-2tier"; "pycket" ]
 let ref_configs = [ "cpython"; "pypy-nojit"; "racket"; "c" ]
+let interp_configs = [ "cpython"; "pypy-nojit"; "racket" ]
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
@@ -35,9 +59,18 @@ let load file =
   | Error e -> die "%s: invalid timings document: %s" file e);
   j
 
-(* (jit wall, reference wall) over the document's runs *)
-let split_wall file j =
-  let jit = ref 0.0 and base = ref 0.0 in
+type groups = {
+  jit_wall : float;
+  ref_wall : float;
+  interp_wall : float;
+  interp_insns : float;
+  jit_insns : float;
+}
+
+let split file j =
+  let jit_wall = ref 0.0 and ref_wall = ref 0.0 in
+  let interp_wall = ref 0.0 and interp_insns = ref 0.0 in
+  let jit_insns = ref 0.0 in
   let runs =
     match Option.bind (Json.member "runs" j) Json.get_arr with
     | Some r -> r
@@ -47,36 +80,84 @@ let split_wall file j =
     (fun r ->
       let str k = Option.bind (Json.member k r) Json.get_str in
       let num k = Option.bind (Json.member k r) Json.get_num in
-      match (str "config", num "wall_s") with
-      | Some c, Some w ->
-          if List.mem c jit_configs then jit := !jit +. w
-          else if List.mem c ref_configs then base := !base +. w
+      match (str "config", num "wall_s", num "insns") with
+      | Some c, Some w, Some insns ->
+          if List.mem c jit_configs then begin
+            jit_wall := !jit_wall +. w;
+            jit_insns := !jit_insns +. insns
+          end
+          else if List.mem c ref_configs then ref_wall := !ref_wall +. w;
+          if List.mem c interp_configs then begin
+            interp_wall := !interp_wall +. w;
+            interp_insns := !interp_insns +. insns
+          end
       | _ -> die "%s: malformed run row" file)
     runs;
-  if !jit <= 0.0 then die "%s: no JIT-config runs" file;
-  if !base <= 0.0 then die "%s: no reference-config runs" file;
-  (!jit, !base)
+  if !jit_wall <= 0.0 then die "%s: no JIT-config runs" file;
+  if !ref_wall <= 0.0 then die "%s: no reference-config runs" file;
+  if !interp_insns <= 0.0 then die "%s: no interpreter-config insns" file;
+  if !jit_insns <= 0.0 then die "%s: no JIT-config insns" file;
+  {
+    jit_wall = !jit_wall;
+    ref_wall = !ref_wall;
+    interp_wall = !interp_wall;
+    interp_insns = !interp_insns;
+    jit_insns = !jit_insns;
+  }
+
+(* ns per simulated instruction of the interpreter rows, normalized by
+   the same rate over the JIT rows *)
+let interp_ratio g =
+  (g.interp_wall /. g.interp_insns) /. (g.jit_wall /. g.jit_insns)
+
+let update_baseline ~baseline_file ~current_file =
+  ignore (load current_file);
+  let ic = open_in_bin current_file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin baseline_file in
+  output_string oc s;
+  close_out oc;
+  Printf.printf "baseline %s updated from %s\n" baseline_file current_file
 
 let () =
-  let baseline_file, current_file, max_regress =
-    match Array.to_list Sys.argv with
-    | [ _; b; c ] -> (b, c, 0.15)
-    | [ _; b; c; m ] -> (b, c, float_of_string m)
-    | _ ->
-        die "usage: %s BASELINE.json CURRENT.json [MAX_REGRESS]" Sys.argv.(0)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let update, args =
+    match args with
+    | "--update-baseline" :: rest -> (true, rest)
+    | _ -> (false, args)
   in
-  let bjit, bbase = split_wall baseline_file (load baseline_file) in
-  let cjit, cbase = split_wall current_file (load current_file) in
-  let bratio = bjit /. bbase and cratio = cjit /. cbase in
-  let change = (cratio -. bratio) /. bratio in
-  Printf.printf
-    "baseline: jit=%.3fs ref=%.3fs ratio=%.4f\n\
-     current:  jit=%.3fs ref=%.3fs ratio=%.4f\n\
-     normalized trace-executor change: %+.1f%% (limit +%.0f%%)\n"
-    bjit bbase bratio cjit cbase cratio (100.0 *. change)
-    (100.0 *. max_regress);
-  if change > max_regress then begin
-    prerr_endline "FAIL: trace-executor wall-clock regressed past the limit";
-    exit 1
-  end;
-  print_endline "OK"
+  let baseline_file, current_file, max_regress =
+    match args with
+    | [ b; c ] -> (b, c, 0.15)
+    | [ b; c; m ] when not update -> (b, c, float_of_string m)
+    | _ ->
+        die
+          "usage: %s [--update-baseline] BASELINE.json CURRENT.json \
+           [MAX_REGRESS]"
+          Sys.argv.(0)
+  in
+  if update then update_baseline ~baseline_file ~current_file
+  else begin
+    let b = split baseline_file (load baseline_file) in
+    let c = split current_file (load current_file) in
+    let failed = ref false in
+    let gate name bval cval =
+      let change = (cval -. bval) /. bval in
+      Printf.printf "%s: baseline=%.4f current=%.4f change=%+.1f%% (limit +%.0f%%)\n"
+        name bval cval (100.0 *. change) (100.0 *. max_regress);
+      if change > max_regress then begin
+        Printf.eprintf "FAIL: %s regressed past the limit\n" name;
+        failed := true
+      end
+    in
+    Printf.printf
+      "baseline: jit=%.3fs ref=%.3fs interp=%.3fs\n\
+       current:  jit=%.3fs ref=%.3fs interp=%.3fs\n"
+      b.jit_wall b.ref_wall b.interp_wall c.jit_wall c.ref_wall c.interp_wall;
+    gate "trace-executor wall ratio" (b.jit_wall /. b.ref_wall)
+      (c.jit_wall /. c.ref_wall);
+    gate "interpreter ns/insn ratio" (interp_ratio b) (interp_ratio c);
+    if !failed then exit 1;
+    print_endline "OK"
+  end

@@ -19,6 +19,7 @@ let () =
       ("jit-opt-property", Test_opt_prop.suite);
       ("jit-threaded-diff", Test_threaded_diff.suite);
       ("machine-property", Test_machine_prop.suite);
+      ("charge-diff", Test_charge_diff.suite);
       ("obs", Test_obs.suite);
       ("lang-internals", Test_lang_internals.suite);
       ("error-paths", Test_errors.suite);

@@ -182,9 +182,29 @@ let test_runner_metrics_roundtrip () =
     Metrics.document ~runs:[ Mtj_harness.Report.metrics_json r ]
   in
   let reparsed = parse_ok "runner metrics json" (Json.to_string doc) in
-  match Validate.metrics reparsed with
+  (match Validate.metrics reparsed with
   | Ok n -> Alcotest.(check int) "one run record" 1 n
-  | Error e -> Alcotest.failf "runner metrics validation: %s" e
+  | Error e -> Alcotest.failf "runner metrics validation: %s" e);
+  (* v3 charging fast-path stats survive the round trip verbatim *)
+  let rint key =
+    match
+      Option.bind (Json.member "runs" reparsed) (fun runs ->
+          match Json.get_arr runs with
+          | Some (first :: _) -> Option.bind (Json.member key first) Json.get_int
+          | _ -> None)
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "run.%s missing" key
+  in
+  Alcotest.(check int)
+    "charge_flushes round-trips" r.Mtj_harness.Runner.charge_flushes
+    (rint "charge_flushes");
+  Alcotest.(check int)
+    "fast_path_bundles round-trips" r.Mtj_harness.Runner.fast_path_bundles
+    (rint "fast_path_bundles");
+  Alcotest.(check bool)
+    "bundles dominate flushes on a real run" true
+    (rint "fast_path_bundles" > rint "charge_flushes" && rint "charge_flushes" > 0)
 
 (* --- bench timings --- *)
 
@@ -291,10 +311,10 @@ let test_validator_rejects_corruption () =
         ("cache_miss_rate", Json.Float 0.0);
       ]
   in
-  let mdoc total =
+  let mdoc ?(flushes = 3) ?(bundles = 5) total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/2");
+        ("schema", Json.Str "mtj-metrics/3");
         ( "runs",
           Json.Arr
             [
@@ -305,6 +325,8 @@ let test_validator_rejects_corruption () =
                   ("status", Json.Str "ok");
                   ("insns", Json.Int total);
                   ("cycles", Json.Float 10.0);
+                  ("charge_flushes", Json.Int flushes);
+                  ("fast_path_bundles", Json.Int bundles);
                   ( "phases",
                     Json.Obj
                       [ ("interpreter", snap 7); ("total", snap total) ] );
@@ -317,11 +339,19 @@ let test_validator_rejects_corruption () =
   | Ok n -> Alcotest.failf "expected 1 run, got %d" n
   | Error e -> Alcotest.failf "consistent metrics rejected: %s" e);
   expect_err "inconsistent phase sum" (Validate.metrics (mdoc 8));
+  (* v3 charging fast-path invariants: the total snapshot carries a
+     load, so a zero bundle count is impossible; and retired insns imply
+     at least one staged-counter writeback *)
+  expect_err "loads but no fast-path bundles"
+    (Validate.metrics (mdoc ~bundles:0 7));
+  expect_err "insns but no flushes" (Validate.metrics (mdoc ~flushes:0 7));
+  expect_err "negative fast_path_bundles"
+    (Validate.metrics (mdoc ~bundles:(-1) 7));
   (* jit block violating the v2 cache invariants *)
   let jdoc translations trace_translations =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/2");
+        ("schema", Json.Str "mtj-metrics/3");
         ( "runs",
           Json.Arr
             [
@@ -332,6 +362,8 @@ let test_validator_rejects_corruption () =
                   ("status", Json.Str "ok");
                   ("insns", Json.Int 7);
                   ("cycles", Json.Float 10.0);
+                  ("charge_flushes", Json.Int 3);
+                  ("fast_path_bundles", Json.Int 5);
                   ( "phases",
                     Json.Obj [ ("interpreter", snap 7); ("total", snap 7) ] );
                   ( "jit",
