@@ -8,9 +8,10 @@
    The run matrix executes on a pool of worker domains: -j N (or
    MTJ_JOBS) selects the worker count, defaulting to what the hardware
    recommends, capped at the matrix size.  Table/figure output is
-   byte-identical at any -j; --timings FILE additionally writes a
-   machine-readable JSON report of per-run and per-experiment
-   wall-clock. *)
+   byte-identical at any -j and either --threaded-interp mode (the
+   threaded tier changes host wall time only); --timings FILE
+   additionally writes a machine-readable JSON report of per-run and
+   per-experiment wall-clock. *)
 
 module E = Mtj_harness.Experiments
 module R = Mtj_harness.Runner
@@ -84,8 +85,8 @@ let bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe [-j N] [--timings FILE] [--metrics-out FILE] [all | \
-     bechamel | <experiment> ...]";
+    "usage: main.exe [-j N] [--threaded-interp on|off] [--timings FILE] \
+     [--metrics-out FILE] [all | bechamel | <experiment> ...]";
   print_endline "experiments:";
   List.iter
     (fun (e : E.experiment) ->
@@ -96,6 +97,7 @@ type parsed = {
   names : string list;  (* in command-line order *)
   run_all : bool;
   jobs : int option;
+  threaded : bool option;
   timings_file : string option;
   metrics_file : string option;
   help : bool;
@@ -109,6 +111,12 @@ let parse_args argv =
         | Some n when n >= 1 -> go { acc with jobs = Some n } rest
         | _ -> Error (Printf.sprintf "bad job count %S" v))
     | [ ("-j" | "--jobs") ] -> Error "-j requires an argument"
+    | "--threaded-interp" :: v :: rest -> (
+        match v with
+        | "on" -> go { acc with threaded = Some true } rest
+        | "off" -> go { acc with threaded = Some false } rest
+        | _ -> Error (Printf.sprintf "bad --threaded-interp value %S" v))
+    | [ "--threaded-interp" ] -> Error "--threaded-interp requires on|off"
     | "--timings" :: f :: rest -> go { acc with timings_file = Some f } rest
     | [ "--timings" ] -> Error "--timings requires an argument"
     | "--metrics-out" :: f :: rest -> go { acc with metrics_file = Some f } rest
@@ -120,8 +128,8 @@ let parse_args argv =
     | name :: rest -> go { acc with names = acc.names @ [ name ] } rest
   in
   go
-    { names = []; run_all = false; jobs = None; timings_file = None;
-      metrics_file = None; help = false }
+    { names = []; run_all = false; jobs = None; threaded = None;
+      timings_file = None; metrics_file = None; help = false }
     argv
 
 let () =
@@ -134,6 +142,7 @@ let () =
   | Ok { help = true; _ } -> usage ()
   | Ok p ->
       Option.iter R.set_jobs p.jobs;
+      Option.iter R.set_threaded_interp p.threaded;
       (* validate every requested name before running anything *)
       let unknown =
         List.filter

@@ -67,6 +67,20 @@ let budget_arg =
   Arg.(value & opt int R.default_budget
        & info [ "budget" ] ~docv:"INSNS" ~doc:"instruction budget")
 
+let threaded_arg =
+  let mode = Arg.enum [ ("on", true); ("off", false) ] in
+  Arg.(value & opt (some mode) None
+       & info [ "threaded-interp" ] ~docv:"on|off"
+           ~doc:"threaded interpreter dispatch: translate each code object \
+                 once into an array of pre-bound handler closures (default \
+                 on, or \\$(b,MTJ_THREADED_INTERP)); simulated counters are \
+                 identical either way, only host wall time changes")
+
+let apply_threaded = function Some b -> R.set_threaded_interp b | None -> ()
+
+let with_threaded config =
+  { config with Mtj_core.Config.threaded_interp = R.threaded_interp () }
+
 let show_output_arg =
   Arg.(value & flag & info [ "output" ] ~doc:"print the program's output")
 
@@ -121,7 +135,8 @@ let run_cmd =
     "Run benchmarks under a VM configuration (several benchmarks run in \
      parallel on worker domains; results print in argument order)"
   in
-  let run names vm budget jobs show_output =
+  let run names vm budget jobs show_output threaded =
+    apply_threaded threaded;
     if jobs > 0 then R.set_jobs jobs;
     (* fill the cache in parallel; a benchmark that fails to run is
        reported per-name below, after the others have completed *)
@@ -142,7 +157,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ benches_arg $ config_arg $ budget_arg $ jobs_arg
-      $ show_output_arg)
+      $ show_output_arg $ threaded_arg)
 
 (* --- trace --- *)
 
@@ -165,10 +180,11 @@ let trace_cmd =
      $(b,--trace-out)/$(b,--metrics-out)) export the run's timeline and \
      counters as JSON"
   in
-  let run name budget trace_out metrics_out =
+  let run name budget trace_out metrics_out threaded =
+    apply_threaded threaded;
     let observing = trace_out <> None || metrics_out <> None in
     let config =
-      Mtj_core.Config.with_budget budget Mtj_core.Config.default
+      with_threaded (Mtj_core.Config.with_budget budget Mtj_core.Config.default)
     in
     let attach eng =
       if observing then Some (Mtj_obs.Sink.attach eng) else None
@@ -238,7 +254,9 @@ let trace_cmd =
     end
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ bench_arg $ budget_arg $ trace_out_arg $ metrics_out_arg)
+    Term.(
+      const run $ bench_arg $ budget_arg $ trace_out_arg $ metrics_out_arg
+      $ threaded_arg)
 
 (* --- exec --- *)
 
@@ -257,13 +275,15 @@ let exec_cmd =
           ~doc:
             "two-tier compilation: compile traces quickly first,              recompile hot ones through the full optimizer")
   in
-  let run file nojit tiered budget =
+  let run file nojit tiered budget threaded =
+    apply_threaded threaded;
     let src = In_channel.with_open_text file In_channel.input_all in
     let config =
-      Mtj_core.Config.with_budget budget
-        (if nojit then Mtj_core.Config.no_jit
-         else if tiered then Mtj_core.Config.two_tier
-         else Mtj_core.Config.default)
+      with_threaded
+        (Mtj_core.Config.with_budget budget
+           (if nojit then Mtj_core.Config.no_jit
+            else if tiered then Mtj_core.Config.two_tier
+            else Mtj_core.Config.default))
     in
     let is_scheme =
       Filename.check_suffix file ".rkt" || Filename.check_suffix file ".scm"
@@ -292,7 +312,9 @@ let exec_cmd =
     Printf.eprintf "[%s; %d simulated instructions]\n" outcome_str insns
   in
   Cmd.v (Cmd.info "exec" ~doc)
-    Term.(const run $ file_arg $ nojit_arg $ tiered_arg $ budget_arg)
+    Term.(
+      const run $ file_arg $ nojit_arg $ tiered_arg $ budget_arg
+      $ threaded_arg)
 
 let () =
   let doc = "meta-tracing JIT workload characterization tools" in

@@ -91,7 +91,30 @@ module Acc_lang = struct
           ignore (O.call_builtin cx Builtin.Print [| Frame.pop f |]);
           next ()
       | Halt -> Frame.Return (O.const cx Mtj_rt.Value.Nil)
+
+    let step_ref = step
   end
+
+  (* the threaded-dispatch tier, generic flavour: a language that wants
+     it for free wraps its reference step in one pre-bound closure per
+     pc (pylite/rklite go further and pre-decode operands per pc) *)
+  module D_ref = Step (Direct_ops)
+
+  let headers ((instrs, _) as c) =
+    Array.init (Array.length instrs) (loop_header c)
+
+  let threaded_tbl : (int, (Direct_ops.t, code) Threaded.step array) Hashtbl.t =
+    Hashtbl.create 8
+
+  let lookup_threaded c = Hashtbl.find_opt threaded_tbl (code_ref c)
+  let store_threaded c s = Hashtbl.replace threaded_tbl (code_ref c) s
+
+  let threaded_code dcx globals d ((instrs, _) as c) =
+    Array.init (Array.length instrs) (fun pc ->
+        let target = opcode_at c pc in
+        fun f ->
+          Threaded.charge d ~target;
+          D_ref.step_ref dcx globals f)
 end
 
 module Acc_vm = Driver.Make (Acc_lang)
@@ -117,6 +140,8 @@ let program =
     |]
 
 let run jit =
+  (* cached threaded steps bind a run's engine; drop them between runs *)
+  Hashtbl.reset Acc_lang.threaded_tbl;
   let config =
     Mtj_core.Config.with_budget 100_000_000
       (if jit then Mtj_core.Config.default else Mtj_core.Config.no_jit)

@@ -14,6 +14,7 @@ type t = {
   insn_budget : int;
   sample_window : int;
   jit_enabled : bool;
+  threaded_interp : bool;
   tiered : bool;
   tier2_threshold : int;
 }
@@ -35,6 +36,7 @@ let default =
     insn_budget = 20_000_000;
     sample_window = 100_000;
     jit_enabled = true;
+    threaded_interp = true;
     tiered = false;
     tier2_threshold = 40;
   }

@@ -31,6 +31,11 @@ type t = {
   insn_budget : int;     (** stop a run after this many simulated insns *)
   sample_window : int;   (** warmup-curve sampling window, in insns *)
   jit_enabled : bool;
+  threaded_interp : bool;
+      (** dispatch interpreter bytecodes through translate-once arrays of
+          pre-bound step closures (the threaded tier) instead of the
+          reference decode-and-match loop; simulated counters are
+          byte-identical either way *)
   (* --- extension: two-tier compilation (the paper's Q5 discussion) --- *)
   tiered : bool;
       (** tier-1: compile traces unoptimized at a fraction of the compile

@@ -37,7 +37,7 @@ let write_timings ~file ~jobs ~total_wall ~experiments =
     (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
   Printf.eprintf "[timings written to %s]\n%!" file
 
-(* --- metrics ("mtj-metrics/3") --- *)
+(* --- metrics ("mtj-metrics/4") --- *)
 
 let status_name = function
   | R.Ok_run -> "ok"
@@ -55,6 +55,8 @@ let jit_json (j : R.jit_stats) =
       ("retiers", J.Int j.R.retiers);
       ("translations", J.Int j.R.translations);
       ("code_cache_hits", J.Int j.R.code_cache_hits);
+      ("interp_translations", J.Int j.R.interp_translations);
+      ("threaded_code_hits", J.Int j.R.threaded_code_hits);
       ("total_ir_compiled", J.Int j.R.ir_compiled);
       ("total_dynamic_ir", J.Int j.R.ir_dynamic);
       ( "traces",

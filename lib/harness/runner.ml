@@ -56,6 +56,8 @@ type jit_stats = {
   retiers : int;
   translations : int;
   code_cache_hits : int;
+  interp_translations : int;
+  threaded_code_hits : int;
   ir_compiled : int;
   ir_dynamic : int;
   hot_fraction_95 : float;
@@ -100,12 +102,26 @@ let jit_enabled = function
   | Pypy_jit | Pypy_tiered | Pycket_jit -> true
   | _ -> false
 
+(* the --threaded-interp setting; 0 = auto (MTJ_THREADED_INTERP, else on) *)
+let threaded_setting = Atomic.make 0
+let set_threaded_interp b = Atomic.set threaded_setting (if b then 1 else 2)
+
+let threaded_interp () =
+  match Atomic.get threaded_setting with
+  | 1 -> true
+  | 2 -> false
+  | _ -> (
+      match Sys.getenv_opt "MTJ_THREADED_INTERP" with
+      | Some ("0" | "off" | "false" | "no") -> false
+      | _ -> true)
+
 let config_of ?(budget = default_budget) vc =
   let base =
     match vc with
     | Pypy_tiered -> Config.two_tier
     | _ -> if jit_enabled vc then Config.default else Config.no_jit
   in
+  let base = { base with Config.threaded_interp = threaded_interp () } in
   Config.with_budget budget base
 
 let jit_stats_of jl =
@@ -118,6 +134,8 @@ let jit_stats_of jl =
     retiers = jl.Jitlog.retiers;
     translations = jl.Jitlog.translations;
     code_cache_hits = jl.Jitlog.code_cache_hits;
+    interp_translations = jl.Jitlog.interp_translations;
+    threaded_code_hits = jl.Jitlog.threaded_code_hits;
     ir_compiled = Jitlog.total_ir_compiled jl;
     ir_dynamic = Jitlog.total_dynamic_ir jl;
     hot_fraction_95 = Jitlog.hot_ir_fraction jl ~coverage:0.95;

@@ -44,6 +44,10 @@ type jit_stats = {
   retiers : int;
   translations : int;      (** traces translated to threaded code *)
   code_cache_hits : int;   (** trace entries served from the cache *)
+  interp_translations : int;
+      (** code objects translated once into threaded interpreter steps *)
+  threaded_code_hits : int;
+      (** interpreter code switches served from the threaded cache *)
   ir_compiled : int;
   ir_dynamic : int;
   hot_fraction_95 : float;
@@ -109,6 +113,18 @@ val set_jobs : int -> unit
 (** [0] means "auto" ([MTJ_JOBS], else the hardware's recommendation). *)
 
 val jobs : unit -> int
+
+(* --- the --threaded-interp setting --- *)
+
+val set_threaded_interp : bool -> unit
+(** Force the threaded-dispatch interpreter tier on or off for every
+    configuration built after the call.  Unset, the tier is "auto":
+    [MTJ_THREADED_INTERP] ("off"/"0"/"false"/"no" disables), else on.
+    Simulated counters are byte-identical either way; only host wall
+    time moves (see [Config.threaded_interp]). *)
+
+val threaded_interp : unit -> bool
+(** The effective setting a [config_of] call would apply right now. *)
 
 (* --- timing report --- *)
 

@@ -7,8 +7,12 @@ module Engine = Mtj_machine.Engine
    effectiveness).
    v3: run records gained [charge_flushes]/[fast_path_bundles] — the
    engine's staged charging fast path exposes how many bundles were
-   coalesced and how many counter writebacks that took. *)
-let schema = "mtj-metrics/3"
+   coalesced and how many counter writebacks that took.
+   v4: the jit block gained [interp_translations]/[threaded_code_hits] —
+   the threaded interpreter tier's translate-once cache (code objects
+   translated to handler-closure arrays, and code switches served from
+   the cache). *)
+let schema = "mtj-metrics/4"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -92,6 +96,8 @@ let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
       ("retiers", Json.Int jl.Jitlog.retiers);
       ("translations", Json.Int jl.Jitlog.translations);
       ("code_cache_hits", Json.Int jl.Jitlog.code_cache_hits);
+      ("interp_translations", Json.Int jl.Jitlog.interp_translations);
+      ("threaded_code_hits", Json.Int jl.Jitlog.threaded_code_hits);
       ("total_ir_compiled", Json.Int (Jitlog.total_ir_compiled jl));
       ("total_dynamic_ir", Json.Int (Jitlog.total_dynamic_ir jl));
       ("traces", Json.Arr (List.map trace_row_json traces));

@@ -183,6 +183,15 @@ let check_jit run j =
       if translations < num_traces then
         fail "run %s: translations %d < num_traces %d" run translations
           num_traces;
+      (* threaded interpreter tier (v4): a cache can only hit after at
+         least one code object was translated into it *)
+      let itrans = int_field jit "interp_translations" in
+      let ihits = int_field jit "threaded_code_hits" in
+      if itrans < 0 then fail "run %s: negative interp_translations" run;
+      if ihits < 0 then fail "run %s: negative threaded_code_hits" run;
+      if ihits > 0 && itrans = 0 then
+        fail "run %s: threaded_code_hits %d with no interp_translations" run
+          ihits;
       List.iter
         (fun tr ->
           let id = int_field tr "id" in
@@ -210,7 +219,7 @@ let check_charge_stats run j total =
     fail "run %s: insns retired but charge_flushes = 0" run
 
 let metrics_exn j =
-  check_schema j "mtj-metrics/3";
+  check_schema j "mtj-metrics/4";
   let runs = arr_field j "runs" in
   List.iter
     (fun run ->

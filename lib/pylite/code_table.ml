@@ -11,17 +11,29 @@
     domain are dropped by the reset; they are unreachable by then (a VM
     only resolves code_refs while it runs). *)
 
+type threaded =
+  (Mtj_rjit.Direct_ops.t, Bytecode.code) Mtj_rjit.Threaded.step array
+(** a code object's threaded-dispatch translation (see
+    {!Mtj_rjit.Threaded} and [Interp.threaded_code]) *)
+
 type store = {
   table : (int, Bytecode.code) Hashtbl.t;
+  threaded : (int, threaded) Hashtbl.t;
+      (* translate-once cache, keyed by code id.  Step closures bind the
+         translating VM's engine and context, so this cache MUST be
+         dropped whenever the id sequence restarts — [reset] clears it
+         together with the code table. *)
   mutable next_id : int;
 }
 
 let store_key : store Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { table = Hashtbl.create 256; next_id = 0 })
+  Domain.DLS.new_key (fun () ->
+      { table = Hashtbl.create 256; threaded = Hashtbl.create 64; next_id = 0 })
 
 let reset () =
   let s = Domain.DLS.get store_key in
   Hashtbl.reset s.table;
+  Hashtbl.reset s.threaded;
   s.next_id <- 0
 
 let fresh_id () =
@@ -37,3 +49,9 @@ let lookup id =
   match Hashtbl.find_opt (Domain.DLS.get store_key).table id with
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "unknown pylite code_ref %d" id)
+
+let lookup_threaded id =
+  Hashtbl.find_opt (Domain.DLS.get store_key).threaded id
+
+let store_threaded id (s : threaded) =
+  Hashtbl.replace (Domain.DLS.get store_key).threaded id s

@@ -358,4 +358,694 @@ module Step (O : Ops_intf.OPS) = struct
         in
         Frame.push f (O.const cx cls);
         next ()
+
+  (* the reference decode-and-match loop, under the name the driver and
+     the threaded tier know it by *)
+  let step_ref = step
 end
+
+(* ------------------------------------------------------------------ *)
+(* The threaded-dispatch tier (the pylite half of {!Mtj_rjit.Threaded}).
+
+   Each code object is translated once into an array of pre-bound step
+   closures over [Direct_ops]: operands are decoded at translate time
+   (local slots, constant-pool values via [O.const], jump targets, the
+   pre-selected binop function), and the hottest shapes are fused into
+   superinstructions.  Every step emits exactly the charge sequence of
+   one reference dispatch iteration — [Threaded.charge] first, then the
+   handler's operations in reference order — so simulated counters are
+   byte-identical to [Step(Direct_ops).step_ref] (held by
+   test/test_dispatch_diff.ml).  Cold bytecodes delegate to the
+   reference handler so the tricky semantics (calls, classes, builders)
+   exist exactly once. *)
+
+module D_ref = Step (Direct_ops)
+
+type dstep = (Direct_ops.t, Bytecode.code) Threaded.step
+
+(* the [binary] dispatch of the reference handler, resolved at translate
+   time instead of per execution *)
+let binary_fn :
+    Ast.binop -> Direct_ops.cx -> Direct_ops.t -> Direct_ops.t -> Direct_ops.t
+    = function
+  | Ast.Add -> Direct_ops.add
+  | Ast.Sub -> Direct_ops.sub
+  | Ast.Mult -> Direct_ops.mul
+  | Ast.Div -> Direct_ops.truediv
+  | Ast.Floordiv -> Direct_ops.floordiv
+  | Ast.Mod -> Direct_ops.modulo
+  | Ast.Pow -> Direct_ops.pow
+  | Ast.Lshift -> Direct_ops.lshift
+  | Ast.Rshift -> Direct_ops.rshift
+  | Ast.Bitand -> Direct_ops.bitand
+  | Ast.Bitor -> Direct_ops.bitor
+  | Ast.Bitxor -> Direct_ops.bitxor
+
+let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
+    (d : Threaded.dispatch) (code : Bytecode.code) : dstep array =
+  let instrs = code.Bytecode.instrs in
+  let hdrs = code.Bytecode.headers in
+  let n = Array.length instrs in
+  let charge = Threaded.charger d in
+  (* a stale code table must fail at translation, not mid-run: resolve
+     every code_ref a step could bind right now *)
+  Array.iter
+    (function
+      | MAKE_FUNCTION { code_ref; _ } -> ignore (Code_table.lookup code_ref)
+      | _ -> ())
+    instrs;
+  (* the pre-bound standalone step of one bytecode *)
+  let step_of pc instr : dstep =
+    let target = Bytecode.tag instr in
+    let next = pc + 1 in
+    match instr with
+    | NOP ->
+        fun f ->
+          charge ~target;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | LOAD_CONST v ->
+        let c = Direct_ops.const cx v in
+        fun f ->
+          charge ~target;
+          Frame.push f c;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | LOAD_FAST slot ->
+        fun f ->
+          charge ~target;
+          Frame.push f f.Frame.locals.(slot);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | STORE_FAST slot ->
+        fun f ->
+          charge ~target;
+          f.Frame.locals.(slot) <- Frame.pop f;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | LOAD_GLOBAL name ->
+        fun f ->
+          charge ~target;
+          Frame.push f (Direct_ops.load_global cx globals name);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | STORE_GLOBAL name ->
+        fun f ->
+          charge ~target;
+          Direct_ops.store_global cx globals name (Frame.pop f);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | LOAD_ATTR name ->
+        fun f ->
+          charge ~target;
+          let obj = Frame.pop f in
+          Frame.push f (Direct_ops.getattr cx obj name);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | STORE_ATTR name ->
+        fun f ->
+          charge ~target;
+          let v = Frame.pop f in
+          let obj = Frame.pop f in
+          Direct_ops.setattr cx obj name v;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | LOAD_METHOD name ->
+        fun f ->
+          charge ~target;
+          let obj = Frame.pop f in
+          let callable, self = Direct_ops.load_method cx obj name in
+          Frame.push f callable;
+          Frame.push f self;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | CALL_METHOD nargs ->
+        fun f ->
+          charge ~target;
+          let args = D_ref.pop_args cx f nargs in
+          let self = Frame.pop f in
+          let callable = Frame.pop f in
+          if Direct_ops.concrete self = Value.Nil then
+            D_ref.call_value cx f callable args
+          else D_ref.call_value cx f callable (D_ref.prepend self args)
+    | CALL_FUNCTION nargs ->
+        fun f ->
+          charge ~target;
+          let args = D_ref.pop_args cx f nargs in
+          let callee = Frame.pop f in
+          D_ref.call_value cx f callee args
+    | BINARY op ->
+        let fn = binary_fn op in
+        fun f ->
+          charge ~target;
+          let b = Frame.pop f in
+          let a = Frame.pop f in
+          Frame.push f (fn cx a b);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | UNARY_NEG ->
+        fun f ->
+          charge ~target;
+          let a = Frame.pop f in
+          Frame.push f (Direct_ops.neg cx a);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | UNARY_NOT ->
+        fun f ->
+          charge ~target;
+          let a = Frame.pop f in
+          Frame.push f (Direct_ops.not_ cx a);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | COMPARE op ->
+        fun f ->
+          charge ~target;
+          let b = Frame.pop f in
+          let a = Frame.pop f in
+          Frame.push f (Direct_ops.compare cx op a b);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | JUMP t ->
+        fun f ->
+          charge ~target;
+          f.Frame.pc <- t;
+          Frame.Continue
+    | POP_JUMP_IF_FALSE t ->
+        fun f ->
+          charge ~target;
+          let v = Frame.pop f in
+          f.Frame.pc <- (if Direct_ops.is_true cx v then next else t);
+          Frame.Continue
+    | POP_JUMP_IF_TRUE t ->
+        fun f ->
+          charge ~target;
+          let v = Frame.pop f in
+          f.Frame.pc <- (if Direct_ops.is_true cx v then t else next);
+          Frame.Continue
+    | JUMP_IF_FALSE_OR_POP t ->
+        fun f ->
+          charge ~target;
+          let v = Frame.peek f 0 in
+          if Direct_ops.is_true cx v then begin
+            ignore (Frame.pop f);
+            f.Frame.pc <- next
+          end
+          else f.Frame.pc <- t;
+          Frame.Continue
+    | JUMP_IF_TRUE_OR_POP t ->
+        fun f ->
+          charge ~target;
+          let v = Frame.peek f 0 in
+          if Direct_ops.is_true cx v then f.Frame.pc <- t
+          else begin
+            ignore (Frame.pop f);
+            f.Frame.pc <- next
+          end;
+          Frame.Continue
+    | BINARY_SUBSCR ->
+        fun f ->
+          charge ~target;
+          let k = Frame.pop f in
+          let obj = Frame.pop f in
+          Frame.push f (Direct_ops.getitem cx obj k);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | STORE_SUBSCR ->
+        fun f ->
+          charge ~target;
+          let v = Frame.pop f in
+          let k = Frame.pop f in
+          let obj = Frame.pop f in
+          Direct_ops.setitem cx obj k v;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | RETURN_VALUE ->
+        fun f ->
+          charge ~target;
+          Frame.Return (Frame.pop f)
+    | RETURN_NONE ->
+        let nil = Direct_ops.const cx Value.Nil in
+        fun _f ->
+          charge ~target;
+          Frame.Return nil
+    | POP_TOP ->
+        fun f ->
+          charge ~target;
+          ignore (Frame.pop f);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | DUP_TOP ->
+        fun f ->
+          charge ~target;
+          Frame.push f (Frame.peek f 0);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | FOR_RANGE { var; cur; stop; step; exit } ->
+        (* step variants: the two loop bodies (counting up / counting
+           down) are pre-bound; the runtime sign guard picks one, as the
+           reference handler's inline conditional does *)
+        let iter cmp_op (f : (Direct_ops.t, Bytecode.code) Frame.t) c s st =
+          let cond = Direct_ops.compare cx cmp_op c s in
+          if Direct_ops.is_true cx cond then begin
+            f.Frame.locals.(var) <- c;
+            f.Frame.locals.(cur) <- Direct_ops.add cx c st;
+            f.Frame.pc <- next
+          end
+          else f.Frame.pc <- exit
+        in
+        let up = iter Ops_intf.Lt and down = iter Ops_intf.Gt in
+        fun f ->
+          charge ~target;
+          let c = f.Frame.locals.(cur) in
+          let s = f.Frame.locals.(stop) in
+          let st = f.Frame.locals.(step) in
+          let stepi = Direct_ops.guard_int cx st in
+          (if stepi > 0 then up else down) f c s st;
+          Frame.Continue
+    | FOR_ITER { var; seq; idx; exit } ->
+        let one = Direct_ops.const cx (Value.Int 1) in
+        fun f ->
+          charge ~target;
+          let s = f.Frame.locals.(seq) in
+          let i = f.Frame.locals.(idx) in
+          let len = Direct_ops.len_ cx s in
+          let cond = Direct_ops.compare cx Ops_intf.Lt i len in
+          if Direct_ops.is_true cx cond then begin
+            let v = Direct_ops.getitem cx s i in
+            f.Frame.locals.(var) <- v;
+            f.Frame.locals.(idx) <- Direct_ops.add cx i one;
+            f.Frame.pc <- next
+          end
+          else f.Frame.pc <- exit;
+          Frame.Continue
+    | BUILD_LIST _ | BUILD_TUPLE _ | BUILD_DICT _ | BUILD_SET _
+    | DELETE_SUBSCR | GET_SLICE | SET_SLICE | UNPACK_SEQUENCE _
+    | GET_INDEXABLE | MAKE_FUNCTION _ | MAKE_CLASS _ ->
+        (* cold bytecodes: pre-bind only the dispatch charge and run the
+           reference handler *)
+        fun f ->
+          charge ~target;
+          D_ref.step_ref cx globals f
+  in
+  let steps = Array.init n (fun pc -> step_of pc instrs.(pc)) in
+  (* Superinstructions: fuse the hottest shapes.  The fused closure sits
+     at the head pc only — every pc keeps its standalone step above, so
+     a jump landing inside a fused pair behaves exactly as before — and
+     interior pcs must not be loop headers (the driver consults the JIT
+     portal between bytecodes; fusing across a merge point would skip
+     it).  Interior dispatch charges are emitted inside the fused
+     closure in reference order, so counters cannot tell the loops
+     apart; only interior stack traffic (free in the cost model) is
+     elided, which is GC-safe because the operands stay reachable
+     through the locals. *)
+  let interior pc = pc < n && not hdrs.(pc) in
+  let tag i = Bytecode.tag instrs.(i) in
+  let fused pc =
+    (* two-operand loads: x and y resolved at translate time to either a
+       local slot read or a hoisted constant *)
+    let operand2 =
+      match instrs.(pc) with
+      | LOAD_FAST a when interior (pc + 1) -> (
+          match instrs.(pc + 1) with
+          | LOAD_FAST b ->
+              Some (tag pc, tag (pc + 1),
+                    (fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
+                       f.Frame.locals.(a)),
+                    fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
+                      f.Frame.locals.(b))
+          | LOAD_CONST v ->
+              let c = Direct_ops.const cx v in
+              Some (tag pc, tag (pc + 1),
+                    (fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
+                       f.Frame.locals.(a)),
+                    fun _ -> c)
+          | _ -> None)
+      | _ -> None
+    in
+    match operand2 with
+    | Some (t0, t1, getx, gety) when interior (pc + 2) -> (
+        let t2 = tag (pc + 2) in
+        match instrs.(pc + 2) with
+        | BINARY op -> (
+            let fn = binary_fn op in
+            let nx = pc + 3 in
+            match if interior nx then Some instrs.(nx) else None with
+            | Some (STORE_FAST s) ->
+                (* c = a op b : no operand stack traffic at all *)
+                let t3 = tag nx in
+                let nx4 = nx + 1 in
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let x = getx f in
+                    charge ~target:t1;
+                    let y = gety f in
+                    charge ~target:t2;
+                    let r = fn cx x y in
+                    charge ~target:t3;
+                    f.Frame.locals.(s) <- r;
+                    f.Frame.pc <- nx4;
+                    Frame.Continue)
+            | _ ->
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let x = getx f in
+                    charge ~target:t1;
+                    let y = gety f in
+                    charge ~target:t2;
+                    Frame.push f (fn cx x y);
+                    f.Frame.pc <- nx;
+                    Frame.Continue))
+        | COMPARE op -> (
+            let nx = pc + 3 in
+            match if interior nx then Some instrs.(nx) else None with
+            | Some (POP_JUMP_IF_FALSE t) ->
+                (* if a op b : full guard shape, branch straight off the
+                   comparison result *)
+                let t3 = tag nx in
+                let nx4 = nx + 1 in
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let x = getx f in
+                    charge ~target:t1;
+                    let y = gety f in
+                    charge ~target:t2;
+                    let r = Direct_ops.compare cx op x y in
+                    charge ~target:t3;
+                    f.Frame.pc <-
+                      (if Direct_ops.is_true cx r then nx4 else t);
+                    Frame.Continue)
+            | Some (POP_JUMP_IF_TRUE t) ->
+                let t3 = tag nx in
+                let nx4 = nx + 1 in
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let x = getx f in
+                    charge ~target:t1;
+                    let y = gety f in
+                    charge ~target:t2;
+                    let r = Direct_ops.compare cx op x y in
+                    charge ~target:t3;
+                    f.Frame.pc <-
+                      (if Direct_ops.is_true cx r then t else nx4);
+                    Frame.Continue)
+            | _ ->
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let x = getx f in
+                    charge ~target:t1;
+                    let y = gety f in
+                    charge ~target:t2;
+                    Frame.push f (Direct_ops.compare cx op x y);
+                    f.Frame.pc <- nx;
+                    Frame.Continue))
+        | BINARY_SUBSCR ->
+            (* a[i] with both operands pre-resolved *)
+            let nx = pc + 3 in
+            Some
+              (fun f ->
+                charge ~target:t0;
+                let obj = getx f in
+                charge ~target:t1;
+                let k = gety f in
+                charge ~target:t2;
+                Frame.push f (Direct_ops.getitem cx obj k);
+                f.Frame.pc <- nx;
+                Frame.Continue)
+        | _ -> None)
+    | _ -> (
+        match instrs.(pc) with
+        | LOAD_FAST a when interior (pc + 1) -> (
+            let t0 = tag pc and t1 = tag (pc + 1) in
+            let nx = pc + 2 in
+            match instrs.(pc + 1) with
+            | STORE_FAST s ->
+                (* b = a : local-to-local copy *)
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let x = f.Frame.locals.(a) in
+                    charge ~target:t1;
+                    f.Frame.locals.(s) <- x;
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
+            | BINARY op -> (
+                (* <stack> op a : right operand from the local *)
+                let fn = binary_fn op in
+                match if interior nx then Some instrs.(nx) else None with
+                | Some (STORE_FAST s) ->
+                    let t2 = tag nx in
+                    let nx3 = nx + 1 in
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        let y = f.Frame.locals.(a) in
+                        charge ~target:t1;
+                        let x = Frame.pop f in
+                        let r = fn cx x y in
+                        charge ~target:t2;
+                        f.Frame.locals.(s) <- r;
+                        f.Frame.pc <- nx3;
+                        Frame.Continue)
+                | _ ->
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        let y = f.Frame.locals.(a) in
+                        charge ~target:t1;
+                        let x = Frame.pop f in
+                        Frame.push f (fn cx x y);
+                        f.Frame.pc <- nx;
+                        Frame.Continue))
+            | BINARY_SUBSCR ->
+                (* <stack>[a] : subscript from the local *)
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let k = f.Frame.locals.(a) in
+                    charge ~target:t1;
+                    let obj = Frame.pop f in
+                    Frame.push f (Direct_ops.getitem cx obj k);
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
+            | LOAD_ATTR name ->
+                (* a.name : attribute read off the local *)
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let obj = f.Frame.locals.(a) in
+                    charge ~target:t1;
+                    Frame.push f (Direct_ops.getattr cx obj name);
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
+            | _ -> None)
+        | LOAD_CONST v when interior (pc + 1) -> (
+            let c = Direct_ops.const cx v in
+            let t0 = tag pc and t1 = tag (pc + 1) in
+            let nx = pc + 2 in
+            match instrs.(pc + 1) with
+            | STORE_FAST s ->
+                (* b = <const> : constant hoisted at translate time *)
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    charge ~target:t1;
+                    f.Frame.locals.(s) <- c;
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
+            | BINARY op -> (
+                (* <stack> op <const> : the tail of every x*2+1 chain *)
+                let fn = binary_fn op in
+                match if interior nx then Some instrs.(nx) else None with
+                | Some (STORE_FAST s) ->
+                    let t2 = tag nx in
+                    let nx3 = nx + 1 in
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        charge ~target:t1;
+                        let x = Frame.pop f in
+                        let r = fn cx x c in
+                        charge ~target:t2;
+                        f.Frame.locals.(s) <- r;
+                        f.Frame.pc <- nx3;
+                        Frame.Continue)
+                | _ ->
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        charge ~target:t1;
+                        let x = Frame.pop f in
+                        Frame.push f (fn cx x c);
+                        f.Frame.pc <- nx;
+                        Frame.Continue))
+            | COMPARE op -> (
+                (* <stack> op <const>, usually feeding a conditional *)
+                match if interior nx then Some instrs.(nx) else None with
+                | Some (POP_JUMP_IF_FALSE t) ->
+                    let t2 = tag nx in
+                    let nx3 = nx + 1 in
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        charge ~target:t1;
+                        let x = Frame.pop f in
+                        let r = Direct_ops.compare cx op x c in
+                        charge ~target:t2;
+                        f.Frame.pc <-
+                          (if Direct_ops.is_true cx r then nx3 else t);
+                        Frame.Continue)
+                | Some (POP_JUMP_IF_TRUE t) ->
+                    let t2 = tag nx in
+                    let nx3 = nx + 1 in
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        charge ~target:t1;
+                        let x = Frame.pop f in
+                        let r = Direct_ops.compare cx op x c in
+                        charge ~target:t2;
+                        f.Frame.pc <-
+                          (if Direct_ops.is_true cx r then t else nx3);
+                        Frame.Continue)
+                | _ ->
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        charge ~target:t1;
+                        let x = Frame.pop f in
+                        Frame.push f (Direct_ops.compare cx op x c);
+                        f.Frame.pc <- nx;
+                        Frame.Continue))
+            | _ -> None)
+        | STORE_FAST s when interior (pc + 1) -> (
+            let t0 = tag pc and t1 = tag (pc + 1) in
+            let nx = pc + 2 in
+            match instrs.(pc + 1) with
+            | LOAD_FAST a ->
+                (* store one local, immediately read another *)
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    f.Frame.locals.(s) <- Frame.pop f;
+                    charge ~target:t1;
+                    Frame.push f f.Frame.locals.(a);
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
+            | JUMP t ->
+                (* loop latch: store the induction value and branch *)
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    f.Frame.locals.(s) <- Frame.pop f;
+                    charge ~target:t1;
+                    f.Frame.pc <- t;
+                    Frame.Continue)
+            | _ -> None)
+        | JUMP t when interior t -> (
+            (* forward jump into a plain local load (if/else join): run
+               the landing instruction in the same step *)
+            match instrs.(t) with
+            | LOAD_FAST a ->
+                let t0 = tag pc and t1 = tag t in
+                let nx = t + 1 in
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    charge ~target:t1;
+                    Frame.push f f.Frame.locals.(a);
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
+            | _ -> None)
+        | BINARY op when interior (pc + 1) -> (
+            let fn = binary_fn op in
+            match instrs.(pc + 1) with
+            | STORE_FAST s -> (
+                (* tail of mixed-operand expressions: result straight to
+                   the local, folding a trailing loop-latch jump in *)
+                let t0 = tag pc and t1 = tag (pc + 1) in
+                let nx = pc + 2 in
+                match if interior nx then Some instrs.(nx) else None with
+                | Some (JUMP t) ->
+                    let t2 = tag nx in
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        let y = Frame.pop f in
+                        let x = Frame.pop f in
+                        let r = fn cx x y in
+                        charge ~target:t1;
+                        f.Frame.locals.(s) <- r;
+                        charge ~target:t2;
+                        f.Frame.pc <- t;
+                        Frame.Continue)
+                | _ ->
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        let y = Frame.pop f in
+                        let x = Frame.pop f in
+                        let r = fn cx x y in
+                        charge ~target:t1;
+                        f.Frame.locals.(s) <- r;
+                        f.Frame.pc <- nx;
+                        Frame.Continue))
+            | LOAD_CONST v when interior (pc + 2) -> (
+                (* op-const-op chains like x*2+1: fold the middle
+                   constant load into one superinstruction *)
+                match instrs.(pc + 2) with
+                | BINARY op2 ->
+                    let c = Direct_ops.const cx v in
+                    let fn2 = binary_fn op2 in
+                    let t0 = tag pc and t1 = tag (pc + 1) in
+                    let t2 = tag (pc + 2) in
+                    let nx = pc + 3 in
+                    Some
+                      (fun f ->
+                        charge ~target:t0;
+                        let y = Frame.pop f in
+                        let x = Frame.pop f in
+                        let r = fn cx x y in
+                        charge ~target:t1;
+                        charge ~target:t2;
+                        Frame.push f (fn2 cx r c);
+                        f.Frame.pc <- nx;
+                        Frame.Continue)
+                | _ -> None)
+            | _ -> None)
+        | COMPARE op when interior (pc + 1) -> (
+            let t0 = tag pc in
+            let t1 = tag (pc + 1) in
+            let nx = pc + 2 in
+            match instrs.(pc + 1) with
+            | POP_JUMP_IF_FALSE t ->
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let y = Frame.pop f in
+                    let x = Frame.pop f in
+                    let r = Direct_ops.compare cx op x y in
+                    charge ~target:t1;
+                    f.Frame.pc <- (if Direct_ops.is_true cx r then nx else t);
+                    Frame.Continue)
+            | POP_JUMP_IF_TRUE t ->
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let y = Frame.pop f in
+                    let x = Frame.pop f in
+                    let r = Direct_ops.compare cx op x y in
+                    charge ~target:t1;
+                    f.Frame.pc <- (if Direct_ops.is_true cx r then t else nx);
+                    Frame.Continue)
+            | _ -> None)
+        | _ -> None)
+  in
+  for pc = 0 to n - 1 do
+    match fused pc with Some s -> steps.(pc) <- s | None -> ()
+  done;
+  steps

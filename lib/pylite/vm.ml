@@ -10,7 +10,7 @@ open Mtj_core
 open Mtj_rt
 open Mtj_rjit
 
-module Lang : Ops_intf.LANG with type code = Bytecode.code = struct
+module Lang : Threaded.LANG with type code = Bytecode.code = struct
   type code = Bytecode.code
 
   let code_ref (c : code) = c.Bytecode.id
@@ -22,6 +22,12 @@ module Lang : Ops_intf.LANG with type code = Bytecode.code = struct
   let name (c : code) = c.Bytecode.name
 
   module Step = Interp.Step
+
+  (* the threaded-dispatch tier (Config.threaded_interp) *)
+  let headers (c : code) = c.Bytecode.headers
+  let threaded_code = Interp.threaded_code
+  let lookup_threaded (c : code) = Code_table.lookup_threaded c.Bytecode.id
+  let store_threaded (c : code) s = Code_table.store_threaded c.Bytecode.id s
 end
 
 module D = Driver.Make (Lang)

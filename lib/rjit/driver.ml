@@ -6,7 +6,9 @@
 
     - {b interpreter}: the dispatch loop runs [Step(Direct_ops)], emitting
       one [Dispatch_tick] annotation and one indirect dispatch branch per
-      bytecode;
+      bytecode — either through the reference decode-and-match loop or,
+      by default, through the {!Threaded} tier's translate-once step
+      arrays (same simulated charges, cheaper host dispatch);
     - {b tracing}: when a loop header's counter crosses the threshold the
       same handlers run as [Step(Trace_ops)], recording IR until the loop
       closes (or the trace aborts);
@@ -23,7 +25,7 @@ type outcome =
   | Budget_exceeded
   | Runtime_error of string
 
-module Make (L : Ops_intf.LANG) = struct
+module Make (L : Threaded.LANG) = struct
   module D = L.Step (Direct_ops)
   module T = L.Step (Trace_ops)
 
@@ -239,7 +241,7 @@ module Make (L : Ops_intf.LANG) = struct
         last_saved := save_chain f;
         Recorder.begin_bytecode rec_ ~resume:(build_resume f)
           ~code:f.Frame.code_ref ~pc:f.Frame.pc;
-        match T.step rec_ t.globals f with
+        match T.step_ref rec_ t.globals f with
         | Frame.Continue -> loop (steps + 1)
         | Frame.Call nf ->
             if Frame.depth nf > t.cfg.Config.max_inline_depth then
@@ -545,19 +547,75 @@ module Make (L : Ops_intf.LANG) = struct
 
   (* --- the dispatch loop --- *)
 
+  (* Straight-line threaded execution: run pre-bound step closures
+     back-to-back until a call or return.  All the per-iteration
+     bookkeeping of the outer loop (result/current-frame refs, code
+     switch compare, portal test) is hoisted out of this inner loop —
+     per bytecode it costs one array load and one closure call. *)
+  let rec exec_steps (steps : (Value.t, L.code) Threaded.step array)
+      (f : dframe) =
+    match steps.(f.Frame.pc) f with
+    | Frame.Continue -> exec_steps steps f
+    | oc -> oc
+
+  (* Same, with the JIT on: additionally yield [Frame.Continue] at every
+     loop-header merge point, BEFORE executing it, so the outer loop can
+     run the portal (hot counting / trace entry).  Only headers produce
+     [Continue] here — the inner loop consumes every other one. *)
+  let rec exec_steps_jit (steps : (Value.t, L.code) Threaded.step array)
+      (headers : bool array) (f : dframe) =
+    if Array.unsafe_get headers f.Frame.pc then Frame.Continue
+    else
+      match steps.(f.Frame.pc) f with
+      | Frame.Continue -> exec_steps_jit steps headers f
+      | oc -> oc
+
   let run_frame t (frame0 : dframe) : outcome =
     let eng = Ctx.engine t.rtc in
+    let jit_on = t.cfg.Config.jit_enabled in
+    let threaded = t.cfg.Config.threaded_interp in
     let cur = ref frame0 in
     t.cur <- Some frame0;
     let result = ref None in
+    (* threaded tier: the step array and header bitmap of the code object
+       the current frame runs, re-fetched (translating on first sight)
+       whenever the running code changes — calls, returns, deopt
+       rebuilds all funnel through a single int compare per iteration *)
+    let steps : (Value.t, L.code) Threaded.step array ref = ref [||] in
+    let headers = ref [||] in
+    let steps_for = ref min_int in
+    let fetch_threaded (f : dframe) =
+      (match L.lookup_threaded f.Frame.code with
+      | Some s ->
+          Jitlog.record_threaded_code_hit t.jitlog;
+          steps := s
+      | None ->
+          let d =
+            {
+              Threaded.d_eng = eng;
+              d_tab = t.charge_tab;
+              d_site = 200_000 + (f.Frame.code_ref land 1023);
+              d_indirect = t.profile.Profile.dispatch_indirect;
+            }
+          in
+          let s = L.threaded_code t.dcx t.globals d f.Frame.code in
+          L.store_threaded f.Frame.code s;
+          Jitlog.record_interp_translation t.jitlog;
+          steps := s);
+      headers := L.headers f.Frame.code;
+      steps_for := f.Frame.code_ref
+    in
     (try
-       while !result = None do
+       while !result == None do
          let f = !cur in
+         if threaded && f.Frame.code_ref <> !steps_for then fetch_threaded f;
          (* the JIT portal *)
          let f =
            if
-             t.cfg.Config.jit_enabled
-             && L.loop_header f.Frame.code f.Frame.pc
+             jit_on
+             &&
+             if threaded then !headers.(f.Frame.pc)
+             else L.loop_header f.Frame.code f.Frame.pc
            then begin
              match on_loop_header t f with
              | J_frame f' ->
@@ -573,14 +631,35 @@ module Make (L : Ops_intf.LANG) = struct
          match f with
          | None -> ()
          | Some f ->
-         (* one dispatch-loop iteration *)
-         Engine.annot eng Annot.Dispatch_tick;
-         Engine.emit_static eng t.charge_tab ~lo:0 ~hi:1;
-         if t.profile.Profile.dispatch_indirect then
-           Engine.branch_indirect eng
-             ~site:(200_000 + (f.Frame.code_ref land 1023))
-             ~target:(L.opcode_at f.Frame.code f.Frame.pc);
-         match D.step t.dcx t.globals f with
+         (* one dispatch-loop iteration.  The threaded path runs the
+            pre-bound step closure for this pc, which emits the exact
+            charge sequence of the reference prologue + handler below
+            (held by test/test_dispatch_diff.ml). *)
+         let oc =
+           if threaded then begin
+             (* the portal may have deoptimized into a different code *)
+             if f.Frame.code_ref <> !steps_for then fetch_threaded f;
+             let s = !steps in
+             (* run the step at this pc (it may be a loop header the
+                portal just processed), then stay in the tight inner
+                loop until a call, a return, or the next merge point *)
+             match s.(f.Frame.pc) f with
+             | Frame.Continue ->
+                 if jit_on then exec_steps_jit s !headers f
+                 else exec_steps s f
+             | oc -> oc
+           end
+           else begin
+             Engine.annot eng Annot.Dispatch_tick;
+             Engine.emit_static eng t.charge_tab ~lo:0 ~hi:1;
+             if t.profile.Profile.dispatch_indirect then
+               Engine.branch_indirect eng
+                 ~site:(200_000 + (f.Frame.code_ref land 1023))
+                 ~target:(L.opcode_at f.Frame.code f.Frame.pc);
+             D.step_ref t.dcx t.globals f
+           end
+         in
+         match oc with
          | Frame.Continue -> ()
          | Frame.Call nf ->
              Engine.emit_static eng t.charge_tab ~lo:1 ~hi:2;

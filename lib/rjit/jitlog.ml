@@ -16,6 +16,10 @@ type t = {
   mutable retiers : int;  (* tier-1 traces recompiled at tier 2 *)
   mutable translations : int;  (* traces translated to threaded code *)
   mutable code_cache_hits : int;  (* trace entries served from the cache *)
+  mutable interp_translations : int;
+      (* interpreter code objects translated to threaded step arrays *)
+  mutable threaded_code_hits : int;
+      (* interpreter code switches served from the threaded-code cache *)
 }
 
 let create () =
@@ -30,6 +34,8 @@ let create () =
     retiers = 0;
     translations = 0;
     code_cache_hits = 0;
+    interp_translations = 0;
+    threaded_code_hits = 0;
   }
 
 let fresh_trace_id t =
@@ -56,6 +62,12 @@ let record_blacklist t = t.blacklisted <- t.blacklisted + 1
 let record_retier t = t.retiers <- t.retiers + 1
 let record_translation t = t.translations <- t.translations + 1
 let record_code_cache_hit t = t.code_cache_hits <- t.code_cache_hits + 1
+
+let record_interp_translation t =
+  t.interp_translations <- t.interp_translations + 1
+
+let record_threaded_code_hit t =
+  t.threaded_code_hits <- t.threaded_code_hits + 1
 
 (* --- aggregate statistics for the figures --- *)
 

@@ -20,6 +20,12 @@ type t = {
   mutable code_cache_hits : int;
       (** trace entries whose threaded code came from the per-context
           code cache *)
+  mutable interp_translations : int;
+      (** interpreter code objects translated into threaded-dispatch
+          step arrays (the tier below traces; see {!Threaded}) *)
+  mutable threaded_code_hits : int;
+      (** dispatch-loop code switches served from the threaded-code
+          cache in the language's code table *)
 }
 
 val create : unit -> t
@@ -42,6 +48,8 @@ val record_blacklist : t -> unit
 val record_retier : t -> unit
 val record_translation : t -> unit
 val record_code_cache_hit : t -> unit
+val record_interp_translation : t -> unit
+val record_threaded_code_hit : t -> unit
 
 (** {2 Aggregate statistics for the figures}
 

@@ -135,9 +135,14 @@ module type LANG = sig
   val name : code -> string
 
   module Step (O : OPS) : sig
-    val step :
+    val step_ref :
       O.cx -> Globals.t -> (O.t, code) Frame.t -> (O.t, code) Frame.outcome
-    (** Execute exactly one bytecode.  A [Call] outcome must return a
-        frame whose [parent] is already set to the current frame. *)
+    (** Execute exactly one bytecode — the reference decode-and-match
+        handler.  A [Call] outcome must return a frame whose [parent] is
+        already set to the current frame.  The [Trace_ops] meta-
+        interpreter always records through this; the [Direct_ops]
+        instantiation runs it when the threaded-dispatch tier
+        ({!Threaded}) is off, and threaded translators reuse it as the
+        pre-bound body of cold bytecodes. *)
   end
 end

@@ -6,18 +6,30 @@
 
 let first_id = 1_000_000
 
+type threaded =
+  (Mtj_rjit.Direct_ops.t, Kbytecode.code) Mtj_rjit.Threaded.step array
+(** a code object's threaded-dispatch translation (see
+    {!Mtj_rjit.Threaded} and [Kinterp.threaded_code]) *)
+
 type store = {
   table : (int, Kbytecode.code) Hashtbl.t;
+  threaded : (int, threaded) Hashtbl.t;
+      (* translate-once cache, keyed by code id.  Step closures bind the
+         translating VM's engine and context, so this cache MUST be
+         dropped whenever the id sequence restarts — [reset] clears it
+         together with the code table. *)
   mutable next_id : int;
 }
 
 let store_key : store Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { table = Hashtbl.create 128; next_id = first_id })
+      { table = Hashtbl.create 128; threaded = Hashtbl.create 64;
+        next_id = first_id })
 
 let reset () =
   let s = Domain.DLS.get store_key in
   Hashtbl.reset s.table;
+  Hashtbl.reset s.threaded;
   s.next_id <- first_id
 
 let fresh_id () =
@@ -33,3 +45,9 @@ let lookup id =
   match Hashtbl.find_opt (Domain.DLS.get store_key).table id with
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "unknown rklite code_ref %d" id)
+
+let lookup_threaded id =
+  Hashtbl.find_opt (Domain.DLS.get store_key).threaded id
+
+let store_threaded id (s : threaded) =
+  Hashtbl.replace (Domain.DLS.get store_key).threaded id s

@@ -246,4 +246,306 @@ module Step (O : Ops_intf.OPS) = struct
         let r = prim cx globals f p args in
         Frame.push f r;
         next ()
+
+  (* the reference decode-and-match loop, under the name the driver and
+     the threaded tier know it by *)
+  let step_ref = step
 end
+
+(* ------------------------------------------------------------------ *)
+(* The threaded-dispatch tier (the rklite half of {!Mtj_rjit.Threaded}).
+
+   Mirrors [Interp.threaded_code]: one pre-bound closure per bytecode
+   over [Direct_ops], operands and prim dispatch resolved at translate
+   time, hottest shapes fused.  Charge sequences are byte-identical to
+   [Step(Direct_ops).step_ref] (held by test/test_dispatch_diff.ml). *)
+
+module D_ref = Step (Direct_ops)
+
+type dstep = (Direct_ops.t, Kbytecode.code) Threaded.step
+
+(* 2-argument prims whose reference handler reduces to exactly one
+   Direct_ops call (a single arithmetic charge): pre-resolved for the
+   standalone K_PRIM step and the K_LOCAL+K_LOCAL+K_PRIM fusion *)
+let arith2_fn :
+    prim -> (Direct_ops.cx -> Direct_ops.t -> Direct_ops.t -> Direct_ops.t) option
+    = function
+  | P_add -> Some Direct_ops.add
+  | P_sub -> Some Direct_ops.sub
+  | P_mul -> Some Direct_ops.mul
+  | P_div -> Some Direct_ops.truediv
+  | P_quotient -> Some Direct_ops.floordiv
+  | P_remainder | P_modulo -> Some Direct_ops.modulo
+  | _ -> None
+
+(* 2-argument comparison chains: [cmp_chain] on [a; b] charges one
+   compare and one is_true, then pushes the (free) Bool const *)
+let cmp2_op : prim -> Ops_intf.cmp option = function
+  | P_lt -> Some Ops_intf.Lt
+  | P_le -> Some Ops_intf.Le
+  | P_gt -> Some Ops_intf.Gt
+  | P_ge -> Some Ops_intf.Ge
+  | P_numeq -> Some Ops_intf.Eq
+  | _ -> None
+
+let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
+    (d : Threaded.dispatch) (code : Kbytecode.code) : dstep array =
+  let instrs = code.Kbytecode.instrs in
+  let hdrs = code.Kbytecode.headers in
+  let n = Array.length instrs in
+  let charge = Threaded.charger d in
+  let err = Semantics.err in
+  (* a stale code table must fail at translation, not mid-run *)
+  Array.iter
+    (function
+      | K_CLOSURE { code_ref; _ } -> ignore (Kcode_table.lookup code_ref)
+      | _ -> ())
+    instrs;
+  let step_of pc instr : dstep =
+    let target = Kbytecode.tag instr in
+    let next = pc + 1 in
+    match instr with
+    | K_CONST v ->
+        let c = Direct_ops.const cx v in
+        fun f ->
+          charge ~target;
+          Frame.push f c;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_LOCAL slot ->
+        fun f ->
+          charge ~target;
+          Frame.push f f.Frame.locals.(slot);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_SET_LOCAL slot ->
+        fun f ->
+          charge ~target;
+          f.Frame.locals.(slot) <- Frame.pop f;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_GLOBAL name ->
+        fun f ->
+          charge ~target;
+          Frame.push f (Direct_ops.load_global cx globals name);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_SET_GLOBAL name ->
+        fun f ->
+          charge ~target;
+          Direct_ops.store_global cx globals name (Frame.pop f);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_CELL_GET slot ->
+        fun f ->
+          charge ~target;
+          Frame.push f (Direct_ops.cell_get cx f.Frame.locals.(slot));
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_CELL_SET slot ->
+        fun f ->
+          charge ~target;
+          let v = Frame.pop f in
+          Direct_ops.cell_set cx f.Frame.locals.(slot) v;
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_MAKE_CELL slot ->
+        fun f ->
+          charge ~target;
+          f.Frame.locals.(slot) <- Direct_ops.make_cell cx f.Frame.locals.(slot);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_CLOSURE { code_ref; arity; cname; capture_slots } ->
+        fun f ->
+          charge ~target;
+          let cells = Array.map (fun s -> f.Frame.locals.(s)) capture_slots in
+          Frame.push f
+            (Direct_ops.make_closure cx ~code_ref ~arity ~fname:cname cells);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_CALL nargs ->
+        fun f ->
+          charge ~target;
+          let args = D_ref.pop_args cx f nargs in
+          let callee = Frame.pop f in
+          let fn = Direct_ops.guard_func cx callee in
+          if fn.Value.code_ref < 0 then begin
+            let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
+            let r = Direct_ops.call_builtin cx b args in
+            Frame.push f r;
+            f.Frame.pc <- next;
+            Frame.Continue
+          end
+          else begin
+            if fn.Value.arity <> nargs then
+              err "%s: expects %d arguments, got %d" fn.Value.func_name
+                fn.Value.arity nargs;
+            let code = Kcode_table.lookup fn.Value.code_ref in
+            f.Frame.pc <- next;
+            let nf = D_ref.make_frame cx code (Some f) in
+            Array.blit args 0 nf.Frame.locals 0 nargs;
+            for i = 0 to code.Kbytecode.ncaptured - 1 do
+              nf.Frame.locals.(code.Kbytecode.nargs + i) <-
+                Direct_ops.func_captured cx callee i
+            done;
+            Frame.Call nf
+          end
+    | K_TAILCALL nargs ->
+        fun f ->
+          charge ~target;
+          let args = D_ref.pop_args cx f nargs in
+          let callee = Frame.pop f in
+          let fn = Direct_ops.guard_func cx callee in
+          if fn.Value.code_ref < 0 then begin
+            let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
+            let r = Direct_ops.call_builtin cx b args in
+            Frame.Return r
+          end
+          else begin
+            if fn.Value.arity <> nargs then
+              err "%s: expects %d arguments, got %d" fn.Value.func_name
+                fn.Value.arity nargs;
+            let code = Kcode_table.lookup fn.Value.code_ref in
+            let nf = D_ref.make_frame cx code f.Frame.parent in
+            nf.Frame.discard_return <- f.Frame.discard_return;
+            Array.blit args 0 nf.Frame.locals 0 nargs;
+            for i = 0 to code.Kbytecode.ncaptured - 1 do
+              nf.Frame.locals.(code.Kbytecode.nargs + i) <-
+                Direct_ops.func_captured cx callee i
+            done;
+            Frame.Call nf
+          end
+    | K_TAILJUMP nargs ->
+        fun f ->
+          charge ~target;
+          for i = nargs - 1 downto 0 do
+            f.Frame.locals.(i) <- Frame.pop f
+          done;
+          f.Frame.pc <- 0;
+          Frame.Continue
+    | K_JUMP t ->
+        fun f ->
+          charge ~target;
+          f.Frame.pc <- t;
+          Frame.Continue
+    | K_JUMP_IF_FALSE t ->
+        fun f ->
+          charge ~target;
+          let v = Frame.pop f in
+          f.Frame.pc <- (if Direct_ops.is_true cx v then next else t);
+          Frame.Continue
+    | K_JFALSE_OR_POP t ->
+        fun f ->
+          charge ~target;
+          let v = Frame.peek f 0 in
+          if Direct_ops.is_true cx v then begin
+            ignore (Frame.pop f);
+            f.Frame.pc <- next
+          end
+          else f.Frame.pc <- t;
+          Frame.Continue
+    | K_JTRUE_OR_POP t ->
+        fun f ->
+          charge ~target;
+          let v = Frame.peek f 0 in
+          if Direct_ops.is_true cx v then f.Frame.pc <- t
+          else begin
+            ignore (Frame.pop f);
+            f.Frame.pc <- next
+          end;
+          Frame.Continue
+    | K_RETURN ->
+        fun f ->
+          charge ~target;
+          Frame.Return (Frame.pop f)
+    | K_POP ->
+        fun f ->
+          charge ~target;
+          ignore (Frame.pop f);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_PRIM (p, 2) when arith2_fn p <> None ->
+        let fn = Option.get (arith2_fn p) in
+        fun f ->
+          charge ~target;
+          let y = Frame.pop f in
+          let x = Frame.pop f in
+          Frame.push f (fn cx x y);
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_PRIM (p, 2) when cmp2_op p <> None ->
+        let op = Option.get (cmp2_op p) in
+        fun f ->
+          charge ~target;
+          let y = Frame.pop f in
+          let x = Frame.pop f in
+          let r = Direct_ops.compare cx op x y in
+          Frame.push f (Value.Bool (Direct_ops.is_true cx r));
+          f.Frame.pc <- next;
+          Frame.Continue
+    | K_PRIM (p, nargs) ->
+        (* cold prims: pre-bind the dispatch charge and the prim symbol,
+           reuse the reference dispatcher *)
+        fun f ->
+          charge ~target;
+          let rec pops n acc =
+            if n = 0 then acc else pops (n - 1) (Frame.pop f :: acc)
+          in
+          let args = pops nargs [] in
+          let r = D_ref.prim cx globals f p args in
+          Frame.push f r;
+          f.Frame.pc <- next;
+          Frame.Continue
+  in
+  let steps = Array.init n (fun pc -> step_of pc instrs.(pc)) in
+  (* superinstructions, same rules as the pylite translator: fused form
+     at the head pc only, interior pcs keep their standalone steps and
+     must not be loop headers, interior dispatch charges are emitted
+     in-line in reference order *)
+  let interior pc = pc < n && not hdrs.(pc) in
+  let fused pc =
+    match instrs.(pc) with
+    | K_LOCAL a when interior (pc + 1) && interior (pc + 2) -> (
+        let t0 = Kbytecode.tag instrs.(pc) in
+        let t1 = Kbytecode.tag instrs.(pc + 1) in
+        let t2 = Kbytecode.tag instrs.(pc + 2) in
+        let nx = pc + 3 in
+        match (instrs.(pc + 1), instrs.(pc + 2)) with
+        | K_LOCAL b, K_PRIM (p, 2) when arith2_fn p <> None ->
+            let fn = Option.get (arith2_fn p) in
+            Some
+              (fun f ->
+                charge ~target:t0;
+                let x = f.Frame.locals.(a) in
+                charge ~target:t1;
+                let y = f.Frame.locals.(b) in
+                charge ~target:t2;
+                Frame.push f (fn cx x y);
+                f.Frame.pc <- nx;
+                Frame.Continue)
+        | _ -> None)
+    | K_PRIM (p, 2) when cmp2_op p <> None && interior (pc + 1) -> (
+        let op = Option.get (cmp2_op p) in
+        let t0 = Kbytecode.tag instrs.(pc) in
+        let t1 = Kbytecode.tag instrs.(pc + 1) in
+        let nx = pc + 2 in
+        match instrs.(pc + 1) with
+        | K_JUMP_IF_FALSE t ->
+            Some
+              (fun f ->
+                charge ~target:t0;
+                let y = Frame.pop f in
+                let x = Frame.pop f in
+                let r = Direct_ops.compare cx op x y in
+                let res = Direct_ops.is_true cx r in
+                charge ~target:t1;
+                f.Frame.pc <-
+                  (if Direct_ops.is_true cx (Value.Bool res) then nx else t);
+                Frame.Continue)
+        | _ -> None)
+    | _ -> None
+  in
+  for pc = 0 to n - 1 do
+    match fused pc with Some s -> steps.(pc) <- s | None -> ()
+  done;
+  steps

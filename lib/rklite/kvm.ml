@@ -8,7 +8,7 @@ open Mtj_core
 open Mtj_rt
 open Mtj_rjit
 
-module Lang : Ops_intf.LANG with type code = Kbytecode.code = struct
+module Lang : Threaded.LANG with type code = Kbytecode.code = struct
   type code = Kbytecode.code
 
   let code_ref (c : code) = c.Kbytecode.id
@@ -20,6 +20,12 @@ module Lang : Ops_intf.LANG with type code = Kbytecode.code = struct
   let name (c : code) = c.Kbytecode.name
 
   module Step = Kinterp.Step
+
+  (* the threaded-dispatch tier (Config.threaded_interp) *)
+  let headers (c : code) = c.Kbytecode.headers
+  let threaded_code = Kinterp.threaded_code
+  let lookup_threaded (c : code) = Kcode_table.lookup_threaded c.Kbytecode.id
+  let store_threaded (c : code) s = Kcode_table.store_threaded c.Kbytecode.id s
 end
 
 module D = Driver.Make (Lang)

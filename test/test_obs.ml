@@ -173,7 +173,22 @@ let test_metrics_roundtrip () =
     (jint "code_cache_hits");
   Alcotest.(check bool)
     "a jitting run reuses cached code" true
-    (jint "code_cache_hits" > 0)
+    (jint "code_cache_hits" > 0);
+  (* v4 threaded-interpreter counters survive the round trip verbatim *)
+  Alcotest.(check int)
+    "interp_translations round-trips"
+    o.o_jitlog.Mtj_rjit.Jitlog.interp_translations
+    (jint "interp_translations");
+  Alcotest.(check int)
+    "threaded_code_hits round-trips"
+    o.o_jitlog.Mtj_rjit.Jitlog.threaded_code_hits
+    (jint "threaded_code_hits");
+  Alcotest.(check bool)
+    "default config translates interpreter code" true
+    (jint "interp_translations" > 0);
+  Alcotest.(check bool)
+    "code switches hit the threaded cache" true
+    (jint "threaded_code_hits" > 0)
 
 let test_runner_metrics_roundtrip () =
   (* the memoized-result path used by `bench --metrics-out` *)
@@ -314,7 +329,7 @@ let test_validator_rejects_corruption () =
   let mdoc ?(flushes = 3) ?(bundles = 5) total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/3");
+        ("schema", Json.Str "mtj-metrics/4");
         ( "runs",
           Json.Arr
             [
@@ -348,10 +363,10 @@ let test_validator_rejects_corruption () =
   expect_err "negative fast_path_bundles"
     (Validate.metrics (mdoc ~bundles:(-1) 7));
   (* jit block violating the v2 cache invariants *)
-  let jdoc translations trace_translations =
+  let jdoc ?(itrans = 1) ?(ihits = 0) translations trace_translations =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/3");
+        ("schema", Json.Str "mtj-metrics/4");
         ( "runs",
           Json.Arr
             [
@@ -372,6 +387,8 @@ let test_validator_rejects_corruption () =
                         ("num_traces", Json.Int 1);
                         ("translations", Json.Int translations);
                         ("code_cache_hits", Json.Int 0);
+                        ("interp_translations", Json.Int itrans);
+                        ("threaded_code_hits", Json.Int ihits);
                         ( "traces",
                           Json.Arr
                             [
@@ -391,7 +408,15 @@ let test_validator_rejects_corruption () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "well-formed jit block rejected: %s" e);
   expect_err "translations < num_traces" (Validate.metrics (jdoc 0 1));
-  expect_err "untranslated trace row" (Validate.metrics (jdoc 1 0))
+  expect_err "untranslated trace row" (Validate.metrics (jdoc 1 0));
+  (* v4 threaded-interpreter invariants *)
+  (match Validate.metrics (jdoc ~itrans:2 ~ihits:5 1 1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "well-formed threaded counters rejected: %s" e);
+  expect_err "threaded hits without translations"
+    (Validate.metrics (jdoc ~itrans:0 ~ihits:5 1 1));
+  expect_err "negative interp_translations"
+    (Validate.metrics (jdoc ~itrans:(-1) 1 1))
 
 let suite =
   [
