@@ -85,8 +85,9 @@ let bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe [-j N] [--threaded-interp on|off] [--timings FILE] \
-     [--metrics-out FILE] [all | bechamel | <experiment> ...]";
+    "usage: main.exe [-j N] [--threaded-interp on|off] [--frame-pool on|off] \
+     [--timings FILE] [--metrics-out FILE] \
+     [all | bechamel | <experiment> ...]";
   print_endline "experiments:";
   List.iter
     (fun (e : E.experiment) ->
@@ -98,6 +99,7 @@ type parsed = {
   run_all : bool;
   jobs : int option;
   threaded : bool option;
+  frame_pool : bool option;
   timings_file : string option;
   metrics_file : string option;
   help : bool;
@@ -117,6 +119,12 @@ let parse_args argv =
         | "off" -> go { acc with threaded = Some false } rest
         | _ -> Error (Printf.sprintf "bad --threaded-interp value %S" v))
     | [ "--threaded-interp" ] -> Error "--threaded-interp requires on|off"
+    | "--frame-pool" :: v :: rest -> (
+        match v with
+        | "on" -> go { acc with frame_pool = Some true } rest
+        | "off" -> go { acc with frame_pool = Some false } rest
+        | _ -> Error (Printf.sprintf "bad --frame-pool value %S" v))
+    | [ "--frame-pool" ] -> Error "--frame-pool requires on|off"
     | "--timings" :: f :: rest -> go { acc with timings_file = Some f } rest
     | [ "--timings" ] -> Error "--timings requires an argument"
     | "--metrics-out" :: f :: rest -> go { acc with metrics_file = Some f } rest
@@ -129,7 +137,8 @@ let parse_args argv =
   in
   go
     { names = []; run_all = false; jobs = None; threaded = None;
-      timings_file = None; metrics_file = None; help = false }
+      frame_pool = None; timings_file = None; metrics_file = None;
+      help = false }
     argv
 
 let () =
@@ -143,6 +152,7 @@ let () =
   | Ok p ->
       Option.iter R.set_jobs p.jobs;
       Option.iter R.set_threaded_interp p.threaded;
+      Option.iter R.set_frame_pool p.frame_pool;
       (* validate every requested name before running anything *)
       let unknown =
         List.filter

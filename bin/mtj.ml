@@ -78,8 +78,23 @@ let threaded_arg =
 
 let apply_threaded = function Some b -> R.set_threaded_interp b | None -> ()
 
+let frame_pool_arg =
+  let mode = Arg.enum [ ("on", true); ("off", false) ] in
+  Arg.(value & opt (some mode) None
+       & info [ "frame-pool" ] ~docv:"on|off"
+           ~doc:"frame pooling: recycle dead frames' locals/stack arrays \
+                 through per-context free lists (default on, or \
+                 \\$(b,MTJ_FRAME_POOL)); simulated counters are identical \
+                 either way, only host allocation and wall time change")
+
+let apply_frame_pool = function Some b -> R.set_frame_pool b | None -> ()
+
 let with_threaded config =
-  { config with Mtj_core.Config.threaded_interp = R.threaded_interp () }
+  {
+    config with
+    Mtj_core.Config.threaded_interp = R.threaded_interp ();
+    frame_pool = R.frame_pool ();
+  }
 
 let show_output_arg =
   Arg.(value & flag & info [ "output" ] ~doc:"print the program's output")
@@ -135,8 +150,9 @@ let run_cmd =
     "Run benchmarks under a VM configuration (several benchmarks run in \
      parallel on worker domains; results print in argument order)"
   in
-  let run names vm budget jobs show_output threaded =
+  let run names vm budget jobs show_output threaded frame_pool =
     apply_threaded threaded;
+    apply_frame_pool frame_pool;
     if jobs > 0 then R.set_jobs jobs;
     (* fill the cache in parallel; a benchmark that fails to run is
        reported per-name below, after the others have completed *)
@@ -157,7 +173,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ benches_arg $ config_arg $ budget_arg $ jobs_arg
-      $ show_output_arg $ threaded_arg)
+      $ show_output_arg $ threaded_arg $ frame_pool_arg)
 
 (* --- trace --- *)
 
@@ -180,8 +196,9 @@ let trace_cmd =
      $(b,--trace-out)/$(b,--metrics-out)) export the run's timeline and \
      counters as JSON"
   in
-  let run name budget trace_out metrics_out threaded =
+  let run name budget trace_out metrics_out threaded frame_pool =
     apply_threaded threaded;
+    apply_frame_pool frame_pool;
     let observing = trace_out <> None || metrics_out <> None in
     let config =
       with_threaded (Mtj_core.Config.with_budget budget Mtj_core.Config.default)
@@ -224,7 +241,8 @@ let trace_cmd =
           Mtj_obs.Metrics.run_json ~bench:name ~config:header ~status
             ~engine:eng ~jitlog:jl
             ~gc:(Mtj_rt.Gc_sim.stats (Mtj_rt.Ctx.gc rtc))
-            ?ticks:(Option.map Mtj_obs.Sink.ticks sink) ()
+            ?ticks:(Option.map Mtj_obs.Sink.ticks sink)
+            ~hstats:(Mtj_rt.Ctx.hstats rtc) ()
         in
         Mtj_obs.Metrics.write ~file ~runs:[ run_record ];
         Printf.eprintf "[metrics written to %s]\n%!" file
@@ -256,7 +274,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ bench_arg $ budget_arg $ trace_out_arg $ metrics_out_arg
-      $ threaded_arg)
+      $ threaded_arg $ frame_pool_arg)
 
 (* --- exec --- *)
 
@@ -275,8 +293,9 @@ let exec_cmd =
           ~doc:
             "two-tier compilation: compile traces quickly first,              recompile hot ones through the full optimizer")
   in
-  let run file nojit tiered budget threaded =
+  let run file nojit tiered budget threaded frame_pool =
     apply_threaded threaded;
+    apply_frame_pool frame_pool;
     let src = In_channel.with_open_text file In_channel.input_all in
     let config =
       with_threaded
@@ -314,7 +333,7 @@ let exec_cmd =
   Cmd.v (Cmd.info "exec" ~doc)
     Term.(
       const run $ file_arg $ nojit_arg $ tiered_arg $ budget_arg
-      $ threaded_arg)
+      $ threaded_arg $ frame_pool_arg)
 
 let () =
   let doc = "meta-tracing JIT workload characterization tools" in

@@ -15,6 +15,7 @@ type t = {
   sample_window : int;
   jit_enabled : bool;
   threaded_interp : bool;
+  frame_pool : bool;
   tiered : bool;
   tier2_threshold : int;
 }
@@ -37,6 +38,7 @@ let default =
     sample_window = 100_000;
     jit_enabled = true;
     threaded_interp = true;
+    frame_pool = true;
     tiered = false;
     tier2_threshold = 40;
   }

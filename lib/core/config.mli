@@ -36,6 +36,11 @@ type t = {
           pre-bound step closures (the threaded tier) instead of the
           reference decode-and-match loop; simulated counters are
           byte-identical either way *)
+  frame_pool : bool;
+      (** recycle dead interpreter frames' locals/stack arrays through
+          per-context free lists instead of reallocating; a host-side
+          optimization only — simulated counters are byte-identical
+          either way *)
   (* --- extension: two-tier compilation (the paper's Q5 discussion) --- *)
   tiered : bool;
       (** tier-1: compile traces unoptimized at a fraction of the compile

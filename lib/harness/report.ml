@@ -3,12 +3,12 @@ module Metrics = Mtj_obs.Metrics
 module Counters = Mtj_machine.Counters
 module R = Runner
 
-(* --- bench timings ("mtj-bench-timings/1") --- *)
+(* --- bench timings ("mtj-bench-timings/2") --- *)
 
 let timings_json ~jobs ~total_wall ~experiments ~runs =
   J.Obj
     [
-      ("schema", J.Str "mtj-bench-timings/1");
+      ("schema", J.Str "mtj-bench-timings/2");
       ("jobs", J.Int jobs);
       ("total_wall_s", J.Float total_wall);
       ( "experiments",
@@ -28,6 +28,7 @@ let timings_json ~jobs ~total_wall ~experiments ~runs =
                    ("wall_s", J.Float rt.R.rt_wall_s);
                    ("insns", J.Int rt.R.rt_insns);
                    ("cycles", J.Float rt.R.rt_cycles);
+                   ("minor_words", J.Float rt.R.rt_minor_words);
                  ])
              runs) );
     ]
@@ -37,7 +38,7 @@ let write_timings ~file ~jobs ~total_wall ~experiments =
     (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
   Printf.eprintf "[timings written to %s]\n%!" file
 
-(* --- metrics ("mtj-metrics/4") --- *)
+(* --- metrics ("mtj-metrics/5") --- *)
 
 let status_name = function
   | R.Ok_run -> "ok"
@@ -96,6 +97,9 @@ let metrics_json (r : R.result) =
       ("ticks", J.Int r.R.ticks);
       ("charge_flushes", J.Int r.R.charge_flushes);
       ("fast_path_bundles", J.Int r.R.fast_path_bundles);
+      ("value_interned_hits", J.Int r.R.value_interned_hits);
+      ("frame_pool_reuses", J.Int r.R.frame_pool_reuses);
+      ("dict_hash_skips", J.Int r.R.dict_hash_skips);
       ( "phases",
         J.Obj (phase_rows @ [ ("total", Metrics.snapshot_json r.R.total) ]) );
       ("gc", Metrics.gc_json r.R.gc);

@@ -87,6 +87,9 @@ type result = {
   gc : Gc_sim.stats;
   charge_flushes : int;                     (* staged-counter writebacks *)
   fast_path_bundles : int;                  (* bundles charged via fast path *)
+  value_interned_hits : int;                (* host fast-path counters *)
+  frame_pool_reuses : int;
+  dict_hash_skips : int;
 }
 
 let default_budget = 200_000_000
@@ -115,13 +118,32 @@ let threaded_interp () =
       | Some ("0" | "off" | "false" | "no") -> false
       | _ -> true)
 
+(* the --frame-pool setting; 0 = auto (MTJ_FRAME_POOL, else on) *)
+let frame_pool_setting = Atomic.make 0
+let set_frame_pool b = Atomic.set frame_pool_setting (if b then 1 else 2)
+
+let frame_pool () =
+  match Atomic.get frame_pool_setting with
+  | 1 -> true
+  | 2 -> false
+  | _ -> (
+      match Sys.getenv_opt "MTJ_FRAME_POOL" with
+      | Some ("0" | "off" | "false" | "no") -> false
+      | _ -> true)
+
 let config_of ?(budget = default_budget) vc =
   let base =
     match vc with
     | Pypy_tiered -> Config.two_tier
     | _ -> if jit_enabled vc then Config.default else Config.no_jit
   in
-  let base = { base with Config.threaded_interp = threaded_interp () } in
+  let base =
+    {
+      base with
+      Config.threaded_interp = threaded_interp ();
+      frame_pool = frame_pool ();
+    }
+  in
   Config.with_budget budget base
 
 let jit_stats_of jl =
@@ -205,6 +227,9 @@ let run_uncached ?budget (bench_name : string) (vc : vm_config) : result =
          staged fast path is included in the flush count *)
       charge_flushes = Engine.charge_flushes eng;
       fast_path_bundles = Engine.fast_path_bundles eng;
+      value_interned_hits = (Ctx.hstats rtc).Hstats.value_interned_hits;
+      frame_pool_reuses = (Ctx.hstats rtc).Hstats.frame_pool_reuses;
+      dict_hash_skips = (Ctx.hstats rtc).Hstats.dict_hash_skips;
     }
   in
   match vc with
@@ -267,6 +292,15 @@ let run_uncached ?budget (bench_name : string) (vc : vm_config) : result =
 
 let cache : (string * vm_config, result) Hashtbl.t = Hashtbl.create 128
 let run_walls : (string * vm_config, float) Hashtbl.t = Hashtbl.create 128
+
+(* host minor-heap words allocated while simulating each run.
+   [Gc.minor_words] is domain-local in OCaml 5 and each run executes
+   wholly on one worker domain, so the delta isolates that run's
+   allocations; it is a monotonic allocation counter (collections do not
+   reset it), so the value is deterministic for a deterministic
+   simulation.  Kept out of stdout — only the timings JSON reports it —
+   so table output stays byte-identical at any [-j]. *)
+let run_allocs : (string * vm_config, float) Hashtbl.t = Hashtbl.create 128
 let cache_lock = Mutex.create ()
 
 let with_cache_lock f =
@@ -279,17 +313,21 @@ let run ?budget (bench_name : string) (vc : vm_config) : result =
   | Some r -> r
   | None ->
       let t0 = Unix.gettimeofday () in
+      let mw0 = Gc.minor_words () in
       let r = run_uncached ?budget bench_name vc in
+      let minor_words = Gc.minor_words () -. mw0 in
       let wall = Unix.gettimeofday () -. t0 in
       with_cache_lock (fun () ->
           Hashtbl.replace cache key r;
-          Hashtbl.replace run_walls key wall);
+          Hashtbl.replace run_walls key wall;
+          Hashtbl.replace run_allocs key minor_words);
       r
 
 let clear_cache () =
   with_cache_lock (fun () ->
       Hashtbl.reset cache;
-      Hashtbl.reset run_walls)
+      Hashtbl.reset run_walls;
+      Hashtbl.reset run_allocs)
 
 (* --- parallel execution --- *)
 
@@ -344,6 +382,7 @@ type run_timing = {
   rt_wall_s : float;
   rt_insns : int;
   rt_cycles : float;
+  rt_minor_words : float;
 }
 
 (** wall-clock and simulated work of every cached run, sorted by
@@ -355,12 +394,16 @@ let run_timings () : run_timing list =
           let wall =
             Option.value ~default:0.0 (Hashtbl.find_opt run_walls key)
           in
+          let minor_words =
+            Option.value ~default:0.0 (Hashtbl.find_opt run_allocs key)
+          in
           {
             rt_bench = b;
             rt_config = vc;
             rt_wall_s = wall;
             rt_insns = r.insns;
             rt_cycles = r.cycles;
+            rt_minor_words = minor_words;
           }
           :: acc)
         cache [])

@@ -80,6 +80,13 @@ type result = {
       (** staged-counter writebacks performed by the charging fast path *)
   fast_path_bundles : int;
       (** bundles charged through the batched [Counters] fast path *)
+  value_interned_hits : int;
+      (** [Int] results served from the intern table by counted runtime
+          paths (host fast-path counter, see {!Mtj_rt.Hstats}) *)
+  frame_pool_reuses : int;
+      (** locals/stack arrays recycled from a frame pool free list *)
+  dict_hash_skips : int;
+      (** dict/set operations entered with a precomputed key hash *)
 }
 
 val default_budget : int
@@ -126,6 +133,18 @@ val set_threaded_interp : bool -> unit
 val threaded_interp : unit -> bool
 (** The effective setting a [config_of] call would apply right now. *)
 
+(* --- the --frame-pool setting --- *)
+
+val set_frame_pool : bool -> unit
+(** Force the frame pools on or off for every configuration built after
+    the call.  Unset, the pools are "auto": [MTJ_FRAME_POOL]
+    ("off"/"0"/"false"/"no" disables), else on.  Simulated counters are
+    byte-identical either way; only host allocation and wall time move
+    (see [Config.frame_pool]). *)
+
+val frame_pool : unit -> bool
+(** The effective setting a [config_of] call would apply right now. *)
+
 (* --- timing report --- *)
 
 type run_timing = {
@@ -134,6 +153,11 @@ type run_timing = {
   rt_wall_s : float;
   rt_insns : int;
   rt_cycles : float;
+  rt_minor_words : float;
+      (** host minor-heap words allocated while simulating this run
+          ([Gc.minor_words] delta on the run's worker domain) —
+          deterministic, since the allocation counter is monotonic and
+          the simulation allocates the same objects every run *)
 }
 
 val run_timings : unit -> run_timing list

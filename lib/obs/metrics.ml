@@ -11,8 +11,12 @@ module Engine = Mtj_machine.Engine
    v4: the jit block gained [interp_translations]/[threaded_code_hits] —
    the threaded interpreter tier's translate-once cache (code objects
    translated to handler-closure arrays, and code switches served from
-   the cache). *)
-let schema = "mtj-metrics/4"
+   the cache).
+   v5: run records gained [value_interned_hits]/[frame_pool_reuses]/
+   [dict_hash_skips] — the allocation-free value fast paths (small-int
+   interning, frame pooling, precomputed key hashes); host-side
+   counters, invisible to the simulated machine. *)
+let schema = "mtj-metrics/5"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -103,8 +107,11 @@ let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
       ("traces", Json.Arr (List.map trace_row_json traces));
     ]
 
-let run_json ~bench ~config ~status ~engine ?jitlog ?gc ?ticks () =
+let run_json ~bench ~config ~status ~engine ?jitlog ?gc ?ticks ?hstats () =
   let opt f = function Some v -> f v | None -> Json.Null in
+  let hstat f =
+    opt (fun (h : Mtj_rt.Hstats.t) -> Json.Int (f h)) hstats
+  in
   Json.Obj
     [
       ("bench", Json.Str bench);
@@ -115,6 +122,10 @@ let run_json ~bench ~config ~status ~engine ?jitlog ?gc ?ticks () =
       ("ticks", opt (fun n -> Json.Int n) ticks);
       ("charge_flushes", Json.Int (Engine.charge_flushes engine));
       ("fast_path_bundles", Json.Int (Engine.fast_path_bundles engine));
+      ( "value_interned_hits",
+        hstat (fun h -> h.Mtj_rt.Hstats.value_interned_hits) );
+      ("frame_pool_reuses", hstat (fun h -> h.Mtj_rt.Hstats.frame_pool_reuses));
+      ("dict_hash_skips", hstat (fun h -> h.Mtj_rt.Hstats.dict_hash_skips));
       ("phases", phases_json (Engine.counters engine));
       ("gc", opt gc_json gc);
       ("jit", opt jitlog_json jitlog);

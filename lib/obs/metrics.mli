@@ -7,7 +7,7 @@
     diffed without scraping terminal tables. *)
 
 val schema : string
-(** ["mtj-metrics/3"]; written to the document's ["schema"] field. *)
+(** ["mtj-metrics/5"]; written to the document's ["schema"] field. *)
 
 val snapshot_json : Mtj_machine.Counters.snapshot -> Json.t
 (** Raw counters plus the derived rates ([ipc], [branch_mpki],
@@ -35,10 +35,14 @@ val run_json :
   ?jitlog:Mtj_rjit.Jitlog.t ->
   ?gc:Mtj_rt.Gc_sim.stats ->
   ?ticks:int ->
+  ?hstats:Mtj_rt.Hstats.t ->
   unit ->
   Json.t
 (** The full record for one benchmark run.  [ticks] is the
-    application-level dispatch-tick total when a {!Sink} counted one. *)
+    application-level dispatch-tick total when a {!Sink} counted one;
+    [hstats] carries the host fast-path counters (v5: interned-value
+    hits, frame-pool reuses, precomputed-hash skips) — absent, the
+    fields are [null]. *)
 
 val document : runs:Json.t list -> Json.t
 (** Wrap run records into the versioned top-level document. *)

@@ -218,8 +218,28 @@ let check_charge_stats run j total =
   if int_field j "insns" > 0 && flushes = 0 then
     fail "run %s: insns retired but charge_flushes = 0" run
 
+(* host fast-path counters (v5).  Null is allowed (exporters without a
+   runtime context, e.g. native kernels, omit them); present values must
+   be non-negative, and since every counted fast-path hit corresponds to
+   at least one simulated instruction retired by the run, each counter
+   is bounded by the run's insn total. *)
+let check_hstats run j insns =
+  List.iter
+    (fun key ->
+      match Json.member key j with
+      | None -> fail "run %s: missing %s" run key
+      | Some Json.Null -> ()
+      | Some v -> (
+          match Json.get_int v with
+          | None -> fail "run %s: %s not an int" run key
+          | Some n ->
+              if n < 0 then fail "run %s: negative %s" run key;
+              if n > insns then
+                fail "run %s: %s %d exceeds insns %d" run key n insns))
+    [ "value_interned_hits"; "frame_pool_reuses"; "dict_hash_skips" ]
+
 let metrics_exn j =
-  check_schema j "mtj-metrics/4";
+  check_schema j "mtj-metrics/5";
   let runs = arr_field j "runs" in
   List.iter
     (fun run ->
@@ -254,6 +274,7 @@ let metrics_exn j =
         fail "run %s: phases.total.insns %d <> run insns %d" label total_insns
           insns;
       check_charge_stats label run total;
+      check_hstats label run insns;
       check_jit label run)
     runs;
   List.length runs
@@ -263,7 +284,7 @@ let metrics = wrap metrics_exn
 (* --- bench timings --- *)
 
 let timings_exn j =
-  check_schema j "mtj-bench-timings/1";
+  check_schema j "mtj-bench-timings/2";
   if int_field j "jobs" < 1 then fail "jobs < 1";
   if num_field j "total_wall_s" < 0.0 then fail "negative total_wall_s";
   List.iter
@@ -280,7 +301,11 @@ let timings_exn j =
       in
       if num_field r "wall_s" < 0.0 then fail "run %s: negative wall_s" label;
       if int_field r "insns" < 0 then fail "run %s: negative insns" label;
-      if num_field r "cycles" < 0.0 then fail "run %s: negative cycles" label)
+      if num_field r "cycles" < 0.0 then fail "run %s: negative cycles" label;
+      (* v2: host minor-heap allocation of the run, for the CI
+         allocation gate *)
+      if num_field r "minor_words" < 0.0 then
+        fail "run %s: negative minor_words" label)
     runs;
   List.length runs
 

@@ -26,12 +26,12 @@ val trace : Json.t -> (trace_stats, string) result
     finite and non-negative. *)
 
 val metrics : Json.t -> (int, string) result
-(** Check a ["mtj-metrics/3"] document; returns the number of run
+(** Check a ["mtj-metrics/5"] document; returns the number of run
     records.  Verifies each run's required fields, that rate fields lie
     in [0, 1], and that the per-phase instruction counts sum to the
     run's ["total"] row. *)
 
 val timings : Json.t -> (int, string) result
-(** Check a ["mtj-bench-timings/1"] document; returns the number of run
+(** Check a ["mtj-bench-timings/2"] document; returns the number of run
     rows.  Verifies the experiment and run records carry non-negative
-    wall-clock seconds. *)
+    wall-clock seconds and host minor-heap allocation counts. *)

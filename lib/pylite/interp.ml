@@ -16,10 +16,10 @@ module Step (O : Ops_intf.OPS) = struct
   let err = Semantics.err
 
   let make_frame cx code parent : frame =
-    Frame.create ~code ~code_ref:code.Bytecode.id ~nlocals:code.Bytecode.nlocals
-      ~stack_size:code.Bytecode.stacksize
-      ~default:(O.const cx Value.Nil)
-      ~parent
+    Frame.create_pooled
+      ~pool:(O.frame_pool cx)
+      ~code ~code_ref:code.Bytecode.id ~nlocals:code.Bytecode.nlocals
+      ~stack_size:code.Bytecode.stacksize ~parent
 
   (* pop [n] operands into a fresh positional-order array (top of stack
      is the last argument) *)
@@ -300,7 +300,7 @@ module Step (O : Ops_intf.OPS) = struct
         if O.is_true cx cond then begin
           let v = O.getitem cx s i in
           f.Frame.locals.(var) <- v;
-          f.Frame.locals.(idx) <- O.add cx i (O.const cx (Value.Int 1));
+          f.Frame.locals.(idx) <- O.add cx i (O.const cx (Value.of_int 1));
           next ()
         end
         else continue_at exit
@@ -425,7 +425,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
           f.Frame.pc <- next;
           Frame.Continue
     | LOAD_CONST v ->
-        let c = Direct_ops.const cx v in
+        let c = Direct_ops.const cx (Value.intern v) in
         fun f ->
           charge ~target;
           Frame.push f c;
@@ -623,7 +623,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
           (if stepi > 0 then up else down) f c s st;
           Frame.Continue
     | FOR_ITER { var; seq; idx; exit } ->
-        let one = Direct_ops.const cx (Value.Int 1) in
+        let one = Direct_ops.const cx (Value.of_int 1) in
         fun f ->
           charge ~target;
           let s = f.Frame.locals.(seq) in
@@ -671,19 +671,21 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
               Some (tag pc, tag (pc + 1),
                     (fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
                        f.Frame.locals.(a)),
-                    fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
-                      f.Frame.locals.(b))
+                    (fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
+                       f.Frame.locals.(b)),
+                    None)
           | LOAD_CONST v ->
-              let c = Direct_ops.const cx v in
+              let c = Direct_ops.const cx (Value.intern v) in
               Some (tag pc, tag (pc + 1),
                     (fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
                        f.Frame.locals.(a)),
-                    fun _ -> c)
+                    (fun _ -> c),
+                    Some c)
           | _ -> None)
       | _ -> None
     in
     match operand2 with
-    | Some (t0, t1, getx, gety) when interior (pc + 2) -> (
+    | Some (t0, t1, getx, gety, yconst) when interior (pc + 2) -> (
         let t2 = tag (pc + 2) in
         match instrs.(pc + 2) with
         | BINARY op -> (
@@ -763,19 +765,35 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                     Frame.push f (Direct_ops.compare cx op x y);
                     f.Frame.pc <- nx;
                     Frame.Continue))
-        | BINARY_SUBSCR ->
+        | BINARY_SUBSCR -> (
             (* a[i] with both operands pre-resolved *)
             let nx = pc + 3 in
-            Some
-              (fun f ->
-                charge ~target:t0;
-                let obj = getx f in
-                charge ~target:t1;
-                let k = gety f in
-                charge ~target:t2;
-                Frame.push f (Direct_ops.getitem cx obj k);
-                f.Frame.pc <- nx;
-                Frame.Continue)
+            match yconst with
+            | Some (Value.Str _ as k) ->
+                (* string-constant key: the dict probe's hash is hoisted
+                   to translate time ([py_hash] charges nothing, so the
+                   counters cannot tell; test_value_diff.ml holds this) *)
+                let khash = Value.py_hash k in
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let obj = getx f in
+                    charge ~target:t1;
+                    charge ~target:t2;
+                    Frame.push f (Direct_ops.getitem_h cx obj k khash);
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
+            | _ ->
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    let obj = getx f in
+                    charge ~target:t1;
+                    let k = gety f in
+                    charge ~target:t2;
+                    Frame.push f (Direct_ops.getitem cx obj k);
+                    f.Frame.pc <- nx;
+                    Frame.Continue))
         | _ -> None)
     | _ -> (
         match instrs.(pc) with
@@ -844,10 +862,29 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                     Frame.Continue)
             | _ -> None)
         | LOAD_CONST v when interior (pc + 1) -> (
-            let c = Direct_ops.const cx v in
+            let c = Direct_ops.const cx (Value.intern v) in
             let t0 = tag pc and t1 = tag (pc + 1) in
             let nx = pc + 2 in
             match instrs.(pc + 1) with
+            | BINARY_SUBSCR ->
+                (* <stack>[<const>] : dict reads with literal keys; for
+                   string keys the probe hash is hoisted to translate
+                   time *)
+                let get =
+                  match c with
+                  | Value.Str _ ->
+                      let khash = Value.py_hash c in
+                      fun obj -> Direct_ops.getitem_h cx obj c khash
+                  | _ -> fun obj -> Direct_ops.getitem cx obj c
+                in
+                Some
+                  (fun f ->
+                    charge ~target:t0;
+                    charge ~target:t1;
+                    let obj = Frame.pop f in
+                    Frame.push f (get obj);
+                    f.Frame.pc <- nx;
+                    Frame.Continue)
             | STORE_FAST s ->
                 (* b = <const> : constant hoisted at translate time *)
                 Some
@@ -999,7 +1036,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                    constant load into one superinstruction *)
                 match instrs.(pc + 2) with
                 | BINARY op2 ->
-                    let c = Direct_ops.const cx v in
+                    let c = Direct_ops.const cx (Value.intern v) in
                     let fn2 = binary_fn op2 in
                     let t0 = tag pc and t1 = tag (pc + 1) in
                     let t2 = tag (pc + 2) in

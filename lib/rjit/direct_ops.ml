@@ -60,6 +60,7 @@ type t = Value.t
 let rt cx = cx.rtc
 let const _cx v = v
 let concrete v = v
+let frame_pool cx = Ctx.frame_pool cx.rtc
 let[@inline] charge cx (c : Cost.t) = Engine.emit cx.eng c
 let branch cx ~site ~taken = Engine.branch cx.eng ~site ~taken
 
@@ -124,7 +125,7 @@ let rshift cx a b = charge cx cx.k_arith; Rarith.rshift cx.rtc a (Semantics.as_i
 
 let int2 f cx a b =
   charge cx cx.k_arith;
-  Value.Int (f (Semantics.as_int a) (Semantics.as_int b))
+  Ctx.of_int cx.rtc (f (Semantics.as_int a) (Semantics.as_int b))
 
 let bitand = int2 ( land )
 let bitor = int2 ( lor )
@@ -142,7 +143,7 @@ let compare cx op a b =
 
 let not_ cx a =
   charge cx cx.k_truth;
-  Value.Bool (not (Value.truthy a))
+  Value.of_bool (not (Value.truthy a))
 
 let getattr cx v name =
   charge cx cx.k_attr;
@@ -218,9 +219,19 @@ let setitem cx c k v =
   charge cx cx.k_item;
   Semantics.setitem cx.rtc c k v
 
+(* subscript with the key's hash hoisted at translate time (string
+   constants); charges exactly as [getitem]/[setitem] *)
+let getitem_h cx c k khash =
+  charge cx cx.k_item;
+  Semantics.getitem_h cx.rtc c k khash
+
+let setitem_h cx c k v khash =
+  charge cx cx.k_item;
+  Semantics.setitem_h cx.rtc c k v khash
+
 let len_ cx v =
   charge cx cx.k_truth;
-  Value.Int (Semantics.len_of cx.rtc v)
+  Ctx.of_int cx.rtc (Semantics.len_of cx.rtc v)
 
 let unpack cx v n =
   charge cx cx.k_item;

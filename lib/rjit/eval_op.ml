@@ -36,19 +36,19 @@ let checked_mul x y =
     raise Overflow
   else x * y
 
-let bool v = Value.Bool v
+let bool v = Value.of_bool v
 
 let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
   let i n = as_int args.(n) and f n = as_float args.(n) in
   match opcode with
-  | Ir.Int_add -> Value.Int (i 0 + i 1)
-  | Ir.Int_sub -> Value.Int (i 0 - i 1)
-  | Ir.Int_mul -> Value.Int (i 0 * i 1)
-  | Ir.Int_and -> Value.Int (i 0 land i 1)
-  | Ir.Int_or -> Value.Int (i 0 lor i 1)
-  | Ir.Int_xor -> Value.Int (i 0 lxor i 1)
-  | Ir.Int_lshift -> Value.Int (i 0 lsl i 1)
-  | Ir.Int_rshift -> Value.Int (i 0 asr i 1)
+  | Ir.Int_add -> Value.of_int (i 0 + i 1)
+  | Ir.Int_sub -> Value.of_int (i 0 - i 1)
+  | Ir.Int_mul -> Value.of_int (i 0 * i 1)
+  | Ir.Int_and -> Value.of_int (i 0 land i 1)
+  | Ir.Int_or -> Value.of_int (i 0 lor i 1)
+  | Ir.Int_xor -> Value.of_int (i 0 lxor i 1)
+  | Ir.Int_lshift -> Value.of_int (i 0 lsl i 1)
+  | Ir.Int_rshift -> Value.of_int (i 0 asr i 1)
   | Ir.Int_lt -> bool (i 0 < i 1)
   | Ir.Int_le -> bool (i 0 <= i 1)
   | Ir.Int_eq -> bool (i 0 = i 1)
@@ -58,11 +58,11 @@ let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
   | Ir.Int_neg ->
       let x = i 0 in
       if x = min_int then Semantics.err "integer negation overflow"
-      else Value.Int (-x)
+      else Value.of_int (-x)
   | Ir.Int_is_true -> bool (i 0 <> 0)
   | Ir.Int_is_zero -> bool (not (Value.truthy args.(0)))
-  | Ir.Int_floordiv -> Value.Int (Rarith.floordiv_int (i 0) (i 1))
-  | Ir.Int_mod -> Value.Int (Rarith.mod_int (i 0) (i 1))
+  | Ir.Int_floordiv -> Value.of_int (Rarith.floordiv_int (i 0) (i 1))
+  | Ir.Int_mod -> Value.of_int (Rarith.mod_int (i 0) (i 1))
   | Ir.Float_add -> Value.Float (f 0 +. f 1)
   | Ir.Float_sub -> Value.Float (f 0 -. f 1)
   | Ir.Float_mul -> Value.Float (f 0 *. f 1)
@@ -78,10 +78,10 @@ let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
   | Ir.Float_gt -> bool (f 0 > f 1)
   | Ir.Float_ge -> bool (f 0 >= f 1)
   | Ir.Cast_int_to_float -> Value.Float (float_of_int (i 0))
-  | Ir.Cast_float_to_int -> Value.Int (int_of_float (Float.trunc (f 0)))
+  | Ir.Cast_float_to_int -> Value.of_int (int_of_float (Float.trunc (f 0)))
   | Ir.Str_concat -> Value.Str (as_str args.(0) ^ as_str args.(1))
   | Ir.Str_eq -> bool (String.equal (as_str args.(0)) (as_str args.(1)))
-  | Ir.Strlen -> Value.Int (String.length (as_str args.(0)))
+  | Ir.Strlen -> Value.of_int (String.length (as_str args.(0)))
   | Ir.Strgetitem ->
       let s = as_str args.(0) and idx = i 1 in
       if idx < 0 || idx >= String.length s then
@@ -90,7 +90,7 @@ let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
   | Ir.Ptr_eq -> bool (Semantics.identical args.(0) args.(1))
   | Ir.Ptr_ne -> bool (not (Semantics.identical args.(0) args.(1)))
   | Ir.Same_as -> args.(0)
-  | Ir.Unicode_len -> Value.Int (String.length (as_str args.(0)))
+  | Ir.Unicode_len -> Value.of_int (String.length (as_str args.(0)))
   | Ir.Unicode_getitem ->
       let s = as_str args.(0) and idx = i 1 in
       if idx < 0 || idx >= String.length s then

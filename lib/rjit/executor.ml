@@ -393,7 +393,7 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
                   set_result a.(i)
               | v -> Semantics.err "getarrayitem on %s" (Value.type_name v))
           | Ir.Arraylen ->
-              set_result (Value.Int (Semantics.len_of rtc (arg 0)))
+              set_result (Value.of_int (Semantics.len_of rtc (arg 0)))
           | Ir.New_with_vtable cls_obj -> (
               match cls_obj.Value.payload with
               | Value.Class c ->
@@ -857,7 +857,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Int (Semantics.len_of rtc (a0 regs))))
+            set regs (Value.of_int (Semantics.len_of rtc (a0 regs))))
     (* allocation *)
     | Ir.New_with_vtable cls_obj ->
         let set = store op.Ir.result in
@@ -903,23 +903,23 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
             let vals = fetch st.st_regs in
             ignore (Aot.call rtc rc.Ir.aot (fun () -> rc.Ir.run rtc vals)))
     (* pure int ops *)
-    | Ir.Int_add -> int_binop i op (fun x y -> Value.Int (x + y))
-    | Ir.Int_sub -> int_binop i op (fun x y -> Value.Int (x - y))
-    | Ir.Int_mul -> int_binop i op (fun x y -> Value.Int (x * y))
-    | Ir.Int_and -> int_binop i op (fun x y -> Value.Int (x land y))
-    | Ir.Int_or -> int_binop i op (fun x y -> Value.Int (x lor y))
-    | Ir.Int_xor -> int_binop i op (fun x y -> Value.Int (x lxor y))
-    | Ir.Int_lshift -> int_binop i op (fun x y -> Value.Int (x lsl y))
-    | Ir.Int_rshift -> int_binop i op (fun x y -> Value.Int (x asr y))
-    | Ir.Int_lt -> int_binop i op (fun x y -> Value.Bool (x < y))
-    | Ir.Int_le -> int_binop i op (fun x y -> Value.Bool (x <= y))
-    | Ir.Int_eq -> int_binop i op (fun x y -> Value.Bool (x = y))
-    | Ir.Int_ne -> int_binop i op (fun x y -> Value.Bool (x <> y))
-    | Ir.Int_gt -> int_binop i op (fun x y -> Value.Bool (x > y))
-    | Ir.Int_ge -> int_binop i op (fun x y -> Value.Bool (x >= y))
+    | Ir.Int_add -> int_binop i op (fun x y -> Value.of_int (x + y))
+    | Ir.Int_sub -> int_binop i op (fun x y -> Value.of_int (x - y))
+    | Ir.Int_mul -> int_binop i op (fun x y -> Value.of_int (x * y))
+    | Ir.Int_and -> int_binop i op (fun x y -> Value.of_int (x land y))
+    | Ir.Int_or -> int_binop i op (fun x y -> Value.of_int (x lor y))
+    | Ir.Int_xor -> int_binop i op (fun x y -> Value.of_int (x lxor y))
+    | Ir.Int_lshift -> int_binop i op (fun x y -> Value.of_int (x lsl y))
+    | Ir.Int_rshift -> int_binop i op (fun x y -> Value.of_int (x asr y))
+    | Ir.Int_lt -> int_binop i op (fun x y -> Value.of_bool (x < y))
+    | Ir.Int_le -> int_binop i op (fun x y -> Value.of_bool (x <= y))
+    | Ir.Int_eq -> int_binop i op (fun x y -> Value.of_bool (x = y))
+    | Ir.Int_ne -> int_binop i op (fun x y -> Value.of_bool (x <> y))
+    | Ir.Int_gt -> int_binop i op (fun x y -> Value.of_bool (x > y))
+    | Ir.Int_ge -> int_binop i op (fun x y -> Value.of_bool (x >= y))
     | Ir.Int_floordiv ->
-        int_binop i op (fun x y -> Value.Int (Rarith.floordiv_int x y))
-    | Ir.Int_mod -> int_binop i op (fun x y -> Value.Int (Rarith.mod_int x y))
+        int_binop i op (fun x y -> Value.of_int (Rarith.floordiv_int x y))
+    | Ir.Int_mod -> int_binop i op (fun x y -> Value.of_int (Rarith.mod_int x y))
     | Ir.Int_neg ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
@@ -927,19 +927,19 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
             let regs = st.st_regs in
             let x = as_int (a0 regs) in
             if x = min_int then Semantics.err "integer negation overflow"
-            else set regs (Value.Int (-x)))
+            else set regs (Value.of_int (-x)))
     | Ir.Int_is_true ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Bool (as_int (a0 regs) <> 0)))
+            set regs (Value.of_bool (as_int (a0 regs) <> 0)))
     | Ir.Int_is_zero ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Bool (not (Value.truthy (a0 regs)))))
+            set regs (Value.of_bool (not (Value.truthy (a0 regs)))))
     (* pure float ops *)
     | Ir.Float_add -> float_binop i op (fun x y -> Value.Float (x +. y))
     | Ir.Float_sub -> float_binop i op (fun x y -> Value.Float (x -. y))
@@ -953,12 +953,12 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
             let y = as_float (b regs) in
             if y = 0.0 then raise Division_by_zero
             else set regs (Value.Float (as_float (a regs) /. y)))
-    | Ir.Float_lt -> float_binop i op (fun x y -> Value.Bool (x < y))
-    | Ir.Float_le -> float_binop i op (fun x y -> Value.Bool (x <= y))
-    | Ir.Float_eq -> float_binop i op (fun x y -> Value.Bool (x = y))
-    | Ir.Float_ne -> float_binop i op (fun x y -> Value.Bool (x <> y))
-    | Ir.Float_gt -> float_binop i op (fun x y -> Value.Bool (x > y))
-    | Ir.Float_ge -> float_binop i op (fun x y -> Value.Bool (x >= y))
+    | Ir.Float_lt -> float_binop i op (fun x y -> Value.of_bool (x < y))
+    | Ir.Float_le -> float_binop i op (fun x y -> Value.of_bool (x <= y))
+    | Ir.Float_eq -> float_binop i op (fun x y -> Value.of_bool (x = y))
+    | Ir.Float_ne -> float_binop i op (fun x y -> Value.of_bool (x <> y))
+    | Ir.Float_gt -> float_binop i op (fun x y -> Value.of_bool (x > y))
+    | Ir.Float_ge -> float_binop i op (fun x y -> Value.of_bool (x >= y))
     | Ir.Float_neg ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
@@ -982,20 +982,20 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Int (int_of_float (Float.trunc (as_float (a0 regs))))))
+            set regs (Value.of_int (int_of_float (Float.trunc (as_float (a0 regs))))))
     (* ptr ops *)
     | Ir.Ptr_eq ->
         let a = getter op.Ir.args.(0) and b = getter op.Ir.args.(1) in
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Bool (Semantics.identical (a regs) (b regs))))
+            set regs (Value.of_bool (Semantics.identical (a regs) (b regs))))
     | Ir.Ptr_ne ->
         let a = getter op.Ir.args.(0) and b = getter op.Ir.args.(1) in
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Bool (not (Semantics.identical (a regs) (b regs)))))
+            set regs (Value.of_bool (not (Semantics.identical (a regs) (b regs)))))
     | Ir.Same_as ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
@@ -1074,7 +1074,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
       Engine.emit eng cost_op;
       match test st.st_regs with
       | b ->
-          set st.st_regs (Value.Bool b);
+          set st.st_regs (Value.of_bool b);
           exec.(i + 1) <- exec.(i + 1) + 1;
           Engine.emit eng cost_g;
           if b = want then begin
@@ -1106,7 +1106,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
       match
         let y = as_int (b regs) in
         let x = as_int (a regs) in
-        set regs (Value.Int (wrap x y));
+        set regs (Value.of_int (wrap x y));
         (x, y)
       with
       | x, y -> (

@@ -1,0 +1,81 @@
+(** Interpreter frames, generic over the value representation.
+
+    The same frame structure is used by the direct interpreter (['v] =
+    {!Mtj_rt.Value.t}) and by the tracing meta-interpreter (['v] =
+    tracked values carrying their IR operand).  A frame holds the code
+    object, the program counter, the locals and the evaluation stack;
+    frames link to their caller.
+
+    Code throughout the interpreters relies on
+    [Array.length t.locals = max 1 nlocals] (e.g. to recover the local
+    count and to blit call arguments), which is why the frame pool
+    below buckets arrays by exact length. *)
+
+type ('v, 'code) t = {
+  code : 'code;
+  code_ref : int;
+  mutable pc : int;
+  locals : 'v array;
+  stack : 'v array;
+  mutable sp : int;
+  mutable parent : ('v, 'code) t option;
+  mutable discard_return : bool;
+      (** constructor ([__init__]) frames: the caller already holds the
+          instance; the return value is dropped *)
+}
+
+val create :
+  code:'code ->
+  code_ref:int ->
+  nlocals:int ->
+  stack_size:int ->
+  default:'v ->
+  parent:('v, 'code) t option ->
+  ('v, 'code) t
+(** Fresh frame with newly allocated locals/stack arrays filled with
+    [default]. *)
+
+val create_pooled :
+  pool:'v Mtj_rt.Apool.t ->
+  code:'code ->
+  code_ref:int ->
+  nlocals:int ->
+  stack_size:int ->
+  parent:('v, 'code) t option ->
+  ('v, 'code) t
+(** [create] with the locals/stack arrays drawn from [pool] (the pool's
+    default element plays the role of [~default]).
+
+    {b Reuse contract}: {!Mtj_rt.Apool.release} re-fills arrays with the
+    pool default before shelving them, so a pooled frame starts fully
+    re-initialized — every locals/stack slot holds the default, [pc] and
+    [sp] are 0 — and is indistinguishable from one built by [create].
+    No value from a previous frame's life can be observed through a
+    pooled frame.  With a disabled pool this degrades to exactly
+    [create]. *)
+
+val release : pool:'v Mtj_rt.Apool.t -> ('v, 'code) t -> unit
+(** Return a dead frame's locals/stack arrays to [pool].
+
+    Caller contract: the frame must be unreachable from every live
+    frame chain (the driver's current-frame pointer, the recorder's
+    tracked chain) {e before} release, and its arrays must not have
+    been handed to anything that outlives the frame — in particular,
+    frames whose [locals] were passed to a compiled trace as entry
+    slots must never be released.  The frame record itself is not
+    pooled; only its arrays are.  Touching a frame after releasing it
+    is a bug. *)
+
+val push : ('v, 'code) t -> 'v -> unit
+val pop : ('v, 'code) t -> 'v
+val peek : ('v, 'code) t -> int -> 'v
+val set_top : ('v, 'code) t -> 'v -> unit
+
+val depth : ('v, 'code) t -> int
+(** Number of ancestor frames. *)
+
+(** What one bytecode step did to control flow. *)
+type ('v, 'code) outcome =
+  | Continue                     (** stay in this frame *)
+  | Call of ('v, 'code) t        (** push and enter the given frame *)
+  | Return of 'v                 (** pop this frame with the result *)

@@ -149,6 +149,18 @@ let getitem ctx container key =
       Value.Str (String.make 1 s.[i])
   | v -> err "%s object is not subscriptable" (Value.type_name v)
 
+(* [getitem] with the key's [Value.py_hash] hoisted by the caller (the
+   threaded translators precompute it for string-constant keys); only
+   the dict branch consumes the hash, and [py_hash] is pure host code,
+   so this is simulation-identical to [getitem] (see rdict.mli) *)
+let getitem_h ctx container key khash =
+  match container with
+  | Value.Obj { payload = Value.Dict d; _ } -> (
+      match Rdict.get_h ctx d key khash with
+      | Some v -> v
+      | None -> err "KeyError: %s" (Value.repr key))
+  | c -> getitem ctx c key
+
 let setitem ctx container key v =
   match container with
   | Value.Obj ({ payload = Value.List l; _ } as o) ->
@@ -158,6 +170,13 @@ let setitem ctx container key v =
       Rlist.set ctx o i v
   | Value.Obj ({ payload = Value.Dict d; _ } as o) -> Rdict.set ctx o d key v
   | c -> err "%s object does not support item assignment" (Value.type_name c)
+
+(* [setitem] with a hoisted key hash; dict branch only, as above *)
+let setitem_h ctx container key v khash =
+  match container with
+  | Value.Obj ({ payload = Value.Dict d; _ } as o) ->
+      Rdict.set_h ctx o d key v khash
+  | c -> setitem ctx c key v
 
 let len_of ctx v =
   ignore ctx;
@@ -189,7 +208,7 @@ let contains ctx item container =
 let both_numbers a b = Rarith.is_number a && Rarith.is_number b
 
 let rec compare_values ctx op a b =
-  let boolean v = Value.Bool v in
+  let boolean v = Value.of_bool v in
   match op with
   | Is -> boolean (identical a b)
   | Is_not -> boolean (not (identical a b))

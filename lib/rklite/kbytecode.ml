@@ -120,3 +120,11 @@ let jump_targets = function
 let falls_through = function
   | K_JUMP _ | K_TAILJUMP _ | K_TAILCALL _ | K_RETURN -> false
   | _ -> true
+
+(* String constants paired with their [Value.py_hash]; counterpart of
+   [Bytecode.str_const_khashes] for the differential hash test. *)
+let str_const_khashes (c : code) : (string * int) list =
+  Array.to_list c.instrs
+  |> List.filter_map (function
+       | K_CONST (Mtj_rt.Value.Str s as v) -> Some (s, Mtj_rt.Value.py_hash v)
+       | _ -> None)

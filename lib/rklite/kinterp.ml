@@ -12,10 +12,9 @@ module Step (O : Ops_intf.OPS) = struct
   let err = Semantics.err
 
   let make_frame cx code parent : frame =
-    Frame.create ~code ~code_ref:code.Kbytecode.id
-      ~nlocals:code.Kbytecode.nlocals ~stack_size:code.Kbytecode.stacksize
-      ~default:(O.const cx Value.Nil)
-      ~parent
+    Frame.create_pooled ~pool:(O.frame_pool cx) ~code
+      ~code_ref:code.Kbytecode.id ~nlocals:code.Kbytecode.nlocals
+      ~stack_size:code.Kbytecode.stacksize ~parent
 
   (* pop [n] operands into a fresh positional-order array (top of stack
      is the last argument) — no per-call list building on the call path *)
@@ -207,6 +206,10 @@ module Step (O : Ops_intf.OPS) = struct
             nf.Frame.locals.(code.Kbytecode.nargs + i) <-
               O.func_captured cx callee i
           done;
+          (* the replaced frame is dead the instant we hand back [nf]:
+             nothing simulated can run between here and the driver
+             swapping its chain head, so its arrays can be recycled *)
+          Frame.release ~pool:(O.frame_pool cx) f;
           Frame.Call nf
         end
     | K_TAILJUMP nargs ->
@@ -306,7 +309,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
     let next = pc + 1 in
     match instr with
     | K_CONST v ->
-        let c = Direct_ops.const cx v in
+        let c = Direct_ops.const cx (Value.intern v) in
         fun f ->
           charge ~target;
           Frame.push f c;
@@ -413,6 +416,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
               nf.Frame.locals.(code.Kbytecode.nargs + i) <-
                 Direct_ops.func_captured cx callee i
             done;
+            Frame.release ~pool:(Direct_ops.frame_pool cx) f;
             Frame.Call nf
           end
     | K_TAILJUMP nargs ->
@@ -480,7 +484,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
           let y = Frame.pop f in
           let x = Frame.pop f in
           let r = Direct_ops.compare cx op x y in
-          Frame.push f (Value.Bool (Direct_ops.is_true cx r));
+          Frame.push f (Value.of_bool (Direct_ops.is_true cx r));
           f.Frame.pc <- next;
           Frame.Continue
     | K_PRIM (p, nargs) ->
@@ -540,7 +544,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                 let res = Direct_ops.is_true cx r in
                 charge ~target:t1;
                 f.Frame.pc <-
-                  (if Direct_ops.is_true cx (Value.Bool res) then nx else t);
+                  (if Direct_ops.is_true cx (Value.of_bool res) then nx else t);
                 Frame.Continue)
         | _ -> None)
     | _ -> None

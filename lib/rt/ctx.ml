@@ -23,18 +23,29 @@ type t = {
          reason as [builtin_cache]: translations close over this
          context's engine/gc, so sharing them across domains would leak
          simulated state between runs. *)
+  hstats : Hstats.t;
+      (* host-side fast-path counters; per-context so parallel runs never
+         share a counter *)
+  frame_pool : Value.t Apool.t;
+      (* free lists for dead frames' locals/stack arrays, per-context so
+         pooled arrays never cross domains *)
 }
 
 let create ?config () =
   let config = Option.value ~default:Mtj_core.Config.default config in
   let engine = Mtj_machine.Engine.create ~config () in
   let gc = Gc_sim.create engine config in
+  let hstats = Hstats.create () in
   {
     engine;
     gc;
     out = Buffer.create 256;
     builtin_cache = Hashtbl.create 64;
     code_cache = Hashtbl.create 64;
+    hstats;
+    frame_pool =
+      Apool.create ~enabled:config.Mtj_core.Config.frame_pool ~stats:hstats
+        Value.Nil;
   }
 
 let engine t = t.engine
@@ -43,3 +54,15 @@ let out t = t.out
 let builtin_cache t = t.builtin_cache
 let code_cache t = t.code_cache
 let config t = Mtj_machine.Engine.config t.engine
+let hstats t = t.hstats
+let frame_pool t = t.frame_pool
+
+(* counted small-int boxing for ctx-bearing hot paths: same result as
+   [Value.of_int], plus an intern-hit tick in [hstats] *)
+let[@inline] of_int t i =
+  if Value.is_interned_int i then begin
+    t.hstats.Hstats.value_interned_hits <-
+      t.hstats.Hstats.value_interned_hits + 1;
+    Value.of_int i
+  end
+  else Value.Int i

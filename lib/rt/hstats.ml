@@ -1,0 +1,24 @@
+(** Host-side fast-path statistics.
+
+    Counts how often the allocation-free value fast paths fired: these
+    are HOST-level counters (like [Engine.charge_flushes]), not simulated
+    machine work — the fast paths are invisible to the simulation by
+    construction.  One record per {!Ctx}, so parallel runs never share a
+    counter and the exported values are deterministic. *)
+
+type t = {
+  mutable value_interned_hits : int;
+      (* [Int] results served from the preallocated intern table by the
+         counted (ctx-bearing) runtime paths; a lower bound on total
+         intern-table hits, since context-free paths (eval_op, translate-
+         time constant interning) do not count *)
+  mutable frame_pool_reuses : int;
+      (* locals/stack arrays served from a frame pool free list instead
+         of [Array.make] *)
+  mutable dict_hash_skips : int;
+      (* dict/set operations entered with a precomputed key hash, so no
+         [py_hash]/[str_hash] recomputation ran *)
+}
+
+let create () =
+  { value_interned_hits = 0; frame_pool_reuses = 0; dict_hash_skips = 0 }

@@ -19,7 +19,7 @@ let is_number = function
 
 let normalize_big ctx b =
   match Rbigint.to_int_opt b with
-  | Some i -> Value.Int i
+  | Some i -> Ctx.of_int ctx i
   | None -> Gc_sim.obj (Ctx.gc ctx) (Value.Bigint b)
 
 let as_big = function
@@ -82,7 +82,7 @@ let add ctx a b =
     let r = x + y in
     if overflowed_add x y r then
       big_binop ctx big_add_fn Rbigint.add a b
-    else Value.Int r
+    else Ctx.of_int ctx r
   end
   else big_binop ctx big_add_fn Rbigint.add a b
 
@@ -93,7 +93,7 @@ let sub ctx a b =
     let r = x - y in
     if (x >= 0) <> (y >= 0) && (r >= 0) <> (x >= 0) then
       big_binop ctx big_sub_fn Rbigint.sub a b
-    else Value.Int r
+    else Ctx.of_int ctx r
   end
   else big_binop ctx big_sub_fn Rbigint.sub a b
 
@@ -107,7 +107,7 @@ let mul ctx a b =
   else if int_like a && int_like b then begin
     let x = as_int a and y = as_int b in
     if mul_overflows x y then big_binop ctx big_mul_fn Rbigint.mul a b
-    else Value.Int (x * y)
+    else Ctx.of_int ctx (x * y)
   end
   else big_binop ctx big_mul_fn Rbigint.mul a b
 
@@ -129,7 +129,7 @@ let floordiv ctx a b =
     Value.Float (floor (to_float a /. d))
   end
   else if int_like a && int_like b then
-    Value.Int (floordiv_int (as_int a) (as_int b))
+    Ctx.of_int ctx (floordiv_int (as_int a) (as_int b))
   else
     big_binop ctx big_divmod_fn (fun x y -> fst (Rbigint.divmod x y)) a b
 
@@ -142,7 +142,7 @@ let modulo ctx a b =
     Value.Float r
   end
   else if int_like a && int_like b then
-    Value.Int (mod_int (as_int a) (as_int b))
+    Ctx.of_int ctx (mod_int (as_int a) (as_int b))
   else
     big_binop ctx big_divmod_fn (fun x y -> snd (Rbigint.divmod x y)) a b
 
@@ -154,10 +154,10 @@ let truediv _ctx a b =
 let divmod ctx a b = (floordiv ctx a b, modulo ctx a b)
 
 let neg ctx = function
-  | Value.Int i when i <> min_int -> Value.Int (-i)
+  | Value.Int i when i <> min_int -> Ctx.of_int ctx (-i)
   | Value.Int i -> normalize_big ctx (Rbigint.neg (Rbigint.of_int i))
   | Value.Float f -> Value.Float (-.f)
-  | Value.Bool b -> Value.Int (-Bool.to_int b)
+  | Value.Bool b -> Ctx.of_int ctx (-Bool.to_int b)
   | Value.Obj { payload = Value.Bigint b; _ } ->
       normalize_big ctx (Rbigint.neg b)
   | v -> raise (Type_error ("bad operand for unary -: " ^ Value.type_name v))
@@ -179,7 +179,7 @@ let pow ctx a b =
             go acc base' (e lsr 1)
           end
         in
-        go (Value.Int 1) (Value.Int base) e
+        go (Value.of_int 1) (Value.of_int base) e
       end
   | _ ->
       raise
@@ -189,7 +189,7 @@ let pow ctx a b =
 
 let lshift ctx a n =
   match a with
-  | Value.Int i when n < 40 && abs i < 1 lsl 20 -> Value.Int (i lsl n)
+  | Value.Int i when n < 40 && abs i < 1 lsl 20 -> Ctx.of_int ctx (i lsl n)
   | _ -> (
       match as_big a with
       | Some b ->
@@ -202,7 +202,7 @@ let lshift ctx a n =
 
 let rshift ctx a n =
   match a with
-  | Value.Int i when i >= 0 -> Value.Int (i asr n)
+  | Value.Int i when i >= 0 -> Ctx.of_int ctx (i asr n)
   | _ -> (
       match as_big a with
       | Some b ->

@@ -83,6 +83,42 @@ and entry = {
   mutable live : bool;
 }
 
+(* --- interned immediates (PyPy's small-int optimization) --- *)
+
+(* Hot arithmetic produces mostly small ints; serving those from a
+   preallocated table makes the common case allocation-free on the host.
+   Safe because [Int] boxes are immutable and every consumer compares
+   them structurally ([py_eq]/[py_hash]/[Semantics.identical] all match
+   on the payload, never on the box), and because immediates are unboxed
+   from the simulated GC's point of view (see the header comment), so
+   sharing boxes changes nothing the simulation can observe. *)
+
+let min_interned = -1024
+let max_interned = 1024
+
+let interned_ints =
+  Array.init (max_interned - min_interned + 1) (fun i -> Int (min_interned + i))
+
+let[@inline] is_interned_int i = i >= min_interned && i <= max_interned
+
+let[@inline] of_int i =
+  if is_interned_int i then Array.unsafe_get interned_ints (i - min_interned)
+  else Int i
+
+let true_ = Bool true
+let false_ = Bool false
+let nil = Nil
+
+let[@inline] of_bool b = if b then true_ else false_
+
+(* normalize a value to its interned box if one exists; used on
+   translate-time constants so each threaded-code constant is boxed once
+   and shared *)
+let intern = function
+  | Int i -> of_int i
+  | Bool b -> of_bool b
+  | v -> v
+
 let type_name = function
   | Nil -> "NoneType"
   | Bool _ -> "bool"
@@ -160,6 +196,15 @@ let rec py_eq a b =
       Rbigint.equal bx (Rbigint.of_int y)
   | (Nil | Bool _ | Int _ | Float _ | Str _ | Obj _), _ -> false
 
+(* Integral floats below this magnitude are treated as exact integers by
+   both [py_hash] and [float_repr].  The two MUST share one threshold:
+   [py_eq] says [Int i = Float f] whenever [float_of_int i = f], so any
+   integral float the hash treats differently from its integer twin
+   breaks the hash/equality contract dicts rely on.  (Historically
+   py_hash used 1e15 while float_repr used 1e16, so integral floats in
+   [1e15, 1e16) hashed differently from their equal ints.) *)
+let integral_float_limit = 1e16
+
 (* FNV-style string hash, standing in for rstr_ll_strhash *)
 let str_hash s =
   let h = ref 2166136261 in
@@ -171,7 +216,7 @@ let rec py_hash = function
   | Bool b -> if b then 1 else 0
   | Int i -> i land max_int
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
+      if Float.is_integer f && Float.abs f < integral_float_limit then
         int_of_float f land max_int
       else Hashtbl.hash f
   | Str s -> str_hash s
@@ -213,7 +258,7 @@ let payload_words = function
 (* --- rendering (repr/str for the hosted languages) --- *)
 
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e16 then
+  if Float.is_integer f && Float.abs f < integral_float_limit then
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
 
@@ -269,7 +314,7 @@ and to_display_string v =
 and list_get_unsafe (l : lst) i =
   match l.strategy with
   | S_empty -> invalid_arg "list_get_unsafe: empty"
-  | S_int s -> Int s.ints.(i)
+  | S_int s -> of_int s.ints.(i)
   | S_float s -> Float s.floats.(i)
   | S_str s -> Str s.strs.(i)
   | S_obj s -> s.objs.(i)

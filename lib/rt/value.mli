@@ -1,0 +1,171 @@
+(** The dynamic object model shared by every VM in the reproduction.
+
+    Heap objects carry GC metadata (generation, age, mark bit) managed
+    by Gc_sim; immediate values (nil, bools, ints, floats, immutable
+    strings) are unboxed from the GC's point of view, as in PyPy after
+    its small-int optimization.
+
+    All type definitions are exposed concretely: the runtime, the
+    hosted-language interpreters, and the trace machinery all pattern-
+    match on values and mutate heap payloads in place. *)
+
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of obj
+
+and obj = {
+  uid : int;
+  mutable payload : payload;
+  mutable gc_gen : int;    (* 0 = nursery, 1 = old generation *)
+  mutable gc_age : int;    (* minor collections survived *)
+  mutable gc_mark : bool;
+  mutable remembered : bool;
+  mutable words : int;     (* current heap footprint in words *)
+}
+
+and payload =
+  | Instance of instance
+  | Class of cls
+  | List of lst
+  | Dict of dict
+  | Set of dict            (* sets reuse the ordered-dict storage *)
+  | Tuple of t array
+  | Func of func
+  | Method of { receiver : t; func : obj }
+  | Cell of { mutable cell : t }
+  | Bigint of Rbigint.t
+  | Strbuilder of Buffer.t
+  | Range of { start : int; stop : int; step : int }
+  | Iter of { mutable idx : int; src : t }
+
+and instance = { cls : obj; mutable fields : t array }
+
+and cls = {
+  cls_id : int;
+  cls_name : string;
+  mutable layout : string array;   (* field name -> index ("map"/shape) *)
+  mutable attrs : (string * t) list;  (* methods and class attributes *)
+  mutable parent : obj option;
+}
+
+and func = {
+  func_id : int;
+  func_name : string;
+  arity : int;
+  code_ref : int;               (* index into the owning VM's code table *)
+  mutable captured : t array;   (* closed-over cells *)
+}
+
+and lst = { mutable strategy : strategy }
+
+and strategy =
+  | S_empty
+  | S_int of { mutable ints : int array; mutable len : int }
+  | S_float of { mutable floats : float array; mutable len : int }
+  | S_str of { mutable strs : string array; mutable len : int }
+  | S_obj of { mutable objs : t array; mutable len : int }
+
+and dict = {
+  mutable entries : entry array;
+  mutable num_entries : int;  (* used slots in [entries], incl. dead *)
+  mutable num_live : int;
+  mutable index : int array;  (* -1 empty, -2 tombstone, else entry slot *)
+  mutable index_mask : int;
+}
+
+and entry = {
+  mutable key : t;
+  mutable dval : t;
+  mutable khash : int;
+  mutable live : bool;
+}
+
+(** {1 Interned immediates}
+
+    A preallocated table of [Int] boxes for [min_interned..max_interned]
+    plus shared singletons for [Bool] and [Nil], after PyPy's small-int
+    optimization.  Hot arithmetic produces mostly small ints; serving
+    them from the table makes the common case allocation-free on the
+    host.
+
+    {b Physical-equality guarantees.}  For any [i] with
+    [is_interned_int i], every [of_int i] returns the {e same} box:
+    [of_int i == of_int i].  Likewise [of_bool b == of_bool b] and
+    [nil == Nil] structurally.  The converse is NOT guaranteed: values
+    built directly with the [Int]/[Bool] constructors (or arriving from
+    outside the fast paths) may be distinct boxes with equal payloads,
+    so consumers must keep comparing structurally ([py_eq], [py_hash],
+    pattern matching) — never with [==].  Sharing is safe because these
+    boxes are immutable, all runtime comparisons are structural, and
+    immediates are unboxed from the simulated GC's point of view, so no
+    simulated counter can observe whether two equal ints share a box. *)
+
+val min_interned : int
+(** Smallest interned integer (inclusive). *)
+
+val max_interned : int
+(** Largest interned integer (inclusive). *)
+
+val is_interned_int : int -> bool
+(** [is_interned_int i] is true iff [of_int i] is served from the intern
+    table. *)
+
+val of_int : int -> t
+(** [of_int i] is [Int i], shared from the intern table when
+    [is_interned_int i]. *)
+
+val true_ : t
+(** Shared [Bool true] box. *)
+
+val false_ : t
+(** Shared [Bool false] box. *)
+
+val nil : t
+(** [Nil] (exported for symmetry with [true_]/[false_]). *)
+
+val of_bool : bool -> t
+(** [of_bool b] is the shared [true_] or [false_] box. *)
+
+val intern : t -> t
+(** [intern v] normalizes [v] to its shared box when one exists
+    ([Int] in the interned range, [Bool]); other values pass through
+    unchanged.  Used on translate-time constants so each threaded-code
+    constant is boxed once. *)
+
+(** {1 Predicates, equality, hashing} *)
+
+val type_name : t -> string
+val list_len : lst -> int
+val truthy : t -> bool
+
+val py_eq : t -> t -> bool
+(** Structural equality with Python semantics for immediates, tuples and
+    bigints; identity for other heap objects. *)
+
+val integral_float_limit : float
+(** Integral floats with magnitude below this are treated as exact
+    integers by both [py_hash] and [float_repr].  The shared constant
+    keeps the hash/equality contract intact: [py_eq (Int i) (Float f)]
+    implies [py_hash (Int i) = py_hash (Float f)]. *)
+
+val str_hash : string -> int
+(** FNV-style string hash, standing in for rstr_ll_strhash. *)
+
+val py_hash : t -> int
+(** Hash consistent with [py_eq]: equal values hash equal. *)
+
+val payload_words : payload -> int
+(** Heap footprint in words of a freshly-built payload (header excluded;
+    Gc_sim adds a fixed header). *)
+
+(** {1 Rendering} *)
+
+val float_repr : float -> string
+val repr : t -> string
+val to_display_string : t -> string
+val list_get_unsafe : lst -> int -> t
+val pp : Format.formatter -> t -> unit

@@ -18,6 +18,13 @@
       it cannot hide in the first gate, which such a regression would
       (misleadingly) LOWER.  Simulated insn counts are deterministic, so
       the rate quotient still cancels machine speed.
+    - {b allocation gate}: host minor-heap words allocated per simulated
+      instruction over the interpreter-dominated configs.  Both numbers
+      are machine-independent (the allocation counter is monotonic and
+      the simulation is deterministic), so this quotient needs no
+      normalization; it catches regressions in the allocation-free value
+      fast paths (small-int interning, frame pooling, hoisted key
+      hashes) that the wall-clock gates could absorb in noise.
 
     Usage:
       bench_gate.exe BASELINE.json CURRENT.json [MAX_REGRESS]
@@ -65,12 +72,14 @@ type groups = {
   interp_wall : float;
   interp_insns : float;
   jit_insns : float;
+  interp_minor_words : float;
 }
 
 let split file j =
   let jit_wall = ref 0.0 and ref_wall = ref 0.0 in
   let interp_wall = ref 0.0 and interp_insns = ref 0.0 in
   let jit_insns = ref 0.0 in
+  let interp_minor_words = ref 0.0 in
   let runs =
     match Option.bind (Json.member "runs" j) Json.get_arr with
     | Some r -> r
@@ -80,8 +89,8 @@ let split file j =
     (fun r ->
       let str k = Option.bind (Json.member k r) Json.get_str in
       let num k = Option.bind (Json.member k r) Json.get_num in
-      match (str "config", num "wall_s", num "insns") with
-      | Some c, Some w, Some insns ->
+      match (str "config", num "wall_s", num "insns", num "minor_words") with
+      | Some c, Some w, Some insns, Some mw ->
           if List.mem c jit_configs then begin
             jit_wall := !jit_wall +. w;
             jit_insns := !jit_insns +. insns
@@ -89,7 +98,8 @@ let split file j =
           else if List.mem c ref_configs then ref_wall := !ref_wall +. w;
           if List.mem c interp_configs then begin
             interp_wall := !interp_wall +. w;
-            interp_insns := !interp_insns +. insns
+            interp_insns := !interp_insns +. insns;
+            interp_minor_words := !interp_minor_words +. mw
           end
       | _ -> die "%s: malformed run row" file)
     runs;
@@ -97,18 +107,26 @@ let split file j =
   if !ref_wall <= 0.0 then die "%s: no reference-config runs" file;
   if !interp_insns <= 0.0 then die "%s: no interpreter-config insns" file;
   if !jit_insns <= 0.0 then die "%s: no JIT-config insns" file;
+  if !interp_minor_words <= 0.0 then
+    die "%s: no interpreter-config minor_words" file;
   {
     jit_wall = !jit_wall;
     ref_wall = !ref_wall;
     interp_wall = !interp_wall;
     interp_insns = !interp_insns;
     jit_insns = !jit_insns;
+    interp_minor_words = !interp_minor_words;
   }
 
 (* ns per simulated instruction of the interpreter rows, normalized by
    the same rate over the JIT rows *)
 let interp_ratio g =
   (g.interp_wall /. g.interp_insns) /. (g.jit_wall /. g.jit_insns)
+
+(* host minor-heap words allocated per simulated instruction over the
+   interpreter rows; machine-independent, so gated without
+   normalization *)
+let alloc_ratio g = g.interp_minor_words /. g.interp_insns
 
 let update_baseline ~baseline_file ~current_file =
   ignore (load current_file);
@@ -158,6 +176,7 @@ let () =
     gate "trace-executor wall ratio" (b.jit_wall /. b.ref_wall)
       (c.jit_wall /. c.ref_wall);
     gate "interpreter ns/insn ratio" (interp_ratio b) (interp_ratio c);
+    gate "interpreter minor-words/insn" (alloc_ratio b) (alloc_ratio c);
     if !failed then exit 1;
     print_endline "OK"
   end

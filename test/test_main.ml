@@ -25,5 +25,6 @@ let () =
       ("lang-internals", Test_lang_internals.suite);
       ("error-paths", Test_errors.suite);
       ("pool", Test_pool.suite);
+      ("value-diff", Test_value_diff.suite);
       ("integration", Test_integration.suite);
     ]

@@ -18,6 +18,7 @@ type observed = {
   o_baseline : (Phase.t * Counters.snapshot) list;
   o_jitlog : Mtj_rjit.Jitlog.t;
   o_gc : Mtj_rt.Gc_sim.stats;
+  o_hstats : Mtj_rt.Hstats.t;
   o_status : string;
 }
 
@@ -40,6 +41,7 @@ let run_observed ?capacity ~budget name =
     o_baseline = baseline;
     o_jitlog = Mtj_pylite.Vm.jitlog vm;
     o_gc = Mtj_rt.Gc_sim.stats (Mtj_rt.Ctx.gc (Mtj_pylite.Vm.rtc vm));
+    o_hstats = Mtj_rt.Ctx.hstats (Mtj_pylite.Vm.rtc vm);
     o_status =
       (match outcome with
       | Mtj_rjit.Driver.Completed _ -> "ok"
@@ -142,7 +144,7 @@ let test_metrics_roundtrip () =
   let run =
     Metrics.run_json ~bench:"binarytrees" ~config:"pypy" ~status:o.o_status
       ~engine:o.o_eng ~jitlog:o.o_jitlog ~gc:o.o_gc
-      ~ticks:(Sink.ticks o.o_sink) ()
+      ~ticks:(Sink.ticks o.o_sink) ~hstats:o.o_hstats ()
   in
   let doc = Metrics.document ~runs:[ run ] in
   let reparsed = parse_ok "metrics json" (Json.to_string ~indent:2 doc) in
@@ -188,7 +190,33 @@ let test_metrics_roundtrip () =
     (jint "interp_translations" > 0);
   Alcotest.(check bool)
     "code switches hit the threaded cache" true
-    (jint "threaded_code_hits" > 0)
+    (jint "threaded_code_hits" > 0);
+  (* v5 host fast-path counters survive the round trip verbatim *)
+  let rint key =
+    match
+      Option.bind (Json.member "runs" reparsed) (fun runs ->
+          match Json.get_arr runs with
+          | Some (r :: _) -> Option.bind (Json.member key r) Json.get_int
+          | _ -> None)
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "run.%s missing" key
+  in
+  Alcotest.(check int)
+    "value_interned_hits round-trips"
+    o.o_hstats.Mtj_rt.Hstats.value_interned_hits
+    (rint "value_interned_hits");
+  Alcotest.(check int)
+    "frame_pool_reuses round-trips"
+    o.o_hstats.Mtj_rt.Hstats.frame_pool_reuses
+    (rint "frame_pool_reuses");
+  Alcotest.(check int)
+    "dict_hash_skips round-trips" o.o_hstats.Mtj_rt.Hstats.dict_hash_skips
+    (rint "dict_hash_skips");
+  (* interning is unconditional, so a real run always registers hits *)
+  Alcotest.(check bool)
+    "interned-value fast path is live" true
+    (rint "value_interned_hits" > 0)
 
 let test_runner_metrics_roundtrip () =
   (* the memoized-result path used by `bench --metrics-out` *)
@@ -219,7 +247,20 @@ let test_runner_metrics_roundtrip () =
     (rint "fast_path_bundles");
   Alcotest.(check bool)
     "bundles dominate flushes on a real run" true
-    (rint "fast_path_bundles" > rint "charge_flushes" && rint "charge_flushes" > 0)
+    (rint "fast_path_bundles" > rint "charge_flushes" && rint "charge_flushes" > 0);
+  (* v5 host fast-path counters flow through the memoized-result path *)
+  Alcotest.(check int)
+    "value_interned_hits round-trips" r.Mtj_harness.Runner.value_interned_hits
+    (rint "value_interned_hits");
+  Alcotest.(check int)
+    "frame_pool_reuses round-trips" r.Mtj_harness.Runner.frame_pool_reuses
+    (rint "frame_pool_reuses");
+  Alcotest.(check int)
+    "dict_hash_skips round-trips" r.Mtj_harness.Runner.dict_hash_skips
+    (rint "dict_hash_skips");
+  Alcotest.(check bool)
+    "interned-value fast path is live" true
+    (rint "value_interned_hits" > 0)
 
 (* --- bench timings --- *)
 
@@ -232,6 +273,7 @@ let test_timings_roundtrip () =
         rt_wall_s = 0.25;
         rt_insns = 123_456;
         rt_cycles = 98_765.4;
+        rt_minor_words = 1_024.0;
       };
     ]
   in
@@ -326,10 +368,11 @@ let test_validator_rejects_corruption () =
         ("cache_miss_rate", Json.Float 0.0);
       ]
   in
-  let mdoc ?(flushes = 3) ?(bundles = 5) total =
+  let mdoc ?(flushes = 3) ?(bundles = 5) ?(interned = Json.Int 2)
+      ?(pooled = Json.Null) ?(hash_skips = Json.Int 0) total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/4");
+        ("schema", Json.Str "mtj-metrics/5");
         ( "runs",
           Json.Arr
             [
@@ -342,6 +385,9 @@ let test_validator_rejects_corruption () =
                   ("cycles", Json.Float 10.0);
                   ("charge_flushes", Json.Int flushes);
                   ("fast_path_bundles", Json.Int bundles);
+                  ("value_interned_hits", interned);
+                  ("frame_pool_reuses", pooled);
+                  ("dict_hash_skips", hash_skips);
                   ( "phases",
                     Json.Obj
                       [ ("interpreter", snap 7); ("total", snap total) ] );
@@ -362,11 +408,23 @@ let test_validator_rejects_corruption () =
   expect_err "insns but no flushes" (Validate.metrics (mdoc ~flushes:0 7));
   expect_err "negative fast_path_bundles"
     (Validate.metrics (mdoc ~bundles:(-1) 7));
+  (* v5 host fast-path counters: null is fine (native exporters), ints
+     must be non-negative and bounded by the run's insn total *)
+  (match Validate.metrics (mdoc ~interned:Json.Null ~hash_skips:Json.Null 7) with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "expected 1 run, got %d" n
+  | Error e -> Alcotest.failf "null hstats counters rejected: %s" e);
+  expect_err "negative value_interned_hits"
+    (Validate.metrics (mdoc ~interned:(Json.Int (-1)) 7));
+  expect_err "frame_pool_reuses exceeding insns"
+    (Validate.metrics (mdoc ~pooled:(Json.Int 8) 7));
+  expect_err "non-int dict_hash_skips"
+    (Validate.metrics (mdoc ~hash_skips:(Json.Str "many") 7));
   (* jit block violating the v2 cache invariants *)
   let jdoc ?(itrans = 1) ?(ihits = 0) translations trace_translations =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/4");
+        ("schema", Json.Str "mtj-metrics/5");
         ( "runs",
           Json.Arr
             [
@@ -379,6 +437,9 @@ let test_validator_rejects_corruption () =
                   ("cycles", Json.Float 10.0);
                   ("charge_flushes", Json.Int 3);
                   ("fast_path_bundles", Json.Int 5);
+                  ("value_interned_hits", Json.Int 2);
+                  ("frame_pool_reuses", Json.Int 0);
+                  ("dict_hash_skips", Json.Null);
                   ( "phases",
                     Json.Obj [ ("interpreter", snap 7); ("total", snap 7) ] );
                   ( "jit",
