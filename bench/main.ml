@@ -86,6 +86,7 @@ let bechamel () =
 let usage () =
   print_endline
     "usage: main.exe [-j N] [--threaded-interp on|off] [--frame-pool on|off] \
+     [--tier-policy optimizing|baseline|adaptive] \
      [--timings FILE] [--metrics-out FILE] \
      [all | bechamel | <experiment> ...]";
   print_endline "experiments:";
@@ -100,6 +101,7 @@ type parsed = {
   jobs : int option;
   threaded : bool option;
   frame_pool : bool option;
+  tier_policy : Mtj_core.Config.tier_policy option;
   timings_file : string option;
   metrics_file : string option;
   help : bool;
@@ -125,6 +127,12 @@ let parse_args argv =
         | "off" -> go { acc with frame_pool = Some false } rest
         | _ -> Error (Printf.sprintf "bad --frame-pool value %S" v))
     | [ "--frame-pool" ] -> Error "--frame-pool requires on|off"
+    | "--tier-policy" :: v :: rest -> (
+        match Mtj_core.Config.tier_policy_of_string v with
+        | Some p -> go { acc with tier_policy = Some p } rest
+        | None -> Error (Printf.sprintf "bad --tier-policy value %S" v))
+    | [ "--tier-policy" ] ->
+        Error "--tier-policy requires optimizing|baseline|adaptive"
     | "--timings" :: f :: rest -> go { acc with timings_file = Some f } rest
     | [ "--timings" ] -> Error "--timings requires an argument"
     | "--metrics-out" :: f :: rest -> go { acc with metrics_file = Some f } rest
@@ -137,8 +145,8 @@ let parse_args argv =
   in
   go
     { names = []; run_all = false; jobs = None; threaded = None;
-      frame_pool = None; timings_file = None; metrics_file = None;
-      help = false }
+      frame_pool = None; tier_policy = None; timings_file = None;
+      metrics_file = None; help = false }
     argv
 
 let () =
@@ -153,6 +161,7 @@ let () =
       Option.iter R.set_jobs p.jobs;
       Option.iter R.set_threaded_interp p.threaded;
       Option.iter R.set_frame_pool p.frame_pool;
+      Option.iter R.set_tier_policy p.tier_policy;
       (* validate every requested name before running anything *)
       let unknown =
         List.filter

@@ -19,6 +19,7 @@ let config_conv =
     | "pypy-nojit" -> Ok R.Pypy_nojit
     | "pypy" -> Ok R.Pypy_jit
     | "pypy-2tier" -> Ok R.Pypy_tiered
+    | "pypy-1tier" -> Ok R.Pypy_baseline
     | "racket" -> Ok R.Racket
     | "pycket-nojit" -> Ok R.Pycket_nojit
     | "pycket" -> Ok R.Pycket_jit
@@ -60,8 +61,8 @@ let jobs_arg =
 
 let config_arg =
   Arg.(value & opt config_conv R.Pypy_jit & info [ "vm" ] ~docv:"VM"
-         ~doc:"VM configuration: cpython, pypy-nojit, pypy, racket, \
-               pycket-nojit, pycket, c")
+         ~doc:"VM configuration: cpython, pypy-nojit, pypy, pypy-2tier, \
+               pypy-1tier, racket, pycket-nojit, pycket, c")
 
 let budget_arg =
   Arg.(value & opt int R.default_budget
@@ -89,7 +90,31 @@ let frame_pool_arg =
 
 let apply_frame_pool = function Some b -> R.set_frame_pool b | None -> ()
 
+let tier_policy_arg =
+  let policy =
+    Arg.enum
+      (List.map
+         (fun p -> (Mtj_core.Config.tier_policy_name p, p))
+         Mtj_core.Config.all_tier_policies)
+  in
+  Arg.(value & opt (some policy) None
+       & info [ "tier-policy" ] ~docv:"POLICY"
+           ~doc:"trace-compilation tier policy: $(b,optimizing) compiles \
+                 every trace through the full optimizer (the default), \
+                 $(b,baseline) compiles cheap unoptimized traces early and \
+                 never promotes, $(b,adaptive) starts at the baseline tier \
+                 and promotes hot guard-stable traces (demoting them again \
+                 if bridges proliferate); unset, \\$(b,MTJ_TIER_POLICY) \
+                 applies")
+
+let apply_tier_policy = function Some p -> R.set_tier_policy p | None -> ()
+
 let with_threaded config =
+  let config =
+    match R.tier_policy_override () with
+    | Some p -> { config with Mtj_core.Config.tier_policy = p }
+    | None -> config
+  in
   {
     config with
     Mtj_core.Config.threaded_interp = R.threaded_interp ();
@@ -150,9 +175,10 @@ let run_cmd =
     "Run benchmarks under a VM configuration (several benchmarks run in \
      parallel on worker domains; results print in argument order)"
   in
-  let run names vm budget jobs show_output threaded frame_pool =
+  let run names vm budget jobs show_output threaded frame_pool tier_policy =
     apply_threaded threaded;
     apply_frame_pool frame_pool;
+    apply_tier_policy tier_policy;
     if jobs > 0 then R.set_jobs jobs;
     (* fill the cache in parallel; a benchmark that fails to run is
        reported per-name below, after the others have completed *)
@@ -173,7 +199,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ benches_arg $ config_arg $ budget_arg $ jobs_arg
-      $ show_output_arg $ threaded_arg $ frame_pool_arg)
+      $ show_output_arg $ threaded_arg $ frame_pool_arg $ tier_policy_arg)
 
 (* --- trace --- *)
 
@@ -196,9 +222,10 @@ let trace_cmd =
      $(b,--trace-out)/$(b,--metrics-out)) export the run's timeline and \
      counters as JSON"
   in
-  let run name budget trace_out metrics_out threaded frame_pool =
+  let run name budget trace_out metrics_out threaded frame_pool tier_policy =
     apply_threaded threaded;
     apply_frame_pool frame_pool;
+    apply_tier_policy tier_policy;
     let observing = trace_out <> None || metrics_out <> None in
     let config =
       with_threaded (Mtj_core.Config.with_budget budget Mtj_core.Config.default)
@@ -274,7 +301,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ bench_arg $ budget_arg $ trace_out_arg $ metrics_out_arg
-      $ threaded_arg $ frame_pool_arg)
+      $ threaded_arg $ frame_pool_arg $ tier_policy_arg)
 
 (* --- exec --- *)
 
@@ -293,9 +320,10 @@ let exec_cmd =
           ~doc:
             "two-tier compilation: compile traces quickly first,              recompile hot ones through the full optimizer")
   in
-  let run file nojit tiered budget threaded frame_pool =
+  let run file nojit tiered budget threaded frame_pool tier_policy =
     apply_threaded threaded;
     apply_frame_pool frame_pool;
+    apply_tier_policy tier_policy;
     let src = In_channel.with_open_text file In_channel.input_all in
     let config =
       with_threaded
@@ -333,7 +361,7 @@ let exec_cmd =
   Cmd.v (Cmd.info "exec" ~doc)
     Term.(
       const run $ file_arg $ nojit_arg $ tiered_arg $ budget_arg
-      $ threaded_arg $ frame_pool_arg)
+      $ threaded_arg $ frame_pool_arg $ tier_policy_arg)
 
 let () =
   let doc = "meta-tracing JIT workload characterization tools" in

@@ -1,3 +1,5 @@
+type tier_policy = Optimizing | Baseline | Adaptive
+
 type t = {
   jit_threshold : int;
   bridge_threshold : int;
@@ -16,8 +18,12 @@ type t = {
   jit_enabled : bool;
   threaded_interp : bool;
   frame_pool : bool;
-  tiered : bool;
+  tier_policy : tier_policy;
+  tier1_threshold : int;
   tier2_threshold : int;
+  tier_stable_every : int;
+  demote_bridges : int;
+  max_demotions : int;
 }
 
 let default =
@@ -39,13 +45,31 @@ let default =
     jit_enabled = true;
     threaded_interp = true;
     frame_pool = true;
-    tiered = false;
+    tier_policy = Optimizing;
+    tier1_threshold = 37;
     tier2_threshold = 40;
+    tier_stable_every = 8;
+    demote_bridges = 5;
+    max_demotions = 2;
   }
 
 let no_jit = { default with jit_enabled = false }
-let two_tier = { default with tiered = true }
+let two_tier = { default with tier_policy = Adaptive }
+let baseline_tier = { default with tier_policy = Baseline }
 let with_budget insn_budget t = { t with insn_budget }
+
+let tier_policy_name = function
+  | Optimizing -> "optimizing"
+  | Baseline -> "baseline"
+  | Adaptive -> "adaptive"
+
+let tier_policy_of_string = function
+  | "optimizing" | "opt" | "1tier-opt" -> Some Optimizing
+  | "baseline" | "base" | "1tier-base" -> Some Baseline
+  | "adaptive" | "2tier" | "multi" -> Some Adaptive
+  | _ -> None
+
+let all_tier_policies = [ Optimizing; Baseline; Adaptive ]
 
 let paper_scale =
   "Paper: loop threshold 1039, benchmarks run for 10e9 instructions. \

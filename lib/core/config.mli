@@ -5,6 +5,19 @@
     few million simulated instructions, so thresholds scale too
     (documented in DESIGN.md Sec. 4). *)
 
+(** How the driver distributes compilation work across trace tiers
+    (DESIGN.md Sec. 3j, after Izawa & Bolz-Tereick's multi-tier method):
+
+    - [Optimizing]: the classic single-tier tracer — every trace runs
+      the full optimizer pipeline at [jit_threshold];
+    - [Baseline]: tier-1 only — cheap unoptimized compiles at the low
+      [tier1_threshold], never promoted;
+    - [Adaptive]: baseline compiles early, promotion to the optimizing
+      tier once a trace is hot {e and} its guard-fail profile is stable,
+      demotion back to tier 1 when bridges proliferate on an optimized
+      loop. *)
+type tier_policy = Optimizing | Baseline | Adaptive
+
 type t = {
   (* --- JIT driver --- *)
   jit_threshold : int;
@@ -41,17 +54,31 @@ type t = {
           per-context free lists instead of reallocating; a host-side
           optimization only — simulated counters are byte-identical
           either way *)
-  (* --- extension: two-tier compilation (the paper's Q5 discussion) --- *)
-  tiered : bool;
-      (** tier-1: compile traces unoptimized at a fraction of the compile
-          cost; recompile with the full pass pipeline once hot *)
+  (* --- multi-tier compilation (extends the paper's Q4/Q5 warmup
+     questions to a per-tier dimension) --- *)
+  tier_policy : tier_policy;
+  tier1_threshold : int;
+      (** loop-header executions before a {e baseline} trace is recorded
+          (Baseline/Adaptive policies; the effective threshold is
+          [min jit_threshold tier1_threshold]) *)
   tier2_threshold : int;
-      (** tier-1 trace executions before the tier-2 recompile *)
+      (** tier-1 trace executions before promotion is considered
+          (Adaptive policy) *)
+  tier_stable_every : int;
+      (** promotion requires a stable guard-fail profile:
+          [deopts * tier_stable_every <= exec_count] — at most one
+          deoptimization per this many trace executions *)
+  demote_bridges : int;
+      (** bridges attached to an optimized loop trace before it is
+          demoted back to tier 1 (Adaptive policy) *)
+  max_demotions : int;
+      (** demotions of one loop site before it is pinned at tier 1
+          (prevents tier oscillation) *)
 }
 
 val default : t
 (** Scaled defaults: threshold 131, bridge threshold 17, 256 Ki-word
-    nursery, 20 M-instruction budget. *)
+    nursery, 20 M-instruction budget; [Optimizing] tier policy. *)
 
 val no_jit : t
 (** [default] with the meta-tracing JIT disabled (the "PyPy w/o JIT"
@@ -61,9 +88,23 @@ val with_budget : int -> t -> t
 (** Override the instruction budget. *)
 
 val two_tier : t
-(** [default] with two-tier compilation enabled: traces are first
-    compiled unoptimized (cheap, slow code), then recompiled through the
-    full optimizer once they have run [tier2_threshold] times. *)
+(** [default] with the [Adaptive] tier policy: traces are first compiled
+    unoptimized (cheap, slow code) at [tier1_threshold], promoted
+    through the full optimizer once hot and guard-stable, and demoted
+    when bridges proliferate. *)
+
+val baseline_tier : t
+(** [default] with the [Baseline] tier policy: tier-1 compiles only,
+    never promoted — the fastest warmup, the slowest peak. *)
+
+val tier_policy_name : tier_policy -> string
+(** ["optimizing"] / ["baseline"] / ["adaptive"]. *)
+
+val tier_policy_of_string : string -> tier_policy option
+(** Inverse of {!tier_policy_name} (also accepts a few aliases);
+    [None] for unknown names. *)
+
+val all_tier_policies : tier_policy list
 
 val paper_scale : string
 (** Human-readable note mapping scaled parameters to the paper's. *)

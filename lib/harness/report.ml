@@ -38,7 +38,7 @@ let write_timings ~file ~jobs ~total_wall ~experiments =
     (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
   Printf.eprintf "[timings written to %s]\n%!" file
 
-(* --- metrics ("mtj-metrics/5") --- *)
+(* --- metrics ("mtj-metrics/6") --- *)
 
 let status_name = function
   | R.Ok_run -> "ok"
@@ -58,6 +58,18 @@ let jit_json (j : R.jit_stats) =
       ("code_cache_hits", J.Int j.R.code_cache_hits);
       ("interp_translations", J.Int j.R.interp_translations);
       ("threaded_code_hits", J.Int j.R.threaded_code_hits);
+      ("tier1_compiles", J.Int j.R.tier1_compiles);
+      ("tier2_compiles", J.Int j.R.tier2_compiles);
+      ("demotions", J.Int j.R.demotions);
+      ("first_entry_insns", J.Int j.R.first_entry_insns);
+      ( "tier_residency",
+        J.Obj
+          [
+            ("tier1_entries", J.Int j.R.tier1_entries);
+            ("tier2_entries", J.Int j.R.tier2_entries);
+            ("tier1_dynamic_ir", J.Int j.R.tier1_dynamic_ir);
+            ("tier2_dynamic_ir", J.Int j.R.tier2_dynamic_ir);
+          ] );
       ("total_ir_compiled", J.Int j.R.ir_compiled);
       ("total_dynamic_ir", J.Int j.R.ir_dynamic);
       ( "traces",
@@ -75,6 +87,8 @@ let jit_json (j : R.jit_stats) =
                    ("dynamic_ir", J.Int tr.R.tr_dynamic_ir);
                    ("translations", J.Int tr.R.tr_translations);
                    ("cache_hits", J.Int tr.R.tr_cache_hits);
+                   ("deopts", J.Int tr.R.tr_deopts);
+                   ("bridges", J.Int tr.R.tr_bridges);
                  ])
              j.R.trace_rows) );
     ]

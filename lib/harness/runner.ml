@@ -15,7 +15,8 @@ type vm_config =
   | Cpython        (** reference C interpreter (pylite) *)
   | Pypy_nojit     (** RPython-translated interpreter, JIT off *)
   | Pypy_jit       (** the meta-tracing JIT *)
-  | Pypy_tiered    (** extension: two-tier compile (quick then optimized) *)
+  | Pypy_tiered    (** extension: adaptive multi-tier compile *)
+  | Pypy_baseline  (** extension: baseline tier only, never promoted *)
   | Racket         (** custom-JIT reference VM (rklite) *)
   | Pycket_nojit
   | Pycket_jit
@@ -26,6 +27,7 @@ let config_name = function
   | Pypy_nojit -> "pypy-nojit"
   | Pypy_jit -> "pypy"
   | Pypy_tiered -> "pypy-2tier"
+  | Pypy_baseline -> "pypy-1tier"
   | Racket -> "racket"
   | Pycket_nojit -> "pycket-nojit"
   | Pycket_jit -> "pycket"
@@ -45,6 +47,8 @@ type trace_row = {
   tr_dynamic_ir : int;
   tr_translations : int;
   tr_cache_hits : int;
+  tr_deopts : int;
+  tr_bridges : int;
 }
 
 type jit_stats = {
@@ -58,6 +62,14 @@ type jit_stats = {
   code_cache_hits : int;
   interp_translations : int;
   threaded_code_hits : int;
+  tier1_compiles : int;
+  tier2_compiles : int;
+  demotions : int;
+  first_entry_insns : int;   (* -1 if no trace ever ran *)
+  tier1_entries : int;       (* per-tier residency *)
+  tier2_entries : int;
+  tier1_dynamic_ir : int;
+  tier2_dynamic_ir : int;
   ir_compiled : int;
   ir_dynamic : int;
   hot_fraction_95 : float;
@@ -96,13 +108,14 @@ let default_budget = 200_000_000
 
 let profile_of = function
   | Cpython -> Profile.cpython
-  | Pypy_nojit | Pypy_jit | Pypy_tiered | Pycket_nojit | Pycket_jit ->
+  | Pypy_nojit | Pypy_jit | Pypy_tiered | Pypy_baseline | Pycket_nojit
+  | Pycket_jit ->
       Profile.rpython_interp
   | Racket -> Profile.racket_custom
   | Native_c -> Profile.native
 
 let jit_enabled = function
-  | Pypy_jit | Pypy_tiered | Pycket_jit -> true
+  | Pypy_jit | Pypy_tiered | Pypy_baseline | Pycket_jit -> true
   | _ -> false
 
 (* the --threaded-interp setting; 0 = auto (MTJ_THREADED_INTERP, else on) *)
@@ -131,11 +144,33 @@ let frame_pool () =
       | Some ("0" | "off" | "false" | "no") -> false
       | _ -> true)
 
+(* the --tier-policy setting; None = auto (MTJ_TIER_POLICY, else the
+   per-vm_config default: Pypy_tiered adaptive, Pypy_baseline baseline,
+   everything else optimizing) *)
+let tier_policy_setting = Atomic.make None
+let set_tier_policy p = Atomic.set tier_policy_setting (Some p)
+
+let tier_policy_override () =
+  match Atomic.get tier_policy_setting with
+  | Some p -> Some p
+  | None ->
+      Option.bind
+        (Sys.getenv_opt "MTJ_TIER_POLICY")
+        Config.tier_policy_of_string
+
 let config_of ?(budget = default_budget) vc =
   let base =
     match vc with
     | Pypy_tiered -> Config.two_tier
+    | Pypy_baseline -> Config.baseline_tier
     | _ -> if jit_enabled vc then Config.default else Config.no_jit
+  in
+  let base =
+    (* the explicit policy override applies to JIT-enabled configs that
+       don't already pin a tier policy by name *)
+    match (vc, tier_policy_override ()) with
+    | (Pypy_jit | Pycket_jit), Some p -> { base with Config.tier_policy = p }
+    | _ -> base
   in
   let base =
     {
@@ -147,6 +182,7 @@ let config_of ?(budget = default_budget) vc =
   Config.with_budget budget base
 
 let jit_stats_of jl =
+  let t1_entries, t2_entries, t1_dyn, t2_dyn = Jitlog.tier_residency jl in
   {
     traces = Jitlog.num_traces jl;
     bridges = jl.Jitlog.bridges_attached;
@@ -158,6 +194,14 @@ let jit_stats_of jl =
     code_cache_hits = jl.Jitlog.code_cache_hits;
     interp_translations = jl.Jitlog.interp_translations;
     threaded_code_hits = jl.Jitlog.threaded_code_hits;
+    tier1_compiles = jl.Jitlog.tier1_compiles;
+    tier2_compiles = jl.Jitlog.tier2_compiles;
+    demotions = jl.Jitlog.demotions;
+    first_entry_insns = jl.Jitlog.first_entry_insns;
+    tier1_entries = t1_entries;
+    tier2_entries = t2_entries;
+    tier1_dynamic_ir = t1_dyn;
+    tier2_dynamic_ir = t2_dyn;
     ir_compiled = Jitlog.total_ir_compiled jl;
     ir_dynamic = Jitlog.total_dynamic_ir jl;
     hot_fraction_95 = Jitlog.hot_ir_fraction jl ~coverage:0.95;
@@ -182,6 +226,8 @@ let jit_stats_of jl =
             tr_dynamic_ir = Array.fold_left ( + ) 0 tr.Ir.op_exec;
             tr_translations = tr.Ir.translations;
             tr_cache_hits = tr.Ir.cache_hits;
+            tr_deopts = tr.Ir.deopts;
+            tr_bridges = tr.Ir.bridges;
           })
         (Jitlog.traces jl);
   }
@@ -247,7 +293,7 @@ let run_uncached ?budget (bench_name : string) (vc : vm_config) : result =
           in
           finish ~bench:None ~status ~output ~ticks:(-1) ~aot_top:[]
             ~jit:None rtc tracker sampler)
-  | Cpython | Pypy_nojit | Pypy_jit | Pypy_tiered ->
+  | Cpython | Pypy_nojit | Pypy_jit | Pypy_tiered | Pypy_baseline ->
       let b = B.find_exn ~lang:B.Py bench_name in
       let vm = Mtj_pylite.Vm.create ~config ~profile:(profile_of vc) () in
       let eng = Mtj_pylite.Vm.engine vm in

@@ -11,7 +11,8 @@ type vm_config =
   | Cpython        (** reference C interpreter (pylite) *)
   | Pypy_nojit     (** RPython-translated interpreter, JIT off *)
   | Pypy_jit       (** the meta-tracing JIT *)
-  | Pypy_tiered    (** extension: two-tier compile (quick then optimized) *)
+  | Pypy_tiered    (** extension: adaptive multi-tier compile *)
+  | Pypy_baseline  (** extension: baseline tier only, never promoted *)
   | Racket         (** custom-JIT reference VM (rklite) *)
   | Pycket_nojit
   | Pycket_jit
@@ -33,6 +34,8 @@ type trace_row = {
   tr_dynamic_ir : int;
   tr_translations : int;  (** times threaded code was (re)built *)
   tr_cache_hits : int;    (** entries served from the code cache *)
+  tr_deopts : int;        (** guard-fail side exits taken from it *)
+  tr_bridges : int;       (** bridges attached to its guards *)
 }
 
 type jit_stats = {
@@ -48,6 +51,18 @@ type jit_stats = {
       (** code objects translated once into threaded interpreter steps *)
   threaded_code_hits : int;
       (** interpreter code switches served from the threaded cache *)
+  tier1_compiles : int;  (** baseline-tier trace compiles *)
+  tier2_compiles : int;  (** optimizing-tier trace compiles *)
+  demotions : int;
+      (** optimized loops recompiled back at the baseline tier *)
+  first_entry_insns : int;
+      (** simulated instructions retired before the first compiled-trace
+          entry, or [-1] if no trace ever ran — the
+          time-to-first-compiled-execution warmup metric *)
+  tier1_entries : int;       (** per-tier residency: trace entries *)
+  tier2_entries : int;
+  tier1_dynamic_ir : int;    (** per-tier residency: dynamic IR *)
+  tier2_dynamic_ir : int;
   ir_compiled : int;
   ir_dynamic : int;
   hot_fraction_95 : float;
@@ -144,6 +159,21 @@ val set_frame_pool : bool -> unit
 
 val frame_pool : unit -> bool
 (** The effective setting a [config_of] call would apply right now. *)
+
+(* --- the --tier-policy setting --- *)
+
+val set_tier_policy : Mtj_core.Config.tier_policy -> unit
+(** Force the tier policy of every JIT configuration built after the
+    call ([Pypy_jit]/[Pycket_jit]; [Pypy_tiered] and [Pypy_baseline]
+    pin their policy by name and ignore the override).  Unset, the
+    policy is "auto": [MTJ_TIER_POLICY]
+    ("optimizing"/"baseline"/"adaptive"), else each config's default.
+    Unlike the dispatch/pool toggles this {e changes simulated
+    behavior}: compile costs, warmup and trace tiers all move with the
+    policy. *)
+
+val tier_policy_override : unit -> Mtj_core.Config.tier_policy option
+(** The override a [config_of] call would apply right now, if any. *)
 
 (* --- timing report --- *)
 

@@ -15,8 +15,13 @@ module Engine = Mtj_machine.Engine
    v5: run records gained [value_interned_hits]/[frame_pool_reuses]/
    [dict_hash_skips] — the allocation-free value fast paths (small-int
    interning, frame pooling, precomputed key hashes); host-side
-   counters, invisible to the simulated machine. *)
-let schema = "mtj-metrics/5"
+   counters, invisible to the simulated machine.
+   v6: the jit block gained the multi-tier counters
+   [tier1_compiles]/[tier2_compiles]/[demotions]/[first_entry_insns]
+   and the per-tier residency block [tier_residency]
+   (entries/dynamic_ir per tier); trace rows gained
+   [deopts]/[bridges]. *)
+let schema = "mtj-metrics/6"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -80,11 +85,14 @@ let trace_row_json (tr : Mtj_rjit.Ir.trace) =
       ("dynamic_ir", Json.Int dynamic_ir);
       ("translations", Json.Int tr.Ir.translations);
       ("cache_hits", Json.Int tr.Ir.cache_hits);
+      ("deopts", Json.Int tr.Ir.deopts);
+      ("bridges", Json.Int tr.Ir.bridges);
     ]
 
 let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
   let open Mtj_rjit in
   let traces = Jitlog.traces jl in
+  let t1_entries, t2_entries, t1_dyn, t2_dyn = Jitlog.tier_residency jl in
   Json.Obj
     [
       ("num_traces", Json.Int (Jitlog.num_traces jl));
@@ -102,6 +110,18 @@ let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
       ("code_cache_hits", Json.Int jl.Jitlog.code_cache_hits);
       ("interp_translations", Json.Int jl.Jitlog.interp_translations);
       ("threaded_code_hits", Json.Int jl.Jitlog.threaded_code_hits);
+      ("tier1_compiles", Json.Int jl.Jitlog.tier1_compiles);
+      ("tier2_compiles", Json.Int jl.Jitlog.tier2_compiles);
+      ("demotions", Json.Int jl.Jitlog.demotions);
+      ("first_entry_insns", Json.Int jl.Jitlog.first_entry_insns);
+      ( "tier_residency",
+        Json.Obj
+          [
+            ("tier1_entries", Json.Int t1_entries);
+            ("tier2_entries", Json.Int t2_entries);
+            ("tier1_dynamic_ir", Json.Int t1_dyn);
+            ("tier2_dynamic_ir", Json.Int t2_dyn);
+          ] );
       ("total_ir_compiled", Json.Int (Jitlog.total_ir_compiled jl));
       ("total_dynamic_ir", Json.Int (Jitlog.total_dynamic_ir jl));
       ("traces", Json.Arr (List.map trace_row_json traces));

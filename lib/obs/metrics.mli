@@ -7,7 +7,7 @@
     diffed without scraping terminal tables. *)
 
 val schema : string
-(** ["mtj-metrics/5"]; written to the document's ["schema"] field. *)
+(** ["mtj-metrics/6"]; written to the document's ["schema"] field. *)
 
 val snapshot_json : Mtj_machine.Counters.snapshot -> Json.t
 (** Raw counters plus the derived rates ([ipc], [branch_mpki],
@@ -25,7 +25,9 @@ val trace_row_json : Mtj_rjit.Ir.trace -> Json.t
 
 val jitlog_json : Mtj_rjit.Jitlog.t -> Json.t
 (** Machinery counters (aborts, deopts, bridges, blacklists, retiers),
-    aggregate IR statistics and the per-trace rows. *)
+    multi-tier accounting (per-tier compiles, demotions, the
+    first-entry warmup latch, per-tier residency), aggregate IR
+    statistics and the per-trace rows. *)
 
 val run_json :
   bench:string ->

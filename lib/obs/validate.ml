@@ -171,7 +171,7 @@ let check_snapshot run what j =
 (* jit block (v2): threaded-code cache counters.  Every registered trace
    is translated at compile time, so [translations] dominates the trace
    count and each per-trace row carries at least one translation. *)
-let check_jit run j =
+let check_jit run j insns =
   match Json.member "jit" j with
   | None | Some Json.Null -> ()
   | Some jit ->
@@ -192,14 +192,70 @@ let check_jit run j =
       if ihits > 0 && itrans = 0 then
         fail "run %s: threaded_code_hits %d with no interp_translations" run
           ihits;
+      (* multi-tier counters (v6).  Every compile is exactly one tier-1
+         or tier-2 compile; every promotion (retier) recompiled a tier-1
+         loop through the optimizer, so promotions are bounded by tier-1
+         compiles; demotions recompile an optimized loop, so they are
+         bounded by tier-2 compiles; and the first compiled-trace entry
+         cannot happen after the end of the run. *)
+      let t1c = int_field jit "tier1_compiles" in
+      let t2c = int_field jit "tier2_compiles" in
+      let demotions = int_field jit "demotions" in
+      let retiers = int_field jit "retiers" in
+      let first_entry = int_field jit "first_entry_insns" in
+      if t1c < 0 then fail "run %s: negative tier1_compiles" run;
+      if t2c < 0 then fail "run %s: negative tier2_compiles" run;
+      if demotions < 0 then fail "run %s: negative demotions" run;
+      if t1c + t2c <> num_traces then
+        fail "run %s: tier compiles %d+%d <> num_traces %d" run t1c t2c
+          num_traces;
+      if retiers > t1c then
+        fail "run %s: tier2 promotions %d > tier1 compiles %d" run retiers t1c;
+      if demotions > t2c then
+        fail "run %s: demotions %d > tier2 compiles %d" run demotions t2c;
+      if first_entry < -1 then
+        fail "run %s: first_entry_insns %d < -1" run first_entry;
+      if first_entry > insns then
+        fail "run %s: first_entry_insns %d exceeds run insns %d" run
+          first_entry insns;
+      (* per-tier residency reconciles exactly with the trace rows *)
+      let residency =
+        need (run ^ " jit.tier_residency")
+          (Json.member "tier_residency" jit)
+      in
+      let r_t1e = int_field residency "tier1_entries" in
+      let r_t2e = int_field residency "tier2_entries" in
+      let r_t1d = int_field residency "tier1_dynamic_ir" in
+      let r_t2d = int_field residency "tier2_dynamic_ir" in
+      let s_t1e = ref 0 and s_t2e = ref 0 in
+      let s_t1d = ref 0 and s_t2d = ref 0 in
       List.iter
         (fun tr ->
           let id = int_field tr "id" in
           if int_field tr "translations" < 1 then
             fail "run %s: trace %d never translated" run id;
           if int_field tr "cache_hits" < 0 then
-            fail "run %s: trace %d negative cache_hits" run id)
-        (arr_field jit "traces")
+            fail "run %s: trace %d negative cache_hits" run id;
+          if int_field tr "deopts" < 0 then
+            fail "run %s: trace %d negative deopts" run id;
+          if int_field tr "bridges" < 0 then
+            fail "run %s: trace %d negative bridges" run id;
+          let entries = int_field tr "entries" in
+          let dyn = int_field tr "dynamic_ir" in
+          if int_field tr "tier" <= 1 then begin
+            s_t1e := !s_t1e + entries;
+            s_t1d := !s_t1d + dyn
+          end
+          else begin
+            s_t2e := !s_t2e + entries;
+            s_t2d := !s_t2d + dyn
+          end)
+        (arr_field jit "traces");
+      if (r_t1e, r_t2e, r_t1d, r_t2d) <> (!s_t1e, !s_t2e, !s_t1d, !s_t2d) then
+        fail
+          "run %s: tier_residency (%d,%d,%d,%d) <> trace-row sums \
+           (%d,%d,%d,%d)"
+          run r_t1e r_t2e r_t1d r_t2d !s_t1e !s_t2e !s_t1d !s_t2d
 
 (* charging fast-path stats (v3).  Every bundle — including the implicit
    one-insn bundle of a memory access — goes through the staged
@@ -239,7 +295,7 @@ let check_hstats run j insns =
     [ "value_interned_hits"; "frame_pool_reuses"; "dict_hash_skips" ]
 
 let metrics_exn j =
-  check_schema j "mtj-metrics/5";
+  check_schema j "mtj-metrics/6";
   let runs = arr_field j "runs" in
   List.iter
     (fun run ->
@@ -275,7 +331,7 @@ let metrics_exn j =
           insns;
       check_charge_stats label run total;
       check_hstats label run insns;
-      check_jit label run)
+      check_jit label run insns)
     runs;
   List.length runs
 

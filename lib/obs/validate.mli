@@ -26,10 +26,13 @@ val trace : Json.t -> (trace_stats, string) result
     finite and non-negative. *)
 
 val metrics : Json.t -> (int, string) result
-(** Check a ["mtj-metrics/5"] document; returns the number of run
+(** Check a ["mtj-metrics/6"] document; returns the number of run
     records.  Verifies each run's required fields, that rate fields lie
-    in [0, 1], and that the per-phase instruction counts sum to the
-    run's ["total"] row. *)
+    in [0, 1], that the per-phase instruction counts sum to the run's
+    ["total"] row, and the multi-tier JIT accounting: tier-1 + tier-2
+    compiles partition the traces, promotions/demotions are bounded by
+    the tier compile counts, the first-entry warmup latch lies within
+    the run, and per-tier residency equals the per-trace row sums. *)
 
 val timings : Json.t -> (int, string) result
 (** Check a ["mtj-bench-timings/2"] document; returns the number of run

@@ -16,8 +16,8 @@ let cost_of_template (a, f, l, s, o) =
   Cost.make ~alu:a ~fpu:f ~load:l ~store:s ~other:(o + 1) ()
 
 let compile jitlog rtc ~(kind : Ir.trace_kind) ~entry_slots
-    ?(loop_base = 0) ?(loop_start = 0) ?(tier = 2) (ops : Ir.op array) :
-    Ir.trace =
+    ?(loop_base = 0) ?(loop_start = 0) ?(tier = 2)
+    ?(promote_at = Tierpolicy.never) (ops : Ir.op array) : Ir.trace =
   let nops = Array.length ops in
   (* assembling cost: linear register allocation + superlinear passes.
      A tier-1 compile skipped the optimizer pipeline, so it pays only a
@@ -58,12 +58,16 @@ let compile jitlog rtc ~(kind : Ir.trace_kind) ~entry_slots
       exec_count = 0;
       op_exec = Array.make nops 0;
       tier;
+      promote_at;
+      deopts = 0;
+      bridges = 0;
       code_version = 0;
       translations = 0;
       cache_hits = 0;
     }
   in
   Jitlog.register jitlog trace;
+  Jitlog.record_tier_compile jitlog ~tier;
   Engine.annot eng (Annot.Trace_compile trace.Ir.trace_id);
   (* translate once, here, so the first entry already runs threaded code
      out of the context's cache.  Host-side work only: translation is

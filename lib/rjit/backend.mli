@@ -15,11 +15,14 @@ val compile :
   ?loop_base:int ->
   ?loop_start:int ->
   ?tier:int ->
+  ?promote_at:int ->
   Ir.op array ->
   Ir.trace
 (** Lower [ops] into a registered {!Ir.trace}, charging the assembling
     cost to the current machine phase (the driver wraps compiles in the
     tracing phase). [loop_base]/[loop_start] come from the peeler via
     {!Opt.optimize}. [tier] defaults to [2] (fully optimized); a [tier:1]
-    compile (two-tier mode) charges ~30% of the cost and no superlinear
-    term, since the optimizer pipeline was skipped. *)
+    compile (baseline tier) charges ~30% of the cost and no superlinear
+    term, since the optimizer pipeline was skipped. [promote_at]
+    (default {!Tierpolicy.never}) is the exec count at which the
+    executor exits to the portal for a tier-up decision. *)

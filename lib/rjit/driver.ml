@@ -34,8 +34,12 @@ module Make (L : Threaded.LANG) = struct
     mutable state : [ `Cold | `Compiled of Ir.trace | `Blacklisted ];
     mutable aborts : int;
     mutable raw : Ir.op array option;
-        (* tiered mode: recorded (unoptimized) ops kept for the tier-2
-           recompile *)
+        (* baseline/adaptive tiers: recorded (unoptimized) ops kept for
+           the tier-2 recompile — and, under Adaptive, after promotion
+           too, for the tier-1 recompile on demotion *)
+    mutable demotions : int;
+        (* times this site's optimized loop was demoted back to tier 1;
+           raises the re-promotion threshold exponentially *)
   }
 
   type dframe = (Value.t, L.code) Frame.t
@@ -116,7 +120,9 @@ module Make (L : Threaded.LANG) = struct
     match Hashtbl.find_opt t.sites key with
     | Some s -> s
     | None ->
-        let s = { counter = 0; state = `Cold; aborts = 0; raw = None } in
+        let s =
+          { counter = 0; state = `Cold; aborts = 0; raw = None; demotions = 0 }
+        in
         Hashtbl.replace t.sites key s;
         s
 
@@ -323,13 +329,15 @@ module Make (L : Threaded.LANG) = struct
     match record_session t rec_ tf ~target_key:key ~allow_finish:false ~close ~finish with
     | Closed (ops, saved) ->
         let trace =
-          if t.cfg.Config.tiered then begin
-            (* tier 1: skip the optimizer, pay a fraction of the compile
-               cost, keep the raw recording for the tier-2 recompile *)
+          if Tierpolicy.compile_tier t.cfg <= 1 then begin
+            (* baseline tier: skip the optimizer, pay a fraction of the
+               compile cost, keep the raw recording for the tier-2
+               recompile (and the post-demotion tier-1 recompile) *)
             site.raw <- Some (Ir.copy_ops ops);
             Backend.compile t.jitlog t.rtc
               ~kind:(Ir.Loop { loop_code = fst key; loop_pc = snd key })
-              ~entry_slots ~tier:1 ops
+              ~entry_slots ~tier:1
+              ~promote_at:(Tierpolicy.initial_promote_at t.cfg) ops
           end
           else begin
             let opt_ops, loop_base, loop_start =
@@ -439,8 +447,55 @@ module Make (L : Threaded.LANG) = struct
           Recorder.emit_n rec_ (Ir.Call_assembler tid) args
       | None -> raise (Recorder.Abort "bridge target loop vanished")
     in
+    (* demotion: an optimized loop that keeps growing bridges gets
+       recompiled at the baseline tier from the kept raw recording, with
+       an exponentially raised re-promotion threshold (never, once the
+       site exhausts max_demotions).  The old optimized trace stays
+       registered — bridges recorded against it still call back into it
+       — but its cached threaded code is invalidated, so any stale
+       code_ref re-translates instead of executing the cached closure
+       array. *)
+    let maybe_demote (owner : Ir.trace) =
+      let site = site_of t loop_key in
+      match site.state with
+      | `Compiled cur
+        when cur == owner
+             && Tierpolicy.should_demote t.cfg ~tier:owner.Ir.tier
+                  ~bridges:owner.Ir.bridges -> (
+          match site.raw with
+          | Some raw ->
+              site.demotions <- site.demotions + 1;
+              Jitlog.record_demotion t.jitlog;
+              let ops = Ir.copy_ops raw in
+              let demoted =
+                Backend.compile t.jitlog t.rtc
+                  ~kind:
+                    (Ir.Loop { loop_code = fst loop_key; loop_pc = snd loop_key })
+                  ~entry_slots:owner.Ir.entry_slots ~tier:1
+                  ~promote_at:
+                    (Tierpolicy.demoted_promote_at t.cfg
+                       ~demotions:site.demotions)
+                  ops
+              in
+              site.state <- `Compiled demoted;
+              Ir.invalidate_code owner
+          | None -> ())
+      | _ -> ()
+    in
     let compile_bridge ops =
-      let opt_ops, _, _ = Opt.optimize t.cfg ~kind:`Bridge ops ~entry_slots in
+      (* a bridge inherits its owner's tier: baseline loops get cheap
+         unoptimized bridges, optimized loops get optimized ones *)
+      let tier =
+        match owner with Some o when o.Ir.tier <= 1 -> 1 | _ -> 2
+      in
+      let bridge_ops =
+        if tier <= 1 then ops
+        else
+          let opt_ops, _, _ =
+            Opt.optimize t.cfg ~kind:`Bridge ops ~entry_slots
+          in
+          opt_ops
+      in
       let bridge =
         Backend.compile t.jitlog t.rtc
           ~kind:
@@ -450,14 +505,19 @@ module Make (L : Threaded.LANG) = struct
                  loop_code = fst loop_key;
                  loop_pc = snd loop_key;
                })
-          ~entry_slots opt_ops
+          ~entry_slots ~tier bridge_ops
       in
       g.Ir.bridge <- Some bridge;
       (* the guard's owning trace has a new fail path: drop its cached
          threaded code so the next entry re-translates with the bridge
          bound directly into the guard's fail step *)
       Option.iter Ir.invalidate_code owner;
-      Jitlog.record_bridge t.jitlog
+      Jitlog.record_bridge t.jitlog;
+      Option.iter
+        (fun (o : Ir.trace) ->
+          o.Ir.bridges <- o.Ir.bridges + 1;
+          maybe_demote o)
+        owner
     in
     let region_discard =
       match frames with
@@ -511,40 +571,54 @@ module Make (L : Threaded.LANG) = struct
       match site.state with
       | `Compiled trace ->
           let trace =
-            (* two-tier mode: once a quick tier-1 trace proves hot,
-               recompile the saved recording through the full optimizer
+            (* tier-up: once a baseline trace reaches its promotion
+               point with a stable guard-fail profile, recompile the
+               saved recording through the full optimizer
                (tracing-phase work, like the original compile) *)
-            if
-              trace.Ir.tier = 1
-              && trace.Ir.exec_count >= t.cfg.Config.tier2_threshold
-            then
-              match site.raw with
-              | Some raw ->
-                  let eng = Ctx.engine t.rtc in
-                  Engine.push_phase eng Phase.Tracing;
-                  Fun.protect ~finally:(fun () -> Engine.pop_phase eng)
-                  @@ fun () ->
-                  let entry_slots = trace.Ir.entry_slots in
-                  let ops = Ir.copy_ops raw in
-                  let opt_ops, loop_base, loop_start =
-                    Opt.optimize t.cfg ~kind:`Loop ops ~entry_slots
-                  in
-                  let t2 =
-                    Backend.compile t.jitlog t.rtc ~kind:trace.Ir.kind
-                      ~entry_slots ~loop_base ~loop_start opt_ops
-                  in
-                  Jitlog.record_retier t.jitlog;
-                  site.state <- `Compiled t2;
-                  site.raw <- None;
-                  t2
-              | None -> trace
-            else trace
+            match
+              Tierpolicy.tier_up t.cfg ~tier:trace.Ir.tier
+                ~execs:trace.Ir.exec_count ~deopts:trace.Ir.deopts
+                ~promote_at:trace.Ir.promote_at
+            with
+            | Tierpolicy.Stay -> trace
+            | Tierpolicy.Defer p ->
+                (* hot but guard-unstable: push the promotion point out
+                   so the executor stops exiting every back-edge *)
+                trace.Ir.promote_at <- p;
+                trace
+            | Tierpolicy.Promote -> (
+                match site.raw with
+                | Some raw ->
+                    let eng = Ctx.engine t.rtc in
+                    Engine.push_phase eng Phase.Tracing;
+                    Fun.protect ~finally:(fun () -> Engine.pop_phase eng)
+                    @@ fun () ->
+                    let entry_slots = trace.Ir.entry_slots in
+                    let ops = Ir.copy_ops raw in
+                    let opt_ops, loop_base, loop_start =
+                      Opt.optimize t.cfg ~kind:`Loop ops ~entry_slots
+                    in
+                    let t2 =
+                      Backend.compile t.jitlog t.rtc ~kind:trace.Ir.kind
+                        ~entry_slots ~loop_base ~loop_start opt_ops
+                    in
+                    Jitlog.record_retier t.jitlog;
+                    site.state <- `Compiled t2;
+                    (* Adaptive keeps the raw recording: demotion needs
+                       it for the tier-1 recompile *)
+                    if t.cfg.Config.tier_policy <> Config.Adaptive then
+                      site.raw <- None;
+                    t2
+                | None ->
+                    (* no recording to promote from: pin at tier 1 *)
+                    trace.Ir.promote_at <- Tierpolicy.never;
+                    trace)
           in
           enter_jit t trace f
       | `Blacklisted -> J_frame f
       | `Cold ->
           site.counter <- site.counter + 1;
-          if site.counter >= t.cfg.Config.jit_threshold then
+          if site.counter >= Tierpolicy.trace_threshold t.cfg then
             J_frame (trace_loop t f site)
           else J_frame f
     end

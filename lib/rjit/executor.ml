@@ -209,6 +209,7 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
   let cur_trace = ref trace in
   let last_resume = ref None in
   Engine.annot eng (Annot.Trace_enter trace.Ir.trace_id);
+  Jitlog.record_first_entry jitlog ~insns:(Engine.total_insns eng);
   Engine.emit eng entry_cost;
   trace.Ir.exec_count <- trace.Ir.exec_count + 1;
   let exit_state = ref None in
@@ -227,6 +228,7 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
     let guard_id = match guard with Some g -> g.Ir.guard_id | None -> -1 in
     Engine.annot eng (Annot.Guard_fail guard_id);
     Jitlog.record_deopt jitlog;
+    (!cur_trace).Ir.deopts <- (!cur_trace).Ir.deopts + 1;
     let frames = blackhole rtc resume !cur_regs ~guard_id in
     let request_bridge =
       match guard with
@@ -306,14 +308,13 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
             }
     | Ir.Jump -> (
         let vals = argvals () in
-        (* two-tier mode: a quick tier-1 loop that has proven hot leaves
-           JIT code at its own back-edge — the frame state there is
-           exactly the loop-header state — so the driver can recompile it
-           through the full optimizer and re-enter *)
+        (* adaptive tiers: a baseline loop that has reached its
+           promotion point leaves JIT code at its own back-edge — the
+           frame state there is exactly the loop-header state — so the
+           driver's portal can take a tier-up decision and re-enter *)
         match t.Ir.kind with
         | Ir.Loop { loop_code; loop_pc }
-          when cfg.Config.tiered && t.Ir.tier = 1
-               && t.Ir.exec_count >= cfg.Config.tier2_threshold ->
+          when t.Ir.tier = 1 && t.Ir.exec_count >= t.Ir.promote_at ->
             exit_state :=
               Some
                 {
@@ -508,6 +509,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
     let guard_id = match guard with Some g -> g.Ir.guard_id | None -> -1 in
     Engine.annot eng (Annot.Guard_fail guard_id);
     Jitlog.record_deopt jitlog;
+    st.st_cur.Ir.deopts <- st.st_cur.Ir.deopts + 1;
     let frames = blackhole rtc resume st.st_regs ~guard_id in
     let request_bridge =
       match guard with
@@ -712,16 +714,17 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
           st.st_ip <- t.Ir.loop_start
         in
         match t.Ir.kind with
-        | Ir.Loop { loop_code; loop_pc } when cfg.Config.tiered && t.Ir.tier = 1
-          ->
+        | Ir.Loop { loop_code; loop_pc }
+          when t.Ir.tier = 1 && t.Ir.promote_at <> Tierpolicy.never ->
             fun st ->
               exec.(i) <- exec.(i) + 1;
               Engine.emit eng cost;
               let regs = st.st_regs in
               let vals = Array.map (fun g -> g regs) gs in
-              if t.Ir.exec_count >= cfg.Config.tier2_threshold then
-                (* hot tier-1 loop: leave JIT code at the back-edge so the
-                   driver can recompile through the full optimizer *)
+              if t.Ir.exec_count >= t.Ir.promote_at then
+                (* baseline loop at its promotion point: leave JIT code
+                   at the back-edge so the driver's portal can take a
+                   tier-up decision *)
                 st.st_exit <-
                   Some
                     {
@@ -1214,6 +1217,7 @@ let run rtc (jitlog : Jitlog.t) ~(trace : Ir.trace) ~(entry : Value.t array) :
   Fun.protect ~finally:(fun () -> Gc_sim.remove_root_scanner gc scanner_id)
   @@ fun () ->
   Engine.annot eng (Annot.Trace_enter trace.Ir.trace_id);
+  Jitlog.record_first_entry jitlog ~insns:(Engine.total_insns eng);
   Engine.emit eng entry_cost;
   trace.Ir.exec_count <- trace.Ir.exec_count + 1;
   while st.st_exit == None do

@@ -205,6 +205,17 @@ and trace = {
   mutable exec_count : int;
   op_exec : int array;   (* per-op dynamic execution counts *)
   tier : int;            (* 1 = quick unoptimized compile, 2 = full *)
+  mutable promote_at : int;
+      (* exec_count at which the executor exits to the portal for a
+         tier-up decision; Tierpolicy.never for traces that are never
+         promoted (Optimizing/Baseline, or a site past max_demotions).
+         Only ever mutated finite -> finite (promotion deferral), so a
+         translate-time [promote_at <> never] check stays sound. *)
+  mutable deopts : int;  (* guard-fail side exits taken from this trace;
+                            with exec_count, the guard-fail profile the
+                            tier-up stability gate reads *)
+  mutable bridges : int; (* bridges attached to this trace's guards;
+                            the tier-down trigger reads it *)
   mutable code_version : int;
       (* bumped whenever a guard of this trace gains a bridge; cached
          threaded translations carry the version they were built at and

@@ -20,6 +20,15 @@ type t = {
       (* interpreter code objects translated to threaded step arrays *)
   mutable threaded_code_hits : int;
       (* interpreter code switches served from the threaded-code cache *)
+  mutable tier1_compiles : int;  (* baseline-tier trace compiles *)
+  mutable tier2_compiles : int;  (* optimizing-tier trace compiles *)
+  mutable demotions : int;
+      (* optimized loops recompiled back at tier 1 after bridge
+         proliferation (Adaptive policy) *)
+  mutable first_entry_insns : int;
+      (* simulated instruction count at the first compiled-trace entry;
+         -1 until a trace has executed.  The time-to-first-compiled-
+         execution warmup metric of the tier experiments. *)
 }
 
 let create () =
@@ -36,6 +45,10 @@ let create () =
     code_cache_hits = 0;
     interp_translations = 0;
     threaded_code_hits = 0;
+    tier1_compiles = 0;
+    tier2_compiles = 0;
+    demotions = 0;
+    first_entry_insns = -1;
   }
 
 let fresh_trace_id t =
@@ -68,6 +81,36 @@ let record_interp_translation t =
 
 let record_threaded_code_hit t =
   t.threaded_code_hits <- t.threaded_code_hits + 1
+
+let record_tier_compile t ~tier =
+  if tier <= 1 then t.tier1_compiles <- t.tier1_compiles + 1
+  else t.tier2_compiles <- t.tier2_compiles + 1
+
+let record_demotion t = t.demotions <- t.demotions + 1
+
+let record_first_entry t ~insns =
+  if t.first_entry_insns < 0 then t.first_entry_insns <- insns
+
+(* per-tier residency: trace entries and dynamic IR executed at each
+   tier.  Dynamic IR uses raw op_exec sums (debug markers included) so
+   the numbers reconcile exactly with per-trace dynamic_ir rows in the
+   metrics document. *)
+let tier_residency t =
+  let t1_entries = ref 0 and t2_entries = ref 0 in
+  let t1_dyn = ref 0 and t2_dyn = ref 0 in
+  List.iter
+    (fun (tr : Ir.trace) ->
+      let dyn = Array.fold_left ( + ) 0 tr.Ir.op_exec in
+      if tr.Ir.tier <= 1 then begin
+        t1_entries := !t1_entries + tr.Ir.exec_count;
+        t1_dyn := !t1_dyn + dyn
+      end
+      else begin
+        t2_entries := !t2_entries + tr.Ir.exec_count;
+        t2_dyn := !t2_dyn + dyn
+      end)
+    t.traces;
+  (!t1_entries, !t2_entries, !t1_dyn, !t2_dyn)
 
 (* --- aggregate statistics for the figures --- *)
 

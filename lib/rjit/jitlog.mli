@@ -26,6 +26,17 @@ type t = {
   mutable threaded_code_hits : int;
       (** dispatch-loop code switches served from the threaded-code
           cache in the language's code table *)
+  mutable tier1_compiles : int;  (** baseline-tier trace compiles *)
+  mutable tier2_compiles : int;
+      (** optimizing-tier trace compiles (initial compiles, promotions
+          and optimized bridges alike) *)
+  mutable demotions : int;
+      (** optimized loops recompiled back at the baseline tier after
+          bridge proliferation (Adaptive policy) *)
+  mutable first_entry_insns : int;
+      (** simulated instruction count at the first compiled-trace
+          entry, or [-1] if no trace ever ran — the
+          time-to-first-compiled-execution warmup metric *)
 }
 
 val create : unit -> t
@@ -50,6 +61,21 @@ val record_translation : t -> unit
 val record_code_cache_hit : t -> unit
 val record_interp_translation : t -> unit
 val record_threaded_code_hit : t -> unit
+
+val record_tier_compile : t -> tier:int -> unit
+(** Bump [tier1_compiles] or [tier2_compiles]; called by
+    {!Backend.compile} for every trace. *)
+
+val record_demotion : t -> unit
+
+val record_first_entry : t -> insns:int -> unit
+(** Latch [first_entry_insns] on the first compiled-trace entry;
+    subsequent calls are no-ops. *)
+
+val tier_residency : t -> int * int * int * int
+(** [(t1_entries, t2_entries, t1_dynamic_ir, t2_dynamic_ir)]: trace
+    entries and raw dynamic IR executions (debug markers included, so
+    the numbers reconcile exactly with per-trace rows) per tier. *)
 
 (** {2 Aggregate statistics for the figures}
 

@@ -1,0 +1,55 @@
+(** Pure decision logic of the multi-tier driver (DESIGN.md §3j).
+
+    The policy reads per-trace profile state ([exec_count], [deopts],
+    [promote_at], [bridges]) and per-site demotion counts, and returns
+    verdicts; it never mutates VM state, which keeps the whole tier
+    state machine property-testable without running a VM. *)
+
+val never : int
+(** Sentinel [promote_at] meaning "this trace is never promoted".
+    Traces compiled under the Optimizing or Baseline policies carry it,
+    so the executor's back-edge check costs one physical comparison. *)
+
+val trace_threshold : Mtj_core.Config.t -> int
+(** Loop-header executions before tracing starts under the given
+    policy: [jit_threshold] when Optimizing,
+    [min jit_threshold tier1_threshold] otherwise. *)
+
+val compile_tier : Mtj_core.Config.t -> int
+(** Tier of a freshly recorded loop trace: 2 when Optimizing, 1 when
+    Baseline or Adaptive. *)
+
+val initial_promote_at : Mtj_core.Config.t -> int
+(** [promote_at] for a fresh loop trace: [tier2_threshold] when
+    Adaptive, {!never} otherwise. *)
+
+val hot : promote_at:int -> execs:int -> bool
+(** The trace has executed at least [promote_at] times (and is
+    promotable at all). *)
+
+val stable : Mtj_core.Config.t -> execs:int -> deopts:int -> bool
+(** Guard-fail profile stability gate:
+    [deopts * tier_stable_every <= execs]. *)
+
+type verdict =
+  | Promote  (** recompile through the optimizer at tier 2 *)
+  | Defer of int
+      (** hot but guard-unstable — set [promote_at] to this exec count
+          and re-ask then, so the executor stops exiting every
+          back-edge *)
+  | Stay
+
+val tier_up :
+  Mtj_core.Config.t -> tier:int -> execs:int -> deopts:int -> promote_at:int -> verdict
+(** Promotion verdict for a compiled loop trace at the portal.
+    Monotone in hotness: once [Promote] at some [execs], it stays
+    [Promote] for any larger [execs] with the same deopt rate. *)
+
+val should_demote : Mtj_core.Config.t -> tier:int -> bridges:int -> bool
+(** Demote an optimized loop once [bridges >= demote_bridges]
+    (Adaptive policy only). *)
+
+val demoted_promote_at : Mtj_core.Config.t -> demotions:int -> int
+(** [promote_at] for the demoted replacement trace:
+    [tier2_threshold * 2^demotions], or {!never} once the site has
+    exceeded [max_demotions] — prevents tier oscillation. *)

@@ -31,6 +31,31 @@ output is identical either way:
   $ ../../bin/mtj.exe exec hot.py --tiered 2>/dev/null | head -1
   1999000
 
+The tier policy is a config axis of its own.  Program output never
+moves, but the policy changes simulated behavior: the baseline tier
+compiles at a lower threshold, so the run reaches compiled code — and
+the finish line — in fewer simulated instructions, and the adaptive
+policy then promotes the hot loop to the optimizing tier:
+
+  $ ../../bin/mtj.exe exec hot.py --tier-policy baseline
+  1999000
+  [ok; 95917 simulated instructions]
+  $ ../../bin/mtj.exe exec hot.py --tier-policy adaptive
+  1999000
+  [ok; 74580 simulated instructions]
+
+The metrics export carries the multi-tier accounting, and the
+validator checks its invariants (tier compiles partition the traces,
+per-tier residency reconciles with the per-trace rows):
+
+  $ ../../bin/mtj.exe trace binarytrees --budget 2000000 \
+  >   --tier-policy adaptive --metrics-out m6.json
+  [metrics written to m6.json]
+  $ ../validate_obs.exe metrics m6.json
+  metrics OK: 1 run record
+  $ grep -o '"tier1_compiles": [0-9]*' m6.json
+  "tier1_compiles": 5
+
 A run can be recorded through the observability sink and exported as a
 Chrome trace-event timeline (Perfetto-loadable) plus a versioned
 metrics document; both must satisfy the schema validator (balanced

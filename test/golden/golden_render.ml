@@ -57,10 +57,94 @@ let figures () =
   Rd.pr "ticks total: %d   simple_bar(jit frac): |%s|\n" r.R.ticks
     (Rd.simple_bar ~width:30 (R.phase_fraction r Mtj_core.Phase.Jit))
 
+(* experiment 3: the tier-policy extension — warmup latch, per-tier
+   residency, and tier compile counts across the three policies *)
+let tier_configs =
+  [ ("optimizing", R.Pypy_jit); ("baseline", R.Pypy_baseline);
+    ("adaptive", R.Pypy_tiered) ]
+
+let tiers () =
+  R.prefetch ~jobs:2 ~budget
+    (List.concat_map
+       (fun b -> List.map (fun (_, c) -> (b, c)) tier_configs)
+       benches);
+  Rd.heading "golden: tier policies (2 M insn budget)";
+  Rd.table
+    ~header:
+      ("bench"
+      :: List.concat_map
+           (fun (n, _) -> [ n ^ " 1st (Ki)"; n ^ " t1/t2" ])
+           tier_configs)
+    ~rows:
+      (List.map
+         (fun b ->
+           b
+           :: List.concat_map
+                (fun (_, c) ->
+                  let r = R.run ~budget b c in
+                  match r.R.jit with
+                  | None -> [ "-"; "-" ]
+                  | Some j ->
+                      [
+                        (if j.R.first_entry_insns < 0 then "never"
+                         else
+                           Rd.f1
+                             (float_of_int j.R.first_entry_insns /. 1.0e3));
+                        Printf.sprintf "%d/%d" j.R.tier1_compiles
+                          j.R.tier2_compiles;
+                      ])
+                tier_configs)
+         benches);
+  Rd.subheading "adaptive tier residency";
+  Rd.table
+    ~header:
+      [ "bench"; "t1 entries"; "t2 entries"; "t1 dyn-IR"; "t2 dyn-IR";
+        "promoted"; "demoted" ]
+    ~rows:
+      (List.map
+         (fun b ->
+           let r = R.run ~budget b R.Pypy_tiered in
+           match r.R.jit with
+           | None -> [ b; "-"; "-"; "-"; "-"; "-"; "-" ]
+           | Some j ->
+               [
+                 b;
+                 string_of_int j.R.tier1_entries;
+                 string_of_int j.R.tier2_entries;
+                 string_of_int j.R.tier1_dynamic_ir;
+                 string_of_int j.R.tier2_dynamic_ir;
+                 string_of_int j.R.retiers;
+                 string_of_int j.R.demotions;
+               ])
+         benches)
+
+(* experiment 4: the mtj-metrics/6 document itself — built from a tiered
+   run, validated (schema + tier invariants), round-tripped through the
+   parser, and printed; any drift in the export format fails the diff *)
+let metrics () =
+  let module J = Mtj_obs.Json in
+  let r = R.run ~budget "richards" R.Pypy_tiered in
+  let doc =
+    Mtj_obs.Metrics.document ~runs:[ Mtj_harness.Report.metrics_json r ]
+  in
+  (match Mtj_obs.Validate.metrics doc with
+  | Ok n -> Rd.pr "validate: OK, %d run record(s)\n" n
+  | Error e -> Rd.pr "validate: INVALID: %s\n" e);
+  let printed = J.to_string ~indent:2 doc in
+  (match J.parse printed with
+  | Ok reparsed when J.to_string ~indent:2 reparsed = printed ->
+      Rd.pr "round-trip: stable\n"
+  | Ok _ -> Rd.pr "round-trip: UNSTABLE\n"
+  | Error e -> Rd.pr "round-trip: PARSE ERROR: %s\n" e);
+  print_string printed;
+  print_newline ()
+
 let () =
   match Sys.argv with
   | [| _; "table" |] -> table ()
   | [| _; "figures" |] -> figures ()
+  | [| _; "tiers" |] -> tiers ()
+  | [| _; "metrics" |] -> metrics ()
   | _ ->
-      prerr_endline "usage: golden_render.exe (table|figures)";
+      prerr_endline "usage: golden_render.exe (table|figures|tiers|metrics)";
       exit 2

@@ -186,7 +186,7 @@ let test_tiered_stream () =
   let st =
     collect
       "s = 0\nfor i in range(3000):\n    s = s + i\nprint(s)\n"
-      { eager with C.tiered = true; tier2_threshold = 10 }
+      { eager with C.tier_policy = C.Adaptive; tier2_threshold = 10 }
   in
   check st
 

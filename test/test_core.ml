@@ -60,15 +60,25 @@ let test_config_budget () =
   Alcotest.(check int) "budget" 123 c.Config.insn_budget
 
 let test_config_two_tier () =
-  Alcotest.(check bool) "default is single-tier" false
-    Config.default.Config.tiered;
-  Alcotest.(check bool) "two_tier enables tiering" true
-    Config.two_tier.Config.tiered;
+  Alcotest.(check bool) "default is single-tier optimizing" true
+    (Config.default.Config.tier_policy = Config.Optimizing);
+  Alcotest.(check bool) "two_tier is adaptive" true
+    (Config.two_tier.Config.tier_policy = Config.Adaptive);
+  Alcotest.(check bool) "baseline_tier is baseline" true
+    (Config.baseline_tier.Config.tier_policy = Config.Baseline);
   Alcotest.(check bool) "jit stays enabled" true
     Config.two_tier.Config.jit_enabled;
   Alcotest.(check bool) "tier-2 comes after bridges can form" true
     (Config.two_tier.Config.tier2_threshold
-    > Config.two_tier.Config.bridge_threshold)
+    > Config.two_tier.Config.bridge_threshold);
+  (* name <-> policy round-trip *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "policy name round-trips" true
+        (Config.tier_policy_of_string (Config.tier_policy_name p) = Some p))
+    Config.all_tier_policies;
+  Alcotest.(check bool) "unknown policy rejected" true
+    (Config.tier_policy_of_string "warp-speed" = None)
 
 let test_annot_to_string () =
   Alcotest.(check string) "tick" "dispatch_tick"

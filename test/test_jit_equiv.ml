@@ -115,7 +115,7 @@ let configs =
     ( "jit-2tier",
       (* tiny tier-2 threshold so recompiles actually fire in small tests *)
       { C.default with C.jit_threshold = 9; bridge_threshold = 3;
-        insn_budget = budget; tiered = true; tier2_threshold = 5 } );
+        insn_budget = budget; tier_policy = C.Adaptive; tier2_threshold = 5 } );
   ]
 
 let run_one config src =

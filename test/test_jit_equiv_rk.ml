@@ -109,7 +109,7 @@ let configs =
         insn_budget = budget; opt_virtuals = false } );
     ( "jit-2tier",
       { C.default with C.jit_threshold = 9; bridge_threshold = 3;
-        insn_budget = budget; tiered = true; tier2_threshold = 5 } );
+        insn_budget = budget; tier_policy = C.Adaptive; tier2_threshold = 5 } );
   ]
 
 let run_one config src =

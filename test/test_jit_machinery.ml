@@ -294,7 +294,7 @@ let test_tiered_retier () =
       C.jit_threshold = 7;
       bridge_threshold = 4;
       insn_budget = 50_000_000;
-      tiered = true;
+      tier_policy = C.Adaptive;
       tier2_threshold = 10;
     }
   in
@@ -355,11 +355,202 @@ let test_tiered_matches_interp () =
         C.jit_threshold = 7;
         bridge_threshold = 3;
         insn_budget = 50_000_000;
-        tiered = true;
+        tier_policy = C.Adaptive;
         tier2_threshold = 8;
       }
   in
   Alcotest.(check string) "tiered = interp" interp tiered
+
+(* --- tier policy state machine (pure, property-tested) --- *)
+
+module Tierpolicy = Mtj_rjit.Tierpolicy
+
+(* random but sane tier knobs *)
+let gen_tier_cfg =
+  QCheck.Gen.(
+    let* jit_threshold = int_range 1 200 in
+    let* tier1_threshold = int_range 1 200 in
+    let* tier2_threshold = int_range 1 100 in
+    let* tier_stable_every = int_range 0 16 in
+    let* demote_bridges = int_range 1 8 in
+    let* max_demotions = int_range 0 4 in
+    let* policy = oneofl C.all_tier_policies in
+    return
+      {
+        C.default with
+        C.jit_threshold;
+        tier1_threshold;
+        tier2_threshold;
+        tier_stable_every;
+        demote_bridges;
+        max_demotions;
+        tier_policy = policy;
+      })
+
+let arb_tier_cfg = QCheck.make gen_tier_cfg
+
+let prop_promotion_monotone =
+  QCheck.Test.make ~count:500 ~name:"tier-up promotion is monotone in hotness"
+    QCheck.(
+      pair arb_tier_cfg (quad small_nat small_nat small_nat small_nat))
+    (fun (cfg, (execs, extra, deopts, promote_at)) ->
+      match
+        Tierpolicy.tier_up cfg ~tier:1 ~execs ~deopts ~promote_at
+      with
+      | Tierpolicy.Promote -> (
+          (* same deopt profile, more executions: still Promote *)
+          match
+            Tierpolicy.tier_up cfg ~tier:1 ~execs:(execs + extra) ~deopts
+              ~promote_at
+          with
+          | Tierpolicy.Promote -> true
+          | _ -> false)
+      | Tierpolicy.Defer p ->
+          (* deferral always makes progress: the new promotion point is
+             in the future, so the portal is not consulted every
+             back-edge *)
+          p > execs
+      | Tierpolicy.Stay -> true)
+
+let prop_tier2_never_promotes =
+  QCheck.Test.make ~count:200 ~name:"tier-2 traces never tier up again"
+    QCheck.(pair arb_tier_cfg (triple small_nat small_nat small_nat))
+    (fun (cfg, (execs, deopts, promote_at)) ->
+      Tierpolicy.tier_up cfg ~tier:2 ~execs ~deopts ~promote_at
+      = Tierpolicy.Stay)
+
+let prop_demotion_backoff =
+  QCheck.Test.make ~count:200
+    ~name:"re-promotion threshold doubles per demotion, then pins"
+    QCheck.(pair arb_tier_cfg (int_range 1 8))
+    (fun (cfg, demotions) ->
+      let at = Tierpolicy.demoted_promote_at cfg ~demotions in
+      if demotions > cfg.C.max_demotions then at = Tierpolicy.never
+      else
+        at = cfg.C.tier2_threshold * (1 lsl demotions)
+        && at >= Tierpolicy.demoted_promote_at cfg ~demotions:(demotions - 1))
+
+let prop_single_tier_policies_never_promote =
+  QCheck.Test.make ~count:200
+    ~name:"Optimizing/Baseline traces carry the never sentinel"
+    arb_tier_cfg
+    (fun cfg ->
+      match cfg.C.tier_policy with
+      | C.Adaptive ->
+          Tierpolicy.initial_promote_at cfg = cfg.C.tier2_threshold
+      | C.Optimizing | C.Baseline ->
+          Tierpolicy.initial_promote_at cfg = Tierpolicy.never
+          && not
+               (Tierpolicy.hot
+                  ~promote_at:(Tierpolicy.initial_promote_at cfg)
+                  ~execs:max_int))
+
+let prop_demote_needs_adaptive_tier2 =
+  QCheck.Test.make ~count:200 ~name:"demotion needs Adaptive + tier 2 + bridges"
+    QCheck.(pair arb_tier_cfg (pair (int_range 0 3) small_nat))
+    (fun (cfg, (tier, bridges)) ->
+      let d = Tierpolicy.should_demote cfg ~tier ~bridges in
+      d
+      = (cfg.C.tier_policy = C.Adaptive && tier >= 2
+        && bridges >= cfg.C.demote_bridges))
+
+(* the end-to-end lifecycle: promote, grow bridges, demote, re-promote at
+   a doubled threshold, pin once max_demotions is exhausted.  The
+   superseded optimized traces must have their cached threaded code
+   invalidated, so any stale code_ref re-translates instead of running
+   the old closure array. *)
+let test_demotion_invalidates_code () =
+  let config =
+    {
+      C.default with
+      C.jit_threshold = 7;
+      bridge_threshold = 30;
+      insn_budget = 100_000_000;
+      tier_policy = C.Adaptive;
+      tier2_threshold = 8;
+      tier_stable_every = 0;
+      demote_bridges = 2;
+      max_demotions = 2;
+    }
+  in
+  let src =
+    "a = 0\n\
+     b = 0\n\
+     c = 0\n\
+     for i in range(3000):\n\
+    \    if i % 2 == 0:\n\
+    \        a = a + 1\n\
+    \    else:\n\
+    \        a = a + 2\n\
+    \    if i % 3 == 0:\n\
+    \        b = b + 1\n\
+    \    else:\n\
+    \        b = b + 2\n\
+    \    if i % 5 == 0:\n\
+    \        c = c + 1\n\
+    \    else:\n\
+    \        c = c + 2\n\
+     print(a + b + c)\n"
+  in
+  let vm = V.create ~config () in
+  (match V.run_source vm src with
+  | Mtj_rjit.Driver.Completed _ -> ()
+  | _ -> Alcotest.fail "run failed");
+  Alcotest.(check string) "output" "14900\n" (V.output vm);
+  let jl = V.jitlog vm in
+  Alcotest.(check bool) "promoted" true (jl.Jitlog.retiers >= 1);
+  Alcotest.(check bool) "demoted" true (jl.Jitlog.demotions >= 1);
+  Alcotest.(check bool) "oscillation damped" true
+    (jl.Jitlog.demotions <= config.C.max_demotions + 1);
+  (* every demoted tier-2 loop was invalidated: its threaded code cannot
+     be entered stale, the next entry re-translates *)
+  let tier2_loops =
+    List.filter
+      (fun (tr : Ir.trace) ->
+        tr.Ir.tier = 2
+        && match tr.Ir.kind with Ir.Loop _ -> true | _ -> false)
+      (Jitlog.traces jl)
+  in
+  Alcotest.(check int)
+    "one optimized loop compile per promotion" jl.Jitlog.retiers
+    (List.length tier2_loops);
+  List.iter
+    (fun (tr : Ir.trace) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tier-2 loop %d invalidated after demotion"
+           tr.Ir.trace_id)
+        true
+        (tr.Ir.code_version >= 1))
+    tier2_loops;
+  (* exponential backoff is visible in the run: each demoted replacement
+     waits twice as long before re-promoting, so the tier-1 loop
+     compiles' exec counts double until the site pins at tier 1 *)
+  let tier1_loop_execs =
+    List.filter_map
+      (fun (tr : Ir.trace) ->
+        match tr.Ir.kind with
+        | Ir.Loop _ when tr.Ir.tier = 1 -> Some tr.Ir.exec_count
+        | _ -> None)
+      (Jitlog.traces jl)
+  in
+  match tier1_loop_execs with
+  | first :: (_ :: _ as rest) ->
+      let promoted, pinned =
+        List.filteri (fun i _ -> i < List.length rest - 1) rest,
+        List.nth rest (List.length rest - 1)
+      in
+      ignore first;
+      List.iteri
+        (fun i execs ->
+          Alcotest.(check int)
+            (Printf.sprintf "re-promotion %d waited 2^%d longer" (i + 1)
+               (i + 1))
+            (config.C.tier2_threshold * (1 lsl (i + 1)))
+            execs)
+        promoted;
+      Alcotest.(check bool) "the pinned tier-1 loop takes the tail" true
+        (pinned > 1000)
+  | _ -> Alcotest.fail "expected several tier-1 loop compiles"
 
 let suite =
   [
@@ -388,4 +579,11 @@ let suite =
       test_tiered_retier;
     Alcotest.test_case "two-tier: bridgy program matches interp" `Quick
       test_tiered_matches_interp;
+    Alcotest.test_case "adaptive: demotion invalidates optimized code" `Quick
+      test_demotion_invalidates_code;
+    QCheck_alcotest.to_alcotest prop_promotion_monotone;
+    QCheck_alcotest.to_alcotest prop_tier2_never_promotes;
+    QCheck_alcotest.to_alcotest prop_demotion_backoff;
+    QCheck_alcotest.to_alcotest prop_single_tier_policies_never_promote;
+    QCheck_alcotest.to_alcotest prop_demote_needs_adaptive_tier2;
   ]

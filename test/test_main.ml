@@ -21,6 +21,7 @@ let () =
       ("machine-property", Test_machine_prop.suite);
       ("charge-diff", Test_charge_diff.suite);
       ("dispatch-diff", Test_dispatch_diff.suite);
+      ("tier-diff", Test_tier_diff.suite);
       ("obs", Test_obs.suite);
       ("lang-internals", Test_lang_internals.suite);
       ("error-paths", Test_errors.suite);

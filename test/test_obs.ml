@@ -372,7 +372,7 @@ let test_validator_rejects_corruption () =
       ?(pooled = Json.Null) ?(hash_skips = Json.Int 0) total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/5");
+        ("schema", Json.Str "mtj-metrics/6");
         ( "runs",
           Json.Arr
             [
@@ -421,10 +421,12 @@ let test_validator_rejects_corruption () =
   expect_err "non-int dict_hash_skips"
     (Validate.metrics (mdoc ~hash_skips:(Json.Str "many") 7));
   (* jit block violating the v2 cache invariants *)
-  let jdoc ?(itrans = 1) ?(ihits = 0) translations trace_translations =
+  let jdoc ?(itrans = 1) ?(ihits = 0) ?(retiers = 0) ?(t1c = 0) ?(t2c = 1)
+      ?(demotions = 0) ?(first_entry = 5) ?(res_t2_entries = 1)
+      ?(tr_deopts = 0) translations trace_translations =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/5");
+        ("schema", Json.Str "mtj-metrics/6");
         ( "runs",
           Json.Arr
             [
@@ -450,14 +452,32 @@ let test_validator_rejects_corruption () =
                         ("code_cache_hits", Json.Int 0);
                         ("interp_translations", Json.Int itrans);
                         ("threaded_code_hits", Json.Int ihits);
+                        ("retiers", Json.Int retiers);
+                        ("tier1_compiles", Json.Int t1c);
+                        ("tier2_compiles", Json.Int t2c);
+                        ("demotions", Json.Int demotions);
+                        ("first_entry_insns", Json.Int first_entry);
+                        ( "tier_residency",
+                          Json.Obj
+                            [
+                              ("tier1_entries", Json.Int 0);
+                              ("tier2_entries", Json.Int res_t2_entries);
+                              ("tier1_dynamic_ir", Json.Int 0);
+                              ("tier2_dynamic_ir", Json.Int 4);
+                            ] );
                         ( "traces",
                           Json.Arr
                             [
                               Json.Obj
                                 [
                                   ("id", Json.Int 1);
+                                  ("tier", Json.Int 2);
+                                  ("entries", Json.Int 1);
+                                  ("dynamic_ir", Json.Int 4);
                                   ("translations", Json.Int trace_translations);
                                   ("cache_hits", Json.Int 0);
+                                  ("deopts", Json.Int tr_deopts);
+                                  ("bridges", Json.Int 0);
                                 ];
                             ] );
                       ] );
@@ -477,7 +497,22 @@ let test_validator_rejects_corruption () =
   expect_err "threaded hits without translations"
     (Validate.metrics (jdoc ~itrans:0 ~ihits:5 1 1));
   expect_err "negative interp_translations"
-    (Validate.metrics (jdoc ~itrans:(-1) 1 1))
+    (Validate.metrics (jdoc ~itrans:(-1) 1 1));
+  (* v6 multi-tier invariants *)
+  expect_err "tier compiles don't sum to num_traces"
+    (Validate.metrics (jdoc ~t1c:1 1 1));
+  expect_err "promotions exceeding tier1 compiles"
+    (Validate.metrics (jdoc ~retiers:1 1 1));
+  expect_err "demotions exceeding tier2 compiles"
+    (Validate.metrics (jdoc ~demotions:2 1 1));
+  expect_err "first_entry_insns past end of run"
+    (Validate.metrics (jdoc ~first_entry:99 1 1));
+  expect_err "first_entry_insns below -1"
+    (Validate.metrics (jdoc ~first_entry:(-2) 1 1));
+  expect_err "tier_residency disagreeing with trace rows"
+    (Validate.metrics (jdoc ~res_t2_entries:5 1 1));
+  expect_err "negative per-trace deopts"
+    (Validate.metrics (jdoc ~tr_deopts:(-1) 1 1))
 
 let suite =
   [
