@@ -81,6 +81,42 @@ let bechamel () =
         res)
     tests
 
+(* --- serving mode: the shared JIT code cache, on vs off --- *)
+
+(* Host wall-clock comparison of a serving session with and without the
+   cross-context code cache (same seeded workload both times).  Like
+   "bechamel", this row reports real wall time, so it is selected by
+   name and not part of "all" (whose output is byte-pinned). *)
+let serve_bench () =
+  let module S = Mtj_harness.Serve in
+  let requests = 1000 in
+  let on = S.serve ~shared:true ~requests () in
+  let off = S.serve ~shared:false ~requests () in
+  Printf.printf
+    "serving: %d requests, %d jobs, zipf_s=%.2f seed=%d, budget %d insns/request\n\n"
+    requests on.S.sv_jobs on.S.sv_zipf_s on.S.sv_seed on.S.sv_budget;
+  Printf.printf "%-22s %12s %12s %12s %12s %12s\n" "shared cache" "wall s"
+    "req/s" "p50 ms" "p95 ms" "p99 ms";
+  let row name (s : S.summary) =
+    Printf.printf "%-22s %12.3f %12.1f %12.3f %12.3f %12.3f\n" name s.S.sv_wall_s
+      s.S.sv_throughput s.S.sv_p50_ms s.S.sv_p95_ms s.S.sv_p99_ms
+  in
+  row "on" on;
+  row "off" off;
+  Printf.printf
+    "\nwith the cache on: %d cold (compile; p50 %.3f ms), %d warm (import; \
+     p50 %.3f ms)\n"
+    on.S.sv_cold on.S.sv_cold_p50_ms on.S.sv_warm on.S.sv_warm_p50_ms;
+  let c = on.S.sv_cache in
+  Printf.printf
+    "shared cache: %d hits, %d misses, %d publications, %d lock contentions\n"
+    (c.Mtj_rjit.Sharedcache.shared_hits + c.Mtj_rjit.Sharedcache.local_hits)
+    c.Mtj_rjit.Sharedcache.misses c.Mtj_rjit.Sharedcache.publications
+    c.Mtj_rjit.Sharedcache.contention;
+  if off.S.sv_wall_s > 0.0 then
+    Printf.printf "session speedup from sharing: %.2fx\n"
+      (off.S.sv_wall_s /. on.S.sv_wall_s)
+
 (* --- argument handling --- *)
 
 let usage () =
@@ -88,7 +124,7 @@ let usage () =
     "usage: main.exe [-j N] [--threaded-interp on|off] [--frame-pool on|off] \
      [--tier-policy optimizing|baseline|adaptive] \
      [--timings FILE] [--metrics-out FILE] \
-     [all | bechamel | <experiment> ...]";
+     [all | bechamel | serve | <experiment> ...]";
   print_endline "experiments:";
   List.iter
     (fun (e : E.experiment) ->
@@ -165,7 +201,7 @@ let () =
       (* validate every requested name before running anything *)
       let unknown =
         List.filter
-          (fun n -> n <> "bechamel" && E.find n = None)
+          (fun n -> n <> "bechamel" && n <> "serve" && E.find n = None)
           p.names
       in
       if unknown <> [] then begin
@@ -201,6 +237,7 @@ let () =
         List.iter
           (fun name ->
             if name = "bechamel" then timed name bechamel
+            else if name = "serve" then timed name serve_bench
             else
               match E.find name with
               | Some e -> timed name e.E.ex_render

@@ -5,6 +5,9 @@
      run               run a benchmark (or source file) under a VM config,
                        with phase breakdown and JIT statistics
      trace             dump the compiled JIT traces of a run
+     serve             multi-tenant serving mode: stream a seeded Zipf mix
+                       of short requests onto worker domains, with the
+                       cross-context shared JIT code cache on or off
      exec              execute a pylite / rklite source file and print its
                        program output *)
 
@@ -271,7 +274,7 @@ let trace_cmd =
             ?ticks:(Option.map Mtj_obs.Sink.ticks sink)
             ~hstats:(Mtj_rt.Ctx.hstats rtc) ()
         in
-        Mtj_obs.Metrics.write ~file ~runs:[ run_record ];
+        Mtj_obs.Metrics.write ~file ~runs:[ run_record ] ();
         Printf.eprintf "[metrics written to %s]\n%!" file
     | None -> ());
     if not observing then begin
@@ -302,6 +305,81 @@ let trace_cmd =
     Term.(
       const run $ bench_arg $ budget_arg $ trace_out_arg $ metrics_out_arg
       $ threaded_arg $ frame_pool_arg $ tier_policy_arg)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let doc =
+    "Multi-tenant serving mode: stream many short VM requests (mixed \
+     pylite/rklite tenants, Zipf-distributed over the registry) onto a \
+     fixed pool of worker domains, with an optional shared, domain-safe \
+     cache of compiled-program bundles"
+  in
+  let requests_arg =
+    Arg.(value & opt int 2000
+         & info [ "requests" ] ~docv:"N" ~doc:"requests in the session")
+  in
+  let zipf_arg =
+    Arg.(value & opt float 1.1
+         & info [ "zipf-s" ] ~docv:"S"
+             ~doc:"Zipf popularity exponent of the tenant program mix \
+                   (weight of rank r is 1/r^S)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"workload seed; the request stream is a pure function \
+                   of (corpus, requests, zipf-s, seed)")
+  in
+  let shared_arg =
+    let mode = Arg.enum [ ("on", true); ("off", false) ] in
+    Arg.(value & opt mode true
+         & info [ "shared-cache" ] ~docv:"on|off"
+             ~doc:"cross-context shared JIT code cache: compile each \
+                   (program, config) once process-wide and import the \
+                   bundle on later requests; simulated counters are \
+                   identical either way, only host wall time changes")
+  in
+  let serve_budget_arg =
+    Arg.(value & opt int Mtj_harness.Serve.default_budget
+         & info [ "budget" ] ~docv:"INSNS"
+             ~doc:"per-request instruction budget (serving requests are \
+                   short by design)")
+  in
+  let run requests jobs zipf_s seed shared budget metrics_out threaded
+      frame_pool tier_policy =
+    if requests < 1 then begin
+      Printf.eprintf "mtj: --requests must be >= 1 (got %d)\n" requests;
+      exit 2
+    end;
+    if budget < 1 then begin
+      Printf.eprintf "mtj: --budget must be >= 1 (got %d)\n" budget;
+      exit 2
+    end;
+    if zipf_s <= 0.0 then begin
+      Printf.eprintf "mtj: --zipf-s must be > 0 (got %g)\n" zipf_s;
+      exit 2
+    end;
+    apply_threaded threaded;
+    apply_frame_pool frame_pool;
+    apply_tier_policy tier_policy;
+    if jobs > 0 then R.set_jobs jobs;
+    let s =
+      Mtj_harness.Serve.serve ~budget ~zipf_s ~seed ~shared ~requests ()
+    in
+    Mtj_harness.Serve.print_summary stdout s;
+    match metrics_out with
+    | None -> ()
+    | Some file ->
+        Mtj_obs.Metrics.write ~file ~runs:[]
+          ~serve:(Mtj_harness.Serve.summary_json s) ();
+        Printf.eprintf "[metrics written to %s]\n%!" file
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ requests_arg $ jobs_arg $ zipf_arg $ seed_arg $ shared_arg
+      $ serve_budget_arg $ metrics_out_arg $ threaded_arg $ frame_pool_arg
+      $ tier_policy_arg)
 
 (* --- exec --- *)
 
@@ -366,4 +444,4 @@ let exec_cmd =
 let () =
   let doc = "meta-tracing JIT workload characterization tools" in
   let info = Cmd.info "mtj" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; exec_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; serve_cmd; exec_cmd ]))

@@ -126,8 +126,13 @@ let shutdown t =
   Mutex.lock t.lock;
   t.closed <- true;
   Condition.broadcast t.nonempty;
+  (* joining a domain twice is an error, so take the worker array under
+     the lock — a second (even concurrent) shutdown finds it empty and
+     is a no-op *)
+  let workers = t.workers in
+  t.workers <- [||];
   Mutex.unlock t.lock;
-  Array.iter Domain.join t.workers
+  Array.iter Domain.join workers
 
 (** [map ~jobs f xs] applies [f] to every element of [xs] on a temporary
     pool of [jobs] workers and returns the results in list order.  All

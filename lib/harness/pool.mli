@@ -30,7 +30,8 @@ val await : 'a future -> 'a
     original backtrace) if it failed. *)
 
 val shutdown : t -> unit
-(** Close the queue, let queued jobs drain, and join every worker. *)
+(** Close the queue, let queued jobs drain, and join every worker.
+    Idempotent: later calls (even concurrent ones) are no-ops. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] on a temporary pool of [jobs] workers

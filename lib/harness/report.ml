@@ -3,6 +3,23 @@ module Metrics = Mtj_obs.Metrics
 module Counters = Mtj_machine.Counters
 module R = Runner
 
+(* --- percentiles (exact nearest-rank) --- *)
+
+(* The p-th percentile by the nearest-rank definition: the smallest
+   sample whose cumulative rank is >= ceil(p/100 * n).  Exact (no
+   interpolation), so reported latencies are always observed samples —
+   the convention serving-latency dashboards use.  p50 of [|1.;2.;3.;4.|]
+   is 2., p100 is the maximum, p of a singleton is that sample. *)
+let percentile (xs : float array) (p : float) : float =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Report.percentile: empty sample set";
+  if not (p > 0. && p <= 100.) then
+    invalid_arg "Report.percentile: p must be in (0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  sorted.(min (n - 1) (max 0 (rank - 1)))
+
 (* --- bench timings ("mtj-bench-timings/2") --- *)
 
 let timings_json ~jobs ~total_wall ~experiments ~runs =
@@ -38,7 +55,7 @@ let write_timings ~file ~jobs ~total_wall ~experiments =
     (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
   Printf.eprintf "[timings written to %s]\n%!" file
 
-(* --- metrics ("mtj-metrics/6") --- *)
+(* --- metrics ("mtj-metrics/7") --- *)
 
 let status_name = function
   | R.Ok_run -> "ok"
@@ -56,6 +73,9 @@ let jit_json (j : R.jit_stats) =
       ("retiers", J.Int j.R.retiers);
       ("translations", J.Int j.R.translations);
       ("code_cache_hits", J.Int j.R.code_cache_hits);
+      ("shared_code_hits", J.Int j.R.shared_code_hits);
+      ( "code_cache_total_hits",
+        J.Int (j.R.code_cache_hits + j.R.shared_code_hits) );
       ("interp_translations", J.Int j.R.interp_translations);
       ("threaded_code_hits", J.Int j.R.threaded_code_hits);
       ("tier1_compiles", J.Int j.R.tier1_compiles);
@@ -121,5 +141,5 @@ let metrics_json (r : R.result) =
     ]
 
 let write_metrics ~file results =
-  Metrics.write ~file ~runs:(List.map metrics_json results);
+  Metrics.write ~file ~runs:(List.map metrics_json results) ();
   Printf.eprintf "[metrics written to %s]\n%!" file

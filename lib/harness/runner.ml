@@ -60,6 +60,7 @@ type jit_stats = {
   retiers : int;
   translations : int;
   code_cache_hits : int;
+  shared_code_hits : int;  (* cross-context imports; 0 outside serving *)
   interp_translations : int;
   threaded_code_hits : int;
   tier1_compiles : int;
@@ -192,6 +193,7 @@ let jit_stats_of jl =
     retiers = jl.Jitlog.retiers;
     translations = jl.Jitlog.translations;
     code_cache_hits = jl.Jitlog.code_cache_hits;
+    shared_code_hits = jl.Jitlog.shared_code_hits;
     interp_translations = jl.Jitlog.interp_translations;
     threaded_code_hits = jl.Jitlog.threaded_code_hits;
     tier1_compiles = jl.Jitlog.tier1_compiles;

@@ -47,6 +47,10 @@ type jit_stats = {
   retiers : int;
   translations : int;      (** traces translated to threaded code *)
   code_cache_hits : int;   (** trace entries served from the cache *)
+  shared_code_hits : int;
+      (** code objects imported from the cross-context shared cache
+          ({!Mtj_rjit.Sharedcache}) instead of compiled locally; always
+          0 outside serving mode *)
   interp_translations : int;
       (** code objects translated once into threaded interpreter steps *)
   threaded_code_hits : int;
@@ -105,6 +109,13 @@ type result = {
 }
 
 val default_budget : int
+
+val config_of : ?budget:int -> vm_config -> Mtj_core.Config.t
+(** The {!Mtj_core.Config.t} a given [vm_config] runs under, with the
+    session's [--threaded-interp] / [--frame-pool] / [--tier-policy]
+    settings applied.  This is exactly the config {!run} builds; the
+    serving harness ({!Serve}) uses it so shared-cache keys reflect
+    every knob that affects compiled code. *)
 
 (* --- running --- *)
 

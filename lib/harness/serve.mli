@@ -1,0 +1,107 @@
+(** Multi-tenant serving harness: streams thousands of short VM
+    requests onto a fixed worker-domain pool ({!Pool}), modelling a
+    long-lived server that executes many small, mutually-untrusting
+    tenant programs.
+
+    Each request gets a fresh, fully-isolated VM context
+    ({!Mtj_rt.Ctx}); what is shared across requests is a process-wide,
+    domain-safe cache of compiled-program bundles
+    ({!Mtj_rjit.Sharedcache}), translated once per (language, program,
+    configuration) and imported by every later request for the same
+    program ("warm") instead of recompiled ("cold").
+
+    The shared cache is a host-wall optimization only: compilation
+    charges nothing to the simulated machine, so a request's simulated
+    counters and output are byte-identical warm or cold, at any [-j],
+    with the cache on or off — which is what {!digest} captures and the
+    differential tests pin. *)
+
+type request = {
+  req_id : int;                       (** position in the stream *)
+  req_lang : Mtj_benchmarks.Registry.lang;
+  req_bench : string;                 (** registry benchmark name *)
+}
+
+(** Per-request outcome.  [r_digest] covers only simulated state
+    (status, instruction/cycle totals, GC and JIT counters, program
+    output) — never the warm flag, latency, or shared-cache counters,
+    which legitimately vary with mode, jobs and scheduling. *)
+type record = {
+  r_id : int;
+  r_bench : string;
+  r_lang : string;      (** ["py"] or ["rk"] *)
+  r_status : string;    (** ["ok"], ["budget"] or ["failed:<msg>"] *)
+  r_warm : bool;        (** served from the shared cache *)
+  r_wall_s : float;     (** host wall time of this request *)
+  r_shared_code_hits : int;
+      (** code objects imported from the shared cache (0 when cold) *)
+  r_digest : string;    (** MD5 over the simulated-state rendering *)
+}
+
+type summary = {
+  sv_requests : int;
+  sv_jobs : int;
+  sv_zipf_s : float;
+  sv_seed : int;
+  sv_shared : bool;
+  sv_budget : int;
+  sv_wall_s : float;          (** whole-stream host wall *)
+  sv_throughput : float;      (** requests per host second *)
+  sv_p50_ms : float;          (** per-request latency percentiles *)
+  sv_p95_ms : float;
+  sv_p99_ms : float;
+  sv_cold : int;              (** requests that compiled *)
+  sv_warm : int;              (** requests served from the cache *)
+  sv_cold_p50_ms : float;
+  sv_warm_p50_ms : float;     (** 0.0 when no warm requests *)
+  sv_cache : Mtj_rjit.Sharedcache.stats;
+  sv_records : record array;  (** in request order *)
+}
+
+val default_budget : int
+(** Per-request instruction budget.  Small by design: serving requests
+    are short, which is exactly the regime where compilation wall time
+    is a large fraction of the request and a shared code cache pays. *)
+
+val default_corpus : (Mtj_benchmarks.Registry.lang * string) list
+(** The tenant program mix, ordered most-popular first (Zipf rank 1
+    first).  Compile-heavy programs lead, mixed pylite/rklite. *)
+
+val gen_requests :
+  corpus:(Mtj_benchmarks.Registry.lang * string) list ->
+  requests:int ->
+  zipf_s:float ->
+  seed:int ->
+  request array
+(** The whole request stream, generated up front: request [i] draws its
+    program from [corpus] Zipf-distributed with exponent [zipf_s]
+    (weight of rank r is 1/r^s) using a splitmix64 stream seeded with
+    [seed].  Pure and deterministic: same arguments, same stream, on
+    any platform. *)
+
+val serve :
+  ?jobs:int ->
+  ?budget:int ->
+  ?zipf_s:float ->
+  ?seed:int ->
+  ?shared:bool ->
+  ?corpus:(Mtj_benchmarks.Registry.lang * string) list ->
+  requests:int ->
+  unit ->
+  summary
+(** Run a serving session: generate the stream, execute it on a pool of
+    [jobs] worker domains (default {!Runner.jobs}), and aggregate.
+    [shared] (default [true]) turns the cross-context code cache on or
+    off; the global cache and its statistics are reset at session
+    start.  Simulated per-request state ([r_digest], [r_status]) is
+    deterministic in (corpus, requests, zipf_s, seed, budget) alone;
+    wall times, warm/cold splits and cache statistics are host-side
+    measurements and may vary run to run at [jobs > 1]. *)
+
+val summary_json : summary -> Mtj_obs.Json.t
+(** The ["serve"] block of an ["mtj-metrics/7"] document (see
+    OBS_SCHEMA.md and {!Mtj_obs.Validate}). *)
+
+val print_summary : out_channel -> summary -> unit
+(** Human-readable session report (latency percentiles, throughput,
+    warm/cold split, shared-cache counters). *)

@@ -20,8 +20,14 @@ module Engine = Mtj_machine.Engine
    [tier1_compiles]/[tier2_compiles]/[demotions]/[first_entry_insns]
    and the per-tier residency block [tier_residency]
    (entries/dynamic_ir per tier); trace rows gained
-   [deopts]/[bridges]. *)
-let schema = "mtj-metrics/6"
+   [deopts]/[bridges].
+   v7: the jit block gained [shared_code_hits] (code objects imported
+   from the cross-context shared cache instead of compiled locally —
+   serving mode) and the derived [code_cache_total_hits] =
+   code_cache_hits + shared_code_hits; documents gained an optional
+   top-level [serve] block (latency percentiles, warm/cold split and
+   shared-cache counters of a serving session). *)
+let schema = "mtj-metrics/7"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -108,6 +114,8 @@ let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
       ("retiers", Json.Int jl.Jitlog.retiers);
       ("translations", Json.Int jl.Jitlog.translations);
       ("code_cache_hits", Json.Int jl.Jitlog.code_cache_hits);
+      ("shared_code_hits", Json.Int jl.Jitlog.shared_code_hits);
+      ("code_cache_total_hits", Json.Int (Jitlog.total_code_hits jl));
       ("interp_translations", Json.Int jl.Jitlog.interp_translations);
       ("threaded_code_hits", Json.Int jl.Jitlog.threaded_code_hits);
       ("tier1_compiles", Json.Int jl.Jitlog.tier1_compiles);
@@ -151,7 +159,10 @@ let run_json ~bench ~config ~status ~engine ?jitlog ?gc ?ticks ?hstats () =
       ("jit", opt jitlog_json jitlog);
     ]
 
-let document ~runs =
-  Json.Obj [ ("schema", Json.Str schema); ("runs", Json.Arr runs) ]
+let document ?serve ~runs () =
+  Json.Obj
+    ([ ("schema", Json.Str schema); ("runs", Json.Arr runs) ]
+    @ match serve with Some s -> [ ("serve", s) ] | None -> [])
 
-let write ~file ~runs = Json.write_file ~indent:2 ~file (document ~runs)
+let write ?serve ~file ~runs () =
+  Json.write_file ~indent:2 ~file (document ?serve ~runs ())

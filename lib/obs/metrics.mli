@@ -7,7 +7,7 @@
     diffed without scraping terminal tables. *)
 
 val schema : string
-(** ["mtj-metrics/6"]; written to the document's ["schema"] field. *)
+(** ["mtj-metrics/7"]; written to the document's ["schema"] field. *)
 
 val snapshot_json : Mtj_machine.Counters.snapshot -> Json.t
 (** Raw counters plus the derived rates ([ipc], [branch_mpki],
@@ -46,7 +46,10 @@ val run_json :
     hits, frame-pool reuses, precomputed-hash skips) — absent, the
     fields are [null]. *)
 
-val document : runs:Json.t list -> Json.t
-(** Wrap run records into the versioned top-level document. *)
+val document : ?serve:Json.t -> runs:Json.t list -> unit -> Json.t
+(** Wrap run records into the versioned top-level document.  [serve],
+    when given, becomes the optional top-level ["serve"] block (a
+    serving session's latency/throughput/shared-cache summary, built by
+    the harness; see OBS_SCHEMA.md). *)
 
-val write : file:string -> runs:Json.t list -> unit
+val write : ?serve:Json.t -> file:string -> runs:Json.t list -> unit -> unit

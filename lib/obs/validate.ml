@@ -183,6 +183,17 @@ let check_jit run j insns =
       if translations < num_traces then
         fail "run %s: translations %d < num_traces %d" run translations
           num_traces;
+      (* shared-cache split (v7): [code_cache_hits] is the same-context
+         ("local") side, [shared_code_hits] counts cross-context imports,
+         and the exported total must be exactly their sum — the
+         accounting invariant that keeps the two tiers from double- or
+         under-counting each other. *)
+      let shared_hits = int_field jit "shared_code_hits" in
+      let total_hits = int_field jit "code_cache_total_hits" in
+      if shared_hits < 0 then fail "run %s: negative shared_code_hits" run;
+      if total_hits <> hits + shared_hits then
+        fail "run %s: code_cache_total_hits %d <> local %d + shared %d" run
+          total_hits hits shared_hits;
       (* threaded interpreter tier (v4): a cache can only hit after at
          least one code object was translated into it *)
       let itrans = int_field jit "interp_translations" in
@@ -229,6 +240,7 @@ let check_jit run j insns =
       let r_t2d = int_field residency "tier2_dynamic_ir" in
       let s_t1e = ref 0 and s_t2e = ref 0 in
       let s_t1d = ref 0 and s_t2d = ref 0 in
+      let s_hits = ref 0 in
       List.iter
         (fun tr ->
           let id = int_field tr "id" in
@@ -236,6 +248,7 @@ let check_jit run j insns =
             fail "run %s: trace %d never translated" run id;
           if int_field tr "cache_hits" < 0 then
             fail "run %s: trace %d negative cache_hits" run id;
+          s_hits := !s_hits + int_field tr "cache_hits";
           if int_field tr "deopts" < 0 then
             fail "run %s: trace %d negative deopts" run id;
           if int_field tr "bridges" < 0 then
@@ -255,7 +268,13 @@ let check_jit run j insns =
         fail
           "run %s: tier_residency (%d,%d,%d,%d) <> trace-row sums \
            (%d,%d,%d,%d)"
-          run r_t1e r_t2e r_t1d r_t2d !s_t1e !s_t2e !s_t1d !s_t2d
+          run r_t1e r_t2e r_t1d r_t2d !s_t1e !s_t2e !s_t1d !s_t2d;
+      (* every local hit is attributed to exactly one trace row, so the
+         row sums must reconcile with the machinery counter (v7:
+         no-double-counting between the local and shared tiers) *)
+      if !s_hits <> hits then
+        fail "run %s: trace-row cache_hits sum %d <> code_cache_hits %d" run
+          !s_hits hits
 
 (* charging fast-path stats (v3).  Every bundle — including the implicit
    one-insn bundle of a memory access — goes through the staged
@@ -294,8 +313,70 @@ let check_hstats run j insns =
                 fail "run %s: %s %d exceeds insns %d" run key n insns))
     [ "value_interned_hits"; "frame_pool_reuses"; "dict_hash_skips" ]
 
+(* serve block (v7): a serving session's latency/throughput summary and
+   shared-cache counters.  Invariants: percentiles are ordered; every
+   request is either cold or warm; with the shared cache off nothing may
+   touch it (a session resets the counters); with it on, every request
+   performs exactly one lookup, every hit is a warm request, and only a
+   miss can publish. *)
+let check_serve j =
+  match Json.member "serve" j with
+  | None | Some Json.Null -> ()
+  | Some s ->
+      let bool_field key =
+        match Json.member key s with
+        | Some (Json.Bool b) -> b
+        | _ -> fail "serve: missing %s (bool)" key
+      in
+      let requests = int_field s "requests" in
+      if requests < 1 then fail "serve: requests < 1";
+      if int_field s "jobs" < 1 then fail "serve: jobs < 1";
+      if num_field s "wall_s" < 0.0 then fail "serve: negative wall_s";
+      if num_field s "throughput_rps" < 0.0 then
+        fail "serve: negative throughput_rps";
+      let lat = need "serve.latency_ms" (Json.member "latency_ms" s) in
+      let p50 = num_field lat "p50" in
+      let p95 = num_field lat "p95" in
+      let p99 = num_field lat "p99" in
+      if p50 < 0.0 then fail "serve: negative p50";
+      if not (p50 <= p95 && p95 <= p99) then
+        fail "serve: percentiles not ordered (p50 %g, p95 %g, p99 %g)" p50 p95
+          p99;
+      let cold = need "serve.cold" (Json.member "cold" s) in
+      let warm = need "serve.warm" (Json.member "warm" s) in
+      let n_cold = int_field cold "count" in
+      let n_warm = int_field warm "count" in
+      if n_cold < 0 || n_warm < 0 then fail "serve: negative warm/cold count";
+      if n_cold + n_warm <> requests then
+        fail "serve: cold %d + warm %d <> requests %d" n_cold n_warm requests;
+      if num_field cold "p50_ms" < 0.0 || num_field warm "p50_ms" < 0.0 then
+        fail "serve: negative warm/cold p50";
+      let st = need "serve.shared_cache_stats" (Json.member "shared_cache_stats" s) in
+      let shared_hits = int_field st "shared_hits" in
+      let local_hits = int_field st "local_hits" in
+      let misses = int_field st "misses" in
+      let pubs = int_field st "publications" in
+      List.iter
+        (fun key ->
+          if int_field st key < 0 then fail "serve: negative %s" key)
+        [ "shared_hits"; "local_hits"; "misses"; "publications";
+          "invalidations"; "contention" ];
+      if bool_field "shared_cache" then begin
+        if shared_hits + local_hits + misses <> requests then
+          fail "serve: hits %d+%d + misses %d <> requests %d" shared_hits
+            local_hits misses requests;
+        if shared_hits + local_hits <> n_warm then
+          fail "serve: hits %d+%d <> warm count %d" shared_hits local_hits
+            n_warm;
+        if pubs > misses then
+          fail "serve: publications %d > misses %d" pubs misses
+      end
+      else if shared_hits + local_hits + misses + pubs > 0 then
+        fail "serve: shared cache off but cache counters nonzero"
+
 let metrics_exn j =
-  check_schema j "mtj-metrics/6";
+  check_schema j "mtj-metrics/7";
+  check_serve j;
   let runs = arr_field j "runs" in
   List.iter
     (fun run ->

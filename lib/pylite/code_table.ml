@@ -55,3 +55,31 @@ let lookup_threaded id =
 
 let store_threaded id (s : threaded) =
   Hashtbl.replace (Domain.DLS.get store_key).threaded id s
+
+(* --- compiled-program bundles (the shared serving cache) ---
+
+   Bytecode is immutable and its constants are immediate scalars, so a
+   freshly compiled program's table contents — every code object plus
+   the id watermark — form a context-free artifact that can cross
+   domains.  [export_bundle] snapshots them right after a fresh
+   reset+compile; [import_bundle] rebuilds an identical table state on
+   any domain, so a warm request resolves the very same code_refs a
+   cold compile would have produced (ids are deterministic because the
+   sequence always restarts at zero).  The threaded cache is dropped on
+   import for the usual reason: step closures bind the translating VM's
+   context and must never be reused across VMs. *)
+
+let export_bundle () =
+  let s = Domain.DLS.get store_key in
+  let codes = Hashtbl.fold (fun _ c acc -> c :: acc) s.table [] in
+  ( List.sort
+      (fun (a : Bytecode.code) b -> compare a.Bytecode.id b.Bytecode.id)
+      codes,
+    s.next_id )
+
+let import_bundle codes ~next_id =
+  let s = Domain.DLS.get store_key in
+  Hashtbl.reset s.table;
+  Hashtbl.reset s.threaded;
+  List.iter (fun (c : Bytecode.code) -> Hashtbl.replace s.table c.Bytecode.id c) codes;
+  s.next_id <- next_id

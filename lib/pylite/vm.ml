@@ -90,6 +90,38 @@ let run_code t (code : Bytecode.code) : Driver.outcome = D.run t.driver code
 let run_source t (src : string) : Driver.outcome =
   run_code t (compile src)
 
+(* --- compiled-program bundles (the shared serving cache) ---
+
+   A bundle is everything one source string compiles to: the entry code
+   object, every code object it registered, and the id watermark.  All
+   of it is immutable bytecode with scalar constants, so a bundle is
+   context-free and may be published to [Mtj_rjit.Sharedcache] and
+   imported by a VM on any domain.  Importing reproduces exactly the
+   code-table state a fresh compile would have built (ids restart at
+   zero per VM), so a warm request's simulated behaviour is
+   byte-identical to a cold one's: compilation itself charges nothing
+   to the simulated machine, only host wall time. *)
+
+type bundle = {
+  b_entry : Bytecode.code;
+  b_codes : Bytecode.code list;  (* sorted by id; includes [b_entry] *)
+  b_next_id : int;
+}
+
+let bundle_size b = List.length b.b_codes
+
+let compile_bundle src =
+  let entry = compile src in
+  let codes, next_id = Code_table.export_bundle () in
+  { b_entry = entry; b_codes = codes; b_next_id = next_id }
+
+(* must run after [create] (which reset the table) and before the VM
+   executes anything that resolves a code_ref *)
+let import_bundle (_ : t) b =
+  Code_table.import_bundle b.b_codes ~next_id:b.b_next_id
+
+let run_bundle t b : Driver.outcome = run_code t b.b_entry
+
 (** convenience: fresh VM, run source, return (outcome, vm) *)
 let run ?config ?profile src =
   let t = create ?config ?profile () in

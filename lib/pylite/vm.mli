@@ -32,6 +32,31 @@ val compile : string -> Bytecode.code
 val run_code : t -> Bytecode.code -> Mtj_rjit.Driver.outcome
 val run_source : t -> string -> Mtj_rjit.Driver.outcome
 
+type bundle
+(** Everything one source string compiles to — the entry code object,
+    every registered code object and the id watermark.  Immutable
+    bytecode with scalar constants only, so a bundle is context-free:
+    it may be published to {!Mtj_rjit.Sharedcache} and imported by a VM
+    on any domain, and a warm (imported) run's simulated counters are
+    byte-identical to a cold (compiled) run's. *)
+
+val compile_bundle : string -> bundle
+(** Compile source and snapshot the resulting code-table state.  Call
+    on a freshly created VM's domain (the table must hold exactly this
+    program). *)
+
+val import_bundle : t -> bundle -> unit
+(** Re-register a bundle's code objects into this domain's table,
+    replacing its contents.  Must run right after {!create} (which
+    reset the table), before the VM executes anything. *)
+
+val run_bundle : t -> bundle -> Mtj_rjit.Driver.outcome
+(** Run a bundle's entry code ({!import_bundle} first on warm VMs). *)
+
+val bundle_size : bundle -> int
+(** Number of code objects in the bundle (what a warm request records
+    as shared-cache code hits). *)
+
 val run :
   ?config:Mtj_core.Config.t ->
   ?profile:Mtj_core.Profile.t ->

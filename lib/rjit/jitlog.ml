@@ -15,7 +15,16 @@ type t = {
   mutable bridges_attached : int;
   mutable retiers : int;  (* tier-1 traces recompiled at tier 2 *)
   mutable translations : int;  (* traces translated to threaded code *)
-  mutable code_cache_hits : int;  (* trace entries served from the cache *)
+  mutable code_cache_hits : int;
+      (* trace entries served from this context's own code cache (the
+         "local" side of the hit split; [shared_code_hits] counts the
+         cross-context side, and the two never double count: a lookup
+         is resolved by exactly one tier) *)
+  mutable shared_code_hits : int;
+      (* code artifacts served from the shared cross-context cache
+         (Sharedcache) that were published by ANOTHER context — for a
+         warm serve request, the compiled code objects it re-registered
+         instead of compiling from source *)
   mutable interp_translations : int;
       (* interpreter code objects translated to threaded step arrays *)
   mutable threaded_code_hits : int;
@@ -43,6 +52,7 @@ let create () =
     retiers = 0;
     translations = 0;
     code_cache_hits = 0;
+    shared_code_hits = 0;
     interp_translations = 0;
     threaded_code_hits = 0;
     tier1_compiles = 0;
@@ -75,6 +85,14 @@ let record_blacklist t = t.blacklisted <- t.blacklisted + 1
 let record_retier t = t.retiers <- t.retiers + 1
 let record_translation t = t.translations <- t.translations + 1
 let record_code_cache_hit t = t.code_cache_hits <- t.code_cache_hits + 1
+
+let record_shared_code_hits t ~n =
+  if n < 0 then invalid_arg "Jitlog.record_shared_code_hits: n < 0";
+  t.shared_code_hits <- t.shared_code_hits + n
+
+(* the satellite invariant `shared + local = total`: total is derived,
+   never maintained separately, so it cannot drift or double count *)
+let total_code_hits t = t.code_cache_hits + t.shared_code_hits
 
 let record_interp_translation t =
   t.interp_translations <- t.interp_translations + 1

@@ -19,7 +19,13 @@ type t = {
       (** traces translated into closure-threaded code *)
   mutable code_cache_hits : int;
       (** trace entries whose threaded code came from the per-context
-          code cache *)
+          code cache — the {e local} (same-context) side of the code
+          hit split; {!total_code_hits} adds the cross-context side *)
+  mutable shared_code_hits : int;
+      (** code artifacts served from the shared cross-context cache
+          ({!Sharedcache}) published by another context; disjoint from
+          [code_cache_hits] by construction (a lookup is resolved by
+          exactly one tier, so the two never double count) *)
   mutable interp_translations : int;
       (** interpreter code objects translated into threaded-dispatch
           step arrays (the tier below traces; see {!Threaded}) *)
@@ -59,6 +65,17 @@ val record_blacklist : t -> unit
 val record_retier : t -> unit
 val record_translation : t -> unit
 val record_code_cache_hit : t -> unit
+
+val record_shared_code_hits : t -> n:int -> unit
+(** Count [n] code artifacts served from the shared cross-context
+    cache (a warm serve request records its bundle's size here).
+    Raises [Invalid_argument] on negative [n]. *)
+
+val total_code_hits : t -> int
+(** [code_cache_hits + shared_code_hits] — derived, never maintained
+    separately, so the validator invariant
+    [shared_hits + local_hits = total hits] holds by construction. *)
+
 val record_interp_translation : t -> unit
 val record_threaded_code_hit : t -> unit
 

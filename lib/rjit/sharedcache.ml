@@ -1,0 +1,155 @@
+(** The shared, domain-safe JIT artifact cache behind the serving
+    harness (ROADMAP item 1: tenant N amortizes tenant 1's warmup).
+
+    A sharded-lock hash map from publication keys to {e context-free}
+    compiled artifacts.  Languages extend {!entry} with their bundle
+    types (pylite/rklite publish whole compiled-program bundles: the
+    immutable bytecode objects a source string compiles to, plus the
+    code-id watermark).  The publication/invalidation protocol — what
+    may be published, and why trace-level [Ir.invalidate_code] events
+    never need to reach this tier — is specified in DESIGN.md §3k.
+
+    Domain-safety rests on two rules enforced at the publication sites:
+
+    - {b only immutable, context-free values are published.}  Bytecode
+      (instruction arrays, scalar constants, header bitmaps) qualifies;
+      trace step closures and threaded interpreter step arrays do NOT —
+      they close over the translating context's engine/GC, so sharing
+      them would leak simulated state across requests (the same audit
+      that made {!Mtj_rt.Ctx.code_cache} per-context).
+    - {b first writer wins.}  A key is never overwritten, so concurrent
+      readers of a published entry always observe the same artifact and
+      a request stream's {e simulated} counters are byte-identical
+      whether a given lookup hits or misses — the cache can only move
+      host wall time.
+
+    Every operation counts into process-wide statistics (hits split by
+    publisher context, misses, publications, invalidations, lock
+    contention) read back by the serving harness for the
+    [mtj-metrics/7] export. *)
+
+type entry = ..
+(* extensible so language layers can publish without this module (or
+   the context) depending on them; mirrors [Mtj_rt.Ctx.code] *)
+
+type slot = { publisher : int;  (* Ctx.uid of the publishing context *)
+              payload : entry }
+
+type shard = { lock : Mutex.t; tbl : (string, slot) Hashtbl.t }
+
+type t = { shards : shard array; mask : int }
+
+(* --- statistics (process-wide, host-side only) --- *)
+
+type stats = {
+  shared_hits : int;      (** hits on entries published by another context *)
+  local_hits : int;       (** hits on entries this context published *)
+  misses : int;
+  publications : int;     (** first-writer-wins successes *)
+  invalidations : int;
+  contention : int;       (** shard locks found held (try_lock failed) *)
+}
+
+let s_shared_hits = Atomic.make 0
+let s_local_hits = Atomic.make 0
+let s_misses = Atomic.make 0
+let s_publications = Atomic.make 0
+let s_invalidations = Atomic.make 0
+let s_contention = Atomic.make 0
+
+let stats () =
+  {
+    shared_hits = Atomic.get s_shared_hits;
+    local_hits = Atomic.get s_local_hits;
+    misses = Atomic.get s_misses;
+    publications = Atomic.get s_publications;
+    invalidations = Atomic.get s_invalidations;
+    contention = Atomic.get s_contention;
+  }
+
+let reset_stats () =
+  List.iter
+    (fun a -> Atomic.set a 0)
+    [ s_shared_hits; s_local_hits; s_misses; s_publications;
+      s_invalidations; s_contention ]
+
+(* --- the map --- *)
+
+let create ?(shards = 16) () =
+  (* power of two so [land mask] shards *)
+  let n = max 1 shards in
+  let n =
+    let rec up p = if p >= n then p else up (p * 2) in
+    up 1
+  in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 32 });
+    mask = n - 1;
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+
+(* lock a shard, counting contention when the lock is already held —
+   the serving harness exports this as its cache-contention counter *)
+let with_shard (s : shard) f =
+  if not (Mutex.try_lock s.lock) then begin
+    Atomic.incr s_contention;
+    Mutex.lock s.lock
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+(** [key ~lang ~program ~config_digest] — the publication key: artifacts
+    are valid only for the exact (language, program, configuration)
+    triple that produced them. *)
+let key ~lang ~program ~config_digest =
+  Printf.sprintf "%s:%s:%s" lang program config_digest
+
+let find t ~ctx_uid k : entry option =
+  let s = shard_of t k in
+  with_shard s (fun () ->
+      match Hashtbl.find_opt s.tbl k with
+      | Some { publisher; payload } ->
+          if publisher = ctx_uid then Atomic.incr s_local_hits
+          else Atomic.incr s_shared_hits;
+          Some payload
+      | None ->
+          Atomic.incr s_misses;
+          None)
+
+(** First writer wins: publishing under a key that is already bound
+    leaves the existing entry in place and returns [false].  Concurrent
+    cold requests for the same program may race here; exactly one
+    publication succeeds and every later reader sees that artifact. *)
+let publish t ~ctx_uid k (payload : entry) : bool =
+  let s = shard_of t k in
+  with_shard s (fun () ->
+      if Hashtbl.mem s.tbl k then false
+      else begin
+        Hashtbl.replace s.tbl k { publisher = ctx_uid; payload };
+        Atomic.incr s_publications;
+        true
+      end)
+
+(** Drop a key (counted).  The serving harness invalidates a program's
+    entry when a request for it fails, so a corrupt artifact cannot be
+    served to later tenants. *)
+let invalidate t k =
+  let s = shard_of t k in
+  with_shard s (fun () ->
+      if Hashtbl.mem s.tbl k then begin
+        Hashtbl.remove s.tbl k;
+        Atomic.incr s_invalidations
+      end)
+
+let clear t =
+  Array.iter (fun s -> with_shard s (fun () -> Hashtbl.reset s.tbl)) t.shards
+
+let size t =
+  Array.fold_left
+    (fun acc s -> acc + with_shard s (fun () -> Hashtbl.length s.tbl))
+    0 t.shards
+
+(** The process-wide instance the serving harness publishes into. *)
+let global : t = create ()

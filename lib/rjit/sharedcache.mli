@@ -1,0 +1,58 @@
+(** Shared, domain-safe cache of context-free compiled artifacts: the
+    cross-context tier behind the multi-tenant serving harness.
+
+    Sharded-lock hash map, first-writer-wins publication, process-wide
+    hit/miss/publication/invalidation/contention counters with hits
+    split by publisher context (same-context vs cross-context).  Only
+    immutable, context-free artifacts may be published — see DESIGN.md
+    §3k for the protocol and the domain-safety argument. *)
+
+type entry = ..
+(** Extensible payload type; language layers add their bundle
+    constructors (e.g. a compiled-program bundle of immutable bytecode
+    objects). *)
+
+type t
+
+type stats = {
+  shared_hits : int;   (** hits on entries published by another context *)
+  local_hits : int;    (** hits on entries the looking-up context published *)
+  misses : int;
+  publications : int;  (** first-writer-wins successes *)
+  invalidations : int;
+  contention : int;    (** shard locks found held (try_lock failed) *)
+}
+
+val create : ?shards:int -> unit -> t
+(** Fresh cache with [shards] lock shards (rounded up to a power of
+    two; default 16). *)
+
+val global : t
+(** The process-wide instance the serving harness publishes into. *)
+
+val key : lang:string -> program:string -> config_digest:string -> string
+(** The publication key: artifacts are valid only for the exact
+    (language, program, configuration) triple that produced them. *)
+
+val find : t -> ctx_uid:int -> string -> entry option
+(** Look up a key.  Counts a shared or local hit depending on whether
+    [ctx_uid] is the publisher, or a miss. *)
+
+val publish : t -> ctx_uid:int -> string -> entry -> bool
+(** Bind a key to an artifact unless it is already bound (first writer
+    wins; returns whether this call published).  Concurrent cold
+    requests may race here — exactly one wins, and every later reader
+    sees that artifact. *)
+
+val invalidate : t -> string -> unit
+(** Drop a key (counted in {!stats}); no-op when absent. *)
+
+val clear : t -> unit
+(** Drop every entry (statistics keep counting; see {!reset_stats}). *)
+
+val size : t -> int
+
+val stats : unit -> stats
+(** Snapshot of the process-wide counters. *)
+
+val reset_stats : unit -> unit

@@ -51,3 +51,25 @@ let lookup_threaded id =
 
 let store_threaded id (s : threaded) =
   Hashtbl.replace (Domain.DLS.get store_key).threaded id s
+
+(* compiled-program bundles for the shared serving cache — same
+   contract as [Mtj_pylite.Code_table]: immutable bytecode only, ids
+   deterministic because the sequence always restarts at [first_id],
+   threaded translations never cross VMs *)
+
+let export_bundle () =
+  let s = Domain.DLS.get store_key in
+  let codes = Hashtbl.fold (fun _ c acc -> c :: acc) s.table [] in
+  ( List.sort
+      (fun (a : Kbytecode.code) b -> compare a.Kbytecode.id b.Kbytecode.id)
+      codes,
+    s.next_id )
+
+let import_bundle codes ~next_id =
+  let s = Domain.DLS.get store_key in
+  Hashtbl.reset s.table;
+  Hashtbl.reset s.threaded;
+  List.iter
+    (fun (c : Kbytecode.code) -> Hashtbl.replace s.table c.Kbytecode.id c)
+    codes;
+  s.next_id <- next_id

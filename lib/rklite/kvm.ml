@@ -68,6 +68,27 @@ let compile = Kcompiler.compile_source
 let run_code t code : Driver.outcome = D.run t.driver code
 let run_source t src = run_code t (compile src)
 
+(* compiled-program bundles for the shared serving cache — same
+   contract and determinism argument as [Mtj_pylite.Vm] *)
+
+type bundle = {
+  b_entry : Kbytecode.code;
+  b_codes : Kbytecode.code list;  (* sorted by id; includes [b_entry] *)
+  b_next_id : int;
+}
+
+let bundle_size b = List.length b.b_codes
+
+let compile_bundle src =
+  let entry = compile src in
+  let codes, next_id = Kcode_table.export_bundle () in
+  { b_entry = entry; b_codes = codes; b_next_id = next_id }
+
+let import_bundle (_ : t) b =
+  Kcode_table.import_bundle b.b_codes ~next_id:b.b_next_id
+
+let run_bundle t b : Driver.outcome = run_code t b.b_entry
+
 let run ?config ?profile src =
   let t = create ?config ?profile () in
   let outcome = run_source t src in

@@ -22,6 +22,15 @@ val compile : string -> Kbytecode.code
 val run_code : t -> Kbytecode.code -> Mtj_rjit.Driver.outcome
 val run_source : t -> string -> Mtj_rjit.Driver.outcome
 
+type bundle
+(** A compiled program as a context-free artifact — same contract as
+    {!Mtj_pylite.Vm.bundle}. *)
+
+val compile_bundle : string -> bundle
+val import_bundle : t -> bundle -> unit
+val run_bundle : t -> bundle -> Mtj_rjit.Driver.outcome
+val bundle_size : bundle -> int
+
 val run :
   ?config:Mtj_core.Config.t ->
   ?profile:Mtj_core.Profile.t ->

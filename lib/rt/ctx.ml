@@ -29,7 +29,16 @@ type t = {
   frame_pool : Value.t Apool.t;
       (* free lists for dead frames' locals/stack arrays, per-context so
          pooled arrays never cross domains *)
+  uid : int;
+      (* process-unique context identity.  The shared artifact cache
+         (Mtj_rjit.Sharedcache) records the publishing context's uid so
+         hits can be split into same-context and cross-context; the uid
+         is host-side bookkeeping only and never feeds simulated state,
+         so allocation order across domains cannot perturb a run. *)
 }
+
+(* uid source; Atomic so contexts can be created from any domain *)
+let next_uid = Atomic.make 0
 
 let create ?config () =
   let config = Option.value ~default:Mtj_core.Config.default config in
@@ -46,6 +55,7 @@ let create ?config () =
     frame_pool =
       Apool.create ~enabled:config.Mtj_core.Config.frame_pool ~stats:hstats
         Value.Nil;
+    uid = Atomic.fetch_and_add next_uid 1;
   }
 
 let engine t = t.engine
@@ -56,6 +66,7 @@ let code_cache t = t.code_cache
 let config t = Mtj_machine.Engine.config t.engine
 let hstats t = t.hstats
 let frame_pool t = t.frame_pool
+let uid t = t.uid
 
 (* counted small-int boxing for ctx-bearing hot paths: same result as
    [Value.of_int], plus an intern-hit tick in [hstats] *)

@@ -26,9 +26,19 @@
       fast paths (small-int interning, frame pooling, hoisted key
       hashes) that the wall-clock gates could absorb in noise.
 
+    A fourth, self-contained mode gates the serving harness:
+
+    - {b serving latency gate} ([--serve-gate FILE]): FILE is an
+      ["mtj-metrics/7"] document with a [serve] block from a session
+      with the shared cache on.  The gate asserts the cache actually
+      paid: warm (imported) requests must have a median latency no
+      worse than cold (compiling) ones — machine-independent, since
+      both medians come from the same host and workload.
+
     Usage:
       bench_gate.exe BASELINE.json CURRENT.json [MAX_REGRESS]
       bench_gate.exe --update-baseline BASELINE.json CURRENT.json
+      bench_gate.exe --serve-gate METRICS.json
 
     [MAX_REGRESS] defaults to 0.15 (fail above +15%) and applies to both
     gates.  [--update-baseline] validates CURRENT and copies it over
@@ -138,8 +148,64 @@ let update_baseline ~baseline_file ~current_file =
   close_out oc;
   Printf.printf "baseline %s updated from %s\n" baseline_file current_file
 
+(* serving latency gate: on a shared-cache-on session, warm p50 must not
+   exceed cold p50 — if importing a compiled bundle is not cheaper than
+   compiling, the shared cache has regressed into pure overhead *)
+let serve_gate file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j =
+    match Json.parse s with
+    | Ok j -> j
+    | Error e -> die "%s: parse error: %s" file e
+  in
+  (match Validate.metrics j with
+  | Ok _ -> ()
+  | Error e -> die "%s: invalid metrics document: %s" file e);
+  let serve =
+    match Json.member "serve" j with
+    | Some s -> s
+    | None -> die "%s: no serve block" file
+  in
+  (match Json.member "shared_cache" serve with
+  | Some (Json.Bool true) -> ()
+  | _ -> die "%s: serve gate needs a shared-cache-on session" file);
+  let block name =
+    match Json.member name serve with
+    | Some b -> b
+    | None -> die "%s: serve block missing %s" file name
+  in
+  let p50 name =
+    match Option.bind (Json.member "p50_ms" (block name)) Json.get_num with
+    | Some v -> v
+    | None -> die "%s: serve.%s.p50_ms missing" file name
+  in
+  let count name =
+    match Option.bind (Json.member "count" (block name)) Json.get_int with
+    | Some v -> v
+    | None -> die "%s: serve.%s.count missing" file name
+  in
+  let cold_p50 = p50 "cold" and warm_p50 = p50 "warm" in
+  let cold_n = count "cold" and warm_n = count "warm" in
+  Printf.printf "serve gate: cold p50=%.3fms (%d requests)  warm p50=%.3fms (%d requests)\n"
+    cold_p50 cold_n warm_p50 warm_n;
+  if warm_n = 0 then die "%s: no warm requests — shared cache never hit" file;
+  if cold_n = 0 then die "%s: no cold requests" file;
+  if warm_p50 > cold_p50 then begin
+    Printf.eprintf "FAIL: warm p50 %.3fms > cold p50 %.3fms\n" warm_p50
+      cold_p50;
+    exit 1
+  end;
+  print_endline "OK"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | [ "--serve-gate"; file ] ->
+      serve_gate file;
+      exit 0
+  | _ -> ());
   let update, args =
     match args with
     | "--update-baseline" :: rest -> (true, rest)

@@ -118,14 +118,14 @@ let tiers () =
                ])
          benches)
 
-(* experiment 4: the mtj-metrics/6 document itself — built from a tiered
+(* experiment 4: the mtj-metrics/7 document itself — built from a tiered
    run, validated (schema + tier invariants), round-tripped through the
    parser, and printed; any drift in the export format fails the diff *)
 let metrics () =
   let module J = Mtj_obs.Json in
   let r = R.run ~budget "richards" R.Pypy_tiered in
   let doc =
-    Mtj_obs.Metrics.document ~runs:[ Mtj_harness.Report.metrics_json r ]
+    Mtj_obs.Metrics.document ~runs:[ Mtj_harness.Report.metrics_json r ] ()
   in
   (match Mtj_obs.Validate.metrics doc with
   | Ok n -> Rd.pr "validate: OK, %d run record(s)\n" n

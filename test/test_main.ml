@@ -26,6 +26,7 @@ let () =
       ("lang-internals", Test_lang_internals.suite);
       ("error-paths", Test_errors.suite);
       ("pool", Test_pool.suite);
+      ("serve-diff", Test_serve_diff.suite);
       ("value-diff", Test_value_diff.suite);
       ("integration", Test_integration.suite);
     ]

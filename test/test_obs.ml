@@ -146,7 +146,7 @@ let test_metrics_roundtrip () =
       ~engine:o.o_eng ~jitlog:o.o_jitlog ~gc:o.o_gc
       ~ticks:(Sink.ticks o.o_sink) ~hstats:o.o_hstats ()
   in
-  let doc = Metrics.document ~runs:[ run ] in
+  let doc = Metrics.document ~runs:[ run ] () in
   let reparsed = parse_ok "metrics json" (Json.to_string ~indent:2 doc) in
   (match Validate.metrics reparsed with
   | Ok n -> Alcotest.(check int) "one run record" 1 n
@@ -222,7 +222,7 @@ let test_runner_metrics_roundtrip () =
   (* the memoized-result path used by `bench --metrics-out` *)
   let r = Mtj_harness.Runner.run ~budget:1_000_000 "nbody" Mtj_harness.Runner.Pypy_jit in
   let doc =
-    Metrics.document ~runs:[ Mtj_harness.Report.metrics_json r ]
+    Metrics.document ~runs:[ Mtj_harness.Report.metrics_json r ] ()
   in
   let reparsed = parse_ok "runner metrics json" (Json.to_string doc) in
   (match Validate.metrics reparsed with
@@ -372,7 +372,7 @@ let test_validator_rejects_corruption () =
       ?(pooled = Json.Null) ?(hash_skips = Json.Int 0) total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/6");
+        ("schema", Json.Str "mtj-metrics/7");
         ( "runs",
           Json.Arr
             [
@@ -423,10 +423,11 @@ let test_validator_rejects_corruption () =
   (* jit block violating the v2 cache invariants *)
   let jdoc ?(itrans = 1) ?(ihits = 0) ?(retiers = 0) ?(t1c = 0) ?(t2c = 1)
       ?(demotions = 0) ?(first_entry = 5) ?(res_t2_entries = 1)
-      ?(tr_deopts = 0) translations trace_translations =
+      ?(tr_deopts = 0) ?(shared_hits = 0) ?total_hits ?(cache_hits = 0)
+      translations trace_translations =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/6");
+        ("schema", Json.Str "mtj-metrics/7");
         ( "runs",
           Json.Arr
             [
@@ -449,7 +450,12 @@ let test_validator_rejects_corruption () =
                       [
                         ("num_traces", Json.Int 1);
                         ("translations", Json.Int translations);
-                        ("code_cache_hits", Json.Int 0);
+                        ("code_cache_hits", Json.Int cache_hits);
+                        ("shared_code_hits", Json.Int shared_hits);
+                        ( "code_cache_total_hits",
+                          Json.Int
+                            (Option.value total_hits
+                               ~default:(cache_hits + shared_hits)) );
                         ("interp_translations", Json.Int itrans);
                         ("threaded_code_hits", Json.Int ihits);
                         ("retiers", Json.Int retiers);
@@ -512,7 +518,75 @@ let test_validator_rejects_corruption () =
   expect_err "tier_residency disagreeing with trace rows"
     (Validate.metrics (jdoc ~res_t2_entries:5 1 1));
   expect_err "negative per-trace deopts"
-    (Validate.metrics (jdoc ~tr_deopts:(-1) 1 1))
+    (Validate.metrics (jdoc ~tr_deopts:(-1) 1 1));
+  (* v7 shared-cache split invariants *)
+  (match Validate.metrics (jdoc ~shared_hits:3 1 1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "well-formed shared-hit counters rejected: %s" e);
+  expect_err "negative shared_code_hits"
+    (Validate.metrics (jdoc ~shared_hits:(-1) ~total_hits:0 1 1));
+  expect_err "total hits <> local + shared"
+    (Validate.metrics (jdoc ~shared_hits:2 ~total_hits:5 1 1));
+  expect_err "trace-row cache_hits sum <> code_cache_hits"
+    (Validate.metrics (jdoc ~cache_hits:1 1 1));
+  (* v7 serve block *)
+  let sdoc ?(p95 = 2.0) ?(warm = 6) ?(cold = 4) ?(shared = true)
+      ?(shared_hits = 6) ?(misses = 4) ?(pubs = 2) () =
+    Json.Obj
+      [
+        ("schema", Json.Str "mtj-metrics/7");
+        ("runs", Json.Arr []);
+        ( "serve",
+          Json.Obj
+            [
+              ("requests", Json.Int 10);
+              ("jobs", Json.Int 2);
+              ("zipf_s", Json.Float 1.1);
+              ("seed", Json.Int 42);
+              ("shared_cache", Json.Bool shared);
+              ("budget", Json.Int 300_000);
+              ("wall_s", Json.Float 0.5);
+              ("throughput_rps", Json.Float 20.0);
+              ( "latency_ms",
+                Json.Obj
+                  [
+                    ("p50", Json.Float 1.0);
+                    ("p95", Json.Float p95);
+                    ("p99", Json.Float 3.0);
+                  ] );
+              ( "cold",
+                Json.Obj
+                  [ ("count", Json.Int cold); ("p50_ms", Json.Float 2.0) ] );
+              ( "warm",
+                Json.Obj
+                  [ ("count", Json.Int warm); ("p50_ms", Json.Float 0.5) ] );
+              ( "shared_cache_stats",
+                Json.Obj
+                  [
+                    ("shared_hits", Json.Int shared_hits);
+                    ("local_hits", Json.Int 0);
+                    ("misses", Json.Int misses);
+                    ("publications", Json.Int pubs);
+                    ("invalidations", Json.Int 0);
+                    ("contention", Json.Int 0);
+                  ] );
+            ] );
+      ]
+  in
+  (match Validate.metrics (sdoc ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "well-formed serve block rejected: %s" e);
+  expect_err "unordered serve percentiles"
+    (Validate.metrics (sdoc ~p95:9.0 ()));
+  expect_err "warm + cold <> requests" (Validate.metrics (sdoc ~warm:7 ()));
+  expect_err "lookups <> requests"
+    (Validate.metrics (sdoc ~warm:5 ~cold:5 ~shared_hits:5 ~misses:4 ()));
+  expect_err "hits <> warm count"
+    (Validate.metrics (sdoc ~warm:5 ~cold:5 ~shared_hits:6 ~misses:4 ()));
+  expect_err "publications exceeding misses"
+    (Validate.metrics (sdoc ~pubs:5 ()));
+  expect_err "cache counters nonzero with cache off"
+    (Validate.metrics (sdoc ~shared:false ~warm:0 ~cold:10 ()))
 
 let suite =
   [

@@ -53,6 +53,41 @@ let test_map_exception () =
   | exception Boom 5 ->
       Alcotest.(check int) "every job still ran" 12 (Atomic.get ran)
 
+(* shutdown is idempotent: a second call (the serving teardown path can
+   reach one) must neither hang nor double-join the workers *)
+let test_shutdown_twice () =
+  let t = P.create ~jobs:2 in
+  let futs = List.init 8 (fun i -> P.submit t (fun () -> i)) in
+  ignore (List.map P.await futs);
+  P.shutdown t;
+  P.shutdown t;
+  (* and the closed state still rejects new work *)
+  match P.submit t (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after double shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+(* exceptions raised under contention (many failing jobs racing on few
+   workers) each propagate to their own future with a usable backtrace,
+   and never poison a neighbouring job *)
+let test_exceptions_under_contention () =
+  let t = P.create ~jobs:3 in
+  let futs =
+    List.init 64 (fun i ->
+        ( i,
+          P.submit t (fun () ->
+              if i land 1 = 1 then raise (Boom i) else i * 3) ))
+  in
+  List.iter
+    (fun (i, fut) ->
+      if i land 1 = 1 then (
+        Printexc.record_backtrace true;
+        match P.await fut with
+        | n -> Alcotest.failf "job %d: expected Boom, got %d" i n
+        | exception Boom j -> Alcotest.(check int) "own payload" i j)
+      else Alcotest.(check int) "healthy job result" (i * 3) (P.await fut))
+    futs;
+  P.shutdown t
+
 (* burn a little CPU so job durations vary and workers interleave *)
 let spin n =
   let acc = ref 0 in
@@ -126,6 +161,9 @@ let suite =
     Alcotest.test_case "exception propagation" `Quick
       test_exception_propagation;
     Alcotest.test_case "map drains on failure" `Quick test_map_exception;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_twice;
+    Alcotest.test_case "exceptions under contention" `Quick
+      test_exceptions_under_contention;
     QCheck_alcotest.to_alcotest prop_map_matches_list_map;
     Alcotest.test_case "parallel prefetch is deterministic" `Slow
       test_parallel_determinism;

@@ -1,0 +1,165 @@
+(** Differential tests for the serving harness: the simulated side of a
+    serving session is byte-identical across shared-cache mode and job
+    count (the shared cache may only change host wall time), the Zipf
+    workload generator is exactly reproducible from its seed, and the
+    nearest-rank percentile helper is exact.
+
+    The workload includes richards — the bridge-heaviest program in the
+    registry — so trace compilation, guard failure, bridge attachment
+    and [Ir.invalidate_code]-driven recompilation all run on both the
+    compiled-locally and imported-bundle paths. *)
+
+module S = Mtj_harness.Serve
+module B = Mtj_benchmarks.Registry
+module Report = Mtj_harness.Report
+
+(* --- percentile (exact nearest-rank) --- *)
+
+let test_percentile () =
+  let check = Alcotest.(check (float 1e-9)) in
+  check "p50 of 4" 2.0 (Report.percentile [| 4.; 1.; 3.; 2. |] 50.0);
+  check "p100 is max" 4.0 (Report.percentile [| 4.; 1.; 3.; 2. |] 100.0);
+  check "p1 is min" 1.0 (Report.percentile [| 4.; 1.; 3.; 2. |] 1.0);
+  check "singleton" 7.5 (Report.percentile [| 7.5 |] 99.0);
+  (* nearest rank, no interpolation: p95 of 1..100 is the 95th smallest *)
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check "p95 of 1..100" 95.0 (Report.percentile xs 95.0);
+  check "p99 of 1..100" 99.0 (Report.percentile xs 99.0);
+  check "p50 of 1..100" 50.0 (Report.percentile xs 50.0);
+  (* ceil semantics: p50 of 5 elements is the 3rd smallest *)
+  check "p50 of 5" 3.0 (Report.percentile [| 5.; 4.; 3.; 2.; 1. |] 50.0);
+  (match Report.percentile [||] 50.0 with
+  | _ -> Alcotest.fail "empty sample set should raise"
+  | exception Invalid_argument _ -> ());
+  match Report.percentile [| 1.0 |] 0.0 with
+  | _ -> Alcotest.fail "p=0 should raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- workload generator --- *)
+
+let test_zipf_stream_golden () =
+  let reqs =
+    S.gen_requests ~corpus:S.default_corpus ~requests:5000 ~zipf_s:1.1
+      ~seed:42
+  in
+  Alcotest.(check int) "stream length" 5000 (Array.length reqs);
+  (* regenerating from the same seed gives the same stream, element by
+     element; a different seed diverges *)
+  let again =
+    S.gen_requests ~corpus:S.default_corpus ~requests:5000 ~zipf_s:1.1
+      ~seed:42
+  in
+  Array.iteri
+    (fun i r ->
+      if r.S.req_bench <> again.(i).S.req_bench then
+        Alcotest.failf "request %d differs across regenerations" i)
+    reqs;
+  let other =
+    S.gen_requests ~corpus:S.default_corpus ~requests:5000 ~zipf_s:1.1
+      ~seed:43
+  in
+  let same = ref true in
+  Array.iteri
+    (fun i r -> if r.S.req_bench <> other.(i).S.req_bench then same := false)
+    reqs;
+  Alcotest.(check bool) "different seed diverges" false !same;
+  (* Zipf shape: rank 1 strictly more popular than rank 2, which beats
+     the tail; every corpus entry appears in a long stream *)
+  let count name =
+    Array.fold_left
+      (fun n r -> if r.S.req_bench = name then n + 1 else n)
+      0 reqs
+  in
+  let rank1 = count "richards" and rank2 = count "nbody_modified" in
+  Alcotest.(check bool) "rank 1 beats rank 2" true (rank1 > rank2);
+  Alcotest.(check bool)
+    "rank 1 dominates" true
+    (rank1 > Array.length reqs / 4);
+  List.iter
+    (fun (_, name) ->
+      Alcotest.(check bool) (name ^ " appears") true (count name > 0))
+    S.default_corpus
+
+(* --- serving differential: simulated state is mode- and jobs-invariant --- *)
+
+(* a small mixed corpus with richards (bridge-heavy) up front *)
+let corpus =
+  [ (B.Py, "richards"); (B.Rk, "mandelbrot"); (B.Py, "telco") ]
+
+let run ~jobs ~shared =
+  S.serve ~jobs ~budget:200_000 ~zipf_s:1.1 ~seed:7 ~shared ~corpus
+    ~requests:48 ()
+
+let sim_view (s : S.summary) =
+  Array.to_list
+    (Array.map
+       (fun (r : S.record) ->
+         Printf.sprintf "%d %s/%s %s %s" r.S.r_id r.S.r_lang r.S.r_bench
+           r.S.r_status r.S.r_digest)
+       s.S.sv_records)
+
+let test_mode_and_jobs_invariance () =
+  let base = run ~jobs:1 ~shared:false in
+  let view = sim_view base in
+  List.iter
+    (fun (jobs, shared) ->
+      let s = run ~jobs ~shared in
+      List.iter2
+        (fun a b ->
+          if a <> b then
+            Alcotest.failf "request differs at jobs=%d shared=%b:\n  %s\n  %s"
+              jobs shared a b)
+        view (sim_view s))
+    [ (1, true); (3, true); (3, false) ]
+
+(* warm requests really import from the shared cache, and the summary's
+   accounting invariants hold on a live session *)
+let test_shared_cache_accounting () =
+  let s = run ~jobs:3 ~shared:true in
+  Alcotest.(check int) "every request warm or cold" 48 (s.S.sv_cold + s.S.sv_warm);
+  let c = s.S.sv_cache in
+  Alcotest.(check int)
+    "one lookup per request" 48
+    (c.Mtj_rjit.Sharedcache.shared_hits + c.Mtj_rjit.Sharedcache.local_hits
+   + c.Mtj_rjit.Sharedcache.misses);
+  Alcotest.(check int)
+    "every hit is a warm request" s.S.sv_warm
+    (c.Mtj_rjit.Sharedcache.shared_hits + c.Mtj_rjit.Sharedcache.local_hits);
+  Alcotest.(check bool)
+    "publications bounded by misses" true
+    (c.Mtj_rjit.Sharedcache.publications <= c.Mtj_rjit.Sharedcache.misses);
+  (* only 3 distinct (lang, program, config) keys exist *)
+  Alcotest.(check bool)
+    "at most one publication per key" true
+    (c.Mtj_rjit.Sharedcache.publications <= 3);
+  Alcotest.(check bool) "cache warmed up" true (s.S.sv_warm >= 40);
+  (* per-request jitlog accounting: warm requests imported whole
+     bundles, cold ones imported nothing *)
+  Array.iter
+    (fun (r : S.record) ->
+      if r.S.r_warm then
+        Alcotest.(check bool)
+          "warm request counted shared code hits" true
+          (r.S.r_shared_code_hits > 0)
+      else
+        Alcotest.(check int) "cold request has no shared hits" 0
+          r.S.r_shared_code_hits)
+    s.S.sv_records;
+  (* the session with the cache off never touches it *)
+  let off = run ~jobs:3 ~shared:false in
+  Alcotest.(check int) "off: all cold" 48 off.S.sv_cold;
+  let oc = off.S.sv_cache in
+  Alcotest.(check int) "off: no lookups" 0
+    (oc.Mtj_rjit.Sharedcache.shared_hits + oc.Mtj_rjit.Sharedcache.local_hits
+   + oc.Mtj_rjit.Sharedcache.misses + oc.Mtj_rjit.Sharedcache.publications)
+
+let suite =
+  [
+    Alcotest.test_case "nearest-rank percentile" `Quick test_percentile;
+    Alcotest.test_case "zipf stream is seed-deterministic" `Quick
+      test_zipf_stream_golden;
+    Alcotest.test_case "sim state invariant across mode and jobs" `Slow
+      test_mode_and_jobs_invariance;
+    Alcotest.test_case "shared-cache accounting" `Slow
+      test_shared_cache_accounting;
+  ]
