@@ -65,7 +65,7 @@ module Acc_lang = struct
       let next () = f.Frame.pc <- pc + 1; Frame.Continue in
       match instrs.(pc) with
       | Push k ->
-          Frame.push f (O.const cx (Mtj_rt.Value.Int k));
+          Frame.push f (O.const cx (Mtj_rt.Value.of_int k));
           next ()
       | Load r ->
           Frame.push f f.Frame.locals.(r);
@@ -90,7 +90,7 @@ module Acc_lang = struct
       | Print ->
           ignore (O.call_builtin cx Builtin.Print [| Frame.pop f |]);
           next ()
-      | Halt -> Frame.Return (O.const cx Mtj_rt.Value.Nil)
+      | Halt -> Frame.Return (O.const cx Mtj_rt.Value.nil)
 
     let step_ref = step
   end

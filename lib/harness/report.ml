@@ -55,7 +55,7 @@ let write_timings ~file ~jobs ~total_wall ~experiments =
     (timings_json ~jobs ~total_wall ~experiments ~runs:(R.run_timings ()));
   Printf.eprintf "[timings written to %s]\n%!" file
 
-(* --- metrics ("mtj-metrics/7") --- *)
+(* --- metrics ("mtj-metrics/8") --- *)
 
 let status_name = function
   | R.Ok_run -> "ok"
@@ -131,7 +131,9 @@ let metrics_json (r : R.result) =
       ("ticks", J.Int r.R.ticks);
       ("charge_flushes", J.Int r.R.charge_flushes);
       ("fast_path_bundles", J.Int r.R.fast_path_bundles);
-      ("value_interned_hits", J.Int r.R.value_interned_hits);
+      ("imm_fast_path_hits", J.Int r.R.imm_fast_path_hits);
+      ("boxed_slow_path_hits", J.Int r.R.boxed_slow_path_hits);
+      ("typed_ops_total", J.Int r.R.typed_ops_total);
       ("frame_pool_reuses", J.Int r.R.frame_pool_reuses);
       ("dict_hash_skips", J.Int r.R.dict_hash_skips);
       ( "phases",

@@ -5,7 +5,7 @@
 
     - ["mtj-bench-timings/1"] — per-experiment and per-run wall-clock of
       a bench invocation ([--timings FILE]);
-    - ["mtj-metrics/7"] — the full cross-layer counter export of a set
+    - ["mtj-metrics/8"] — the full cross-layer counter export of a set
       of runs ([--metrics-out FILE]): per-phase machine counters with
       derived rates, GC statistics, JIT machinery counters (multi-tier
       accounting included) and per-trace rows. *)
@@ -35,7 +35,7 @@ val status_name : Runner.status -> string
 (** ["ok"], ["budget"] or ["failed"]. *)
 
 val metrics_json : Runner.result -> Mtj_obs.Json.t
-(** One ["mtj-metrics/7"] run record, built purely from the memoized
+(** One ["mtj-metrics/8"] run record, built purely from the memoized
     result (no live engine needed). *)
 
 val write_metrics : file:string -> Runner.result list -> unit

@@ -100,7 +100,9 @@ type result = {
   gc : Gc_sim.stats;
   charge_flushes : int;                     (* staged-counter writebacks *)
   fast_path_bundles : int;                  (* bundles charged via fast path *)
-  value_interned_hits : int;                (* host fast-path counters *)
+  imm_fast_path_hits : int;                 (* host fast-path counters *)
+  boxed_slow_path_hits : int;
+  typed_ops_total : int;
   frame_pool_reuses : int;
   dict_hash_skips : int;
 }
@@ -275,7 +277,9 @@ let run_uncached ?budget (bench_name : string) (vc : vm_config) : result =
          staged fast path is included in the flush count *)
       charge_flushes = Engine.charge_flushes eng;
       fast_path_bundles = Engine.fast_path_bundles eng;
-      value_interned_hits = (Ctx.hstats rtc).Hstats.value_interned_hits;
+      imm_fast_path_hits = (Ctx.hstats rtc).Hstats.imm_fast_path_hits;
+      boxed_slow_path_hits = (Ctx.hstats rtc).Hstats.boxed_slow_path_hits;
+      typed_ops_total = (Ctx.hstats rtc).Hstats.typed_ops_total;
       frame_pool_reuses = (Ctx.hstats rtc).Hstats.frame_pool_reuses;
       dict_hash_skips = (Ctx.hstats rtc).Hstats.dict_hash_skips;
     }

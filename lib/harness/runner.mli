@@ -99,9 +99,16 @@ type result = {
       (** staged-counter writebacks performed by the charging fast path *)
   fast_path_bundles : int;
       (** bundles charged through the batched [Counters] fast path *)
-  value_interned_hits : int;
-      (** [Int] results served from the intern table by counted runtime
-          paths (host fast-path counter, see {!Mtj_rt.Hstats}) *)
+  imm_fast_path_hits : int;
+      (** typed arithmetic entries that completed on the immediate
+          (unboxed int/bool) fast path (host counter, see
+          {!Mtj_rt.Hstats}) *)
+  boxed_slow_path_hits : int;
+      (** typed arithmetic entries that fell through to a boxed slow
+          path (float, bigint, string, overflow) *)
+  typed_ops_total : int;
+      (** every counted typed-arithmetic entry; always equals
+          [imm_fast_path_hits + boxed_slow_path_hits] *)
   frame_pool_reuses : int;
       (** locals/stack arrays recycled from a frame pool free list *)
   dict_hash_skips : int;

@@ -99,7 +99,7 @@ val serve :
     measurements and may vary run to run at [jobs > 1]. *)
 
 val summary_json : summary -> Mtj_obs.Json.t
-(** The ["serve"] block of an ["mtj-metrics/7"] document (see
+(** The ["serve"] block of an ["mtj-metrics/8"] document (see
     OBS_SCHEMA.md and {!Mtj_obs.Validate}). *)
 
 val print_summary : out_channel -> summary -> unit

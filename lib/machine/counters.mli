@@ -47,6 +47,22 @@ val add_bundle_idx :
 val add_branch_idx : t -> int -> mispredicted:bool -> cycles:float -> unit
 val add_cache_miss_idx : t -> int -> cycles:float -> unit
 
+(* Unboxed cycle transfer: without flambda, every [cycles:float]
+   argument above boxes a fresh float per charge — one 2-word minor
+   allocation per simulated charge event, which dominated the
+   interpreter row's host allocation.  Hot callers instead store the
+   delta into the one-cell [cycles_xfer] array (float-array stores stay
+   unboxed) and call the [_x] variants, which read it back out.  The
+   accumulated values are bit-for-bit identical to the boxed path. *)
+
+val cycles_xfer : t -> float array
+(** the one-cell transfer register; cache it once, store the cycle
+    delta at index 0 immediately before each [_x] call *)
+
+val add_bundle_idx_x : t -> int -> n:int -> loads:int -> stores:int -> unit
+val add_branch_idx_x : t -> int -> mispredicted:bool -> unit
+val add_cache_miss_idx_x : t -> int -> unit
+
 val flush : t -> unit
 (** Write any staged updates back to the per-phase arrays.  Queries call
     this implicitly; it is exposed for explicit synchronization points

@@ -24,16 +24,21 @@ type t = {
   cycles : float array;  (* one cell: float-array stores stay unboxed,
                             unlike a mutable float field in this mixed
                             record which would allocate per charge *)
+  cxfer : float array;  (* [Counters.cycles_xfer counters], cached so the
+                           charge paths hand cycle deltas to the counter
+                           layer through an unboxed float-array store
+                           instead of a boxed float argument *)
   mispredict_penalty : float;
   miss_penalty : float;
 }
 
 let create ?(config = Config.default) () =
+  let counters = Counters.create () in
   {
     cfg = config;
     predictor = Predictor.create ();
     dcache = Dcache.create ();
-    counters = Counters.create ();
+    counters;
     phase = Phase.Interpreter;
     phase_idx = Phase.index Phase.Interpreter;
     phase_stack = [];
@@ -43,6 +48,7 @@ let create ?(config = Config.default) () =
     inv_width = 1.0 /. 2.0;
     insns = 0;
     cycles = Array.make 1 0.0;
+    cxfer = Counters.cycles_xfer counters;
     mispredict_penalty = 14.0;
     miss_penalty = 18.0;
   }
@@ -79,8 +85,9 @@ let[@inline] emit t cost =
   if n > 0 then begin
     let cy = float_of_int n *. t.inv_width in
     bump_cycles t cy;
-    Counters.add_bundle_idx t.counters t.phase_idx ~n ~loads:cost.Cost.load
-      ~stores:cost.Cost.store ~cycles:cy;
+    Array.unsafe_set t.cxfer 0 cy;
+    Counters.add_bundle_idx_x t.counters t.phase_idx ~n ~loads:cost.Cost.load
+      ~stores:cost.Cost.store;
     bump_insns t n
   end
 
@@ -96,8 +103,9 @@ let[@inline] charge_branch t ~correct =
     t.inv_width +. (if correct then 0.0 else t.mispredict_penalty)
   in
   bump_cycles t cy;
-  Counters.add_branch_idx t.counters t.phase_idx ~mispredicted:(not correct)
-    ~cycles:cy;
+  Array.unsafe_set t.cxfer 0 cy;
+  Counters.add_branch_idx_x t.counters t.phase_idx
+    ~mispredicted:(not correct);
   bump_insns t 1
 
 let branch t ~site ~taken =
@@ -116,11 +124,13 @@ let mem_access t ~addr ~write =
   let cost = if write then store_cost else load_cost in
   let cy = t.inv_width in
   bump_cycles t cy;
-  Counters.add_bundle_idx t.counters t.phase_idx ~n:1 ~loads:cost.Cost.load
-    ~stores:cost.Cost.store ~cycles:cy;
+  Array.unsafe_set t.cxfer 0 cy;
+  Counters.add_bundle_idx_x t.counters t.phase_idx ~n:1 ~loads:cost.Cost.load
+    ~stores:cost.Cost.store;
   if not hit then begin
     bump_cycles t t.miss_penalty;
-    Counters.add_cache_miss_idx t.counters t.phase_idx ~cycles:t.miss_penalty
+    Array.unsafe_set t.cxfer 0 t.miss_penalty;
+    Counters.add_cache_miss_idx_x t.counters t.phase_idx
   end;
   bump_insns t 1
 

@@ -26,8 +26,15 @@ module Engine = Mtj_machine.Engine
    serving mode) and the derived [code_cache_total_hits] =
    code_cache_hits + shared_code_hits; documents gained an optional
    top-level [serve] block (latency percentiles, warm/cold split and
-   shared-cache counters of a serving session). *)
-let schema = "mtj-metrics/7"
+   shared-cache counters of a serving session).
+   v8: run records replaced [value_interned_hits] with the
+   immediate-representation counters [imm_fast_path_hits]/
+   [boxed_slow_path_hits]/[typed_ops_total] — typed arithmetic entries
+   that stayed on the unboxed immediate path vs. fell through to a
+   boxed slow path (floats, bigints, strings, overflow); the two always
+   sum to the total.  Host-side counters, invisible to the simulated
+   machine. *)
+let schema = "mtj-metrics/8"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -150,8 +157,11 @@ let run_json ~bench ~config ~status ~engine ?jitlog ?gc ?ticks ?hstats () =
       ("ticks", opt (fun n -> Json.Int n) ticks);
       ("charge_flushes", Json.Int (Engine.charge_flushes engine));
       ("fast_path_bundles", Json.Int (Engine.fast_path_bundles engine));
-      ( "value_interned_hits",
-        hstat (fun h -> h.Mtj_rt.Hstats.value_interned_hits) );
+      ( "imm_fast_path_hits",
+        hstat (fun h -> h.Mtj_rt.Hstats.imm_fast_path_hits) );
+      ( "boxed_slow_path_hits",
+        hstat (fun h -> h.Mtj_rt.Hstats.boxed_slow_path_hits) );
+      ("typed_ops_total", hstat (fun h -> h.Mtj_rt.Hstats.typed_ops_total));
       ("frame_pool_reuses", hstat (fun h -> h.Mtj_rt.Hstats.frame_pool_reuses));
       ("dict_hash_skips", hstat (fun h -> h.Mtj_rt.Hstats.dict_hash_skips));
       ("phases", phases_json (Engine.counters engine));

@@ -311,7 +311,30 @@ let check_hstats run j insns =
               if n < 0 then fail "run %s: negative %s" run key;
               if n > insns then
                 fail "run %s: %s %d exceeds insns %d" run key n insns))
-    [ "value_interned_hits"; "frame_pool_reuses"; "dict_hash_skips" ]
+    [
+      "imm_fast_path_hits";
+      "boxed_slow_path_hits";
+      "typed_ops_total";
+      "frame_pool_reuses";
+      "dict_hash_skips";
+    ];
+  (* the immediate-representation split partitions the typed-op total:
+     every counted typed-arithmetic entry is exactly one of the two *)
+  match
+    ( Json.member "imm_fast_path_hits" j,
+      Json.member "boxed_slow_path_hits" j,
+      Json.member "typed_ops_total" j )
+  with
+  | Some a, Some b, Some t -> (
+      match (Json.get_int a, Json.get_int b, Json.get_int t) with
+      | Some a, Some b, Some t ->
+          if a + b <> t then
+            fail
+              "run %s: imm_fast_path_hits %d + boxed_slow_path_hits %d <> \
+               typed_ops_total %d"
+              run a b t
+      | _ -> ())
+  | _ -> ()
 
 (* serve block (v7): a serving session's latency/throughput summary and
    shared-cache counters.  Invariants: percentiles are ordered; every
@@ -375,7 +398,7 @@ let check_serve j =
         fail "serve: shared cache off but cache counters nonzero"
 
 let metrics_exn j =
-  check_schema j "mtj-metrics/7";
+  check_schema j "mtj-metrics/8";
   check_serve j;
   let runs = arr_field j "runs" in
   List.iter

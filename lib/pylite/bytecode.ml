@@ -213,5 +213,6 @@ let pp_instr fmt i =
 let str_const_khashes (c : code) : (string * int) list =
   Array.to_list c.instrs
   |> List.filter_map (function
-       | LOAD_CONST (Mtj_rt.Value.Str s as v) -> Some (s, Mtj_rt.Value.py_hash v)
+       | LOAD_CONST v when Mtj_rt.Value.is_str v ->
+           Some (Mtj_rt.Value.to_str_unchecked v, Mtj_rt.Value.py_hash v)
        | _ -> None)

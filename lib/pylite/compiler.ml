@@ -75,18 +75,18 @@ let rec scan_stmt ctx (s : stmt) =
   | Del _ ->
       ()
 
-let max_int_const = Value.Int max_int
+let max_int_const = Value.of_int max_int
 
 (* --- expressions --- *)
 
 let rec compile_expr ctx (e : expr) =
   let b = ctx.buf in
   match e with
-  | Int_lit i -> ignore (emit b (LOAD_CONST (Value.Int i)))
-  | Float_lit f -> ignore (emit b (LOAD_CONST (Value.Float f)))
-  | Str_lit s -> ignore (emit b (LOAD_CONST (Value.Str s)))
-  | Bool_lit v -> ignore (emit b (LOAD_CONST (Value.Bool v)))
-  | None_lit -> ignore (emit b (LOAD_CONST Value.Nil))
+  | Int_lit i -> ignore (emit b (LOAD_CONST (Value.of_int i)))
+  | Float_lit f -> ignore (emit b (LOAD_CONST (Value.of_float f)))
+  | Str_lit s -> ignore (emit b (LOAD_CONST (Value.of_str s)))
+  | Bool_lit v -> ignore (emit b (LOAD_CONST (Value.of_bool v)))
+  | None_lit -> ignore (emit b (LOAD_CONST Value.nil))
   | Name n -> (
       match local_slot ctx n with
       | Some slot -> ignore (emit b (LOAD_FAST slot))
@@ -164,7 +164,7 @@ and compile_slice_bounds ctx lo hi =
   let b = ctx.buf in
   (match lo with
   | Some e -> compile_expr ctx e
-  | None -> ignore (emit b (LOAD_CONST (Value.Int 0))));
+  | None -> ignore (emit b (LOAD_CONST (Value.of_int 0))));
   match hi with
   | Some e -> compile_expr ctx e
   | None -> ignore (emit b (LOAD_CONST max_int_const))
@@ -349,18 +349,18 @@ and compile_for_range ctx vars args body =
   let cur = fresh_temp ctx and stop = fresh_temp ctx and step = fresh_temp ctx in
   (match args with
   | [ e_stop ] ->
-      ignore (emit b (LOAD_CONST (Value.Int 0)));
+      ignore (emit b (LOAD_CONST (Value.of_int 0)));
       ignore (emit b (STORE_FAST cur));
       compile_expr ctx e_stop;
       ignore (emit b (STORE_FAST stop));
-      ignore (emit b (LOAD_CONST (Value.Int 1)));
+      ignore (emit b (LOAD_CONST (Value.of_int 1)));
       ignore (emit b (STORE_FAST step))
   | [ e_start; e_stop ] ->
       compile_expr ctx e_start;
       ignore (emit b (STORE_FAST cur));
       compile_expr ctx e_stop;
       ignore (emit b (STORE_FAST stop));
-      ignore (emit b (LOAD_CONST (Value.Int 1)));
+      ignore (emit b (LOAD_CONST (Value.of_int 1)));
       ignore (emit b (STORE_FAST step))
   | [ e_start; e_stop; e_step ] ->
       compile_expr ctx e_start;
@@ -390,7 +390,7 @@ and compile_for_each ctx vars iter body =
   compile_expr ctx iter;
   ignore (emit b GET_INDEXABLE);
   ignore (emit b (STORE_FAST seq));
-  ignore (emit b (LOAD_CONST (Value.Int 0)));
+  ignore (emit b (LOAD_CONST (Value.of_int 0)));
   ignore (emit b (STORE_FAST idx));
   let var, prologue =
     match vars with

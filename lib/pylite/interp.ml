@@ -26,7 +26,7 @@ module Step (O : Ops_intf.OPS) = struct
   let pop_args cx (f : frame) n : O.t array =
     if n = 0 then [||]
     else begin
-      let args = Array.make n (O.const cx Value.Nil) in
+      let args = Array.make n (O.const cx Value.nil) in
       for i = n - 1 downto 0 do
         args.(i) <- Frame.pop f
       done;
@@ -47,8 +47,12 @@ module Step (O : Ops_intf.OPS) = struct
   let rec call_value cx (f : frame) callee (args : O.t array) :
       (O.t, Bytecode.code) Frame.outcome =
     let nargs = Array.length args in
-    match O.concrete callee with
-    | Value.Obj { payload = Value.Func fn; _ } ->
+    let cv = O.concrete callee in
+    if not (Value.is_obj cv) then
+      err "%s object is not callable" (Value.type_name cv)
+    else
+    match (Value.to_obj_unchecked cv).Value.payload with
+    | Value.Func fn ->
         if fn.Value.code_ref < 0 then begin
           let fn = O.guard_func cx callee in
           let b = Builtin.of_tag (-fn.Value.code_ref - 1) in
@@ -68,7 +72,7 @@ module Step (O : Ops_intf.OPS) = struct
           Array.blit args 0 nf.Frame.locals 0 nargs;
           Frame.Call nf
         end
-    | Value.Obj { payload = Value.Class _; _ } ->
+    | Value.Class _ ->
         let inst = O.alloc_instance cx callee in
         (match O.class_init_func cx callee with
         | Some initf ->
@@ -88,11 +92,11 @@ module Step (O : Ops_intf.OPS) = struct
             Frame.push f inst;
             f.Frame.pc <- f.Frame.pc + 1;
             Frame.Continue)
-    | Value.Obj { payload = Value.Method _; _ } -> (
+    | Value.Method _ -> (
         match O.method_parts cx callee with
         | Some (func, recv) -> call_value cx f func (prepend recv args)
         | None -> err "broken bound method")
-    | v -> err "%s object is not callable" (Value.type_name v)
+    | _ -> err "%s object is not callable" (Value.type_name cv)
 
   let binary cx op a b =
     match (op : Ast.binop) with
@@ -154,7 +158,7 @@ module Step (O : Ops_intf.OPS) = struct
         let args = pop_args cx f nargs in
         let self = Frame.pop f in
         let callable = Frame.pop f in
-        if O.concrete self = Value.Nil then call_value cx f callable args
+        if Value.is_nil (O.concrete self) then call_value cx f callable args
         else call_value cx f callable (prepend self args)
     | CALL_FUNCTION nargs ->
         let args = pop_args cx f nargs in
@@ -200,21 +204,21 @@ module Step (O : Ops_intf.OPS) = struct
           next ()
         end
     | BUILD_LIST n ->
-        let items = Array.make n (O.const cx Value.Nil) in
+        let items = Array.make n (O.const cx Value.nil) in
         for i = n - 1 downto 0 do
           items.(i) <- Frame.pop f
         done;
         Frame.push f (O.make_list cx items);
         next ()
     | BUILD_TUPLE n ->
-        let items = Array.make n (O.const cx Value.Nil) in
+        let items = Array.make n (O.const cx Value.nil) in
         for i = n - 1 downto 0 do
           items.(i) <- Frame.pop f
         done;
         Frame.push f (O.make_tuple cx items);
         next ()
     | BUILD_DICT n ->
-        let pairs = Array.make n (O.const cx Value.Nil, O.const cx Value.Nil) in
+        let pairs = Array.make n (O.const cx Value.nil, O.const cx Value.nil) in
         for i = n - 1 downto 0 do
           let v = Frame.pop f in
           let k = Frame.pop f in
@@ -223,7 +227,7 @@ module Step (O : Ops_intf.OPS) = struct
         Frame.push f (O.make_dict cx pairs);
         next ()
     | BUILD_SET n ->
-        let items = Array.make n (O.const cx Value.Nil) in
+        let items = Array.make n (O.const cx Value.nil) in
         for i = n - 1 downto 0 do
           items.(i) <- Frame.pop f
         done;
@@ -259,7 +263,7 @@ module Step (O : Ops_intf.OPS) = struct
         ignore (O.call_builtin cx Builtin.Slice_set [| obj; lo; hi; v |]);
         next ()
     | RETURN_VALUE -> Frame.Return (Frame.pop f)
-    | RETURN_NONE -> Frame.Return (O.const cx Value.Nil)
+    | RETURN_NONE -> Frame.Return (O.const cx Value.nil)
     | POP_TOP ->
         ignore (Frame.pop f);
         next ()
@@ -325,9 +329,13 @@ module Step (O : Ops_intf.OPS) = struct
           match parent with
           | None -> None
           | Some pname -> (
-              match O.concrete (O.load_global cx globals pname) with
-              | Value.Obj ({ payload = Value.Class _; _ } as p) -> Some p
-              | v -> err "class parent %s is %s" pname (Value.type_name v))
+              let pv = O.concrete (O.load_global cx globals pname) in
+              if Value.is_obj pv then
+                let p = Value.to_obj_unchecked pv in
+                match p.Value.payload with
+                | Value.Class _ -> Some p
+                | _ -> err "class parent %s is %s" pname (Value.type_name pv)
+              else err "class parent %s is %s" pname (Value.type_name pv))
         in
         let n = List.length methods in
         let method_values = pop_args cx f n in
@@ -425,7 +433,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
           f.Frame.pc <- next;
           Frame.Continue
     | LOAD_CONST v ->
-        let c = Direct_ops.const cx (Value.intern v) in
+        let c = Direct_ops.const cx v in
         fun f ->
           charge ~target;
           Frame.push f c;
@@ -485,7 +493,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
           let args = D_ref.pop_args cx f nargs in
           let self = Frame.pop f in
           let callable = Frame.pop f in
-          if Direct_ops.concrete self = Value.Nil then
+          if Value.is_nil (Direct_ops.concrete self) then
             D_ref.call_value cx f callable args
           else D_ref.call_value cx f callable (D_ref.prepend self args)
     | CALL_FUNCTION nargs ->
@@ -584,7 +592,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
           charge ~target;
           Frame.Return (Frame.pop f)
     | RETURN_NONE ->
-        let nil = Direct_ops.const cx Value.Nil in
+        let nil = Direct_ops.const cx Value.nil in
         fun _f ->
           charge ~target;
           Frame.Return nil
@@ -675,7 +683,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                        f.Frame.locals.(b)),
                     None)
           | LOAD_CONST v ->
-              let c = Direct_ops.const cx (Value.intern v) in
+              let c = Direct_ops.const cx v in
               Some (tag pc, tag (pc + 1),
                     (fun (f : (Direct_ops.t, Bytecode.code) Frame.t) ->
                        f.Frame.locals.(a)),
@@ -769,7 +777,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
             (* a[i] with both operands pre-resolved *)
             let nx = pc + 3 in
             match yconst with
-            | Some (Value.Str _ as k) ->
+            | Some k when Value.is_str k ->
                 (* string-constant key: the dict probe's hash is hoisted
                    to translate time ([py_hash] charges nothing, so the
                    counters cannot tell; test_value_diff.ml holds this) *)
@@ -862,7 +870,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                     Frame.Continue)
             | _ -> None)
         | LOAD_CONST v when interior (pc + 1) -> (
-            let c = Direct_ops.const cx (Value.intern v) in
+            let c = Direct_ops.const cx v in
             let t0 = tag pc and t1 = tag (pc + 1) in
             let nx = pc + 2 in
             match instrs.(pc + 1) with
@@ -871,11 +879,10 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                    string keys the probe hash is hoisted to translate
                    time *)
                 let get =
-                  match c with
-                  | Value.Str _ ->
-                      let khash = Value.py_hash c in
-                      fun obj -> Direct_ops.getitem_h cx obj c khash
-                  | _ -> fun obj -> Direct_ops.getitem cx obj c
+                  if Value.is_str c then
+                    let khash = Value.py_hash c in
+                    fun obj -> Direct_ops.getitem_h cx obj c khash
+                  else fun obj -> Direct_ops.getitem cx obj c
                 in
                 Some
                   (fun f ->
@@ -1036,7 +1043,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
                    constant load into one superinstruction *)
                 match instrs.(pc + 2) with
                 | BINARY op2 ->
-                    let c = Direct_ops.const cx (Value.intern v) in
+                    let c = Direct_ops.const cx v in
                     let fn2 = binary_fn op2 in
                     let t0 = tag pc and t1 = tag (pc + 1) in
                     let t2 = tag (pc + 2) in

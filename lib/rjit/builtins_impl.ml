@@ -1,7 +1,10 @@
 (** Concrete implementations of the builtin operations.
 
     Used directly by the interpreter and as residual-call thunks from
-    JIT-compiled traces. *)
+    JIT-compiled traces.  Builtins that show up inside benchmark loops
+    (abs/int/get/items/slice/...) inspect arguments with the
+    allocation-free predicates; only genuinely cold ones (translate,
+    bigint) still go through the boxing {!Value.view}. *)
 
 open Mtj_rt
 module Engine = Mtj_machine.Engine
@@ -19,14 +22,16 @@ let float1 ctx f args name =
   | [| v |] ->
       Aot.call ctx math_fn @@ fun () ->
       Engine.emit (Ctx.engine ctx) libm_cost;
-      Value.Float (f (Rarith.to_float v))
+      Value.of_float (f (Rarith.to_float v))
   | _ -> err "%s() takes one argument" name
 
 let make_range _ctx args =
-  match args with
-  | [| Value.Int stop |] -> Value.Range { start = 0; stop; step = 1 }
-  | [| Value.Int start; Value.Int stop |] -> Value.Range { start; stop; step = 1 }
-  | [| Value.Int start; Value.Int stop; Value.Int step |] ->
+  if not (Array.for_all Value.is_int args) then
+    err "range() expects int arguments";
+  match Array.map Value.to_int_unchecked args with
+  | [| stop |] -> Value.Range { start = 0; stop; step = 1 }
+  | [| start; stop |] -> Value.Range { start; stop; step = 1 }
+  | [| start; stop; step |] ->
       if step = 0 then err "range() arg 3 must not be zero";
       Value.Range { start; stop; step }
   | _ -> err "range() expects int arguments"
@@ -38,22 +43,24 @@ let range_value ctx args =
   | _ -> assert false
 
 let range_to_list ctx (r : Value.t) =
-  match r with
-  | Value.Obj { payload = Value.Range { start; stop; step }; _ } ->
+  if not (Value.is_obj r) then r
+  else
+  match (Value.to_obj_unchecked r).Value.payload with
+  | Value.Range { start; stop; step } ->
       let items = ref [] in
       let i = ref start in
       if step > 0 then
         while !i < stop do
-          items := Value.Int !i :: !items;
+          items := Value.of_int !i :: !items;
           i := !i + step
         done
       else
         while !i > stop do
-          items := Value.Int !i :: !items;
+          items := Value.of_int !i :: !items;
           i := !i + step
         done;
-      Value.Obj (Rlist.create ctx (List.rev !items))
-  | v -> v
+      Value.of_obj (Rlist.create ctx (List.rev !items))
+  | _ -> r
 
 (* builtin function values are per-VM singletons so that calling them
    allocates nothing after the first use; their [code_ref] is the
@@ -89,60 +96,78 @@ let run ctx (b : Builtin.t) (args : Value.t array) : Value.t =
     match args with [| a; x |] -> (a, x) | _ -> arity_err b (Array.length args)
   in
   match b with
-  | Builtin.Len -> Value.Int (Semantics.len_of ctx (one ()))
+  | Builtin.Len -> Value.of_int (Semantics.len_of ctx (one ()))
   | Builtin.Range2 -> range_value ctx args
-  | Builtin.Abs -> (
-      match one () with
-      | Value.Int i -> Value.Int (abs i)
-      | Value.Float f -> Value.Float (Float.abs f)
-      | v -> err "abs(): bad operand %s" (Value.type_name v))
+  | Builtin.Abs ->
+      let v = one () in
+      if Value.is_int v then Value.of_int (abs (Value.to_int_unchecked v))
+      else if Value.is_float v then
+        Value.of_float (Float.abs (Value.to_float_unchecked v))
+      else err "abs(): bad operand %s" (Value.type_name v)
   | Builtin.Min2 ->
       let a, x = two () in
       if Semantics.order ctx a x <= 0 then a else x
   | Builtin.Max2 ->
       let a, x = two () in
       if Semantics.order ctx a x >= 0 then a else x
-  | Builtin.Ord -> (
-      match one () with
-      | Value.Str s when String.length s = 1 -> Value.Int (Char.code s.[0])
-      | _ -> err "ord() expects a single character")
-  | Builtin.Chr -> (
-      match one () with
-      | Value.Int i when i >= 0 && i < 256 -> Value.Str (String.make 1 (Char.chr i))
-      | _ -> err "chr() arg out of range")
-  | Builtin.To_int -> (
-      match one () with
-      | Value.Int _ as v -> v
-      | Value.Float f -> Value.Int (int_of_float (Float.trunc f))
-      | Value.Bool x -> Value.Int (Bool.to_int x)
-      | Value.Str s -> (
-          match Rstr.string_to_int ctx s with
-          | Some i -> Value.Int i
-          | None -> err "invalid literal for int(): '%s'" s)
-      | Value.Obj { payload = Value.Bigint _; _ } as v -> v
-      | v -> err "int(): bad argument %s" (Value.type_name v))
-  | Builtin.To_float -> (
-      match one () with
-      | Value.Float _ as v -> v
-      | Value.Int i -> Value.Float (float_of_int i)
-      | Value.Str s -> (
-          match float_of_string_opt (String.trim s) with
-          | Some f -> Value.Float f
-          | None -> err "could not convert string to float: '%s'" s)
-      | v -> err "float(): bad argument %s" (Value.type_name v))
+  | Builtin.Ord ->
+      let v = one () in
+      if Value.is_str v && String.length (Value.to_str_unchecked v) = 1 then
+        Value.of_int (Char.code (Value.to_str_unchecked v).[0])
+      else err "ord() expects a single character"
+  | Builtin.Chr ->
+      let v = one () in
+      if
+        Value.is_int v
+        &&
+        let i = Value.to_int_unchecked v in
+        i >= 0 && i < 256
+      then Value.of_str (String.make 1 (Char.chr (Value.to_int_unchecked v)))
+      else err "chr() arg out of range"
+  | Builtin.To_int ->
+      let v = one () in
+      if Value.is_int v then v
+      else if Value.is_float v then
+        Value.of_int (int_of_float (Float.trunc (Value.to_float_unchecked v)))
+      else if Value.is_bool v then
+        Value.of_int (Bool.to_int (Value.to_bool_unchecked v))
+      else if Value.is_str v then (
+        let s = Value.to_str_unchecked v in
+        match Rstr.string_to_int ctx s with
+        | Some i -> Value.of_int i
+        | None -> err "invalid literal for int(): '%s'" s)
+      else if
+        Value.is_obj v
+        &&
+        match (Value.to_obj_unchecked v).Value.payload with
+        | Value.Bigint _ -> true
+        | _ -> false
+      then v
+      else err "int(): bad argument %s" (Value.type_name v)
+  | Builtin.To_float ->
+      let v = one () in
+      if Value.is_float v then v
+      else if Value.is_int v then
+        Value.of_float (float_of_int (Value.to_int_unchecked v))
+      else if Value.is_str v then (
+        let s = Value.to_str_unchecked v in
+        match float_of_string_opt (String.trim s) with
+        | Some f -> Value.of_float f
+        | None -> err "could not convert string to float: '%s'" s)
+      else err "float(): bad argument %s" (Value.type_name v)
   | Builtin.To_str -> Semantics.to_str ctx (one ())
-  | Builtin.Repr -> Value.Str (Value.repr (one ()))
+  | Builtin.Repr -> Value.of_str (Value.repr (one ()))
   | Builtin.Print ->
       let parts =
         Array.to_list (Array.map Value.to_display_string args)
       in
       Buffer.add_string (Ctx.out ctx) (String.concat " " parts);
       Buffer.add_char (Ctx.out ctx) '\n';
-      Value.Nil
+      Value.nil
   | Builtin.Append ->
       let lst, v = two () in
       Rlist.append ctx (Semantics.as_list lst) v;
-      Value.Nil
+      Value.nil
   | Builtin.Pop -> (
       match args with
       | [| lst |] ->
@@ -150,16 +175,17 @@ let run ctx (b : Builtin.t) (args : Value.t array) : Value.t =
           let n = Rlist.length (Rlist.of_obj o) in
           if n = 0 then err "pop from empty list";
           Rlist.pop ctx o (n - 1)
-      | [| lst; Value.Int i |] ->
+      | [| lst; i |] when Value.is_int i ->
           let o = Semantics.as_list lst in
           let n = Rlist.length (Rlist.of_obj o) in
-          let i = Semantics.norm_index n i in
+          let i = Semantics.norm_index n (Value.to_int_unchecked i) in
           if i < 0 || i >= n then err "pop index out of range";
           Rlist.pop ctx o i
       | _ -> arity_err b (Array.length args))
   | Builtin.Insert -> (
       match args with
-      | [| lst; Value.Int i; v |] ->
+      | [| lst; i; v |] when Value.is_int i ->
+          let i = Value.to_int_unchecked i in
           let o = Semantics.as_list lst in
           (* append then rotate: O(n) like the real thing *)
           Rlist.append ctx o v;
@@ -172,7 +198,7 @@ let run ctx (b : Builtin.t) (args : Value.t array) : Value.t =
             Rlist.set ctx o (j - 1) cur;
             Rlist.set ctx o j prev
           done;
-          Value.Nil
+          Value.nil
       | _ -> arity_err b (Array.length args))
   | Builtin.Extend ->
       let lst, other = two () in
@@ -182,48 +208,59 @@ let run ctx (b : Builtin.t) (args : Value.t array) : Value.t =
       for i = 0 to Rlist.length ol - 1 do
         Rlist.append ctx o (Rlist.get ctx other_o i)
       done;
-      Value.Nil
+      Value.nil
   | Builtin.Index ->
       let lst, v = two () in
       let i = Rlist.find ctx (Semantics.as_list lst) v in
       if i < 0 then err "%s is not in list" (Value.repr v);
-      Value.Int i
+      Value.of_int i
   | Builtin.Keys -> Semantics.keys_list ctx (one ())
-  | Builtin.Values -> (
-      match one () with
-      | Value.Obj { payload = Value.Dict d; _ } ->
-          let acc = ref [] in
-          Rdict.iter d (fun _ v -> acc := v :: !acc);
-          Value.Obj (Rlist.create ctx (List.rev !acc))
-      | v -> err "values(): expected dict, got %s" (Value.type_name v))
-  | Builtin.Items -> (
-      match one () with
-      | Value.Obj { payload = Value.Dict d; _ } ->
-          let acc = ref [] in
-          Rdict.iter d (fun k v ->
-              acc := Gc_sim.obj (Ctx.gc ctx) (Value.Tuple [| k; v |]) :: !acc);
-          Value.Obj (Rlist.create ctx (List.rev !acc))
-      | v -> err "items(): expected dict, got %s" (Value.type_name v))
+  | Builtin.Values ->
+      let v = one () in
+      if Value.is_obj v then (
+        match (Value.to_obj_unchecked v).Value.payload with
+        | Value.Dict d ->
+            let acc = ref [] in
+            Rdict.iter d (fun _ v -> acc := v :: !acc);
+            Value.of_obj (Rlist.create ctx (List.rev !acc))
+        | _ -> err "values(): expected dict, got %s" (Value.type_name v))
+      else err "values(): expected dict, got %s" (Value.type_name v)
+  | Builtin.Items ->
+      let v = one () in
+      if Value.is_obj v then (
+        match (Value.to_obj_unchecked v).Value.payload with
+        | Value.Dict d ->
+            let acc = ref [] in
+            Rdict.iter d (fun k v ->
+                acc :=
+                  Gc_sim.obj (Ctx.gc ctx) (Value.Tuple [| k; v |]) :: !acc);
+            Value.of_obj (Rlist.create ctx (List.rev !acc))
+        | _ -> err "items(): expected dict, got %s" (Value.type_name v))
+      else err "items(): expected dict, got %s" (Value.type_name v)
   | Builtin.Dict_get -> (
       match args with
       | [| d; k |] | [| d; k; _ |] -> (
           let dd =
-            match d with
-            | Value.Obj { payload = Value.Dict dd; _ } -> dd
-            | v -> err "get(): expected dict, got %s" (Value.type_name v)
+            if Value.is_obj d then
+              match (Value.to_obj_unchecked d).Value.payload with
+              | Value.Dict dd -> dd
+              | _ -> err "get(): expected dict, got %s" (Value.type_name d)
+            else err "get(): expected dict, got %s" (Value.type_name d)
           in
           match Rdict.get ctx dd k with
           | Some v -> v
-          | None -> if Array.length args = 3 then args.(2) else Value.Nil)
+          | None -> if Array.length args = 3 then args.(2) else Value.nil)
       | _ -> arity_err b (Array.length args))
   | Builtin.Has_key ->
       let d, k = two () in
       let dd =
-        match d with
-        | Value.Obj { payload = Value.Dict dd | Value.Set dd; _ } -> dd
-        | v -> err "has_key(): expected dict, got %s" (Value.type_name v)
+        if Value.is_obj d then
+          match (Value.to_obj_unchecked d).Value.payload with
+          | Value.Dict dd | Value.Set dd -> dd
+          | _ -> err "has_key(): expected dict, got %s" (Value.type_name d)
+        else err "has_key(): expected dict, got %s" (Value.type_name d)
       in
-      Value.Bool (Rdict.contains ctx dd k)
+      Value.of_bool (Rdict.contains ctx dd k)
   | Builtin.Join ->
       let sep, lst = two () in
       let sep = Semantics.as_str sep in
@@ -233,51 +270,62 @@ let run ctx (b : Builtin.t) (args : Value.t array) : Value.t =
         List.init (Rlist.length l) (fun i ->
             Semantics.as_str (Value.list_get_unsafe l i))
       in
-      Value.Str (Rstr.join ctx sep parts)
+      Value.of_str (Rstr.join ctx sep parts)
   | Builtin.Split ->
       let s, sep = two () in
       let parts =
         Rstr.split ctx (Semantics.as_str s)
-          (match sep with
-          | Value.Str sep when String.length sep = 1 -> sep.[0]
-          | Value.Str _ -> err "split(): single-char separators only"
-          | v -> err "split(): expected str, got %s" (Value.type_name v))
+          (if Value.is_str sep then (
+             let sep = Value.to_str_unchecked sep in
+             if String.length sep = 1 then sep.[0]
+             else err "split(): single-char separators only")
+           else err "split(): expected str, got %s" (Value.type_name sep))
       in
-      Value.Obj (Rlist.create ctx (List.map (fun p -> Value.Str p) parts))
+      Value.of_obj
+        (Rlist.create ctx (List.map (fun p -> Value.of_str p) parts))
   | Builtin.Replace -> (
       match args with
       | [| s; a; x |] ->
-          Value.Str
+          Value.of_str
             (Rstr.replace ctx (Semantics.as_str s) (Semantics.as_str a)
                (Semantics.as_str x))
       | _ -> arity_err b (Array.length args))
   | Builtin.Find -> (
       match args with
-      | [| s; Value.Str c |] when String.length c = 1 ->
-          Value.Int (Rstr.find_char ctx (Semantics.as_str s) c.[0] ~start:0)
-      | [| s; Value.Str c; Value.Int start |] when String.length c = 1 ->
-          Value.Int (Rstr.find_char ctx (Semantics.as_str s) c.[0] ~start)
-      | [| s; Value.Str sub |] ->
-          (* substring search, charged linearly *)
-          let s = Semantics.as_str s in
-          let n = String.length s and m = String.length sub in
-          Engine.emit (Ctx.engine ctx) (Mtj_core.Cost.make ~alu:n ~load:n ());
-          let rec go i =
-            if i + m > n then -1
-            else if String.sub s i m = sub then i
-            else go (i + 1)
-          in
-          Value.Int (go 0)
+      | [| s; c |] when Value.is_str c ->
+          let cs = Value.to_str_unchecked c in
+          if String.length cs = 1 then
+            Value.of_int (Rstr.find_char ctx (Semantics.as_str s) cs.[0] ~start:0)
+          else begin
+            (* substring search, charged linearly *)
+            let s = Semantics.as_str s in
+            let n = String.length s and m = String.length cs in
+            Engine.emit (Ctx.engine ctx) (Mtj_core.Cost.make ~alu:n ~load:n ());
+            let rec go i =
+              if i + m > n then -1
+              else if String.sub s i m = cs then i
+              else go (i + 1)
+            in
+            Value.of_int (go 0)
+          end
+      | [| s; c; start |]
+        when Value.is_str c
+             && String.length (Value.to_str_unchecked c) = 1
+             && Value.is_int start ->
+          Value.of_int
+            (Rstr.find_char ctx (Semantics.as_str s)
+               (Value.to_str_unchecked c).[0]
+               ~start:(Value.to_int_unchecked start))
       | _ -> arity_err b (Array.length args))
-  | Builtin.Strip -> Value.Str (String.trim (Semantics.as_str (one ())))
+  | Builtin.Strip -> Value.of_str (String.trim (Semantics.as_str (one ())))
   | Builtin.Upper ->
-      Value.Str (String.uppercase_ascii (Semantics.as_str (one ())))
+      Value.of_str (String.uppercase_ascii (Semantics.as_str (one ())))
   | Builtin.Lower ->
-      Value.Str (String.lowercase_ascii (Semantics.as_str (one ())))
+      Value.of_str (String.lowercase_ascii (Semantics.as_str (one ())))
   | Builtin.Startswith ->
       let s, p = two () in
       let s = Semantics.as_str s and p = Semantics.as_str p in
-      Value.Bool
+      Value.of_bool
         (String.length p <= String.length s
         && String.sub s 0 (String.length p) = p)
   | Builtin.Sqrt -> float1 ctx sqrt args "sqrt"
@@ -286,113 +334,129 @@ let run ctx (b : Builtin.t) (args : Value.t array) : Value.t =
   | Builtin.Floor_f -> float1 ctx floor args "floor"
   | Builtin.Powf ->
       let a, x = two () in
-      Value.Float (Rstr.pow_float ctx (Rarith.to_float a) (Rarith.to_float x))
+      Value.of_float (Rstr.pow_float ctx (Rarith.to_float a) (Rarith.to_float x))
   | Builtin.Set_add ->
       let s, v = two () in
       Rset.add ctx (Semantics.as_set_obj s) v;
-      Value.Nil
+      Value.nil
   | Builtin.Set_remove ->
       let s, v = two () in
       ignore (Rset.remove ctx (Semantics.as_set_obj s) v);
-      Value.Nil
+      Value.nil
   | Builtin.Issubset ->
       let a, x = two () in
-      Value.Bool (Rset.issubset ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+      Value.of_bool
+        (Rset.issubset ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
   | Builtin.Difference ->
       let a, x = two () in
-      Value.Obj (Rset.difference ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+      Value.of_obj
+        (Rset.difference ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
   | Builtin.Union ->
       let a, x = two () in
-      Value.Obj (Rset.union ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+      Value.of_obj (Rset.union ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
   | Builtin.Intersection ->
       let a, x = two () in
-      Value.Obj (Rset.intersection ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
+      Value.of_obj
+        (Rset.intersection ctx (Semantics.as_set_obj a) (Semantics.as_set_obj x))
   | Builtin.Translate ->
       let s, table = two () in
       let table =
-        match table with
+        match Value.view table with
         | Value.Obj { payload = Value.Dict d; _ } ->
             let acc = ref [] in
             Rdict.iter d (fun k v ->
-                match (k, v) with
+                match (Value.view k, Value.view v) with
                 | Value.Str k, Value.Str v when String.length k = 1 ->
                     acc := (k.[0], v) :: !acc
                 | _ -> ());
             !acc
         | _ -> err "translate(): expected dict table"
       in
-      Value.Str (Rstr.translate ctx (Semantics.as_str s) table)
-  | Builtin.Encode_json -> Value.Str (Rstr.encode_ascii ctx (Semantics.as_str (one ())))
-  | Builtin.Hashf -> Value.Int (Value.py_hash (one ()))
+      Value.of_str (Rstr.translate ctx (Semantics.as_str s) table)
+  | Builtin.Encode_json ->
+      Value.of_str (Rstr.encode_ascii ctx (Semantics.as_str (one ())))
+  | Builtin.Hashf -> Value.of_int (Value.py_hash (one ()))
   | Builtin.Sorted -> Semantics.sorted ctx (one ())
-  | Builtin.Sio_new -> Value.Obj (Rstr.builder_new ctx)
+  | Builtin.Sio_new -> Value.of_obj (Rstr.builder_new ctx)
   | Builtin.Sio_write ->
       let o, s = two () in
       Rstr.builder_append ctx (Semantics.as_obj o) (Semantics.as_str s);
-      Value.Nil
+      Value.nil
   | Builtin.Sio_getvalue ->
-      Value.Str (Rstr.builder_build ctx (Semantics.as_obj (one ())))
+      Value.of_str (Rstr.builder_build ctx (Semantics.as_obj (one ())))
   | Builtin.Annotate ->
       Engine.annot (Ctx.engine ctx)
         (Mtj_core.Annot.App_marker (Semantics.as_int (one ())));
-      Value.Nil
+      Value.nil
   | Builtin.Bigint_of -> (
-      match one () with
+      let v = one () in
+      match Value.view v with
       | Value.Int i ->
           Gc_sim.obj (Ctx.gc ctx) (Value.Bigint (Rbigint.of_int i))
       | Value.Str s ->
           Gc_sim.obj (Ctx.gc ctx) (Value.Bigint (Rbigint.of_string s))
-      | v -> err "bigint(): bad argument %s" (Value.type_name v))
+      | _ -> err "bigint(): bad argument %s" (Value.type_name v))
   | Builtin.Make_vector -> (
       match args with
-      | [| Value.Int n; init |] ->
+      | [| n; init |] when Value.is_int n ->
+          let n = Value.to_int_unchecked n in
           if n < 0 then err "make-vector: negative size";
-          Value.Obj (Rlist.create ctx (List.init n (fun _ -> init)))
+          Value.of_obj (Rlist.create ctx (List.init n (fun _ -> init)))
       | _ -> arity_err b (Array.length args))
   | Builtin.Display ->
       Array.iter
         (fun v -> Buffer.add_string (Ctx.out ctx) (Value.to_display_string v))
         args;
-      Value.Nil
+      Value.nil
   | Builtin.Indexable ->
       range_to_list ctx (Semantics.iterable_as_indexable ctx (one ()))
   | Builtin.Slice_get -> (
       match args with
-      | [| container; Value.Int lo; Value.Int hi |] -> (
-          match container with
-          | Value.Obj ({ payload = Value.List l; _ } as o) ->
-              let n = Value.list_len l in
-              let lo = if lo < 0 then max 0 (n + lo) else min lo n in
-              let hi = if hi < 0 then max 0 (n + hi) else min hi n in
-              Value.Obj (Rlist.slice ctx o lo hi)
-          | Value.Str s ->
-              let n = String.length s in
-              let lo = if lo < 0 then max 0 (n + lo) else min lo n in
-              let hi = if hi < 0 then max 0 (n + hi) else min hi n in
-              let hi = max lo hi in
-              Value.Str (String.sub s lo (hi - lo))
-          | v -> err "cannot slice %s" (Value.type_name v))
+      | [| container; lo; hi |] when Value.is_int lo && Value.is_int hi -> (
+          let lo = Value.to_int_unchecked lo
+          and hi = Value.to_int_unchecked hi in
+          if Value.is_str container then (
+            let s = Value.to_str_unchecked container in
+            let n = String.length s in
+            let lo = if lo < 0 then max 0 (n + lo) else min lo n in
+            let hi = if hi < 0 then max 0 (n + hi) else min hi n in
+            let hi = max lo hi in
+            Value.of_str (String.sub s lo (hi - lo)))
+          else if Value.is_obj container then (
+            let o = Value.to_obj_unchecked container in
+            match o.Value.payload with
+            | Value.List l ->
+                let n = Value.list_len l in
+                let lo = if lo < 0 then max 0 (n + lo) else min lo n in
+                let hi = if hi < 0 then max 0 (n + hi) else min hi n in
+                Value.of_obj (Rlist.slice ctx o lo hi)
+            | _ -> err "cannot slice %s" (Value.type_name container))
+          else err "cannot slice %s" (Value.type_name container))
       | _ -> arity_err b (Array.length args))
   | Builtin.Del_item -> (
       match args with
-      | [| d; k |] -> (
-          match d with
-          | Value.Obj { payload = Value.Dict dd; _ } ->
-              if not (Rdict.delete ctx dd k) then
-                err "KeyError: %s" (Value.repr k);
-              Value.Nil
-          | v -> err "cannot delete items of %s" (Value.type_name v))
+      | [| d; k |] ->
+          if Value.is_obj d then (
+            match (Value.to_obj_unchecked d).Value.payload with
+            | Value.Dict dd ->
+                if not (Rdict.delete ctx dd k) then
+                  err "KeyError: %s" (Value.repr k);
+                Value.nil
+            | _ -> err "cannot delete items of %s" (Value.type_name d))
+          else err "cannot delete items of %s" (Value.type_name d)
       | _ -> arity_err b (Array.length args))
   | Builtin.Slice_set -> (
       match args with
-      | [| container; Value.Int lo; Value.Int hi; src |] ->
+      | [| container; lo; hi; src |] when Value.is_int lo && Value.is_int hi ->
+          let lo = Value.to_int_unchecked lo
+          and hi = Value.to_int_unchecked hi in
           let dst = Semantics.as_list container in
           let n = Rlist.length (Rlist.of_obj dst) in
           let lo = if lo < 0 then max 0 (n + lo) else min lo n in
           let hi = if hi < 0 then max 0 (n + hi) else min hi n in
           let hi = max lo hi in
           Rlist.setslice ctx dst lo hi (Semantics.as_list src);
-          Value.Nil
+          Value.nil
       | _ -> arity_err b (Array.length args))
 
 let _ = range_to_list

@@ -76,24 +76,28 @@ let guard_int cx v =
 
 let guard_func cx v =
   charge cx cx.k_truth;
-  match v with
-  | Value.Obj { payload = Value.Func f; _ } -> f
-  | v -> Semantics.err "%s object is not callable" (Value.type_name v)
+  if Value.is_obj v then
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Func f -> f
+    | _ -> Semantics.err "%s object is not callable" (Value.type_name v)
+  else Semantics.err "%s object is not callable" (Value.type_name v)
 
 let method_parts cx v =
   charge cx cx.k_truth;
-  match v with
-  | Value.Obj { payload = Value.Method m; _ } ->
-      Some (Value.Obj m.func, m.receiver)
-  | _ -> None
+  if Value.is_obj v then
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Method m -> Some (Value.of_obj m.func, m.receiver)
+    | _ -> None
+  else None
 
 let func_captured cx v i =
   charge cx cx.k_truth;
-  match v with
-  | Value.Obj { payload = Value.Func fn; _ }
-    when i < Array.length fn.Value.captured ->
-      fn.Value.captured.(i)
-  | _ -> Semantics.err "bad closure environment access"
+  if Value.is_obj v then
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Func fn when i < Array.length fn.Value.captured ->
+        fn.Value.captured.(i)
+    | _ -> Semantics.err "bad closure environment access"
+  else Semantics.err "bad closure environment access"
 
 let make_closure cx ~code_ref ~arity ~fname captured =
   charge cx cx.k_build;
@@ -103,8 +107,7 @@ let make_closure cx ~code_ref ~arity ~fname captured =
 
 let arith f cx a b =
   charge cx cx.k_arith;
-  branch cx ~site:100_002
-    ~taken:(match a with Value.Int _ -> true | _ -> false);
+  branch cx ~site:100_002 ~taken:(Value.is_int a);
   f cx.rtc a b
 
 let add = arith Semantics.add
@@ -115,9 +118,9 @@ let truediv = arith Rarith.truediv
 
 let modulo cx a b =
   charge cx cx.k_arith;
-  match (a, b) with
-  | Value.Str _, _ -> Semantics.err "string %% formatting is not supported"
-  | _ -> Rarith.modulo cx.rtc a b
+  if Value.is_str a then
+    Semantics.err "string %% formatting is not supported"
+  else Rarith.modulo cx.rtc a b
 
 let pow = arith Rarith.pow
 let lshift cx a b = charge cx cx.k_arith; Rarith.lshift cx.rtc a (Semantics.as_int b)
@@ -137,7 +140,28 @@ let neg cx a =
 
 let compare cx op a b =
   charge cx cx.k_cmp;
-  let r = Semantics.compare_values cx.rtc op a b in
+  (* immediate-immediate fast path: for-loop exit tests and other hot
+     int comparisons skip the generic dispatch in [compare_values].
+     [Rarith.compare_num] ticks the imm counter exactly as the generic
+     path would, and the result is a singleton bool, so charges,
+     branches and host counters are indistinguishable from the slow
+     path — only host-side dispatch work is saved. *)
+  let r =
+    match op with
+    | (Ops_intf.Lt | Ops_intf.Le | Ops_intf.Gt | Ops_intf.Ge | Ops_intf.Eq
+      | Ops_intf.Ne)
+      when Value.is_int a && Value.is_int b ->
+        let c = Rarith.compare_num cx.rtc a b in
+        Value.of_bool
+          (match op with
+          | Ops_intf.Lt -> c < 0
+          | Ops_intf.Le -> c <= 0
+          | Ops_intf.Gt -> c > 0
+          | Ops_intf.Ge -> c >= 0
+          | Ops_intf.Eq -> c = 0
+          | _ -> c <> 0)
+    | _ -> Semantics.compare_values cx.rtc op a b
+  in
   branch cx ~site:100_003 ~taken:(Value.truthy r);
   r
 
@@ -187,29 +211,40 @@ let builtin_method name : Builtin.t option =
   | "sort" -> None
   | _ -> None
 
+let is_func_value f =
+  Value.is_obj f
+  &&
+  match (Value.to_obj_unchecked f).Value.payload with
+  | Value.Func _ -> true
+  | _ -> false
+
 let load_method cx v name =
   charge cx cx.k_attr;
-  match v with
-  | Value.Obj { payload = Value.Class c; _ } -> (
-      (* unbound access: Task.__init__(self, ...), math.sqrt(x) *)
-      match Semantics.class_attr c name with
-      | Some a -> (a, Value.Nil)
-      | None ->
-          Semantics.err "class %s has no attribute '%s'" c.Value.cls_name name)
-  | Value.Obj { payload = Value.Instance _; _ } -> (
-      let cls = Semantics.instance_cls (Semantics.as_obj v) in
-      match Semantics.class_attr cls name with
-      | Some (Value.Obj { payload = Value.Func _; _ } as f) -> (f, v)
-      | Some other -> (other, Value.Nil)
-      | None -> (
-          (* fall back to attribute slots holding callables *)
-          (Semantics.getattr cx.rtc v name, Value.Nil)))
-  | _ -> (
-      match builtin_method name with
-      | Some b -> (builtin_value cx b, v)
-      | None ->
-          Semantics.err "%s object has no method '%s'" (Value.type_name v)
-            name)
+  let fallback () =
+    match builtin_method name with
+    | Some b -> (builtin_value cx b, v)
+    | None ->
+        Semantics.err "%s object has no method '%s'" (Value.type_name v) name
+  in
+  if Value.is_obj v then
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Class c -> (
+        (* unbound access: Task.__init__(self, ...), math.sqrt(x) *)
+        match Semantics.class_attr c name with
+        | Some a -> (a, Value.nil)
+        | None ->
+            Semantics.err "class %s has no attribute '%s'" c.Value.cls_name
+              name)
+    | Value.Instance _ -> (
+        let cls = Semantics.instance_cls (Semantics.as_obj v) in
+        match Semantics.class_attr cls name with
+        | Some f when is_func_value f -> (f, v)
+        | Some other -> (other, Value.nil)
+        | None ->
+            (* fall back to attribute slots holding callables *)
+            (Semantics.getattr cx.rtc v name, Value.nil))
+    | _ -> fallback ()
+  else fallback ()
 
 let getitem cx c k =
   charge cx cx.k_item;
@@ -239,7 +274,7 @@ let unpack cx v n =
 
 let make_list cx items =
   charge cx cx.k_build;
-  Value.Obj (Rlist.create cx.rtc (Array.to_list items))
+  Value.of_obj (Rlist.create cx.rtc (Array.to_list items))
 
 let make_tuple cx items =
   charge cx cx.k_build;
@@ -250,11 +285,11 @@ let make_dict cx pairs =
   let d = Rdict.create cx.rtc in
   let o = Gc_sim.alloc (Ctx.gc cx.rtc) (Value.Dict d) in
   Array.iter (fun (k, v) -> Rdict.set cx.rtc o d k v) pairs;
-  Value.Obj o
+  Value.of_obj o
 
 let make_set cx items =
   charge cx cx.k_build;
-  Value.Obj (Rset.create cx.rtc (Array.to_list items))
+  Value.of_obj (Rset.create cx.rtc (Array.to_list items))
 
 let make_cell cx v =
   charge cx cx.k_build;
@@ -262,17 +297,22 @@ let make_cell cx v =
 
 let cell_get cx v =
   charge cx cx.k_truth;
-  match v with
-  | Value.Obj { payload = Value.Cell c; _ } -> c.cell
-  | _ -> Semantics.err "expected cell"
+  if Value.is_obj v then
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Cell c -> c.cell
+    | _ -> Semantics.err "expected cell"
+  else Semantics.err "expected cell"
 
 let cell_set cx v x =
   charge cx cx.k_truth;
-  match v with
-  | Value.Obj ({ payload = Value.Cell c; _ } as o) ->
-      c.cell <- x;
-      Gc_sim.write_barrier (Ctx.gc cx.rtc) ~parent:o ~child:x
-  | _ -> Semantics.err "expected cell"
+  if Value.is_obj v then
+    let o = Value.to_obj_unchecked v in
+    match o.Value.payload with
+    | Value.Cell c ->
+        c.cell <- x;
+        Gc_sim.write_barrier (Ctx.gc cx.rtc) ~parent:o ~child:x
+    | _ -> Semantics.err "expected cell"
+  else Semantics.err "expected cell"
 
 let alloc_instance cx clsv =
   charge cx cx.k_build;
@@ -281,14 +321,17 @@ let alloc_instance cx clsv =
     (Value.Instance
        {
          cls = cls_obj;
-         fields = Array.make (Array.length cls.Value.layout) Value.Nil;
+         fields = Array.make (Array.length cls.Value.layout) Value.nil;
        })
 
 let class_init_func cx clsv =
   charge cx cx.k_attr;
   let _, cls = Semantics.as_cls clsv in
   match Semantics.class_attr cls "__init__" with
-  | Some (Value.Obj { payload = Value.Func f; _ }) -> Some f
+  | Some f when Value.is_obj f -> (
+      match (Value.to_obj_unchecked f).Value.payload with
+      | Value.Func f -> Some f
+      | _ -> None)
   | Some _ | None -> None
 
 let load_global cx globals name =

@@ -10,18 +10,18 @@ open Mtj_rt
 exception Not_pure
 exception Overflow
 
-let as_int = function
-  | Value.Int i -> i
-  | Value.Bool b -> Bool.to_int b
-  | v -> Semantics.err "int op on %s" (Value.type_name v)
+let[@inline] as_int v =
+  if Value.is_int v then Value.to_int_unchecked v
+  else if Value.is_bool v then Bool.to_int (Value.to_bool_unchecked v)
+  else Semantics.err "int op on %s" (Value.type_name v)
 
-let as_float = function
-  | Value.Float f -> f
-  | v -> Semantics.err "float op on %s" (Value.type_name v)
+let[@inline] as_float v =
+  if Value.is_float v then Value.to_float_unchecked v
+  else Semantics.err "float op on %s" (Value.type_name v)
 
-let as_str = function
-  | Value.Str s -> s
-  | v -> Semantics.err "str op on %s" (Value.type_name v)
+let[@inline] as_str v =
+  if Value.is_str v then Value.to_str_unchecked v
+  else Semantics.err "str op on %s" (Value.type_name v)
 
 let checked_add x y =
   let r = x + y in
@@ -31,10 +31,20 @@ let checked_sub x y =
   let r = x - y in
   if (x >= 0) <> (y >= 0) && (r >= 0) <> (x >= 0) then raise Overflow else r
 
+(* min_int-safe, mirroring [Rarith.mul_overflows]: explicit ranges
+   instead of [abs] (whose min_int result is negative), and the
+   quotient probe never divides by -1 (hardware trap) *)
 let checked_mul x y =
-  if x <> 0 && (abs x > 1 lsl 31 || abs y > 1 lsl 31) && (x * y) / x <> y then
-    raise Overflow
-  else x * y
+  let overflows =
+    x <> 0 && y <> 0
+    &&
+    if x = -1 then y = min_int
+    else if y = -1 then x = min_int
+    else
+      (x < -(1 lsl 31) || x > 1 lsl 31 || y < -(1 lsl 31) || y > 1 lsl 31)
+      && (x * y) / x <> y
+  in
+  if overflows then raise Overflow else x * y
 
 let bool v = Value.of_bool v
 
@@ -48,7 +58,11 @@ let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
   | Ir.Int_or -> Value.of_int (i 0 lor i 1)
   | Ir.Int_xor -> Value.of_int (i 0 lxor i 1)
   | Ir.Int_lshift -> Value.of_int (i 0 lsl i 1)
-  | Ir.Int_rshift -> Value.of_int (i 0 asr i 1)
+  | Ir.Int_rshift ->
+      (* clamp: [asr] past the word size is unspecified (hardware wraps
+         the count); traces only emit this for non-negative operands *)
+      let n = i 1 in
+      Value.of_int (i 0 asr (if n > 62 then 62 else n))
   | Ir.Int_lt -> bool (i 0 < i 1)
   | Ir.Int_le -> bool (i 0 <= i 1)
   | Ir.Int_eq -> bool (i 0 = i 1)
@@ -63,30 +77,30 @@ let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
   | Ir.Int_is_zero -> bool (not (Value.truthy args.(0)))
   | Ir.Int_floordiv -> Value.of_int (Rarith.floordiv_int (i 0) (i 1))
   | Ir.Int_mod -> Value.of_int (Rarith.mod_int (i 0) (i 1))
-  | Ir.Float_add -> Value.Float (f 0 +. f 1)
-  | Ir.Float_sub -> Value.Float (f 0 -. f 1)
-  | Ir.Float_mul -> Value.Float (f 0 *. f 1)
+  | Ir.Float_add -> Value.of_float (f 0 +. f 1)
+  | Ir.Float_sub -> Value.of_float (f 0 -. f 1)
+  | Ir.Float_mul -> Value.of_float (f 0 *. f 1)
   | Ir.Float_truediv ->
       if f 1 = 0.0 then raise Division_by_zero
-      else Value.Float (f 0 /. f 1)
-  | Ir.Float_neg -> Value.Float (-.(f 0))
-  | Ir.Float_abs -> Value.Float (Float.abs (f 0))
+      else Value.of_float (f 0 /. f 1)
+  | Ir.Float_neg -> Value.of_float (-.(f 0))
+  | Ir.Float_abs -> Value.of_float (Float.abs (f 0))
   | Ir.Float_lt -> bool (f 0 < f 1)
   | Ir.Float_le -> bool (f 0 <= f 1)
   | Ir.Float_eq -> bool (f 0 = f 1)
   | Ir.Float_ne -> bool (f 0 <> f 1)
   | Ir.Float_gt -> bool (f 0 > f 1)
   | Ir.Float_ge -> bool (f 0 >= f 1)
-  | Ir.Cast_int_to_float -> Value.Float (float_of_int (i 0))
+  | Ir.Cast_int_to_float -> Value.of_float (float_of_int (i 0))
   | Ir.Cast_float_to_int -> Value.of_int (int_of_float (Float.trunc (f 0)))
-  | Ir.Str_concat -> Value.Str (as_str args.(0) ^ as_str args.(1))
+  | Ir.Str_concat -> Value.of_str (as_str args.(0) ^ as_str args.(1))
   | Ir.Str_eq -> bool (String.equal (as_str args.(0)) (as_str args.(1)))
   | Ir.Strlen -> Value.of_int (String.length (as_str args.(0)))
   | Ir.Strgetitem ->
       let s = as_str args.(0) and idx = i 1 in
       if idx < 0 || idx >= String.length s then
         Semantics.err "string index out of range"
-      else Value.Str (String.make 1 s.[idx])
+      else Value.of_str (String.make 1 s.[idx])
   | Ir.Ptr_eq -> bool (Semantics.identical args.(0) args.(1))
   | Ir.Ptr_ne -> bool (not (Semantics.identical args.(0) args.(1)))
   | Ir.Same_as -> args.(0)
@@ -95,7 +109,7 @@ let eval (opcode : Ir.opcode) (args : Value.t array) : Value.t =
       let s = as_str args.(0) and idx = i 1 in
       if idx < 0 || idx >= String.length s then
         Semantics.err "string index out of range"
-      else Value.Str (String.make 1 s.[idx])
+      else Value.of_str (String.make 1 s.[idx])
   | Ir.Getfield_gc _ | Ir.Setfield_gc _ | Ir.Getarrayitem_gc | Ir.Getlistitem
   | Ir.Setlistitem | Ir.Arraylen | Ir.Getcell | Ir.Setcell | Ir.Guard _
   | Ir.Call_r _ | Ir.Call_n _ | Ir.Call_assembler _ | Ir.Label | Ir.Jump | Ir.Finish

@@ -74,7 +74,7 @@ let materialize_frames rtc (resume : Ir.resume) (regs : Value.t array) =
         let inst =
           {
             Value.cls = v_cls;
-            fields = Array.make (Array.length v_fields) Value.Nil;
+            fields = Array.make (Array.length v_fields) Value.nil;
           }
         in
         let o = Gc_sim.obj gc (Value.Instance inst) in
@@ -87,12 +87,12 @@ let materialize_frames rtc (resume : Ir.resume) (regs : Value.t array) =
         v
     | Ir.V_list srcs ->
         let lst = Rlist.create rtc [] in
-        let v = Value.Obj lst in
+        let v = Value.of_obj lst in
         memo.(k) <- Some v;
         Array.iter (fun s -> Rlist.append rtc lst (value_of s)) srcs;
         v
     | Ir.V_cell s ->
-        let payload = Value.Cell { cell = Value.Nil } in
+        let payload = Value.Cell { cell = Value.nil } in
         let v = Gc_sim.obj gc payload in
         memo.(k) <- Some v;
         (match payload with
@@ -119,7 +119,7 @@ let guard_holds (g : Ir.guard) (vals : Value.t array) =
   | Ir.G_false -> not (Value.truthy vals.(0))
   | Ir.G_value v -> Value.py_eq vals.(0) v
   | Ir.G_class sh -> Trace_ops.tyshape_of vals.(0) = sh
-  | Ir.G_nonnull -> vals.(0) <> Value.Nil
+  | Ir.G_nonnull -> not (Value.is_nil vals.(0))
   | Ir.G_no_ovf_add -> (
       match Eval_op.checked_add (as_int vals.(0)) (as_int vals.(1)) with
       | (_ : int) -> true
@@ -173,7 +173,7 @@ let getfield rtc o idx =
   | Value.Instance i -> Semantics.field_get i idx
   | Value.Func f ->
       if idx < Array.length f.Value.captured then f.Value.captured.(idx)
-      else Value.Nil
+      else Value.nil
   | _ -> Semantics.err "getfield on %s" (Value.type_name o)
 
 let setfield rtc o idx v =
@@ -199,7 +199,7 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
   let cfg = Ctx.config rtc in
   let gc = Ctx.gc rtc in
   (* current register file, tracked for GC root scanning *)
-  let cur_regs = ref (Array.make trace.Ir.nregs Value.Nil) in
+  let cur_regs = ref (Array.make trace.Ir.nregs Value.nil) in
   Array.blit entry 0 !cur_regs 0 (Array.length entry);
   let scanner_id =
     Gc_sim.add_root_scanner gc (fun visit -> Array.iter visit !cur_regs)
@@ -217,7 +217,7 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
   let switch_trace (target : Ir.trace) (values : Value.t array) =
     Engine.annot eng (Annot.Trace_exit !cur_trace.Ir.trace_id);
     Engine.annot eng (Annot.Trace_enter target.Ir.trace_id);
-    let regs = Array.make target.Ir.nregs Value.Nil in
+    let regs = Array.make target.Ir.nregs Value.nil in
     Array.blit values 0 regs 0 (Array.length values);
     cur_regs := regs;
     cur_trace := target;
@@ -356,16 +356,23 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
           (match op.Ir.opcode with
           | Ir.Getfield_gc idx -> set_result (getfield rtc (arg 0) idx)
           | Ir.Setfield_gc idx -> setfield rtc (arg 0) idx (arg 1)
-          | Ir.Getcell -> (
-              match arg 0 with
-              | Value.Obj { payload = Value.Cell c; _ } -> set_result c.cell
-              | v -> Semantics.err "getcell on %s" (Value.type_name v))
-          | Ir.Setcell -> (
-              match arg 0 with
-              | Value.Obj ({ payload = Value.Cell c; _ } as o) ->
-                  c.cell <- arg 1;
-                  Gc_sim.write_barrier gc ~parent:o ~child:(arg 1)
-              | v -> Semantics.err "setcell on %s" (Value.type_name v))
+          | Ir.Getcell ->
+              let v = arg 0 in
+              if Value.is_obj v then (
+                match (Value.to_obj_unchecked v).Value.payload with
+                | Value.Cell c -> set_result c.cell
+                | _ -> Semantics.err "getcell on %s" (Value.type_name v))
+              else Semantics.err "getcell on %s" (Value.type_name v)
+          | Ir.Setcell ->
+              let v = arg 0 in
+              if Value.is_obj v then (
+                let o = Value.to_obj_unchecked v in
+                match o.Value.payload with
+                | Value.Cell c ->
+                    c.cell <- arg 1;
+                    Gc_sim.write_barrier gc ~parent:o ~child:(arg 1)
+                | _ -> Semantics.err "setcell on %s" (Value.type_name v))
+              else Semantics.err "setcell on %s" (Value.type_name v)
           | Ir.Getlistitem ->
               let o = Semantics.as_list (arg 0) in
               let i = as_int (arg 1) in
@@ -382,17 +389,21 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
               if i < 0 || i >= Rlist.length l then
                 Semantics.err "list assignment index out of range";
               Rlist.set rtc o i (arg 2)
-          | Ir.Getarrayitem_gc -> (
-              match arg 0 with
-              | Value.Obj ({ payload = Value.Tuple a; _ } as o) ->
-                  let i = as_int (arg 1) in
-                  if i < 0 || i >= Array.length a then
-                    Semantics.err "tuple index out of range";
-                  Engine.mem_access eng
-                    ~addr:(Gc_sim.addr o ~field:(i land 15))
-                    ~write:false;
-                  set_result a.(i)
-              | v -> Semantics.err "getarrayitem on %s" (Value.type_name v))
+          | Ir.Getarrayitem_gc ->
+              let v = arg 0 in
+              if Value.is_obj v then (
+                let o = Value.to_obj_unchecked v in
+                match o.Value.payload with
+                | Value.Tuple a ->
+                    let i = as_int (arg 1) in
+                    if i < 0 || i >= Array.length a then
+                      Semantics.err "tuple index out of range";
+                    Engine.mem_access eng
+                      ~addr:(Gc_sim.addr o ~field:(i land 15))
+                      ~write:false;
+                    set_result a.(i)
+                | _ -> Semantics.err "getarrayitem on %s" (Value.type_name v))
+              else Semantics.err "getarrayitem on %s" (Value.type_name v)
           | Ir.Arraylen ->
               set_result (Value.of_int (Semantics.len_of rtc (arg 0)))
           | Ir.New_with_vtable cls_obj -> (
@@ -406,14 +417,14 @@ let run_ref rtc (jitlog : Jitlog.t) ~(trace : Ir.trace)
                             fields =
                               Array.make
                                 (Array.length c.Value.layout)
-                                Value.Nil;
+                                Value.nil;
                           }))
               | _ -> Semantics.err "new_with_vtable: not a class")
           | Ir.New_array _ ->
               set_result (Gc_sim.obj gc (Value.Tuple (argvals ())))
           | Ir.New_list _ ->
               set_result
-                (Value.Obj (Rlist.create rtc (Array.to_list (argvals ()))))
+                (Value.of_obj (Rlist.create rtc (Array.to_list (argvals ()))))
           | Ir.New_cell ->
               set_result (Gc_sim.obj gc (Value.Cell { cell = arg 0 }))
           | Ir.Call_r rc ->
@@ -536,7 +547,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
   let switch st (target : Ir.trace) (values : Value.t array) =
     Engine.annot eng (Annot.Trace_exit st.st_cur.Ir.trace_id);
     Engine.annot eng (Annot.Trace_enter target.Ir.trace_id);
-    let regs = Array.make target.Ir.nregs Value.Nil in
+    let regs = Array.make target.Ir.nregs Value.nil in
     Array.blit values 0 regs 0 (Array.length values);
     st.st_regs <- regs;
     st.st_cur <- target;
@@ -584,7 +595,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         fun regs -> Trace_ops.tyshape_of (a regs) = sh
     | Ir.G_nonnull ->
         let a = getter args.(0) in
-        fun regs -> a regs <> Value.Nil
+        fun regs -> not (Value.is_nil (a regs))
     | Ir.G_no_ovf_add ->
         let a = getter args.(0) and b = getter args.(1) in
         fun regs -> (
@@ -747,7 +758,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         | _ ->
             (* steady state: the argument scratch never escapes, so one
                translation-time array serves every iteration *)
-            let tmp = Array.make len Value.Nil in
+            let tmp = Array.make len Value.nil in
             fun st ->
               exec.(i) <- exec.(i) + 1;
               Engine.emit eng cost;
@@ -765,7 +776,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         | Some target ->
             (* target resolved at translation time; trace registration is
                permanent, so the binding can never go stale *)
-            let tmp = Array.make len Value.Nil in
+            let tmp = Array.make len Value.nil in
             fun st ->
               exec.(i) <- exec.(i) + 1;
               Engine.emit eng cost;
@@ -802,19 +813,26 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
         ordinary i (fun st ->
-            match a0 st.st_regs with
-            | Value.Obj { payload = Value.Cell c; _ } -> set st.st_regs c.cell
-            | v -> Semantics.err "getcell on %s" (Value.type_name v))
+            let v = a0 st.st_regs in
+            if Value.is_obj v then (
+              match (Value.to_obj_unchecked v).Value.payload with
+              | Value.Cell c -> set st.st_regs c.cell
+              | _ -> Semantics.err "getcell on %s" (Value.type_name v))
+            else Semantics.err "getcell on %s" (Value.type_name v))
     | Ir.Setcell ->
         let a0 = getter op.Ir.args.(0) and a1 = getter op.Ir.args.(1) in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            match a0 regs with
-            | Value.Obj ({ payload = Value.Cell c; _ } as o) ->
-                let v = a1 regs in
-                c.cell <- v;
-                Gc_sim.write_barrier gc ~parent:o ~child:v
-            | v -> Semantics.err "setcell on %s" (Value.type_name v))
+            let cell = a0 regs in
+            if Value.is_obj cell then (
+              let o = Value.to_obj_unchecked cell in
+              match o.Value.payload with
+              | Value.Cell c ->
+                  let v = a1 regs in
+                  c.cell <- v;
+                  Gc_sim.write_barrier gc ~parent:o ~child:v
+              | _ -> Semantics.err "setcell on %s" (Value.type_name cell))
+            else Semantics.err "setcell on %s" (Value.type_name cell))
     | Ir.Getlistitem ->
         let a0 = getter op.Ir.args.(0) and a1 = getter op.Ir.args.(1) in
         let set = store op.Ir.result in
@@ -845,16 +863,20 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            match a0 regs with
-            | Value.Obj ({ payload = Value.Tuple a; _ } as o) ->
-                let i_ = as_int (a1 regs) in
-                if i_ < 0 || i_ >= Array.length a then
-                  Semantics.err "tuple index out of range";
-                Engine.mem_access eng
-                  ~addr:(Gc_sim.addr o ~field:(i_ land 15))
-                  ~write:false;
-                set regs a.(i_)
-            | v -> Semantics.err "getarrayitem on %s" (Value.type_name v))
+            let v = a0 regs in
+            if Value.is_obj v then (
+              let o = Value.to_obj_unchecked v in
+              match o.Value.payload with
+              | Value.Tuple a ->
+                  let i_ = as_int (a1 regs) in
+                  if i_ < 0 || i_ >= Array.length a then
+                    Semantics.err "tuple index out of range";
+                  Engine.mem_access eng
+                    ~addr:(Gc_sim.addr o ~field:(i_ land 15))
+                    ~write:false;
+                  set regs a.(i_)
+              | _ -> Semantics.err "getarrayitem on %s" (Value.type_name v))
+            else Semantics.err "getarrayitem on %s" (Value.type_name v))
     | Ir.Arraylen ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
@@ -874,7 +896,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
             set st.st_regs
               (Gc_sim.obj gc
                  (Value.Instance
-                    { cls = cls_obj; fields = Array.make nfields Value.Nil })))
+                    { cls = cls_obj; fields = Array.make nfields Value.nil })))
     | Ir.New_array _ ->
         let fetch = fetch_all op.Ir.args in
         let set = store op.Ir.result in
@@ -885,7 +907,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         let set = store op.Ir.result in
         ordinary i (fun st ->
             set st.st_regs
-              (Value.Obj (Rlist.create rtc (Array.to_list (fetch st.st_regs)))))
+              (Value.of_obj (Rlist.create rtc (Array.to_list (fetch st.st_regs)))))
     | Ir.New_cell ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
@@ -944,9 +966,9 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
             let regs = st.st_regs in
             set regs (Value.of_bool (not (Value.truthy (a0 regs)))))
     (* pure float ops *)
-    | Ir.Float_add -> float_binop i op (fun x y -> Value.Float (x +. y))
-    | Ir.Float_sub -> float_binop i op (fun x y -> Value.Float (x -. y))
-    | Ir.Float_mul -> float_binop i op (fun x y -> Value.Float (x *. y))
+    | Ir.Float_add -> float_binop i op (fun x y -> Value.of_float (x +. y))
+    | Ir.Float_sub -> float_binop i op (fun x y -> Value.of_float (x -. y))
+    | Ir.Float_mul -> float_binop i op (fun x y -> Value.of_float (x *. y))
     | Ir.Float_truediv ->
         let a = getter op.Ir.args.(0) and b = getter op.Ir.args.(1) in
         let set = store op.Ir.result in
@@ -955,7 +977,7 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
             (* divisor converted (and checked) first, like Eval_op *)
             let y = as_float (b regs) in
             if y = 0.0 then raise Division_by_zero
-            else set regs (Value.Float (as_float (a regs) /. y)))
+            else set regs (Value.of_float (as_float (a regs) /. y)))
     | Ir.Float_lt -> float_binop i op (fun x y -> Value.of_bool (x < y))
     | Ir.Float_le -> float_binop i op (fun x y -> Value.of_bool (x <= y))
     | Ir.Float_eq -> float_binop i op (fun x y -> Value.of_bool (x = y))
@@ -967,19 +989,19 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Float (-.as_float (a0 regs))))
+            set regs (Value.of_float (-.as_float (a0 regs))))
     | Ir.Float_abs ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Float (Float.abs (as_float (a0 regs)))))
+            set regs (Value.of_float (Float.abs (as_float (a0 regs)))))
     | Ir.Cast_int_to_float ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
         ordinary i (fun st ->
             let regs = st.st_regs in
-            set regs (Value.Float (float_of_int (as_int (a0 regs)))))
+            set regs (Value.of_float (float_of_int (as_int (a0 regs)))))
     | Ir.Cast_float_to_int ->
         let a0 = getter op.Ir.args.(0) in
         let set = store op.Ir.result in
@@ -1133,7 +1155,9 @@ let rec translate rtc (jitlog : Jitlog.t) (t : Ir.trace) : step array =
          (fun (x : Ir.operand) (y : Ir.operand) ->
            match (x, y) with
            | Ir.Reg a, Ir.Reg b -> a = b
-           | Ir.Const (Value.Int a), Ir.Const (Value.Int b) -> a = b
+           | Ir.Const a, Ir.Const b ->
+               Value.is_int a && Value.is_int b
+               && Value.to_int_unchecked a = Value.to_int_unchecked b
            | _ -> false)
          xs ys
   in
@@ -1198,7 +1222,7 @@ let run rtc (jitlog : Jitlog.t) ~(trace : Ir.trace) ~(entry : Value.t array) :
     exit_state =
   let eng = Ctx.engine rtc in
   let gc = Ctx.gc rtc in
-  let regs = Array.make trace.Ir.nregs Value.Nil in
+  let regs = Array.make trace.Ir.nregs Value.nil in
   Array.blit entry 0 regs 0 (Array.length entry);
   let st =
     {

@@ -27,9 +27,11 @@ type okey = K_reg of int | K_int of int | K_obj of int | K_none
 let okey_of (o : Ir.operand) =
   match o with
   | Ir.Reg r -> K_reg r
-  | Ir.Const (Mtj_rt.Value.Int i) -> K_int i
-  | Ir.Const (Mtj_rt.Value.Obj x) -> K_obj x.Mtj_rt.Value.uid
-  | Ir.Const _ -> K_none
+  | Ir.Const c ->
+      if Mtj_rt.Value.is_int c then K_int (Mtj_rt.Value.to_int_unchecked c)
+      else if Mtj_rt.Value.is_obj c then
+        K_obj (Mtj_rt.Value.to_obj_unchecked c).Mtj_rt.Value.uid
+      else K_none
 
 (* integer value bounds, for RPython-style intbounds guard removal *)
 type bounds = { lo : int; hi : int }
@@ -92,7 +94,7 @@ let bump_effect env =
 
 (* shape of a constant value, for dropping guards on constants *)
 let shape_of_const (v : Mtj_rt.Value.t) : Ir.tyshape option =
-  match v with
+  match Mtj_rt.Value.view v with
   | Mtj_rt.Value.Int _ -> Some Ir.Ty_int
   | Mtj_rt.Value.Float _ -> Some Ir.Ty_float
   | Mtj_rt.Value.Str _ -> Some Ir.Ty_str
@@ -112,8 +114,7 @@ let shape_of_const (v : Mtj_rt.Value.t) : Ir.tyshape option =
       | Mtj_rt.Value.Cell _ -> Some Ir.Ty_cell
       | Mtj_rt.Value.Strbuilder _ -> Some Ir.Ty_builder
       | Mtj_rt.Value.Method _ -> Some Ir.Ty_method
-      | Mtj_rt.Value.Range _ -> Some Ir.Ty_range
-      | Mtj_rt.Value.Iter _ -> Some Ir.Ty_iter)
+      | Mtj_rt.Value.Range _ -> Some Ir.Ty_range)
 
 (* shape established by an allocation opcode *)
 let shape_of_new (opc : Ir.opcode) : Ir.tyshape option =
@@ -132,9 +133,12 @@ let shape_of_new (opc : Ir.opcode) : Ir.tyshape option =
 
 let bounds_of env (o : Ir.operand) : bounds option =
   match o with
-  | Ir.Const (Mtj_rt.Value.Int i) -> Some { lo = i; hi = i }
-  | Ir.Const (Mtj_rt.Value.Bool _) -> Some { lo = 0; hi = 1 }
-  | Ir.Const _ -> None
+  | Ir.Const c ->
+      if Mtj_rt.Value.is_int c then
+        let i = Mtj_rt.Value.to_int_unchecked c in
+        Some { lo = i; hi = i }
+      else if Mtj_rt.Value.is_bool c then Some { lo = 0; hi = 1 }
+      else None
   | Ir.Reg r -> Hashtbl.find_opt env.int_bounds r
 
 let bounds_safe b = b.lo > -max_safe && b.hi < max_safe
@@ -396,16 +400,17 @@ let pass_fold_forward ?(seed_shapes = []) ?(seed_bounds = []) cfg
           | Some fwd -> Hashtbl.replace env.subst op.Ir.result fwd
           | None ->
               (match const_of args.(0) with
-              | Some c when env.cfg.Config.opt_fold -> (
+              | Some c
+                when env.cfg.Config.opt_fold
+                     && (match op.Ir.opcode with
+                        | Ir.Strlen | Ir.Unicode_len -> true
+                        | _ -> false)
+                     && Mtj_rt.Value.is_str c ->
                   (* lengths of constant strings fold away *)
-                  match (op.Ir.opcode, c) with
-                  | (Ir.Strlen | Ir.Unicode_len), Mtj_rt.Value.Str s ->
-                      Hashtbl.replace env.subst op.Ir.result
-                        (Ir.Const (Mtj_rt.Value.Int (String.length s)))
-                  | _ ->
-                      if kc <> K_none && env.cfg.Config.opt_forward then
-                        Hashtbl.replace env.heap_lens kc (Ir.Reg op.Ir.result);
-                      keep op)
+                  Hashtbl.replace env.subst op.Ir.result
+                    (Ir.Const
+                       (Mtj_rt.Value.of_int
+                          (String.length (Mtj_rt.Value.to_str_unchecked c))))
               | _ ->
                   if kc <> K_none && env.cfg.Config.opt_forward then
                     Hashtbl.replace env.heap_lens kc (Ir.Reg op.Ir.result);
@@ -522,16 +527,16 @@ let compute_escapes (ops : Ir.op array) candidates =
       | Ir.Getarrayitem_gc | Ir.Getlistitem -> (
           (* dynamic-index reads of a virtual cannot be resolved *)
           match (op.Ir.args.(0), op.Ir.args.(1)) with
-          | Ir.Reg r, Ir.Const (Mtj_rt.Value.Int _)
-            when IntSet.mem r candidates ->
+          | Ir.Reg r, Ir.Const c
+            when IntSet.mem r candidates && Mtj_rt.Value.is_int c ->
               ()
           | target, _ -> escape_op target)
       | Ir.Setfield_gc _ -> record_store op.Ir.args.(0) op.Ir.args.(1)
       | Ir.Setcell -> record_store op.Ir.args.(0) op.Ir.args.(1)
       | Ir.Setlistitem -> (
           match (op.Ir.args.(0), op.Ir.args.(1)) with
-          | (Ir.Reg r as t), Ir.Const (Mtj_rt.Value.Int _)
-            when IntSet.mem r candidates ->
+          | (Ir.Reg r as t), Ir.Const c
+            when IntSet.mem r candidates && Mtj_rt.Value.is_int c ->
               record_store t op.Ir.args.(2)
           | t, _ ->
               escape_op t;
@@ -670,7 +675,7 @@ let pass_virtuals_once cfg (ops : Ir.op array)
                 Array.init n (fun k ->
                     match IntMap.find_opt k st.v_fields with
                     | Some o -> source_of o
-                    | None -> Ir.S_const Mtj_rt.Value.Nil)
+                    | None -> Ir.S_const Mtj_rt.Value.nil)
               in
               let desc =
                 match st.v_opcode with
@@ -748,7 +753,8 @@ let pass_virtuals_once cfg (ops : Ir.op array)
           | Ir.Const _ -> assert false)
       | Ir.Setlistitem when is_virtual op.Ir.args.(0) -> (
           match (op.Ir.args.(0), op.Ir.args.(1)) with
-          | Ir.Reg r, Ir.Const (Mtj_rt.Value.Int idx) ->
+          | Ir.Reg r, Ir.Const c when Mtj_rt.Value.is_int c ->
+              let idx = Mtj_rt.Value.to_int_unchecked c in
               let st = Hashtbl.find vstates r in
               st.v_fields <-
                 IntMap.add idx (resolve_chain op.Ir.args.(2)) st.v_fields
@@ -760,7 +766,7 @@ let pass_virtuals_once cfg (ops : Ir.op array)
               let v =
                 match IntMap.find_opt idx st.v_fields with
                 | Some o -> o
-                | None -> Ir.Const Mtj_rt.Value.Nil
+                | None -> Ir.Const Mtj_rt.Value.nil
               in
               Hashtbl.replace subst op.Ir.result v
           | Ir.Const _ -> assert false)
@@ -773,12 +779,13 @@ let pass_virtuals_once cfg (ops : Ir.op array)
       | (Ir.Getarrayitem_gc | Ir.Getlistitem)
         when is_virtual op.Ir.args.(0) -> (
           match (op.Ir.args.(0), op.Ir.args.(1)) with
-          | Ir.Reg r, Ir.Const (Mtj_rt.Value.Int idx) ->
+          | Ir.Reg r, Ir.Const c when Mtj_rt.Value.is_int c ->
+              let idx = Mtj_rt.Value.to_int_unchecked c in
               let st = Hashtbl.find vstates r in
               let v =
                 match IntMap.find_opt idx st.v_fields with
                 | Some o -> o
-                | None -> Ir.Const Mtj_rt.Value.Nil
+                | None -> Ir.Const Mtj_rt.Value.nil
               in
               Hashtbl.replace subst op.Ir.result v
           | _ -> assert false)
@@ -787,7 +794,7 @@ let pass_virtuals_once cfg (ops : Ir.op array)
           | Ir.Reg r ->
               let st = Hashtbl.find vstates r in
               Hashtbl.replace subst op.Ir.result
-                (Ir.Const (Mtj_rt.Value.Int st.v_len))
+                (Ir.Const (Mtj_rt.Value.of_int st.v_len))
           | Ir.Const _ -> assert false)
       | Ir.Guard g ->
           let args = Array.map resolve_chain op.Ir.args in

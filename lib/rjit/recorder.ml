@@ -72,7 +72,7 @@ let create rtc ~entry_slots =
       Apool.create
         ~enabled:(Apool.enabled (Ctx.frame_pool rtc))
         ~stats:(Ctx.hstats rtc)
-        { v = Value.Nil; src = Ir.Const Value.Nil };
+        { v = Value.nil; src = Ir.Const Value.nil };
   }
 
 let rt t = t.rtc

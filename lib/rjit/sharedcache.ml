@@ -26,7 +26,7 @@
     Every operation counts into process-wide statistics (hits split by
     publisher context, misses, publications, invalidations, lock
     contention) read back by the serving harness for the
-    [mtj-metrics/7] export. *)
+    [mtj-metrics/8] export. *)
 
 type entry = ..
 (* extensible so language layers can publish without this module (or

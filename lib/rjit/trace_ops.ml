@@ -24,27 +24,28 @@ let err = Semantics.err
 (* --- type shapes --- *)
 
 let tyshape_of (v : Value.t) : Ir.tyshape =
-  match v with
-  | Value.Int _ -> Ir.Ty_int
-  | Value.Float _ -> Ir.Ty_float
-  | Value.Str _ -> Ir.Ty_str
-  | Value.Bool _ -> Ir.Ty_bool
-  | Value.Nil -> Ir.Ty_nil
-  | Value.Obj o -> (
-      match o.Value.payload with
-      | Value.Instance i -> Ir.Ty_instance_of i.Value.cls.Value.uid
-      | Value.Class _ -> Ir.Ty_class o.Value.uid
-      | Value.List _ -> Ir.Ty_list
-      | Value.Dict _ -> Ir.Ty_dict
-      | Value.Set _ -> Ir.Ty_set
-      | Value.Tuple _ -> Ir.Ty_tuple
-      | Value.Func f -> Ir.Ty_func_code f.Value.code_ref
-      | Value.Method _ -> Ir.Ty_method
-      | Value.Cell _ -> Ir.Ty_cell
-      | Value.Bigint _ -> Ir.Ty_bigint
-      | Value.Strbuilder _ -> Ir.Ty_builder
-      | Value.Range _ -> Ir.Ty_range
-      | Value.Iter _ -> Ir.Ty_iter)
+  if Value.is_int v then Ir.Ty_int
+  else
+    match Value.view v with
+    | Value.Int _ -> Ir.Ty_int
+    | Value.Float _ -> Ir.Ty_float
+    | Value.Str _ -> Ir.Ty_str
+    | Value.Bool _ -> Ir.Ty_bool
+    | Value.Nil -> Ir.Ty_nil
+    | Value.Obj o -> (
+        match o.Value.payload with
+        | Value.Instance i -> Ir.Ty_instance_of i.Value.cls.Value.uid
+        | Value.Class _ -> Ir.Ty_class o.Value.uid
+        | Value.List _ -> Ir.Ty_list
+        | Value.Dict _ -> Ir.Ty_dict
+        | Value.Set _ -> Ir.Ty_set
+        | Value.Tuple _ -> Ir.Ty_tuple
+        | Value.Func f -> Ir.Ty_func_code f.Value.code_ref
+        | Value.Method _ -> Ir.Ty_method
+        | Value.Cell _ -> Ir.Ty_cell
+        | Value.Bigint _ -> Ir.Ty_bigint
+        | Value.Strbuilder _ -> Ir.Ty_builder
+        | Value.Range _ -> Ir.Ty_range)
 
 (* guard the value's type shape unless it is already a trace constant *)
 let guard_shape cx (tv : t) =
@@ -86,40 +87,42 @@ let is_true cx (tv : t) =
   b
 
 let guard_int cx (tv : t) =
-  match tv.R.v with
-  | Value.Int i ->
-      guard_shape cx tv;
-      i
-  | Value.Bool b ->
-      guard_shape cx tv;
-      Bool.to_int b
-  | v -> err "expected int, got %s" (Value.type_name v)
+  let v = tv.R.v in
+  if Value.is_int v then begin
+    guard_shape cx tv;
+    Value.to_int_unchecked v
+  end
+  else if Value.is_bool v then begin
+    guard_shape cx tv;
+    Bool.to_int (Value.to_bool_unchecked v)
+  end
+  else err "expected int, got %s" (Value.type_name v)
 
 let guard_func cx (tv : t) =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Obj { payload = Value.Func f; _ } ->
       guard_shape cx tv;
       f
-  | v -> err "%s object is not callable" (Value.type_name v)
+  | _ -> err "%s object is not callable" (Value.type_name tv.R.v)
 
 let rc_method_func =
   rc "W_Method.w_function" Aot.I
     (fun _c a ->
-      match a.(0) with
-      | Value.Obj { payload = Value.Method m; _ } -> Value.Obj m.func
-      | v -> err "not a method: %s" (Value.type_name v))
+      match Value.view a.(0) with
+      | Value.Obj { payload = Value.Method m; _ } -> Value.of_obj m.func
+      | _ -> err "not a method: %s" (Value.type_name a.(0)))
     ~effectful:false
 
 let rc_method_self =
   rc "W_Method.w_instance" Aot.I
     (fun _c a ->
-      match a.(0) with
+      match Value.view a.(0) with
       | Value.Obj { payload = Value.Method m; _ } -> m.receiver
-      | v -> err "not a method: %s" (Value.type_name v))
+      | _ -> err "not a method: %s" (Value.type_name a.(0)))
     ~effectful:false
 
 let method_parts cx (tv : t) =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Obj { payload = Value.Method _; _ } ->
       guard_shape cx tv;
       let f = residual_r cx rc_method_func [| tv |] in
@@ -128,8 +131,9 @@ let method_parts cx (tv : t) =
   | _ -> None
 
 let func_captured cx (tv : t) i =
-  match tv.R.v with
-  | Value.Obj { payload = Value.Func fn; _ } when i < Array.length fn.Value.captured ->
+  match Value.view tv.R.v with
+  | Value.Obj { payload = Value.Func fn; _ }
+    when i < Array.length fn.Value.captured ->
       guard_shape cx tv;
       R.emit cx (Ir.Getfield_gc i) [| tv.R.src |] fn.Value.captured.(i)
   | _ -> err "bad closure environment access"
@@ -190,8 +194,7 @@ let make_closure cx ~code_ref ~arity ~fname (captured : t array) =
 
 (* --- arithmetic --- *)
 
-let int_like (v : Value.t) =
-  match v with Value.Int _ | Value.Bool _ -> true | _ -> false
+let[@inline] int_like (v : Value.t) = Value.is_int v || Value.is_bool v
 
 let as_int = Semantics.as_int
 
@@ -216,13 +219,15 @@ let rc_generic_mul =
 
 let both_int (a : t) (b : t) = int_like a.R.v && int_like b.R.v
 
-let is_float (v : Value.t) = match v with Value.Float _ -> true | _ -> false
-let is_str (v : Value.t) = match v with Value.Str _ -> true | _ -> false
+let is_float = Value.is_float
+let is_str = Value.is_str
 
 let has_bigint (a : t) (b : t) =
   let big (tv : t) =
-    match tv.R.v with
-    | Value.Obj { payload = Value.Bigint _; _ } -> true
+    Value.is_obj tv.R.v
+    &&
+    match (Value.to_obj_unchecked tv.R.v).Value.payload with
+    | Value.Bigint _ -> true
     | _ -> false
   in
   big a || big b
@@ -230,20 +235,22 @@ let has_bigint (a : t) (b : t) =
 (* coerce a tracked number to a float-typed tracked value, recording the
    cast when needed *)
 let to_float_t cx (tv : t) : t =
-  match tv.R.v with
-  | Value.Float _ ->
-      guard_shape cx tv;
-      tv
-  | Value.Int _ | Value.Bool _ ->
-      guard_shape cx tv;
-      R.emit cx Ir.Cast_int_to_float [| tv.R.src |]
-        (Value.Float (float_of_int (as_int tv.R.v)))
-  | v -> err "expected number, got %s" (Value.type_name v)
+  let v = tv.R.v in
+  if Value.is_float v then begin
+    guard_shape cx tv;
+    tv
+  end
+  else if int_like v then begin
+    guard_shape cx tv;
+    R.emit cx Ir.Cast_int_to_float [| tv.R.src |]
+      (Value.of_float (float_of_int (as_int v)))
+  end
+  else err "expected number, got %s" (Value.type_name v)
 
 let float_binop cx opcode f (a : t) (b : t) : t =
   let fa = to_float_t cx a and fb = to_float_t cx b in
   let x = Rarith.to_float fa.R.v and y = Rarith.to_float fb.R.v in
-  R.emit cx opcode [| fa.R.src; fb.R.src |] (Value.Float (f x y))
+  R.emit cx opcode [| fa.R.src; fb.R.src |] (Value.of_float (f x y))
 
 let int_ovf_binop cx opcode gkind f big_rc (a : t) (b : t) : t =
   guard_shape cx a;
@@ -252,7 +259,7 @@ let int_ovf_binop cx opcode gkind f big_rc (a : t) (b : t) : t =
   let exact = f x y in
   match exact with
   | Some r ->
-      let res = R.emit cx opcode [| a.R.src; b.R.src |] (Value.Int r) in
+      let res = R.emit cx opcode [| a.R.src; b.R.src |] (Value.of_int r) in
       R.guard cx gkind [| a.R.src; b.R.src |];
       res
   | None ->
@@ -313,7 +320,7 @@ let guard_nonzero cx (b : t) y =
   match b.R.src with
   | Ir.Const _ -> ()
   | Ir.Reg _ ->
-      let z = R.emit cx Ir.Int_is_zero [| b.R.src |] (Value.Bool false) in
+      let z = R.emit cx Ir.Int_is_zero [| b.R.src |] Value.false_ in
       R.guard cx Ir.G_false [| z.R.src |]
 
 let floordiv cx (a : t) (b : t) =
@@ -324,7 +331,7 @@ let floordiv cx (a : t) (b : t) =
     guard_nonzero cx b y;
     R.emit cx Ir.Int_floordiv
       [| a.R.src; b.R.src |]
-      (Value.Int (Rarith.floordiv_int x y))
+      (Value.of_int (Rarith.floordiv_int x y))
   end
   else if is_float a.R.v || is_float b.R.v then
     float_binop cx Ir.Float_truediv
@@ -341,7 +348,7 @@ let modulo cx (a : t) (b : t) =
     guard_nonzero cx b y;
     R.emit cx Ir.Int_mod
       [| a.R.src; b.R.src |]
-      (Value.Int (Rarith.mod_int x y))
+      (Value.of_int (Rarith.mod_int x y))
   end
   else residual_r cx rc_mod [| a; b |]
 
@@ -353,53 +360,71 @@ let truediv cx (a : t) (b : t) =
 let pow cx (a : t) (b : t) = residual_r cx rc_pow [| a; b |]
 
 let neg cx (a : t) =
-  match a.R.v with
-  | Value.Int i when i <> min_int ->
-      guard_shape cx a;
-      R.emit cx Ir.Int_neg [| a.R.src |] (Value.Int (-i))
-  | Value.Float f ->
-      guard_shape cx a;
-      R.emit cx Ir.Float_neg [| a.R.src |] (Value.Float (-.f))
-  | _ ->
-      residual_r cx
-        (rc "W_Object.descr_neg" Aot.I (fun c ar -> Rarith.neg c ar.(0)) ~effectful:false)
-        [| a |]
+  let v = a.R.v in
+  if Value.is_int v && Value.to_int_unchecked v <> min_int then begin
+    guard_shape cx a;
+    R.emit cx Ir.Int_neg [| a.R.src |]
+      (Value.of_int (-Value.to_int_unchecked v))
+  end
+  else if Value.is_float v then begin
+    guard_shape cx a;
+    R.emit cx Ir.Float_neg [| a.R.src |]
+      (Value.of_float (-.Value.to_float_unchecked v))
+  end
+  else
+    residual_r cx
+      (rc "W_Object.descr_neg" Aot.I (fun c ar -> Rarith.neg c ar.(0)) ~effectful:false)
+      [| a |]
 
 let lshift cx (a : t) (b : t) =
   let const_shift =
     match b.R.src with Ir.Const _ -> true | Ir.Reg _ -> false
   in
-  match (a.R.v, b.R.v) with
-  | Value.Int x, Value.Int n when const_shift && n < 40 && abs x < 1 lsl 20 ->
+  if Value.is_int a.R.v && Value.is_int b.R.v then begin
+    let x = Value.to_int_unchecked a.R.v
+    and n = Value.to_int_unchecked b.R.v in
+    if const_shift && n < 40 && x > -(1 lsl 20) && x < 1 lsl 20 then begin
       (* constant shift of a small int: inline, guarded by magnitude
-         (x + 2^20 must stay within [0, 2^21)) *)
+         (x + 2^20 must stay within [0, 2^21)); explicit range rather
+         than [abs], which would wrongly admit min_int *)
       guard_shape cx a;
       let shifted =
         R.emit cx Ir.Int_add
-          [| a.R.src; Ir.Const (Value.Int (1 lsl 20)) |]
-          (Value.Int (x + (1 lsl 20)))
+          [| a.R.src; Ir.Const (Value.of_int (1 lsl 20)) |]
+          (Value.of_int (x + (1 lsl 20)))
       in
       R.guard cx Ir.G_index_lt
-        [| shifted.R.src; Ir.Const (Value.Int (1 lsl 21)) |];
-      R.emit cx Ir.Int_lshift [| a.R.src; b.R.src |] (Value.Int (x lsl n))
-  | _ ->
+        [| shifted.R.src; Ir.Const (Value.of_int (1 lsl 21)) |];
+      R.emit cx Ir.Int_lshift [| a.R.src; b.R.src |] (Value.of_int (x lsl n))
+    end
+    else
       (* data-dependent shifts go through the bignum runtime *)
       residual_r cx rc_lshift [| a; b |]
+  end
+  else residual_r cx rc_lshift [| a; b |]
 
 let rshift cx (a : t) (b : t) =
-  match (a.R.v, b.R.v) with
-  | Value.Int x, Value.Int n when x >= 0 ->
-      guard_shape cx a;
-      guard_shape cx b;
-      R.emit cx Ir.Int_rshift [| a.R.src; b.R.src |] (Value.Int (x asr n))
-  | _ -> residual_r cx rc_rshift [| a; b |]
+  if
+    Value.is_int a.R.v && Value.is_int b.R.v
+    && Value.to_int_unchecked a.R.v >= 0
+  then begin
+    let x = Value.to_int_unchecked a.R.v
+    and n = Value.to_int_unchecked b.R.v in
+    guard_shape cx a;
+    guard_shape cx b;
+    (* record-time value must match [Eval_op]'s clamped semantics *)
+    R.emit cx Ir.Int_rshift
+      [| a.R.src; b.R.src |]
+      (Value.of_int (x asr (if n > 62 then 62 else n)))
+  end
+  else residual_r cx rc_rshift [| a; b |]
 
 let int2 cx opcode f (a : t) (b : t) =
   guard_shape cx a;
   guard_shape cx b;
   R.emit cx opcode
     [| a.R.src; b.R.src |]
-    (Value.Int (f (as_int a.R.v) (as_int b.R.v)))
+    (Value.of_int (f (as_int a.R.v) (as_int b.R.v)))
 
 let bitand cx a b = int2 cx Ir.Int_and ( land ) a b
 let bitor cx a b = int2 cx Ir.Int_or ( lor ) a b
@@ -466,9 +491,16 @@ let compare cx op (a : t) (b : t) =
 
 let not_ cx (a : t) =
   let b = is_true cx a in
-  lift (Value.Bool (not b))
+  lift (Value.of_bool (not b))
 
 (* --- attributes --- *)
+
+let is_func_value f =
+  Value.is_obj f
+  &&
+  match (Value.to_obj_unchecked f).Value.payload with
+  | Value.Func _ -> true
+  | _ -> false
 
 let rc_getattr =
   rc "W_TypeObject.lookup" Aot.I
@@ -479,26 +511,26 @@ let rc_setattr =
   rc "W_Object.setdictvalue" Aot.I
     (fun c a ->
       Semantics.setattr c a.(0) (Semantics.as_str a.(1)) a.(2);
-      Value.Nil)
+      Value.nil)
     ~effectful:true
 
 let getattr cx (tv : t) name =
-  match tv.R.v with
-  | Value.Obj ({ payload = Value.Instance i; _ } as _o) -> (
+  match Value.view tv.R.v with
+  | Value.Obj { payload = Value.Instance i; _ } -> (
       guard_shape cx tv;
       let cls = Semantics.instance_cls (Semantics.as_obj tv.R.v) in
       match Semantics.layout_index cls name with
       | Some idx ->
           R.emit cx (Ir.Getfield_gc idx) [| tv.R.src |]
             (Semantics.field_get i idx)
-      | None -> residual_r cx rc_getattr [| tv; lift (Value.Str name) |])
+      | None -> residual_r cx rc_getattr [| tv; lift (Value.of_str name) |])
   | Value.Obj { payload = Value.Class _; _ } ->
       let tv = promote cx tv in
       lift (Semantics.getattr (rt cx) tv.R.v name)
-  | _ -> residual_r cx rc_getattr [| tv; lift (Value.Str name) |]
+  | _ -> residual_r cx rc_getattr [| tv; lift (Value.of_str name) |]
 
 let setattr cx (tv : t) name (x : t) =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Obj { payload = Value.Instance _; _ } -> (
       guard_shape cx tv;
       let cls = Semantics.instance_cls (Semantics.as_obj tv.R.v) in
@@ -516,28 +548,28 @@ let setattr cx (tv : t) name (x : t) =
             | None -> assert false
           in
           R.emit_n cx (Ir.Setfield_gc idx) [| tv.R.src; x.R.src |])
-  | _ -> residual_n cx rc_setattr [| tv; lift (Value.Str name); x |]
+  | _ -> residual_n cx rc_setattr [| tv; lift (Value.of_str name); x |]
 
 let load_method cx (tv : t) name : t * t =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Obj { payload = Value.Class c; _ } -> (
       let tv = promote cx tv in
       ignore tv;
       match Semantics.class_attr c name with
-      | Some a -> (lift a, lift Value.Nil)
+      | Some a -> (lift a, lift Value.nil)
       | None -> err "class %s has no attribute '%s'" c.Value.cls_name name)
   | Value.Obj { payload = Value.Instance _; _ } -> (
       guard_shape cx tv;
       let cls = Semantics.instance_cls (Semantics.as_obj tv.R.v) in
       match Semantics.class_attr cls name with
-      | Some (Value.Obj { payload = Value.Func _; _ } as f) ->
+      | Some f when is_func_value f ->
           (* the class is pinned by the shape guard, so the method is a
              trace constant *)
           (lift f, tv)
-      | Some other -> (lift other, lift Value.Nil)
+      | Some other -> (lift other, lift Value.nil)
       | None ->
-          (residual_r cx rc_getattr [| tv; lift (Value.Str name) |],
-           lift Value.Nil))
+          (residual_r cx rc_getattr [| tv; lift (Value.of_str name) |],
+           lift Value.nil))
   | _ -> (
       match Direct_ops.builtin_method name with
       | Some b ->
@@ -557,7 +589,7 @@ let rc_dict_set =
   rc "rordereddict.ll_call_lookup_function" Aot.R
     (fun c a ->
       Semantics.setitem c a.(0) a.(1) a.(2);
-      Value.Nil)
+      Value.nil)
     ~effectful:true
 
 let rc_getitem_generic =
@@ -569,21 +601,22 @@ let rc_getitem_generic =
 let guarded_index cx (cont : t) (key : t) len len_opcode =
   guard_shape cx key;
   let i = as_int key.R.v in
-  let len_t = R.emit cx len_opcode [| cont.R.src |] (Value.Int len) in
+  let len_t = R.emit cx len_opcode [| cont.R.src |] (Value.of_int len) in
   if i >= 0 then begin
     R.guard cx Ir.G_index_lt [| key.R.src; len_t.R.src |];
     (key, i)
   end
   else begin
     let wrapped =
-      R.emit cx Ir.Int_add [| key.R.src; len_t.R.src |] (Value.Int (i + len))
+      R.emit cx Ir.Int_add [| key.R.src; len_t.R.src |]
+        (Value.of_int (i + len))
     in
     R.guard cx Ir.G_index_lt [| wrapped.R.src; len_t.R.src |];
     (wrapped, i + len)
   end
 
 let getitem cx (cont : t) (key : t) =
-  match (cont.R.v, key.R.v) with
+  match (Value.view cont.R.v, Value.view key.R.v) with
   | Value.Obj { payload = Value.List l; _ }, Value.Int _ ->
       guard_shape cx cont;
       let n = Value.list_len l in
@@ -603,14 +636,14 @@ let getitem cx (cont : t) (key : t) =
       let idx, i = guarded_index cx cont key n Ir.Strlen in
       if i < 0 || i >= n then err "string index out of range";
       R.emit cx Ir.Strgetitem [| cont.R.src; idx.R.src |]
-        (Value.Str (String.make 1 s.[i]))
+        (Value.of_str (String.make 1 s.[i]))
   | Value.Obj { payload = Value.Dict _; _ }, _ ->
       guard_shape cx cont;
       residual_r cx rc_dict_get [| cont; key |]
   | _ -> residual_r cx rc_getitem_generic [| cont; key |]
 
 let setitem cx (cont : t) (key : t) (v : t) =
-  match (cont.R.v, key.R.v) with
+  match (Value.view cont.R.v, Value.view key.R.v) with
   | Value.Obj { payload = Value.List l; _ }, Value.Int _ ->
       guard_shape cx cont;
       let n = Value.list_len l in
@@ -626,32 +659,32 @@ let setitem cx (cont : t) (key : t) (v : t) =
         (rc "W_Object.descr_setitem" Aot.I
            (fun c a ->
              Semantics.setitem c a.(0) a.(1) a.(2);
-             Value.Nil)
+             Value.nil)
            ~effectful:true)
         [| cont; key; v |]
 
 let len_ cx (tv : t) =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Str s ->
       guard_shape cx tv;
-      R.emit cx Ir.Strlen [| tv.R.src |] (Value.Int (String.length s))
+      R.emit cx Ir.Strlen [| tv.R.src |] (Value.of_int (String.length s))
   | Value.Obj { payload = Value.List _ | Value.Tuple _ | Value.Dict _ | Value.Set _; _ } ->
       guard_shape cx tv;
       R.emit cx Ir.Arraylen [| tv.R.src |]
-        (Value.Int (Semantics.len_of (rt cx) tv.R.v))
-  | v -> err "object of type %s has no len()" (Value.type_name v)
+        (Value.of_int (Semantics.len_of (rt cx) tv.R.v))
+  | _ -> err "object of type %s has no len()" (Value.type_name tv.R.v)
 
 let unpack cx (tv : t) n =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Obj { payload = Value.Tuple a; _ } when Array.length a = n ->
       guard_shape cx tv;
       let len_t =
-        R.emit cx Ir.Arraylen [| tv.R.src |] (Value.Int (Array.length a))
+        R.emit cx Ir.Arraylen [| tv.R.src |] (Value.of_int (Array.length a))
       in
-      R.guard cx (Ir.G_value (Value.Int n)) [| len_t.R.src |];
+      R.guard cx (Ir.G_value (Value.of_int n)) [| len_t.R.src |];
       Array.init n (fun i ->
           R.emit cx Ir.Getarrayitem_gc
-            [| tv.R.src; Ir.Const (Value.Int i) |]
+            [| tv.R.src; Ir.Const (Value.of_int i) |]
             a.(i))
   | _ ->
       let values = Semantics.unpack (rt cx) tv.R.v n in
@@ -661,14 +694,15 @@ let unpack cx (tv : t) n =
                (fun c a ->
                  (Semantics.unpack c a.(0) (Semantics.as_int a.(1))).(Semantics.as_int a.(2)))
                ~effectful:false)
-            [| tv; lift (Value.Int n); lift (Value.Int i) |]
+            [| tv; lift (Value.of_int n); lift (Value.of_int i) |]
           |> fun r -> { r with R.v = values.(i) })
 
 (* --- construction --- *)
 
 let make_list cx (items : t array) =
   let v =
-    Value.Obj (Rlist.create (rt cx) (Array.to_list (Array.map concrete items)))
+    Value.of_obj
+      (Rlist.create (rt cx) (Array.to_list (Array.map concrete items)))
   in
   R.emit cx (Ir.New_list (Array.length items))
     (Array.map (fun (a : t) -> a.R.src) items)
@@ -691,7 +725,7 @@ let rc_make_dict =
       for i = 0 to n - 1 do
         Rdict.set c o d a.(2 * i) a.((2 * i) + 1)
       done;
-      Value.Obj o)
+      Value.of_obj o)
     ~effectful:false
 
 let make_dict cx pairs =
@@ -700,7 +734,7 @@ let make_dict cx pairs =
 
 let rc_make_set =
   rc "ObjectSetStrategy_new" Aot.I
-    (fun c a -> Value.Obj (Rset.create c (Array.to_list a)))
+    (fun c a -> Value.of_obj (Rset.create c (Array.to_list a)))
     ~effectful:false
 
 let make_set cx items = residual_r cx rc_make_set items
@@ -710,14 +744,14 @@ let make_cell cx (v : t) =
   R.emit cx Ir.New_cell [| v.R.src |] cell
 
 let cell_get cx (tv : t) =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Obj { payload = Value.Cell c; _ } ->
       guard_shape cx tv;
       R.emit cx Ir.Getcell [| tv.R.src |] c.cell
   | _ -> err "expected cell"
 
 let cell_set cx (tv : t) (x : t) =
-  match tv.R.v with
+  match Value.view tv.R.v with
   | Value.Obj ({ payload = Value.Cell c; _ } as o) ->
       guard_shape cx tv;
       c.cell <- x.R.v;
@@ -735,7 +769,7 @@ let alloc_instance cx (clsv : t) =
       (Value.Instance
          {
            cls = cls_obj;
-           fields = Array.make (Array.length cls.Value.layout) Value.Nil;
+           fields = Array.make (Array.length cls.Value.layout) Value.nil;
          })
   in
   R.emit cx (Ir.New_with_vtable cls_obj) [||] inst
@@ -743,8 +777,11 @@ let alloc_instance cx (clsv : t) =
 let class_init_func cx (clsv : t) =
   let _, cls = Semantics.as_cls (promote cx clsv).R.v in
   match Semantics.class_attr cls "__init__" with
-  | Some (Value.Obj { payload = Value.Func f; _ }) -> Some f
-  | Some _ | None -> None
+  | Some f -> (
+      match Value.view f with
+      | Value.Obj { payload = Value.Func f; _ } -> Some f
+      | _ -> None)
+  | None -> None
 
 (* --- globals --- *)
 
@@ -773,7 +810,7 @@ let store_global cx globals name (v : t) =
     (rc "Module.setdictvalue" Aot.I
        (fun _c a ->
          Globals.set globals name a.(0);
-         Value.Nil)
+         Value.nil)
        ~effectful:true)
     [| v |]
 
@@ -849,13 +886,12 @@ let call_builtin cx (b : Builtin.t) (args : t array) : t =
   | Builtin.Len when Array.length args = 1 -> len_ cx args.(0)
   | Builtin.Annotate when Array.length args = 1 ->
       residual_n cx (rc_builtin b) args;
-      lift Value.Nil
+      lift Value.nil
   | _ ->
       if Array.length args > 0 then begin
         (* pin the receiver/first-argument shape so the residual call's
            fast path stays valid *)
-        match args.(0).R.v with
-        | Value.Obj _ | Value.Str _ -> guard_shape cx args.(0)
-        | _ -> ()
+        if Value.is_obj args.(0).R.v || Value.is_str args.(0).R.v then
+          guard_shape cx args.(0)
       end;
       residual_r cx (rc_builtin b) args

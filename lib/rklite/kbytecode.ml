@@ -126,5 +126,6 @@ let falls_through = function
 let str_const_khashes (c : code) : (string * int) list =
   Array.to_list c.instrs
   |> List.filter_map (function
-       | K_CONST (Mtj_rt.Value.Str s as v) -> Some (s, Mtj_rt.Value.py_hash v)
+       | K_CONST v when Mtj_rt.Value.is_str v ->
+           Some (Mtj_rt.Value.to_str_unchecked v, Mtj_rt.Value.py_hash v)
        | _ -> None)

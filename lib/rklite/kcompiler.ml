@@ -207,23 +207,23 @@ let cell_slot_for sc name =
 
 let quote_value (e : sexp) : Value.t =
   match e with
-  | Num n -> Value.Int n
-  | Fnum f -> Value.Float f
-  | Strlit s -> Value.Str s
-  | Atom "#t" -> Value.Bool true
-  | Atom "#f" -> Value.Bool false
-  | Atom a -> Value.Str a  (* symbols are interned as strings *)
-  | Slist [] -> Value.Nil
+  | Num n -> Value.of_int n
+  | Fnum f -> Value.of_float f
+  | Strlit s -> Value.of_str s
+  | Atom "#t" -> Value.of_bool true
+  | Atom "#f" -> Value.of_bool false
+  | Atom a -> Value.of_str a  (* symbols are interned as strings *)
+  | Slist [] -> Value.nil
   | Slist _ -> error "quoted lists are not supported"
 
 let rec compile_expr sc ~tail (e : sexp) =
   let b = sc.buf in
   match e with
-  | Num n -> ignore (emit b (K_CONST (Value.Int n)))
-  | Fnum f -> ignore (emit b (K_CONST (Value.Float f)))
-  | Strlit s -> ignore (emit b (K_CONST (Value.Str s)))
-  | Atom "#t" -> ignore (emit b (K_CONST (Value.Bool true)))
-  | Atom "#f" -> ignore (emit b (K_CONST (Value.Bool false)))
+  | Num n -> ignore (emit b (K_CONST (Value.of_int n)))
+  | Fnum f -> ignore (emit b (K_CONST (Value.of_float f)))
+  | Strlit s -> ignore (emit b (K_CONST (Value.of_str s)))
+  | Atom "#t" -> ignore (emit b (K_CONST (Value.of_bool true)))
+  | Atom "#f" -> ignore (emit b (K_CONST (Value.of_bool false)))
   | Atom name -> (
       match resolve sc name with
       | A_local slot -> ignore (emit b (K_LOCAL slot))
@@ -242,7 +242,7 @@ and compile_form sc ~tail head args =
       compile_expr sc ~tail t;
       let jend = emit b (K_JUMP (-1)) in
       patch b jf (K_JUMP_IF_FALSE b.len);
-      ignore (emit b (K_CONST Value.Nil));
+      ignore (emit b (K_CONST Value.nil));
       patch b jend (K_JUMP b.len)
   | Atom "if", [ c; t; e ] ->
       compile_expr sc ~tail:false c;
@@ -255,7 +255,7 @@ and compile_form sc ~tail head args =
   | Atom "cond", clauses ->
       let jends = ref [] in
       let rec go = function
-        | [] -> ignore (emit b (K_CONST Value.Nil))
+        | [] -> ignore (emit b (K_CONST Value.nil))
         | Slist (Atom "else" :: body) :: _ -> compile_body sc ~tail body
         | Slist (c :: body) :: rest ->
             compile_expr sc ~tail:false c;
@@ -274,13 +274,13 @@ and compile_form sc ~tail head args =
       compile_body sc ~tail body;
       let jend = emit b (K_JUMP (-1)) in
       patch b jf (K_JUMP_IF_FALSE b.len);
-      ignore (emit b (K_CONST Value.Nil));
+      ignore (emit b (K_CONST Value.nil));
       patch b jend (K_JUMP b.len)
   | Atom "unless", c :: body ->
       compile_form sc ~tail (Atom "when")
         (Slist [ Atom "not"; c ] :: body)
   | Atom "begin", body -> compile_body sc ~tail body
-  | Atom "and", [] -> ignore (emit b (K_CONST (Value.Bool true)))
+  | Atom "and", [] -> ignore (emit b (K_CONST (Value.of_bool true)))
   | Atom "and", items ->
       let rec go = function
         | [ last ] -> compile_expr sc ~tail last
@@ -292,7 +292,7 @@ and compile_form sc ~tail head args =
         | [] -> assert false
       in
       go items
-  | Atom "or", [] -> ignore (emit b (K_CONST (Value.Bool false)))
+  | Atom "or", [] -> ignore (emit b (K_CONST (Value.of_bool false)))
   | Atom "or", items ->
       let rec go = function
         | [ last ] -> compile_expr sc ~tail last
@@ -310,7 +310,7 @@ and compile_form sc ~tail head args =
       | A_local slot -> ignore (emit b (K_SET_LOCAL slot))
       | A_cell slot -> ignore (emit b (K_CELL_SET slot))
       | A_global -> ignore (emit b (K_SET_GLOBAL name)));
-      ignore (emit b (K_CONST Value.Nil))
+      ignore (emit b (K_CONST Value.nil))
   | Atom "lambda", Slist params :: body ->
       compile_closure sc ~cname:"lambda" ~self:None params body
   | Atom "let", Atom name :: Slist bindings :: body ->
@@ -363,7 +363,7 @@ and compile_form sc ~tail head args =
             | Slist [ Atom v; _ ] ->
                 let slot = fresh_slot sc in
                 Hashtbl.replace sc.tbl v slot;
-                ignore (emit b (K_CONST Value.Nil));
+                ignore (emit b (K_CONST Value.nil));
                 ignore (emit b (K_SET_LOCAL slot));
                 if is_celled sc v then ignore (emit b (K_MAKE_CELL slot));
                 (v, slot)
@@ -414,7 +414,7 @@ and compile_call sc ~tail head args =
   else ignore (emit sc.buf (K_CALL (List.length args)))
 
 and compile_body sc ~tail = function
-  | [] -> ignore (emit sc.buf (K_CONST Value.Nil))
+  | [] -> ignore (emit sc.buf (K_CONST Value.nil))
   | [ last ] -> compile_expr sc ~tail last
   | x :: rest ->
       compile_expr sc ~tail:false x;
@@ -558,16 +558,16 @@ let compile_program (forms : sexp list) : Kbytecode.code =
       | Slist [ Atom "define"; Atom name; e ] ->
           compile_expr sc ~tail:false e;
           ignore (emit b (K_SET_GLOBAL name));
-          ignore (emit b (K_CONST Value.Nil))
+          ignore (emit b (K_CONST Value.nil))
       | Slist (Atom "define" :: Slist (Atom name :: params) :: body) ->
           compile_lambda ~parent:(Some sc) ~cname:name ~self:(Some name)
             params body;
           ignore (emit b (K_SET_GLOBAL name));
-          ignore (emit b (K_CONST Value.Nil))
+          ignore (emit b (K_CONST Value.nil))
       | e -> compile_expr sc ~tail:false e);
       ignore (emit b K_POP))
     forms;
-  ignore (emit b (K_CONST Value.Nil));
+  ignore (emit b (K_CONST Value.nil));
   ignore (emit b K_RETURN);
   let instrs = Array.sub b.arr 0 b.len in
   let n = Array.length instrs in

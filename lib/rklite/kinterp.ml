@@ -21,7 +21,7 @@ module Step (O : Ops_intf.OPS) = struct
   let pop_args cx (f : frame) n : O.t array =
     if n = 0 then [||]
     else begin
-      let args = Array.make n (O.const cx Value.Nil) in
+      let args = Array.make n (O.const cx Value.nil) in
       for i = n - 1 downto 0 do
         args.(i) <- Frame.pop f
       done;
@@ -48,16 +48,16 @@ module Step (O : Ops_intf.OPS) = struct
           if O.is_true cx (O.compare cx op a b) then go rest else false
       | _ -> true
     in
-    O.const cx (Value.Bool (go args))
+    O.const cx (Value.of_bool (go args))
 
   let prim cx globals (f : frame) (p : prim) (args : O.t list) : O.t =
     ignore f;
     match (p, args) with
-    | P_add, _ -> number_prim cx O.add args (Value.Int 0)
+    | P_add, _ -> number_prim cx O.add args (Value.of_int 0)
     | P_sub, [ x ] -> O.neg cx x
     | P_sub, x :: rest when rest <> [] ->
         List.fold_left (fun acc a -> O.sub cx acc a) x rest
-    | P_mul, _ -> number_prim cx O.mul args (Value.Int 1)
+    | P_mul, _ -> number_prim cx O.mul args (Value.of_int 1)
     | P_div, [ a; b ] -> O.truediv cx a b
     | P_quotient, [ a; b ] -> O.floordiv cx a b
     | P_remainder, [ a; b ] | P_modulo, [ a; b ] -> O.modulo cx a b
@@ -69,36 +69,40 @@ module Step (O : Ops_intf.OPS) = struct
     | P_eq, [ a; b ] -> O.compare cx Ops_intf.Is a b
     | P_equal, [ a; b ] -> O.compare cx Ops_intf.Eq a b
     | P_not, [ a ] -> O.not_ cx a
-    | P_zerop, [ a ] -> O.compare cx Ops_intf.Eq a (O.const cx (Value.Int 0))
-    | P_nullp, [ a ] -> O.compare cx Ops_intf.Is a (O.const cx Value.Nil)
-    | P_pairp, [ a ] -> (
-        match O.concrete a with
-        | Value.Obj { payload = Value.Instance _; _ } ->
-            (* the only instances in rklite are pairs *)
-            O.const cx (Value.Bool true)
-        | _ -> O.const cx (Value.Bool false))
+    | P_zerop, [ a ] -> O.compare cx Ops_intf.Eq a (O.const cx (Value.of_int 0))
+    | P_nullp, [ a ] -> O.compare cx Ops_intf.Is a (O.const cx Value.nil)
+    | P_pairp, [ a ] ->
+        let cv = O.concrete a in
+        O.const cx
+          (Value.of_bool
+             (Value.is_obj cv
+             &&
+             (* the only instances in rklite are pairs *)
+             match (Value.to_obj_unchecked cv).Value.payload with
+             | Value.Instance _ -> true
+             | _ -> false))
     | P_car, [ a ] -> O.getattr cx a "car"
     | P_cdr, [ a ] -> O.getattr cx a "cdr"
     | P_cons, [ a; d ] -> cons cx globals a d
     | P_set_car, [ p; v ] ->
         O.setattr cx p "car" v;
-        O.const cx Value.Nil
+        O.const cx Value.nil
     | P_set_cdr, [ p; v ] ->
         O.setattr cx p "cdr" v;
-        O.const cx Value.Nil
+        O.const cx Value.nil
     | P_vector_ref, [ v; i ] -> O.getitem cx v i
     | P_vector_set, [ v; i; x ] ->
         O.setitem cx v i x;
-        O.const cx Value.Nil
+        O.const cx Value.nil
     | P_vector_length, [ v ] -> O.len_ cx v
     | P_vector, _ -> O.make_list cx (Array.of_list args)
     | P_make_vector, [ n ] ->
-        O.call_builtin cx Builtin.Make_vector [| n; O.const cx (Value.Int 0) |]
+        O.call_builtin cx Builtin.Make_vector [| n; O.const cx (Value.of_int 0) |]
     | P_make_vector, [ n; init ] ->
         O.call_builtin cx Builtin.Make_vector [| n; init |]
     | P_display, [ v ] -> O.call_builtin cx Builtin.Display [| v |]
     | P_newline, [] ->
-        O.call_builtin cx Builtin.Display [| O.const cx (Value.Str "\n") |]
+        O.call_builtin cx Builtin.Display [| O.const cx (Value.of_str "\n") |]
     | P_sqrt, [ v ] -> O.call_builtin cx Builtin.Sqrt [| v |]
     | P_sin, [ v ] -> O.call_builtin cx Builtin.Sin [| v |]
     | P_cos, [ v ] -> O.call_builtin cx Builtin.Cos [| v |]
@@ -109,12 +113,12 @@ module Step (O : Ops_intf.OPS) = struct
     | P_floor, [ v ] -> O.call_builtin cx Builtin.Floor_f [| v |]
     | P_num_to_str, [ v ] -> O.call_builtin cx Builtin.To_str [| v |]
     | P_str_append, _ ->
-        number_prim cx O.add args (Value.Str "")
+        number_prim cx O.add args (Value.of_str "")
     | P_str_length, [ v ] -> O.len_ cx v
     | P_to_float, [ v ] -> O.call_builtin cx Builtin.To_float [| v |]
     | P_list, _ ->
         List.fold_right (fun a acc -> cons cx globals a acc) args
-          (O.const cx Value.Nil)
+          (O.const cx Value.nil)
     | P_annotate, [ v ] -> O.call_builtin cx Builtin.Annotate [| v |]
     | p, _ ->
         err "%s: wrong number of arguments (%d)" (prim_name p)
@@ -309,7 +313,7 @@ let threaded_code (cx : Direct_ops.cx) (globals : Globals.t)
     let next = pc + 1 in
     match instr with
     | K_CONST v ->
-        let c = Direct_ops.const cx (Value.intern v) in
+        let c = Direct_ops.const cx v in
         fun f ->
           charge ~target;
           Frame.push f c;

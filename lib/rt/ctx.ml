@@ -54,7 +54,7 @@ let create ?config () =
     hstats;
     frame_pool =
       Apool.create ~enabled:config.Mtj_core.Config.frame_pool ~stats:hstats
-        Value.Nil;
+        Value.nil;
     uid = Atomic.fetch_and_add next_uid 1;
   }
 
@@ -68,12 +68,7 @@ let hstats t = t.hstats
 let frame_pool t = t.frame_pool
 let uid t = t.uid
 
-(* counted small-int boxing for ctx-bearing hot paths: same result as
-   [Value.of_int], plus an intern-hit tick in [hstats] *)
-let[@inline] of_int t i =
-  if Value.is_interned_int i then begin
-    t.hstats.Hstats.value_interned_hits <-
-      t.hstats.Hstats.value_interned_hits + 1;
-    Value.of_int i
-  end
-  else Value.Int i
+(* small-int boxing used to be counted here (intern-table hits); with
+   the immediate representation [Value.of_int] is the identity and the
+   fast-path accounting moved into Rarith's typed entry points *)
+let[@inline] of_int _t i = Value.of_int i

@@ -59,11 +59,11 @@ let addr (o : Value.obj) ~field = (o.Value.uid lsl 8) lor ((field land 15) lsl 3
 let payload_children (p : Value.payload) (visit : Value.t -> unit) =
   match p with
   | Value.Instance i ->
-      visit (Value.Obj i.Value.cls);
+      visit (Value.of_obj i.Value.cls);
       Array.iter visit i.Value.fields
   | Value.Class c ->
       List.iter (fun (_, v) -> visit v) c.Value.attrs;
-      Option.iter (fun p -> visit (Value.Obj p)) c.Value.parent
+      Option.iter (fun p -> visit (Value.of_obj p)) c.Value.parent
   | Value.List l -> (
       match l.Value.strategy with
       | Value.S_obj s ->
@@ -83,9 +83,8 @@ let payload_children (p : Value.payload) (visit : Value.t -> unit) =
   | Value.Func f -> Array.iter visit f.Value.captured
   | Value.Method m ->
       visit m.receiver;
-      visit (Value.Obj m.func)
+      visit (Value.of_obj m.func)
   | Value.Cell c -> visit c.cell
-  | Value.Iter it -> visit it.src
   | Value.Bigint _ | Value.Strbuilder _ | Value.Range _ -> ()
 
 (* Generic mark from roots.  [follow_old] controls whether marking
@@ -94,16 +93,14 @@ let mark t ~follow_old ~extra_roots =
   let marked = ref [] in
   let stack = ref [] in
   let visit v =
-    match v with
-    | Value.Obj o when not o.Value.gc_mark ->
-        if follow_old || o.Value.gc_gen = 0 then begin
-          o.Value.gc_mark <- true;
-          marked := o :: !marked;
-          stack := o :: !stack
-        end
-    | Value.Obj _ | Value.Nil | Value.Bool _ | Value.Int _ | Value.Float _
-    | Value.Str _ ->
-        ()
+    if Value.is_obj v then begin
+      let o = Value.to_obj_unchecked v in
+      if (not o.Value.gc_mark) && (follow_old || o.Value.gc_gen = 0) then begin
+        o.Value.gc_mark <- true;
+        marked := o :: !marked;
+        stack := o :: !stack
+      end
+    end
   in
   List.iter (fun (_, scan) -> scan visit) t.scanners;
   List.iter visit extra_roots;
@@ -127,11 +124,8 @@ let mark t ~follow_old ~extra_roots =
 let has_young_child (o : Value.obj) =
   let found = ref false in
   payload_children o.Value.payload (fun v ->
-      match v with
-      | Value.Obj c when c.Value.gc_gen = 0 -> found := true
-      | Value.Obj _ | Value.Nil | Value.Bool _ | Value.Int _ | Value.Float _
-      | Value.Str _ ->
-          ());
+      if Value.is_obj v && (Value.to_obj_unchecked v).Value.gc_gen = 0 then
+        found := true);
   !found
 
 (* After a collection the remembered set is rebuilt from the old objects
@@ -289,7 +283,7 @@ let alloc t payload =
   Engine.emit t.engine alloc_cost;
   o
 
-let obj t payload = Value.Obj (alloc t payload)
+let obj t payload = Value.of_obj (alloc t payload)
 
 let grow t (o : Value.obj) =
   let words = header_words + Value.payload_words o.Value.payload in
@@ -306,16 +300,16 @@ let grow t (o : Value.obj) =
   end
 
 let write_barrier t ~parent ~child =
-  match child with
-  | Value.Obj c
-    when parent.Value.gc_gen = 1 && c.Value.gc_gen = 0
-         && not parent.Value.remembered ->
-      parent.Value.remembered <- true;
-      t.remembered <- parent :: t.remembered;
-      Engine.emit t.engine barrier_cost
-  | Value.Obj _ | Value.Nil | Value.Bool _ | Value.Int _ | Value.Float _
-  | Value.Str _ ->
-      ()
+  if
+    Value.is_obj child
+    && parent.Value.gc_gen = 1
+    && (Value.to_obj_unchecked child).Value.gc_gen = 0
+    && not parent.Value.remembered
+  then begin
+    parent.Value.remembered <- true;
+    t.remembered <- parent :: t.remembered;
+    Engine.emit t.engine barrier_cost
+  end
 
 let add_root_scanner t scan =
   let id = t.next_scanner in

@@ -7,11 +7,19 @@
     counter and the exported values are deterministic. *)
 
 type t = {
-  mutable value_interned_hits : int;
-      (* [Int] results served from the preallocated intern table by the
-         counted (ctx-bearing) runtime paths; a lower bound on total
-         intern-table hits, since context-free paths (eval_op, translate-
-         time constant interning) do not count *)
+  mutable imm_fast_path_hits : int;
+      (* typed arithmetic/comparison entry points (Rarith) fully handled
+         on the immediate-int fast path: no heap block touched, result
+         (if any) built with the allocation-free [Value.of_int]/
+         [Value.of_bool] *)
+  mutable boxed_slow_path_hits : int;
+      (* the same entry points falling back to the boxed path: a float,
+         bool, bigint or overflow-promotion was involved *)
+  mutable typed_ops_total : int;
+      (* entries into the counted typed entry points; every entry
+         classifies as exactly one of the two buckets above, so
+         [imm_fast_path_hits + boxed_slow_path_hits = typed_ops_total]
+         is a structural invariant (checked by the metrics validator) *)
   mutable frame_pool_reuses : int;
       (* locals/stack arrays served from a frame pool free list instead
          of [Array.make] *)
@@ -21,4 +29,10 @@ type t = {
 }
 
 let create () =
-  { value_interned_hits = 0; frame_pool_reuses = 0; dict_hash_skips = 0 }
+  {
+    imm_fast_path_hits = 0;
+    boxed_slow_path_hits = 0;
+    typed_ops_total = 0;
+    frame_pool_reuses = 0;
+    dict_hash_skips = 0;
+  }

@@ -11,30 +11,58 @@ let big_lshift_fn = Aot.register ~name:"rbigint.lshift" ~src:Aot.L
 let big_rshift_fn = Aot.register ~name:"rbigint.rshift" ~src:Aot.L
 let big_cmp_fn = Aot.register ~name:"rbigint.cmp" ~src:Aot.L
 
-let is_number = function
-  | Value.Int _ | Value.Float _ | Value.Bool _ -> true
-  | Value.Obj { payload = Value.Bigint _; _ } -> true
-  | Value.Nil | Value.Str _ | Value.Obj _ -> false
+(* typed-op accounting: every counted entry point classifies exactly once
+   as immediate-fast or boxed-slow, so fast + slow = total structurally.
+   Host-side counters only; the simulation never sees them. *)
 
+let[@inline] tick_imm ctx =
+  let h = Ctx.hstats ctx in
+  h.Hstats.typed_ops_total <- h.Hstats.typed_ops_total + 1;
+  h.Hstats.imm_fast_path_hits <- h.Hstats.imm_fast_path_hits + 1
+
+let[@inline] tick_boxed ctx =
+  let h = Ctx.hstats ctx in
+  h.Hstats.typed_ops_total <- h.Hstats.typed_ops_total + 1;
+  h.Hstats.boxed_slow_path_hits <- h.Hstats.boxed_slow_path_hits + 1
+
+let is_number v =
+  Value.is_int v || Value.is_float v || Value.is_bool v
+  || (Value.is_obj v
+     &&
+     match (Value.to_obj_unchecked v).Value.payload with
+     | Value.Bigint _ -> true
+     | _ -> false)
 
 let normalize_big ctx b =
   match Rbigint.to_int_opt b with
   | Some i -> Ctx.of_int ctx i
   | None -> Gc_sim.obj (Ctx.gc ctx) (Value.Bigint b)
 
-let as_big = function
-  | Value.Int i -> Some (Rbigint.of_int i)
-  | Value.Bool b -> Some (Rbigint.of_int (Bool.to_int b))
-  | Value.Obj { payload = Value.Bigint b; _ } -> Some b
-  | Value.Nil | Value.Float _ | Value.Str _ | Value.Obj _ -> None
+let as_big v =
+  if Value.is_int v then Some (Rbigint.of_int (Value.to_int_unchecked v))
+  else if Value.is_bool v then
+    Some (Rbigint.of_int (Bool.to_int (Value.to_bool_unchecked v)))
+  else if Value.is_obj v then
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Bigint b -> Some b
+    | _ -> None
+  else None
 
-let to_float = function
-  | Value.Int i -> float_of_int i
-  | Value.Float f -> f
-  | Value.Bool b -> if b then 1.0 else 0.0
-  | Value.Obj { payload = Value.Bigint b; _ } ->
-      float_of_string (Rbigint.to_string b)
-  | v -> raise (Type_error ("expected number, got " ^ Value.type_name v))
+let to_float v =
+  if Value.is_int v then float_of_int (Value.to_int_unchecked v)
+  else if Value.is_float v then Value.to_float_unchecked v
+  else if Value.is_bool v then (if Value.to_bool_unchecked v then 1.0 else 0.0)
+  else if
+    Value.is_obj v
+    &&
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Bigint _ -> true
+    | _ -> false
+  then
+    match (Value.to_obj_unchecked v).Value.payload with
+    | Value.Bigint b -> float_of_string (Rbigint.to_string b)
+    | _ -> assert false
+  else raise (Type_error ("expected number, got " ^ Value.type_name v))
 
 let charge_digits ctx fn a b op =
   Aot.call ctx fn @@ fun () ->
@@ -61,55 +89,105 @@ let big_binop ctx fn op a b =
 
 let overflowed_add a b r = (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0)
 
-let int_like = function
-  | Value.Int _ | Value.Bool _ -> true
-  | Value.Nil | Value.Float _ | Value.Str _ | Value.Obj _ -> false
+let[@inline] int_like v = Value.is_int v || Value.is_bool v
 
-let as_int = function
-  | Value.Int i -> i
-  | Value.Bool b -> Bool.to_int b
-  | _ -> raise (Type_error "expected int")
+let[@inline] as_int v =
+  if Value.is_int v then Value.to_int_unchecked v
+  else if Value.is_bool v then Bool.to_int (Value.to_bool_unchecked v)
+  else raise (Type_error "expected int")
 
-let float_involved a b =
-  match (a, b) with
-  | Value.Float _, _ | _, Value.Float _ -> true
-  | _ -> false
+let[@inline] float_involved a b = Value.is_float a || Value.is_float b
+
+(* Each binop leads with the immediate-int tag-test fast path: two tag
+   tests, native arithmetic, an allocation-free [of_int] — no variant
+   round-trip, no heap traffic.  The boxed tail is the old logic and
+   also re-covers int operands mixed with bools. *)
 
 let add ctx a b =
-  if float_involved a b then Value.Float (to_float a +. to_float b)
-  else if int_like a && int_like b then begin
-    let x = as_int a and y = as_int b in
+  if Value.is_int a && Value.is_int b then begin
+    let x = Value.to_int_unchecked a and y = Value.to_int_unchecked b in
     let r = x + y in
-    if overflowed_add x y r then
+    if overflowed_add x y r then begin
+      tick_boxed ctx;
       big_binop ctx big_add_fn Rbigint.add a b
-    else Ctx.of_int ctx r
+    end
+    else begin
+      tick_imm ctx;
+      Value.of_int r
+    end
   end
-  else big_binop ctx big_add_fn Rbigint.add a b
+  else begin
+    tick_boxed ctx;
+    if float_involved a b then Value.of_float (to_float a +. to_float b)
+    else if int_like a && int_like b then begin
+      let x = as_int a and y = as_int b in
+      let r = x + y in
+      if overflowed_add x y r then big_binop ctx big_add_fn Rbigint.add a b
+      else Ctx.of_int ctx r
+    end
+    else big_binop ctx big_add_fn Rbigint.add a b
+  end
 
 let sub ctx a b =
-  if float_involved a b then Value.Float (to_float a -. to_float b)
-  else if int_like a && int_like b then begin
-    let x = as_int a and y = as_int b in
+  if Value.is_int a && Value.is_int b then begin
+    let x = Value.to_int_unchecked a and y = Value.to_int_unchecked b in
     let r = x - y in
-    if (x >= 0) <> (y >= 0) && (r >= 0) <> (x >= 0) then
+    if (x >= 0) <> (y >= 0) && (r >= 0) <> (x >= 0) then begin
+      tick_boxed ctx;
       big_binop ctx big_sub_fn Rbigint.sub a b
-    else Ctx.of_int ctx r
+    end
+    else begin
+      tick_imm ctx;
+      Value.of_int r
+    end
   end
-  else big_binop ctx big_sub_fn Rbigint.sub a b
+  else begin
+    tick_boxed ctx;
+    if float_involved a b then Value.of_float (to_float a -. to_float b)
+    else if int_like a && int_like b then begin
+      let x = as_int a and y = as_int b in
+      let r = x - y in
+      if (x >= 0) <> (y >= 0) && (r >= 0) <> (x >= 0) then
+        big_binop ctx big_sub_fn Rbigint.sub a b
+      else Ctx.of_int ctx r
+    end
+    else big_binop ctx big_sub_fn Rbigint.sub a b
+  end
 
+(* min_int-safe: [abs min_int] is still negative, so the old magnitude
+   screen let [min_int * -1] wrap silently; and the quotient probe must
+   never divide by -1 ([min_int / -1] traps in hardware) *)
 let mul_overflows x y =
-  x <> 0
-  && (abs x > 1 lsl 31 || abs y > 1 lsl 31)
-  && (let r = x * y in r / x <> y)
+  x <> 0 && y <> 0
+  &&
+  if x = -1 then y = min_int
+  else if y = -1 then x = min_int
+  else
+    (x < -(1 lsl 31) || x > 1 lsl 31 || y < -(1 lsl 31) || y > 1 lsl 31)
+    && (let r = x * y in r / x <> y)
 
 let mul ctx a b =
-  if float_involved a b then Value.Float (to_float a *. to_float b)
-  else if int_like a && int_like b then begin
-    let x = as_int a and y = as_int b in
-    if mul_overflows x y then big_binop ctx big_mul_fn Rbigint.mul a b
-    else Ctx.of_int ctx (x * y)
+  if Value.is_int a && Value.is_int b then begin
+    let x = Value.to_int_unchecked a and y = Value.to_int_unchecked b in
+    if mul_overflows x y then begin
+      tick_boxed ctx;
+      big_binop ctx big_mul_fn Rbigint.mul a b
+    end
+    else begin
+      tick_imm ctx;
+      Value.of_int (x * y)
+    end
   end
-  else big_binop ctx big_mul_fn Rbigint.mul a b
+  else begin
+    tick_boxed ctx;
+    if float_involved a b then Value.of_float (to_float a *. to_float b)
+    else if int_like a && int_like b then begin
+      let x = as_int a and y = as_int b in
+      if mul_overflows x y then big_binop ctx big_mul_fn Rbigint.mul a b
+      else Ctx.of_int ctx (x * y)
+    end
+    else big_binop ctx big_mul_fn Rbigint.mul a b
+  end
 
 (* Python floor division / modulo on native ints *)
 let floordiv_int x y =
@@ -123,108 +201,162 @@ let mod_int x y =
   if r <> 0 && (r < 0) <> (y < 0) then r + y else r
 
 let floordiv ctx a b =
-  if float_involved a b then begin
-    let d = to_float b in
-    if d = 0.0 then raise Division_by_zero;
-    Value.Float (floor (to_float a /. d))
+  if Value.is_int a && Value.is_int b then begin
+    tick_imm ctx;
+    Value.of_int
+      (floordiv_int (Value.to_int_unchecked a) (Value.to_int_unchecked b))
   end
-  else if int_like a && int_like b then
-    Ctx.of_int ctx (floordiv_int (as_int a) (as_int b))
-  else
-    big_binop ctx big_divmod_fn (fun x y -> fst (Rbigint.divmod x y)) a b
+  else begin
+    tick_boxed ctx;
+    if float_involved a b then begin
+      let d = to_float b in
+      if d = 0.0 then raise Division_by_zero;
+      Value.of_float (floor (to_float a /. d))
+    end
+    else if int_like a && int_like b then
+      Ctx.of_int ctx (floordiv_int (as_int a) (as_int b))
+    else big_binop ctx big_divmod_fn (fun x y -> fst (Rbigint.divmod x y)) a b
+  end
 
 let modulo ctx a b =
-  if float_involved a b then begin
-    let d = to_float b in
-    if d = 0.0 then raise Division_by_zero;
-    let r = Float.rem (to_float a) d in
-    let r = if r <> 0.0 && (r < 0.0) <> (d < 0.0) then r +. d else r in
-    Value.Float r
+  if Value.is_int a && Value.is_int b then begin
+    tick_imm ctx;
+    Value.of_int (mod_int (Value.to_int_unchecked a) (Value.to_int_unchecked b))
   end
-  else if int_like a && int_like b then
-    Ctx.of_int ctx (mod_int (as_int a) (as_int b))
-  else
-    big_binop ctx big_divmod_fn (fun x y -> snd (Rbigint.divmod x y)) a b
+  else begin
+    tick_boxed ctx;
+    if float_involved a b then begin
+      let d = to_float b in
+      if d = 0.0 then raise Division_by_zero;
+      let r = Float.rem (to_float a) d in
+      let r = if r <> 0.0 && (r < 0.0) <> (d < 0.0) then r +. d else r in
+      Value.of_float r
+    end
+    else if int_like a && int_like b then
+      Ctx.of_int ctx (mod_int (as_int a) (as_int b))
+    else big_binop ctx big_divmod_fn (fun x y -> snd (Rbigint.divmod x y)) a b
+  end
 
-let truediv _ctx a b =
+let truediv ctx a b =
+  tick_boxed ctx;
   let d = to_float b in
   if d = 0.0 then raise Division_by_zero;
-  Value.Float (to_float a /. d)
+  Value.of_float (to_float a /. d)
 
 let divmod ctx a b = (floordiv ctx a b, modulo ctx a b)
 
-let neg ctx = function
-  | Value.Int i when i <> min_int -> Ctx.of_int ctx (-i)
-  | Value.Int i -> normalize_big ctx (Rbigint.neg (Rbigint.of_int i))
-  | Value.Float f -> Value.Float (-.f)
-  | Value.Bool b -> Ctx.of_int ctx (-Bool.to_int b)
-  | Value.Obj { payload = Value.Bigint b; _ } ->
-      normalize_big ctx (Rbigint.neg b)
-  | v -> raise (Type_error ("bad operand for unary -: " ^ Value.type_name v))
+let neg ctx v =
+  if Value.is_int v then begin
+    let i = Value.to_int_unchecked v in
+    if i <> min_int then begin
+      tick_imm ctx;
+      Value.of_int (-i)
+    end
+    else begin
+      tick_boxed ctx;
+      normalize_big ctx (Rbigint.neg (Rbigint.of_int i))
+    end
+  end
+  else begin
+    tick_boxed ctx;
+    if Value.is_float v then Value.of_float (-.(Value.to_float_unchecked v))
+    else if Value.is_bool v then
+      Ctx.of_int ctx (-Bool.to_int (Value.to_bool_unchecked v))
+    else
+      match as_big v with
+      | Some b -> normalize_big ctx (Rbigint.neg b)
+      | None ->
+          raise (Type_error ("bad operand for unary -: " ^ Value.type_name v))
+  end
 
 let pow ctx a b =
-  match (a, b) with
-  | _, _ when float_involved a b ->
-      Value.Float (Rstr.pow_float ctx (to_float a) (to_float b))
-  | _ when int_like a && int_like b ->
-      let base = as_int a and e = as_int b in
-      if e < 0 then Value.Float (Rstr.pow_float ctx (float_of_int base) (float_of_int e))
-      else begin
-        (* exponentiation by squaring with overflow promotion *)
-        let rec go acc base e =
-          if e = 0 then acc
-          else begin
-            let acc = if e land 1 = 1 then mul ctx acc base else acc in
-            let base' = if e > 1 then mul ctx base base else base in
-            go acc base' (e lsr 1)
-          end
-        in
-        go (Value.of_int 1) (Value.of_int base) e
-      end
-  | _ ->
-      raise
-        (Type_error
-           (Printf.sprintf "pow: unsupported operands %s, %s"
-              (Value.type_name a) (Value.type_name b)))
+  if float_involved a b then
+    Value.of_float (Rstr.pow_float ctx (to_float a) (to_float b))
+  else if int_like a && int_like b then begin
+    let base = as_int a and e = as_int b in
+    if e < 0 then
+      Value.of_float (Rstr.pow_float ctx (float_of_int base) (float_of_int e))
+    else begin
+      (* exponentiation by squaring with overflow promotion; the [mul]
+         calls do the typed-op accounting *)
+      let rec go acc base e =
+        if e = 0 then acc
+        else begin
+          let acc = if e land 1 = 1 then mul ctx acc base else acc in
+          let base' = if e > 1 then mul ctx base base else base in
+          go acc base' (e lsr 1)
+        end
+      in
+      go (Value.of_int 1) (Value.of_int base) e
+    end
+  end
+  else
+    raise
+      (Type_error
+         (Printf.sprintf "pow: unsupported operands %s, %s"
+            (Value.type_name a) (Value.type_name b)))
 
 let lshift ctx a n =
-  match a with
-  | Value.Int i when n < 40 && abs i < 1 lsl 20 -> Ctx.of_int ctx (i lsl n)
-  | _ -> (
-      match as_big a with
-      | Some b ->
-          Aot.call ctx big_lshift_fn (fun () ->
-              let w = Rbigint.num_digits b + (n / 30) + 1 in
-              Engine.emit (Ctx.engine ctx)
-                (Cost.make ~alu:(2 * w) ~load:w ~store:w ());
-              normalize_big ctx (Rbigint.lshift b n))
-      | None -> raise (Type_error "lshift: expected int"))
+  if
+    (* explicit range, not [abs]: [abs min_int] is still negative, so
+       the magnitude guard would wrongly admit min_int and wrap *)
+    Value.is_int a && n < 40
+    && Value.to_int_unchecked a > -(1 lsl 20)
+    && Value.to_int_unchecked a < 1 lsl 20
+  then begin
+    tick_imm ctx;
+    Value.of_int (Value.to_int_unchecked a lsl n)
+  end
+  else begin
+    tick_boxed ctx;
+    match as_big a with
+    | Some b ->
+        Aot.call ctx big_lshift_fn (fun () ->
+            let w = Rbigint.num_digits b + (n / 30) + 1 in
+            Engine.emit (Ctx.engine ctx)
+              (Cost.make ~alu:(2 * w) ~load:w ~store:w ());
+            normalize_big ctx (Rbigint.lshift b n))
+    | None -> raise (Type_error "lshift: expected int")
+  end
 
 let rshift ctx a n =
-  match a with
-  | Value.Int i when i >= 0 -> Ctx.of_int ctx (i asr n)
-  | _ -> (
-      match as_big a with
-      | Some b ->
-          Aot.call ctx big_rshift_fn (fun () ->
-              let w = max 1 (Rbigint.num_digits b) in
-              Engine.emit (Ctx.engine ctx)
-                (Cost.make ~alu:(2 * w) ~load:w ~store:w ());
-              normalize_big ctx (Rbigint.rshift b n))
-      | None -> raise (Type_error "rshift: expected int"))
+  if Value.is_int a && Value.to_int_unchecked a >= 0 then begin
+    tick_imm ctx;
+    (* [asr] is unspecified past the word size (hardware wraps the
+       count); clamp — a non-negative int shifted by >= 62 is 0 *)
+    Value.of_int (Value.to_int_unchecked a asr (if n > 62 then 62 else n))
+  end
+  else begin
+    tick_boxed ctx;
+    match as_big a with
+    | Some b ->
+        Aot.call ctx big_rshift_fn (fun () ->
+            let w = max 1 (Rbigint.num_digits b) in
+            Engine.emit (Ctx.engine ctx)
+              (Cost.make ~alu:(2 * w) ~load:w ~store:w ());
+            normalize_big ctx (Rbigint.rshift b n))
+    | None -> raise (Type_error "rshift: expected int")
+  end
 
 let compare_num ctx a b =
-  if float_involved a b then Float.compare (to_float a) (to_float b)
-  else if int_like a && int_like b then Int.compare (as_int a) (as_int b)
-  else
-    match (as_big a, as_big b) with
-    | Some ba, Some bb ->
-        Aot.call ctx big_cmp_fn (fun () ->
-            let w = Rbigint.work ba bb in
-            Engine.emit (Ctx.engine ctx) (Cost.make ~alu:w ~load:w ());
-            Rbigint.compare ba bb)
-    | _ ->
-        raise
-          (Type_error
-             (Printf.sprintf "cannot compare %s and %s" (Value.type_name a)
-                (Value.type_name b)))
+  if Value.is_int a && Value.is_int b then begin
+    tick_imm ctx;
+    Int.compare (Value.to_int_unchecked a) (Value.to_int_unchecked b)
+  end
+  else begin
+    tick_boxed ctx;
+    if float_involved a b then Float.compare (to_float a) (to_float b)
+    else if int_like a && int_like b then Int.compare (as_int a) (as_int b)
+    else
+      match (as_big a, as_big b) with
+      | Some ba, Some bb ->
+          Aot.call ctx big_cmp_fn (fun () ->
+              let w = Rbigint.work ba bb in
+              Engine.emit (Ctx.engine ctx) (Cost.make ~alu:w ~load:w ());
+              Rbigint.compare ba bb)
+      | _ ->
+          raise
+            (Type_error
+               (Printf.sprintf "cannot compare %s and %s" (Value.type_name a)
+                  (Value.type_name b)))
+  end

@@ -73,6 +73,10 @@ let to_int_opt t =
         lor t.mag.(0)
       in
       if v >= 0 then Some (t.sign * v) else None
+  | 3 when t.mag.(2) = 4 && t.mag.(1) = 0 && t.mag.(0) = 0 && t.sign < 0 ->
+      (* -2^62 is exactly min_int: the one magnitude-2^62 value that
+         fits a native int *)
+      Some min_int
   | _ -> None
 
 let sign t = t.sign

@@ -11,7 +11,7 @@ let create _ctx : Value.dict =
   {
     Value.entries =
       Array.init 8 (fun _ ->
-          { Value.key = Value.Nil; dval = Value.Nil; khash = 0; live = false });
+          { Value.key = Value.nil; dval = Value.nil; khash = 0; live = false });
     num_entries = 0;
     num_live = 0;
     index = Array.make 16 free_slot;
@@ -99,7 +99,7 @@ let grow_index ctx (owner : Value.obj) (d : Value.dict) =
     Array.init cap (fun i ->
         if i < nlive then live.(i)
         else
-          { Value.key = Value.Nil; dval = Value.Nil; khash = 0; live = false })
+          { Value.key = Value.nil; dval = Value.nil; khash = 0; live = false })
   in
   let isize =
     let rec go n = if n >= 3 * cap then n else go (n * 2) in
@@ -179,8 +179,8 @@ let delete_with ctx (d : Value.dict) key khash =
   | `Found slot ->
       let e = d.Value.entries.(slot) in
       e.Value.live <- false;
-      e.Value.key <- Value.Nil;
-      e.Value.dval <- Value.Nil;
+      e.Value.key <- Value.nil;
+      e.Value.dval <- Value.nil;
       d.Value.num_live <- d.Value.num_live - 1;
       (* tombstone the index position pointing at this slot *)
       let mask = d.Value.index_mask in

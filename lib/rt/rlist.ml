@@ -14,32 +14,27 @@ let of_obj (o : Value.obj) =
 
 let length = Value.list_len
 
-(* choose the narrowest strategy covering all the values *)
+(* choose the narrowest strategy covering all the values; tag tests on
+   the immediates, no variant round-trip *)
 let strategy_of_values values : Value.strategy =
   let all p = List.for_all p values in
   if values = [] then Value.S_empty
-  else if all (function Value.Int _ -> true | _ -> false) then
+  else if all Value.is_int then
     Value.S_int
       {
-        ints =
-          Array.of_list
-            (List.map (function Value.Int i -> i | _ -> 0) values);
+        ints = Array.of_list (List.map Value.to_int_unchecked values);
         len = List.length values;
       }
-  else if all (function Value.Float _ -> true | _ -> false) then
+  else if all Value.is_float then
     Value.S_float
       {
-        floats =
-          Array.of_list
-            (List.map (function Value.Float f -> f | _ -> 0.0) values);
+        floats = Array.of_list (List.map Value.to_float_unchecked values);
         len = List.length values;
       }
-  else if all (function Value.Str _ -> true | _ -> false) then
+  else if all Value.is_str then
     Value.S_str
       {
-        strs =
-          Array.of_list
-            (List.map (function Value.Str s -> s | _ -> "") values);
+        strs = Array.of_list (List.map Value.to_str_unchecked values);
         len = List.length values;
       }
   else Value.S_obj { objs = Array.of_list values; len = List.length values }
@@ -59,11 +54,12 @@ let nth (l : Value.lst) i : Value.t =
   match l.Value.strategy with
   | Value.S_empty -> invalid_arg "Rlist.get: index out of range"
   | Value.S_int s ->
-      if i >= s.len then invalid_arg "Rlist.get" else Value.Int s.ints.(i)
+      if i >= s.len then invalid_arg "Rlist.get" else Value.of_int s.ints.(i)
   | Value.S_float s ->
-      if i >= s.len then invalid_arg "Rlist.get" else Value.Float s.floats.(i)
+      if i >= s.len then invalid_arg "Rlist.get"
+      else Value.of_float s.floats.(i)
   | Value.S_str s ->
-      if i >= s.len then invalid_arg "Rlist.get" else Value.Str s.strs.(i)
+      if i >= s.len then invalid_arg "Rlist.get" else Value.of_str s.strs.(i)
   | Value.S_obj s ->
       if i >= s.len then invalid_arg "Rlist.get" else s.objs.(i)
 
@@ -76,7 +72,7 @@ let get ctx (o : Value.obj) i =
 (* generalize storage to boxed objects (PyPy's strategy switch) *)
 let generalize ctx (o : Value.obj) (l : Value.lst) =
   let n = length l in
-  let objs = Array.init (max 4 n) (fun i -> if i < n then nth l i else Value.Nil) in
+  let objs = Array.init (max 4 n) (fun i -> if i < n then nth l i else Value.nil) in
   l.Value.strategy <- Value.S_obj { objs; len = n };
   Engine.emit (Ctx.engine ctx) (Cost.make ~alu:(2 * n) ~load:n ~store:n ());
   Gc_sim.grow (Ctx.gc ctx) o
@@ -89,59 +85,72 @@ let grow_array arr len make =
     bigger
   end
 
+(* append dispatches on the storage strategy and the value's tag; an
+   immediate int lands in int storage with one tag test and one store,
+   never materializing a variant view *)
 let rec append ctx (o : Value.obj) v =
   let l = of_obj o in
   let eng = Ctx.engine ctx in
   Engine.mem_access eng ~addr:(Gc_sim.addr o ~field:(length l)) ~write:true;
-  match (l.Value.strategy, v) with
-  | Value.S_empty, Value.Int i ->
-      l.Value.strategy <- Value.S_int { ints = Array.make 4 i; len = 1 };
-      Gc_sim.grow (Ctx.gc ctx) o
-  | Value.S_empty, Value.Float f ->
-      l.Value.strategy <- Value.S_float { floats = Array.make 4 f; len = 1 };
-      Gc_sim.grow (Ctx.gc ctx) o
-  | Value.S_empty, Value.Str s ->
-      l.Value.strategy <- Value.S_str { strs = Array.make 4 s; len = 1 };
-      Gc_sim.grow (Ctx.gc ctx) o
-  | Value.S_empty, other ->
-      l.Value.strategy <-
-        Value.S_obj { objs = Array.make 4 other; len = 1 };
-      Gc_sim.grow (Ctx.gc ctx) o;
-      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:other
-  | Value.S_int s, Value.Int i ->
+  match l.Value.strategy with
+  | Value.S_empty ->
+      if Value.is_int v then begin
+        l.Value.strategy <-
+          Value.S_int
+            { ints = Array.make 4 (Value.to_int_unchecked v); len = 1 };
+        Gc_sim.grow (Ctx.gc ctx) o
+      end
+      else if Value.is_float v then begin
+        l.Value.strategy <-
+          Value.S_float
+            { floats = Array.make 4 (Value.to_float_unchecked v); len = 1 };
+        Gc_sim.grow (Ctx.gc ctx) o
+      end
+      else if Value.is_str v then begin
+        l.Value.strategy <-
+          Value.S_str
+            { strs = Array.make 4 (Value.to_str_unchecked v); len = 1 };
+        Gc_sim.grow (Ctx.gc ctx) o
+      end
+      else begin
+        l.Value.strategy <- Value.S_obj { objs = Array.make 4 v; len = 1 };
+        Gc_sim.grow (Ctx.gc ctx) o;
+        Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:v
+      end
+  | Value.S_int s when Value.is_int v ->
       let arr = grow_array s.ints s.len (fun n -> Array.make n 0) in
       if arr != s.ints then begin
         s.ints <- arr;
         Gc_sim.grow (Ctx.gc ctx) o
       end;
-      s.ints.(s.len) <- i;
+      s.ints.(s.len) <- Value.to_int_unchecked v;
       s.len <- s.len + 1
-  | Value.S_float s, Value.Float f ->
+  | Value.S_float s when Value.is_float v ->
       let arr = grow_array s.floats s.len (fun n -> Array.make n 0.0) in
       if arr != s.floats then begin
         s.floats <- arr;
         Gc_sim.grow (Ctx.gc ctx) o
       end;
-      s.floats.(s.len) <- f;
+      s.floats.(s.len) <- Value.to_float_unchecked v;
       s.len <- s.len + 1
-  | Value.S_str s, Value.Str str ->
+  | Value.S_str s when Value.is_str v ->
       let arr = grow_array s.strs s.len (fun n -> Array.make n "") in
       if arr != s.strs then begin
         s.strs <- arr;
         Gc_sim.grow (Ctx.gc ctx) o
       end;
-      s.strs.(s.len) <- str;
+      s.strs.(s.len) <- Value.to_str_unchecked v;
       s.len <- s.len + 1
-  | Value.S_obj s, other ->
-      let arr = grow_array s.objs s.len (fun n -> Array.make n Value.Nil) in
+  | Value.S_obj s ->
+      let arr = grow_array s.objs s.len (fun n -> Array.make n Value.nil) in
       if arr != s.objs then begin
         s.objs <- arr;
         Gc_sim.grow (Ctx.gc ctx) o
       end;
-      s.objs.(s.len) <- other;
+      s.objs.(s.len) <- v;
       s.len <- s.len + 1;
-      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:other
-  | (Value.S_int _ | Value.S_float _ | Value.S_str _), _ ->
+      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:v
+  | Value.S_int _ | Value.S_float _ | Value.S_str _ ->
       generalize ctx o l;
       append ctx o v
 
@@ -149,14 +158,16 @@ let rec set ctx (o : Value.obj) i v =
   let l = of_obj o in
   if i < 0 || i >= length l then invalid_arg "Rlist.set: index out of range";
   Engine.mem_access (Ctx.engine ctx) ~addr:(Gc_sim.addr o ~field:i) ~write:true;
-  match (l.Value.strategy, v) with
-  | Value.S_int s, Value.Int x -> s.ints.(i) <- x
-  | Value.S_float s, Value.Float x -> s.floats.(i) <- x
-  | Value.S_str s, Value.Str x -> s.strs.(i) <- x
-  | Value.S_obj s, x ->
-      s.objs.(i) <- x;
-      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:x
-  | (Value.S_int _ | Value.S_float _ | Value.S_str _ | Value.S_empty), _ ->
+  match l.Value.strategy with
+  | Value.S_int s when Value.is_int v -> s.ints.(i) <- Value.to_int_unchecked v
+  | Value.S_float s when Value.is_float v ->
+      s.floats.(i) <- Value.to_float_unchecked v
+  | Value.S_str s when Value.is_str v ->
+      s.strs.(i) <- Value.to_str_unchecked v
+  | Value.S_obj s ->
+      s.objs.(i) <- v;
+      Gc_sim.write_barrier (Ctx.gc ctx) ~parent:o ~child:v
+  | Value.S_int _ | Value.S_float _ | Value.S_str _ | Value.S_empty ->
       generalize ctx o l;
       set ctx o i v
 
@@ -180,7 +191,7 @@ let pop ctx (o : Value.obj) i =
       s.len <- s.len - 1
   | Value.S_obj s ->
       Array.blit s.objs (i + 1) s.objs i (s.len - i - 1);
-      s.objs.(s.len - 1) <- Value.Nil;
+      s.objs.(s.len - 1) <- Value.nil;
       s.len <- s.len - 1);
   v
 

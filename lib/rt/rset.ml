@@ -15,15 +15,15 @@ let length (d : Value.dict) = d.Value.num_live
 let create ctx values =
   let d = Rdict.create ctx in
   let o = Gc_sim.alloc (Ctx.gc ctx) (Value.Set d) in
-  List.iter (fun v -> Rdict.set ctx o d v Value.Nil) values;
+  List.iter (fun v -> Rdict.set ctx o d v Value.nil) values;
   o
 
-let add ctx (o : Value.obj) v = Rdict.set ctx o (of_obj o) v Value.Nil
+let add ctx (o : Value.obj) v = Rdict.set ctx o (of_obj o) v Value.nil
 let contains ctx d v = Rdict.contains ctx d v
 
 (* precomputed-hash variants; see the note in rdict.mli *)
 let add_h ctx (o : Value.obj) v khash =
-  Rdict.set_h ctx o (of_obj o) v Value.Nil khash
+  Rdict.set_h ctx o (of_obj o) v Value.nil khash
 
 let contains_h ctx d v khash = Rdict.contains_h ctx d v khash
 let remove ctx (o : Value.obj) v = Rdict.delete ctx (of_obj o) v

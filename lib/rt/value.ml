@@ -1,18 +1,32 @@
 (** The dynamic object model shared by every VM in the reproduction.
-   Heap objects carry GC metadata (generation, age, mark bit) managed by
-   Gc_sim; immediate values (nil, bools, ints, floats, immutable strings)
-   are unboxed from the GC's point of view, as in PyPy after its
-   small-int optimization. *)
 
-type t =
-  | Nil
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Obj of obj
+    Immediate-tagged implementation.  See value.mli for the contract;
+    this file is the ONLY place allowed to use [Stdlib.Obj].
 
-and obj = {
+    Representation: a [t] is one OCaml word.
+    - [Int i] is the native tagged immediate [i] itself ([Obj.is_int]
+      true).  OCaml's int tagging gives immediates a low bit of 1, so
+      the GC never dereferences them and [of_int] is the identity —
+      the full 63-bit range is preserved, which matters because the
+      bigint-promotion overflow thresholds feed simulated digests.
+    - Everything else is a pointer to a [boxed] block, discriminated by
+      the block's header tag.  All [boxed] constructors carry an
+      argument on purpose: a constant (argument-less) constructor would
+      itself be an immediate and collide with small ints.
+
+    Safety: a match over [boxed] compiles to a header-tag switch, which
+    would read one word past an immediate, so every [Stdlib.Obj.magic v
+    : boxed] below is dominated by an [is_int] test.  [nil]/[true_]/
+    [false_] are the only [BNil]/[BBool] blocks ever built (nothing here
+    or in the public API constructs fresh ones, and values are never
+    marshalled), so the nil/bool predicates are single pointer
+    compares.  No [t] value is ever a [Double_tag] block ([BFloat] is a
+    regular block POINTING at a boxed float), so [Array.make] on
+    [t array] can never flip to a flat float array behind our back. *)
+
+type t = Stdlib.Obj.t
+
+type obj = {
   uid : int;
   mutable payload : payload;
   mutable gc_gen : int;    (* 0 = nursery, 1 = old generation *)
@@ -35,7 +49,6 @@ and payload =
   | Bigint of Rbigint.t
   | Strbuilder of Buffer.t
   | Range of { start : int; stop : int; step : int }
-  | Iter of { mutable idx : int; src : t }
 
 and instance = { cls : obj; mutable fields : t array }
 
@@ -83,66 +96,110 @@ and entry = {
   mutable live : bool;
 }
 
-(* --- interned immediates (PyPy's small-int optimization) --- *)
+(* the boxed half of the representation; tags 0..4 in declaration order *)
+and boxed =
+  | BNil of unit
+  | BBool of bool
+  | BFloat of float
+  | BStr of string
+  | BObj of obj
 
-(* Hot arithmetic produces mostly small ints; serving those from a
-   preallocated table makes the common case allocation-free on the host.
-   Safe because [Int] boxes are immutable and every consumer compares
-   them structurally ([py_eq]/[py_hash]/[Semantics.identical] all match
-   on the payload, never on the box), and because immediates are unboxed
-   from the simulated GC's point of view (see the header comment), so
-   sharing boxes changes nothing the simulation can observe. *)
+(* --- construction --- *)
 
-let min_interned = -1024
-let max_interned = 1024
+let[@inline] of_int (i : int) : t = Stdlib.Obj.repr i
 
-let interned_ints =
-  Array.init (max_interned - min_interned + 1) (fun i -> Int (min_interned + i))
-
-let[@inline] is_interned_int i = i >= min_interned && i <= max_interned
-
-let[@inline] of_int i =
-  if is_interned_int i then Array.unsafe_get interned_ints (i - min_interned)
-  else Int i
-
-let true_ = Bool true
-let false_ = Bool false
-let nil = Nil
+let nil : t = Stdlib.Obj.repr (BNil ())
+let true_ : t = Stdlib.Obj.repr (BBool true)
+let false_ : t = Stdlib.Obj.repr (BBool false)
 
 let[@inline] of_bool b = if b then true_ else false_
+let[@inline] of_float (f : float) : t = Stdlib.Obj.repr (BFloat f)
+let[@inline] of_str (s : string) : t = Stdlib.Obj.repr (BStr s)
+let[@inline] of_obj (o : obj) : t = Stdlib.Obj.repr (BObj o)
 
-(* normalize a value to its interned box if one exists; used on
-   translate-time constants so each threaded-code constant is boxed once
-   and shared *)
-let intern = function
-  | Int i -> of_int i
-  | Bool b -> of_bool b
-  | v -> v
+(* --- predicates --- *)
 
-let type_name = function
-  | Nil -> "NoneType"
-  | Bool _ -> "bool"
-  | Int _ -> "int"
-  | Float _ -> "float"
-  | Str _ -> "str"
-  | Obj o -> (
-      match o.payload with
-      | Instance i -> (
-          match i.cls.payload with
-          | Class c -> c.cls_name
-          | _ -> "instance")
-      | Class _ -> "type"
-      | List _ -> "list"
-      | Dict _ -> "dict"
-      | Set _ -> "set"
-      | Tuple _ -> "tuple"
-      | Func _ -> "function"
-      | Method _ -> "method"
-      | Cell _ -> "cell"
-      | Bigint _ -> "int"
-      | Strbuilder _ -> "strbuilder"
-      | Range _ -> "range"
-      | Iter _ -> "iterator")
+let[@inline] is_int (v : t) = Stdlib.Obj.is_int v
+let[@inline] is_nil (v : t) = v == nil
+let[@inline] is_bool (v : t) = v == true_ || v == false_
+
+(* block-only decomposition; every call is dominated by an is_int test *)
+let[@inline] as_boxed (v : t) : boxed = Stdlib.Obj.obj v
+
+let[@inline] is_float v =
+  (not (is_int v))
+  && (match as_boxed v with BFloat _ -> true | _ -> false)
+
+let[@inline] is_str v =
+  (not (is_int v)) && (match as_boxed v with BStr _ -> true | _ -> false)
+
+let[@inline] is_obj v =
+  (not (is_int v)) && (match as_boxed v with BObj _ -> true | _ -> false)
+
+(* --- unchecked destructors --- *)
+
+let[@inline] to_int_unchecked (v : t) : int = Stdlib.Obj.obj v
+let[@inline] to_bool_unchecked (v : t) : bool = v == true_
+
+(* the single field of a [boxed] block holds the payload value itself
+   (for [BFloat] that is the pointer to the boxed float, not an inline
+   double — see the header comment) *)
+let[@inline] to_float_unchecked (v : t) : float =
+  Stdlib.Obj.obj (Stdlib.Obj.field v 0)
+
+let[@inline] to_str_unchecked (v : t) : string =
+  Stdlib.Obj.obj (Stdlib.Obj.field v 0)
+
+let[@inline] to_obj_unchecked (v : t) : obj =
+  Stdlib.Obj.obj (Stdlib.Obj.field v 0)
+
+(* --- cold-path view --- *)
+
+type view =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of obj
+
+let[@inline] view (v : t) : view =
+  if is_int v then Int (to_int_unchecked v)
+  else
+    match as_boxed v with
+    | BNil () -> Nil
+    | BBool b -> Bool b
+    | BFloat f -> Float f
+    | BStr s -> Str s
+    | BObj o -> Obj o
+
+(* --- inspection --- *)
+
+let type_name v =
+  if is_int v then "int"
+  else
+    match as_boxed v with
+    | BNil () -> "NoneType"
+    | BBool _ -> "bool"
+    | BFloat _ -> "float"
+    | BStr _ -> "str"
+    | BObj o -> (
+        match o.payload with
+        | Instance i -> (
+            match i.cls.payload with
+            | Class c -> c.cls_name
+            | _ -> "instance")
+        | Class _ -> "type"
+        | List _ -> "list"
+        | Dict _ -> "dict"
+        | Set _ -> "set"
+        | Tuple _ -> "tuple"
+        | Func _ -> "function"
+        | Method _ -> "method"
+        | Cell _ -> "cell"
+        | Bigint _ -> "int"
+        | Strbuilder _ -> "strbuilder"
+        | Range _ -> "range")
 
 let list_len (l : lst) =
   match l.strategy with
@@ -152,55 +209,63 @@ let list_len (l : lst) =
   | S_str s -> s.len
   | S_obj s -> s.len
 
-let truthy = function
-  | Nil -> false
-  | Bool b -> b
-  | Int i -> i <> 0
-  | Float f -> f <> 0.0
-  | Str s -> String.length s > 0
-  | Obj o -> (
-      match o.payload with
-      | List l -> list_len l > 0
-      | Dict d | Set d -> d.num_live > 0
-      | Tuple a -> Array.length a > 0
-      | Bigint b -> Rbigint.sign b <> 0
-      | Strbuilder b -> Buffer.length b > 0
-      | Range r ->
-          if r.step > 0 then r.stop > r.start else r.stop < r.start
-      | Instance _ | Class _ | Func _ | Method _ | Cell _ | Iter _ -> true)
+let truthy v =
+  if is_int v then to_int_unchecked v <> 0
+  else
+    match as_boxed v with
+    | BNil () -> false
+    | BBool b -> b
+    | BFloat f -> f <> 0.0
+    | BStr s -> String.length s > 0
+    | BObj o -> (
+        match o.payload with
+        | List l -> list_len l > 0
+        | Dict d | Set d -> d.num_live > 0
+        | Tuple a -> Array.length a > 0
+        | Bigint b -> Rbigint.sign b <> 0
+        | Strbuilder b -> Buffer.length b > 0
+        | Range r ->
+            if r.step > 0 then r.stop > r.start else r.stop < r.start
+        | Instance _ | Class _ | Func _ | Method _ | Cell _ -> true)
 
 (* structural equality with Python semantics for immediates, tuples,
    bigints; identity for other heap objects *)
 let rec py_eq a b =
-  match (a, b) with
-  | Nil, Nil -> true
-  | Bool x, Bool y -> x = y
-  | Int x, Int y -> x = y
-  | Float x, Float y -> x = y
-  | Int x, Float y | Float y, Int x -> float_of_int x = y
-  | Str x, Str y -> String.equal x y
-  | Obj x, Obj y -> (
-      match (x.payload, y.payload) with
-      | Tuple xs, Tuple ys ->
-          Array.length xs = Array.length ys
-          && begin
-               let rec go i =
-                 i >= Array.length xs || (py_eq xs.(i) ys.(i) && go (i + 1))
-               in
-               go 0
-             end
-      | Bigint bx, Bigint by -> Rbigint.equal bx by
-      | _ -> x == y)
-  | Obj { payload = Bigint bx; _ }, Int y
-  | Int y, Obj { payload = Bigint bx; _ } ->
-      Rbigint.equal bx (Rbigint.of_int y)
-  | (Nil | Bool _ | Int _ | Float _ | Str _ | Obj _), _ -> false
+  if is_int a then
+    if is_int b then (to_int_unchecked a : int) = to_int_unchecked b
+    else
+      (* int vs float cross-equality, int vs bigint *)
+      match as_boxed b with
+      | BFloat y -> float_of_int (to_int_unchecked a) = y
+      | BObj { payload = Bigint bb; _ } ->
+          Rbigint.equal bb (Rbigint.of_int (to_int_unchecked a))
+      | BNil () | BBool _ | BStr _ | BObj _ -> false
+  else if is_int b then py_eq b a
+  else
+    match (as_boxed a, as_boxed b) with
+    | BNil (), BNil () -> true
+    | BBool x, BBool y -> x = y
+    | BFloat x, BFloat y -> x = y
+    | BStr x, BStr y -> String.equal x y
+    | BObj x, BObj y -> (
+        match (x.payload, y.payload) with
+        | Tuple xs, Tuple ys ->
+            Array.length xs = Array.length ys
+            && begin
+                 let rec go i =
+                   i >= Array.length xs || (py_eq xs.(i) ys.(i) && go (i + 1))
+                 in
+                 go 0
+               end
+        | Bigint bx, Bigint by -> Rbigint.equal bx by
+        | _ -> x == y)
+    | (BNil () | BBool _ | BFloat _ | BStr _ | BObj _), _ -> false
 
 (* Integral floats below this magnitude are treated as exact integers by
    both [py_hash] and [float_repr].  The two MUST share one threshold:
-   [py_eq] says [Int i = Float f] whenever [float_of_int i = f], so any
-   integral float the hash treats differently from its integer twin
-   breaks the hash/equality contract dicts rely on.  (Historically
+   [py_eq] says [of_int i = of_float f] whenever [float_of_int i = f],
+   so any integral float the hash treats differently from its integer
+   twin breaks the hash/equality contract dicts rely on.  (Historically
    py_hash used 1e15 while float_repr used 1e16, so integral floats in
    [1e15, 1e16) hashed differently from their equal ints.) *)
 let integral_float_limit = 1e16
@@ -211,25 +276,28 @@ let str_hash s =
   String.iter (fun c -> h := (!h lxor Char.code c) * 16777619 land max_int) s;
   !h
 
-let rec py_hash = function
-  | Nil -> 271828
-  | Bool b -> if b then 1 else 0
-  | Int i -> i land max_int
-  | Float f ->
-      if Float.is_integer f && Float.abs f < integral_float_limit then
-        int_of_float f land max_int
-      else Hashtbl.hash f
-  | Str s -> str_hash s
-  | Obj o -> (
-      match o.payload with
-      | Tuple xs ->
-          Array.fold_left (fun acc v -> ((acc * 31) + py_hash v) land max_int)
-            1000003 xs
-      | Bigint b -> (
-          match Rbigint.to_int_opt b with
-          | Some i -> i land max_int
-          | None -> str_hash (Rbigint.to_string b))
-      | _ -> o.uid)
+let rec py_hash v =
+  if is_int v then to_int_unchecked v land max_int
+  else
+    match as_boxed v with
+    | BNil () -> 271828
+    | BBool b -> if b then 1 else 0
+    | BFloat f ->
+        if Float.is_integer f && Float.abs f < integral_float_limit then
+          int_of_float f land max_int
+        else Hashtbl.hash f
+    | BStr s -> str_hash s
+    | BObj o -> (
+        match o.payload with
+        | Tuple xs ->
+            Array.fold_left
+              (fun acc v -> ((acc * 31) + py_hash v) land max_int)
+              1000003 xs
+        | Bigint b -> (
+            match Rbigint.to_int_opt b with
+            | Some i -> i land max_int
+            | None -> str_hash (Rbigint.to_string b))
+        | _ -> o.uid)
 
 (* heap footprint in words of a freshly-built payload (header excluded;
    Gc_sim adds a fixed header) *)
@@ -253,7 +321,6 @@ let payload_words = function
   | Bigint b -> 2 + Rbigint.num_digits b
   | Strbuilder b -> 2 + ((Buffer.length b + 7) / 8)
   | Range _ -> 4
-  | Iter _ -> 3
 
 (* --- rendering (repr/str for the hosted languages) --- *)
 
@@ -263,7 +330,7 @@ let float_repr f =
   else Printf.sprintf "%.12g" f
 
 let rec repr v =
-  match v with
+  match view v with
   | Nil -> "None"
   | Bool true -> "True"
   | Bool false -> "False"
@@ -305,18 +372,16 @@ let rec repr v =
       | Method _ -> "<bound method>"
       | Cell _ -> "<cell>"
       | Strbuilder b -> "<strbuilder " ^ string_of_int (Buffer.length b) ^ ">"
-      | Range r -> Printf.sprintf "range(%d, %d, %d)" r.start r.stop r.step
-      | Iter _ -> "<iterator>")
+      | Range r -> Printf.sprintf "range(%d, %d, %d)" r.start r.stop r.step)
 
-and to_display_string v =
-  match v with Str s -> s | other -> repr other
+and to_display_string v = if is_str v then to_str_unchecked v else repr v
 
 and list_get_unsafe (l : lst) i =
   match l.strategy with
   | S_empty -> invalid_arg "list_get_unsafe: empty"
   | S_int s -> of_int s.ints.(i)
-  | S_float s -> Float s.floats.(i)
-  | S_str s -> Str s.strs.(i)
+  | S_float s -> of_float s.floats.(i)
+  | S_str s -> of_str s.strs.(i)
   | S_obj s -> s.objs.(i)
 
 let pp fmt v = Format.pp_print_string fmt (repr v)

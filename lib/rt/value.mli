@@ -1,23 +1,27 @@
 (** The dynamic object model shared by every VM in the reproduction.
 
+    {b Immediate-tagged representation.}  [t] is abstract: [Nil], [Bool]
+    and [Int] are OCaml native tagged immediates (no heap block, no GC
+    header), while [Float], [Str] and [Obj] remain boxed.  Building an
+    int value is the identity on the host ([of_int] never allocates),
+    and nil/bools are preallocated singletons, so the interpreter's hot
+    arithmetic and control paths are allocation-free end-to-end.
+
     Heap objects carry GC metadata (generation, age, mark bit) managed
-    by Gc_sim; immediate values (nil, bools, ints, floats, immutable
-    strings) are unboxed from the GC's point of view, as in PyPy after
-    its small-int optimization.
+    by Gc_sim; immediate values are unboxed from the GC's point of view,
+    as in PyPy after its small-int optimization.  The payload/obj layer
+    is still exposed concretely: the runtime, the hosted-language
+    interpreters, and the trace machinery all pattern-match on payloads
+    and mutate them in place.  Only the outer [t] is opaque — cold paths
+    inspect it through {!view}, hot paths through the predicates and
+    unchecked destructors below.  All [Stdlib.Obj] trickery is confined
+    to [value.ml]; no unsafe cast leaks past this interface. *)
 
-    All type definitions are exposed concretely: the runtime, the
-    hosted-language interpreters, and the trace machinery all pattern-
-    match on values and mutate heap payloads in place. *)
+type t
+(** A dynamic value.  Immediate (int/bool/nil) or boxed
+    (float/str/heap object); see the module header. *)
 
-type t =
-  | Nil
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Obj of obj
-
-and obj = {
+type obj = {
   uid : int;
   mutable payload : payload;
   mutable gc_gen : int;    (* 0 = nursery, 1 = old generation *)
@@ -40,7 +44,6 @@ and payload =
   | Bigint of Rbigint.t
   | Strbuilder of Buffer.t
   | Range of { start : int; stop : int; step : int }
-  | Iter of { mutable idx : int; src : t }
 
 and instance = { cls : obj; mutable fields : t array }
 
@@ -84,57 +87,62 @@ and entry = {
   mutable live : bool;
 }
 
-(** {1 Interned immediates}
+(** {1 Construction}
 
-    A preallocated table of [Int] boxes for [min_interned..max_interned]
-    plus shared singletons for [Bool] and [Nil], after PyPy's small-int
-    optimization.  Hot arithmetic produces mostly small ints; serving
-    them from the table makes the common case allocation-free on the
-    host.
-
-    {b Physical-equality guarantees.}  For any [i] with
-    [is_interned_int i], every [of_int i] returns the {e same} box:
-    [of_int i == of_int i].  Likewise [of_bool b == of_bool b] and
-    [nil == Nil] structurally.  The converse is NOT guaranteed: values
-    built directly with the [Int]/[Bool] constructors (or arriving from
-    outside the fast paths) may be distinct boxes with equal payloads,
-    so consumers must keep comparing structurally ([py_eq], [py_hash],
-    pattern matching) — never with [==].  Sharing is safe because these
-    boxes are immutable, all runtime comparisons are structural, and
-    immediates are unboxed from the simulated GC's point of view, so no
-    simulated counter can observe whether two equal ints share a box. *)
-
-val min_interned : int
-(** Smallest interned integer (inclusive). *)
-
-val max_interned : int
-(** Largest interned integer (inclusive). *)
-
-val is_interned_int : int -> bool
-(** [is_interned_int i] is true iff [of_int i] is served from the intern
-    table. *)
+    Total and allocation-free for immediates: [of_int] is the identity
+    on the host word, [of_bool]/[nil] return preallocated singletons.
+    [of_float]/[of_str]/[of_obj] box (one small host block). *)
 
 val of_int : int -> t
-(** [of_int i] is [Int i], shared from the intern table when
-    [is_interned_int i]. *)
-
-val true_ : t
-(** Shared [Bool true] box. *)
-
-val false_ : t
-(** Shared [Bool false] box. *)
+(** Never allocates; the full native [int] range is preserved, so
+    overflow thresholds (bigint promotion) are unchanged. *)
 
 val nil : t
-(** [Nil] (exported for symmetry with [true_]/[false_]). *)
-
+val true_ : t
+val false_ : t
 val of_bool : bool -> t
-(** [of_bool b] is the shared [true_] or [false_] box. *)
+val of_float : float -> t
+val of_str : string -> t
+val of_obj : obj -> t
 
-val intern : t -> t
-(** [intern v] normalizes [v] to its shared box when one exists
-    ([Int] in the interned range, [Bool]); other values pass through
-    unchanged.  Used on translate-time constants so each threaded-code
-    constant is boxed once. *)
+(** {1 Predicates}
+
+    Constant-time tag tests; no allocation. *)
+
+val is_int : t -> bool
+val is_nil : t -> bool
+val is_bool : t -> bool
+val is_float : t -> bool
+val is_str : t -> bool
+val is_obj : t -> bool
+
+(** {1 Unchecked destructors}
+
+    Callers must establish the matching predicate first; behaviour is
+    undefined otherwise (the implementation reads the raw word).  These
+    are the hot-path companions of {!view}. *)
+
+val to_int_unchecked : t -> int
+val to_bool_unchecked : t -> bool
+val to_float_unchecked : t -> float
+val to_str_unchecked : t -> string
+val to_obj_unchecked : t -> obj
+
+(** {1 Cold-path view}
+
+    A safe, total one-level decomposition.  [view] allocates a small
+    host block for int/float/str/obj cases, so it belongs on cold
+    paths; hot paths use the predicates + unchecked destructors. *)
+
+type view =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of obj
+
+val view : t -> view
 
 (** {1 Predicates, equality, hashing} *)
 
@@ -149,8 +157,8 @@ val py_eq : t -> t -> bool
 val integral_float_limit : float
 (** Integral floats with magnitude below this are treated as exact
     integers by both [py_hash] and [float_repr].  The shared constant
-    keeps the hash/equality contract intact: [py_eq (Int i) (Float f)]
-    implies [py_hash (Int i) = py_hash (Float f)]. *)
+    keeps the hash/equality contract intact: [py_eq (of_int i)
+    (of_float f)] implies [py_hash (of_int i) = py_hash (of_float f)]. *)
 
 val str_hash : string -> int
 (** FNV-style string hash, standing in for rstr_ll_strhash. *)

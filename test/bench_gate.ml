@@ -23,13 +23,14 @@
       are machine-independent (the allocation counter is monotonic and
       the simulation is deterministic), so this quotient needs no
       normalization; it catches regressions in the allocation-free value
-      fast paths (small-int interning, frame pooling, hoisted key
-      hashes) that the wall-clock gates could absorb in noise.
+      fast paths (the immediate-tagged value representation, the unboxed
+      cycle-transfer charge path, frame pooling, hoisted key hashes)
+      that the wall-clock gates could absorb in noise.
 
     A fourth, self-contained mode gates the serving harness:
 
     - {b serving latency gate} ([--serve-gate FILE]): FILE is an
-      ["mtj-metrics/7"] document with a [serve] block from a session
+      ["mtj-metrics/8"] document with a [serve] block from a session
       with the shared cache on.  The gate asserts the cache actually
       paid: warm (imported) requests must have a median latency no
       worse than cold (compiling) ones — machine-independent, since

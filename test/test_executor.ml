@@ -22,32 +22,35 @@ let snap ?(pc = 3) locals stack =
 let test_materialize_plain () =
   let resume =
     {
-      Ir.frames = [ snap [ Ir.S_reg 0; Ir.S_const (V.Int 9) ] [ Ir.S_reg 1 ] ];
+      Ir.frames = [ snap [ Ir.S_reg 0; Ir.S_const (V.of_int 9) ] [ Ir.S_reg 1 ] ];
       r_virtuals = [||];
     }
   in
   let frames =
-    Executor.materialize_frames (rtc ()) resume [| V.Int 1; V.Str "s" |]
+    Executor.materialize_frames (rtc ()) resume [| V.of_int 1; V.of_str "s" |]
   in
   match frames with
   | [ f ] ->
       Alcotest.(check int) "pc" 3 f.Executor.df_pc;
-      Alcotest.(check bool) "local0" true (f.Executor.df_locals.(0) = V.Int 1);
-      Alcotest.(check bool) "local1" true (f.Executor.df_locals.(1) = V.Int 9);
-      Alcotest.(check bool) "stack" true (f.Executor.df_stack.(0) = V.Str "s")
+      Alcotest.(check bool) "local0" true (f.Executor.df_locals.(0) = V.of_int 1);
+      Alcotest.(check bool) "local1" true (f.Executor.df_locals.(1) = V.of_int 9);
+      Alcotest.(check bool) "stack" true (f.Executor.df_stack.(0) = V.of_str "s")
   | _ -> Alcotest.fail "expected one frame"
 
 let test_materialize_tuple_virtual () =
   let resume =
     {
       Ir.frames = [ snap [ Ir.S_virtual 0 ] [] ];
-      r_virtuals = [| Ir.V_tuple [| Ir.S_reg 0; Ir.S_const (V.Int 2) |] |];
+      r_virtuals = [| Ir.V_tuple [| Ir.S_reg 0; Ir.S_const (V.of_int 2) |] |];
     }
   in
-  let frames = Executor.materialize_frames (rtc ()) resume [| V.Int 1 |] in
-  match (List.hd frames).Executor.df_locals.(0) with
-  | V.Obj { V.payload = V.Tuple [| V.Int 1; V.Int 2 |]; _ } -> ()
-  | v -> Alcotest.fail ("not the expected tuple: " ^ V.repr v)
+  let frames = Executor.materialize_frames (rtc ()) resume [| V.of_int 1 |] in
+  let v = (List.hd frames).Executor.df_locals.(0) in
+  match V.view v with
+  | V.Obj { V.payload = V.Tuple [| x; y |]; _ }
+    when V.py_eq x (V.of_int 1) && V.py_eq y (V.of_int 2) ->
+      ()
+  | _ -> Alcotest.fail ("not the expected tuple: " ^ V.repr v)
 
 let test_materialize_nested_virtual () =
   (* virtual 0 is a tuple whose first element is virtual 1 (a cell) *)
@@ -56,17 +59,20 @@ let test_materialize_nested_virtual () =
       Ir.frames = [ snap [ Ir.S_virtual 0 ] [] ];
       r_virtuals =
         [|
-          Ir.V_tuple [| Ir.S_virtual 1; Ir.S_const (V.Int 5) |];
+          Ir.V_tuple [| Ir.S_virtual 1; Ir.S_const (V.of_int 5) |];
           Ir.V_cell (Ir.S_reg 0);
         |];
     }
   in
-  let frames = Executor.materialize_frames (rtc ()) resume [| V.Int 42 |] in
-  match (List.hd frames).Executor.df_locals.(0) with
-  | V.Obj { V.payload = V.Tuple [| V.Obj { V.payload = V.Cell c; _ }; _ |]; _ }
-    ->
-      Alcotest.(check bool) "cell contents" true (c.cell = V.Int 42)
-  | v -> Alcotest.fail ("wrong shape: " ^ V.repr v)
+  let frames = Executor.materialize_frames (rtc ()) resume [| V.of_int 42 |] in
+  let v = (List.hd frames).Executor.df_locals.(0) in
+  match V.view v with
+  | V.Obj { V.payload = V.Tuple [| first; _ |]; _ } -> (
+      match V.view first with
+      | V.Obj { V.payload = V.Cell c; _ } ->
+          Alcotest.(check bool) "cell contents" true (c.cell = V.of_int 42)
+      | _ -> Alcotest.fail ("wrong shape: " ^ V.repr v))
+  | _ -> Alcotest.fail ("wrong shape: " ^ V.repr v)
 
 let test_materialize_shared_virtual () =
   (* the same virtual referenced from two slots materializes ONCE
@@ -74,7 +80,7 @@ let test_materialize_shared_virtual () =
   let resume =
     {
       Ir.frames = [ snap [ Ir.S_virtual 0; Ir.S_virtual 0 ] [] ];
-      r_virtuals = [| Ir.V_tuple [| Ir.S_const (V.Int 1) |] |];
+      r_virtuals = [| Ir.V_tuple [| Ir.S_const (V.of_int 1) |] |];
     }
   in
   let frames = Executor.materialize_frames (rtc ()) resume [||] in
@@ -104,9 +110,9 @@ let test_materialize_cyclic_virtual () =
     }
   in
   let frames = Executor.materialize_frames c resume [||] in
-  match (List.hd frames).Executor.df_locals.(0) with
+  match V.view (List.hd frames).Executor.df_locals.(0) with
   | V.Obj ({ V.payload = V.Instance i; _ } as o) -> (
-      match i.V.fields.(0) with
+      match V.view i.V.fields.(0) with
       | V.Obj o' -> Alcotest.(check bool) "self loop" true (o' == o)
       | _ -> Alcotest.fail "field not an object")
   | _ -> Alcotest.fail "expected instance"
@@ -116,16 +122,23 @@ let test_materialize_list_virtual () =
     {
       Ir.frames = [ snap [ Ir.S_virtual 0 ] [] ];
       r_virtuals =
-        [| Ir.V_list [| Ir.S_const (V.Int 1); Ir.S_const (V.Int 2) |] |];
+        [| Ir.V_list [| Ir.S_const (V.of_int 1); Ir.S_const (V.of_int 2) |] |];
     }
   in
   let c = rtc () in
   let frames = Executor.materialize_frames c resume [||] in
   match (List.hd frames).Executor.df_locals.(0) with
-  | V.Obj { V.payload = V.List l; _ } as v ->
+  | v when (match V.view v with
+            | V.Obj { V.payload = V.List _; _ } -> true
+            | _ -> false) ->
+      let l =
+        match V.view v with
+        | V.Obj { V.payload = V.List l; _ } -> l
+        | _ -> assert false
+      in
       Alcotest.(check int) "len 2" 2 (Mtj_rt.Rlist.length l);
       Alcotest.(check bool) "second elem" true
-        (Mtj_rt.Rlist.get c (Mtj_rjit.Semantics.as_obj v) 1 = V.Int 2)
+        (Mtj_rt.Rlist.get c (Mtj_rjit.Semantics.as_obj v) 1 = V.of_int 2)
   | _ -> Alcotest.fail "expected list"
 
 (* --- guard evaluation --- *)
@@ -143,35 +156,35 @@ let mk_guard gkind =
 let holds g vals = Executor.guard_holds (mk_guard g) (Array.of_list vals)
 
 let test_guard_kinds () =
-  Alcotest.(check bool) "true holds" true (holds Ir.G_true [ V.Bool true ]);
-  Alcotest.(check bool) "true fails on 0" false (holds Ir.G_true [ V.Int 0 ]);
-  Alcotest.(check bool) "false holds" true (holds Ir.G_false [ V.Nil ]);
+  Alcotest.(check bool) "true holds" true (holds Ir.G_true [ V.of_bool true ]);
+  Alcotest.(check bool) "true fails on 0" false (holds Ir.G_true [ V.of_int 0 ]);
+  Alcotest.(check bool) "false holds" true (holds Ir.G_false [ V.nil ]);
   Alcotest.(check bool) "value" true
-    (holds (Ir.G_value (V.Int 3)) [ V.Int 3 ]);
+    (holds (Ir.G_value (V.of_int 3)) [ V.of_int 3 ]);
   Alcotest.(check bool) "value fail" false
-    (holds (Ir.G_value (V.Int 3)) [ V.Int 4 ]);
+    (holds (Ir.G_value (V.of_int 3)) [ V.of_int 4 ]);
   Alcotest.(check bool) "class int" true
-    (holds (Ir.G_class Ir.Ty_int) [ V.Int 3 ]);
+    (holds (Ir.G_class Ir.Ty_int) [ V.of_int 3 ]);
   Alcotest.(check bool) "class mismatch" false
-    (holds (Ir.G_class Ir.Ty_int) [ V.Str "x" ]);
-  Alcotest.(check bool) "nonnull" true (holds Ir.G_nonnull [ V.Int 0 ]);
-  Alcotest.(check bool) "nonnull fail" false (holds Ir.G_nonnull [ V.Nil ])
+    (holds (Ir.G_class Ir.Ty_int) [ V.of_str "x" ]);
+  Alcotest.(check bool) "nonnull" true (holds Ir.G_nonnull [ V.of_int 0 ]);
+  Alcotest.(check bool) "nonnull fail" false (holds Ir.G_nonnull [ V.nil ])
 
 let test_guard_overflow_kinds () =
   Alcotest.(check bool) "add ok" true
-    (holds Ir.G_no_ovf_add [ V.Int 1; V.Int 2 ]);
+    (holds Ir.G_no_ovf_add [ V.of_int 1; V.of_int 2 ]);
   Alcotest.(check bool) "add ovf" false
-    (holds Ir.G_no_ovf_add [ V.Int max_int; V.Int 1 ]);
+    (holds Ir.G_no_ovf_add [ V.of_int max_int; V.of_int 1 ]);
   Alcotest.(check bool) "sub ovf" false
-    (holds Ir.G_no_ovf_sub [ V.Int min_int; V.Int 1 ]);
+    (holds Ir.G_no_ovf_sub [ V.of_int min_int; V.of_int 1 ]);
   Alcotest.(check bool) "mul ovf" false
-    (holds Ir.G_no_ovf_mul [ V.Int max_int; V.Int 2 ]);
+    (holds Ir.G_no_ovf_mul [ V.of_int max_int; V.of_int 2 ]);
   Alcotest.(check bool) "index in range" true
-    (holds Ir.G_index_lt [ V.Int 3; V.Int 4 ]);
+    (holds Ir.G_index_lt [ V.of_int 3; V.of_int 4 ]);
   Alcotest.(check bool) "index at bound" false
-    (holds Ir.G_index_lt [ V.Int 4; V.Int 4 ]);
+    (holds Ir.G_index_lt [ V.of_int 4; V.of_int 4 ]);
   Alcotest.(check bool) "index negative" false
-    (holds Ir.G_index_lt [ V.Int (-1); V.Int 4 ])
+    (holds Ir.G_index_lt [ V.of_int (-1); V.of_int 4 ])
 
 let test_guard_global_version () =
   let cell = ref 5 in
@@ -187,12 +200,12 @@ let test_blackhole_charges_phase () =
   let c = rtc () in
   let resume =
     {
-      Ir.frames = [ snap [ Ir.S_reg 0; Ir.S_reg 1 ] [ Ir.S_const V.Nil ] ];
+      Ir.frames = [ snap [ Ir.S_reg 0; Ir.S_reg 1 ] [ Ir.S_const V.nil ] ];
       r_virtuals = [||];
     }
   in
   let frames =
-    Executor.blackhole c resume [| V.Int 1; V.Int 2 |] ~guard_id:17
+    Executor.blackhole c resume [| V.of_int 1; V.of_int 2 |] ~guard_id:17
   in
   Alcotest.(check int) "one frame" 1 (List.length frames);
   let bh =

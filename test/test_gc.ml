@@ -16,7 +16,7 @@ let test_alloc_counts () =
   let c = ctx () in
   let gc = Ctx.gc c in
   for _ = 1 to 10 do
-    ignore (alloc_pair gc V.Nil V.Nil)
+    ignore (alloc_pair gc V.nil V.nil)
   done;
   let s = Gc_sim.stats gc in
   Alcotest.(check int) "allocated" 10 s.Gc_sim.allocated_objects
@@ -26,7 +26,7 @@ let test_minor_frees_garbage () =
   let gc = Ctx.gc c in
   (* no roots registered: everything in the nursery is garbage *)
   for _ = 1 to 100 do
-    ignore (alloc_pair gc V.Nil V.Nil)
+    ignore (alloc_pair gc V.nil V.nil)
   done;
   Gc_sim.collect_minor gc;
   let s = Gc_sim.stats gc in
@@ -36,9 +36,9 @@ let test_minor_frees_garbage () =
 let test_roots_survive () =
   let c = ctx () in
   let gc = Ctx.gc c in
-  let keep = alloc_pair gc (V.Int 1) (V.Int 2) in
-  let _garbage = alloc_pair gc V.Nil V.Nil in
-  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj keep)));
+  let keep = alloc_pair gc (V.of_int 1) (V.of_int 2) in
+  let _garbage = alloc_pair gc V.nil V.nil in
+  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.of_obj keep)));
   Gc_sim.collect_minor gc;
   let s = Gc_sim.stats gc in
   Alcotest.(check int) "one freed" 1 s.Gc_sim.freed_objects;
@@ -49,12 +49,12 @@ let test_transitive_reachability () =
   let c = ctx () in
   let gc = Ctx.gc c in
   (* a chain root -> a -> b -> c; only the root is scanned *)
-  let cobj = alloc_pair gc (V.Int 3) V.Nil in
-  let bobj = alloc_pair gc (V.Obj cobj) V.Nil in
-  let aobj = alloc_pair gc (V.Obj bobj) V.Nil in
-  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj aobj)));
+  let cobj = alloc_pair gc (V.of_int 3) V.nil in
+  let bobj = alloc_pair gc (V.of_obj cobj) V.nil in
+  let aobj = alloc_pair gc (V.of_obj bobj) V.nil in
+  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.of_obj aobj)));
   for _ = 1 to 50 do
-    ignore (alloc_pair gc V.Nil V.Nil)
+    ignore (alloc_pair gc V.nil V.nil)
   done;
   Gc_sim.collect_minor gc;
   let s = Gc_sim.stats gc in
@@ -63,8 +63,8 @@ let test_transitive_reachability () =
 let test_promotion_after_two_minors () =
   let c = ctx () in
   let gc = Ctx.gc c in
-  let keep = alloc_pair gc (V.Int 1) V.Nil in
-  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj keep)));
+  let keep = alloc_pair gc (V.of_int 1) V.nil in
+  ignore (Gc_sim.add_root_scanner gc (fun visit -> visit (V.of_obj keep)));
   Gc_sim.collect_minor gc;
   Alcotest.(check int) "still young" 0 keep.V.gc_gen;
   Gc_sim.collect_minor gc;
@@ -86,25 +86,25 @@ let test_remembered_set_keeps_young () =
                (V.Class
                   { V.cls_id = 0; cls_name = "t"; layout = [| "f" |];
                     attrs = []; parent = None });
-           fields = [| V.Nil |];
+           fields = [| V.nil |];
          })
   in
   let keep_parent =
-    Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj parent))
+    Gc_sim.add_root_scanner gc (fun visit -> visit (V.of_obj parent))
   in
   Gc_sim.collect_minor gc;
   Gc_sim.collect_minor gc;
   Alcotest.(check int) "parent old" 1 parent.V.gc_gen;
   (* now store a fresh young object into the old parent, with the
      barrier; drop the direct root so only the remembered set keeps it *)
-  let child = alloc_pair gc (V.Int 9) V.Nil in
+  let child = alloc_pair gc (V.of_int 9) V.nil in
   (match parent.V.payload with
-  | V.Instance i -> i.V.fields.(0) <- V.Obj child
+  | V.Instance i -> i.V.fields.(0) <- V.of_obj child
   | _ -> assert false);
-  Gc_sim.write_barrier gc ~parent ~child:(V.Obj child);
+  Gc_sim.write_barrier gc ~parent ~child:(V.of_obj child);
   Gc_sim.remove_root_scanner gc keep_parent;
   ignore
-    (Gc_sim.add_root_scanner gc (fun visit -> visit (V.Obj parent)));
+    (Gc_sim.add_root_scanner gc (fun visit -> visit (V.of_obj parent)));
   let freed_before = (Gc_sim.stats gc).Gc_sim.freed_objects in
   Gc_sim.collect_minor gc;
   let freed_after = (Gc_sim.stats gc).Gc_sim.freed_objects in
@@ -118,9 +118,9 @@ let test_major_collects_old_garbage () =
   let root_cell = ref [] in
   ignore
     (Gc_sim.add_root_scanner gc (fun visit ->
-         List.iter (fun o -> visit (V.Obj o)) !root_cell));
+         List.iter (fun o -> visit (V.of_obj o)) !root_cell));
   (* promote 20 objects *)
-  let objs = List.init 20 (fun i -> alloc_pair gc (V.Int i) V.Nil) in
+  let objs = List.init 20 (fun i -> alloc_pair gc (V.of_int i) V.nil) in
   root_cell := objs;
   Gc_sim.collect_minor gc;
   Gc_sim.collect_minor gc;
@@ -137,7 +137,7 @@ let test_gc_charges_gc_phase () =
   let c = ctx () in
   let gc = Ctx.gc c in
   for _ = 1 to 50 do
-    ignore (alloc_pair gc V.Nil V.Nil)
+    ignore (alloc_pair gc V.nil V.nil)
   done;
   Gc_sim.collect_minor gc;
   let counters = Engine.counters (Ctx.engine c) in
@@ -150,7 +150,7 @@ let test_alloc_triggers_collection () =
   let gc = Ctx.gc c in
   (* nursery is 256 words; tuples are ~5 words: ~60 allocations overflow *)
   for _ = 1 to 200 do
-    ignore (alloc_pair gc V.Nil V.Nil)
+    ignore (alloc_pair gc V.nil V.nil)
   done;
   Alcotest.(check bool) "minor happened" true
     ((Gc_sim.stats gc).Gc_sim.minor_collections > 0)
@@ -161,7 +161,7 @@ let test_grow_accounts_words () =
   let l = Rlist.create c [] in
   let before = Gc_sim.nursery_used gc in
   for i = 1 to 100 do
-    Rlist.append c l (V.Int i)
+    Rlist.append c l (V.of_int i)
   done;
   Alcotest.(check bool) "growth accounted" true
     (Gc_sim.nursery_used gc > before)

@@ -28,5 +28,6 @@ let () =
       ("pool", Test_pool.suite);
       ("serve-diff", Test_serve_diff.suite);
       ("value-diff", Test_value_diff.suite);
+      ("value-repr-diff", Test_value_repr_diff.suite);
       ("integration", Test_integration.suite);
     ]

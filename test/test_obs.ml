@@ -203,9 +203,16 @@ let test_metrics_roundtrip () =
     | None -> Alcotest.failf "run.%s missing" key
   in
   Alcotest.(check int)
-    "value_interned_hits round-trips"
-    o.o_hstats.Mtj_rt.Hstats.value_interned_hits
-    (rint "value_interned_hits");
+    "imm_fast_path_hits round-trips"
+    o.o_hstats.Mtj_rt.Hstats.imm_fast_path_hits
+    (rint "imm_fast_path_hits");
+  Alcotest.(check int)
+    "boxed_slow_path_hits round-trips"
+    o.o_hstats.Mtj_rt.Hstats.boxed_slow_path_hits
+    (rint "boxed_slow_path_hits");
+  Alcotest.(check int)
+    "typed_ops_total round-trips" o.o_hstats.Mtj_rt.Hstats.typed_ops_total
+    (rint "typed_ops_total");
   Alcotest.(check int)
     "frame_pool_reuses round-trips"
     o.o_hstats.Mtj_rt.Hstats.frame_pool_reuses
@@ -213,10 +220,15 @@ let test_metrics_roundtrip () =
   Alcotest.(check int)
     "dict_hash_skips round-trips" o.o_hstats.Mtj_rt.Hstats.dict_hash_skips
     (rint "dict_hash_skips");
-  (* interning is unconditional, so a real run always registers hits *)
+  (* integer arithmetic dominates every bench, so the immediate fast
+     path always fires, and the two buckets partition the total *)
   Alcotest.(check bool)
-    "interned-value fast path is live" true
-    (rint "value_interned_hits" > 0)
+    "immediate fast path is live" true
+    (rint "imm_fast_path_hits" > 0);
+  Alcotest.(check int)
+    "imm + boxed = typed total"
+    (rint "typed_ops_total")
+    (rint "imm_fast_path_hits" + rint "boxed_slow_path_hits")
 
 let test_runner_metrics_roundtrip () =
   (* the memoized-result path used by `bench --metrics-out` *)
@@ -248,10 +260,17 @@ let test_runner_metrics_roundtrip () =
   Alcotest.(check bool)
     "bundles dominate flushes on a real run" true
     (rint "fast_path_bundles" > rint "charge_flushes" && rint "charge_flushes" > 0);
-  (* v5 host fast-path counters flow through the memoized-result path *)
+  (* v8 host fast-path counters flow through the memoized-result path *)
   Alcotest.(check int)
-    "value_interned_hits round-trips" r.Mtj_harness.Runner.value_interned_hits
-    (rint "value_interned_hits");
+    "imm_fast_path_hits round-trips" r.Mtj_harness.Runner.imm_fast_path_hits
+    (rint "imm_fast_path_hits");
+  Alcotest.(check int)
+    "boxed_slow_path_hits round-trips"
+    r.Mtj_harness.Runner.boxed_slow_path_hits
+    (rint "boxed_slow_path_hits");
+  Alcotest.(check int)
+    "typed_ops_total round-trips" r.Mtj_harness.Runner.typed_ops_total
+    (rint "typed_ops_total");
   Alcotest.(check int)
     "frame_pool_reuses round-trips" r.Mtj_harness.Runner.frame_pool_reuses
     (rint "frame_pool_reuses");
@@ -259,8 +278,12 @@ let test_runner_metrics_roundtrip () =
     "dict_hash_skips round-trips" r.Mtj_harness.Runner.dict_hash_skips
     (rint "dict_hash_skips");
   Alcotest.(check bool)
-    "interned-value fast path is live" true
-    (rint "value_interned_hits" > 0)
+    "immediate fast path is live" true
+    (rint "imm_fast_path_hits" > 0);
+  Alcotest.(check int)
+    "imm + boxed = typed total"
+    (rint "typed_ops_total")
+    (rint "imm_fast_path_hits" + rint "boxed_slow_path_hits")
 
 (* --- bench timings --- *)
 
@@ -368,11 +391,12 @@ let test_validator_rejects_corruption () =
         ("cache_miss_rate", Json.Float 0.0);
       ]
   in
-  let mdoc ?(flushes = 3) ?(bundles = 5) ?(interned = Json.Int 2)
-      ?(pooled = Json.Null) ?(hash_skips = Json.Int 0) total =
+  let mdoc ?(flushes = 3) ?(bundles = 5) ?(imm = Json.Int 2)
+      ?(boxed = Json.Int 1) ?(typed = Json.Int 3) ?(pooled = Json.Null)
+      ?(hash_skips = Json.Int 0) total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/7");
+        ("schema", Json.Str "mtj-metrics/8");
         ( "runs",
           Json.Arr
             [
@@ -385,7 +409,9 @@ let test_validator_rejects_corruption () =
                   ("cycles", Json.Float 10.0);
                   ("charge_flushes", Json.Int flushes);
                   ("fast_path_bundles", Json.Int bundles);
-                  ("value_interned_hits", interned);
+                  ("imm_fast_path_hits", imm);
+                  ("boxed_slow_path_hits", boxed);
+                  ("typed_ops_total", typed);
                   ("frame_pool_reuses", pooled);
                   ("dict_hash_skips", hash_skips);
                   ( "phases",
@@ -408,14 +434,21 @@ let test_validator_rejects_corruption () =
   expect_err "insns but no flushes" (Validate.metrics (mdoc ~flushes:0 7));
   expect_err "negative fast_path_bundles"
     (Validate.metrics (mdoc ~bundles:(-1) 7));
-  (* v5 host fast-path counters: null is fine (native exporters), ints
-     must be non-negative and bounded by the run's insn total *)
-  (match Validate.metrics (mdoc ~interned:Json.Null ~hash_skips:Json.Null 7) with
+  (* v8 host fast-path counters: null is fine (native exporters), ints
+     must be non-negative and bounded by the run's insn total, and the
+     immediate/boxed split must partition the typed-op total *)
+  (match
+     Validate.metrics
+       (mdoc ~imm:Json.Null ~boxed:Json.Null ~typed:Json.Null
+          ~hash_skips:Json.Null 7)
+   with
   | Ok 1 -> ()
   | Ok n -> Alcotest.failf "expected 1 run, got %d" n
   | Error e -> Alcotest.failf "null hstats counters rejected: %s" e);
-  expect_err "negative value_interned_hits"
-    (Validate.metrics (mdoc ~interned:(Json.Int (-1)) 7));
+  expect_err "negative imm_fast_path_hits"
+    (Validate.metrics (mdoc ~imm:(Json.Int (-1)) 7));
+  expect_err "imm + boxed <> typed_ops_total"
+    (Validate.metrics (mdoc ~imm:(Json.Int 2) ~boxed:(Json.Int 2) 7));
   expect_err "frame_pool_reuses exceeding insns"
     (Validate.metrics (mdoc ~pooled:(Json.Int 8) 7));
   expect_err "non-int dict_hash_skips"
@@ -427,7 +460,7 @@ let test_validator_rejects_corruption () =
       translations trace_translations =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/7");
+        ("schema", Json.Str "mtj-metrics/8");
         ( "runs",
           Json.Arr
             [
@@ -440,7 +473,9 @@ let test_validator_rejects_corruption () =
                   ("cycles", Json.Float 10.0);
                   ("charge_flushes", Json.Int 3);
                   ("fast_path_bundles", Json.Int 5);
-                  ("value_interned_hits", Json.Int 2);
+                  ("imm_fast_path_hits", Json.Int 2);
+                  ("boxed_slow_path_hits", Json.Int 0);
+                  ("typed_ops_total", Json.Int 2);
                   ("frame_pool_reuses", Json.Int 0);
                   ("dict_hash_skips", Json.Null);
                   ( "phases",
@@ -534,7 +569,7 @@ let test_validator_rejects_corruption () =
       ?(shared_hits = 6) ?(misses = 4) ?(pubs = 2) () =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/7");
+        ("schema", Json.Str "mtj-metrics/8");
         ("runs", Json.Arr []);
         ( "serve",
           Json.Obj

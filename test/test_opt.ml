@@ -7,7 +7,7 @@ module V = Mtj_rt.Value
 let cfg = Mtj_core.Config.default
 let nopeel = { cfg with Mtj_core.Config.opt_peel = false }
 
-let vi i = Ir.Const (V.Int i)
+let vi i = Ir.Const (V.of_int i)
 
 let mk ?(result = -1) opcode args = { Ir.opcode; args; result }
 
@@ -66,7 +66,7 @@ let test_constant_folding () =
   let out = optimize ops in
   Alcotest.(check int) "add folded away" 0 (count (opcode_is "int_add") out);
   match (List.hd (List.rev out)).Ir.args.(0) with
-  | Ir.Const (V.Int 5) -> ()
+  | Ir.Const c when V.is_int c && V.to_int_unchecked c = 5 -> ()
   | _ -> Alcotest.fail "jump arg not folded to 5"
 
 let test_guard_dedup () =
@@ -112,7 +112,7 @@ let test_forwarding_invalidated_by_call () =
   let rc =
     {
       Ir.aot = Mtj_rt.Aot.register ~name:"test.effectful" ~src:Mtj_rt.Aot.I;
-      run = (fun _ _ -> V.Nil);
+      run = (fun _ _ -> V.nil);
       effectful = true;
     }
   in
@@ -221,7 +221,9 @@ let test_virtual_in_resume_materializes () =
       | Ir.Guard gg ->
           if Array.length gg.Ir.resume.Ir.r_virtuals = 1 then begin
             (match gg.Ir.resume.Ir.r_virtuals.(0) with
-            | Ir.V_tuple [| Ir.S_reg 0; Ir.S_const (V.Int 7) |] -> found := true
+            | Ir.V_tuple [| Ir.S_reg 0; Ir.S_const c |]
+              when V.is_int c && V.to_int_unchecked c = 7 ->
+                found := true
             | _ -> ());
             List.iter
               (fun (f : Ir.frame_snap) ->
@@ -262,21 +264,21 @@ let test_peeling_duplicates () =
 (* --- pure evaluator --- *)
 
 let test_eval_int_ops () =
-  Alcotest.(check bool) "add" true (Eval_op.eval Ir.Int_add [| V.Int 2; V.Int 3 |] = V.Int 5);
-  Alcotest.(check bool) "mod" true (Eval_op.eval Ir.Int_mod [| V.Int (-7); V.Int 3 |] = V.Int 2);
-  Alcotest.(check bool) "lt" true (Eval_op.eval Ir.Int_lt [| V.Int 1; V.Int 2 |] = V.Bool true)
+  Alcotest.(check bool) "add" true (Eval_op.eval Ir.Int_add [| V.of_int 2; V.of_int 3 |] = V.of_int 5);
+  Alcotest.(check bool) "mod" true (Eval_op.eval Ir.Int_mod [| V.of_int (-7); V.of_int 3 |] = V.of_int 2);
+  Alcotest.(check bool) "lt" true (Eval_op.eval Ir.Int_lt [| V.of_int 1; V.of_int 2 |] = V.of_bool true)
 
 let test_eval_errors () =
   Alcotest.(check bool) "div by zero raises" true
-    (try ignore (Eval_op.eval Ir.Int_mod [| V.Int 1; V.Int 0 |]); false
+    (try ignore (Eval_op.eval Ir.Int_mod [| V.of_int 1; V.of_int 0 |]); false
      with Division_by_zero -> true);
   Alcotest.(check bool) "str index" true
-    (try ignore (Eval_op.eval Ir.Strgetitem [| V.Str "ab"; V.Int 9 |]); false
+    (try ignore (Eval_op.eval Ir.Strgetitem [| V.of_str "ab"; V.of_int 9 |]); false
      with Ops_intf.Lang_error _ -> true)
 
 let test_eval_not_pure () =
   Alcotest.check_raises "getfield is impure" Eval_op.Not_pure (fun () ->
-      ignore (Eval_op.eval (Ir.Getfield_gc 0) [| V.Nil |]))
+      ignore (Eval_op.eval (Ir.Getfield_gc 0) [| V.nil |]))
 
 let test_checked_ops () =
   Alcotest.(check int) "ok" 5 (Eval_op.checked_add 2 3);

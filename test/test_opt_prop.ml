@@ -112,7 +112,7 @@ let gen_step st =
       let bnd = bound_of st a * (abs c + 1) in
       if bnd < 1 lsl 50 then begin
         let r = fresh st RInt in
-        emit st ~result:r Ir.Int_mul [| Ir.Reg a; Ir.Const (V.Int c) |];
+        emit st ~result:r Ir.Int_mul [| Ir.Reg a; Ir.Const (V.of_int c) |];
         set_bound st r bnd
       end
   | 4 ->
@@ -120,7 +120,7 @@ let gen_step st =
       let a = int_reg () in
       let c = 2 + rnd 49 in
       let r = fresh st RInt in
-      emit st ~result:r Ir.Int_mod [| Ir.Reg a; Ir.Const (V.Int c) |];
+      emit st ~result:r Ir.Int_mod [| Ir.Reg a; Ir.Const (V.of_int c) |];
       set_bound st r c
   | 5 ->
       (* a cell: create with a value, read back *)
@@ -157,7 +157,7 @@ let gen_step st =
       | Some t ->
           let r = fresh st RInt in
           emit st ~result:r Ir.Getarrayitem_gc
-            [| Ir.Reg t; Ir.Const (V.Int (rnd 2)) |];
+            [| Ir.Reg t; Ir.Const (V.of_int (rnd 2)) |];
           set_bound st r (1 lsl 21))
   | 10 -> (
       (* lists: create or mutate+read *)
@@ -169,10 +169,10 @@ let gen_step st =
       | Some l ->
           let v = int_reg () in
           emit st Ir.Setlistitem
-            [| Ir.Reg l; Ir.Const (V.Int (rnd 2)); Ir.Reg v |];
+            [| Ir.Reg l; Ir.Const (V.of_int (rnd 2)); Ir.Reg v |];
           let r = fresh st RInt in
           emit st ~result:r Ir.Getlistitem
-            [| Ir.Reg l; Ir.Const (V.Int (rnd 2)) |];
+            [| Ir.Reg l; Ir.Const (V.of_int (rnd 2)) |];
           set_bound st r (1 lsl 21))
   | 11 -> (
       (* a guard that CAN fail: the run then deoptimizes, and the
@@ -195,7 +195,7 @@ let gen_step st =
           let args =
             match gkind with
             | Ir.G_index_lt ->
-                [| Ir.Reg r; Ir.Const (V.Int (Random.State.int st.rng 40)) |]
+                [| Ir.Reg r; Ir.Const (V.of_int (Random.State.int st.rng 40)) |]
             | _ -> [| Ir.Reg r |]
           in
           push st
@@ -247,11 +247,11 @@ let epilogue st =
           xor_in (Ir.Reg v)
       | RArr ->
           let v = fresh st RInt in
-          emit st ~result:v Ir.Getarrayitem_gc [| Ir.Reg r; Ir.Const (V.Int 0) |];
+          emit st ~result:v Ir.Getarrayitem_gc [| Ir.Reg r; Ir.Const (V.of_int 0) |];
           xor_in (Ir.Reg v)
       | RList ->
           let v = fresh st RInt in
-          emit st ~result:v Ir.Getlistitem [| Ir.Reg r; Ir.Const (V.Int 1) |];
+          emit st ~result:v Ir.Getlistitem [| Ir.Reg r; Ir.Const (V.of_int 1) |];
           xor_in (Ir.Reg v))
     st.regs;
   emit st Ir.Finish [| Ir.Reg !acc |]
@@ -271,7 +271,7 @@ let gen_program seed =
   done;
   epilogue st;
   let entry =
-    Array.init entry_slots (fun _ -> V.Int (Random.State.int rng 201 - 100))
+    Array.init entry_slots (fun _ -> V.of_int (Random.State.int rng 201 - 100))
   in
   (Array.of_list (List.rev st.ops), entry)
 

@@ -7,8 +7,8 @@ module B = Mtj_rt.Rbigint
 
 let ctx () = Ctx.create ~config:Mtj_core.Config.no_jit ()
 
-let vint i = V.Int i
-let vstr s = V.Str s
+let vint i = V.of_int i
+let vstr s = V.of_str s
 
 (* --- values --- *)
 
@@ -18,16 +18,16 @@ let test_truthiness () =
   Alcotest.(check bool) "1" true (V.truthy (vint 1));
   Alcotest.(check bool) "''" false (V.truthy (vstr ""));
   Alcotest.(check bool) "'x'" true (V.truthy (vstr "x"));
-  Alcotest.(check bool) "nil" false (V.truthy V.Nil);
-  Alcotest.(check bool) "0.0" false (V.truthy (V.Float 0.0));
+  Alcotest.(check bool) "nil" false (V.truthy V.nil);
+  Alcotest.(check bool) "0.0" false (V.truthy (V.of_float 0.0));
   let empty = Rlist.create c [] in
-  Alcotest.(check bool) "[]" false (V.truthy (V.Obj empty));
+  Alcotest.(check bool) "[]" false (V.truthy (V.of_obj empty));
   Rlist.append c empty (vint 1);
-  Alcotest.(check bool) "[1]" true (V.truthy (V.Obj empty))
+  Alcotest.(check bool) "[1]" true (V.truthy (V.of_obj empty))
 
 let test_py_eq_numbers () =
-  Alcotest.(check bool) "int/float" true (V.py_eq (vint 3) (V.Float 3.0));
-  Alcotest.(check bool) "neq" false (V.py_eq (vint 3) (V.Float 3.5))
+  Alcotest.(check bool) "int/float" true (V.py_eq (vint 3) (V.of_float 3.0));
+  Alcotest.(check bool) "neq" false (V.py_eq (vint 3) (V.of_float 3.5))
 
 let test_py_eq_tuples () =
   let c = ctx () in
@@ -38,7 +38,7 @@ let test_py_eq_tuples () =
   Alcotest.(check bool) "different" false (V.py_eq t1 t3)
 
 let test_hash_eq_consistent () =
-  let pairs = [ (vint 5, V.Float 5.0); (vstr "ab", vstr "ab") ] in
+  let pairs = [ (vint 5, V.of_float 5.0); (vstr "ab", vstr "ab") ] in
   List.iter
     (fun (a, b) ->
       if V.py_eq a b then
@@ -48,9 +48,9 @@ let test_hash_eq_consistent () =
 let test_repr () =
   Alcotest.(check string) "int" "42" (V.repr (vint 42));
   Alcotest.(check string) "str" "'hi'" (V.repr (vstr "hi"));
-  Alcotest.(check string) "none" "None" (V.repr V.Nil);
-  Alcotest.(check string) "true" "True" (V.repr (V.Bool true));
-  Alcotest.(check string) "float" "2.5" (V.repr (V.Float 2.5))
+  Alcotest.(check string) "none" "None" (V.repr V.nil);
+  Alcotest.(check string) "true" "True" (V.repr (V.of_bool true));
+  Alcotest.(check string) "float" "2.5" (V.repr (V.of_float 2.5))
 
 (* --- ordered dict vs a model --- *)
 
@@ -72,7 +72,9 @@ let test_dict_insertion_order () =
   let o = Gc_sim.alloc (Ctx.gc c) (V.Dict d) in
   List.iter (fun k -> Rdict.set c o d (vint k) (vint (k * 10))) [ 5; 3; 9; 1 ];
   Alcotest.(check (list int)) "order" [ 5; 3; 9; 1 ]
-    (List.map (function V.Int i -> i | _ -> -1) (Rdict.keys d))
+    (List.map
+       (fun v -> if V.is_int v then V.to_int_unchecked v else -1)
+       (Rdict.keys d))
 
 let test_dict_delete () =
   let c = ctx () in
@@ -150,7 +152,7 @@ let test_list_str_strategy () =
 
 let test_list_float_strategy () =
   let c = ctx () in
-  let l = Rlist.create c [ V.Float 1.5 ] in
+  let l = Rlist.create c [ V.of_float 1.5 ] in
   Alcotest.(check string) "float" "float" (Rlist.strategy_name (Rlist.of_obj l))
 
 let test_list_pop_slice () =
@@ -229,9 +231,9 @@ let test_set_algebra () =
 let test_arith_overflow_promotes () =
   let c = ctx () in
   let big = Rarith.mul c (vint max_int) (vint 2) in
-  (match big with
+  (match V.view big with
   | V.Obj { payload = V.Bigint _; _ } -> ()
-  | v -> Alcotest.failf "expected bigint, got %s" (V.repr v));
+  | _ -> Alcotest.failf "expected bigint, got %s" (V.repr big));
   (* and demotes when shrinking back *)
   let back = Rarith.floordiv c big (vint 2) in
   Alcotest.(check bool) "demoted" true (back = vint max_int)
@@ -239,7 +241,7 @@ let test_arith_overflow_promotes () =
 let test_arith_float_contagion () =
   let c = ctx () in
   Alcotest.(check bool) "int+float" true
-    (Rarith.add c (vint 1) (V.Float 0.5) = V.Float 1.5)
+    (Rarith.add c (vint 1) (V.of_float 0.5) = V.of_float 1.5)
 
 let test_arith_python_mod () =
   let c = ctx () in
@@ -250,7 +252,7 @@ let test_arith_pow () =
   let c = ctx () in
   Alcotest.(check bool) "2**10" true (Rarith.pow c (vint 2) (vint 10) = vint 1024);
   (* big power promotes *)
-  match Rarith.pow c (vint 10) (vint 30) with
+  match V.view (Rarith.pow c (vint 10) (vint 30)) with
   | V.Obj { payload = V.Bigint b; _ } ->
       Alcotest.(check string) "10^30" ("1" ^ String.make 30 '0') (B.to_string b)
   | _ -> Alcotest.fail "expected bigint"

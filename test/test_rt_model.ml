@@ -13,8 +13,8 @@ module V = Value
 
 let ctx () = Ctx.create ()
 
-let vint i = V.Int i
-let vstr s = V.Str s
+let vint i = V.of_int i
+let vstr s = V.of_str s
 
 (* keys drawn from a small pool so collisions, updates and
    delete-then-reinsert happen often *)
@@ -104,7 +104,7 @@ let list_model_run seed =
   let elt () =
     match Random.State.int rng 8 with
     | 0 -> vstr (String.make 1 (Char.chr (97 + Random.State.int rng 26)))
-    | 1 -> V.Float (float_of_int (Random.State.int rng 100) /. 4.0)
+    | 1 -> V.of_float (float_of_int (Random.State.int rng 100) /. 4.0)
     | _ -> vint (Random.State.int rng 1000 - 500)
   in
   for _ = 1 to 300 do
@@ -191,7 +191,11 @@ let set_model_run seed =
   in
   let module IS = Set.Make (Int) in
   let to_is vals =
-    IS.of_list (List.map (function V.Int i -> i | _ -> assert false) vals)
+    IS.of_list
+      (List.map
+         (fun v ->
+           if V.is_int v then V.to_int_unchecked v else assert false)
+         vals)
   in
   let of_set o = to_is (Rset.elements (Rset.of_obj o)) in
   let ok = ref true in
@@ -292,7 +296,7 @@ let gc_model_run seed =
   let c = Ctx.create ~config:cfg () in
   let gc = Ctx.gc c in
   (* roots: a register file the GC scans *)
-  let roots = Array.make 8 V.Nil in
+  let roots = Array.make 8 V.nil in
   let scanner = Gc_sim.add_root_scanner gc (fun visit -> Array.iter visit roots) in
   Fun.protect ~finally:(fun () -> Gc_sim.remove_root_scanner gc scanner)
   @@ fun () ->
@@ -312,7 +316,7 @@ let gc_model_run seed =
         (* garbage *)
         ignore (Gc_sim.obj gc (V.Tuple [| vint 0; vint 1; vint 2 |]))
     | 2 ->
-        roots.(slot) <- V.Nil;
+        roots.(slot) <- V.nil;
         model.(slot) <- []
     | _ ->
         if Random.State.bool rng then Gc_sim.collect_minor gc
@@ -325,11 +329,13 @@ let gc_model_run seed =
   Array.iteri
     (fun i expected ->
       let rec walk v = function
-        | [] -> if v <> V.Nil then ok := false
+        | [] -> if not (V.is_nil v) then ok := false
         | p :: rest -> (
-            match v with
-            | V.Obj { V.payload = V.Tuple [| V.Int p'; next |]; _ } ->
-                if p' <> p then ok := false else walk next rest
+            match V.view v with
+            | V.Obj { V.payload = V.Tuple [| pv; next |]; _ } ->
+                if not (V.is_int pv) || V.to_int_unchecked pv <> p then
+                  ok := false
+                else walk next rest
             | _ -> ok := false)
       in
       walk roots.(i) expected)

@@ -278,18 +278,18 @@ let gen_step st =
           | 0 ->
               let r = fresh st RStr in
               emit st ~result:r Ir.Str_concat
-                [| Ir.Reg s; Ir.Const (V.Str "ab") |]
+                [| Ir.Reg s; Ir.Const (V.of_str "ab") |]
           | 1 ->
               let r = fresh st RInt in
               emit st ~result:r Ir.Strlen [| Ir.Reg s |]
           | 2 ->
               let r = fresh st RBool in
               emit st ~result:r Ir.Str_eq
-                [| Ir.Reg s; Ir.Const (V.Str "xy") |]
+                [| Ir.Reg s; Ir.Const (V.of_str "xy") |]
           | _ ->
               let r = fresh st RStr in
               emit st ~result:r Ir.Strgetitem
-                [| Ir.Reg s; Ir.Const (V.Int (rnd 6)) |]))
+                [| Ir.Reg s; Ir.Const (V.of_int (rnd 6)) |]))
   | 10 ->
       (* heap: a cell created from an int, read back *)
       let v = int_reg () in
@@ -313,7 +313,7 @@ let gen_step st =
       | Some t ->
           let r = fresh st RInt in
           emit st ~result:r Ir.Getarrayitem_gc
-            [| Ir.Reg t; Ir.Const (V.Int (rnd 2)) |])
+            [| Ir.Reg t; Ir.Const (V.of_int (rnd 2)) |])
   | 13 -> (
       (* lists: create or mutate + read *)
       match pick_kind st RList with
@@ -324,23 +324,23 @@ let gen_step st =
       | Some l ->
           let v = int_reg () in
           emit st Ir.Setlistitem
-            [| Ir.Reg l; Ir.Const (V.Int (rnd 2)); Ir.Reg v |];
+            [| Ir.Reg l; Ir.Const (V.of_int (rnd 2)); Ir.Reg v |];
           let r = fresh st RInt in
           emit st ~result:r Ir.Getlistitem
-            [| Ir.Reg l; Ir.Const (V.Int (rnd 2)) |])
+            [| Ir.Reg l; Ir.Const (V.of_int (rnd 2)) |])
   | 14 ->
       (* standalone guards that can fail *)
       let a = int_reg () in
       let gk =
         match rnd 4 with
         | 0 -> Ir.G_index_lt
-        | 1 -> Ir.G_value (V.Int (rnd 8))
+        | 1 -> Ir.G_value (V.of_int (rnd 8))
         | 2 -> Ir.G_class (if rnd 4 = 0 then Ir.Ty_float else Ir.Ty_int)
         | _ -> Ir.G_nonnull
       in
       let args =
         match gk with
-        | Ir.G_index_lt -> [| Ir.Reg a; Ir.Const (V.Int (rnd 40)) |]
+        | Ir.G_index_lt -> [| Ir.Reg a; Ir.Const (V.of_int (rnd 40)) |]
         | _ -> [| Ir.Reg a |]
       in
       emit_guard st gk args
@@ -376,12 +376,12 @@ let gen_program seed =
   epilogue st;
   let entry =
     [|
-      V.Int (Random.State.int rng 201 - 100);
-      V.Int (Random.State.int rng 201 - 100);
-      V.Int (Random.State.int rng 201 - 100);
-      V.Float (float_of_int (Random.State.int rng 17 - 8) /. 4.0);
-      V.Float (float_of_int (Random.State.int rng 17 - 8) /. 4.0);
-      V.Str (String.sub "hello" 0 (Random.State.int rng 6));
+      V.of_int (Random.State.int rng 201 - 100);
+      V.of_int (Random.State.int rng 201 - 100);
+      V.of_int (Random.State.int rng 201 - 100);
+      V.of_float (float_of_int (Random.State.int rng 17 - 8) /. 4.0);
+      V.of_float (float_of_int (Random.State.int rng 17 - 8) /. 4.0);
+      V.of_str (String.sub "hello" 0 (Random.State.int rng 6));
     |]
   in
   (Array.of_list (List.rev st.ops), entry)
@@ -470,9 +470,9 @@ let counting_loop_ops ~limit =
           { dmp_code = 1; dmp_pc = 0; dmp_resume = snap_reg 0 };
       args = [||]; result = -1 };
     { Ir.opcode = Ir.Int_add;
-      args = [| Ir.Reg 0; Ir.Const (V.Int 1) |]; result = 1 };
+      args = [| Ir.Reg 0; Ir.Const (V.of_int 1) |]; result = 1 };
     { Ir.opcode = Ir.Int_lt;
-      args = [| Ir.Reg 1; Ir.Const (V.Int limit) |]; result = 2 };
+      args = [| Ir.Reg 1; Ir.Const (V.of_int limit) |]; result = 2 };
     { Ir.opcode = Ir.Guard (mk_guard ~id:9001 Ir.G_true (snap_reg 1));
       args = [| Ir.Reg 2 |]; result = -1 };
     { Ir.opcode = Ir.Jump; args = [| Ir.Reg 1 |]; result = -1 };
@@ -486,7 +486,7 @@ let scenario_loop (exec : executor) =
       ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
       ~entry_slots:1 (counting_loop_ops ~limit:500)
   in
-  let e = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  let e = exit_of exec rtc jitlog trace [| V.of_int 0 |] in
   observe rtc [ trace ] [ e ]
 
 (* guard fails at [limit]; a bridge is then attached and the cached
@@ -499,14 +499,14 @@ let scenario_bridge (exec : executor) =
       ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
       ~entry_slots:1 (counting_loop_ops ~limit:100)
   in
-  let e1 = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  let e1 = exit_of exec rtc jitlog trace [| V.of_int 0 |] in
   let bridge =
     Backend.compile jitlog rtc
       ~kind:(Ir.Bridge { from_guard = 9001; loop_code = 1; loop_pc = 0 })
       ~entry_slots:1
       [|
         { Ir.opcode = Ir.Int_mul;
-          args = [| Ir.Reg 0; Ir.Const (V.Int 3) |]; result = 1 };
+          args = [| Ir.Reg 0; Ir.Const (V.of_int 3) |]; result = 1 };
         { Ir.opcode = Ir.Finish; args = [| Ir.Reg 1 |]; result = -1 };
       |]
   in
@@ -517,7 +517,7 @@ let scenario_bridge (exec : executor) =
       | _ -> ())
     trace.Ir.ops;
   Ir.invalidate_code trace;
-  let e2 = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  let e2 = exit_of exec rtc jitlog trace [| V.of_int 0 |] in
   observe rtc [ trace; bridge ] [ e1; e2 ]
 
 (* A adds 3 then chains into B (call_assembler), which doubles and
@@ -531,7 +531,7 @@ let scenario_call_assembler (exec : executor) =
       ~entry_slots:1
       [|
         { Ir.opcode = Ir.Int_mul;
-          args = [| Ir.Reg 0; Ir.Const (V.Int 2) |]; result = 1 };
+          args = [| Ir.Reg 0; Ir.Const (V.of_int 2) |]; result = 1 };
         { Ir.opcode = Ir.Finish; args = [| Ir.Reg 1 |]; result = -1 };
       |]
   in
@@ -545,12 +545,12 @@ let scenario_call_assembler (exec : executor) =
               { dmp_code = 1; dmp_pc = 0; dmp_resume = snap_reg 0 };
           args = [||]; result = -1 };
         { Ir.opcode = Ir.Int_add;
-          args = [| Ir.Reg 0; Ir.Const (V.Int 3) |]; result = 1 };
+          args = [| Ir.Reg 0; Ir.Const (V.of_int 3) |]; result = 1 };
         { Ir.opcode = Ir.Call_assembler b.Ir.trace_id;
           args = [| Ir.Reg 1 |]; result = -1 };
       |]
   in
-  let e = exit_of exec rtc jitlog a [| V.Int 5 |] in
+  let e = exit_of exec rtc jitlog a [| V.of_int 5 |] in
   observe rtc [ a; b ] [ e ]
 
 (* a hot tier-1 loop exits at its back-edge under the two-tier config *)
@@ -563,7 +563,7 @@ let scenario_tiered (exec : executor) =
       ~kind:(Ir.Loop { loop_code = 1; loop_pc = 0 })
       ~entry_slots:1 ~tier:1 (counting_loop_ops ~limit:500)
   in
-  let e = exit_of exec rtc jitlog trace [| V.Int 0 |] in
+  let e = exit_of exec rtc jitlog trace [| V.of_int 0 |] in
   observe rtc [ trace ] [ e ]
 
 (* integer overflow inside a fused op+guard pair *)
@@ -577,10 +577,10 @@ let scenario_ovf_fused (exec : executor) =
             { dmp_code = 1; dmp_pc = 0; dmp_resume = snap_reg 0 };
         args = [||]; result = -1 };
       { Ir.opcode = Ir.Int_add;
-        args = [| Ir.Reg 0; Ir.Const (V.Int 1) |]; result = 1 };
+        args = [| Ir.Reg 0; Ir.Const (V.of_int 1) |]; result = 1 };
       { Ir.opcode =
           Ir.Guard (mk_guard ~id:(9100 + entry_ovf) Ir.G_no_ovf_add (snap_reg 0));
-        args = [| Ir.Reg 0; Ir.Const (V.Int 1) |]; result = -1 };
+        args = [| Ir.Reg 0; Ir.Const (V.of_int 1) |]; result = -1 };
       { Ir.opcode = Ir.Finish; args = [| Ir.Reg 1 |]; result = -1 };
     |]
   in
@@ -594,8 +594,8 @@ let scenario_ovf_fused (exec : executor) =
       ~kind:(Ir.Loop { loop_code = 1; loop_pc = 1 })
       ~entry_slots:1 (ops 1)
   in
-  let e1 = exit_of exec rtc jitlog t_ok [| V.Int 41 |] in
-  let e2 = exit_of exec rtc jitlog t_ovf [| V.Int max_int |] in
+  let e1 = exit_of exec rtc jitlog t_ok [| V.of_int 41 |] in
+  let e2 = exit_of exec rtc jitlog t_ovf [| V.of_int max_int |] in
   observe rtc [ t_ok; t_ovf ] [ e1; e2 ]
 
 let check_scenario name scenario =
@@ -623,16 +623,16 @@ let test_cache_accounting () =
   in
   Alcotest.(check int) "compile translates once" 1 trace.Ir.translations;
   Alcotest.(check int) "no hits yet" 0 trace.Ir.cache_hits;
-  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
-  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.of_int 0 |]);
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.of_int 0 |]);
   Alcotest.(check int) "two cached entries" 2 trace.Ir.cache_hits;
   Alcotest.(check int) "still one translation" 1 trace.Ir.translations;
   Ir.invalidate_code trace;
-  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.of_int 0 |]);
   Alcotest.(check int) "invalidation forces re-translation" 2
     trace.Ir.translations;
   Alcotest.(check int) "a stale entry is not a hit" 2 trace.Ir.cache_hits;
-  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.Int 0 |]);
+  ignore (Executor.run rtc jitlog ~trace ~entry:[| V.of_int 0 |]);
   Alcotest.(check int) "fresh code is cached again" 3 trace.Ir.cache_hits;
   Alcotest.(check int) "jitlog translations" 2 jitlog.Jitlog.translations;
   Alcotest.(check int) "jitlog hits" 3 jitlog.Jitlog.code_cache_hits

@@ -1,6 +1,6 @@
 (** Differential and property tests for the allocation-free value fast
-    paths: the small-int intern table, per-context frame pooling, and
-    precomputed string-key hashes.
+    paths: the immediate-tagged int/bool/nil representation,
+    per-context frame pooling, and precomputed string-key hashes.
 
     The load-bearing test is the frame-pool differential: running the
     same benchmark with [frame_pool] on and off must produce
@@ -8,10 +8,10 @@
     counters (cycles compared exactly), GC statistics and JIT log — in
     both VMs and under every JIT configuration.  The fast paths are
     host-side optimizations only; any divergence means a recycled frame
-    leaked state into the simulation.  The interning properties pin the
-    physical-equality contract documented in [value.mli], and the
-    integral-float hash tests pin the [py_eq]/[py_hash] contract that
-    dict lookups (and the precomputed-hash fast path) rely on. *)
+    leaked state into the simulation.  The immediate-identity properties
+    pin the physical-equality contract documented in [value.mli], and
+    the integral-float hash tests pin the [py_eq]/[py_hash] contract
+    that dict lookups (and the precomputed-hash fast path) rely on. *)
 
 module V = Mtj_rt.Value
 module Ctx = Mtj_rt.Ctx
@@ -24,53 +24,47 @@ module Phase = Mtj_core.Phase
 module B = Mtj_benchmarks.Registry
 module Jitlog = Mtj_rjit.Jitlog
 
-(* ---------- small-int interning ---------- *)
+(* ---------- immediate int/bool/nil representation ---------- *)
 
-let test_intern_table () =
-  for i = V.min_interned to V.max_interned do
-    Alcotest.(check bool)
-      (Printf.sprintf "%d is interned" i)
-      true (V.is_interned_int i);
-    (* the same physical box every time *)
-    if not (V.of_int i == V.of_int i) then
-      Alcotest.failf "of_int %d not physically shared" i;
-    (* structurally indistinguishable from a fresh box *)
-    if V.of_int i <> V.Int i then
-      Alcotest.failf "of_int %d structurally wrong" i
-  done;
-  (* just outside the table: still correct, merely unshared *)
+let test_immediates () =
+  (* EVERY int is an unboxed immediate now: physical equality always
+     holds, not just inside a small intern window *)
   List.iter
     (fun i ->
+      if not (V.of_int i == V.of_int i) then
+        Alcotest.failf "of_int %d not an immediate" i;
       Alcotest.(check bool)
-        (Printf.sprintf "%d not interned" i)
-        false (V.is_interned_int i);
-      if V.of_int i <> V.Int i then
-        Alcotest.failf "of_int %d structurally wrong" i)
-    [ V.min_interned - 1; V.max_interned + 1; max_int; min_int ];
+        (Printf.sprintf "%d is_int" i)
+        true
+        (V.is_int (V.of_int i));
+      Alcotest.(check int)
+        (Printf.sprintf "%d round-trips" i)
+        i
+        (V.to_int_unchecked (V.of_int i)))
+    [ 0; 1; -1; 7; 255; 256; -257; 65_536; max_int; min_int ];
   (* shared singletons *)
   Alcotest.(check bool) "true_ shared" true (V.of_bool true == V.true_);
   Alcotest.(check bool) "false_ shared" true (V.of_bool false == V.false_);
-  Alcotest.(check bool) "nil is Nil" true (V.nil = V.Nil);
-  (* intern normalizes to the shared boxes, passes the rest through *)
-  Alcotest.(check bool) "intern small int" true (V.intern (V.Int 7) == V.of_int 7);
-  Alcotest.(check bool) "intern bool" true (V.intern (V.Bool true) == V.true_);
-  let s = V.Str "abc" in
-  Alcotest.(check bool) "intern passes strings through" true (V.intern s == s);
-  let big = V.Int (V.max_interned + 1) in
-  Alcotest.(check bool) "intern preserves big ints" true (V.intern big = big)
+  Alcotest.(check bool) "nil is nil" true (V.is_nil V.nil);
+  Alcotest.(check bool) "true_ is bool" true (V.is_bool V.true_);
+  Alcotest.(check bool) "nil not int" false (V.is_int V.nil);
+  Alcotest.(check bool) "true_ not int" false (V.is_int V.true_);
+  (* immediates never alias the boxed kinds *)
+  let z = V.of_int 0 and o = V.of_int 1 in
+  Alcotest.(check bool) "0 <> nil" false (V.is_nil z);
+  Alcotest.(check bool) "0 <> false" false (V.is_bool z);
+  Alcotest.(check bool) "1 <> true" false (V.is_bool o)
 
 let prop_of_int =
-  QCheck.Test.make ~name:"of_int is structurally Int for every int"
-    ~count:2000
+  QCheck.Test.make ~name:"of_int views as Int for every int" ~count:2000
     (QCheck.make
        QCheck.Gen.(oneof [ int_range (-5000) 5000; int ]))
     (fun i ->
       let v = V.of_int i in
-      v = V.Int i
-      && V.py_eq v (V.Int i)
-      && V.py_hash v = V.py_hash (V.Int i)
-      && V.is_interned_int i = (i >= V.min_interned && i <= V.max_interned)
-      && ((not (V.is_interned_int i)) || V.of_int i == V.of_int i))
+      (match V.view v with V.Int j -> j = i | _ -> false)
+      && V.py_eq v (V.of_int i)
+      && V.py_hash v = V.py_hash (V.of_int i)
+      && V.of_int i == V.of_int i)
 
 (* ---------- integral-float hash/equality contract ---------- *)
 
@@ -84,11 +78,11 @@ let test_float_hash_window () =
       Alcotest.(check bool)
         (Printf.sprintf "py_eq %d its float twin" i)
         true
-        (V.py_eq (V.Int i) (V.Float f));
+        (V.py_eq (V.of_int i) (V.of_float f));
       Alcotest.(check int)
         (Printf.sprintf "py_hash %d = py_hash %g" i f)
-        (V.py_hash (V.Int i))
-        (V.py_hash (V.Float f)))
+        (V.py_hash (V.of_int i))
+        (V.py_hash (V.of_float f)))
     [
       0; 1; -1; 42;
       999_999_999_999_999;           (* just below 1e15 *)
@@ -114,17 +108,17 @@ let prop_int_float_hash =
            ]))
     (fun i ->
       let f = float_of_int i in
-      V.py_eq (V.Int i) (V.Float f)
-      && V.py_hash (V.Int i) = V.py_hash (V.Float f))
+      V.py_eq (V.of_int i) (V.of_float f)
+      && V.py_hash (V.of_int i) = V.py_hash (V.of_float f))
 
 (* ---------- array-pool reuse contract ---------- *)
 
 let test_apool_reuse () =
   let stats = Hstats.create () in
-  let pool = Apool.create ~enabled:true ~stats V.Nil in
+  let pool = Apool.create ~enabled:true ~stats V.nil in
   let a = Apool.acquire pool 8 in
-  a.(0) <- V.Int 7;
-  a.(7) <- V.Str "x";
+  a.(0) <- V.of_int 7;
+  a.(7) <- V.of_str "x";
   Apool.release pool a;
   let b = Apool.acquire pool 8 in
   Alcotest.(check bool) "same array recycled" true (a == b);
@@ -132,7 +126,7 @@ let test_apool_reuse () =
   (* release refilled with the default: indistinguishable from fresh *)
   Array.iteri
     (fun i v ->
-      if v <> V.Nil then Alcotest.failf "slot %d not cleared" i)
+      if not (V.is_nil v) then Alcotest.failf "slot %d not cleared" i)
     b;
   (* different length = different bucket *)
   let c = Apool.acquire pool 9 in
@@ -145,7 +139,7 @@ let test_apool_reuse () =
   let big' = Apool.acquire pool 1000 in
   Alcotest.(check bool) "oversize not pooled" false (big == big');
   (* a disabled pool is plain allocation *)
-  let off = Apool.create ~enabled:false ~stats:(Hstats.create ()) V.Nil in
+  let off = Apool.create ~enabled:false ~stats:(Hstats.create ()) V.nil in
   let d = Apool.acquire off 8 in
   Apool.release off d;
   let d' = Apool.acquire off 8 in
@@ -164,7 +158,7 @@ let test_khash_pylite () =
     (fun (s, h) ->
       (* the hash hoisted at translate time is exactly what a dict probe
          would recompute from the key *)
-      Alcotest.(check int) ("py_hash " ^ s) (V.py_hash (V.Str s)) h;
+      Alcotest.(check int) ("py_hash " ^ s) (V.py_hash (V.of_str s)) h;
       Alcotest.(check int) ("str_hash " ^ s) (V.str_hash s) h)
     hs
 
@@ -195,7 +189,7 @@ let test_khash_rklite () =
   Alcotest.(check bool) "string constants found" true (List.length hs >= 2);
   List.iter
     (fun (s, h) ->
-      Alcotest.(check int) ("py_hash " ^ s) (V.py_hash (V.Str s)) h)
+      Alcotest.(check int) ("py_hash " ^ s) (V.py_hash (V.of_str s)) h)
     hs
 
 (* ---------- frame-pool on/off differential ---------- *)
@@ -277,9 +271,17 @@ let check_pool_invariant ~label ~bench run base_config =
     (label ^ ": pool-off run reused nothing") 0
     h_off.Hstats.frame_pool_reuses;
   Alcotest.(check bool)
-    (label ^ ": interning live in both modes") true
-    (h_on.Hstats.value_interned_hits > 0
-    && h_off.Hstats.value_interned_hits > 0)
+    (label ^ ": immediate fast path live in both modes") true
+    (h_on.Hstats.imm_fast_path_hits > 0
+    && h_off.Hstats.imm_fast_path_hits > 0);
+  (* counter invariant: every typed op went one way or the other *)
+  List.iter
+    (fun (m, h) ->
+      Alcotest.(check int)
+        (label ^ ": imm + boxed = typed total (" ^ m ^ ")")
+        h.Hstats.typed_ops_total
+        (h.Hstats.imm_fast_path_hits + h.Hstats.boxed_slow_path_hits))
+    [ ("on", h_on); ("off", h_off) ]
 
 let budgeted base = Config.with_budget 2_000_000 base
 
@@ -302,8 +304,8 @@ let test_pool_diff_rk_jit () =
 
 let suite =
   [
-    Alcotest.test_case "intern table physical equality" `Quick
-      test_intern_table;
+    Alcotest.test_case "immediate representation identities" `Quick
+      test_immediates;
     QCheck_alcotest.to_alcotest prop_of_int;
     Alcotest.test_case "integral-float hash window" `Quick
       test_float_hash_window;
