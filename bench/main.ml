@@ -81,41 +81,59 @@ let bechamel () =
         res)
     tests
 
-(* --- serving mode: the shared JIT code cache, on vs off --- *)
+(* --- serving mode: the shared JIT code cache and profile seeding --- *)
 
-(* Host wall-clock comparison of a serving session with and without the
-   cross-context code cache (same seeded workload both times).  Like
-   "bechamel", this row reports real wall time, so it is selected by
-   name and not part of "all" (whose output is byte-pinned). *)
-let serve_bench () =
+(* Host wall-clock comparison of a serving session across the three
+   cache modes — off, shared bundles only, shared bundles + trace-
+   profile seeding — on the same seeded workload.  Like "bechamel",
+   this row reports real wall time, so it is selected by name and not
+   part of "all" (whose output is byte-pinned). *)
+let serve_bench ?(zipf_s = 1.1) ?(corpus_size = 0) () =
   let module S = Mtj_harness.Serve in
   let requests = 1000 in
-  let on = S.serve ~shared:true ~requests () in
-  let off = S.serve ~shared:false ~requests () in
+  let off = S.serve ~shared:false ~zipf_s ~corpus_size ~requests () in
+  let unseeded =
+    S.serve ~shared:true ~profile_seed:false ~zipf_s ~corpus_size ~requests ()
+  in
+  let seeded =
+    S.serve ~shared:true ~profile_seed:true ~zipf_s ~corpus_size ~requests ()
+  in
   Printf.printf
-    "serving: %d requests, %d jobs, zipf_s=%.2f seed=%d, budget %d insns/request\n\n"
-    requests on.S.sv_jobs on.S.sv_zipf_s on.S.sv_seed on.S.sv_budget;
-  Printf.printf "%-22s %12s %12s %12s %12s %12s\n" "shared cache" "wall s"
+    "serving: %d requests, %d jobs, zipf_s=%.2f seed=%d corpus=%d, budget %d \
+     insns/request\n\n"
+    requests seeded.S.sv_jobs seeded.S.sv_zipf_s seeded.S.sv_seed
+    seeded.S.sv_corpus_size seeded.S.sv_budget;
+  Printf.printf "%-22s %12s %12s %12s %12s %12s\n" "mode" "wall s"
     "req/s" "p50 ms" "p95 ms" "p99 ms";
   let row name (s : S.summary) =
     Printf.printf "%-22s %12.3f %12.1f %12.3f %12.3f %12.3f\n" name s.S.sv_wall_s
       s.S.sv_throughput s.S.sv_p50_ms s.S.sv_p95_ms s.S.sv_p99_ms
   in
-  row "on" on;
-  row "off" off;
+  row "cache off" off;
+  row "cache on" unseeded;
+  row "cache on + seeding" seeded;
   Printf.printf
-    "\nwith the cache on: %d cold (compile; p50 %.3f ms), %d warm (import; \
-     p50 %.3f ms)\n"
-    on.S.sv_cold on.S.sv_cold_p50_ms on.S.sv_warm on.S.sv_warm_p50_ms;
-  let c = on.S.sv_cache in
+    "\nseeded session: %d cold (compile; p50 %.3f ms), %d warm (import; \
+     p50 %.3f ms), %d profile-seeded\n"
+    seeded.S.sv_cold seeded.S.sv_cold_p50_ms seeded.S.sv_warm
+    seeded.S.sv_warm_p50_ms seeded.S.sv_seeded;
   Printf.printf
-    "shared cache: %d hits, %d misses, %d publications, %d lock contentions\n"
+    "simulated insns to first trace entry: %.0f seeded vs %.0f unseeded \
+     (same session) vs %.0f with seeding off\n"
+    seeded.S.sv_seeded_first_entry_mean seeded.S.sv_unseeded_first_entry_mean
+    unseeded.S.sv_unseeded_first_entry_mean;
+  let c = seeded.S.sv_cache in
+  Printf.printf
+    "shared cache: %d hits, %d misses, %d publications, %d profiles \
+     attached, %d seeded imports, %d lock contentions\n"
     (c.Mtj_rjit.Sharedcache.shared_hits + c.Mtj_rjit.Sharedcache.local_hits)
     c.Mtj_rjit.Sharedcache.misses c.Mtj_rjit.Sharedcache.publications
-    c.Mtj_rjit.Sharedcache.contention;
+    c.Mtj_rjit.Sharedcache.profile_publications
+    c.Mtj_rjit.Sharedcache.seeded_imports c.Mtj_rjit.Sharedcache.contention;
   if off.S.sv_wall_s > 0.0 then
-    Printf.printf "session speedup from sharing: %.2fx\n"
-      (off.S.sv_wall_s /. on.S.sv_wall_s)
+    Printf.printf "session speedup from sharing: %.2fx (seeded %.2fx)\n"
+      (off.S.sv_wall_s /. unseeded.S.sv_wall_s)
+      (off.S.sv_wall_s /. seeded.S.sv_wall_s)
 
 (* --- argument handling --- *)
 
@@ -123,6 +141,7 @@ let usage () =
   print_endline
     "usage: main.exe [-j N] [--threaded-interp on|off] [--frame-pool on|off] \
      [--tier-policy optimizing|baseline|adaptive] \
+     [--zipf-alpha S] [--corpus-size N] \
      [--timings FILE] [--metrics-out FILE] \
      [all | bechamel | serve | <experiment> ...]";
   print_endline "experiments:";
@@ -138,6 +157,8 @@ type parsed = {
   threaded : bool option;
   frame_pool : bool option;
   tier_policy : Mtj_core.Config.tier_policy option;
+  zipf_s : float option;       (* "serve" workload knobs *)
+  corpus_size : int option;
   timings_file : string option;
   metrics_file : string option;
   help : bool;
@@ -169,6 +190,22 @@ let parse_args argv =
         | None -> Error (Printf.sprintf "bad --tier-policy value %S" v))
     | [ "--tier-policy" ] ->
         Error "--tier-policy requires optimizing|baseline|adaptive"
+    | ("--zipf-alpha" | "--zipf-s") :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s > 0.0 -> go { acc with zipf_s = Some s } rest
+        | _ -> Error (Printf.sprintf "bad --zipf-alpha value %S (want > 0)" v))
+    | [ ("--zipf-alpha" | "--zipf-s") ] ->
+        Error "--zipf-alpha requires a positive exponent"
+    | "--corpus-size" :: v :: rest -> (
+        let corpus_len = List.length Mtj_harness.Serve.default_corpus in
+        match int_of_string_opt v with
+        | Some n when n >= 0 && n <= corpus_len ->
+            go { acc with corpus_size = Some n } rest
+        | _ ->
+            Error
+              (Printf.sprintf "bad --corpus-size value %S (want 0..%d)" v
+                 corpus_len))
+    | [ "--corpus-size" ] -> Error "--corpus-size requires an argument"
     | "--timings" :: f :: rest -> go { acc with timings_file = Some f } rest
     | [ "--timings" ] -> Error "--timings requires an argument"
     | "--metrics-out" :: f :: rest -> go { acc with metrics_file = Some f } rest
@@ -181,8 +218,9 @@ let parse_args argv =
   in
   go
     { names = []; run_all = false; jobs = None; threaded = None;
-      frame_pool = None; tier_policy = None; timings_file = None;
-      metrics_file = None; help = false }
+      frame_pool = None; tier_policy = None; zipf_s = None;
+      corpus_size = None; timings_file = None; metrics_file = None;
+      help = false }
     argv
 
 let () =
@@ -237,7 +275,9 @@ let () =
         List.iter
           (fun name ->
             if name = "bechamel" then timed name bechamel
-            else if name = "serve" then timed name serve_bench
+            else if name = "serve" then
+              timed name (fun () ->
+                  serve_bench ?zipf_s:p.zipf_s ?corpus_size:p.corpus_size ())
             else
               match E.find name with
               | Some e -> timed name e.E.ex_render

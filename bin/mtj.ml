@@ -321,7 +321,7 @@ let serve_cmd =
   in
   let zipf_arg =
     Arg.(value & opt float 1.1
-         & info [ "zipf-s" ] ~docv:"S"
+         & info [ "zipf-s"; "zipf-alpha" ] ~docv:"S"
              ~doc:"Zipf popularity exponent of the tenant program mix \
                    (weight of rank r is 1/r^S)")
   in
@@ -346,8 +346,37 @@ let serve_cmd =
              ~doc:"per-request instruction budget (serving requests are \
                    short by design)")
   in
-  let run requests jobs zipf_s seed shared budget metrics_out threaded
-      frame_pool tier_policy =
+  let profile_seed_arg =
+    let mode = Arg.enum [ ("on", true); ("off", false) ] in
+    Arg.(value & opt mode true
+         & info [ "profile-seed" ] ~docv:"on|off"
+             ~doc:"trace-profile seeding: publishers attach the trace \
+                   profile their run learned and warm requests seed \
+                   their JIT from it, so hot loops tier up on first \
+                   entry; program outputs are identical either way, \
+                   simulated JIT counters legitimately differ")
+  in
+  let cache_capacity_arg =
+    Arg.(value & opt int 0
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"bound the shared cache to N entries with per-shard \
+                   LRU eviction (0 = unbounded)")
+  in
+  let tenant_quota_arg =
+    Arg.(value & opt int 0
+         & info [ "tenant-quota" ] ~docv:"N"
+             ~doc:"bound any one tenant to N live published entries \
+                   (0 = unbounded)")
+  in
+  let corpus_size_arg =
+    Arg.(value & opt int 0
+         & info [ "corpus-size" ] ~docv:"N"
+             ~doc:"draw requests from only the first N corpus programs \
+                   (0 = the whole corpus)")
+  in
+  let run requests jobs zipf_s seed shared profile_seed cache_capacity
+      tenant_quota corpus_size budget metrics_out threaded frame_pool
+      tier_policy =
     if requests < 1 then begin
       Printf.eprintf "mtj: --requests must be >= 1 (got %d)\n" requests;
       exit 2
@@ -360,12 +389,28 @@ let serve_cmd =
       Printf.eprintf "mtj: --zipf-s must be > 0 (got %g)\n" zipf_s;
       exit 2
     end;
+    if cache_capacity < 0 then begin
+      Printf.eprintf "mtj: --cache-capacity must be >= 0 (got %d)\n"
+        cache_capacity;
+      exit 2
+    end;
+    if tenant_quota < 0 then begin
+      Printf.eprintf "mtj: --tenant-quota must be >= 0 (got %d)\n" tenant_quota;
+      exit 2
+    end;
+    let corpus_len = List.length Mtj_harness.Serve.default_corpus in
+    if corpus_size < 0 || corpus_size > corpus_len then begin
+      Printf.eprintf "mtj: --corpus-size must be in 0..%d (got %d)\n"
+        corpus_len corpus_size;
+      exit 2
+    end;
     apply_threaded threaded;
     apply_frame_pool frame_pool;
     apply_tier_policy tier_policy;
     if jobs > 0 then R.set_jobs jobs;
     let s =
-      Mtj_harness.Serve.serve ~budget ~zipf_s ~seed ~shared ~requests ()
+      Mtj_harness.Serve.serve ~budget ~zipf_s ~seed ~shared ~profile_seed
+        ~cache_capacity ~tenant_quota ~corpus_size ~requests ()
     in
     Mtj_harness.Serve.print_summary stdout s;
     match metrics_out with
@@ -378,8 +423,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ requests_arg $ jobs_arg $ zipf_arg $ seed_arg $ shared_arg
-      $ serve_budget_arg $ metrics_out_arg $ threaded_arg $ frame_pool_arg
-      $ tier_policy_arg)
+      $ profile_seed_arg $ cache_capacity_arg $ tenant_quota_arg
+      $ corpus_size_arg $ serve_budget_arg $ metrics_out_arg $ threaded_arg
+      $ frame_pool_arg $ tier_policy_arg)
 
 (* --- exec --- *)
 

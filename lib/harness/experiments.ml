@@ -854,6 +854,75 @@ let thresholds () =
      the default -- which is why PyPy ships an aggressive 1039 despite\n\
      the compile-time it spends on marginal loops.\n"
 
+(* ------------ extension: bounded shared-cache capacity sweep ------------ *)
+
+module SC = Mtj_rjit.Sharedcache
+
+(* the sweep never runs a VM: cache entries are probe tokens *)
+type SC.entry += Probe
+
+(* Pure cache replay: the serving harness's Zipf request stream (same
+   generator, same seed as `mtj serve`) driven over fresh bounded
+   {!Mtj_rjit.Sharedcache} instances, one per capacity.  Each request
+   performs the serve flow's cache half — one lookup, publish on miss —
+   so what the table characterizes is the per-shard LRU policy against
+   the workload's popularity skew, deterministically and without
+   running any programs. *)
+let cachesweep () =
+  Render.heading
+    "EXTENSION: bounded shared-cache capacity sweep (Zipf replay)";
+  let requests = 2000 and zipf_s = 1.1 and seed = 42 in
+  let corpus = Serve.default_corpus in
+  pr
+    "The serving request stream (corpus %d, zipf_s=%.1f, seed=%d, %d\n\
+     requests) replayed over bounded caches with per-shard LRU eviction.\n\n"
+    (List.length corpus) zipf_s seed requests;
+  let stream = Serve.gen_requests ~corpus ~requests ~zipf_s ~seed in
+  let caps = [ 1; 2; 3; 4; 6; 8; 0 ] in
+  let rows =
+    List.map
+      (fun cap ->
+        let cache = SC.create ~capacity:cap () in
+        Array.iter
+          (fun (rq : Serve.request) ->
+            let lang =
+              match rq.Serve.req_lang with B.Py -> "py" | B.Rk -> "rk"
+            in
+            let key =
+              SC.key ~lang ~program:rq.Serve.req_bench ~config_digest:"sweep"
+            in
+            match SC.find cache ~ctx_uid:0 key with
+            | Some _ -> ()
+            | None -> ignore (SC.publish cache ~ctx_uid:0 key Probe))
+          stream;
+        let st = SC.stats cache in
+        let hits = st.SC.shared_hits + st.SC.local_hits in
+        [
+          (if cap = 0 then "unbounded" else string_of_int cap);
+          Printf.sprintf "%.1f%%"
+            (100.0 *. float_of_int hits /. float_of_int requests);
+          string_of_int st.SC.misses;
+          string_of_int st.SC.publications;
+          string_of_int st.SC.evictions;
+          string_of_int st.SC.requeues;
+          string_of_int (SC.size cache);
+        ])
+      caps
+  in
+  Render.table
+    ~header:
+      [ "capacity"; "hit rate"; "misses"; "published"; "evicted";
+        "requeued"; "live" ]
+    ~rows;
+  pr
+    "\nDegradation under the Zipf mix is graceful: the rank-1 tenant\n\
+     dominates the stream, so even a one-entry cache keeps a large\n\
+     fraction of the unbounded hit rate, and each added slot recovers\n\
+     most of a rank's worth of misses. The requeue column is the thrash\n\
+     signal -- re-publications of previously evicted keys -- which goes\n\
+     to zero exactly when the capacity covers the working set, and the\n\
+     live count never exceeds the configured bound.\n"
+
 (* ---------------- the experiment registry ---------------- *)
 
 (* Each experiment declares the (benchmark, vm_config) matrix it reads
@@ -978,6 +1047,10 @@ let registry : experiment list =
       ex_doc = "hot-loop threshold sensitivity (extension)";
       ex_runs = (fun () -> []);
       ex_render = thresholds };
+    { ex_name = "cachesweep";
+      ex_doc = "bounded shared-cache hit rate vs capacity (extension)";
+      ex_runs = (fun () -> []);
+      ex_render = cachesweep };
   ]
 
 let find name = List.find_opt (fun e -> e.ex_name = name) registry

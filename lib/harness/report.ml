@@ -82,6 +82,7 @@ let jit_json (j : R.jit_stats) =
       ("tier2_compiles", J.Int j.R.tier2_compiles);
       ("demotions", J.Int j.R.demotions);
       ("first_entry_insns", J.Int j.R.first_entry_insns);
+      ("seeded_sites", J.Int j.R.seeded_sites);
       ( "tier_residency",
         J.Obj
           [

@@ -67,6 +67,7 @@ type jit_stats = {
   tier2_compiles : int;
   demotions : int;
   first_entry_insns : int;   (* -1 if no trace ever ran *)
+  seeded_sites : int;        (* profile-seeded loop sites; 0 outside serving *)
   tier1_entries : int;       (* per-tier residency *)
   tier2_entries : int;
   tier1_dynamic_ir : int;
@@ -202,6 +203,7 @@ let jit_stats_of jl =
     tier2_compiles = jl.Jitlog.tier2_compiles;
     demotions = jl.Jitlog.demotions;
     first_entry_insns = jl.Jitlog.first_entry_insns;
+    seeded_sites = jl.Jitlog.seeded_sites;
     tier1_entries = t1_entries;
     tier2_entries = t2_entries;
     tier1_dynamic_ir = t1_dyn;

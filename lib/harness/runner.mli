@@ -63,6 +63,9 @@ type jit_stats = {
       (** simulated instructions retired before the first compiled-trace
           entry, or [-1] if no trace ever ran — the
           time-to-first-compiled-execution warmup metric *)
+  seeded_sites : int;
+      (** loop sites seeded from an imported trace profile (serving
+          mode); 0 everywhere else *)
   tier1_entries : int;       (** per-tier residency: trace entries *)
   tier2_entries : int;
   tier1_dynamic_ir : int;    (** per-tier residency: dynamic IR *)

@@ -33,8 +33,16 @@ module Engine = Mtj_machine.Engine
    that stayed on the unboxed immediate path vs. fell through to a
    boxed slow path (floats, bigints, strings, overflow); the two always
    sum to the total.  Host-side counters, invisible to the simulated
-   machine. *)
-let schema = "mtj-metrics/8"
+   machine.
+   v9: the jit block gained [seeded_sites] (loop sites seeded from an
+   imported trace profile — serving mode); the serve block gained the
+   seeding/bounded-cache session knobs ([profile_seed],
+   [cache_capacity], [tenant_quota], [corpus_size]), the warmup
+   comparison ([seeded] count + first-entry-insns means) and
+   [cache_entries]; [shared_cache_stats] gained
+   [evictions]/[requeues]/[quota_rejections]/[profile_publications]/
+   [seeded_imports]. *)
+let schema = "mtj-metrics/9"
 
 let snapshot_json (s : Counters.snapshot) =
   let cache_miss_rate =
@@ -129,6 +137,7 @@ let jitlog_json (jl : Mtj_rjit.Jitlog.t) =
       ("tier2_compiles", Json.Int jl.Jitlog.tier2_compiles);
       ("demotions", Json.Int jl.Jitlog.demotions);
       ("first_entry_insns", Json.Int jl.Jitlog.first_entry_insns);
+      ("seeded_sites", Json.Int jl.Jitlog.seeded_sites);
       ( "tier_residency",
         Json.Obj
           [

@@ -229,6 +229,10 @@ let check_jit run j insns =
       if first_entry > insns then
         fail "run %s: first_entry_insns %d exceeds run insns %d" run
           first_entry insns;
+      (* profile seeding (v9): seeded sites are loop sites, bounded by
+         nothing the document carries per run except non-negativity *)
+      if int_field jit "seeded_sites" < 0 then
+        fail "run %s: negative seeded_sites" run;
       (* per-tier residency reconciles exactly with the trace rows *)
       let residency =
         need (run ^ " jit.tier_residency")
@@ -374,16 +378,43 @@ let check_serve j =
         fail "serve: cold %d + warm %d <> requests %d" n_cold n_warm requests;
       if num_field cold "p50_ms" < 0.0 || num_field warm "p50_ms" < 0.0 then
         fail "serve: negative warm/cold p50";
+      (* bounded-cache and seeding knobs (v9) *)
+      let capacity = int_field s "cache_capacity" in
+      let quota = int_field s "tenant_quota" in
+      let corpus_size = int_field s "corpus_size" in
+      let cache_entries = int_field s "cache_entries" in
+      if capacity < 0 then fail "serve: negative cache_capacity";
+      if quota < 0 then fail "serve: negative tenant_quota";
+      if corpus_size < 1 then fail "serve: corpus_size < 1";
+      if cache_entries < 0 then fail "serve: negative cache_entries";
+      if capacity > 0 && cache_entries > capacity then
+        fail "serve: cache_entries %d exceeds cache_capacity %d" cache_entries
+          capacity;
+      let seeded = need "serve.seeded" (Json.member "seeded" s) in
+      let n_seeded = int_field seeded "count" in
+      if n_seeded < 0 then fail "serve: negative seeded count";
+      if n_seeded > n_warm then
+        fail "serve: seeded %d > warm %d" n_seeded n_warm;
+      if num_field seeded "first_entry_insns_mean" < 0.0 then
+        fail "serve: negative seeded first-entry mean";
+      if num_field s "unseeded_first_entry_insns_mean" < 0.0 then
+        fail "serve: negative unseeded first-entry mean";
       let st = need "serve.shared_cache_stats" (Json.member "shared_cache_stats" s) in
       let shared_hits = int_field st "shared_hits" in
       let local_hits = int_field st "local_hits" in
       let misses = int_field st "misses" in
       let pubs = int_field st "publications" in
+      let evictions = int_field st "evictions" in
+      let requeues = int_field st "requeues" in
+      let quota_rejections = int_field st "quota_rejections" in
+      let profile_pubs = int_field st "profile_publications" in
+      let seeded_imports = int_field st "seeded_imports" in
       List.iter
         (fun key ->
           if int_field st key < 0 then fail "serve: negative %s" key)
         [ "shared_hits"; "local_hits"; "misses"; "publications";
-          "invalidations"; "contention" ];
+          "invalidations"; "evictions"; "requeues"; "quota_rejections";
+          "profile_publications"; "seeded_imports"; "contention" ];
       if bool_field "shared_cache" then begin
         if shared_hits + local_hits + misses <> requests then
           fail "serve: hits %d+%d + misses %d <> requests %d" shared_hits
@@ -391,14 +422,42 @@ let check_serve j =
         if shared_hits + local_hits <> n_warm then
           fail "serve: hits %d+%d <> warm count %d" shared_hits local_hits
             n_warm;
-        if pubs > misses then
-          fail "serve: publications %d > misses %d" pubs misses
+        (* a publication is attempted exactly on a miss, and resolves to
+           a success or a quota rejection — the attempts cannot exceed
+           the misses *)
+        if pubs + quota_rejections > misses then
+          fail "serve: publications %d + quota_rejections %d > misses %d" pubs
+            quota_rejections misses;
+        (* each eviction (and each requeue) is triggered by a successful
+           publication; each attached profile annotates one *)
+        if evictions > pubs then
+          fail "serve: evictions %d > publications %d" evictions pubs;
+        if requeues > pubs then
+          fail "serve: requeues %d > publications %d" requeues pubs;
+        if profile_pubs > pubs then
+          fail "serve: profile_publications %d > publications %d" profile_pubs
+            pubs;
+        (* a seeded import is a cache hit that carried a profile, and
+           every seeded request made exactly one *)
+        if seeded_imports > shared_hits + local_hits then
+          fail "serve: seeded_imports %d > hits %d" seeded_imports
+            (shared_hits + local_hits);
+        if n_seeded > seeded_imports then
+          fail "serve: seeded requests %d > seeded_imports %d" n_seeded
+            seeded_imports;
+        if capacity = 0 && evictions + requeues > 0 then
+          fail "serve: unbounded cache but evictions/requeues nonzero";
+        if quota = 0 && quota_rejections > 0 then
+          fail "serve: unbounded quota but quota_rejections nonzero";
+        if not (bool_field "profile_seed")
+           && n_seeded + seeded_imports + profile_pubs > 0
+        then fail "serve: profile_seed off but seeding counters nonzero"
       end
       else if shared_hits + local_hits + misses + pubs > 0 then
         fail "serve: shared cache off but cache counters nonzero"
 
 let metrics_exn j =
-  check_schema j "mtj-metrics/8";
+  check_schema j "mtj-metrics/9";
   check_serve j;
   let runs = arr_field j "runs" in
   List.iter

@@ -122,6 +122,11 @@ let import_bundle (_ : t) b =
 
 let run_bundle t b : Driver.outcome = run_code t b.b_entry
 
+(* trace-profile seeding (DESIGN.md §3m): export after an unseeded run,
+   seed a fresh importer before it executes anything *)
+let export_profile t = D.export_profile t.driver
+let seed_profile t p = D.seed_profile t.driver p
+
 (** convenience: fresh VM, run source, return (outcome, vm) *)
 let run ?config ?profile src =
   let t = create ?config ?profile () in

@@ -57,6 +57,21 @@ val bundle_size : bundle -> int
 (** Number of code objects in the bundle (what a warm request records
     as shared-cache code hits). *)
 
+val export_profile : t -> Mtj_rjit.Traceprofile.t
+(** Snapshot this VM's learned trace profile — compiled loop sites
+    (with their converged tier) and threaded-translated code refs —
+    as a context-free artifact for {!Mtj_rjit.Sharedcache}.  Call after
+    an unseeded run so the profile is deterministic per program and
+    config. *)
+
+val seed_profile : t -> Mtj_rjit.Traceprofile.t -> unit
+(** Seed a fresh VM from a publisher's profile: hot loop sites start
+    one header visit short of the tracing threshold (carrying the
+    publisher's promotion decision as a hint) and profiled code objects
+    are translated to threaded step arrays up front.  Must run after
+    {!import_bundle}, before the VM executes anything.  Changes only
+    when the simulated machine traces, never program output. *)
+
 val run :
   ?config:Mtj_core.Config.t ->
   ?profile:Mtj_core.Profile.t ->

@@ -40,6 +40,10 @@ module Make (L : Threaded.LANG) = struct
     mutable demotions : int;
         (* times this site's optimized loop was demoted back to tier 1;
            raises the re-promotion threshold exponentially *)
+    mutable promote_hint : bool;
+        (* an imported trace profile marked this site as promoted by its
+           publisher: compile the fresh tier-1 trace with the seeded
+           (earlier) promotion point instead of the default *)
   }
 
   type dframe = (Value.t, L.code) Frame.t
@@ -59,6 +63,9 @@ module Make (L : Threaded.LANG) = struct
            [Engine.emit_static] *)
     mutable cur : dframe option;        (* GC roots: direct frames *)
     mutable tracking : tframe option;   (* GC roots: tracked frames *)
+    mutable translated_refs : int list;
+        (* code_refs this driver translated to threaded step arrays,
+           newest first — exported (sorted) in the trace profile *)
   }
 
   let create ?(profile = Profile.rpython_interp) rtc globals =
@@ -77,6 +84,7 @@ module Make (L : Threaded.LANG) = struct
         charge_tab = [| profile.Profile.dispatch; profile.Profile.frame_cost |];
         cur = None;
         tracking = None;
+        translated_refs = [];
       }
     in
     Engine.set_interp_width (Ctx.engine rtc) profile.Profile.interp_width;
@@ -121,7 +129,8 @@ module Make (L : Threaded.LANG) = struct
     | Some s -> s
     | None ->
         let s =
-          { counter = 0; state = `Cold; aborts = 0; raw = None; demotions = 0 }
+          { counter = 0; state = `Cold; aborts = 0; raw = None;
+            demotions = 0; promote_hint = false }
         in
         Hashtbl.replace t.sites key s;
         s
@@ -337,7 +346,10 @@ module Make (L : Threaded.LANG) = struct
             Backend.compile t.jitlog t.rtc
               ~kind:(Ir.Loop { loop_code = fst key; loop_pc = snd key })
               ~entry_slots ~tier:1
-              ~promote_at:(Tierpolicy.initial_promote_at t.cfg) ops
+              ~promote_at:
+                (if site.promote_hint then Tierpolicy.seeded_promote_at t.cfg
+                 else Tierpolicy.initial_promote_at t.cfg)
+              ops
           end
           else begin
             let opt_ops, loop_base, loop_start =
@@ -679,6 +691,7 @@ module Make (L : Threaded.LANG) = struct
           let s = L.threaded_code t.dcx t.globals d f.Frame.code in
           L.store_threaded f.Frame.code s;
           Jitlog.record_interp_translation t.jitlog;
+          t.translated_refs <- f.Frame.code_ref :: t.translated_refs;
           steps := s);
       headers := L.headers f.Frame.code;
       steps_for := f.Frame.code_ref
@@ -766,4 +779,77 @@ module Make (L : Threaded.LANG) = struct
 
   let run t (code : L.code) : outcome =
     run_frame t (make_dframe t code None)
+
+  (* --- trace profiles (serving mode, DESIGN.md §3m) --- *)
+
+  (* Everything this driver learned that a later context can reuse:
+     which loop headers it compiled traces for (with the tier its
+     policy converged on) and which code objects it translated to
+     threaded step arrays.  Only deterministic integers cross the
+     boundary; both lists are sorted so an unseeded run's profile is a
+     pure function of the (program, config, budget) key. *)
+  let export_profile t : Traceprofile.t =
+    let sites =
+      Hashtbl.fold
+        (fun (code, pc) (s : site) acc ->
+          match s.state with
+          | `Compiled tr ->
+              { Traceprofile.p_code = code; p_pc = pc;
+                p_promoted = tr.Ir.tier >= 2 }
+              :: acc
+          | `Cold | `Blacklisted -> acc)
+        t.sites []
+    in
+    {
+      Traceprofile.hot_sites = List.sort compare sites;
+      translated = List.sort_uniq compare t.translated_refs;
+    }
+
+  (* Seed this (fresh) driver from a publisher's profile: hot sites
+     start one header visit short of the tracing threshold (and carry
+     the publisher's promotion decision as a hint for the compile), and
+     the profiled code objects are translated to threaded step arrays
+     up front, off the first-dispatch path.  Translation is host-only
+     work; the seeded counters change WHEN the simulated machine traces
+     (earlier), never WHAT the program computes — outputs stay
+     byte-identical, simulated counters legitimately differ from an
+     unseeded run's. *)
+  let seed_profile t (p : Traceprofile.t) =
+    List.iter
+      (fun (hs : Traceprofile.hot_site) ->
+        let site = site_of t (hs.Traceprofile.p_code, hs.Traceprofile.p_pc) in
+        match site.state with
+        | `Cold when site.counter = 0 ->
+            site.counter <- Tierpolicy.seed_counter t.cfg;
+            site.promote_hint <- hs.Traceprofile.p_promoted;
+            Jitlog.record_seeded_site t.jitlog
+        | _ -> ())
+      p.Traceprofile.hot_sites;
+    if t.cfg.Config.threaded_interp then begin
+      let eng = Ctx.engine t.rtc in
+      List.iter
+        (fun code_ref ->
+          match L.lookup_code code_ref with
+          | exception Invalid_argument _ ->
+              (* a profile only lists refs from its own bundle, but a
+                 stale ref must fail soft: the lazy path re-translates *)
+              ()
+          | code -> (
+              match L.lookup_threaded code with
+              | Some _ -> ()
+              | None ->
+                  let d =
+                    {
+                      Threaded.d_eng = eng;
+                      d_tab = t.charge_tab;
+                      d_site = 200_000 + (code_ref land 1023);
+                      d_indirect = t.profile.Profile.dispatch_indirect;
+                    }
+                  in
+                  let s = L.threaded_code t.dcx t.globals d code in
+                  L.store_threaded code s;
+                  Jitlog.record_interp_translation t.jitlog;
+                  t.translated_refs <- code_ref :: t.translated_refs))
+        p.Traceprofile.translated
+    end
 end

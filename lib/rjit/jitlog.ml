@@ -38,6 +38,9 @@ type t = {
       (* simulated instruction count at the first compiled-trace entry;
          -1 until a trace has executed.  The time-to-first-compiled-
          execution warmup metric of the tier experiments. *)
+  mutable seeded_sites : int;
+      (* loop sites whose hotness counter was seeded from an imported
+         trace profile (serving mode) instead of counted from zero *)
 }
 
 let create () =
@@ -59,6 +62,7 @@ let create () =
     tier2_compiles = 0;
     demotions = 0;
     first_entry_insns = -1;
+    seeded_sites = 0;
   }
 
 let fresh_trace_id t =
@@ -108,6 +112,8 @@ let record_demotion t = t.demotions <- t.demotions + 1
 
 let record_first_entry t ~insns =
   if t.first_entry_insns < 0 then t.first_entry_insns <- insns
+
+let record_seeded_site t = t.seeded_sites <- t.seeded_sites + 1
 
 (* per-tier residency: trace entries and dynamic IR executed at each
    tier.  Dynamic IR uses raw op_exec sums (debug markers included) so

@@ -43,6 +43,10 @@ type t = {
       (** simulated instruction count at the first compiled-trace
           entry, or [-1] if no trace ever ran — the
           time-to-first-compiled-execution warmup metric *)
+  mutable seeded_sites : int;
+      (** loop sites whose hotness counter was seeded from an imported
+          {!Traceprofile.t} (serving mode) instead of counted from
+          zero *)
 }
 
 val create : unit -> t
@@ -88,6 +92,9 @@ val record_demotion : t -> unit
 val record_first_entry : t -> insns:int -> unit
 (** Latch [first_entry_insns] on the first compiled-trace entry;
     subsequent calls are no-ops. *)
+
+val record_seeded_site : t -> unit
+(** Count a loop site seeded from an imported trace profile. *)
 
 val tier_residency : t -> int * int * int * int
 (** [(t1_entries, t2_entries, t1_dynamic_ir, t2_dynamic_ir)]: trace

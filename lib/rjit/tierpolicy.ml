@@ -40,6 +40,23 @@ let initial_promote_at cfg =
   | Config.Adaptive -> cfg.Config.tier2_threshold
   | Config.Optimizing | Config.Baseline -> never
 
+(* Seeded hotness for a loop site imported from a publisher's trace
+   profile: one short of the tracing threshold, so the loop traces on
+   its first header visit instead of re-counting from zero.  Not the
+   threshold itself — the importer still observes one real iteration
+   before recording, keeping the recorded type state warm. *)
+let seed_counter cfg = max 0 (trace_threshold cfg - 1)
+
+(* promote_at for a freshly compiled loop whose site the profile marked
+   as promoted by the publisher: under Adaptive, trust the publisher's
+   tier decision and promote after a quarter of the usual threshold
+   (still > 0 executions, so the stability gate keeps its say); the
+   other policies never promote, profile or not. *)
+let seeded_promote_at cfg =
+  match cfg.Config.tier_policy with
+  | Config.Adaptive -> max 1 (cfg.Config.tier2_threshold / 4)
+  | Config.Optimizing | Config.Baseline -> initial_promote_at cfg
+
 let hot ~promote_at ~execs = promote_at <> never && execs >= promote_at
 
 (* Guard-fail profile stability: at most one deopt per

@@ -23,6 +23,18 @@ val initial_promote_at : Mtj_core.Config.t -> int
 (** [promote_at] for a fresh loop trace: [tier2_threshold] when
     Adaptive, {!never} otherwise. *)
 
+val seed_counter : Mtj_core.Config.t -> int
+(** Hotness counter seeded into a loop site imported from a trace
+    profile: [trace_threshold - 1], so the loop traces on its first
+    header visit (the importer still observes one real iteration before
+    recording). *)
+
+val seeded_promote_at : Mtj_core.Config.t -> int
+(** [promote_at] for a fresh loop trace whose site the publisher's
+    profile marked as promoted: [max 1 (tier2_threshold / 4)] when
+    Adaptive (trust the publisher's tier decision, promote early but
+    keep the stability gate), {!initial_promote_at} otherwise. *)
+
 val hot : promote_at:int -> execs:int -> bool
 (** The trace has executed at least [promote_at] times (and is
     promotable at all). *)

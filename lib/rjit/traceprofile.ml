@@ -1,0 +1,46 @@
+(** Context-free trace profiles: the hotness a publishing context
+    learned about a program, in a form a later context can import.
+
+    A profile names program locations by the same deterministic
+    integers a bundle carries — code_refs (per-VM code ids restart at
+    zero, so an importer that loaded the same bundle resolves the same
+    refs) and bytecode pcs.  It holds no values, closures, traces or
+    engine state, so it may cross domains exactly like the bundle it
+    accompanies in {!Sharedcache}.
+
+    Contents:
+
+    - {b hot sites}: the loop headers the publisher compiled a trace
+      for, with the tier decision the publisher's policy converged on
+      (promoted = the site's live trace reached the optimizing tier).
+      An importer seeds its hotness counters from these so the same
+      loops tier up on (or near) first entry instead of re-counting to
+      the threshold ({!Tierpolicy.seed_counter}).
+    - {b translated code}: the code objects the publisher translated
+      into threaded-dispatch step arrays.  Step closures themselves
+      never cross contexts (they bind the translating VM's engine); the
+      importer re-translates {e its own} closures for the listed refs
+      up front, off the first-dispatch path.
+
+    Both lists are sorted, so a profile is a deterministic function of
+    the (program, config, budget) triple — every unseeded run of the
+    same key exports byte-identical profiles, which is what lets
+    {!Sharedcache.attach_profile} be first-writer-wins. *)
+
+type hot_site = {
+  p_code : int;  (** code_ref of the loop's code object *)
+  p_pc : int;  (** loop-header pc *)
+  p_promoted : bool;
+      (** the publisher's live trace for this site reached tier 2 *)
+}
+
+type t = {
+  hot_sites : hot_site list;  (** sorted by (code_ref, pc) *)
+  translated : int list;  (** code_refs with threaded step arrays, sorted *)
+}
+
+let empty = { hot_sites = []; translated = [] }
+let is_empty p = p.hot_sites = [] && p.translated = []
+
+(** total number of facts carried (sites + translated refs) *)
+let size p = List.length p.hot_sites + List.length p.translated

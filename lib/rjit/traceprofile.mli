@@ -1,0 +1,29 @@
+(** Context-free trace profiles: per-code-object loop-header hotness,
+    tier decisions and threaded-translation selections, published to
+    {!Sharedcache} alongside a compiled bundle and used to seed a warm
+    importer's JIT driver (DESIGN.md §3m).
+
+    A profile carries only deterministic integers (code_refs, pcs) and
+    booleans — no values, closures or engine state — so it is
+    domain-safe exactly like the bundle it accompanies.  Both lists are
+    sorted: every unseeded run of the same (program, config, budget)
+    exports a byte-identical profile, which is what makes
+    first-writer-wins attachment sound. *)
+
+type hot_site = {
+  p_code : int;  (** code_ref of the loop's code object *)
+  p_pc : int;  (** loop-header pc *)
+  p_promoted : bool;
+      (** the publisher's live trace for this site reached tier 2 *)
+}
+
+type t = {
+  hot_sites : hot_site list;  (** sorted by (code_ref, pc) *)
+  translated : int list;  (** code_refs with threaded step arrays, sorted *)
+}
+
+val empty : t
+val is_empty : t -> bool
+
+val size : t -> int
+(** Total number of facts carried (hot sites + translated refs). *)

@@ -89,6 +89,10 @@ let import_bundle (_ : t) b =
 
 let run_bundle t b : Driver.outcome = run_code t b.b_entry
 
+(* trace-profile seeding — same contract as Mtj_pylite.Vm *)
+let export_profile t = D.export_profile t.driver
+let seed_profile t p = D.seed_profile t.driver p
+
 let run ?config ?profile src =
   let t = create ?config ?profile () in
   let outcome = run_source t src in

@@ -31,6 +31,13 @@ val import_bundle : t -> bundle -> unit
 val run_bundle : t -> bundle -> Mtj_rjit.Driver.outcome
 val bundle_size : bundle -> int
 
+val export_profile : t -> Mtj_rjit.Traceprofile.t
+(** Same contract as {!Mtj_pylite.Vm.export_profile}. *)
+
+val seed_profile : t -> Mtj_rjit.Traceprofile.t -> unit
+(** Same contract as {!Mtj_pylite.Vm.seed_profile}: call after
+    {!import_bundle}, before the VM runs. *)
+
 val run :
   ?config:Mtj_core.Config.t ->
   ?profile:Mtj_core.Profile.t ->

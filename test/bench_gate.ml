@@ -29,17 +29,22 @@
 
     A fourth, self-contained mode gates the serving harness:
 
-    - {b serving latency gate} ([--serve-gate FILE]): FILE is an
-      ["mtj-metrics/8"] document with a [serve] block from a session
-      with the shared cache on.  The gate asserts the cache actually
-      paid: warm (imported) requests must have a median latency no
-      worse than cold (compiling) ones — machine-independent, since
-      both medians come from the same host and workload.
+    - {b serving latency gate} ([--serve-gate FILE [UNSEEDED]]): FILE
+      is an ["mtj-metrics/9"] document with a [serve] block from a
+      session with the shared cache on.  The gate asserts the cache
+      actually paid: warm (imported) requests must have a median
+      latency no worse than cold (compiling) ones — machine-
+      independent, since both medians come from the same host and
+      workload.  With a second UNSEEDED file (the same session run with
+      [--profile-seed off]), the gate additionally asserts profile
+      seeding is not a warm-path pessimization: seeded warm p50 must
+      not exceed unseeded warm p50 by more than 10% (the slack absorbs
+      host noise between the two runs).
 
     Usage:
       bench_gate.exe BASELINE.json CURRENT.json [MAX_REGRESS]
       bench_gate.exe --update-baseline BASELINE.json CURRENT.json
-      bench_gate.exe --serve-gate METRICS.json
+      bench_gate.exe --serve-gate METRICS.json [UNSEEDED.json]
 
     [MAX_REGRESS] defaults to 0.15 (fail above +15%) and applies to both
     gates.  [--update-baseline] validates CURRENT and copies it over
@@ -151,8 +156,12 @@ let update_baseline ~baseline_file ~current_file =
 
 (* serving latency gate: on a shared-cache-on session, warm p50 must not
    exceed cold p50 — if importing a compiled bundle is not cheaper than
-   compiling, the shared cache has regressed into pure overhead *)
-let serve_gate file =
+   compiling, the shared cache has regressed into pure overhead.  With a
+   second (seed-off) session, seeded warm p50 must additionally not
+   exceed unseeded warm p50 by more than the noise slack — profile
+   seeding does host-side pre-translation on the warm path and must
+   never turn that into a latency loss. *)
+let load_serve_block file =
   let ic = open_in_bin file in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -172,23 +181,34 @@ let serve_gate file =
   (match Json.member "shared_cache" serve with
   | Some (Json.Bool true) -> ()
   | _ -> die "%s: serve gate needs a shared-cache-on session" file);
-  let block name =
+  serve
+
+let serve_p50 file serve name =
+  let block =
     match Json.member name serve with
     | Some b -> b
     | None -> die "%s: serve block missing %s" file name
   in
-  let p50 name =
-    match Option.bind (Json.member "p50_ms" (block name)) Json.get_num with
+  let p50 =
+    match Option.bind (Json.member "p50_ms" block) Json.get_num with
     | Some v -> v
     | None -> die "%s: serve.%s.p50_ms missing" file name
   in
-  let count name =
-    match Option.bind (Json.member "count" (block name)) Json.get_int with
+  let count =
+    match Option.bind (Json.member "count" block) Json.get_int with
     | Some v -> v
     | None -> die "%s: serve.%s.count missing" file name
   in
-  let cold_p50 = p50 "cold" and warm_p50 = p50 "warm" in
-  let cold_n = count "cold" and warm_n = count "warm" in
+  (p50, count)
+
+(* warm-path slack for the seeded-vs-unseeded comparison: the two
+   medians come from different host runs of the same workload *)
+let seed_slack = 1.10
+
+let serve_gate ?unseeded file =
+  let serve = load_serve_block file in
+  let cold_p50, cold_n = serve_p50 file serve "cold" in
+  let warm_p50, warm_n = serve_p50 file serve "warm" in
   Printf.printf "serve gate: cold p50=%.3fms (%d requests)  warm p50=%.3fms (%d requests)\n"
     cold_p50 cold_n warm_p50 warm_n;
   if warm_n = 0 then die "%s: no warm requests — shared cache never hit" file;
@@ -198,6 +218,28 @@ let serve_gate file =
       cold_p50;
     exit 1
   end;
+  (match unseeded with
+  | None -> ()
+  | Some ufile ->
+      let userve = load_serve_block ufile in
+      (match Json.member "profile_seed" serve with
+      | Some (Json.Bool true) -> ()
+      | _ -> die "%s: seeded-vs-unseeded gate needs profile_seed on" file);
+      (match Json.member "profile_seed" userve with
+      | Some (Json.Bool false) -> ()
+      | _ -> die "%s: second file must be a profile-seed-off session" ufile);
+      let u_warm_p50, u_warm_n = serve_p50 ufile userve "warm" in
+      Printf.printf
+        "serve gate: seeded warm p50=%.3fms vs unseeded warm p50=%.3fms \
+         (%d requests, slack %.0f%%)\n"
+        warm_p50 u_warm_p50 u_warm_n (100.0 *. (seed_slack -. 1.0));
+      if u_warm_n = 0 then die "%s: no warm requests" ufile;
+      if warm_p50 > u_warm_p50 *. seed_slack then begin
+        Printf.eprintf
+          "FAIL: seeded warm p50 %.3fms > unseeded warm p50 %.3fms x %.2f\n"
+          warm_p50 u_warm_p50 seed_slack;
+        exit 1
+      end);
   print_endline "OK"
 
 let () =
@@ -205,6 +247,9 @@ let () =
   (match args with
   | [ "--serve-gate"; file ] ->
       serve_gate file;
+      exit 0
+  | [ "--serve-gate"; file; unseeded ] ->
+      serve_gate ~unseeded file;
       exit 0
   | _ -> ());
   let update, args =

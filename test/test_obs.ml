@@ -396,7 +396,7 @@ let test_validator_rejects_corruption () =
       ?(hash_skips = Json.Int 0) total =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/8");
+        ("schema", Json.Str "mtj-metrics/9");
         ( "runs",
           Json.Arr
             [
@@ -457,10 +457,10 @@ let test_validator_rejects_corruption () =
   let jdoc ?(itrans = 1) ?(ihits = 0) ?(retiers = 0) ?(t1c = 0) ?(t2c = 1)
       ?(demotions = 0) ?(first_entry = 5) ?(res_t2_entries = 1)
       ?(tr_deopts = 0) ?(shared_hits = 0) ?total_hits ?(cache_hits = 0)
-      translations trace_translations =
+      ?(seeded_sites = 0) translations trace_translations =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/8");
+        ("schema", Json.Str "mtj-metrics/9");
         ( "runs",
           Json.Arr
             [
@@ -498,6 +498,7 @@ let test_validator_rejects_corruption () =
                         ("tier2_compiles", Json.Int t2c);
                         ("demotions", Json.Int demotions);
                         ("first_entry_insns", Json.Int first_entry);
+                        ("seeded_sites", Json.Int seeded_sites);
                         ( "tier_residency",
                           Json.Obj
                             [
@@ -564,12 +565,18 @@ let test_validator_rejects_corruption () =
     (Validate.metrics (jdoc ~shared_hits:2 ~total_hits:5 1 1));
   expect_err "trace-row cache_hits sum <> code_cache_hits"
     (Validate.metrics (jdoc ~cache_hits:1 1 1));
-  (* v7 serve block *)
+  (* v9 profile-seeding counter *)
+  expect_err "negative seeded_sites"
+    (Validate.metrics (jdoc ~seeded_sites:(-1) 1 1));
+  (* v7 serve block, with the v9 bounded-cache/seeding extensions *)
   let sdoc ?(p95 = 2.0) ?(warm = 6) ?(cold = 4) ?(shared = true)
-      ?(shared_hits = 6) ?(misses = 4) ?(pubs = 2) () =
+      ?(shared_hits = 6) ?(misses = 4) ?(pubs = 2) ?(profile_seed = true)
+      ?(capacity = 0) ?(quota = 0) ?(entries = 2) ?(n_seeded = 1)
+      ?(evictions = 0) ?(requeues = 0) ?(quota_rej = 0) ?(profile_pubs = 2)
+      ?(seeded_imports = 1) () =
     Json.Obj
       [
-        ("schema", Json.Str "mtj-metrics/8");
+        ("schema", Json.Str "mtj-metrics/9");
         ("runs", Json.Arr []);
         ( "serve",
           Json.Obj
@@ -579,6 +586,11 @@ let test_validator_rejects_corruption () =
               ("zipf_s", Json.Float 1.1);
               ("seed", Json.Int 42);
               ("shared_cache", Json.Bool shared);
+              ("profile_seed", Json.Bool profile_seed);
+              ("cache_capacity", Json.Int capacity);
+              ("tenant_quota", Json.Int quota);
+              ("corpus_size", Json.Int 6);
+              ("cache_entries", Json.Int entries);
               ("budget", Json.Int 300_000);
               ("wall_s", Json.Float 0.5);
               ("throughput_rps", Json.Float 20.0);
@@ -595,6 +607,13 @@ let test_validator_rejects_corruption () =
               ( "warm",
                 Json.Obj
                   [ ("count", Json.Int warm); ("p50_ms", Json.Float 0.5) ] );
+              ( "seeded",
+                Json.Obj
+                  [
+                    ("count", Json.Int n_seeded);
+                    ("first_entry_insns_mean", Json.Float 100.0);
+                  ] );
+              ("unseeded_first_entry_insns_mean", Json.Float 400.0);
               ( "shared_cache_stats",
                 Json.Obj
                   [
@@ -603,6 +622,11 @@ let test_validator_rejects_corruption () =
                     ("misses", Json.Int misses);
                     ("publications", Json.Int pubs);
                     ("invalidations", Json.Int 0);
+                    ("evictions", Json.Int evictions);
+                    ("requeues", Json.Int requeues);
+                    ("quota_rejections", Json.Int quota_rej);
+                    ("profile_publications", Json.Int profile_pubs);
+                    ("seeded_imports", Json.Int seeded_imports);
                     ("contention", Json.Int 0);
                   ] );
             ] );
@@ -619,9 +643,37 @@ let test_validator_rejects_corruption () =
   expect_err "hits <> warm count"
     (Validate.metrics (sdoc ~warm:5 ~cold:5 ~shared_hits:6 ~misses:4 ()));
   expect_err "publications exceeding misses"
-    (Validate.metrics (sdoc ~pubs:5 ()));
+    (Validate.metrics (sdoc ~pubs:5 ~profile_pubs:0 ()));
   expect_err "cache counters nonzero with cache off"
-    (Validate.metrics (sdoc ~shared:false ~warm:0 ~cold:10 ()))
+    (Validate.metrics
+       (sdoc ~shared:false ~warm:0 ~cold:10 ~n_seeded:0 ~seeded_imports:0
+          ~profile_pubs:0 ()));
+  (* v9 bounded-cache / seeding invariants *)
+  (match
+     Validate.metrics
+       (sdoc ~capacity:4 ~quota:1 ~entries:3 ~evictions:1 ~requeues:1
+          ~quota_rej:1 ~pubs:2 ~misses:4 ())
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "well-formed bounded-cache block rejected: %s" e);
+  expect_err "cache_entries past capacity"
+    (Validate.metrics (sdoc ~capacity:2 ~entries:3 ()));
+  expect_err "evictions exceeding publications"
+    (Validate.metrics (sdoc ~capacity:4 ~evictions:3 ()));
+  expect_err "eviction on an unbounded cache"
+    (Validate.metrics (sdoc ~evictions:1 ()));
+  expect_err "quota rejection with no quota"
+    (Validate.metrics (sdoc ~quota_rej:1 ()));
+  expect_err "quota rejections past the miss count"
+    (Validate.metrics (sdoc ~quota:1 ~quota_rej:3 ()));
+  expect_err "profile_publications exceeding publications"
+    (Validate.metrics (sdoc ~profile_pubs:3 ()));
+  expect_err "seeded_imports exceeding hits"
+    (Validate.metrics (sdoc ~seeded_imports:7 ()));
+  expect_err "seeded requests exceeding seeded_imports"
+    (Validate.metrics (sdoc ~n_seeded:2 ~seeded_imports:1 ()));
+  expect_err "seeding counters with profile_seed off"
+    (Validate.metrics (sdoc ~profile_seed:false ()))
 
 let suite =
   [
